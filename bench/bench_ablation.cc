@@ -1,0 +1,222 @@
+// Ablations of QoE Doctor's own design choices (DESIGN.md §4).
+//
+// A1 — latency calibration (§5.1): raw t_m vs the t_offset/t_parsing
+//      corrected measurement, against the ground-truth screen change.
+// A2 — Length-Indicator consistency in the long-jump mapping (§5.4.2):
+//      the full algorithm vs a naive sequential 2-byte matcher, scored
+//      against ground truth for both coverage AND misattribution.
+// A3 — re-anchoring after missing QxDM records: resync window width vs
+//      achieved mapping ratio (0 = give up at the first gap).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/social_server.h"
+#include "bench_util.h"
+
+namespace qoed {
+namespace {
+
+using namespace core;
+
+// --- A1: calibration ---
+
+void run_calibration_ablation() {
+  Testbed bed(2500);
+  apps::SocialServer server(bed.network(), bed.next_server_ip());
+  auto dev = bed.make_device("galaxy-s3");
+  dev->attach_cellular(radio::CellularConfig::umts());
+  apps::SocialAppConfig app_cfg;
+  app_cfg.refresh_interval = sim::Duration::zero();
+  apps::SocialApp app(*dev, app_cfg);
+  app.launch();
+  QoeDoctor doctor(*dev, app);
+  FacebookDriver driver(doctor.controller(), app);
+  app.login("alice");
+  bed.advance(sim::sec(10));
+
+  std::vector<double> raw_err_ms, calibrated_err_ms;
+  repeat_async(
+      bed.loop(), 30, sim::sec(2),
+      [&](std::size_t, std::function<void()> next) {
+        driver.upload_post(
+            apps::PostKind::kStatus, [&, next](const BehaviorRecord& rec) {
+              auto truth =
+                  dev->screen().draw_time_for(rec.prev_end_revision + 1);
+              if (truth && !rec.timed_out) {
+                const double t_screen = sim::to_seconds(*truth - rec.start);
+                raw_err_ms.push_back(
+                    std::abs(sim::to_seconds(rec.raw_latency()) - t_screen) *
+                    1000);
+                calibrated_err_ms.push_back(
+                    std::abs(sim::to_seconds(
+                                 AppLayerAnalyzer::calibrate(rec)) -
+                             t_screen) *
+                    1000);
+              }
+              next();
+            });
+      },
+      [] {});
+  bed.loop().run();
+
+  const Summary raw = summarize(raw_err_ms);
+  const Summary cal = summarize(calibrated_err_ms);
+  core::Table t("A1 — latency calibration ablation (status post, 3G)",
+                {"variant", "mean |error| (ms)", "max |error| (ms)"});
+  t.add_row({"raw t_m (no calibration)", core::Table::num(raw.mean, 1),
+             core::Table::num(raw.max, 1)});
+  t.add_row({"calibrated (-3/2 t_parsing)", core::Table::num(cal.mean, 1),
+             core::Table::num(cal.max, 1)});
+  t.print();
+  std::printf("Without the §5.1 correction every measurement carries the\n"
+              "+t_offset+t_parsing bias (~%.0f ms here).\n",
+              raw.mean - cal.mean);
+}
+
+// --- A2/A3: mapping ablations ---
+
+struct MapScore {
+  double coverage = 0;        // fraction of packets claimed mapped
+  double misattributed = 0;   // claimed-mapped packets with a wrong PDU
+};
+
+MapScore score(const MappingResult& result,
+               const std::vector<radio::PduRecord>& pdu_log,
+               net::Direction dir) {
+  MapScore s;
+  if (result.packets.empty()) return s;
+  std::size_t wrong = 0, mapped = 0;
+  for (const auto& m : result.packets) {
+    if (!m.mapped) continue;
+    ++mapped;
+    for (std::uint32_t seq : m.pdu_seqs) {
+      bool carried = false;
+      for (const auto& p : pdu_log) {
+        if (p.dir != dir || p.seq != seq) continue;
+        carried = std::find(p.true_uids.begin(), p.true_uids.end(),
+                            m.packet_uid) != p.true_uids.end();
+        break;
+      }
+      if (!carried) {
+        ++wrong;
+        break;
+      }
+    }
+  }
+  s.coverage = static_cast<double>(mapped) /
+               static_cast<double>(result.packets.size());
+  s.misattributed = mapped == 0 ? 0
+                                : static_cast<double>(wrong) /
+                                      static_cast<double>(mapped);
+  return s;
+}
+
+// Naive mapper: sequential 2-byte matching only, ignoring the Length
+// Indicators — what §5.4.2's long-jump design replaces.
+MappingResult naive_map(const std::vector<net::PacketRecord>& trace,
+                        const std::vector<radio::PduRecord>& pdu_log,
+                        net::Direction dir) {
+  struct Pkt {
+    std::uint64_t uid;
+    std::uint32_t size;
+  };
+  std::vector<Pkt> pkts;
+  for (const auto& r : trace) {
+    if (r.direction == dir) pkts.push_back({r.uid, r.total_size()});
+  }
+  std::map<std::uint32_t, const radio::PduRecord*> by_seq;
+  for (const auto& p : pdu_log) {
+    if (p.dir != dir || p.is_status || p.payload_len == 0) continue;
+    by_seq.try_emplace(p.seq, &p);
+  }
+
+  MappingResult result;
+  for (const auto& p : pkts) {
+    PacketMapping m;
+    m.packet_uid = p.uid;
+    result.packets.push_back(std::move(m));
+  }
+  std::size_t p = 0;
+  std::uint32_t off = 0;
+  for (const auto& [seq, pdu] : by_seq) {
+    if (p >= pkts.size()) break;
+    // Match the two logged bytes at the current cursor; on mismatch just
+    // skip the PDU (no LI-based re-anchoring, no consistency check).
+    const std::uint8_t b0 = net::wire_byte(pkts[p].uid, off);
+    if (pdu->first_two[0] != b0) continue;
+    result.packets[p].pdu_seqs.push_back(pdu->seq);
+    off += pdu->payload_len;
+    while (p < pkts.size() && off >= pkts[p].size) {
+      off -= pkts[p].size;
+      result.packets[p].mapped = true;
+      ++result.mapped_count;
+      ++p;
+      if (off > 0 && p < result.packets.size()) {
+        result.packets[p].pdu_seqs.push_back(pdu->seq);
+      }
+    }
+  }
+  return result;
+}
+
+void run_mapping_ablation() {
+  Testbed bed(2600);
+  net::Host server(bed.network(), bed.next_server_ip(), "sink");
+  server.set_udp_handler([](const net::Packet&) {});
+  auto dev = bed.make_device("phone");
+  radio::CellularConfig cfg = radio::CellularConfig::umts();
+  dev->attach_cellular(cfg);
+  dev->cellular()->qxdm().set_record_loss(0.01, 0.01);
+  for (int i = 0; i < 150; ++i) {
+    dev->host().send_udp(server.ip(), 9999, 1111, 120 + (i * 67) % 1200,
+                         nullptr);
+    bed.advance(sim::msec(30));
+  }
+  bed.loop().run();
+  const auto& trace = dev->trace().records();
+  const auto& log = dev->cellular()->qxdm().pdu_log();
+
+  core::Table t2("A2 — Length Indicators in the long-jump mapping (uplink, "
+                 "1% missing records)",
+                 {"variant", "coverage", "misattributed"});
+  const MapScore full = score(RlcMapper::map(trace, log,
+                                             net::Direction::kUplink),
+                              log, net::Direction::kUplink);
+  const MapScore naive =
+      score(naive_map(trace, log, net::Direction::kUplink), log,
+            net::Direction::kUplink);
+  t2.add_row({"full long-jump (LI-checked)", core::Table::pct(full.coverage),
+              core::Table::pct(full.misattributed)});
+  t2.add_row({"naive 2-byte sequential", core::Table::pct(naive.coverage),
+              core::Table::pct(naive.misattributed)});
+  t2.print();
+
+  core::Table t3("A3 — resync window after missing QxDM records (uplink)",
+                 {"lookahead (packets)", "coverage", "misattributed"});
+  for (const std::size_t window : {std::size_t{0}, std::size_t{4},
+                                   std::size_t{16}, std::size_t{64}}) {
+    const MapScore s = score(
+        RlcMapper::map(trace, log, net::Direction::kUplink, window), log,
+        net::Direction::kUplink);
+    t3.add_row({std::to_string(window), core::Table::pct(s.coverage),
+                core::Table::pct(s.misattributed)});
+  }
+  t3.print();
+  std::printf(
+      "The LI consistency check is what keeps 2-byte prefix matching from\n"
+      "misattributing packets; the resync window is what keeps one missing\n"
+      "record from poisoning everything after it.\n");
+}
+
+}  // namespace
+}  // namespace qoed
+
+int main() {
+  using namespace qoed;
+  bench::banner("Design-choice ablations",
+                "QoE Doctor §5.1 calibration and §5.4.2 long-jump mapping");
+  run_calibration_ablation();
+  run_mapping_ablation();
+  return 0;
+}

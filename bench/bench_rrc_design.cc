@@ -1,0 +1,106 @@
+// §7.7: impact of the 3G RRC state machine design on web page loading time.
+//
+// Loads pages across the three browsers under the standard 3G machine
+// (PCH <-> FACH <-> DCH) and a simplified machine with no FACH (direct
+// PCH <-> DCH). The paper reports a 22.8% page-load-time reduction: the
+// simplified machine avoids both the slow shared FACH channel and the
+// second promotion on the critical path.
+#include <cstdio>
+#include <vector>
+
+#include "apps/web_server.h"
+#include "bench_util.h"
+
+namespace qoed {
+namespace {
+
+using namespace core;
+
+struct LoadStats {
+  Summary load_s;
+  std::uint64_t promotions = 0;
+};
+
+LoadStats run(const radio::CellularConfig& cell, apps::BrowserProfile profile,
+              int loads, std::uint64_t seed) {
+  Testbed bed(seed);
+  apps::WebServer server(bed.network(), bed.next_server_ip());
+  sim::Rng pages_rng = bed.fork_rng("pages");
+  const auto pages = apps::make_page_dataset(
+      pages_rng, static_cast<std::size_t>(loads));
+  for (const auto& p : pages) server.add_page(p);
+  auto dev = bed.make_device("galaxy-s3");
+  dev->attach_cellular(cell);
+  apps::BrowserAppConfig cfg;
+  cfg.profile = std::move(profile);
+  apps::BrowserApp app(*dev, cfg);
+  app.launch();
+  QoeDoctor doctor(*dev, app);
+  BrowserDriver driver(doctor.controller(), app);
+
+  // §4.2.3 replay input: the URL list, one ENTER per line. The think time
+  // idles past the full demotion cascade so every load pays the promotion
+  // (the paper's cold-radio path).
+  std::vector<std::string> urls;
+  urls.reserve(pages.size());
+  for (const auto& p : pages) urls.push_back("www.page.sim" + p.path);
+  std::vector<double> latencies;
+  driver.load_pages(urls, sim::sec(25),
+                    [&](const std::vector<BehaviorRecord>& records) {
+                      for (const auto& rec : records) {
+                        if (!rec.timed_out) {
+                          latencies.push_back(sim::to_seconds(
+                              AppLayerAnalyzer::calibrate(rec)));
+                        }
+                      }
+                    });
+  bed.loop().run();
+
+  LoadStats out;
+  out.load_s = summarize(latencies);
+  out.promotions = dev->cellular()->rrc().promotions();
+  return out;
+}
+
+}  // namespace
+}  // namespace qoed
+
+int main() {
+  using namespace qoed;
+  bench::banner("3G RRC state machine design vs web page loading time",
+                "§7.7 findings (IMC'14 QoE Doctor)");
+
+  constexpr int kLoads = 12;
+  const std::vector<apps::BrowserProfile> browsers = {
+      apps::BrowserProfile::chrome(), apps::BrowserProfile::firefox(),
+      apps::BrowserProfile::stock()};
+
+  core::Table table("Page loading time: standard vs simplified 3G RRC",
+                    {"browser", "standard (s)", "simplified (s)", "reduction",
+                     "stddev std/simpl"});
+  double total_std = 0, total_simpl = 0;
+  std::uint64_t seed = 2300;
+  for (const auto& profile : browsers) {
+    const LoadStats std_m =
+        run(radio::CellularConfig::umts(), profile, kLoads, seed++);
+    const LoadStats simpl_m =
+        run(radio::CellularConfig::umts_simplified(), profile, kLoads, seed++);
+    total_std += std_m.load_s.mean;
+    total_simpl += simpl_m.load_s.mean;
+    table.add_row(
+        {profile.name, core::Table::num(std_m.load_s.mean),
+         core::Table::num(simpl_m.load_s.mean),
+         core::Table::pct(1 - simpl_m.load_s.mean / std_m.load_s.mean),
+         core::Table::num(std_m.load_s.stddev) + " / " +
+             core::Table::num(simpl_m.load_s.stddev)});
+  }
+  table.print();
+
+  std::printf(
+      "\nFinding check (paper §7.7): simplifying the 3G RRC machine (no\n"
+      "FACH) reduces mean page loading time by %.1f%% across browsers\n"
+      "(paper: 22.8%%). The win comes from a single fast promotion and no\n"
+      "low-bandwidth FACH phase at the start of each load.\n",
+      (1 - total_simpl / total_std) * 100);
+  return 0;
+}

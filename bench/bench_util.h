@@ -1,0 +1,26 @@
+// Shared helpers for the experiment benches.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "core/qoe_doctor.h"
+
+namespace qoed::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+// Prints a CDF as paper-style figure rows.
+inline void print_cdf(const std::string& title, const std::string& unit,
+                      std::vector<double> values, std::size_t points = 12) {
+  core::print_series(title, unit, "CDF", core::cdf_points(std::move(values),
+                                                          points));
+}
+
+}  // namespace qoed::bench

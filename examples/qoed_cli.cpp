@@ -1,0 +1,291 @@
+// qoed_cli — command-line front end for the simulated QoE Doctor.
+//
+// Runs one measurement scenario end-to-end and prints the multi-layer
+// analysis; optionally exports the device trace as pcap and the radio log
+// as QxDM-style text.
+//
+//   qoed_cli pageload --network=3g --pages=5 --think=20 --pcap=trace.pcap
+//   qoed_cli post     --network=lte --kind=photos --reps=10
+//   qoed_cli video    --network=lte --throttle=250 --mechanism=policing
+//
+// Options:
+//   --network=wifi|3g|3g-simplified|lte   access network     [3g]
+//   --seed=N                              simulation seed    [1]
+//   --pcap=FILE                           write libpcap capture
+//   --qxdm=FILE                           write QxDM-style text log
+//   pageload: --pages=N [5]  --think=SECONDS [20]
+//   post:     --kind=status|checkin|photos [status]  --reps=N [10]
+//   video:    --videos=N [3] --throttle=KBPS [0=off]
+//             --mechanism=shaping|policing [shaping]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "apps/social_server.h"
+#include "apps/video_server.h"
+#include "apps/web_server.h"
+#include "core/log_export.h"
+#include "core/pcap_writer.h"
+#include "core/qoe_doctor.h"
+#include "core/speed_index.h"
+
+namespace {
+
+using namespace qoed;
+
+struct Options {
+  std::string command;
+  std::map<std::string, std::string> kv;
+
+  std::string get(const std::string& key, const std::string& def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  long get_int(const std::string& key, long def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  if (argc >= 2) opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      opt.kv[arg] = "1";
+    } else {
+      opt.kv[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return opt;
+}
+
+void attach_network(device::Device& dev, const Options& opt) {
+  const std::string network = opt.get("network", "3g");
+  const double throttle_kbps = static_cast<double>(opt.get_int("throttle", 0));
+  const bool policing = opt.get("mechanism", "shaping") == "policing";
+
+  if (network == "wifi") {
+    dev.attach_wifi();
+    return;
+  }
+  radio::CellularConfig cfg;
+  if (network == "lte") {
+    cfg = radio::CellularConfig::lte();
+  } else if (network == "3g-simplified") {
+    cfg = radio::CellularConfig::umts_simplified();
+  } else {
+    cfg = radio::CellularConfig::umts();
+  }
+  if (throttle_kbps > 0) {
+    cfg.throttle =
+        policing ? net::ThrottleKind::kPolicing : net::ThrottleKind::kShaping;
+    cfg.throttle_rate_bps = throttle_kbps * 1000;
+    cfg.throttle_burst_bytes = policing ? 8 * 1024 : 24 * 1024;
+  }
+  dev.attach_cellular(cfg);
+}
+
+void export_artifacts(device::Device& dev, const Options& opt) {
+  const std::string pcap = opt.get("pcap", "");
+  if (!pcap.empty()) {
+    if (core::write_pcap_file(pcap, dev.trace().records())) {
+      std::printf("wrote %zu packets to %s\n", dev.trace().records().size(),
+                  pcap.c_str());
+    } else {
+      std::printf("FAILED to write %s\n", pcap.c_str());
+    }
+  }
+  const std::string qxdm = opt.get("qxdm", "");
+  if (!qxdm.empty() && dev.cellular() != nullptr) {
+    std::ofstream out(qxdm);
+    core::export_qxdm(out, dev.cellular()->qxdm());
+    std::printf("wrote radio log to %s\n", qxdm.c_str());
+  }
+}
+
+void print_radio_summary(device::Device& dev, core::QoeDoctor& doctor,
+                         sim::TimePoint end) {
+  if (dev.cellular() == nullptr) return;
+  auto analysis = doctor.analyze();
+  const auto res = analysis.rrc().residency(sim::kTimeZero, end);
+  std::printf("radio: %lu promotions, energy %.1f J, mapping UL %.1f%% / DL "
+              "%.1f%%\n",
+              static_cast<unsigned long>(dev.cellular()->rrc().promotions()),
+              analysis.rrc().energy_joules(sim::kTimeZero, end),
+              analysis.map_rlc(net::Direction::kUplink).mapped_ratio() * 100,
+              analysis.map_rlc(net::Direction::kDownlink).mapped_ratio() *
+                  100);
+  (void)res;
+}
+
+int run_pageload(const Options& opt) {
+  core::Testbed bed(static_cast<std::uint64_t>(opt.get_int("seed", 1)));
+  apps::WebServer server(bed.network(), bed.next_server_ip());
+  sim::Rng rng = bed.fork_rng("pages");
+  const long pages = opt.get_int("pages", 5);
+  const auto dataset =
+      apps::make_page_dataset(rng, static_cast<std::size_t>(pages));
+  for (const auto& p : dataset) server.add_page(p);
+
+  auto dev = bed.make_device("phone");
+  attach_network(*dev, opt);
+  apps::BrowserApp app(*dev);
+  app.launch();
+  core::QoeDoctor doctor(*dev, app);
+  core::BrowserDriver driver(doctor.controller(), app);
+
+  std::vector<std::string> urls;
+  for (const auto& p : dataset) urls.push_back("www.page.sim" + p.path);
+  driver.load_pages(urls, sim::sec(opt.get_int("think", 20)),
+                    [](const std::vector<core::BehaviorRecord>&) {});
+  bed.loop().run();
+
+  core::Table t("page loads (" + opt.get("network", "3g") + ")",
+                {"url", "latency (s)", "speed index (s)"});
+  for (const auto& rec : doctor.log().for_action("page_load")) {
+    const auto si =
+        core::compute_speed_index(dev->screen(), core::QoeWindow::of(rec));
+    t.add_row({rec.metadata.at("url"),
+               core::Table::num(sim::to_seconds(
+                   core::AppLayerAnalyzer::calibrate(rec))),
+               core::Table::num(si.speed_index_s)});
+  }
+  t.print();
+  const core::Summary s =
+      core::AppLayerAnalyzer::summarize(doctor.log(), "page_load");
+  std::printf("\nmean %.2fs, stddev %.2fs over %zu pages\n", s.mean, s.stddev,
+              s.n);
+  print_radio_summary(*dev, doctor, bed.loop().now());
+  export_artifacts(*dev, opt);
+  return 0;
+}
+
+int run_post(const Options& opt) {
+  core::Testbed bed(static_cast<std::uint64_t>(opt.get_int("seed", 1)));
+  apps::SocialServer server(bed.network(), bed.next_server_ip());
+  auto dev = bed.make_device("phone");
+  attach_network(*dev, opt);
+  apps::SocialAppConfig cfg;
+  cfg.refresh_interval = sim::Duration::zero();
+  apps::SocialApp app(*dev, cfg);
+  app.launch();
+  core::QoeDoctor doctor(*dev, app);
+  core::FacebookDriver driver(doctor.controller(), app);
+  app.login("cli-user");
+  bed.advance(sim::sec(10));
+
+  const std::string kind_name = opt.get("kind", "status");
+  const apps::PostKind kind = kind_name == "photos"
+                                  ? apps::PostKind::kPhotos
+                                  : kind_name == "checkin"
+                                        ? apps::PostKind::kCheckin
+                                        : apps::PostKind::kStatus;
+  const long reps = opt.get_int("reps", 10);
+  std::vector<core::BehaviorRecord> records;
+  core::repeat_async(
+      bed.loop(), static_cast<std::size_t>(reps), sim::sec(2),
+      [&](std::size_t, std::function<void()> next) {
+        driver.upload_post(kind, [&, next](const core::BehaviorRecord& rec) {
+          records.push_back(rec);
+          next();
+        });
+      },
+      [] {});
+  bed.loop().run();
+
+  auto analysis = doctor.analyze();
+  core::Table t("upload_post:" + kind_name + " (" + opt.get("network", "3g") +
+                    ")",
+                {"#", "total (s)", "device (s)", "network (s)",
+                 "net critical path"});
+  int i = 0;
+  for (const auto& rec : records) {
+    const auto split = analysis.split(rec, "facebook");
+    t.add_row({std::to_string(++i), core::Table::num(split.total_s),
+               core::Table::num(split.device_s),
+               core::Table::num(split.network_s),
+               split.network_on_critical_path ? "yes" : "no"});
+  }
+  t.print();
+  print_radio_summary(*dev, doctor, bed.loop().now());
+  export_artifacts(*dev, opt);
+  return 0;
+}
+
+int run_video(const Options& opt) {
+  core::Testbed bed(static_cast<std::uint64_t>(opt.get_int("seed", 1)));
+  apps::VideoServer server(bed.network(), bed.next_server_ip());
+  sim::Rng rng = bed.fork_rng("videos");
+  for (auto& v :
+       apps::make_video_dataset(rng, 500e3, sim::sec(20), sim::sec(60))) {
+    server.add_video(v);
+  }
+  auto dev = bed.make_device("phone");
+  attach_network(*dev, opt);
+  apps::VideoApp app(*dev);
+  app.launch();
+  app.connect();
+  bed.advance(sim::sec(5));
+  core::QoeDoctor doctor(*dev, app);
+  core::YouTubeDriver driver(doctor.controller(), app);
+
+  const long videos = opt.get_int("videos", 3);
+  core::Table t("video playback (" + opt.get("network", "3g") + ", throttle " +
+                    opt.get("throttle", "0") + " kbps " +
+                    opt.get("mechanism", "shaping") + ")",
+                {"video", "init load (s)", "stalls", "rebuf ratio"});
+  sim::Rng pick = bed.fork_rng("pick");
+  core::repeat_async(
+      bed.loop(), static_cast<std::size_t>(videos), sim::sec(5),
+      [&](std::size_t, std::function<void()> next) {
+        const char kw = static_cast<char>('a' + pick.uniform_int(0, 25));
+        const std::string id =
+            std::string(1, kw) + std::to_string(pick.uniform_int(0, 9));
+        driver.watch_video(std::string(1, kw) + " video", id,
+                           [&, next, id](const core::VideoWatchResult& r) {
+                             t.add_row(
+                                 {id,
+                                  core::Table::num(sim::to_seconds(
+                                      core::AppLayerAnalyzer::calibrate(
+                                          r.initial_loading))),
+                                  std::to_string(r.stalls.size()),
+                                  core::Table::pct(r.rebuffering_ratio())});
+                             next();
+                           });
+      },
+      [] {});
+  bed.loop().run();
+  t.print();
+  print_radio_summary(*dev, doctor, bed.loop().now());
+  export_artifacts(*dev, opt);
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: qoed_cli <pageload|post|video> [--network=wifi|3g|"
+      "3g-simplified|lte]\n"
+      "  [--seed=N] [--pcap=FILE] [--qxdm=FILE]\n"
+      "  pageload: [--pages=N] [--think=SECONDS]\n"
+      "  post:     [--kind=status|checkin|photos] [--reps=N]\n"
+      "  video:    [--videos=N] [--throttle=KBPS]"
+      " [--mechanism=shaping|policing]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.command == "pageload") return run_pageload(opt);
+  if (opt.command == "post") return run_post(opt);
+  if (opt.command == "video") return run_video(opt);
+  usage();
+  return opt.command.empty() ? 1 : 2;
+}

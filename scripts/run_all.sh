@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification pass: build, tests, every bench; captures the outputs the
+# repository commits as test_output.txt and bench_output.txt.
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $b" >> bench_output.txt
+  "$b" >> bench_output.txt 2>&1
+  echo >> bench_output.txt
+done
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,24 @@
+#include "apps/app_base.h"
+
+#include <utility>
+
+namespace qoed::apps {
+
+AndroidApp::AndroidApp(device::Device& dev, std::string package_name)
+    : device_(dev), package_(std::move(package_name)), tree_(dev.loop()) {}
+
+void AndroidApp::launch() {
+  if (launched_) return;
+  launched_ = true;
+  root_ = std::make_shared<ui::View>("android.widget.FrameLayout",
+                                     package_ + ":root");
+  tree_.set_root(root_);
+  device_.set_foreground_tree(tree_);
+  build_ui(*root_);
+}
+
+void AndroidApp::post_ui(sim::Duration cpu_cost, std::function<void()> fn) {
+  device_.ui_thread().post(cpu_cost, std::move(fn), "app");
+}
+
+}  // namespace qoed::apps

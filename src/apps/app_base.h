@@ -1,0 +1,52 @@
+// Base class for simulated Android apps.
+//
+// An app owns its layout tree, runs its view mutations through the device's
+// UI thread (with explicit CPU costs, so device latency is first-class), and
+// uses the device's network stack. QoE Doctor's controller interacts with
+// apps only through injected UI events and the shared layout tree — exactly
+// the paper's no-source-access constraint.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "device/device.h"
+#include "ui/layout_tree.h"
+#include "ui/widgets.h"
+
+namespace qoed::apps {
+
+class AndroidApp {
+ public:
+  AndroidApp(device::Device& dev, std::string package_name);
+  virtual ~AndroidApp() = default;
+  AndroidApp(const AndroidApp&) = delete;
+  AndroidApp& operator=(const AndroidApp&) = delete;
+
+  const std::string& package_name() const { return package_; }
+  device::Device& device() { return device_; }
+  sim::EventLoop& loop() { return device_.loop(); }
+  ui::LayoutTree& tree() { return tree_; }
+  bool launched() const { return launched_; }
+
+  // Builds the UI and makes this the foreground app.
+  void launch();
+
+ protected:
+  // Subclasses construct their view hierarchy under `root`.
+  virtual void build_ui(ui::View& root) = 0;
+
+  // Runs `fn` on the UI thread after `cpu_cost` of main-thread work.
+  void post_ui(sim::Duration cpu_cost, std::function<void()> fn);
+
+  ui::View& root() { return *root_; }
+
+ private:
+  device::Device& device_;
+  std::string package_;
+  ui::LayoutTree tree_;
+  std::shared_ptr<ui::View> root_;
+  bool launched_ = false;
+};
+
+}  // namespace qoed::apps

@@ -1,0 +1,140 @@
+#include "apps/browser_app.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace qoed::apps {
+
+BrowserProfile BrowserProfile::chrome() { return BrowserProfile{}; }
+
+BrowserProfile BrowserProfile::firefox() {
+  BrowserProfile p;
+  p.name = "firefox";
+  p.html_parse_cost = sim::msec(110);
+  p.render_cost = sim::msec(150);
+  p.per_object_decode = sim::msec(9);
+  p.max_connections = 6;
+  return p;
+}
+
+BrowserProfile BrowserProfile::stock() {
+  BrowserProfile p;
+  p.name = "internet";
+  p.html_parse_cost = sim::msec(140);
+  p.render_cost = sim::msec(190);
+  p.per_object_decode = sim::msec(11);
+  p.max_connections = 4;
+  return p;
+}
+
+BrowserApp::BrowserApp(device::Device& dev, BrowserAppConfig cfg)
+    : AndroidApp(dev, "browser." + cfg.profile.name), cfg_(std::move(cfg)) {}
+
+void BrowserApp::build_ui(ui::View& root) {
+  url_bar_ = std::make_shared<ui::EditText>("url_bar");
+  url_bar_->set_description("address bar");
+  url_bar_->set_on_key([this](int keycode) {
+    if (keycode == ui::kKeycodeEnter) start_load(url_bar_->text());
+  });
+  progress_ = std::make_shared<ui::ProgressBar>("page_progress");
+  content_ = std::make_shared<ui::WebView>("browser_view");
+
+  root.add_child(url_bar_);
+  root.add_child(progress_);
+  root.add_child(content_);
+}
+
+void BrowserApp::start_load(const std::string& url) {
+  // Accept "host/path" or "http://host/path".
+  std::string rest = url;
+  if (rest.rfind("http://", 0) == 0) rest = rest.substr(7);
+  const std::size_t slash = rest.find('/');
+  hostname_ = slash == std::string::npos ? rest : rest.substr(0, slash);
+  path_ = slash == std::string::npos ? "/" : rest.substr(slash);
+
+  loading_ = true;
+  objects_total_ = objects_fetched_ = objects_received_ = 0;
+  connections_.clear();
+  post_ui(sim::msec(10), [this] { progress_->set_visible(true); });
+
+  device().resolver().resolve(hostname_, [this](net::IpAddr addr) {
+    if (addr.is_unspecified()) {
+      sim::log_warn(loop().now(), "browser", "DNS failure for " + hostname_);
+      post_ui(sim::msec(5), [this] { progress_->set_visible(false); });
+      loading_ = false;
+      return;
+    }
+    server_addr_ = addr;
+    auto conn = open_connection();
+    net::AppMessage get{.type = "HTTP_GET", .size = cfg_.request_bytes};
+    get.headers["path"] = path_;
+    conn->send(std::move(get));
+  });
+}
+
+std::shared_ptr<net::TcpSocket> BrowserApp::open_connection() {
+  auto conn = device().host().tcp().connect(server_addr_, cfg_.port);
+  conn->set_on_message([this](const net::AppMessage& m) {
+    if (m.type == "HTTP_RESPONSE" && m.header("object").empty()) {
+      on_html(m);
+    } else if (m.type == "HTTP_RESPONSE") {
+      on_object(m);
+    } else if (m.type == "HTTP_404") {
+      finish_load();
+    }
+  });
+  connections_.push_back(conn);
+  return conn;
+}
+
+void BrowserApp::on_html(const net::AppMessage& m) {
+  objects_total_ = static_cast<std::uint32_t>(
+      m.header("objects").empty() ? 0 : std::stoul(m.header("objects")));
+  // Parse the document on the UI thread, then fan out subresource fetches.
+  post_ui(cfg_.profile.html_parse_cost, [this] {
+    if (objects_total_ == 0) {
+      finish_load();
+    } else {
+      fetch_objects();
+    }
+  });
+}
+
+void BrowserApp::fetch_objects() {
+  // Spread object requests across up to max_connections parallel sockets
+  // (the first, already-open connection is reused too).
+  while (connections_.size() < cfg_.profile.max_connections &&
+         connections_.size() < objects_total_) {
+    open_connection();
+  }
+  for (std::uint32_t i = 0; i < objects_total_; ++i) {
+    auto& conn = connections_[i % connections_.size()];
+    net::AppMessage get{.type = "HTTP_GET", .size = cfg_.request_bytes};
+    get.headers["path"] = path_;
+    get.headers["object"] = std::to_string(i + 1);
+    conn->send(std::move(get));
+    ++objects_fetched_;
+  }
+}
+
+void BrowserApp::on_object(const net::AppMessage& m) {
+  (void)m;
+  // Decoding each object costs UI-thread time (images etc.).
+  post_ui(cfg_.profile.per_object_decode, [this] {
+    if (++objects_received_ >= objects_total_ && loading_) finish_load();
+  });
+}
+
+void BrowserApp::finish_load() {
+  if (!loading_) return;
+  loading_ = false;
+  ++pages_loaded_;
+  post_ui(cfg_.profile.render_cost, [this] {
+    content_->set_content("page:" + hostname_ + path_,
+                          content_->content_bytes() + 50'000);
+    progress_->set_visible(false);
+  });
+}
+
+}  // namespace qoed::apps

@@ -1,0 +1,75 @@
+// Web browser app (§4.2.3, §7.7).
+//
+// Replayed behaviour: the controller types a URL into the URL bar and sends
+// ENTER; the progress bar shows until the document and all subresources have
+// arrived and the page has rendered. Three browser profiles (Chrome,
+// Firefox, the stock "Internet" browser) differ in parse/render cost and
+// connection parallelism, mirroring the paper's app selection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_base.h"
+#include "net/tcp.h"
+
+namespace qoed::apps {
+
+struct BrowserProfile {
+  std::string name = "chrome";
+  sim::Duration html_parse_cost = sim::msec(90);
+  sim::Duration render_cost = sim::msec(130);
+  sim::Duration per_object_decode = sim::msec(8);
+  std::uint32_t max_connections = 6;
+
+  static BrowserProfile chrome();
+  static BrowserProfile firefox();
+  static BrowserProfile stock();  // the default Android "Internet" browser
+};
+
+struct BrowserAppConfig {
+  BrowserProfile profile = BrowserProfile::chrome();
+  net::Port port = 80;
+  std::uint64_t request_bytes = 700;
+};
+
+class BrowserApp final : public AndroidApp {
+ public:
+  BrowserApp(device::Device& dev, BrowserAppConfig cfg = {});
+
+  const BrowserAppConfig& config() const { return cfg_; }
+
+  bool page_loading() const { return loading_; }
+  std::uint64_t pages_loaded() const { return pages_loaded_; }
+
+ protected:
+  void build_ui(ui::View& root) override;
+
+ private:
+  void start_load(const std::string& url);
+  void on_html(const net::AppMessage& m);
+  void fetch_objects();
+  void on_object(const net::AppMessage& m);
+  void finish_load();
+  std::shared_ptr<net::TcpSocket> open_connection();
+
+  BrowserAppConfig cfg_;
+  std::string hostname_;
+  std::string path_;
+  net::IpAddr server_addr_;
+  bool loading_ = false;
+  std::uint32_t objects_total_ = 0;
+  std::uint32_t objects_fetched_ = 0;
+  std::uint32_t objects_received_ = 0;
+  std::vector<std::shared_ptr<net::TcpSocket>> connections_;
+  std::uint64_t pages_loaded_ = 0;
+
+  std::shared_ptr<ui::EditText> url_bar_;
+  std::shared_ptr<ui::ProgressBar> progress_;
+  std::shared_ptr<ui::WebView> content_;
+};
+
+}  // namespace qoed::apps

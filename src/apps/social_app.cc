@@ -1,0 +1,282 @@
+#include "apps/social_app.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace qoed::apps {
+
+const char* to_string(PostKind k) {
+  switch (k) {
+    case PostKind::kStatus:
+      return "status";
+    case PostKind::kCheckin:
+      return "checkin";
+    case PostKind::kPhotos:
+      return "photos";
+  }
+  return "?";
+}
+
+SocialApp::SocialApp(device::Device& dev, SocialAppConfig cfg)
+    : AndroidApp(dev, "com.facebook.katana"), cfg_(std::move(cfg)) {}
+
+void SocialApp::build_ui(ui::View& root) {
+  composer_ = std::make_shared<ui::EditText>("composer");
+  composer_->set_description("What's on your mind?");
+  post_button_ = std::make_shared<ui::Button>("post_button");
+  post_button_->set_text("Post");
+  post_button_->set_description("publish the composed post");
+  post_button_->set_on_click([this] { on_post_clicked(); });
+  progress_ = std::make_shared<ui::ProgressBar>("feed_progress");
+
+  root.add_child(composer_);
+  root.add_child(post_button_);
+  root.add_child(progress_);
+
+  if (cfg_.design == FeedDesign::kListView) {
+    feed_list_ = std::make_shared<ui::ListView>("news_feed");
+    feed_list_->set_description("news feed list");
+    feed_list_->set_on_scroll([this](int dy) { on_feed_scroll(dy); });
+    root.add_child(feed_list_);
+  } else {
+    feed_web_ = std::make_shared<ui::WebView>("news_feed_web");
+    feed_web_->set_description("news feed (HTML)");
+    feed_web_->set_on_scroll([this](int dy) { on_feed_scroll(dy); });
+    root.add_child(feed_web_);
+  }
+}
+
+void SocialApp::login(std::string account_id) {
+  account_ = std::move(account_id);
+  connect_api();
+  connect_push();
+  schedule_background_refresh();
+  schedule_foreground_update();
+}
+
+void SocialApp::connect_api() {
+  device().resolver().resolve(
+      cfg_.server_hostname, [this](net::IpAddr addr) {
+        if (addr.is_unspecified()) {
+          sim::log_warn(loop().now(), "social-app", "DNS failure");
+          return;
+        }
+        api_socket_ = device().host().tcp().connect(addr, cfg_.api_port);
+        api_socket_->set_on_message([this](const net::AppMessage& m) {
+          if (m.type == "FEED_RESPONSE") {
+            on_feed_response(m);
+          } else if (m.type == "POST_ACK") {
+            // Photo posts surface on the feed only after the server ACK
+            // (the network round trip is on the critical path).
+            if (!pending_photo_text_.empty()) {
+              show_post_on_feed("photos", pending_photo_text_);
+              pending_photo_text_.clear();
+            }
+          }
+        });
+        api_socket_->set_on_connected([this] {
+          request_feed(/*foreground=*/true, /*recommendations=*/false);
+        });
+      });
+}
+
+void SocialApp::connect_push() {
+  device().resolver().resolve(cfg_.server_hostname, [this](net::IpAddr addr) {
+    if (addr.is_unspecified()) return;
+    push_socket_ = device().host().tcp().connect(addr, cfg_.push_port);
+    push_socket_->set_on_connected([this] {
+      net::AppMessage reg{.type = "PUSH_REGISTER", .size = 400};
+      reg.headers["account"] = account_;
+      push_socket_->send(std::move(reg));
+    });
+    push_socket_->set_on_message([this](const net::AppMessage& m) {
+      if (m.type == "PUSH_NOTIFY") {
+        ++pushes_received_;
+        // Time-sensitive fetch of the friend's new post.
+        request_feed(/*foreground=*/false, /*recommendations=*/false);
+      }
+    });
+  });
+}
+
+void SocialApp::on_post_clicked() {
+  const PostKind kind = compose_kind_;
+  const std::string text = composer_->text();
+  const sim::Duration compose_cost =
+      kind == PostKind::kStatus    ? cfg_.status_compose_cost
+      : kind == PostKind::kCheckin ? cfg_.checkin_compose_cost
+                                   : cfg_.photos_compose_cost;
+
+  // Composing/encoding happens on the device first (photo resize etc.).
+  post_ui(compose_cost, [this, kind, text] {
+    upload_post(kind, text);
+    if (kind == PostKind::kPhotos) {
+      // Progress bar shown while waiting for the server (Fig. 4 flow).
+      progress_->set_visible(true);
+      pending_photo_text_ = text;
+    } else {
+      // Local echo: status and check-in appear immediately (Finding 1).
+      show_post_on_feed(to_string(kind), text);
+    }
+  });
+}
+
+void SocialApp::upload_post(PostKind kind, const std::string& text) {
+  if (!api_socket_) return;
+  ++posts_uploaded_;
+  const std::uint64_t bytes =
+      kind == PostKind::kStatus    ? cfg_.status_upload_bytes
+      : kind == PostKind::kCheckin ? cfg_.checkin_upload_bytes
+                                   : cfg_.photos_upload_bytes;
+  net::AppMessage m{.type = "POST_UPLOAD", .size = bytes};
+  m.headers["account"] = account_;
+  m.headers["kind"] = to_string(kind);
+  m.headers["text"] = text;
+  api_socket_->send(std::move(m));
+}
+
+void SocialApp::show_post_on_feed(const std::string& kind,
+                                  const std::string& text) {
+  post_ui(feed_update_cost(1), [this, kind, text] {
+    if (feed_list_) {
+      auto item = std::make_shared<ui::TextView>("feed_item");
+      item->set_text(kind + ": " + text);
+      feed_list_->prepend_item(std::move(item));
+    } else if (feed_web_) {
+      web_feed_text_ = kind + ": " + text + '\n' + web_feed_text_;
+      feed_web_->set_content(web_feed_text_,
+                             feed_web_->content_bytes() + 4096);
+    }
+    if (progress_->visible()) progress_->set_visible(false);
+  });
+}
+
+void SocialApp::on_feed_scroll(int dy) {
+  if (dy > cfg_.pull_gesture_dy) return;  // not a pull-to-refresh gesture
+  start_foreground_update();
+}
+
+void SocialApp::start_foreground_update() {
+  // The spinner appears nearly instantly...
+  post_ui(sim::msec(8), [this] { progress_->set_visible(true); });
+  // ...and the app asks the server for anything new.
+  request_feed(/*foreground=*/true, /*recommendations=*/false);
+}
+
+void SocialApp::schedule_foreground_update() {
+  if (cfg_.foreground_update_interval <= sim::Duration::zero()) return;
+  foreground_timer_ =
+      loop().schedule_after(cfg_.foreground_update_interval, [this] {
+        start_foreground_update();
+        schedule_foreground_update();
+      });
+}
+
+void SocialApp::request_feed(bool foreground, bool recommendations) {
+  if (!api_socket_ || feed_request_in_flight_) return;
+  feed_request_in_flight_ = true;
+  net::AppMessage m{.type = "FEED_REQUEST", .size = cfg_.feed_request_bytes};
+  m.headers["account"] = account_;
+  m.headers["since"] = std::to_string(latest_feed_index_);
+  m.headers["design"] =
+      cfg_.design == FeedDesign::kWebView ? "webview" : "listview";
+  m.headers["recommendations"] = recommendations ? "1" : "0";
+  m.headers["foreground"] = foreground ? "1" : "0";
+
+  if (cfg_.design == FeedDesign::kListView) {
+    api_socket_->send(std::move(m));
+    return;
+  }
+  // WebView design (app v1.8.3): the HTML feed loads browser-style over a
+  // fresh connection every time — paying a handshake and slow start that the
+  // ListView design's persistent API connection avoids (Finding 5's network
+  // latency gap).
+  device().resolver().resolve(
+      cfg_.server_hostname, [this, m = std::move(m)](net::IpAddr addr) {
+        if (addr.is_unspecified()) {
+          feed_request_in_flight_ = false;
+          return;
+        }
+        web_fetch_socket_ = device().host().tcp().connect(addr, cfg_.api_port);
+        web_fetch_socket_->set_on_message([this](const net::AppMessage& resp) {
+          if (resp.type == "FEED_RESPONSE") {
+            on_feed_response(resp);
+            if (web_fetch_socket_) web_fetch_socket_->close();
+          }
+        });
+        web_fetch_socket_->send(m);
+      });
+}
+
+void SocialApp::on_feed_response(const net::AppMessage& m) {
+  feed_request_in_flight_ = false;
+  ++feed_refreshes_;
+  if (!m.header("latest").empty()) {
+    latest_feed_index_ = std::stoull(m.header("latest"));
+  }
+
+  // Parse the item blob: kind \x1e text, records separated by \x1f.
+  std::vector<std::pair<std::string, std::string>> items;
+  const std::string& blob = m.header("items");
+  std::size_t pos = 0;
+  while (pos < blob.size()) {
+    std::size_t rec_end = blob.find('\x1f', pos);
+    if (rec_end == std::string::npos) rec_end = blob.size();
+    const std::string record = blob.substr(pos, rec_end - pos);
+    const std::size_t sep = record.find('\x1e');
+    if (sep != std::string::npos) {
+      items.emplace_back(record.substr(0, sep), record.substr(sep + 1));
+    }
+    pos = rec_end + 1;
+  }
+
+  post_ui(feed_update_cost(std::max<std::size_t>(items.size(), 1)),
+          [this, items = std::move(items)] {
+            for (const auto& [kind, text] : items) {
+              if (feed_list_) {
+                auto item = std::make_shared<ui::TextView>("feed_item");
+                item->set_text(kind + ": " + text);
+                feed_list_->prepend_item(std::move(item));
+              } else if (feed_web_) {
+                web_feed_text_ = kind + ": " + text + '\n' + web_feed_text_;
+              }
+            }
+            if (feed_web_) {
+              // The WebView re-renders the whole HTML document.
+              feed_web_->set_content(web_feed_text_,
+                                     feed_web_->content_bytes() + 4096);
+            }
+            if (progress_->visible()) progress_->set_visible(false);
+          });
+}
+
+void SocialApp::schedule_background_refresh() {
+  if (cfg_.refresh_interval <= sim::Duration::zero()) return;
+  refresh_timer_ = loop().schedule_after(cfg_.refresh_interval, [this] {
+    request_feed(/*foreground=*/false, /*recommendations=*/true);
+    schedule_background_refresh();
+  });
+}
+
+sim::Duration SocialApp::feed_update_cost(std::size_t items) const {
+  if (cfg_.design == FeedDesign::kListView) {
+    return cfg_.listview_update_base +
+           cfg_.listview_update_per_item * static_cast<std::int64_t>(items);
+  }
+  return cfg_.webview_update_base +
+         cfg_.webview_update_per_item * static_cast<std::int64_t>(items);
+}
+
+std::size_t SocialApp::feed_item_count() const {
+  if (feed_list_) return feed_list_->item_count();
+  if (feed_web_) {
+    // Count rendered lines in the HTML feed.
+    std::size_t n = 0;
+    for (char c : feed_web_->text()) n += c == '\n';
+    return n;
+  }
+  return 0;
+}
+
+}  // namespace qoed::apps

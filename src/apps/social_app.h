@@ -1,0 +1,128 @@
+// Facebook-like social app (§4.2.1, §7.2–§7.4).
+//
+// Behavioural model distilled from the paper's findings:
+//  - posting a STATUS or CHECK-IN pushes a local copy straight onto the news
+//    feed — the server round trip is off the critical path (Finding 1);
+//  - posting PHOTOS waits for the server ACK before the item appears, so the
+//    network dominates the user-perceived latency (Finding 2);
+//  - the news feed is rendered either as a ListView (app v5.0) or a WebView
+//    (app v1.8.3); the WebView downloads much more data and pays a far
+//    larger UI-thread update cost (Findings 5);
+//  - a background refresh timer ("refresh interval" setting) fetches
+//    non-time-sensitive recommendations; push notifications trigger
+//    time-sensitive fetches of friends' posts (Findings 3/4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "apps/app_base.h"
+#include "net/tcp.h"
+
+namespace qoed::apps {
+
+enum class FeedDesign { kListView, kWebView };
+enum class PostKind { kStatus, kCheckin, kPhotos };
+
+const char* to_string(PostKind k);
+
+struct SocialAppConfig {
+  FeedDesign design = FeedDesign::kListView;
+  std::string server_hostname = "api.facebook.sim";
+  net::Port api_port = 443;
+  net::Port push_port = 8883;
+
+  // Background refresh ("refresh interval" in Facebook settings, §7.3). Zero
+  // disables it.
+  sim::Duration refresh_interval = sim::hours(1);
+
+  // Foreground self-update: app v5.0 refreshes the news feed by itself while
+  // on screen (§7.4's "passively waiting" replay). Zero disables it.
+  sim::Duration foreground_update_interval = sim::Duration::zero();
+
+  // --- device-latency model (UI-thread CPU costs) ---
+  sim::Duration status_compose_cost = sim::msec(420);
+  sim::Duration checkin_compose_cost = sim::msec(620);
+  sim::Duration photos_compose_cost = sim::msec(1900);  // 2-photo processing
+  sim::Duration listview_update_base = sim::msec(45);
+  sim::Duration listview_update_per_item = sim::msec(15);
+  sim::Duration webview_update_base = sim::msec(330);
+  sim::Duration webview_update_per_item = sim::msec(70);
+  sim::Duration post_render_cost = sim::msec(60);
+
+  // --- upload sizes (bytes on the wire, excl. TCP/IP overhead) ---
+  std::uint64_t status_upload_bytes = 2'200;
+  std::uint64_t checkin_upload_bytes = 3'600;
+  std::uint64_t photos_upload_bytes = 850'000;  // two full-size photos
+  std::uint64_t feed_request_bytes = 650;
+
+  // Pull gesture threshold (scroll dy at feed top triggers refresh).
+  int pull_gesture_dy = -300;
+};
+
+class SocialApp final : public AndroidApp {
+ public:
+  SocialApp(device::Device& dev, SocialAppConfig cfg = {});
+
+  const SocialAppConfig& config() const { return cfg_; }
+
+  // Connects to the backend as `account_id`: opens the API connection and
+  // registers on the push channel, then performs the initial feed fetch.
+  void login(std::string account_id);
+  bool logged_in() const { return api_socket_ && api_socket_->established(); }
+  const std::string& account() const { return account_; }
+
+  // Selects what the composer posts when the post button is clicked (the
+  // paper replays status / check-in / 2-photo uploads as separate actions).
+  void set_compose_kind(PostKind kind) { compose_kind_ = kind; }
+
+  // Number of items currently rendered on the feed.
+  std::size_t feed_item_count() const;
+
+  std::uint64_t posts_uploaded() const { return posts_uploaded_; }
+  std::uint64_t feed_refreshes() const { return feed_refreshes_; }
+  std::uint64_t push_notifications() const { return pushes_received_; }
+
+ protected:
+  void build_ui(ui::View& root) override;
+
+ private:
+  void connect_api();
+  void connect_push();
+  void on_post_clicked();
+  void upload_post(PostKind kind, const std::string& text);
+  void show_post_on_feed(const std::string& kind, const std::string& text);
+  void on_feed_scroll(int dy);
+  void start_foreground_update();
+  void request_feed(bool foreground, bool recommendations);
+  void on_feed_response(const net::AppMessage& m);
+  void schedule_background_refresh();
+  void schedule_foreground_update();
+  sim::Duration feed_update_cost(std::size_t items) const;
+
+  SocialAppConfig cfg_;
+  std::string account_;
+  std::shared_ptr<net::TcpSocket> api_socket_;
+  std::shared_ptr<net::TcpSocket> push_socket_;
+  std::shared_ptr<net::TcpSocket> web_fetch_socket_;  // WebView design only
+  PostKind compose_kind_ = PostKind::kStatus;
+  std::string pending_photo_text_;  // shown on the feed once the ACK lands
+  std::uint64_t latest_feed_index_ = 0;
+  bool feed_request_in_flight_ = false;
+  sim::TimerHandle refresh_timer_;
+  sim::TimerHandle foreground_timer_;
+
+  std::shared_ptr<ui::EditText> composer_;
+  std::shared_ptr<ui::Button> post_button_;
+  std::shared_ptr<ui::ProgressBar> progress_;
+  std::shared_ptr<ui::ListView> feed_list_;   // ListView design
+  std::shared_ptr<ui::WebView> feed_web_;     // WebView design
+  std::string web_feed_text_;
+
+  std::uint64_t posts_uploaded_ = 0;
+  std::uint64_t feed_refreshes_ = 0;
+  std::uint64_t pushes_received_ = 0;
+};
+
+}  // namespace qoed::apps

@@ -1,0 +1,108 @@
+// Facebook-like backend.
+//
+// Serves the simulated social app: post uploads, feed fetches (whose payload
+// size depends on the client's feed design — the WebView design ships HTML,
+// layout and CSS, the ListView design ships structured items, §7.4), and a
+// persistent push channel that notifies friends of new posts (§7.3's
+// time-sensitive traffic). Periodic background refreshes additionally carry
+// a friend/page "recommendations" blob — the paper's non-time-sensitive
+// traffic that exists even when no friend posts anything.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/dns.h"
+#include "net/network.h"
+#include "net/tcp.h"
+
+namespace qoed::apps {
+
+struct SocialPost {
+  std::uint64_t index = 0;  // global feed index
+  std::string author;
+  std::string kind;  // "status" | "checkin" | "photos"
+  std::string text;
+};
+
+struct SocialServerConfig {
+  std::string hostname = "api.facebook.sim";
+  net::Port api_port = 443;
+  net::Port push_port = 8883;
+  sim::Duration post_processing = sim::msec(140);
+  // Photo posts pay server-side resize/store work before the ACK.
+  sim::Duration photo_post_processing = sim::msec(2600);
+  // Assembling a personalized feed takes real server work even on the
+  // structured API path...
+  sim::Duration feed_processing = sim::msec(900);
+  // ...and the WebView feed is additionally rendered to HTML server-side.
+  sim::Duration webview_feed_processing = sim::msec(1250);
+  // Natural run-to-run variation of server-side work (fraction of the
+  // nominal time, uniform +-). Real backends are never metronomes; this is
+  // what spreads the latency CDFs (Fig. 14) instead of stacking them.
+  double processing_jitter = 0.20;
+
+  // Response sizing (bytes). The WebView design downloads HTML + layout +
+  // CSS; the paper measures >77% more downlink data than ListView.
+  std::uint64_t post_ack_bytes = 600;
+  std::uint64_t push_notify_bytes = 800;
+  std::uint64_t feed_base_listview = 1500;
+  std::uint64_t feed_base_webview = 7200;
+  std::uint64_t feed_item_listview = 2200;
+  std::uint64_t feed_item_webview = 9800;
+  // Non-time-sensitive recommendations attached to periodic background
+  // refreshes only.
+  std::uint64_t recommendations_bytes = 7000;
+};
+
+class SocialServer {
+ public:
+  SocialServer(net::Network& network, net::IpAddr ip,
+               SocialServerConfig cfg = {});
+
+  const SocialServerConfig& config() const { return cfg_; }
+  net::Host& host() { return *host_; }
+
+  // Social graph management (test/experiment setup).
+  void make_friends(const std::string& a, const std::string& b);
+  const std::vector<SocialPost>& feed_of(const std::string& account) const;
+
+  std::uint64_t posts_received() const { return posts_; }
+  std::uint64_t feed_requests() const { return feed_requests_; }
+  std::uint64_t pushes_sent() const { return pushes_; }
+
+ private:
+  struct Account {
+    std::set<std::string> friends;
+    std::vector<SocialPost> feed;
+    std::shared_ptr<net::TcpSocket> push_socket;
+  };
+
+  void on_api_accept(std::shared_ptr<net::TcpSocket> sock);
+  void on_push_accept(std::shared_ptr<net::TcpSocket> sock);
+  void handle_api_message(const std::shared_ptr<net::TcpSocket>& sock,
+                          const net::AppMessage& m);
+  void handle_post(const std::shared_ptr<net::TcpSocket>& sock,
+                   const net::AppMessage& m);
+  void handle_feed_request(const std::shared_ptr<net::TcpSocket>& sock,
+                           const net::AppMessage& m);
+  Account& account(const std::string& id) { return accounts_[id]; }
+  sim::Duration jittered(sim::Duration nominal);
+
+  net::Network& network_;
+  sim::Rng jitter_rng_{20140707};
+  SocialServerConfig cfg_;
+  std::unique_ptr<net::Host> host_;
+  std::map<std::string, Account> accounts_;
+  std::vector<std::shared_ptr<net::TcpSocket>> api_sockets_;
+  std::uint64_t next_post_index_ = 1;
+  std::uint64_t posts_ = 0;
+  std::uint64_t feed_requests_ = 0;
+  std::uint64_t pushes_ = 0;
+};
+
+}  // namespace qoed::apps

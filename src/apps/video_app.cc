@@ -1,0 +1,312 @@
+#include "apps/video_app.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/log.h"
+
+namespace qoed::apps {
+
+const char* to_string(VideoApp::PlayerState s) {
+  switch (s) {
+    case VideoApp::PlayerState::kIdle:
+      return "idle";
+    case VideoApp::PlayerState::kAdLoading:
+      return "ad-loading";
+    case VideoApp::PlayerState::kAdPlaying:
+      return "ad-playing";
+    case VideoApp::PlayerState::kLoading:
+      return "loading";
+    case VideoApp::PlayerState::kPlaying:
+      return "playing";
+    case VideoApp::PlayerState::kRebuffering:
+      return "rebuffering";
+    case VideoApp::PlayerState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+VideoApp::VideoApp(device::Device& dev, VideoAppConfig cfg)
+    : AndroidApp(dev, "com.google.android.youtube"), cfg_(std::move(cfg)) {}
+
+void VideoApp::build_ui(ui::View& root) {
+  search_box_ = std::make_shared<ui::EditText>("search_box");
+  search_box_->set_description("search YouTube");
+  search_button_ = std::make_shared<ui::Button>("search_button");
+  search_button_->set_text("Search");
+  search_button_->set_on_click([this] { on_search_clicked(); });
+  results_ = std::make_shared<ui::ListView>("search_results");
+  spinner_ = std::make_shared<ui::ProgressBar>("player_progress");
+  player_ = std::make_shared<ui::VideoView>("player");
+  skip_button_ = std::make_shared<ui::Button>("skip_ad");
+  skip_button_->set_text("Skip ad");
+  skip_button_->set_visible(false);
+  skip_button_->set_on_click([this] { on_skip_clicked(); });
+
+  root.add_child(search_box_);
+  root.add_child(search_button_);
+  root.add_child(results_);
+  root.add_child(spinner_);
+  root.add_child(player_);
+  root.add_child(skip_button_);
+}
+
+void VideoApp::connect() {
+  device().resolver().resolve(cfg_.server_hostname, [this](net::IpAddr addr) {
+    if (addr.is_unspecified()) return;
+    socket_ = device().host().tcp().connect(addr, cfg_.port);
+    socket_->set_on_message([this](const net::AppMessage& m) {
+      if (m.type == "SEARCH_RESULTS") {
+        on_results(m);
+      } else if (m.type == "VIDEO_META") {
+        on_video_meta(m);
+      } else if (m.type == "VIDEO_DATA") {
+        on_video_data(m);
+      }
+    });
+  });
+}
+
+void VideoApp::on_search_clicked() {
+  if (!socket_) return;
+  net::AppMessage m{.type = "SEARCH", .size = cfg_.search_request_bytes};
+  m.headers["query"] = search_box_->text();
+  socket_->send(std::move(m));
+}
+
+void VideoApp::on_results(const net::AppMessage& m) {
+  std::vector<std::string> ids;
+  const std::string& blob = m.header("ids");
+  std::size_t pos = 0;
+  while (pos < blob.size()) {
+    std::size_t end = blob.find(',', pos);
+    if (end == std::string::npos) end = blob.size();
+    ids.push_back(blob.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  post_ui(cfg_.search_render_cost, [this, ids = std::move(ids)] {
+    results_->clear_children();
+    for (const std::string& id : ids) {
+      auto entry = std::make_shared<ui::TextView>("video_entry");
+      entry->set_text(id);
+      entry->set_on_click([this, id] { on_entry_clicked(id); });
+      results_->append_item(std::move(entry));
+    }
+  });
+}
+
+void VideoApp::on_entry_clicked(const std::string& id) {
+  // Reset any previous playback session.
+  tick_timer_.cancel();
+  skip_reveal_timer_.cancel();
+  video_id_ = id;
+  media_bitrate_bps_ = 0;
+  media_total_bytes_ = 0;
+  buffered_bytes_ = 0;
+  played_bytes_ = 0;
+  final_chunk_seen_ = false;
+  ad_active_ = false;
+  ad_buffered_bytes_ = ad_played_bytes_ = ad_total_bytes_ = 0;
+  ad_final_seen_ = false;
+  player_->set_playing(false);
+
+  if (cfg_.ads_enabled) {
+    start_ad(id);
+  } else {
+    begin_main_video(id);
+  }
+}
+
+void VideoApp::start_ad(const std::string& main_id) {
+  (void)main_id;
+  state_ = PlayerState::kAdLoading;
+  ad_active_ = true;
+  show_spinner(true);
+  request_stream(kAdVideoId);
+}
+
+void VideoApp::begin_main_video(const std::string& id) {
+  state_ = PlayerState::kLoading;
+  show_spinner(true);
+  if (media_total_bytes_ == 0 && buffered_bytes_ == 0) {
+    request_stream(id);
+  }
+  maybe_start_playback();
+}
+
+void VideoApp::request_stream(const std::string& id) {
+  if (!socket_) return;
+  net::AppMessage m{.type = "VIDEO_REQUEST", .size = cfg_.video_request_bytes};
+  m.headers["id"] = id;
+  socket_->send(std::move(m));
+}
+
+void VideoApp::on_video_meta(const net::AppMessage& m) {
+  const bool is_ad = m.header("id") == kAdVideoId;
+  if (is_ad) {
+    ad_total_bytes_ = std::stoull(m.header("total_bytes"));
+  } else {
+    media_bitrate_bps_ = std::stod(m.header("bitrate"));
+    media_total_bytes_ = std::stoull(m.header("total_bytes"));
+  }
+}
+
+void VideoApp::on_video_data(const net::AppMessage& m) {
+  const bool is_ad = m.header("id") == kAdVideoId;
+  if (is_ad) {
+    ad_buffered_bytes_ += m.size;
+    if (m.header("final") == "1") ad_final_seen_ = true;
+  } else {
+    buffered_bytes_ += m.size;
+    if (m.header("final") == "1") final_chunk_seen_ = true;
+  }
+  maybe_start_playback();
+}
+
+void VideoApp::maybe_start_playback() {
+  if (state_ == PlayerState::kAdLoading) {
+    const std::uint64_t startup = static_cast<std::uint64_t>(
+        cfg_.startup_buffer_seconds * cfg_.ad_bitrate_bps / 8.0);
+    if (ad_buffered_bytes_ >= std::min(startup, std::max<std::uint64_t>(
+                                                    ad_total_bytes_, 1)) ||
+        (ad_final_seen_ && ad_buffered_bytes_ > 0)) {
+      state_ = PlayerState::kAdPlaying;
+      ad_started_ = loop().now();
+      post_ui(cfg_.player_setup_cost, [this] {
+        // One UI task: no transient playing-with-spinner frame.
+        player_->set_playing(true);
+        spinner_->set_visible(false);
+      });
+      skip_reveal_timer_ = loop().schedule_after(
+          cfg_.ad_skippable_after, [this] { skip_button_->set_visible(true); });
+      // Prefetch the main video while the ad runs — the mechanism behind
+      // §7.6's "ads reduce the main video's initial loading time".
+      if (cfg_.prefetch_main_during_ad) request_stream(video_id_);
+      tick_timer_ = loop().schedule_after(cfg_.playback_tick,
+                                          [this] { playback_tick(); });
+    }
+    return;
+  }
+
+  if (state_ == PlayerState::kLoading) {
+    const std::uint64_t startup = static_cast<std::uint64_t>(
+        cfg_.startup_buffer_seconds *
+        std::max(media_bitrate_bps_, 64e3) / 8.0);
+    const bool enough =
+        media_total_bytes_ > 0 &&
+        (buffered_bytes_ >= std::min<std::uint64_t>(startup,
+                                                    media_total_bytes_) ||
+         final_chunk_seen_);
+    if (enough) {
+      state_ = PlayerState::kPlaying;
+      post_ui(cfg_.player_setup_cost, [this] {
+        player_->set_playing(true);
+        spinner_->set_visible(false);
+      });
+      tick_timer_ = loop().schedule_after(cfg_.playback_tick,
+                                          [this] { playback_tick(); });
+    }
+    return;
+  }
+
+  if (state_ == PlayerState::kRebuffering) {
+    const std::uint64_t resume = static_cast<std::uint64_t>(
+        cfg_.resume_buffer_seconds * media_bitrate_bps_ / 8.0);
+    const std::uint64_t remaining = media_total_bytes_ - played_bytes_;
+    if (buffered_bytes_ >= std::min<std::uint64_t>(resume, remaining)) {
+      state_ = PlayerState::kPlaying;
+      post_ui(sim::msec(20), [this] {
+        player_->set_playing(true);
+        spinner_->set_visible(false);
+      });
+    }
+  }
+}
+
+void VideoApp::playback_tick() {
+  const double dt = sim::to_seconds(cfg_.playback_tick);
+
+  if (state_ == PlayerState::kAdPlaying) {
+    const std::uint64_t need =
+        static_cast<std::uint64_t>(cfg_.ad_bitrate_bps / 8.0 * dt);
+    if (ad_buffered_bytes_ >= need) {
+      ad_buffered_bytes_ -= need;
+      ad_played_bytes_ += need;
+    }
+    // Ad finished (fully played or its clock ran out)?
+    const bool done =
+        (ad_final_seen_ && ad_played_bytes_ + need > ad_total_bytes_) ||
+        loop().now() - ad_started_ >= cfg_.ad_duration;
+    if (done) {
+      skip_reveal_timer_.cancel();
+      skip_button_->set_visible(false);
+      ad_active_ = false;
+      begin_main_video(video_id_);
+    }
+  } else if (state_ == PlayerState::kPlaying) {
+    const std::uint64_t need =
+        static_cast<std::uint64_t>(media_bitrate_bps_ / 8.0 * dt);
+    if (played_bytes_ >= media_total_bytes_ ||
+        (final_chunk_seen_ && buffered_bytes_ == 0)) {
+      finish_playback();
+      return;
+    }
+    if (buffered_bytes_ >= need) {
+      const std::uint64_t take = std::min<std::uint64_t>(
+          need, media_total_bytes_ - played_bytes_);
+      buffered_bytes_ -= take;
+      played_bytes_ += take;
+    } else if (!final_chunk_seen_) {
+      enter_rebuffering();
+    } else {
+      // Tail of the stream: drain whatever is left.
+      played_bytes_ += buffered_bytes_;
+      buffered_bytes_ = 0;
+    }
+  }
+
+  if (state_ != PlayerState::kFinished && state_ != PlayerState::kIdle) {
+    tick_timer_ =
+        loop().schedule_after(cfg_.playback_tick, [this] { playback_tick(); });
+  }
+}
+
+void VideoApp::enter_rebuffering() {
+  state_ = PlayerState::kRebuffering;
+  ++rebuffer_events_;
+  post_ui(sim::msec(15), [this] {
+    // Atomic with the pause: a "stopped but no spinner" frame would read as
+    // playback completion to an observer of the layout tree.
+    player_->set_playing(false);
+    spinner_->set_visible(true);
+  });
+}
+
+void VideoApp::finish_playback() {
+  state_ = PlayerState::kFinished;
+  tick_timer_.cancel();
+  post_ui(sim::msec(20), [this] {
+    player_->set_playing(false);
+    spinner_->set_visible(false);
+  });
+}
+
+void VideoApp::on_skip_clicked() {
+  if (state_ != PlayerState::kAdPlaying) return;
+  skip_reveal_timer_.cancel();
+  skip_button_->set_visible(false);
+  ad_active_ = false;
+  begin_main_video(video_id_);
+}
+
+void VideoApp::show_spinner(bool on) {
+  post_ui(sim::msec(5), [this, on] { spinner_->set_visible(on); });
+}
+
+double VideoApp::buffered_seconds() const {
+  if (media_bitrate_bps_ <= 0) return 0;
+  return static_cast<double>(buffered_bytes_) * 8.0 / media_bitrate_bps_;
+}
+
+}  // namespace qoed::apps

@@ -1,0 +1,130 @@
+// YouTube-like video app (§4.2.2, §7.5–§7.6).
+//
+// Buffer-driven player: the initial-loading spinner shows until the startup
+// buffer fills; playback drains the buffer at the media bitrate; an empty
+// buffer stalls playback and re-shows the spinner (a rebuffering event). The
+// QoE controller measures initial loading time and rebuffering ratio purely
+// from the progress bar in the layout tree, as the paper does (Table 1).
+//
+// Optional pre-roll ads: the ad streams and plays first (skippable after a
+// few seconds); the main video prefetches during ad playback, which is why
+// ads *shorten* the main video's own initial loading while roughly doubling
+// the total time to content on cellular (§7.6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_base.h"
+#include "apps/video_server.h"
+#include "net/tcp.h"
+
+namespace qoed::apps {
+
+struct VideoAppConfig {
+  std::string server_hostname = "video.youtube.sim";
+  net::Port port = 443;
+
+  double startup_buffer_seconds = 5.0;  // spinner until this much is buffered
+  double resume_buffer_seconds = 2.0;   // refill target after a stall
+  sim::Duration playback_tick = sim::msec(100);
+
+  bool ads_enabled = false;
+  sim::Duration ad_duration = sim::sec(15);
+  double ad_bitrate_bps = 400e3;
+  sim::Duration ad_skippable_after = sim::sec(5);
+  bool prefetch_main_during_ad = true;
+
+  // UI-thread CPU costs.
+  sim::Duration search_render_cost = sim::msec(140);
+  sim::Duration player_setup_cost = sim::msec(220);
+  std::uint64_t search_request_bytes = 900;
+  std::uint64_t video_request_bytes = 1'100;
+};
+
+// Catalog id used for the pre-roll ad stream; benches that enable ads must
+// register a video under this id (see VideoServer::add_video).
+inline constexpr const char* kAdVideoId = "__ad__";
+
+class VideoApp final : public AndroidApp {
+ public:
+  enum class PlayerState {
+    kIdle,
+    kAdLoading,
+    kAdPlaying,
+    kLoading,      // main video initial loading
+    kPlaying,
+    kRebuffering,
+    kFinished,
+  };
+
+  VideoApp(device::Device& dev, VideoAppConfig cfg = {});
+
+  const VideoAppConfig& config() const { return cfg_; }
+
+  // Opens the app's connection to the backend.
+  void connect();
+  bool connected() const { return socket_ && socket_->established(); }
+
+  PlayerState player_state() const { return state_; }
+  double buffered_seconds() const;
+  const std::string& current_video() const { return video_id_; }
+
+  std::uint64_t rebuffer_events() const { return rebuffer_events_; }
+
+ protected:
+  void build_ui(ui::View& root) override;
+
+ private:
+  void on_search_clicked();
+  void on_results(const net::AppMessage& m);
+  void on_entry_clicked(const std::string& id);
+  void start_ad(const std::string& main_id);
+  void on_skip_clicked();
+  void begin_main_video(const std::string& id);
+  void request_stream(const std::string& id);
+  void on_video_meta(const net::AppMessage& m);
+  void on_video_data(const net::AppMessage& m);
+  void maybe_start_playback();
+  void playback_tick();
+  void enter_rebuffering();
+  void finish_playback();
+  void show_spinner(bool on);
+
+  VideoAppConfig cfg_;
+  std::shared_ptr<net::TcpSocket> socket_;
+  PlayerState state_ = PlayerState::kIdle;
+
+  std::string video_id_;  // main video currently selected
+  double media_bitrate_bps_ = 0;
+  std::uint64_t media_total_bytes_ = 0;
+  std::uint64_t buffered_bytes_ = 0;
+  std::uint64_t played_bytes_ = 0;
+  bool final_chunk_seen_ = false;
+
+  // Ad playback bookkeeping.
+  bool ad_active_ = false;
+  std::uint64_t ad_buffered_bytes_ = 0;
+  std::uint64_t ad_played_bytes_ = 0;
+  std::uint64_t ad_total_bytes_ = 0;
+  bool ad_final_seen_ = false;
+  sim::TimePoint ad_started_;
+  sim::TimerHandle skip_reveal_timer_;
+
+  sim::TimerHandle tick_timer_;
+
+  std::shared_ptr<ui::EditText> search_box_;
+  std::shared_ptr<ui::Button> search_button_;
+  std::shared_ptr<ui::ListView> results_;
+  std::shared_ptr<ui::ProgressBar> spinner_;
+  std::shared_ptr<ui::VideoView> player_;
+  std::shared_ptr<ui::Button> skip_button_;
+
+  std::uint64_t rebuffer_events_ = 0;
+};
+
+const char* to_string(VideoApp::PlayerState s);
+
+}  // namespace qoed::apps

@@ -1,0 +1,100 @@
+// YouTube-like streaming backend (§4.2.2, §7.5–§7.6).
+//
+// Serves search queries and progressive-download video streams with the
+// classic ON-OFF pacing of 2014-era YouTube: an initial burst of content,
+// then chunks paced slightly above the media bitrate. The bursts are what
+// interact so differently with the two carrier throttling mechanisms —
+// policing drops the burst's tail (TCP loss, retransmissions, collapse),
+// shaping absorbs it in a queue (Fig. 18).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/tcp.h"
+#include "sim/event_loop.h"
+
+namespace qoed::apps {
+
+struct VideoMeta {
+  std::string id;
+  std::string title;
+  sim::Duration duration = sim::sec(60);
+  double bitrate_bps = 500e3;
+
+  std::uint64_t size_bytes() const {
+    return static_cast<std::uint64_t>(sim::to_seconds(duration) *
+                                      bitrate_bps / 8.0);
+  }
+};
+
+struct VideoServerConfig {
+  std::string hostname = "video.youtube.sim";
+  net::Port port = 443;
+  sim::Duration request_processing = sim::msec(60);
+  double processing_jitter = 0.20;  // uniform +- fraction
+  std::uint64_t search_response_bytes = 26'000;  // result list + thumbnails
+  std::uint64_t chunk_bytes = 48'000;
+  double initial_burst_seconds = 10.0;  // content shipped unpaced up front
+  double pacing_factor = 1.25;          // steady-state rate vs media bitrate
+};
+
+class VideoServer {
+ public:
+  VideoServer(net::Network& network, net::IpAddr ip,
+              VideoServerConfig cfg = {});
+
+  const VideoServerConfig& config() const { return cfg_; }
+  net::Host& host() { return *host_; }
+
+  void add_video(VideoMeta meta);
+  const VideoMeta* find_video(const std::string& id) const;
+
+  // Search returns up to `limit` catalog entries whose title contains the
+  // query (case-sensitive; the catalog is synthetic anyway).
+  std::vector<const VideoMeta*> search(const std::string& query,
+                                       std::size_t limit = 10) const;
+
+  std::uint64_t streams_started() const { return streams_started_; }
+
+ private:
+  struct Stream {
+    std::shared_ptr<net::TcpSocket> sock;
+    VideoMeta meta;
+    std::uint64_t sent_bytes = 0;
+    sim::TimerHandle pacer;
+    bool cancelled = false;
+  };
+
+  void on_accept(std::shared_ptr<net::TcpSocket> sock);
+  void handle_message(const std::shared_ptr<net::TcpSocket>& sock,
+                      const net::AppMessage& m);
+  void start_stream(const std::shared_ptr<net::TcpSocket>& sock,
+                    const VideoMeta& meta);
+  void pace_stream(const std::shared_ptr<Stream>& stream);
+  void send_chunk(const std::shared_ptr<Stream>& stream);
+  void cancel_streams_on(const net::TcpSocket* sock);
+  sim::Duration jittered(sim::Duration nominal);
+
+  net::Network& network_;
+  sim::Rng jitter_rng_{20140705};
+  VideoServerConfig cfg_;
+  std::unique_ptr<net::Host> host_;
+  std::map<std::string, VideoMeta> catalog_;
+  std::vector<std::shared_ptr<Stream>> streams_;
+  std::vector<std::shared_ptr<net::TcpSocket>> sockets_;
+  std::uint64_t streams_started_ = 0;
+};
+
+// Builds the paper's 260-video dataset: keywords "a".."z", top 10 videos
+// each, diverse durations. `scale` shrinks durations so multi-condition
+// benches stay tractable; shapes are preserved.
+std::vector<VideoMeta> make_video_dataset(sim::Rng& rng, double bitrate_bps,
+                                          sim::Duration min_duration,
+                                          sim::Duration max_duration);
+
+}  // namespace qoed::apps

@@ -1,0 +1,62 @@
+// Simple HTTP-like origin server for the web-browsing experiments (§4.2.3,
+// §7.7). A page is one HTML document plus N subresource objects; the
+// browser fetches the document, parses it, then fans out object requests
+// over parallel connections.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/tcp.h"
+
+namespace qoed::apps {
+
+struct PageSpec {
+  std::string path = "/";
+  std::uint64_t html_bytes = 55'000;
+  std::uint32_t object_count = 12;
+  std::uint64_t object_bytes = 24'000;
+};
+
+struct WebServerConfig {
+  std::string hostname = "www.page.sim";
+  net::Port port = 80;
+  sim::Duration request_processing = sim::msec(35);
+};
+
+class WebServer {
+ public:
+  WebServer(net::Network& network, net::IpAddr ip, WebServerConfig cfg = {});
+
+  const WebServerConfig& config() const { return cfg_; }
+  net::Host& host() { return *host_; }
+
+  void add_page(PageSpec page);
+  const PageSpec* find_page(const std::string& path) const;
+  std::size_t page_count() const { return pages_.size(); }
+
+  std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  void on_accept(std::shared_ptr<net::TcpSocket> sock);
+  void handle(const std::shared_ptr<net::TcpSocket>& sock,
+              const net::AppMessage& m);
+
+  net::Network& network_;
+  WebServerConfig cfg_;
+  std::unique_ptr<net::Host> host_;
+  std::map<std::string, PageSpec> pages_;
+  std::vector<std::shared_ptr<net::TcpSocket>> sockets_;
+  std::uint64_t requests_ = 0;
+};
+
+// Builds a dataset of page specs spanning the size range of 2014-era popular
+// sites: light mobile pages (~30 KB, few objects) up to heavy desktop-class
+// pages (~90 KB HTML, dozens of objects). Paths are "/page0" .. "/pageN-1".
+std::vector<PageSpec> make_page_dataset(sim::Rng& rng, std::size_t count);
+
+}  // namespace qoed::apps

@@ -1,0 +1,29 @@
+#include "core/app_analyzer.h"
+
+#include <algorithm>
+
+namespace qoed::core {
+
+sim::Duration AppLayerAnalyzer::calibrate(const BehaviorRecord& record) {
+  const sim::Duration tp = record.parsing_interval;
+  const sim::Duration correction = record.start_from_parse ? tp : tp + tp / 2;
+  return std::max(record.raw_latency() - correction, sim::Duration::zero());
+}
+
+std::vector<double> AppLayerAnalyzer::latencies_seconds(
+    const AppBehaviorLog& log, const std::string& action) {
+  std::vector<double> out;
+  for (const auto& r : log.records()) {
+    if (r.timed_out) continue;
+    if (!action.empty() && r.action != action) continue;
+    out.push_back(sim::to_seconds(calibrate(r)));
+  }
+  return out;
+}
+
+Summary AppLayerAnalyzer::summarize(const AppBehaviorLog& log,
+                                    const std::string& action) {
+  return core::summarize(latencies_seconds(log, action));
+}
+
+}  // namespace qoed::core

@@ -1,0 +1,33 @@
+// Application-layer QoE analyzer (§5.1).
+//
+// Calibrates raw controller measurements into user-perceived latency:
+//   t_m = t_ui + t_offset + t_parsing
+// For action-started measurements E[t_offset] = t_parsing/2, so 3/2·t_parsing
+// is subtracted; for measurements whose start was itself parse-detected the
+// offsets cancel and a single t_parsing remains (see the paper's Fig. 4
+// discussion). Timed-out records are excluded from aggregation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/behavior_log.h"
+#include "core/stats.h"
+
+namespace qoed::core {
+
+class AppLayerAnalyzer {
+ public:
+  // Calibrated user-perceived latency for one record (clamped at zero).
+  static sim::Duration calibrate(const BehaviorRecord& record);
+
+  // Calibrated latencies (seconds) for every completed record of `action`;
+  // empty action selects all records.
+  static std::vector<double> latencies_seconds(const AppBehaviorLog& log,
+                                               const std::string& action = "");
+
+  static Summary summarize(const AppBehaviorLog& log,
+                           const std::string& action = "");
+};
+
+}  // namespace qoed::core

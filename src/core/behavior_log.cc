@@ -1,0 +1,14 @@
+#include "core/behavior_log.h"
+
+namespace qoed::core {
+
+std::vector<BehaviorRecord> AppBehaviorLog::for_action(
+    const std::string& action) const {
+  std::vector<BehaviorRecord> out;
+  for (const auto& r : records_) {
+    if (r.action == action) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace qoed::core

@@ -1,0 +1,60 @@
+// AppBehaviorLog (§4.3.1).
+//
+// Every replayed interaction produces one record with the raw measurement
+// timestamps; the application-layer analyzer applies the t_parsing/t_offset
+// calibration of §5.1 to recover the true UI latency.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace qoed::core {
+
+struct BehaviorRecord {
+  std::string action;  // e.g. "upload_post:photos", "pull_to_update"
+
+  // Raw measurement: `start` is either the controller's action-injection
+  // time (start_from_parse=false) or the parse timestamp that detected the
+  // start indicator (start_from_parse=true); `end` is the parse-end
+  // timestamp that detected the wait-ending UI change.
+  sim::TimePoint start;
+  sim::TimePoint end;
+  // When the wait was registered — i.e. right after the controller injected
+  // the triggering interaction. For parse-detected starts this precedes
+  // `start` by up to one parse pass; traffic attribution uses it so request
+  // packets sent at the trigger are not clipped out of the QoE window.
+  sim::TimePoint trigger;
+  bool start_from_parse = false;
+  bool timed_out = false;
+  sim::Duration parsing_interval{};  // t_parsing in effect for this record
+
+  // Layout-tree revisions bracketing each detection: the satisfying UI
+  // mutation has a revision in (prev_*, *]. The accuracy benchmark uses
+  // these to look up the ground-truth screen draw time (t_screen).
+  std::uint64_t start_revision = 0;
+  std::uint64_t prev_start_revision = 0;
+  std::uint64_t end_revision = 0;
+  std::uint64_t prev_end_revision = 0;
+
+  std::map<std::string, std::string> metadata;
+
+  sim::Duration raw_latency() const { return end - start; }
+};
+
+class AppBehaviorLog {
+ public:
+  void add(BehaviorRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<BehaviorRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  // All records for a given action name.
+  std::vector<BehaviorRecord> for_action(const std::string& action) const;
+
+ private:
+  std::vector<BehaviorRecord> records_;
+};
+
+}  // namespace qoed::core

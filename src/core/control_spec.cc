@@ -1,0 +1,142 @@
+#include "core/control_spec.h"
+
+#include <memory>
+#include <utility>
+
+namespace qoed::core {
+
+ControlSpec& ControlSpec::click(ViewSignature target) {
+  steps_.push_back(ClickStep{std::move(target)});
+  return *this;
+}
+
+ControlSpec& ControlSpec::type_text(ViewSignature target, std::string text) {
+  steps_.push_back(TypeTextStep{std::move(target), std::move(text)});
+  return *this;
+}
+
+ControlSpec& ControlSpec::scroll(ViewSignature target, int dy) {
+  steps_.push_back(ScrollStep{std::move(target), dy});
+  return *this;
+}
+
+ControlSpec& ControlSpec::press_enter(ViewSignature target) {
+  steps_.push_back(PressEnterStep{std::move(target)});
+  return *this;
+}
+
+ControlSpec& ControlSpec::delay(sim::Duration d) {
+  steps_.push_back(DelayStep{d});
+  return *this;
+}
+
+ControlSpec& ControlSpec::wait(WaitStep wait) {
+  steps_.push_back(std::move(wait));
+  return *this;
+}
+
+ControlSpec& ControlSpec::wait_progress_cycle(std::string action,
+                                              ViewSignature progress,
+                                              sim::Duration timeout) {
+  auto seen = std::make_shared<bool>(false);
+  WaitStep step;
+  step.action = std::move(action);
+  step.timeout = timeout;
+  step.end_when = [progress = std::move(progress),
+                   seen](const ui::LayoutTree& tree) {
+    auto v = find_view(tree, progress);
+    if (!v) return false;
+    if (v->visible()) {
+      *seen = true;
+      return false;
+    }
+    return *seen;
+  };
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+namespace {
+
+// Shared executor state surviving across the asynchronous step chain.
+struct Runner : std::enable_shared_from_this<Runner> {
+  UiController& controller;
+  ControlSpec spec;  // copy: the caller's spec may go out of scope
+  std::function<void(const ControlRunResult&)> done;
+  ControlRunResult result;
+  std::size_t index = 0;
+
+  Runner(UiController& c, ControlSpec s,
+         std::function<void(const ControlRunResult&)> d)
+      : controller(c), spec(std::move(s)), done(std::move(d)) {}
+
+  void step() {
+    if (index >= spec.steps().size()) {
+      result.completed = true;
+      finish();
+      return;
+    }
+    const ControlStep& s = spec.steps()[index];
+    ++index;
+    ++result.steps_executed;
+
+    if (const auto* click = std::get_if<ClickStep>(&s)) {
+      controller.click(click->target);
+      hop();
+    } else if (const auto* type = std::get_if<TypeTextStep>(&s)) {
+      controller.type_text(type->target, type->text);
+      hop();
+    } else if (const auto* scroll = std::get_if<ScrollStep>(&s)) {
+      controller.scroll(scroll->target, scroll->dy);
+      hop();
+    } else if (const auto* enter = std::get_if<PressEnterStep>(&s)) {
+      controller.press_enter(enter->target);
+      hop();
+    } else if (const auto* delay = std::get_if<DelayStep>(&s)) {
+      auto self = shared_from_this();
+      controller.device().loop().schedule_after(delay->duration,
+                                                [self] { self->step(); });
+    } else if (const auto* wait = std::get_if<WaitStep>(&s)) {
+      UiController::WaitSpec w;
+      w.action = wait->action.empty()
+                     ? spec.name() + "#" + std::to_string(index)
+                     : wait->action;
+      w.start_when = wait->start_when;
+      w.end_when = wait->end_when;
+      w.timeout = wait->timeout;
+      auto self = shared_from_this();
+      controller.begin_wait(std::move(w), [self](const BehaviorRecord& rec) {
+        self->result.records.push_back(rec);
+        if (rec.timed_out) {
+          self->result.timed_out = true;
+          self->finish();
+          return;
+        }
+        self->step();
+      });
+    }
+  }
+
+  // Interactions land through the UI thread; give the loop one tick so a
+  // following wait observes post-interaction state.
+  void hop() {
+    auto self = shared_from_this();
+    controller.device().loop().schedule_after(sim::Duration::zero(),
+                                              [self] { self->step(); });
+  }
+
+  void finish() {
+    if (done) done(result);
+    done = nullptr;
+  }
+};
+
+}  // namespace
+
+void run_control_spec(UiController& controller, const ControlSpec& spec,
+                      std::function<void(const ControlRunResult&)> done) {
+  auto runner = std::make_shared<Runner>(controller, spec, std::move(done));
+  runner->step();
+}
+
+}  // namespace qoed::core

@@ -1,0 +1,97 @@
+// Declarative control specifications (§4.1).
+//
+// The paper's replay inputs are "control specifications": sequences of UI
+// interactions plus the QoE-related waits between them, written by someone
+// with ordinary familiarity with Android View classes. ControlSpec is that
+// artifact as data: a list of steps the controller executes in order, each
+// wait producing a BehaviorRecord in the AppBehaviorLog. The bundled app
+// drivers (drivers.h) are hand-written equivalents; ControlSpec lets users
+// script new behaviours without writing C++ driver code.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/ui_controller.h"
+
+namespace qoed::core {
+
+struct ClickStep {
+  ViewSignature target;
+};
+
+struct TypeTextStep {
+  ViewSignature target;
+  std::string text;
+};
+
+struct ScrollStep {
+  ViewSignature target;
+  int dy = -400;
+};
+
+struct PressEnterStep {
+  ViewSignature target;
+};
+
+// Idle time between actions — used to replay the original inter-action
+// timing when desired (§4.1 supports replay with and without timing).
+struct DelayStep {
+  sim::Duration duration{};
+};
+
+// A measured wait; completion gates the next step.
+struct WaitStep {
+  std::string action;
+  UiController::Predicate start_when;  // optional (null = start now)
+  UiController::Predicate end_when;
+  sim::Duration timeout{};
+};
+
+using ControlStep = std::variant<ClickStep, TypeTextStep, ScrollStep,
+                                 PressEnterStep, DelayStep, WaitStep>;
+
+class ControlSpec {
+ public:
+  explicit ControlSpec(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return steps_.size(); }
+
+  // Fluent builders.
+  ControlSpec& click(ViewSignature target);
+  ControlSpec& type_text(ViewSignature target, std::string text);
+  ControlSpec& scroll(ViewSignature target, int dy);
+  ControlSpec& press_enter(ViewSignature target);
+  ControlSpec& delay(sim::Duration d);
+  ControlSpec& wait(WaitStep wait);
+  // Common wait: a progress-bar style view completes an appear->disappear
+  // cycle.
+  ControlSpec& wait_progress_cycle(std::string action, ViewSignature progress,
+                                   sim::Duration timeout = {});
+
+  const std::vector<ControlStep>& steps() const { return steps_; }
+
+ private:
+  std::string name_;
+  std::vector<ControlStep> steps_;
+};
+
+struct ControlRunResult {
+  bool completed = false;   // every step executed
+  bool timed_out = false;   // a wait hit its deadline (run stops there)
+  std::size_t steps_executed = 0;
+  // Records produced by this run's WaitSteps, in order (also in the
+  // controller's AppBehaviorLog).
+  std::vector<BehaviorRecord> records;
+};
+
+// Executes `spec` on `controller`; invokes `done` once when the spec
+// finishes or a wait times out. Steps run strictly in order; waits block
+// the following steps until their end condition holds.
+void run_control_spec(UiController& controller, const ControlSpec& spec,
+                      std::function<void(const ControlRunResult&)> done);
+
+}  // namespace qoed::core

@@ -1,0 +1,119 @@
+// App-specific control specifications (§4.2, Table 1).
+//
+// Each driver encodes one app's replayed user behaviours and the UI events
+// that delimit its user-perceived latency metrics:
+//
+//   Facebook   upload post      press "post" -> posted item shown in feed
+//              pull-to-update   progress bar appears -> disappears
+//   YouTube    watch video      click entry -> progress bar disappears
+//                               (plus stall monitoring for rebuffering)
+//   Browser    load page        ENTER in URL bar -> progress bar disappears
+//
+// Drivers interact with apps exclusively through injected UI events and the
+// shared layout tree. (The one concession to the simulation: selecting what
+// the Facebook composer posts is a direct setter standing in for the
+// compose-screen navigation we did not model as UI.)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/browser_app.h"
+#include "apps/social_app.h"
+#include "apps/video_app.h"
+#include "core/ui_controller.h"
+
+namespace qoed::core {
+
+class FacebookDriver {
+ public:
+  using Done = std::function<void(const BehaviorRecord&)>;
+
+  FacebookDriver(UiController& controller, apps::SocialApp& app);
+
+  // Replays "upload post": composes a unique timestamp-tagged text, presses
+  // the post button, and waits for the tagged item to appear in the feed.
+  void upload_post(apps::PostKind kind, Done done);
+
+  // Replays "pull-to-update": pull gesture on the feed, measured from
+  // progress-bar appearance to disappearance.
+  void pull_to_update(Done done);
+
+  // Passive variant (§7.4, Facebook v5.0): no gesture — just waits for the
+  // app's own foreground self-update cycle (progress bar appear/disappear).
+  // The app must have a nonzero foreground_update_interval configured.
+  void wait_feed_update(Done done);
+
+ private:
+  UiController& controller_;
+  apps::SocialApp& app_;
+  std::uint64_t next_tag_ = 1;
+};
+
+struct VideoWatchResult {
+  std::string video_id;
+  bool had_ad = false;
+  BehaviorRecord ad_loading;       // valid when had_ad
+  BehaviorRecord initial_loading;  // main video
+  // Total time from clicking the entry until the main video was playing
+  // (raw, uncalibrated) — §7.6's "total loading time".
+  sim::Duration total_loading{};
+  std::vector<BehaviorRecord> stalls;
+  sim::Duration stall_time{};
+  sim::Duration play_time{};
+  bool completed = false;
+
+  // stall / (stall + play) after initial loading (§3.1).
+  double rebuffering_ratio() const;
+};
+
+class YouTubeDriver {
+ public:
+  using Done = std::function<void(const VideoWatchResult&)>;
+
+  YouTubeDriver(UiController& controller, apps::VideoApp& app);
+
+  // Replays "watch video": search for `query`, click the entry titled `id`,
+  // watch (skipping a pre-roll ad when the skip button shows) to the end.
+  void watch_video(const std::string& query, const std::string& id,
+                   Done done);
+
+ private:
+  void after_search(const std::string& id, Done done);
+  void measure_main_loading(sim::TimePoint click_time, Done done);
+  void monitor_playback(Done done);
+  void arm_stall_watch();
+
+  UiController& controller_;
+  apps::VideoApp& app_;
+  std::shared_ptr<VideoWatchResult> current_;
+  sim::TimePoint playback_started_;
+};
+
+class BrowserDriver {
+ public:
+  using Done = std::function<void(const BehaviorRecord&)>;
+  using AllDone = std::function<void(const std::vector<BehaviorRecord>&)>;
+
+  BrowserDriver(UiController& controller, apps::BrowserApp& app);
+
+  // Replays "load web page": types the URL, presses ENTER, and waits for
+  // the progress bar to complete a visible->hidden cycle.
+  void load_page(const std::string& url, Done done);
+
+  // §4.2.3's input format: a list of URL strings, entered one by one with
+  // `think_time` between pages; `done` receives one record per page.
+  void load_pages(std::vector<std::string> urls, sim::Duration think_time,
+                  AllDone done);
+
+ private:
+  UiController& controller_;
+  apps::BrowserApp& app_;
+};
+
+// Predicate factory: true once the view matching `sig` has completed an
+// appear->disappear cycle since the predicate's creation.
+UiController::Predicate progress_cycle_done(ViewSignature sig);
+
+}  // namespace qoed::core

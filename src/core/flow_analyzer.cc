@@ -1,0 +1,238 @@
+#include "core/flow_analyzer.h"
+
+#include <algorithm>
+
+#include "net/dns.h"
+
+namespace qoed::core {
+namespace {
+
+// Per-flow transient state used only while building.
+struct BuildState {
+  std::uint64_t max_seq_end_up = 0;
+  std::uint64_t max_seq_end_down = 0;
+  std::optional<sim::TimePoint> syn_at;
+  // Outstanding uplink data segments awaiting a cumulative ACK, as
+  // (seq_end -> send time); retransmitted ranges are dropped (Karn).
+  std::map<std::uint64_t, sim::TimePoint> pending_up;
+};
+
+}  // namespace
+
+double FlowStats::mean_rtt() const {
+  if (rtt_samples.empty()) return 0;
+  double sum = 0;
+  for (double v : rtt_samples) sum += v;
+  return sum / static_cast<double>(rtt_samples.size());
+}
+
+FlowAnalyzer::FlowAnalyzer(const std::vector<net::PacketRecord>& trace)
+    : trace_(trace) {
+  build_dns_table();
+  build_flows();
+}
+
+void FlowAnalyzer::build_dns_table() {
+  for (const auto& r : trace_) {
+    if (r.dns && r.dns->is_response && !r.dns->nxdomain) {
+      dns_table_[r.dns->resolved] = r.dns->hostname;
+    }
+  }
+}
+
+std::string FlowAnalyzer::hostname_of(net::IpAddr addr) const {
+  auto it = dns_table_.find(addr);
+  return it == dns_table_.end() ? std::string{} : it->second;
+}
+
+void FlowAnalyzer::build_flows() {
+  std::map<net::FlowKey, BuildState> build;
+
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    const net::PacketRecord& r = trace_[i];
+    if (r.protocol != net::Protocol::kTcp) continue;
+
+    // Orient the key from the device: uplink records already are.
+    const net::FlowKey key = r.direction == net::Direction::kUplink
+                                 ? r.flow()
+                                 : r.flow().reversed();
+    auto [it, inserted] = flow_index_.try_emplace(key, flows_.size());
+    if (inserted) {
+      FlowStats fs;
+      fs.key = key;
+      fs.hostname = hostname_of(key.dst_ip);
+      fs.first_packet = r.timestamp;
+      fs.last_packet = r.timestamp;
+      flows_.push_back(std::move(fs));
+    }
+    FlowStats& flow = flows_[it->second];
+    BuildState& st = build[key];
+
+    flow.last_packet = std::max(flow.last_packet, r.timestamp);
+    flow.first_packet = std::min(flow.first_packet, r.timestamp);
+    flow.packet_indices.push_back(i);
+
+    if (r.direction == net::Direction::kUplink) {
+      flow.uplink_packets++;
+      flow.uplink_bytes += r.total_size();
+      if (r.flags.syn && !r.flags.ack) st.syn_at = r.timestamp;
+      if (r.payload_size > 0) {
+        const std::uint64_t end = r.seq + r.payload_size;
+        if (end <= st.max_seq_end_up) {
+          ++flow.retransmissions;
+          st.pending_up.erase(end);  // Karn: never sample retransmissions
+        } else {
+          st.max_seq_end_up = end;
+          st.pending_up.emplace(end, r.timestamp);
+        }
+      }
+    } else {
+      flow.downlink_packets++;
+      flow.downlink_bytes += r.total_size();
+      if (r.flags.syn && r.flags.ack && st.syn_at) {
+        flow.handshake_rtt = sim::to_seconds(r.timestamp - *st.syn_at);
+        st.syn_at.reset();
+      }
+      if (r.payload_size > 0) {
+        const std::uint64_t end = r.seq + r.payload_size;
+        if (end <= st.max_seq_end_down) {
+          ++flow.retransmissions;
+        } else {
+          st.max_seq_end_down = end;
+        }
+      }
+      if (r.flags.ack) {
+        // Cumulative ACK: sample RTT for fully covered uplink segments.
+        auto pit = st.pending_up.begin();
+        while (pit != st.pending_up.end() && pit->first <= r.ack) {
+          flow.rtt_samples.push_back(
+              sim::to_seconds(r.timestamp - pit->second));
+          pit = st.pending_up.erase(pit);
+        }
+      }
+    }
+  }
+}
+
+std::vector<const FlowStats*> FlowAnalyzer::flows_to_host(
+    const std::string& hostname_substr) const {
+  std::vector<const FlowStats*> out;
+  for (const auto& f : flows_) {
+    if (f.hostname.find(hostname_substr) != std::string::npos) {
+      out.push_back(&f);
+    }
+  }
+  return out;
+}
+
+std::vector<const FlowStats*> FlowAnalyzer::flows_in_window(
+    sim::TimePoint start, sim::TimePoint end) const {
+  std::vector<const FlowStats*> out;
+  for (const auto& f : flows_) {
+    if (f.first_packet <= end && f.last_packet >= start) {
+      // Flow lifetime overlaps; confirm an actual packet falls inside.
+      for (std::size_t idx : f.packet_indices) {
+        const auto ts = trace_[idx].timestamp;
+        if (ts >= start && ts <= end) {
+          out.push_back(&f);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+const FlowStats* FlowAnalyzer::dominant_flow(
+    sim::TimePoint start, sim::TimePoint end,
+    const std::string& hostname_substr) const {
+  const FlowStats* best = nullptr;
+  std::uint64_t best_bytes = 0;
+  for (const auto* f : flows_in_window(start, end)) {
+    if (!hostname_substr.empty() &&
+        f->hostname.find(hostname_substr) == std::string::npos) {
+      continue;
+    }
+    std::uint64_t bytes = 0;
+    for (std::size_t idx : f->packet_indices) {
+      const auto& r = trace_[idx];
+      if (r.timestamp >= start && r.timestamp <= end) bytes += r.total_size();
+    }
+    if (bytes > best_bytes) {
+      best_bytes = bytes;
+      best = f;
+    }
+  }
+  return best;
+}
+
+FlowAnalyzer::Volume FlowAnalyzer::bytes_in_window(
+    sim::TimePoint start, sim::TimePoint end,
+    const std::string& hostname_substr) const {
+  Volume v;
+  for (const auto& r : trace_) {
+    if (r.timestamp < start || r.timestamp > end) continue;
+    if (!hostname_substr.empty()) {
+      const net::IpAddr remote = r.direction == net::Direction::kUplink
+                                     ? r.dst_ip
+                                     : r.src_ip;
+      if (hostname_of(remote).find(hostname_substr) == std::string::npos) {
+        continue;
+      }
+    }
+    if (r.direction == net::Direction::kUplink) {
+      v.uplink += r.total_size();
+    } else {
+      v.downlink += r.total_size();
+    }
+  }
+  return v;
+}
+
+std::optional<std::pair<sim::TimePoint, sim::TimePoint>>
+FlowAnalyzer::flow_span_in_window(const FlowStats& flow, sim::TimePoint start,
+                                  sim::TimePoint end) const {
+  std::optional<sim::TimePoint> first, last;
+  for (std::size_t idx : flow.packet_indices) {
+    const auto ts = trace_[idx].timestamp;
+    if (ts < start || ts > end) continue;
+    if (!first || ts < *first) first = ts;
+    if (!last || ts > *last) last = ts;
+  }
+  if (!first) return std::nullopt;
+  return std::make_pair(*first, *last);
+}
+
+std::vector<std::pair<double, double>> FlowAnalyzer::throughput_series(
+    net::Direction dir, sim::Duration bin,
+    const std::string& hostname_substr) const {
+  std::vector<std::pair<double, double>> out;
+  if (trace_.empty() || bin <= sim::Duration::zero()) return out;
+
+  const sim::TimePoint t0 = trace_.front().timestamp;
+  const sim::TimePoint t1 = trace_.back().timestamp;
+  const std::size_t bins =
+      static_cast<std::size_t>((t1 - t0) / bin) + 1;
+  std::vector<std::uint64_t> bytes(bins, 0);
+  for (const auto& r : trace_) {
+    if (r.direction != dir) continue;
+    if (!hostname_substr.empty()) {
+      const net::IpAddr remote =
+          dir == net::Direction::kUplink ? r.dst_ip : r.src_ip;
+      if (hostname_of(remote).find(hostname_substr) == std::string::npos) {
+        continue;
+      }
+    }
+    const std::size_t b = static_cast<std::size_t>((r.timestamp - t0) / bin);
+    bytes[std::min(b, bins - 1)] += r.total_size();
+  }
+  const double bin_s = sim::to_seconds(bin);
+  for (std::size_t b = 0; b < bins; ++b) {
+    out.emplace_back(sim::to_seconds(t0.since_start()) +
+                         static_cast<double>(b + 1) * bin_s,
+                     static_cast<double>(bytes[b]) * 8.0 / bin_s);
+  }
+  return out;
+}
+
+}  // namespace qoed::core

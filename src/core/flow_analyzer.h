@@ -1,0 +1,96 @@
+// Transport/network layer analyzer (§5.2).
+//
+// Parses the device's tcpdump-style trace into TCP flows, associates each
+// flow with a server hostname via the DNS lookups captured in the same trace,
+// and computes per-flow data consumption, retransmissions, RTT and
+// throughput — the raw material for mobile-data metrics and for the
+// cross-layer analyses.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "net/trace.h"
+
+namespace qoed::core {
+
+struct FlowStats {
+  // Canonical key oriented from the device (src = device side).
+  net::FlowKey key;
+  std::string hostname;  // empty when no DNS lookup preceded the flow
+
+  sim::TimePoint first_packet;
+  sim::TimePoint last_packet;
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t downlink_bytes = 0;
+  std::uint64_t uplink_packets = 0;
+  std::uint64_t downlink_packets = 0;
+  std::uint64_t retransmissions = 0;  // re-sent data ranges, both directions
+  std::optional<double> handshake_rtt;  // SYN -> SYN-ACK, seconds
+  std::vector<double> rtt_samples;      // data -> cumulative ACK, seconds
+
+  std::vector<std::size_t> packet_indices;  // into the analyzed trace
+
+  std::uint64_t total_bytes() const { return uplink_bytes + downlink_bytes; }
+  double mean_rtt() const;
+  double duration_seconds() const {
+    return sim::to_seconds(last_packet - first_packet);
+  }
+};
+
+class FlowAnalyzer {
+ public:
+  explicit FlowAnalyzer(const std::vector<net::PacketRecord>& trace);
+
+  const std::vector<FlowStats>& flows() const { return flows_; }
+  const std::vector<net::PacketRecord>& trace() const { return trace_; }
+
+  // Hostname an address resolved to in this trace (empty if none).
+  std::string hostname_of(net::IpAddr addr) const;
+
+  // Flows whose associated hostname contains `hostname_substr`.
+  std::vector<const FlowStats*> flows_to_host(
+      const std::string& hostname_substr) const;
+
+  // Flows with at least one packet inside [start, end].
+  std::vector<const FlowStats*> flows_in_window(sim::TimePoint start,
+                                                sim::TimePoint end) const;
+
+  // The flow responsible for a QoE window: most bytes transferred inside it
+  // (optionally restricted by hostname substring). Null if no traffic.
+  const FlowStats* dominant_flow(sim::TimePoint start, sim::TimePoint end,
+                                 const std::string& hostname_substr = "") const;
+
+  struct Volume {
+    std::uint64_t uplink = 0;
+    std::uint64_t downlink = 0;
+    std::uint64_t total() const { return uplink + downlink; }
+  };
+  // TCP/UDP bytes inside the window, optionally hostname-filtered.
+  Volume bytes_in_window(sim::TimePoint start, sim::TimePoint end,
+                         const std::string& hostname_substr = "") const;
+
+  // First/last packet timestamps of `flow` inside [start, end]; the gap is
+  // the paper's per-window network latency. Nullopt when no packets fall in.
+  std::optional<std::pair<sim::TimePoint, sim::TimePoint>> flow_span_in_window(
+      const FlowStats& flow, sim::TimePoint start, sim::TimePoint end) const;
+
+  // (bin_end_seconds, throughput_bps) series of `dir` traffic in fixed bins.
+  std::vector<std::pair<double, double>> throughput_series(
+      net::Direction dir, sim::Duration bin,
+      const std::string& hostname_substr = "") const;
+
+ private:
+  void build_dns_table();
+  void build_flows();
+
+  std::vector<net::PacketRecord> trace_;
+  std::map<net::IpAddr, std::string> dns_table_;
+  std::vector<FlowStats> flows_;
+  std::map<net::FlowKey, std::size_t> flow_index_;
+};
+
+}  // namespace qoed::core

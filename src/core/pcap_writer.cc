@@ -1,0 +1,133 @@
+#include "core/pcap_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qoed::core {
+namespace {
+
+void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u16le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr std::uint32_t kLinktypeRaw = 101;       // raw IPv4/IPv6
+constexpr std::uint32_t kIpHeader = 20;
+constexpr std::uint32_t kTcpHeader = 20;
+constexpr std::uint32_t kUdpHeader = 8;
+
+// Builds the synthesized on-wire bytes for one record (no checksums).
+std::vector<std::uint8_t> wire_packet(const net::PacketRecord& r) {
+  std::vector<std::uint8_t> out;
+  const bool tcp = r.protocol == net::Protocol::kTcp;
+  const std::uint32_t l4 = tcp ? kTcpHeader : kUdpHeader;
+  const std::uint32_t total = kIpHeader + l4 + r.payload_size;
+
+  // IPv4 header.
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(0);     // DSCP
+  put_u16be(out, static_cast<std::uint16_t>(std::min<std::uint32_t>(
+                     total, 0xffff)));
+  put_u16be(out, static_cast<std::uint16_t>(r.uid & 0xffff));  // identification
+  put_u16be(out, 0x4000);                                      // DF
+  out.push_back(64);                                           // TTL
+  out.push_back(tcp ? 6 : 17);                                 // protocol
+  put_u16be(out, 0);                                           // checksum
+  put_u32be(out, r.src_ip.value());
+  put_u32be(out, r.dst_ip.value());
+
+  if (tcp) {
+    put_u16be(out, r.src_port);
+    put_u16be(out, r.dst_port);
+    put_u32be(out, static_cast<std::uint32_t>(r.seq));
+    put_u32be(out, static_cast<std::uint32_t>(r.ack));
+    std::uint8_t flags = 0;
+    if (r.flags.fin) flags |= 0x01;
+    if (r.flags.syn) flags |= 0x02;
+    if (r.flags.rst) flags |= 0x04;
+    if (r.flags.psh) flags |= 0x08;
+    if (r.flags.ack) flags |= 0x10;
+    out.push_back(0x50);  // data offset 5 words
+    out.push_back(flags);
+    put_u16be(out, 0xffff);  // window (scaled out of band in the sim)
+    put_u16be(out, 0);       // checksum
+    put_u16be(out, 0);       // urgent
+  } else {
+    put_u16be(out, r.src_port);
+    put_u16be(out, r.dst_port);
+    put_u16be(out, static_cast<std::uint16_t>(
+                       std::min<std::uint32_t>(kUdpHeader + r.payload_size,
+                                               0xffff)));
+    put_u16be(out, 0);  // checksum
+  }
+
+  // Payload bytes regenerated from the deterministic content function. The
+  // simulation's wire_byte space covers header+payload; payload starts at
+  // offset kHeaderBytes there.
+  for (std::uint32_t i = 0; i < r.payload_size; ++i) {
+    out.push_back(net::wire_byte(r.uid, net::kHeaderBytes + i));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> to_pcap(const std::vector<net::PacketRecord>& trace,
+                                  PcapOptions options) {
+  std::vector<std::uint8_t> out;
+  // Global header.
+  put_u32le(out, kPcapMagic);
+  put_u16le(out, 2);  // version major
+  put_u16le(out, 4);  // version minor
+  put_u32le(out, 0);  // thiszone
+  put_u32le(out, 0);  // sigfigs
+  put_u32le(out, options.snaplen);
+  put_u32le(out, kLinktypeRaw);
+
+  for (const auto& r : trace) {
+    const auto bytes = wire_packet(r);
+    const std::uint32_t incl =
+        std::min<std::uint32_t>(options.snaplen,
+                                static_cast<std::uint32_t>(bytes.size()));
+    const std::int64_t us = r.timestamp.since_start().count();
+    put_u32le(out, static_cast<std::uint32_t>(us / 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(us % 1'000'000));
+    put_u32le(out, incl);
+    put_u32le(out, static_cast<std::uint32_t>(bytes.size()));
+    out.insert(out.end(), bytes.begin(), bytes.begin() + incl);
+  }
+  return out;
+}
+
+bool write_pcap_file(const std::string& path,
+                     const std::vector<net::PacketRecord>& trace,
+                     PcapOptions options) {
+  const auto bytes = to_pcap(trace, options);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace qoed::core

@@ -1,0 +1,33 @@
+// Binary pcap export of the device packet trace.
+//
+// Serializes PacketRecords into a classic libpcap capture (LINKTYPE_RAW,
+// IPv4) with synthesized IP/TCP/UDP headers, so a trace collected in the
+// simulator opens in Wireshark/tcpdump like one captured on a real phone.
+// Payload bytes are regenerated from the deterministic wire-byte function,
+// so the RLC-visible content round-trips too (truncated by `snaplen`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/trace.h"
+
+namespace qoed::core {
+
+struct PcapOptions {
+  // Bytes of each packet to include (headers + payload head). Keeping this
+  // small bounds file size; 96 covers all synthesized headers.
+  std::uint32_t snaplen = 96;
+};
+
+// Serializes `trace` to pcap bytes.
+std::vector<std::uint8_t> to_pcap(const std::vector<net::PacketRecord>& trace,
+                                  PcapOptions options = {});
+
+// Writes the capture to `path`; returns false on I/O failure.
+bool write_pcap_file(const std::string& path,
+                     const std::vector<net::PacketRecord>& trace,
+                     PcapOptions options = {});
+
+}  // namespace qoed::core

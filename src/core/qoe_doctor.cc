@@ -1,0 +1,45 @@
+#include "core/qoe_doctor.h"
+
+namespace qoed::core {
+
+MultiLayerAnalyzer::MultiLayerAnalyzer(device::Device& dev) : device_(dev) {
+  flows_ = std::make_unique<FlowAnalyzer>(dev.trace().records());
+  cross_ = std::make_unique<CrossLayerAnalyzer>(*flows_);
+  if (auto* cell = dev.cellular()) {
+    rrc_ = std::make_unique<RrcAnalyzer>(cell->qxdm(), cell->config().rrc);
+    energy_ = std::make_unique<EnergyAnalyzer>(cell->qxdm(),
+                                               cell->config().rrc);
+  }
+}
+
+MappingResult MultiLayerAnalyzer::map_rlc(net::Direction dir) const {
+  auto* cell = device_.cellular();
+  if (cell == nullptr) return {};
+  return RlcMapper::map(device_.trace().records(), cell->qxdm().pdu_log(),
+                        dir);
+}
+
+DeviceNetworkSplit MultiLayerAnalyzer::split(
+    const BehaviorRecord& record, const std::string& hostname_substr) const {
+  return cross_->device_network_split(record, hostname_substr);
+}
+
+std::optional<FineBreakdown> MultiLayerAnalyzer::fine_breakdown(
+    const BehaviorRecord& record, net::Direction dir) const {
+  auto* cell = device_.cellular();
+  if (cell == nullptr || !rrc_) return std::nullopt;
+  const MappingResult mapping = map_rlc(dir);
+  return cross_->network_breakdown(record, mapping, cell->qxdm(), *rrc_, dir);
+}
+
+QoeDoctor::QoeDoctor(device::Device& dev, apps::AndroidApp& app,
+                     UiControllerConfig cfg)
+    : device_(dev), controller_(dev, app, cfg) {}
+
+void QoeDoctor::reset_collection() {
+  controller_.log().clear();
+  device_.trace().clear();
+  if (auto* cell = device_.cellular()) cell->qxdm().clear();
+}
+
+}  // namespace qoed::core

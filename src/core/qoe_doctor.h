@@ -1,0 +1,82 @@
+// QoE Doctor facade (§3, Fig. 3).
+//
+// Ties together the two halves of the tool for one device+app pair:
+//   - the online QoE-aware UI controller (replay + data collection), and
+//   - the offline multi-layer QoE analyzer, constructed on demand from the
+//     collected logs (AppBehaviorLog, packet trace, QxDM radio log).
+//
+// Umbrella header: including this pulls in the whole public API.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/app_analyzer.h"
+#include "core/behavior_log.h"
+#include "core/cross_layer_analyzer.h"
+#include "core/drivers.h"
+#include "core/flow_analyzer.h"
+#include "core/report.h"
+#include "core/rlc_mapper.h"
+#include "core/rrc_analyzer.h"
+#include "core/scenario.h"
+#include "core/stats.h"
+#include "core/ui_controller.h"
+#include "core/view_signature.h"
+
+namespace qoed::core {
+
+// Offline analysis bundle built from whatever the device collected. Owns
+// the FlowAnalyzer (which copies the trace) and the optional radio-layer
+// analyzers (valid only while the device's cellular link is alive).
+class MultiLayerAnalyzer {
+ public:
+  explicit MultiLayerAnalyzer(device::Device& dev);
+
+  FlowAnalyzer& flows() { return *flows_; }
+  CrossLayerAnalyzer& cross_layer() { return *cross_; }
+  bool has_radio() const { return rrc_ != nullptr; }
+  RrcAnalyzer& rrc() { return *rrc_; }          // requires has_radio()
+  EnergyAnalyzer& energy() { return *energy_; }  // requires has_radio()
+
+  // Runs the long-jump IP->RLC mapping for one direction (radio only).
+  MappingResult map_rlc(net::Direction dir) const;
+
+  // One-call Fig. 7-style split for a behavior record.
+  DeviceNetworkSplit split(const BehaviorRecord& record,
+                           const std::string& hostname_substr = "") const;
+
+  // One-call Fig. 8-style fine breakdown (radio only).
+  std::optional<FineBreakdown> fine_breakdown(const BehaviorRecord& record,
+                                              net::Direction dir) const;
+
+ private:
+  device::Device& device_;
+  std::unique_ptr<FlowAnalyzer> flows_;
+  std::unique_ptr<CrossLayerAnalyzer> cross_;
+  std::unique_ptr<RrcAnalyzer> rrc_;
+  std::unique_ptr<EnergyAnalyzer> energy_;
+};
+
+class QoeDoctor {
+ public:
+  QoeDoctor(device::Device& dev, apps::AndroidApp& app,
+            UiControllerConfig cfg = {});
+
+  UiController& controller() { return controller_; }
+  AppBehaviorLog& log() { return controller_.log(); }
+  device::Device& device() { return device_; }
+
+  // Snapshot analysis of everything collected so far.
+  MultiLayerAnalyzer analyze() { return MultiLayerAnalyzer(device_); }
+
+  // Clears all collected data (behavior log, trace, radio log) so separate
+  // experiment phases don't contaminate each other.
+  void reset_collection();
+
+ private:
+  device::Device& device_;
+  UiController controller_;
+};
+
+}  // namespace qoed::core

@@ -1,0 +1,60 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qoed::core {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_series(const std::string& title, const std::string& x_label,
+                  const std::string& y_label,
+                  const std::vector<std::pair<double, double>>& points) {
+  std::printf("\n-- %s (%s, %s) --\n", title.c_str(), x_label.c_str(),
+              y_label.c_str());
+  for (const auto& [x, y] : points) {
+    std::printf("%12.4f  %12.4f\n", x, y);
+  }
+}
+
+}  // namespace qoed::core

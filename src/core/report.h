@@ -1,0 +1,34 @@
+// Plain-text table and series rendering for benches and examples, so each
+// bench binary prints rows shaped like the paper's tables and figures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qoed::core {
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  // Renders with aligned columns to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints an (x, y) series as "figure data" rows, one per line.
+void print_series(const std::string& title, const std::string& x_label,
+                  const std::string& y_label,
+                  const std::vector<std::pair<double, double>>& points);
+
+}  // namespace qoed::core

@@ -1,0 +1,178 @@
+#include "core/rlc_mapper.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qoed::core {
+namespace {
+
+struct Pkt {
+  std::uint64_t uid;
+  std::uint32_t size;
+  sim::TimePoint ts;
+};
+
+std::uint8_t byte_of(const Pkt& p, std::uint32_t i) {
+  return net::wire_byte(p.uid, i);
+}
+
+// Expected (b0, b1) at offset `o` of packet `p`, where b1 may spill into the
+// next packet's first byte under concatenation.
+bool expected_two(const std::vector<Pkt>& pkts, std::size_t p,
+                  std::uint32_t o, std::uint8_t out[2]) {
+  if (p >= pkts.size() || o >= pkts[p].size) return false;
+  out[0] = byte_of(pkts[p], o);
+  if (o + 1 < pkts[p].size) {
+    out[1] = byte_of(pkts[p], o + 1);
+  } else if (p + 1 < pkts.size()) {
+    out[1] = byte_of(pkts[p + 1], 0);
+  } else {
+    out[1] = 0;  // lone final byte: only b0 is checkable
+  }
+  return true;
+}
+
+}  // namespace
+
+const PacketMapping* MappingResult::find(std::uint64_t uid) const {
+  for (const auto& m : packets) {
+    if (m.packet_uid == uid) return &m;
+  }
+  return nullptr;
+}
+
+MappingResult RlcMapper::map(const std::vector<net::PacketRecord>& trace,
+                             const std::vector<radio::PduRecord>& pdu_log,
+                             net::Direction dir,
+                             std::size_t resync_lookahead) {
+  // IP packets of this direction, in stream order.
+  std::vector<Pkt> pkts;
+  for (const auto& r : trace) {
+    if (r.direction != dir) continue;
+    pkts.push_back({r.uid, r.total_size(), r.timestamp});
+  }
+
+  // Data PDUs of this direction, deduplicated by sequence number (a
+  // retransmission carries the same bytes) and ordered by sequence.
+  std::map<std::uint32_t, const radio::PduRecord*> by_seq;
+  for (const auto& p : pdu_log) {
+    if (p.dir != dir || p.is_status || p.payload_len == 0) continue;
+    by_seq.try_emplace(p.seq, &p);
+  }
+  std::vector<const radio::PduRecord*> pdus;
+  pdus.reserve(by_seq.size());
+  for (const auto& [seq, p] : by_seq) pdus.push_back(p);
+
+  MappingResult result;
+  result.packets.reserve(pkts.size());
+  for (const auto& p : pkts) {
+    PacketMapping m;
+    m.packet_uid = p.uid;
+    m.packet_ts = p.ts;
+    result.packets.push_back(std::move(m));
+  }
+
+  std::size_t p = 0;       // current packet
+  std::uint32_t o = 0;     // current offset within packet p
+  bool in_sync = o == 0;   // whether packet p has matched from its start
+
+  auto give_up_packet = [&](std::size_t idx) {
+    result.packets[idx].mapped = false;
+  };
+
+  for (std::size_t j = 0; j < pdus.size() && p < pkts.size(); ++j) {
+    const radio::PduRecord& pdu = *pdus[j];
+
+    std::uint8_t want[2];
+    const bool have =
+        expected_two(pkts, p, o, want) && pdu.first_two[0] == want[0] &&
+        (pdu.payload_len < 2 || pdu.first_two[1] == want[1]);
+
+    if (!have) {
+      // Desync (usually a PDU record missing from the log): the current
+      // packet cannot be fully mapped. Re-anchor on a later PDU using its
+      // first Length Indicator: if that PDU ends packet q, its payload must
+      // start at offset size(q) - li1, and the two logged bytes must match
+      // there. Without an LI there is nothing to anchor on; skip the PDU.
+      give_up_packet(p);
+      if (pdu.li_ends.empty()) continue;
+      const std::uint16_t li1 = pdu.li_ends.front();
+      bool resynced = false;
+      const std::size_t q_end =
+          std::min(pkts.size(), p + 1 + resync_lookahead);
+      for (std::size_t q = p; q < q_end && !resynced; ++q) {
+        if (pkts[q].size < li1) continue;
+        const std::uint32_t anchor = pkts[q].size - li1;
+        std::uint8_t head[2];
+        if (!expected_two(pkts, q, anchor, head)) continue;
+        if (pdu.first_two[0] == head[0] &&
+            (pdu.payload_len < 2 || pdu.first_two[1] == head[1])) {
+          for (std::size_t skipped = p; skipped < q; ++skipped) {
+            give_up_packet(skipped);
+          }
+          p = q;
+          o = anchor;
+          // The re-anchored packet missed its head unless the anchor is its
+          // very first byte.
+          in_sync = anchor == 0;
+          resynced = true;
+        }
+      }
+      if (!resynced) continue;  // try anchoring on a later PDU instead
+    }
+
+    // Long jump: we trust the 2-byte prefix and walk the PDU's Length
+    // Indicators to advance through packet boundaries (Fig. 5).
+    PacketMapping& cur = result.packets[p];
+    auto note_pdu = [&](PacketMapping& m) {
+      if (m.pdu_seqs.empty()) m.first_pdu_at = pdu.at;
+      m.last_pdu_at = pdu.at;
+      m.pdu_seqs.push_back(pdu.seq);
+    };
+    note_pdu(cur);
+
+    std::uint16_t cursor = 0;
+    bool consistent = true;
+    for (std::uint16_t li : pdu.li_ends) {
+      const std::uint32_t seg = static_cast<std::uint32_t>(li - cursor);
+      if (p >= pkts.size() || o + seg != pkts[p].size) {
+        consistent = false;
+        break;
+      }
+      // Cumulative mapped index equals the packet size: mapping success.
+      if (in_sync) {
+        result.packets[p].mapped = true;
+        ++result.mapped_count;
+      }
+      ++p;
+      o = 0;
+      in_sync = true;
+      cursor = li;
+      if (p < pkts.size() && li < pdu.payload_len) {
+        note_pdu(result.packets[p]);
+      }
+    }
+    if (!consistent) {
+      give_up_packet(p);
+      in_sync = false;  // force resync on the next PDU
+      o = pkts[p].size;  // poison the offset so matching fails
+      continue;
+    }
+    const std::uint16_t tail =
+        static_cast<std::uint16_t>(pdu.payload_len - cursor);
+    if (tail > 0) {
+      if (p >= pkts.size() || o + tail >= pkts[p].size) {
+        // A packet end without a Length Indicator is inconsistent.
+        if (p < pkts.size()) give_up_packet(p);
+        in_sync = false;
+        if (p < pkts.size()) o = pkts[p].size;
+        continue;
+      }
+      o += tail;
+    }
+  }
+
+  return result;
+}
+
+}  // namespace qoed::core

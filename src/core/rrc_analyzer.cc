@@ -1,0 +1,134 @@
+#include "core/rrc_analyzer.h"
+
+#include <algorithm>
+
+namespace qoed::core {
+
+RrcAnalyzer::RrcAnalyzer(const radio::QxdmLogger& log,
+                         const radio::RrcConfig& config)
+    : log_(log), cfg_(config) {}
+
+radio::StateResidency RrcAnalyzer::residency(sim::TimePoint start,
+                                             sim::TimePoint end) const {
+  return radio::compute_residency(log_.rrc_log(), cfg_.idle_state(), start,
+                                  end);
+}
+
+double RrcAnalyzer::energy_joules(sim::TimePoint start,
+                                  sim::TimePoint end) const {
+  return radio::energy_joules(residency(start, end), cfg_);
+}
+
+std::vector<double> RrcAnalyzer::first_hop_ota_rtts(
+    net::Direction dir) const {
+  // Poll PDU timestamps for this data direction, in log (time) order.
+  std::vector<sim::TimePoint> polls;
+  for (const auto& p : log_.pdu_log()) {
+    if (p.dir == dir && p.poll) polls.push_back(p.at);
+  }
+  std::vector<double> out;
+  for (const auto& s : log_.status_log()) {
+    if (s.data_dir != dir) continue;
+    // Nearest preceding poll (§5.3's heuristic under group acknowledgement).
+    auto it = std::upper_bound(polls.begin(), polls.end(), s.at);
+    if (it == polls.begin()) continue;
+    --it;
+    const double rtt = sim::to_seconds(s.at - *it);
+    if (rtt > 0) out.push_back(rtt);
+  }
+  return out;
+}
+
+double RrcAnalyzer::mean_ota_rtt(net::Direction dir) const {
+  const auto rtts = first_hop_ota_rtts(dir);
+  if (rtts.empty()) return 0;
+  double sum = 0;
+  for (double r : rtts) sum += r;
+  return sum / static_cast<double>(rtts.size());
+}
+
+std::vector<radio::RrcTransitionRecord> RrcAnalyzer::transitions_in(
+    sim::TimePoint start, sim::TimePoint end) const {
+  std::vector<radio::RrcTransitionRecord> out;
+  for (const auto& t : log_.rrc_log()) {
+    if (t.at >= start && t.at <= end) out.push_back(t);
+  }
+  return out;
+}
+
+bool RrcAnalyzer::promotion_in(sim::TimePoint start,
+                               sim::TimePoint end) const {
+  for (const auto& t : transitions_in(start, end)) {
+    if (radio::is_low_power(t.from) ||
+        (t.from == radio::RrcState::kFach && t.to == radio::RrcState::kDch)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+EnergyAnalyzer::EnergyAnalyzer(const radio::QxdmLogger& log,
+                               const radio::RrcConfig& config,
+                               sim::Duration activity_guard)
+    : log_(log), cfg_(config), guard_(activity_guard) {}
+
+std::vector<std::pair<sim::TimePoint, sim::TimePoint>>
+EnergyAnalyzer::activity_intervals(sim::TimePoint start,
+                                   sim::TimePoint end) const {
+  std::vector<std::pair<sim::TimePoint, sim::TimePoint>> out;
+  for (const auto& p : log_.pdu_log()) {
+    if (p.at < start || p.at > end) continue;
+    const sim::TimePoint lo = p.at - guard_;
+    const sim::TimePoint hi = p.at + guard_;
+    if (!out.empty() && lo <= out.back().second) {
+      out.back().second = std::max(out.back().second, hi);
+    } else {
+      out.emplace_back(lo, hi);
+    }
+  }
+  return out;
+}
+
+EnergyBreakdown EnergyAnalyzer::analyze(sim::TimePoint start,
+                                        sim::TimePoint end) const {
+  EnergyBreakdown out;
+  if (end <= start) return out;
+  const auto activity = activity_intervals(start, end);
+
+  // Piecewise state timeline over [start, end].
+  radio::RrcState state = cfg_.idle_state();
+  sim::TimePoint cursor = start;
+  auto emit = [&](sim::TimePoint seg_start, sim::TimePoint seg_end,
+                  radio::RrcState s) {
+    if (seg_end <= seg_start) return;
+    const double power_w = cfg_.params(s).power_mw / 1000.0;
+    const double joules = power_w * sim::to_seconds(seg_end - seg_start);
+    out.total_joules += joules;
+    if (!radio::is_high_power(s)) return;  // low power: never tail
+    // Split the high-power segment into active vs idle (tail) parts.
+    sim::Duration active{};
+    for (const auto& [lo, hi] : activity) {
+      const sim::TimePoint a = std::max(lo, seg_start);
+      const sim::TimePoint b = std::min(hi, seg_end);
+      if (b > a) active += b - a;
+    }
+    const double active_j = power_w * sim::to_seconds(active);
+    out.tail_joules += joules - active_j;
+  };
+
+  for (const auto& t : log_.rrc_log()) {
+    if (t.at <= start) {
+      state = t.to;
+      continue;
+    }
+    if (t.at >= end) break;
+    emit(cursor, t.at, state);
+    cursor = t.at;
+    state = t.to;
+  }
+  emit(cursor, end, state);
+  out.non_tail_joules = out.total_joules - out.tail_joules;
+  return out;
+}
+
+}  // namespace qoed::core

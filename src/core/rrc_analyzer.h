@@ -1,0 +1,66 @@
+// RRC/RLC layer analyzer (§5.3).
+//
+// Works entirely from the QxDM-style log: RRC state residency and energy
+// (via the power model), first-hop OTA RTT estimated by pairing each STATUS
+// PDU with the nearest preceding polling PDU, and RRC-transition overlap
+// with QoE windows for root-cause analysis.
+#pragma once
+
+#include <vector>
+
+#include "radio/power_model.h"
+#include "radio/qxdm_logger.h"
+#include "radio/rrc_config.h"
+
+namespace qoed::core {
+
+class RrcAnalyzer {
+ public:
+  RrcAnalyzer(const radio::QxdmLogger& log, const radio::RrcConfig& config);
+
+  radio::StateResidency residency(sim::TimePoint start,
+                                  sim::TimePoint end) const;
+  double energy_joules(sim::TimePoint start, sim::TimePoint end) const;
+
+  // First-hop OTA RTT samples (seconds) for `dir` data: each STATUS record
+  // paired with the nearest preceding poll PDU of that direction (§5.3).
+  std::vector<double> first_hop_ota_rtts(net::Direction dir) const;
+  double mean_ota_rtt(net::Direction dir) const;
+
+  std::vector<radio::RrcTransitionRecord> transitions_in(
+      sim::TimePoint start, sim::TimePoint end) const;
+  bool promotion_in(sim::TimePoint start, sim::TimePoint end) const;
+
+ private:
+  const radio::QxdmLogger& log_;
+  radio::RrcConfig cfg_;
+};
+
+// Tail-energy accounting (§5.3, following the paper's cited definition):
+// energy spent in high-power RRC states while no data-plane PDUs are moving
+// (i.e. the inactivity-timer residency after each burst). Everything else is
+// non-tail.
+struct EnergyBreakdown {
+  double total_joules = 0;
+  double tail_joules = 0;
+  double non_tail_joules = 0;  // total - tail
+};
+
+class EnergyAnalyzer {
+ public:
+  EnergyAnalyzer(const radio::QxdmLogger& log, const radio::RrcConfig& config,
+                 sim::Duration activity_guard = sim::msec(200));
+
+  EnergyBreakdown analyze(sim::TimePoint start, sim::TimePoint end) const;
+
+ private:
+  // Merged [start,end] intervals around data-plane activity.
+  std::vector<std::pair<sim::TimePoint, sim::TimePoint>> activity_intervals(
+      sim::TimePoint start, sim::TimePoint end) const;
+
+  const radio::QxdmLogger& log_;
+  radio::RrcConfig cfg_;
+  sim::Duration guard_;
+};
+
+}  // namespace qoed::core

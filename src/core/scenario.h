@@ -1,0 +1,54 @@
+// Experiment scaffolding shared by tests, benches and examples.
+//
+// A Testbed owns the event loop, core network and DNS server, and hands out
+// devices with sequential addresses. Helpers run simple callback sequences
+// ("repeat action N times, then...") which is how benches replay the
+// paper's 30x/50x repetition protocols.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+#include "net/dns.h"
+
+namespace qoed::core {
+
+class Testbed {
+ public:
+  explicit Testbed(std::uint64_t seed);
+
+  sim::EventLoop& loop() { return loop_; }
+  net::Network& network() { return network_; }
+  net::IpAddr dns_ip() const { return dns_->ip(); }
+  sim::Rng fork_rng(std::string_view name) const { return rng_.fork(name); }
+
+  // New device with the next 10.0.0.x address.
+  std::unique_ptr<device::Device> make_device(const std::string& name);
+
+  // Fresh server address in 203.0.113.x (TEST-NET-3).
+  net::IpAddr next_server_ip();
+
+  // Runs the loop for `d` beyond now (safe with perpetual timers).
+  void advance(sim::Duration d) { loop_.run_until(loop_.now() + d); }
+
+ private:
+  sim::EventLoop loop_;
+  sim::Rng rng_;
+  net::Network network_;
+  std::unique_ptr<net::DnsServer> dns_;
+  std::uint8_t next_device_octet_ = 2;
+  std::uint8_t next_server_octet_ = 10;
+};
+
+// Runs `step(i, next)` for i in [0, n); each step must eventually invoke
+// `next()` exactly once, with an event-loop hop and `gap` of idle time in
+// between; `done` fires after the last step. Used for "repeat the action N
+// times" experiment protocols.
+void repeat_async(sim::EventLoop& loop, std::size_t n, sim::Duration gap,
+                  std::function<void(std::size_t, std::function<void()>)> step,
+                  std::function<void()> done);
+
+}  // namespace qoed::core

@@ -1,0 +1,39 @@
+#include "core/speed_index.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace qoed::core {
+
+SpeedIndexResult compute_speed_index(const ui::Screen& screen,
+                                     const QoeWindow& window) {
+  SpeedIndexResult out;
+  std::vector<ui::DrawEvent> frames;
+  for (const auto& d : screen.draws()) {
+    if (d.at >= window.start && d.at <= window.end) frames.push_back(d);
+  }
+  if (frames.empty()) return out;
+  out.frames = static_cast<int>(frames.size());
+  out.settle_time_s = sim::to_seconds(frames.back().at - window.start);
+
+  // Visual completeness proxy: revision distance covered so far relative to
+  // the total covered within the window.
+  const std::uint64_t rev0 =
+      frames.front().revision > 0 ? frames.front().revision - 1 : 0;
+  const std::uint64_t rev_total = std::max<std::uint64_t>(
+      frames.back().revision - rev0, 1);
+
+  double integral = 0;
+  sim::TimePoint cursor = window.start;
+  double progress = 0;
+  for (const auto& f : frames) {
+    integral += (1.0 - progress) * sim::to_seconds(f.at - cursor);
+    cursor = f.at;
+    progress = static_cast<double>(f.revision - rev0) /
+               static_cast<double>(rev_total);
+  }
+  out.speed_index_s = integral;
+  return out;
+}
+
+}  // namespace qoed::core

@@ -1,0 +1,31 @@
+// Speed-Index-style visual progress metric (§4.2.3's future-work item).
+//
+// The paper notes that progress-bar-based page load times could be refined
+// by filming the screen and computing WebPagetest's Speed Index. Our Screen
+// already records every frame; this analyzer computes the analogous metric
+// with layout-tree revisions as the visual-completeness proxy:
+//
+//   SpeedIndex = integral over the window of (1 - visual_progress(t)) dt
+//
+// where visual_progress steps at each frame from 0 (window start) to 1 (the
+// last frame in the window). Lower is better: content that appears early
+// scores better than an equal-length load that paints everything at the end.
+#pragma once
+
+#include "core/cross_layer_analyzer.h"
+#include "ui/screen.h"
+
+namespace qoed::core {
+
+struct SpeedIndexResult {
+  double speed_index_s = 0;   // the integral above
+  double settle_time_s = 0;   // window start -> last frame in the window
+  int frames = 0;             // frames contributing to the progression
+};
+
+// Computes the metric over `window` from the screen's frame history. With
+// fewer than one frame in the window the result is all zeros.
+SpeedIndexResult compute_speed_index(const ui::Screen& screen,
+                                     const QoeWindow& window);
+
+}  // namespace qoed::core

@@ -1,0 +1,145 @@
+#include "core/ui_controller.h"
+
+#include <utility>
+
+#include "sim/log.h"
+
+namespace qoed::core {
+
+UiController::UiController(device::Device& dev, apps::AndroidApp& app,
+                           UiControllerConfig cfg)
+    : device_(dev),
+      app_(app),
+      cfg_(cfg),
+      instr_(dev.ui_thread(), app.tree()) {}
+
+UiController::~UiController() { parse_timer_.cancel(); }
+
+std::shared_ptr<ui::View> UiController::find(const ViewSignature& sig) const {
+  return find_view(app_.tree(), sig);
+}
+
+void UiController::click(const ViewSignature& sig) {
+  if (auto v = find(sig)) instr_.click(std::move(v));
+}
+
+void UiController::scroll(const ViewSignature& sig, int dy) {
+  if (auto v = find(sig)) instr_.scroll(std::move(v), dy);
+}
+
+void UiController::type_text(const ViewSignature& sig, std::string text) {
+  if (auto v = find(sig)) instr_.type_text(std::move(v), std::move(text));
+}
+
+void UiController::press_enter(const ViewSignature& sig) {
+  if (auto v = find(sig)) instr_.press_key(std::move(v), ui::kKeycodeEnter);
+}
+
+void UiController::begin_wait(WaitSpec spec, DoneFn done) {
+  ActiveWait wait;
+  // Bracket revisions from the wait's creation, so a start indicator that is
+  // already on screen at the first snapshot is attributed to a recent
+  // mutation, not to revision zero.
+  wait.last_seen_revision = app_.tree().revision();
+  wait.record.action = spec.action;
+  wait.record.parsing_interval = cfg_.parsing_interval;
+  wait.record.metadata = spec.metadata;
+  wait.record.trigger = device_.loop().now();
+  wait.record.start_from_parse = static_cast<bool>(spec.start_when);
+  if (!spec.start_when) {
+    wait.record.start = device_.loop().now();
+    wait.started = true;
+  }
+  const sim::Duration timeout =
+      spec.timeout > sim::Duration::zero() ? spec.timeout : cfg_.wait_timeout;
+  wait.deadline = device_.loop().now() + timeout;
+  wait.spec = std::move(spec);
+  wait.done = std::move(done);
+  waits_.push_back(std::move(wait));
+  ensure_parse_loop();
+}
+
+void UiController::cancel_waits(const std::string& action_prefix) {
+  std::erase_if(waits_, [&](const ActiveWait& w) {
+    return w.record.action.rfind(action_prefix, 0) == 0;
+  });
+}
+
+void UiController::ensure_parse_loop() {
+  if (parse_loop_running_) return;
+  parse_loop_running_ = true;
+  // First snapshot happens one interval from now: the pass covering the
+  // current instant is assumed already underway (Fig. 4).
+  parse_timer_ = device_.loop().schedule_after(cfg_.parsing_interval,
+                                               [this] { on_parse_tick(); });
+}
+
+void UiController::on_parse_tick() {
+  ++parse_passes_;
+  // Parsing the tree burns CPU in the controller's accounting bucket
+  // (Table 3's 6.18% worst-case overhead).
+  const sim::Duration cpu =
+      cfg_.parse_cpu_base +
+      cfg_.parse_cpu_per_view * static_cast<std::int64_t>(app_.tree().size());
+  device_.cpu().add("controller", cpu);
+
+  const sim::TimePoint snapshot = device_.loop().now();
+  const sim::TimePoint report = snapshot + cfg_.parsing_interval;
+
+  // Evaluate all active waits against the snapshot. Completion is reported
+  // at the END of this parse pass (snapshot + t_parsing).
+  const std::uint64_t revision = app_.tree().revision();
+  for (std::size_t i = 0; i < waits_.size();) {
+    ActiveWait& w = waits_[i];
+    if (snapshot >= w.deadline) {
+      finish_wait(i, snapshot, /*timed_out=*/true);
+      continue;
+    }
+    if (!w.started) {
+      if (w.spec.start_when(app_.tree())) {
+        w.started = true;
+        // Start indicators are stamped with the snapshot time; see §5.1 —
+        // this makes t_offset cancel for metrics whose start and end are
+        // both parse-detected, leaving a single t_parsing to calibrate out.
+        w.record.start = snapshot;
+        w.record.start_revision = revision;
+        w.record.prev_start_revision = w.last_seen_revision;
+      }
+      w.last_seen_revision = revision;
+      ++i;
+      continue;
+    }
+    if (w.spec.end_when(app_.tree())) {
+      w.record.end_revision = revision;
+      w.record.prev_end_revision = w.last_seen_revision;
+      finish_wait(i, report, /*timed_out=*/false);
+      continue;
+    }
+    w.last_seen_revision = revision;
+    ++i;
+  }
+
+  if (waits_.empty()) {
+    parse_loop_running_ = false;
+    return;
+  }
+  parse_timer_ = device_.loop().schedule_after(cfg_.parsing_interval,
+                                               [this] { on_parse_tick(); });
+}
+
+void UiController::finish_wait(std::size_t index, sim::TimePoint end,
+                               bool timed_out) {
+  ActiveWait wait = std::move(waits_[index]);
+  waits_.erase(waits_.begin() + static_cast<std::ptrdiff_t>(index));
+  wait.record.end = end;
+  wait.record.timed_out = timed_out;
+  if (timed_out && !wait.started) wait.record.start = wait.record.end;
+  log_.add(wait.record);
+  sim::log_debug(device_.loop().now(), "controller",
+                 wait.record.action + " " +
+                     (timed_out ? "TIMEOUT" : sim::format_duration(
+                                                  wait.record.raw_latency())));
+  if (wait.done) wait.done(log_.records().back());
+}
+
+}  // namespace qoed::core

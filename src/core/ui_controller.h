@@ -1,0 +1,114 @@
+// QoE-aware UI controller (§4).
+//
+// Implements the paper's see-interact-wait paradigm on top of the
+// Instrumentation layer:
+//   see      — find views by signature in the shared layout tree;
+//   interact — inject clicks/scrolls/text/keys;
+//   wait     — poll the layout tree every t_parsing, detecting QoE-related
+//              UI changes and writing raw timestamps to the AppBehaviorLog.
+//
+// Measurement semantics match §5.1 / Fig. 4: a parse pass takes t_parsing;
+// a UI change landing mid-parse is caught by the NEXT pass and reported at
+// that pass's end, so raw measurements carry the t_offset + t_parsing error
+// the application-layer analyzer later subtracts. Parsing also charges CPU
+// to the "controller" bucket, which is where the Table 3 overhead number
+// comes from.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_base.h"
+#include "core/behavior_log.h"
+#include "core/view_signature.h"
+#include "ui/instrumentation.h"
+
+namespace qoed::core {
+
+struct UiControllerConfig {
+  // Wall-clock duration of one UI-layout-tree parse pass (t_parsing).
+  sim::Duration parsing_interval = sim::msec(30);
+  // CPU charged per parse pass: base + per-view cost.
+  sim::Duration parse_cpu_base = sim::usec(240);
+  sim::Duration parse_cpu_per_view = sim::usec(21);
+  sim::Duration wait_timeout = sim::sec(180);
+};
+
+class UiController {
+ public:
+  using Predicate = std::function<bool(const ui::LayoutTree&)>;
+  using DoneFn = std::function<void(const BehaviorRecord&)>;
+
+  struct WaitSpec {
+    std::string action;
+    // Optional start indicator (e.g. "progress bar appears"); when null the
+    // measurement starts at begin_wait() time — i.e. the moment the
+    // controller injected the triggering interaction.
+    Predicate start_when;
+    // Wait-ending UI change (e.g. "progress bar disappears").
+    Predicate end_when;
+    sim::Duration timeout{};  // zero = config default
+    std::map<std::string, std::string> metadata;
+  };
+
+  UiController(device::Device& dev, apps::AndroidApp& app,
+               UiControllerConfig cfg = {});
+  ~UiController();
+  UiController(const UiController&) = delete;
+  UiController& operator=(const UiController&) = delete;
+
+  const UiControllerConfig& config() const { return cfg_; }
+  device::Device& device() { return device_; }
+  apps::AndroidApp& app() { return app_; }
+  ui::Instrumentation& instrumentation() { return instr_; }
+  AppBehaviorLog& log() { return log_; }
+
+  // --- see ---
+  std::shared_ptr<ui::View> find(const ViewSignature& sig) const;
+
+  // --- interact (thin wrappers over Instrumentation) ---
+  void click(const ViewSignature& sig);
+  void scroll(const ViewSignature& sig, int dy);
+  void type_text(const ViewSignature& sig, std::string text);
+  void press_enter(const ViewSignature& sig);
+
+  // --- wait ---
+  // Registers a wait; `done` fires (once) with the completed record, which
+  // is also appended to the log. Multiple waits may be active at once.
+  void begin_wait(WaitSpec spec, DoneFn done = nullptr);
+
+  // Abandons active waits whose action starts with `action_prefix` without
+  // logging them (e.g. a stall watcher once playback has completed).
+  void cancel_waits(const std::string& action_prefix);
+
+  std::size_t active_waits() const { return waits_.size(); }
+  std::uint64_t parse_passes() const { return parse_passes_; }
+
+ private:
+  struct ActiveWait {
+    WaitSpec spec;
+    BehaviorRecord record;
+    bool started = false;
+    sim::TimePoint deadline;
+    DoneFn done;
+    std::uint64_t last_seen_revision = 0;  // tree revision at last snapshot
+  };
+
+  void ensure_parse_loop();
+  void on_parse_tick();
+  void finish_wait(std::size_t index, sim::TimePoint end, bool timed_out);
+
+  device::Device& device_;
+  apps::AndroidApp& app_;
+  UiControllerConfig cfg_;
+  ui::Instrumentation instr_;
+  AppBehaviorLog log_;
+  std::vector<ActiveWait> waits_;
+  bool parse_loop_running_ = false;
+  sim::TimerHandle parse_timer_;
+  std::uint64_t parse_passes_ = 0;
+};
+
+}  // namespace qoed::core

@@ -1,0 +1,51 @@
+#include "core/view_signature.h"
+
+namespace qoed::core {
+
+bool ViewSignature::matches(const ui::View& view) const {
+  if (!class_name.empty() && view.class_name() != class_name) return false;
+  if (!view_id.empty() && view.view_id() != view_id) return false;
+  if (!description.empty() &&
+      view.description().find(description) == std::string::npos) {
+    return false;
+  }
+  if (!text.empty() && view.text().find(text) == std::string::npos) {
+    return false;
+  }
+  return true;
+}
+
+std::string ViewSignature::to_string() const {
+  std::string s = "{";
+  if (!class_name.empty()) s += "class=" + class_name + " ";
+  if (!view_id.empty()) s += "id=" + view_id + " ";
+  if (!description.empty()) s += "desc~" + description + " ";
+  if (!text.empty()) s += "text~" + text + " ";
+  if (s.size() > 1) s.pop_back();
+  return s + "}";
+}
+
+ViewSignature ViewSignature::by_id(std::string view_id) {
+  ViewSignature sig;
+  sig.view_id = std::move(view_id);
+  return sig;
+}
+
+ViewSignature ViewSignature::by_class(std::string class_name) {
+  ViewSignature sig;
+  sig.class_name = std::move(class_name);
+  return sig;
+}
+
+ViewSignature ViewSignature::by_text(std::string text) {
+  ViewSignature sig;
+  sig.text = std::move(text);
+  return sig;
+}
+
+std::shared_ptr<ui::View> find_view(const ui::LayoutTree& tree,
+                                    const ViewSignature& sig) {
+  return tree.find_first([&](const ui::View& v) { return sig.matches(v); });
+}
+
+}  // namespace qoed::core

@@ -1,0 +1,34 @@
+// View signatures (§4.1).
+//
+// The controller addresses UI elements by a signature of class name, view id
+// and developer description — deliberately excluding screen coordinates so
+// the same control specification replays across devices and screen sizes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ui/layout_tree.h"
+
+namespace qoed::core {
+
+struct ViewSignature {
+  std::string class_name;   // empty = wildcard
+  std::string view_id;      // empty = wildcard
+  std::string description;  // empty = wildcard; substring match otherwise
+  std::string text;         // empty = wildcard; substring match otherwise
+
+  bool matches(const ui::View& view) const;
+  std::string to_string() const;
+
+  // Convenience constructors for the common cases.
+  static ViewSignature by_id(std::string view_id);
+  static ViewSignature by_class(std::string class_name);
+  static ViewSignature by_text(std::string text);
+};
+
+// Finds the first view in `tree` matching `sig` (depth-first).
+std::shared_ptr<ui::View> find_view(const ui::LayoutTree& tree,
+                                    const ViewSignature& sig);
+
+}  // namespace qoed::core

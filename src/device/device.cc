@@ -1,0 +1,44 @@
+#include "device/device.h"
+
+#include <utility>
+
+namespace qoed::device {
+
+Device::Device(net::Network& network, net::IpAddr ip, std::string name,
+               sim::Rng rng, net::IpAddr dns_server)
+    : network_(network), name_(std::move(name)), rng_(std::move(rng)) {
+  host_ = std::make_unique<net::Host>(network_, ip, name_);
+  host_->set_trace(&trace_);
+  ui_thread_ = std::make_unique<ui::UiThread>(network_.loop(), &cpu_);
+  screen_ = std::make_unique<ui::Screen>(network_.loop());
+  resolver_ = std::make_unique<net::Resolver>(*host_, dns_server);
+}
+
+Device::~Device() { detach_network(); }
+
+void Device::set_profile(DeviceProfile profile) {
+  profile_ = std::move(profile);
+  ui_thread_->set_speed_factor(profile_.cpu_speed);
+}
+
+void Device::attach_wifi(net::WifiConfig cfg) {
+  detach_network();
+  wifi_ = std::make_unique<net::WifiLink>(network_.loop(), rng_.fork("wifi"),
+                                          cfg);
+  network_.attach_access_link(ip(), *wifi_);
+}
+
+void Device::attach_cellular(radio::CellularConfig cfg) {
+  detach_network();
+  cellular_ = std::make_unique<radio::CellularLink>(
+      network_.loop(), rng_.fork("cellular"), std::move(cfg));
+  network_.attach_access_link(ip(), *cellular_);
+}
+
+void Device::detach_network() {
+  if (wifi_ || cellular_) network_.detach_access_link(ip());
+  wifi_.reset();
+  cellular_.reset();
+}
+
+}  // namespace qoed::device

@@ -1,0 +1,79 @@
+// The simulated handset.
+//
+// Composes everything a phone contributes to the experiments: a network host
+// with a tcpdump-style trace, a DNS stub resolver, the Android-like UI thread
+// + screen, CPU accounting, and one access network at a time (WiFi or
+// cellular 3G/LTE). Apps install onto a Device and the QoE Doctor controller
+// drives them through it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "device/profile.h"
+#include "net/dns.h"
+#include "net/link.h"
+#include "net/network.h"
+#include "net/trace.h"
+#include "radio/cellular_link.h"
+#include "ui/screen.h"
+#include "ui/ui_thread.h"
+
+namespace qoed::device {
+
+class Device {
+ public:
+  Device(net::Network& network, net::IpAddr ip, std::string name,
+         sim::Rng rng, net::IpAddr dns_server);
+  ~Device();
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::EventLoop& loop() { return network_.loop(); }
+  net::Network& network() { return network_; }
+  net::Host& host() { return *host_; }
+  net::IpAddr ip() const { return host_->ip(); }
+
+  ui::UiThread& ui_thread() { return *ui_thread_; }
+  ui::CpuMeter& cpu() { return cpu_; }
+  ui::Screen& screen() { return *screen_; }
+  net::Resolver& resolver() { return *resolver_; }
+  net::TraceCapture& trace() { return trace_; }
+  sim::Rng& rng() { return rng_; }
+
+  // --- access network selection (one at a time) ---
+  void attach_wifi(net::WifiConfig cfg = {});
+  void attach_cellular(radio::CellularConfig cfg);
+  void detach_network();
+
+  bool on_cellular() const { return cellular_ != nullptr; }
+  bool on_wifi() const { return wifi_ != nullptr; }
+  // Null unless attached to the corresponding network type.
+  radio::CellularLink* cellular() { return cellular_.get(); }
+  net::WifiLink* wifi() { return wifi_.get(); }
+
+  // The foreground app's layout tree drives the screen.
+  void set_foreground_tree(ui::LayoutTree& tree) { screen_->attach(tree); }
+
+  // Applies a handset profile (UI-thread speed etc.). Defaults to the
+  // Galaxy S3 baseline.
+  void set_profile(DeviceProfile profile);
+  const DeviceProfile& profile() const { return profile_; }
+
+ private:
+  net::Network& network_;
+  std::string name_;
+  DeviceProfile profile_;
+  sim::Rng rng_;
+  std::unique_ptr<net::Host> host_;
+  net::TraceCapture trace_;
+  ui::CpuMeter cpu_;
+  std::unique_ptr<ui::UiThread> ui_thread_;
+  std::unique_ptr<ui::Screen> screen_;
+  std::unique_ptr<net::Resolver> resolver_;
+  std::unique_ptr<net::WifiLink> wifi_;
+  std::unique_ptr<radio::CellularLink> cellular_;
+};
+
+}  // namespace qoed::device

@@ -1,0 +1,29 @@
+// Handset profiles for the paper's two test devices.
+//
+// The experiments run on a Samsung Galaxy S3 (§7.2) and a Galaxy S4
+// (§7.4/§7.5), both Android 4.x. The profile captures what differs for the
+// simulation: relative UI-thread speed (the S4's CPU is markedly faster)
+// and the display geometry tag carried for reporting.
+#pragma once
+
+#include <string>
+
+namespace qoed::device {
+
+struct DeviceProfile {
+  std::string model = "galaxy-s3";
+  // UI-thread speed relative to the S3 baseline.
+  double cpu_speed = 1.0;
+  // Display refresh is 60 Hz on both; kept for completeness.
+  double display_hz = 60.0;
+
+  static DeviceProfile galaxy_s3() { return {}; }
+  static DeviceProfile galaxy_s4() {
+    DeviceProfile p;
+    p.model = "galaxy-s4";
+    p.cpu_speed = 1.35;
+    return p;
+  }
+};
+
+}  // namespace qoed::device

@@ -1,0 +1,110 @@
+#include "net/dns.h"
+
+#include <utility>
+
+namespace qoed::net {
+namespace {
+
+// Rough on-the-wire sizes for a query / response carrying one A record.
+constexpr std::uint32_t kQuerySize = 36;
+constexpr std::uint32_t kResponseSize = 52;
+
+}  // namespace
+
+DnsServer::DnsServer(Network& network, IpAddr ip) {
+  host_ = std::make_unique<Host>(network, ip, "dns-server");
+  host_->set_udp_handler([this](const Packet& p) { on_udp(p); });
+}
+
+void DnsServer::on_udp(const Packet& p) {
+  if (p.dst_port != kDnsPort || !p.dns || p.dns->is_response) return;
+  ++queries_;
+  auto response = std::make_shared<DnsMessage>();
+  response->hostname = p.dns->hostname;
+  response->is_response = true;
+  response->resolved = host_->network().lookup_hostname(p.dns->hostname);
+  response->nxdomain = response->resolved.is_unspecified();
+
+  const IpAddr client = p.src_ip;
+  const Port client_port = p.src_port;
+  host_->loop().schedule_after(processing_delay_, [this, response, client,
+                                                   client_port] {
+    host_->send_udp(client, client_port, kDnsPort, kResponseSize, response);
+  });
+}
+
+Resolver::Resolver(Host& host, IpAddr dns_server)
+    : host_(host), server_(dns_server) {
+  host_.set_udp_handler([this](const Packet& p) { on_udp(p); });
+}
+
+Resolver::~Resolver() {
+  for (auto& [port, q] : pending_) q.timeout.cancel();
+}
+
+void Resolver::resolve(const std::string& hostname, Callback cb) {
+  // Cache hit: complete on the next tick.
+  if (auto it = cache_.find(hostname); it != cache_.end()) {
+    if (it->second.expires > host_.loop().now()) {
+      ++cache_hits_;
+      IpAddr addr = it->second.addr;
+      host_.loop().schedule_after(sim::Duration::zero(),
+                                  [cb = std::move(cb), addr] { cb(addr); });
+      return;
+    }
+    cache_.erase(it);
+  }
+  // Join an in-flight query for the same name if one exists.
+  for (auto& [port, q] : pending_) {
+    if (q.hostname == hostname) {
+      q.callbacks.push_back(std::move(cb));
+      return;
+    }
+  }
+  const Port src_port = next_port_++;
+  PendingQuery q;
+  q.hostname = hostname;
+  q.callbacks.push_back(std::move(cb));
+  pending_.emplace(src_port, std::move(q));
+  send_query(src_port);
+}
+
+void Resolver::send_query(Port src_port) {
+  auto it = pending_.find(src_port);
+  if (it == pending_.end()) return;
+  auto query = std::make_shared<DnsMessage>();
+  query->hostname = it->second.hostname;
+  ++queries_sent_;
+  host_.send_udp(server_, kDnsPort, src_port, kQuerySize, query);
+  it->second.timeout = host_.loop().schedule_after(
+      query_timeout_, [this, src_port] { on_timeout(src_port); });
+}
+
+void Resolver::on_timeout(Port src_port) {
+  auto it = pending_.find(src_port);
+  if (it == pending_.end()) return;
+  if (--it->second.retries_left > 0) {
+    send_query(src_port);
+    return;
+  }
+  auto callbacks = std::move(it->second.callbacks);
+  pending_.erase(it);
+  for (auto& cb : callbacks) cb(IpAddr{});
+}
+
+void Resolver::on_udp(const Packet& p) {
+  if (!p.dns || !p.dns->is_response) return;
+  auto it = pending_.find(p.dst_port);
+  if (it == pending_.end() || it->second.hostname != p.dns->hostname) return;
+
+  it->second.timeout.cancel();
+  const IpAddr addr = p.dns->nxdomain ? IpAddr{} : p.dns->resolved;
+  if (!p.dns->nxdomain) {
+    cache_[p.dns->hostname] = {addr, host_.loop().now() + ttl_};
+  }
+  auto callbacks = std::move(it->second.callbacks);
+  pending_.erase(it);
+  for (auto& cb : callbacks) cb(addr);
+}
+
+}  // namespace qoed::net

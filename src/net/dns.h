@@ -1,0 +1,97 @@
+// Minimal DNS over UDP.
+//
+// QoE Doctor's transport/network analyzer associates each TCP flow with the
+// server's hostname by parsing the DNS lookups in the tcpdump trace (§5.2).
+// The simulated resolver therefore emits real DNS request/response packets
+// that land in the device trace before the corresponding TCP connections.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+
+namespace qoed::net {
+
+struct DnsMessage {
+  std::string hostname;
+  IpAddr resolved;          // unspecified in queries
+  bool is_response = false;
+  bool nxdomain = false;
+};
+
+inline constexpr Port kDnsPort = 53;
+
+// DNS authority running on its own host; answers from the Network's
+// hostname registry.
+class DnsServer {
+ public:
+  explicit DnsServer(Network& network, IpAddr ip);
+
+  Host& host() { return *host_; }
+  IpAddr ip() const { return host_->ip(); }
+
+  // Artificial server-side processing delay per query.
+  void set_processing_delay(sim::Duration d) { processing_delay_ = d; }
+
+  std::uint64_t queries_served() const { return queries_; }
+
+ private:
+  void on_udp(const Packet& p);
+
+  std::unique_ptr<Host> host_;
+  sim::Duration processing_delay_ = sim::msec(1);
+  std::uint64_t queries_ = 0;
+};
+
+// Stub resolver living on the device. Caches answers (default TTL 5 min) and
+// retries lost queries.
+class Resolver {
+ public:
+  using Callback = std::function<void(IpAddr)>;
+
+  Resolver(Host& host, IpAddr dns_server);
+  ~Resolver();
+
+  // Resolves `hostname`; invokes `cb` with the address (or the unspecified
+  // address on NXDOMAIN / repeated timeouts). Cached answers still complete
+  // asynchronously (next event-loop tick) so callers see one code path.
+  void resolve(const std::string& hostname, Callback cb);
+
+  void set_ttl(sim::Duration ttl) { ttl_ = ttl; }
+  void clear_cache() { cache_.clear(); }
+
+  std::uint64_t queries_sent() const { return queries_sent_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  struct CacheEntry {
+    IpAddr addr;
+    sim::TimePoint expires;
+  };
+  struct PendingQuery {
+    std::string hostname;
+    std::vector<Callback> callbacks;
+    int retries_left = 3;
+    sim::TimerHandle timeout;
+  };
+
+  void send_query(Port src_port);
+  void on_udp(const Packet& p);
+  void on_timeout(Port src_port);
+
+  Host& host_;
+  IpAddr server_;
+  sim::Duration ttl_ = sim::minutes(5);
+  sim::Duration query_timeout_ = sim::sec(2);
+  Port next_port_ = 50000;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::unordered_map<Port, PendingQuery> pending_;  // keyed by source port
+  std::uint64_t queries_sent_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace qoed::net

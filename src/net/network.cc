@@ -1,0 +1,132 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <utility>
+
+#include "net/dns.h"
+#include "net/tcp.h"
+#include "sim/log.h"
+
+namespace qoed::net {
+
+Network::Network(sim::EventLoop& loop, sim::Rng rng, CorePathConfig cfg)
+    : loop_(loop), rng_(std::move(rng)), cfg_(cfg) {}
+
+void Network::register_host(Host& host) { hosts_[host.ip()] = &host; }
+
+void Network::unregister_host(Host& host) {
+  auto it = hosts_.find(host.ip());
+  if (it != hosts_.end() && it->second == &host) hosts_.erase(it);
+}
+
+Host* Network::find_host(IpAddr ip) const {
+  auto it = hosts_.find(ip);
+  return it == hosts_.end() ? nullptr : it->second;
+}
+
+void Network::attach_access_link(IpAddr device_ip, AccessLink& link) {
+  access_links_[device_ip] = &link;
+  link.set_uplink_sink([this](Packet p) { deliver_from_access(std::move(p)); });
+  link.set_downlink_sink([this, device_ip](Packet p) {
+    if (Host* h = find_host(device_ip)) h->receive_packet(p);
+  });
+}
+
+void Network::detach_access_link(IpAddr device_ip) {
+  access_links_.erase(device_ip);
+}
+
+void Network::register_hostname(const std::string& hostname, IpAddr ip) {
+  hostnames_[hostname] = ip;
+}
+
+IpAddr Network::lookup_hostname(const std::string& hostname) const {
+  auto it = hostnames_.find(hostname);
+  return it == hostnames_.end() ? IpAddr{} : it->second;
+}
+
+void Network::set_extra_latency(IpAddr host, sim::Duration extra) {
+  extra_latency_[host] = extra;
+}
+
+sim::Duration Network::core_delay(IpAddr dst) {
+  sim::Duration d = cfg_.base_one_way;
+  if (auto it = extra_latency_.find(dst); it != extra_latency_.end()) {
+    d += it->second;
+  }
+  const double jitter = rng_.clipped_normal(
+      0.0, sim::to_seconds(cfg_.jitter_stddev), 0.0,
+      4 * sim::to_seconds(cfg_.jitter_stddev));
+  return d + sim::sec_f(jitter);
+}
+
+void Network::send(Host& from, Packet p) {
+  ++routed_;
+  // Device behind an access link: uplink through the radio/WiFi first.
+  if (auto it = access_links_.find(from.ip()); it != access_links_.end()) {
+    it->second->send_uplink(std::move(p));
+    return;
+  }
+  core_forward(std::move(p));
+}
+
+void Network::deliver_from_access(Packet p) { core_forward(std::move(p)); }
+
+void Network::core_forward(Packet p) {
+  const sim::Duration delay = core_delay(p.dst_ip);
+  // FIFO per destination: jitter varies the delay but never reorders.
+  sim::TimePoint arrival = loop_.now() + delay;
+  auto& last = last_arrival_[p.dst_ip];
+  arrival = std::max(arrival, last);
+  last = arrival;
+  loop_.schedule_at(arrival, [this, p = std::move(p)]() mutable {
+    // Destination behind an access link: downlink through it.
+    if (auto it = access_links_.find(p.dst_ip); it != access_links_.end()) {
+      it->second->send_downlink(std::move(p));
+      return;
+    }
+    if (Host* h = find_host(p.dst_ip)) h->receive_packet(p);
+    // Packets to unknown hosts vanish, like on a real network.
+  });
+}
+
+Host::Host(Network& network, IpAddr ip, std::string name)
+    : network_(network), ip_(ip), name_(std::move(name)) {
+  tcp_ = std::make_unique<TcpStack>(*this);
+  network_.register_host(*this);
+}
+
+Host::~Host() { network_.unregister_host(*this); }
+
+void Host::send_packet(Packet p) {
+  p.src_ip = ip_;
+  if (trace_) trace_->record(p, loop().now(), Direction::kUplink);
+  network_.send(*this, std::move(p));
+}
+
+void Host::receive_packet(const Packet& p) {
+  if (trace_) trace_->record(p, loop().now(), Direction::kDownlink);
+  switch (p.protocol) {
+    case Protocol::kTcp:
+      tcp_->handle_packet(p);
+      break;
+    case Protocol::kUdp:
+      if (udp_handler_) udp_handler_(p);
+      break;
+  }
+}
+
+void Host::send_udp(IpAddr dst, Port dst_port, Port src_port,
+                    std::uint32_t payload_size,
+                    std::shared_ptr<const DnsMessage> dns) {
+  Packet p = network_.packets().make();
+  p.dst_ip = dst;
+  p.dst_port = dst_port;
+  p.src_port = src_port;
+  p.protocol = Protocol::kUdp;
+  p.payload_size = payload_size;
+  p.dns = std::move(dns);
+  send_packet(std::move(p));
+}
+
+}  // namespace qoed::net

@@ -1,0 +1,164 @@
+// Network core and host model.
+//
+// Topology (one simulated handset, arbitrary servers):
+//
+//   Device(Host) -- AccessLink (WiFi or cellular RRC/RLC) -- core -- Servers
+//
+// The core is modelled as a fixed per-host one-way latency plus jitter; the
+// interesting dynamics (RRC promotions, RLC segmentation, carrier token
+// buckets, TCP congestion response) all live at the access link and the
+// endpoints. Hosts with a registered access link send and receive through
+// it; all other hosts sit directly on the core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/addr.h"
+#include "net/packet.h"
+#include "net/trace.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+namespace qoed::net {
+
+class Host;
+class TcpStack;
+struct TcpConfig;
+
+// Device -> network attachment point. Implementations: WifiLink (net/link.h)
+// and CellularLink (radio/cellular_link.h).
+class AccessLink {
+ public:
+  using PacketSink = std::function<void(Packet)>;
+
+  virtual ~AccessLink() = default;
+
+  // Device-originated packet entering the link.
+  virtual void send_uplink(Packet p) = 0;
+  // Core-originated packet addressed to the device.
+  virtual void send_downlink(Packet p) = 0;
+
+  // Wired up by the Network / Device at attach time.
+  void set_uplink_sink(PacketSink s) { uplink_sink_ = std::move(s); }
+  void set_downlink_sink(PacketSink s) { downlink_sink_ = std::move(s); }
+
+ protected:
+  void to_core(Packet p) {
+    if (uplink_sink_) uplink_sink_(std::move(p));
+  }
+  void to_device(Packet p) {
+    if (downlink_sink_) downlink_sink_(std::move(p));
+  }
+
+ private:
+  PacketSink uplink_sink_;
+  PacketSink downlink_sink_;
+};
+
+struct CorePathConfig {
+  // Base one-way latency between the operator core / internet edge and a
+  // server, before per-host extra latency.
+  sim::Duration base_one_way = sim::msec(15);
+  sim::Duration jitter_stddev = sim::msec(2);
+};
+
+class Network {
+ public:
+  Network(sim::EventLoop& loop, sim::Rng rng, CorePathConfig cfg = {});
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::EventLoop& loop() { return loop_; }
+  PacketFactory& packets() { return factory_; }
+
+  void register_host(Host& host);
+  void unregister_host(Host& host);
+  Host* find_host(IpAddr ip) const;
+
+  // Attaches `link` as the access link for `device_ip`. Both directions of
+  // that host's traffic then traverse the link.
+  void attach_access_link(IpAddr device_ip, AccessLink& link);
+  void detach_access_link(IpAddr device_ip);
+
+  // Hostname registry (consulted by the DNS service).
+  void register_hostname(const std::string& hostname, IpAddr ip);
+  IpAddr lookup_hostname(const std::string& hostname) const;
+
+  // Entry point used by hosts: routes `p` from `from` toward p.dst_ip.
+  void send(Host& from, Packet p);
+
+  // Called by access links when an uplink packet has crossed the link.
+  void deliver_from_access(Packet p);
+
+  // Per-host additional one-way core latency (e.g. a far-away CDN node).
+  void set_extra_latency(IpAddr host, sim::Duration extra);
+
+  std::uint64_t routed_packets() const { return routed_; }
+
+ private:
+  void core_forward(Packet p);
+  sim::Duration core_delay(IpAddr dst);
+
+  sim::EventLoop& loop_;
+  sim::Rng rng_;
+  CorePathConfig cfg_;
+  PacketFactory factory_;
+  // Per-destination FIFO clamp: jitter must not reorder a path's packets.
+  std::unordered_map<IpAddr, sim::TimePoint> last_arrival_;
+  std::unordered_map<IpAddr, Host*> hosts_;
+  std::unordered_map<IpAddr, AccessLink*> access_links_;
+  std::unordered_map<IpAddr, sim::Duration> extra_latency_;
+  std::unordered_map<std::string, IpAddr> hostnames_;
+  std::uint64_t routed_ = 0;
+};
+
+// A network endpoint: one IP address, a TCP stack, an optional UDP handler
+// and an optional packet tap (the device's tcpdump).
+class Host {
+ public:
+  using UdpHandler = std::function<void(const Packet&)>;
+
+  Host(Network& network, IpAddr ip, std::string name);
+  virtual ~Host();
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  IpAddr ip() const { return ip_; }
+  const std::string& name() const { return name_; }
+  Network& network() { return network_; }
+  sim::EventLoop& loop() { return network_.loop(); }
+  TcpStack& tcp() { return *tcp_; }
+
+  // Sends one packet into the network. The device tap (if any) records it
+  // here — i.e. at the IP layer, before radio transmission, exactly where
+  // tcpdump sits on a real phone.
+  void send_packet(Packet p);
+
+  // Invoked by the network (or access link) on packet arrival.
+  void receive_packet(const Packet& p);
+
+  // Sends a UDP datagram (used by DNS).
+  void send_udp(IpAddr dst, Port dst_port, Port src_port,
+                std::uint32_t payload_size,
+                std::shared_ptr<const DnsMessage> dns);
+
+  void set_udp_handler(UdpHandler h) { udp_handler_ = std::move(h); }
+
+  // tcpdump-style capture of all packets crossing this host's IP layer.
+  void set_trace(TraceCapture* trace) { trace_ = trace; }
+  TraceCapture* trace() { return trace_; }
+
+ private:
+  Network& network_;
+  IpAddr ip_;
+  std::string name_;
+  std::unique_ptr<TcpStack> tcp_;
+  UdpHandler udp_handler_;
+  TraceCapture* trace_ = nullptr;
+};
+
+}  // namespace qoed::net

@@ -1,0 +1,50 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace qoed::net {
+
+std::string IpAddr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (v_ >> 24) & 0xff,
+                (v_ >> 16) & 0xff, (v_ >> 8) & 0xff, v_ & 0xff);
+  return buf;
+}
+
+FlowKey FlowKey::canonical() const {
+  FlowKey rev = reversed();
+  return *this < rev ? *this : rev;
+}
+
+std::string FlowKey::to_string() const {
+  return src_ip.to_string() + ":" + std::to_string(src_port) + "->" +
+         dst_ip.to_string() + ":" + std::to_string(dst_port);
+}
+
+std::string TcpFlags::to_string() const {
+  std::string s;
+  if (syn) s += 'S';
+  if (fin) s += 'F';
+  if (rst) s += 'R';
+  if (psh) s += 'P';
+  if (ack) s += 'A';
+  if (s.empty()) s = ".";
+  return s;
+}
+
+std::uint8_t wire_byte(std::uint64_t uid, std::uint32_t i) {
+  // splitmix64-style mix of (uid, i). Stable across runs and platforms.
+  std::uint64_t x = uid * 0x9e3779b97f4a7c15ULL + i;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::uint8_t>(x & 0xff);
+}
+
+std::uint8_t Packet::wire_byte(std::uint32_t i) const {
+  return net::wire_byte(uid, i);
+}
+
+}  // namespace qoed::net

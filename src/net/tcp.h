@@ -1,0 +1,251 @@
+// Simulated TCP: Reno-style congestion control over the packet substrate.
+//
+// Fidelity goals (driven by what the paper's analyses observe):
+//   - three-way handshake and FIN teardown, visible in device traces;
+//   - slow start / congestion avoidance / triple-dup-ACK fast retransmit /
+//     RTO with exponential backoff, so carrier policing produces real loss,
+//     retransmissions and bursty goodput (Fig. 18), while shaping produces a
+//     smooth rate-limited flow;
+//   - receiver flow control with a configurable window.
+//
+// Application data is a byte stream with out-of-band message framing: the
+// sender records message boundaries as stream offsets, and the receiver
+// fires on_message when TCP has actually delivered the last byte of a
+// message in order. Boundary metadata never rides in packets — it's the
+// simulation's stand-in for application-layer parsing, with delivery timing
+// fully governed by real TCP dynamics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/addr.h"
+#include "net/packet.h"
+#include "sim/event_loop.h"
+
+namespace qoed::net {
+
+class Host;
+class TcpStack;
+
+// Application-level message riding on a TCP connection.
+struct AppMessage {
+  std::string type;        // e.g. "POST_PHOTOS", "HTTP_RESPONSE"
+  std::uint64_t size = 0;  // logical payload bytes carried on the stream
+  std::map<std::string, std::string> headers;
+
+  std::string header(const std::string& key) const {
+    auto it = headers.find(key);
+    return it == headers.end() ? std::string{} : it->second;
+  }
+};
+
+struct TcpConfig {
+  std::uint32_t mss = 1400;
+  std::uint32_t initial_cwnd_segments = 10;  // RFC 6928 IW10
+  std::uint64_t receive_window = 1 << 20;
+  sim::Duration initial_rto = sim::sec(1);
+  sim::Duration min_rto = sim::msec(200);
+  // Mobile stacks cap retransmission backoff well below the RFC's 60s+;
+  // this also keeps policed flows probing instead of going dark for ages.
+  sim::Duration max_rto = sim::sec(16);
+  // Delayed ACKs (RFC 1122): ack every second in-order segment, or after
+  // this timeout. Zero disables delaying (ack every segment) — the default,
+  // matching the chatty uplink behaviour the paper observes on 3G.
+  sim::Duration delayed_ack_timeout = sim::Duration::zero();
+  int max_syn_retries = 5;
+  int max_data_retries = 12;
+};
+
+// One end of a TCP connection. Created via TcpStack::connect() or handed to
+// a listener's accept callback; application code interacts only with this
+// class.
+class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
+ public:
+  enum class State {
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinWait,    // we sent FIN, waiting for peer's
+    kCloseWait,  // peer sent FIN, we still may send
+    kClosed,
+    kAborted,
+  };
+
+  using MessageHandler = std::function<void(const AppMessage&)>;
+  using Handler = std::function<void()>;
+
+  ~TcpSocket();
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  // Queues a message for transmission. Valid once connect has been issued
+  // (data sent before ESTABLISHED is buffered).
+  void send(AppMessage message);
+
+  // Graceful close: FIN goes out after all queued data.
+  void close();
+  // Abortive close (RST), e.g. app killed.
+  void abort();
+
+  void set_on_connected(Handler h) { on_connected_ = std::move(h); }
+  void set_on_message(MessageHandler h) { on_message_ = std::move(h); }
+  void set_on_closed(Handler h) { on_closed_ = std::move(h); }
+
+  State state() const { return state_; }
+  bool established() const { return state_ == State::kEstablished; }
+  FlowKey flow() const { return {local_ip_, local_port_, remote_ip_, remote_port_}; }
+  IpAddr remote_ip() const { return remote_ip_; }
+  Port remote_port() const { return remote_port_; }
+  Port local_port() const { return local_port_; }
+
+  std::uint64_t bytes_sent_acked() const { return snd_una_; }
+  std::uint64_t bytes_received() const { return rcv_nxt_; }
+  std::uint64_t retransmitted_segments() const { return retransmits_; }
+  std::uint64_t rto_events() const { return rto_events_; }
+  std::uint64_t fast_retransmit_events() const { return fast_retx_events_; }
+  double smoothed_rtt_seconds() const { return srtt_; }
+  std::uint64_t cwnd_bytes() const { return cwnd_; }
+
+ private:
+  friend class TcpStack;
+
+  TcpSocket(TcpStack& stack, IpAddr local_ip, Port local_port,
+            IpAddr remote_ip, Port remote_port, const TcpConfig& cfg,
+            bool active_open);
+
+  void start_connect();
+  void on_accept_syn(const Packet& syn);
+  void handle_packet(const Packet& p);
+
+  // --- sender side ---
+  void try_send();
+  void send_segment(std::uint64_t seq, std::uint32_t len, bool fin,
+                    bool retransmission = false);
+  void emit(Packet p);
+  void on_ack(const Packet& p);
+  void enter_fast_retransmit();
+  void arm_rto();
+  void on_rto();
+  void update_rtt(double sample_seconds);
+  std::uint64_t in_flight() const { return snd_nxt_ - snd_una_; }
+  std::uint64_t send_limit() const;
+
+  // --- receiver side ---
+  void on_data(const Packet& p);
+  void merge_ooo();
+  void deliver_ready_messages();
+  void send_ack();
+
+  void on_peer_fin(std::uint64_t fin_seq);
+  void maybe_finish_close();
+  void become_closed(State s);
+
+  TcpStack& stack_;
+  TcpConfig cfg_;
+  IpAddr local_ip_;
+  Port local_port_;
+  IpAddr remote_ip_;
+  Port remote_port_;
+  State state_;
+
+  Handler on_connected_;
+  MessageHandler on_message_;
+  Handler on_closed_;
+
+  // Sender state (stream offsets in bytes; offset 0 = first payload byte,
+  // the SYN conceptually occupies "offset -1" and is handled separately).
+  std::uint64_t app_bytes_queued_ = 0;  // total bytes app asked to send
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  std::uint64_t cwnd_ = 0;
+  std::uint64_t ssthresh_ = 1 << 30;
+  std::uint64_t peer_window_ = 1 << 20;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_point_ = 0;
+  int dup_acks_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t rto_events_ = 0;
+  std::uint64_t fast_retx_events_ = 0;
+  // Sequence space at/below this has been transmitted before a timeout;
+  // resends of it are retransmissions for Karn's algorithm.
+  std::uint64_t retransmit_high_water_ = 0;
+  bool fin_queued_ = false;
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+  int retries_ = 0;
+
+  // RTT estimation (Jacobson/Karels). Samples only from never-retransmitted
+  // segments (Karn's algorithm).
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  sim::Duration rto_;
+  sim::TimerHandle rto_timer_;
+  struct SegTime {
+    std::uint64_t end_seq;
+    sim::TimePoint sent_at;
+    bool retransmitted;
+  };
+  std::deque<SegTime> timing_;
+
+  // Out-of-band message framing: boundaries of messages this endpoint sends,
+  // as (stream offset of last byte + 1, message).
+  std::deque<std::pair<std::uint64_t, AppMessage>> outgoing_boundaries_;
+  std::weak_ptr<TcpSocket> peer_;  // framing side-channel only
+
+  // Receiver state.
+  std::uint64_t rcv_nxt_ = 0;
+  std::map<std::uint64_t, std::uint64_t> ooo_;  // start -> end
+  bool peer_fin_received_ = false;
+  std::uint64_t peer_fin_seq_ = 0;
+  int unacked_segments_ = 0;  // delayed-ACK bookkeeping
+  sim::TimerHandle delack_timer_;
+
+  // SYN handling.
+  sim::TimerHandle syn_timer_;
+  sim::TimePoint syn_sent_at_;
+  int syn_retries_ = 0;
+};
+
+// Per-host TCP demultiplexer.
+class TcpStack {
+ public:
+  using AcceptHandler = std::function<void(std::shared_ptr<TcpSocket>)>;
+
+  explicit TcpStack(Host& host, TcpConfig cfg = {});
+  ~TcpStack();
+
+  Host& host() { return host_; }
+  const TcpConfig& config() const { return cfg_; }
+  void set_config(const TcpConfig& cfg) { cfg_ = cfg; }
+
+  // Active open toward (dst, dst_port) from a fresh ephemeral port.
+  std::shared_ptr<TcpSocket> connect(IpAddr dst, Port dst_port);
+
+  void listen(Port port, AcceptHandler handler);
+  void stop_listening(Port port);
+
+  void handle_packet(const Packet& p);
+
+  // Number of live (not fully closed) connections.
+  std::size_t open_connections() const;
+
+ private:
+  friend class TcpSocket;
+  void send_packet(Packet p);
+  void remove(const FlowKey& flow);
+  void send_rst(const Packet& to);
+
+  Host& host_;
+  TcpConfig cfg_;
+  Port next_ephemeral_ = 40000;
+  std::map<FlowKey, std::shared_ptr<TcpSocket>> connections_;
+  std::map<Port, AcceptHandler> listeners_;
+};
+
+}  // namespace qoed::net

@@ -1,0 +1,121 @@
+#include "net/token_bucket.h"
+
+#include <algorithm>
+
+namespace qoed::net {
+
+TokenBucket::TokenBucket(sim::EventLoop& loop, double rate_bytes_per_sec,
+                         double burst_bytes)
+    : loop_(loop),
+      rate_(rate_bytes_per_sec),
+      burst_(burst_bytes),
+      tokens_(burst_bytes),
+      last_refill_(loop.now()) {}
+
+void TokenBucket::refill() {
+  const sim::TimePoint now = loop_.now();
+  const double elapsed = sim::to_seconds(now - last_refill_);
+  if (elapsed > 0) {
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    last_refill_ = now;
+  }
+}
+
+bool TokenBucket::try_consume(double bytes) {
+  refill();
+  if (tokens_ >= bytes) {
+    tokens_ -= bytes;
+    return true;
+  }
+  return false;
+}
+
+bool TokenBucket::try_consume_deficit(double bytes, double threshold) {
+  refill();
+  if (tokens_ >= threshold) {
+    tokens_ -= bytes;
+    return true;
+  }
+  return false;
+}
+
+sim::Duration TokenBucket::time_until_available(double bytes) {
+  refill();
+  if (tokens_ >= bytes) return sim::Duration::zero();
+  const double deficit = bytes - tokens_;
+  return sim::sec_f(deficit / rate_);
+}
+
+void Policer::submit(Packet p) {
+  if (bucket_.try_consume(p.total_size())) {
+    deliver(std::move(p));
+  } else {
+    drop(p);
+  }
+}
+
+Shaper::Shaper(sim::EventLoop& loop, double rate_bytes_per_sec,
+               double burst_bytes, std::size_t max_queue_bytes)
+    : loop_(loop),
+      bucket_(loop, rate_bytes_per_sec, burst_bytes),
+      burst_(burst_bytes),
+      max_queue_bytes_(max_queue_bytes) {}
+
+void Shaper::submit(Packet p) {
+  if (queue_.empty() &&
+      bucket_.try_consume_deficit(
+          p.total_size(), std::min<double>(p.total_size(), burst_))) {
+    deliver(std::move(p));
+    return;
+  }
+  if (queued_bytes_ + p.total_size() > max_queue_bytes_) {
+    drop(p);
+    return;
+  }
+  queued_bytes_ += p.total_size();
+  max_depth_seen_ = std::max(max_depth_seen_, queued_bytes_);
+  queue_.push_back(std::move(p));
+  pump();
+}
+
+void Shaper::pump() {
+  if (pump_scheduled_) return;
+  while (!queue_.empty()) {
+    Packet& head = queue_.front();
+    const double cost = head.total_size();
+    const double threshold = std::min(cost, burst_);
+    if (bucket_.try_consume_deficit(cost, threshold)) {
+      Packet p = std::move(head);
+      queue_.pop_front();
+      queued_bytes_ -= p.total_size();
+      deliver(std::move(p));
+      continue;
+    }
+    const sim::Duration wait = bucket_.time_until_available(threshold);
+    pump_scheduled_ = true;
+    loop_.schedule_after(std::max(wait, sim::usec(1)), [this] {
+      pump_scheduled_ = false;
+      pump();
+    });
+    return;
+  }
+}
+
+std::unique_ptr<PacketGate> make_gate(sim::EventLoop& loop, ThrottleKind kind,
+                                      double rate_bytes_per_sec,
+                                      double burst_bytes) {
+  // A policer with a bucket shallower than one MTU would drop every full-size
+  // packet unconditionally and stall TCP forever; keep a sane floor.
+  burst_bytes = std::max(burst_bytes, 4096.0);
+  switch (kind) {
+    case ThrottleKind::kNone:
+      return std::make_unique<NullGate>();
+    case ThrottleKind::kShaping:
+      return std::make_unique<Shaper>(loop, rate_bytes_per_sec, burst_bytes);
+    case ThrottleKind::kPolicing:
+      return std::make_unique<Policer>(loop, rate_bytes_per_sec, burst_bytes);
+  }
+  return std::make_unique<NullGate>();
+}
+
+}  // namespace qoed::net

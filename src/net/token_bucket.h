@@ -1,0 +1,139 @@
+// Token-bucket rate limiting: the carrier throttling mechanisms of §7.5.
+//
+// Both mechanisms the paper studies use a token bucket; they differ in what
+// happens to non-conforming traffic (Finding 7):
+//   - traffic POLICING (C1 LTE)  — excess packets are dropped;
+//   - traffic SHAPING  (C1 3G)   — excess packets are queued and released
+//     when tokens accumulate.
+// Policing turns congestion into TCP loss/retransmission and bursty goodput;
+// shaping yields a smooth rate-limited flow. Fig. 17-20 all fall out of this
+// difference.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/packet.h"
+#include "sim/event_loop.h"
+
+namespace qoed::net {
+
+// Continuous-refill token bucket.
+class TokenBucket {
+ public:
+  TokenBucket(sim::EventLoop& loop, double rate_bytes_per_sec,
+              double burst_bytes);
+
+  // Consumes `bytes` tokens if available; refills lazily from elapsed time.
+  bool try_consume(double bytes);
+
+  // Shaping variant: conforms once `threshold` tokens are present but charges
+  // the full `bytes`, letting the balance go negative. This handles packets
+  // larger than the bucket depth — with strict try_consume such a packet
+  // could never conform and a shaper would spin forever.
+  bool try_consume_deficit(double bytes, double threshold);
+
+  // Time until `bytes` tokens will be available (zero if already available).
+  sim::Duration time_until_available(double bytes);
+
+  double tokens() const { return tokens_; }
+  double rate_bytes_per_sec() const { return rate_; }
+
+ private:
+  void refill();
+
+  sim::EventLoop& loop_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim::TimePoint last_refill_;
+};
+
+// A stage a packet passes through on its way across a link. `forward` is
+// invoked (possibly later) for packets that survive the gate.
+class PacketGate {
+ public:
+  using Forward = std::function<void(Packet)>;
+
+  virtual ~PacketGate() = default;
+  virtual void submit(Packet p) = 0;
+  void set_forward(Forward f) { forward_ = std::move(f); }
+
+  std::uint64_t accepted_packets() const { return accepted_; }
+  std::uint64_t dropped_packets() const { return dropped_; }
+  std::uint64_t accepted_bytes() const { return accepted_bytes_; }
+  std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+
+ protected:
+  void deliver(Packet p) {
+    ++accepted_;
+    accepted_bytes_ += p.total_size();
+    if (forward_) forward_(std::move(p));
+  }
+  void drop(const Packet& p) {
+    ++dropped_;
+    dropped_bytes_ += p.total_size();
+  }
+
+ private:
+  Forward forward_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t accepted_bytes_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+};
+
+// Pass-through gate (unthrottled SIM).
+class NullGate final : public PacketGate {
+ public:
+  void submit(Packet p) override { deliver(std::move(p)); }
+};
+
+// Traffic policing: drop packets that exceed the configured rate.
+class Policer final : public PacketGate {
+ public:
+  Policer(sim::EventLoop& loop, double rate_bytes_per_sec, double burst_bytes)
+      : bucket_(loop, rate_bytes_per_sec, burst_bytes) {}
+
+  void submit(Packet p) override;
+
+ private:
+  TokenBucket bucket_;
+};
+
+// Traffic shaping: queue packets that exceed the rate and release them as
+// tokens accumulate. Queue overflow (rare with the paper's workloads) drops.
+class Shaper final : public PacketGate {
+ public:
+  Shaper(sim::EventLoop& loop, double rate_bytes_per_sec, double burst_bytes,
+         std::size_t max_queue_bytes = 512 * 1024);
+
+  void submit(Packet p) override;
+
+  std::size_t queued_bytes() const { return queued_bytes_; }
+  std::size_t max_queue_depth_seen() const { return max_depth_seen_; }
+
+ private:
+  void pump();
+
+  sim::EventLoop& loop_;
+  TokenBucket bucket_;
+  double burst_;
+  std::size_t max_queue_bytes_;
+  std::deque<Packet> queue_;
+  std::size_t queued_bytes_ = 0;
+  std::size_t max_depth_seen_ = 0;
+  bool pump_scheduled_ = false;
+};
+
+// Factory for the gate matching a carrier configuration.
+enum class ThrottleKind { kNone, kShaping, kPolicing };
+
+std::unique_ptr<PacketGate> make_gate(sim::EventLoop& loop, ThrottleKind kind,
+                                      double rate_bytes_per_sec,
+                                      double burst_bytes);
+
+}  // namespace qoed::net

@@ -1,0 +1,37 @@
+#include "net/trace.h"
+
+namespace qoed::net {
+
+PacketRecord PacketRecord::from_packet(const Packet& p, sim::TimePoint ts,
+                                       Direction dir) {
+  PacketRecord r;
+  r.timestamp = ts;
+  r.direction = dir;
+  r.uid = p.uid;
+  r.src_ip = p.src_ip;
+  r.src_port = p.src_port;
+  r.dst_ip = p.dst_ip;
+  r.dst_port = p.dst_port;
+  r.protocol = p.protocol;
+  r.seq = p.seq;
+  r.ack = p.ack;
+  r.flags = p.flags;
+  r.payload_size = p.payload_size;
+  r.dns = p.dns;
+  return r;
+}
+
+void TraceCapture::record(const Packet& p, sim::TimePoint ts, Direction dir) {
+  if (!running_) return;
+  records_.push_back(PacketRecord::from_packet(p, ts, dir));
+}
+
+std::uint64_t TraceCapture::bytes(Direction dir) const {
+  std::uint64_t total = 0;
+  for (const auto& r : records_) {
+    if (r.direction == dir) total += r.total_size();
+  }
+  return total;
+}
+
+}  // namespace qoed::net

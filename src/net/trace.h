@@ -1,0 +1,60 @@
+// Packet trace capture — the simulation's "tcpdump".
+//
+// QoE Doctor runs tcpdump on the device while the UI controller replays user
+// behaviour (§4.3.2). TraceCapture is attached at the device's IP layer: it
+// records every packet the device sends (before radio transmission) and every
+// packet it receives (after radio reassembly), with the device-local
+// timestamp. The offline analyzers consume the resulting vector of records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace qoed::net {
+
+struct PacketRecord {
+  sim::TimePoint timestamp;
+  Direction direction = Direction::kUplink;
+  std::uint64_t uid = 0;
+  IpAddr src_ip;
+  Port src_port = 0;
+  IpAddr dst_ip;
+  Port dst_port = 0;
+  Protocol protocol = Protocol::kTcp;
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  TcpFlags flags;
+  std::uint32_t payload_size = 0;
+  std::shared_ptr<const DnsMessage> dns;
+
+  std::uint32_t total_size() const { return payload_size + kHeaderBytes; }
+  FlowKey flow() const { return {src_ip, src_port, dst_ip, dst_port}; }
+
+  static PacketRecord from_packet(const Packet& p, sim::TimePoint ts,
+                                  Direction dir);
+};
+
+class TraceCapture {
+ public:
+  void record(const Packet& p, sim::TimePoint ts, Direction dir);
+
+  bool running() const { return running_; }
+  void start() { running_ = true; }
+  void stop() { running_ = false; }
+  void clear() { records_.clear(); }
+
+  const std::vector<PacketRecord>& records() const { return records_; }
+
+  // Total IP bytes captured in each direction (headers included), the raw
+  // material for the paper's mobile-data-consumption metric.
+  std::uint64_t bytes(Direction dir) const;
+
+ private:
+  bool running_ = true;
+  std::vector<PacketRecord> records_;
+};
+
+}  // namespace qoed::net

@@ -1,0 +1,46 @@
+#include "radio/carrier.h"
+
+namespace qoed::radio {
+namespace {
+
+CellularConfig apply(const CellularConfig& base, net::ThrottleKind kind,
+                     double rate_bps, double burst_bytes, bool over_limit) {
+  CellularConfig cfg = base;
+  if (over_limit && kind != net::ThrottleKind::kNone) {
+    cfg.throttle = kind;
+    cfg.throttle_rate_bps = rate_bps;
+    cfg.throttle_burst_bytes = burst_bytes;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+CellularConfig Carrier::umts(bool over_limit) const {
+  return apply(umts_base, umts_throttle, throttle_rate_bps,
+               shaping_burst_bytes, over_limit);
+}
+
+CellularConfig Carrier::lte(bool over_limit) const {
+  return apply(lte_base, lte_throttle, throttle_rate_bps,
+               lte_throttle == net::ThrottleKind::kPolicing
+                   ? policing_burst_bytes
+                   : shaping_burst_bytes,
+               over_limit);
+}
+
+Carrier Carrier::c1() { return Carrier{}; }
+
+Carrier Carrier::c2() {
+  Carrier c;
+  c.name = "C2";
+  // C2 bills overage rather than throttling, and runs slightly different
+  // RRC inactivity timers on its 3G network.
+  c.umts_throttle = net::ThrottleKind::kNone;
+  c.lte_throttle = net::ThrottleKind::kNone;
+  c.umts_base.rrc.dch_to_fach_timer = sim::sec(4);
+  c.umts_base.rrc.fach_to_pch_timer = sim::sec(10);
+  return c;
+}
+
+}  // namespace qoed::radio

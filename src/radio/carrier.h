@@ -1,0 +1,37 @@
+// Carrier profiles (§7: "2 carriers are involved in our experiments, which
+// we denote as C1 and C2").
+//
+// A Carrier bundles everything operator-specific: the RRC/RLC parameters of
+// its 3G and LTE networks and its over-limit policy. C1 keeps serving data
+// past the cap but throttles at the base station — traffic SHAPING on its 3G
+// network and traffic POLICING on LTE (Finding 7). C2 charges for overage
+// instead, so its throttled configuration equals its unthrottled one.
+#pragma once
+
+#include <string>
+
+#include "radio/cellular_link.h"
+
+namespace qoed::radio {
+
+struct Carrier {
+  std::string name = "C1";
+  CellularConfig umts_base = CellularConfig::umts();
+  CellularConfig lte_base = CellularConfig::lte();
+  // Over-limit behaviour; kNone = the carrier bills instead of throttling.
+  net::ThrottleKind umts_throttle = net::ThrottleKind::kShaping;
+  net::ThrottleKind lte_throttle = net::ThrottleKind::kPolicing;
+  double throttle_rate_bps = 250e3;
+  double shaping_burst_bytes = 24 * 1024;
+  double policing_burst_bytes = 8 * 1024;  // policers deploy shallow buckets
+
+  // Network configuration for a SIM of this carrier. `over_limit` selects
+  // the throttled (past-the-cap) variant.
+  CellularConfig umts(bool over_limit = false) const;
+  CellularConfig lte(bool over_limit = false) const;
+
+  static Carrier c1();
+  static Carrier c2();
+};
+
+}  // namespace qoed::radio

@@ -1,0 +1,61 @@
+#include "radio/cellular_link.h"
+
+#include <utility>
+
+namespace qoed::radio {
+
+CellularConfig CellularConfig::umts() {
+  CellularConfig cfg;
+  cfg.rrc = RrcConfig::umts_default();
+  cfg.rlc = RlcConfig::umts();
+  return cfg;
+}
+
+CellularConfig CellularConfig::umts_simplified() {
+  CellularConfig cfg = umts();
+  cfg.rrc = RrcConfig::umts_simplified();
+  return cfg;
+}
+
+CellularConfig CellularConfig::lte() {
+  CellularConfig cfg;
+  cfg.rrc = RrcConfig::lte_default();
+  cfg.rlc = RlcConfig::lte();
+  return cfg;
+}
+
+CellularLink::CellularLink(sim::EventLoop& loop, sim::Rng rng,
+                           CellularConfig cfg)
+    : cfg_(std::move(cfg)) {
+  qxdm_ = std::make_unique<QxdmLogger>(rng.fork("qxdm"));
+  rrc_ = std::make_unique<RrcMachine>(loop, cfg_.rrc);
+  rrc_->add_observer([this](RrcState from, RrcState to, sim::TimePoint at) {
+    qxdm_->log_rrc(from, to, at);
+  });
+
+  ul_ = std::make_unique<RlcChannel>(loop, rng.fork("rlc-ul"), cfg_.rlc,
+                                     net::Direction::kUplink, *rrc_, *qxdm_);
+  dl_ = std::make_unique<RlcChannel>(loop, rng.fork("rlc-dl"), cfg_.rlc,
+                                     net::Direction::kDownlink, *rrc_,
+                                     *qxdm_);
+  ul_->set_deliver([this](net::Packet p) { to_core(std::move(p)); });
+  dl_->set_deliver([this](net::Packet p) { to_device(std::move(p)); });
+
+  ul_gate_ = net::make_gate(
+      loop, cfg_.throttle_uplink ? cfg_.throttle : net::ThrottleKind::kNone,
+      cfg_.throttle_rate_bps / 8.0, cfg_.throttle_burst_bytes);
+  dl_gate_ = net::make_gate(loop, cfg_.throttle, cfg_.throttle_rate_bps / 8.0,
+                            cfg_.throttle_burst_bytes);
+  ul_gate_->set_forward([this](net::Packet p) { ul_->enqueue(std::move(p)); });
+  dl_gate_->set_forward([this](net::Packet p) { dl_->enqueue(std::move(p)); });
+}
+
+void CellularLink::send_uplink(net::Packet p) {
+  ul_gate_->submit(std::move(p));
+}
+
+void CellularLink::send_downlink(net::Packet p) {
+  dl_gate_->submit(std::move(p));
+}
+
+}  // namespace qoed::radio

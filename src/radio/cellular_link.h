@@ -1,0 +1,59 @@
+// Cellular access link: RRC state machine + RLC channels + carrier gate.
+//
+//   device IP layer --(UL)--> [RLC UL channel] --> core
+//   core --(DL)--> [carrier token-bucket gate] --> [RLC DL channel] --> device
+//
+// The downlink gate models the base-station throttling of §7.5: traffic
+// shaping (3G in the paper) or traffic policing (LTE in the paper), both
+// driven by the same token-bucket parameters.
+#pragma once
+
+#include <memory>
+
+#include "net/network.h"
+#include "net/token_bucket.h"
+#include "radio/qxdm_logger.h"
+#include "radio/rlc.h"
+#include "radio/rrc_machine.h"
+
+namespace qoed::radio {
+
+struct CellularConfig {
+  RrcConfig rrc = RrcConfig::umts_default();
+  RlcConfig rlc = RlcConfig::umts();
+
+  net::ThrottleKind throttle = net::ThrottleKind::kNone;
+  double throttle_rate_bps = 250e3;  // token rate (bits/s), as in Fig. 19/20
+  double throttle_burst_bytes = 32 * 1024;
+  bool throttle_uplink = false;  // carriers throttle the downlink
+
+  static CellularConfig umts();
+  static CellularConfig umts_simplified();  // §7.7 machine, no FACH
+  static CellularConfig lte();
+};
+
+class CellularLink final : public net::AccessLink {
+ public:
+  CellularLink(sim::EventLoop& loop, sim::Rng rng, CellularConfig cfg);
+
+  void send_uplink(net::Packet p) override;
+  void send_downlink(net::Packet p) override;
+
+  const CellularConfig& config() const { return cfg_; }
+  RrcMachine& rrc() { return *rrc_; }
+  QxdmLogger& qxdm() { return *qxdm_; }
+  RlcChannel& uplink_rlc() { return *ul_; }
+  RlcChannel& downlink_rlc() { return *dl_; }
+  net::PacketGate& downlink_gate() { return *dl_gate_; }
+
+ private:
+  CellularConfig cfg_;
+  std::unique_ptr<QxdmLogger> qxdm_;
+  std::unique_ptr<RrcMachine> rrc_;
+  std::unique_ptr<RlcChannel> ul_;
+  std::unique_ptr<RlcChannel> dl_;
+  std::unique_ptr<net::PacketGate> ul_gate_;
+  std::unique_ptr<net::PacketGate> dl_gate_;
+};
+
+}  // namespace qoed::radio

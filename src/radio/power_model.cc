@@ -1,0 +1,59 @@
+#include "radio/power_model.h"
+
+#include <algorithm>
+
+namespace qoed::radio {
+
+sim::Duration StateResidency::total() const {
+  sim::Duration sum{};
+  for (const auto& [state, d] : time_in_state) sum += d;
+  return sum;
+}
+
+sim::Duration StateResidency::in(RrcState s) const {
+  auto it = time_in_state.find(s);
+  return it == time_in_state.end() ? sim::Duration::zero() : it->second;
+}
+
+StateResidency compute_residency(const std::vector<RrcTransitionRecord>& log,
+                                 RrcState initial, sim::TimePoint start,
+                                 sim::TimePoint end) {
+  StateResidency out;
+  if (end <= start) return out;
+
+  RrcState state = initial;
+  sim::TimePoint cursor = start;
+  for (const auto& t : log) {
+    if (t.at <= start) {
+      state = t.to;
+      continue;
+    }
+    if (t.at >= end) break;
+    out.time_in_state[state] += t.at - cursor;
+    cursor = t.at;
+    state = t.to;
+  }
+  out.time_in_state[state] += end - cursor;
+  return out;
+}
+
+double energy_joules(const StateResidency& residency, const RrcConfig& cfg) {
+  double joules = 0;
+  for (const auto& [state, d] : residency.time_in_state) {
+    joules += cfg.params(state).power_mw / 1000.0 * sim::to_seconds(d);
+  }
+  return joules;
+}
+
+double active_energy_joules(const StateResidency& residency,
+                            const RrcConfig& cfg) {
+  double joules = 0;
+  for (const auto& [state, d] : residency.time_in_state) {
+    if (is_high_power(state)) {
+      joules += cfg.params(state).power_mw / 1000.0 * sim::to_seconds(d);
+    }
+  }
+  return joules;
+}
+
+}  // namespace qoed::radio

@@ -1,0 +1,33 @@
+#include "radio/qxdm_logger.h"
+
+namespace qoed::radio {
+
+void QxdmLogger::log_rrc(RrcState from, RrcState to, sim::TimePoint at) {
+  if (!enabled_) return;
+  rrc_log_.push_back({at, from, to});
+}
+
+void QxdmLogger::log_pdu(PduRecord record) {
+  if (!enabled_) return;
+  const double loss = record.dir == net::Direction::kUplink ? record_loss_ul_
+                                                            : record_loss_dl_;
+  if (rng_.bernoulli(loss)) {
+    ++records_dropped_;
+    return;
+  }
+  pdu_log_.push_back(std::move(record));
+}
+
+void QxdmLogger::log_status(StatusRecord record) {
+  if (!enabled_) return;
+  status_log_.push_back(record);
+}
+
+void QxdmLogger::clear() {
+  rrc_log_.clear();
+  pdu_log_.clear();
+  status_log_.clear();
+  records_dropped_ = 0;
+}
+
+}  // namespace qoed::radio

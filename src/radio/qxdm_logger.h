@@ -1,0 +1,93 @@
+// QxDM-like radio diagnostic logger (§4.3.3).
+//
+// The real Qualcomm eXtensible Diagnostic Monitor exposes RRC control-plane
+// transitions and RLC data-plane PDUs, with two limitations QoE Doctor has
+// to work around and which we reproduce deliberately:
+//   1. each RLC PDU record carries only the FIRST TWO payload bytes — this
+//      is why the long-jump mapping algorithm (§5.4.2) exists;
+//   2. a small fraction of PDU records is simply missing from the log,
+//      which caps the IP->RLC mapping ratio below 100 % (99.52 % uplink /
+//      88.83 % downlink in the paper).
+// Records also carry the ground-truth packet uids of the carried bytes;
+// analyzers never read them — they exist so tests can validate the mapper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/addr.h"
+#include "radio/rrc_config.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace qoed::radio {
+
+struct RrcTransitionRecord {
+  sim::TimePoint at;
+  RrcState from;
+  RrcState to;
+};
+
+struct PduRecord {
+  sim::TimePoint at;       // UL: transmission start; DL: arrival at device
+  net::Direction dir = net::Direction::kUplink;
+  std::uint32_t seq = 0;
+  std::uint16_t payload_len = 0;
+  std::array<std::uint8_t, 2> first_two{};  // all QxDM gives us (see above)
+  // Offsets within the payload at which an SDU (IP packet) *ends*; the 3G
+  // Length Indicator field (§5.4.2, Fig. 5).
+  std::vector<std::uint16_t> li_ends;
+  bool poll = false;
+  bool is_status = false;
+  bool retransmission = false;
+
+  // Ground truth for validation only: uids of the IP packets whose bytes
+  // this PDU carries, in order. The long-jump mapper must not read this.
+  std::vector<std::uint64_t> true_uids;
+};
+
+struct StatusRecord {
+  sim::TimePoint at;
+  net::Direction data_dir;  // direction of the data PDUs being acknowledged
+  std::uint32_t ack_until = 0;   // all seq < ack_until received
+  std::uint32_t nack_count = 0;
+};
+
+class QxdmLogger {
+ public:
+  explicit QxdmLogger(sim::Rng rng) : rng_(std::move(rng)) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Probability that a PDU record is silently missing from the log.
+  void set_record_loss(double uplink, double downlink) {
+    record_loss_ul_ = uplink;
+    record_loss_dl_ = downlink;
+  }
+
+  void log_rrc(RrcState from, RrcState to, sim::TimePoint at);
+  void log_pdu(PduRecord record);
+  void log_status(StatusRecord record);
+
+  void clear();
+
+  const std::vector<RrcTransitionRecord>& rrc_log() const { return rrc_log_; }
+  const std::vector<PduRecord>& pdu_log() const { return pdu_log_; }
+  const std::vector<StatusRecord>& status_log() const { return status_log_; }
+
+  std::uint64_t pdus_dropped_from_log() const { return records_dropped_; }
+
+ private:
+  sim::Rng rng_;
+  bool enabled_ = true;
+  double record_loss_ul_ = 0.0001;
+  double record_loss_dl_ = 0.09;
+  std::vector<RrcTransitionRecord> rrc_log_;
+  std::vector<PduRecord> pdu_log_;
+  std::vector<StatusRecord> status_log_;
+  std::uint64_t records_dropped_ = 0;
+};
+
+}  // namespace qoed::radio

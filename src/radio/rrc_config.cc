@@ -1,0 +1,86 @@
+#include "radio/rrc_config.h"
+
+namespace qoed::radio {
+
+const char* to_string(RrcState s) {
+  switch (s) {
+    case RrcState::kPch:
+      return "PCH";
+    case RrcState::kFach:
+      return "FACH";
+    case RrcState::kDch:
+      return "DCH";
+    case RrcState::kLteIdle:
+      return "LTE_IDLE";
+    case RrcState::kLteConnected:
+      return "LTE_CONNECTED";
+    case RrcState::kLteShortDrx:
+      return "LTE_SHORT_DRX";
+    case RrcState::kLteLongDrx:
+      return "LTE_LONG_DRX";
+  }
+  return "?";
+}
+
+bool is_transfer_capable(RrcState s) {
+  switch (s) {
+    case RrcState::kFach:
+    case RrcState::kDch:
+    case RrcState::kLteConnected:
+      return true;
+    default:
+      // DRX substates keep the RRC connection but the radio sleeps between
+      // on-durations; data triggers a short wake-up first.
+      return false;
+  }
+}
+
+bool is_low_power(RrcState s) {
+  return s == RrcState::kPch || s == RrcState::kLteIdle;
+}
+
+bool is_high_power(RrcState s) { return !is_low_power(s); }
+
+const StateParams& RrcConfig::params(RrcState s) const {
+  switch (s) {
+    case RrcState::kPch:
+      return pch;
+    case RrcState::kFach:
+      return fach;
+    case RrcState::kDch:
+      return dch;
+    case RrcState::kLteIdle:
+      return lte_idle;
+    case RrcState::kLteConnected:
+      return lte_connected;
+    case RrcState::kLteShortDrx:
+      return lte_short_drx;
+    case RrcState::kLteLongDrx:
+      return lte_long_drx;
+  }
+  return pch;
+}
+
+RrcConfig RrcConfig::umts_default() {
+  RrcConfig cfg;
+  cfg.tech = RadioTech::k3G;
+  cfg.name = "3g-default";
+  return cfg;
+}
+
+RrcConfig RrcConfig::umts_simplified() {
+  RrcConfig cfg;
+  cfg.tech = RadioTech::k3G;
+  cfg.name = "3g-simplified";
+  cfg.has_fach = false;
+  return cfg;
+}
+
+RrcConfig RrcConfig::lte_default() {
+  RrcConfig cfg;
+  cfg.tech = RadioTech::kLte;
+  cfg.name = "lte-default";
+  return cfg;
+}
+
+}  // namespace qoed::radio

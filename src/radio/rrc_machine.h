@@ -1,0 +1,69 @@
+// RRC state machine: promotions on data activity, demotions on inactivity
+// timers (Fig. 1). One instance per simulated handset.
+//
+// The RLC layer calls notify_data() when packets arrive for transmission and
+// touch() as PDUs flow; the machine answers "can we transfer now?", performs
+// timed promotions, and emits every transition to registered observers (the
+// QxDM-like logger and, transitively, the energy model).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "radio/rrc_config.h"
+#include "sim/event_loop.h"
+
+namespace qoed::radio {
+
+class RrcMachine {
+ public:
+  using TransitionObserver =
+      std::function<void(RrcState from, RrcState to, sim::TimePoint at)>;
+  using ReadyCallback = std::function<void()>;
+
+  RrcMachine(sim::EventLoop& loop, RrcConfig config);
+  RrcMachine(const RrcMachine&) = delete;
+  RrcMachine& operator=(const RrcMachine&) = delete;
+
+  const RrcConfig& config() const { return cfg_; }
+  RrcState state() const { return state_; }
+  bool transfer_capable() const { return is_transfer_capable(state_); }
+  bool promoting() const { return promotion_timer_.active(); }
+
+  // Data wants to move: starts a promotion if needed, and invokes `ready`
+  // once the machine is in a transfer-capable state (immediately if it
+  // already is). `queued_bytes` drives the FACH->DCH buffer threshold.
+  void request_transfer(std::size_t queued_bytes, ReadyCallback ready);
+
+  // Data-plane activity heartbeat: resets demotion timers, wakes DRX, and
+  // escalates FACH->DCH when the queue crosses the threshold.
+  void on_activity(std::size_t queued_bytes);
+
+  // Radio parameters of the current state.
+  const StateParams& current_params() const { return cfg_.params(state_); }
+
+  void add_observer(TransitionObserver obs);
+
+  std::uint64_t promotions() const { return promotions_; }
+  std::uint64_t demotions() const { return demotions_; }
+
+ private:
+  void transition_to(RrcState next);
+  void start_promotion(RrcState target, sim::Duration delay);
+  void arm_demotion_timer();
+  void on_demotion_timer();
+  void flush_ready();
+
+  sim::EventLoop& loop_;
+  RrcConfig cfg_;
+  RrcState state_;
+  RrcState promotion_target_;
+  sim::TimerHandle promotion_timer_;
+  sim::TimerHandle demotion_timer_;
+  std::vector<ReadyCallback> waiting_;
+  std::vector<TransitionObserver> observers_;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t demotions_ = 0;
+};
+
+}  // namespace qoed::radio

@@ -1,0 +1,72 @@
+#include "sim/event_loop.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace qoed::sim {
+
+std::string format_time(TimePoint t) { return format_duration(t.since_start()); }
+
+std::string format_duration(Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6fs", to_seconds(d));
+  return buf;
+}
+
+void TimerHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool TimerHandle::active() const { return cancelled_ && !*cancelled_; }
+
+TimerHandle EventLoop::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{at, next_seq_++, std::move(fn), cancelled});
+  return TimerHandle{std::move(cancelled)};
+}
+
+TimerHandle EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::dispatch_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.at;
+    *ev.cancelled = true;  // mark fired so late cancel() is a no-op
+    ++dispatched_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t n = 0;
+  while (dispatch_next()) ++n;
+  return n;
+}
+
+std::size_t EventLoop::run_until(TimePoint deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Peek: skip cancelled entries without advancing time.
+    const Event& top = queue_.top();
+    if (*top.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    if (dispatch_next()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool EventLoop::step() { return dispatch_next(); }
+
+}  // namespace qoed::sim

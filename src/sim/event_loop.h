@@ -1,0 +1,88 @@
+// Deterministic single-threaded discrete-event loop.
+//
+// Components schedule closures at virtual times; the loop dispatches them in
+// (time, insertion-order) order, so runs are exactly reproducible. Timers can
+// be cancelled through the handle returned at scheduling time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace qoed::sim {
+
+class EventLoop;
+
+// Cancellation handle for a scheduled event. Default-constructed handles are
+// inert. Cancelling an already-fired or already-cancelled event is a no-op.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel();
+  bool active() const;
+
+ private:
+  friend class EventLoop;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules `fn` to run at `at` (clamped to now if in the past).
+  TimerHandle schedule_at(TimePoint at, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` after now (negative delays clamp to now).
+  TimerHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  // Runs events until the queue is empty. Returns the number dispatched.
+  std::size_t run();
+
+  // Runs events with timestamp <= deadline, then advances the clock to
+  // exactly `deadline` (even if no event fired there).
+  std::size_t run_until(TimePoint deadline);
+
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  // Dispatches the single next event, if any. Returns false when idle.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t dispatched_events() const { return dispatched_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_next();
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace qoed::sim

@@ -1,0 +1,66 @@
+#include "sim/log.h"
+
+#include <cstdio>
+
+namespace qoed::sim {
+namespace {
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, TimePoint t, std::string_view msg) {
+    std::fprintf(stderr, "[%s %10s] %.*s\n", level_name(level),
+                 format_time(t).c_str(), static_cast<int>(msg.size()),
+                 msg.data());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    *this = Logger{};
+  }
+}
+
+void Logger::log(LogLevel level, TimePoint t, std::string_view component,
+                 std::string_view message) {
+  if (level < level_) return;
+  std::string line;
+  line.reserve(component.size() + message.size() + 2);
+  line.append(component);
+  line.append(": ");
+  line.append(message);
+  sink_(level, t, line);
+}
+
+void log_debug(TimePoint t, std::string_view component, std::string_view msg) {
+  Logger::instance().log(LogLevel::kDebug, t, component, msg);
+}
+void log_info(TimePoint t, std::string_view component, std::string_view msg) {
+  Logger::instance().log(LogLevel::kInfo, t, component, msg);
+}
+void log_warn(TimePoint t, std::string_view component, std::string_view msg) {
+  Logger::instance().log(LogLevel::kWarn, t, component, msg);
+}
+
+}  // namespace qoed::sim

@@ -1,0 +1,43 @@
+// Minimal leveled logger for simulation diagnostics.
+//
+// Off by default (tests and benches stay quiet); examples turn it on to show
+// the replay as it happens. Not thread-aware: the simulation is
+// single-threaded by design.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace qoed::sim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, TimePoint, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Replaces the sink (default writes to stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, TimePoint t, std::string_view component,
+           std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kOff;
+  Sink sink_;
+};
+
+void log_debug(TimePoint t, std::string_view component, std::string_view msg);
+void log_info(TimePoint t, std::string_view component, std::string_view msg);
+void log_warn(TimePoint t, std::string_view component, std::string_view msg);
+
+}  // namespace qoed::sim

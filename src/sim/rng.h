@@ -1,0 +1,44 @@
+// Deterministic random source for the simulation.
+//
+// Every stochastic component takes an Rng (or forks a named stream from one)
+// so that a single seed reproduces a full experiment, and adding a new
+// consumer does not perturb the draws seen by existing ones.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace qoed::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  // Independent stream derived from this rng's seed and `name`; forking is
+  // stable regardless of how many draws the parent has made.
+  Rng fork(std::string_view name) const;
+
+  double uniform() { return unit_(engine_); }                  // [0, 1)
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Inclusive integer range.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  double exponential(double mean);
+  // Normal clipped to [lo, hi] (resampled); useful for jittered delays that
+  // must stay positive.
+  double normal(double mean, double stddev);
+  double clipped_normal(double mean, double stddev, double lo, double hi);
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace qoed::sim

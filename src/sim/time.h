@@ -1,0 +1,72 @@
+// Virtual time primitives for the discrete-event simulation.
+//
+// All simulation components share one virtual timeline. We use
+// std::chrono::microseconds as the duration type (fine enough for RLC PDU
+// timing, coarse enough to cover multi-hour experiments in int64) and a
+// strongly-typed TimePoint so wall-clock values cannot be mixed in by
+// accident.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace qoed::sim {
+
+using Duration = std::chrono::microseconds;
+
+constexpr Duration usec(std::int64_t v) { return Duration{v}; }
+constexpr Duration msec(std::int64_t v) { return Duration{v * 1000}; }
+constexpr Duration sec(std::int64_t v) { return Duration{v * 1'000'000}; }
+constexpr Duration minutes(std::int64_t v) { return sec(v * 60); }
+constexpr Duration hours(std::int64_t v) { return minutes(v * 60); }
+
+// Converts a floating-point second count; convenient for rate math.
+constexpr Duration sec_f(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1e6)};
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+// A point on the simulation timeline. Time zero is the start of the run.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(Duration since_start) : t_(since_start) {}
+
+  constexpr Duration since_start() const { return t_; }
+  constexpr double seconds() const { return to_seconds(t_); }
+
+  friend constexpr TimePoint operator+(TimePoint a, Duration d) {
+    return TimePoint{a.t_ + d};
+  }
+  friend constexpr TimePoint operator+(Duration d, TimePoint a) { return a + d; }
+  friend constexpr TimePoint operator-(TimePoint a, Duration d) {
+    return TimePoint{a.t_ - d};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return a.t_ - b.t_;
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    t_ += d;
+    return *this;
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+ private:
+  Duration t_{0};
+};
+
+constexpr TimePoint kTimeZero{};
+
+// "12.345s"-style rendering for logs and reports.
+std::string format_time(TimePoint t);
+std::string format_duration(Duration d);
+
+}  // namespace qoed::sim

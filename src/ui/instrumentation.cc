@@ -1,0 +1,37 @@
+#include "ui/instrumentation.h"
+
+#include <utility>
+
+namespace qoed::ui {
+
+Instrumentation::Instrumentation(UiThread& ui_thread, LayoutTree& tree,
+                                 InstrumentationConfig cfg)
+    : ui_thread_(ui_thread), tree_(tree), cfg_(cfg) {}
+
+void Instrumentation::click(std::shared_ptr<View> view) {
+  ++events_;
+  ui_thread_.post(cfg_.event_dispatch_cost,
+                  [view = std::move(view)] { view->perform_click(); });
+}
+
+void Instrumentation::scroll(std::shared_ptr<View> view, int dy) {
+  ++events_;
+  ui_thread_.post(cfg_.event_dispatch_cost,
+                  [view = std::move(view), dy] { view->perform_scroll(dy); });
+}
+
+void Instrumentation::type_text(std::shared_ptr<View> view, std::string text) {
+  ++events_;
+  ui_thread_.post(cfg_.event_dispatch_cost,
+                  [view = std::move(view), text = std::move(text)]() mutable {
+                    view->set_text(std::move(text));
+                  });
+}
+
+void Instrumentation::press_key(std::shared_ptr<View> view, int keycode) {
+  ++events_;
+  ui_thread_.post(cfg_.event_dispatch_cost,
+                  [view = std::move(view), keycode] { view->send_key(keycode); });
+}
+
+}  // namespace qoed::ui

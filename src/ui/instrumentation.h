@@ -1,0 +1,47 @@
+// InstrumentationTestCase-style UI event injection (§4.1).
+//
+// The paper's controller runs in the same process as the app via Android's
+// InstrumentationTestCase API: it can inject interaction events and read the
+// live layout tree directly. This class is that capability: injected events
+// go through the UI thread like real input, and `tree()` exposes the shared
+// layout tree for the see/wait components.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ui/layout_tree.h"
+#include "ui/ui_thread.h"
+#include "ui/widgets.h"
+
+namespace qoed::ui {
+
+struct InstrumentationConfig {
+  // Input-dispatch cost charged to the UI thread per injected event.
+  sim::Duration event_dispatch_cost = sim::usec(500);
+};
+
+class Instrumentation {
+ public:
+  Instrumentation(UiThread& ui_thread, LayoutTree& tree,
+                  InstrumentationConfig cfg = {});
+
+  LayoutTree& tree() { return tree_; }
+  UiThread& ui_thread() { return ui_thread_; }
+
+  // Event injection; each goes through the UI thread's queue.
+  void click(std::shared_ptr<View> view);
+  void scroll(std::shared_ptr<View> view, int dy);
+  void type_text(std::shared_ptr<View> view, std::string text);
+  void press_key(std::shared_ptr<View> view, int keycode);
+
+  std::uint64_t events_injected() const { return events_; }
+
+ private:
+  UiThread& ui_thread_;
+  LayoutTree& tree_;
+  InstrumentationConfig cfg_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace qoed::ui

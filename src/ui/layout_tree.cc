@@ -1,0 +1,48 @@
+#include "ui/layout_tree.h"
+
+namespace qoed::ui {
+
+LayoutTree::LayoutTree(sim::EventLoop& loop) : loop_(loop) {}
+
+void LayoutTree::set_root(std::shared_ptr<View> root) {
+  if (root_) root_->set_tree(nullptr);
+  root_ = std::move(root);
+  if (root_) root_->set_tree(this);
+  on_view_changed();
+}
+
+void LayoutTree::add_observer(ChangeObserver obs) {
+  observers_.push_back(std::move(obs));
+}
+
+void LayoutTree::on_view_changed() {
+  ++revision_;
+  last_change_ = loop_.now();
+  for (const auto& obs : observers_) obs(revision_, last_change_);
+}
+
+std::shared_ptr<View> LayoutTree::find_by_id(std::string_view view_id) const {
+  return root_ ? root_->find_by_id(view_id) : nullptr;
+}
+
+std::shared_ptr<View> LayoutTree::find_first(
+    const std::function<bool(const View&)>& pred) const {
+  std::shared_ptr<View> found;
+  if (!root_) return found;
+  root_->visit([&](View& v) {
+    if (!found && pred(v)) found = v.shared_from_this();
+  });
+  return found;
+}
+
+std::vector<std::shared_ptr<View>> LayoutTree::find_all(
+    const std::function<bool(const View&)>& pred) const {
+  std::vector<std::shared_ptr<View>> out;
+  if (!root_) return out;
+  root_->visit([&](View& v) {
+    if (pred(v)) out.push_back(v.shared_from_this());
+  });
+  return out;
+}
+
+}  // namespace qoed::ui

@@ -1,0 +1,58 @@
+// The app's live UI layout tree.
+//
+// Each mutation bumps a revision counter stamped with the virtual time of
+// the change — that timestamp is the paper's t_ui, the instant "the UI data
+// update" lands, as distinct from t_screen when pixels change (ui/screen.h)
+// and t_m when the controller's tree parsing detects it (§5.1, Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "ui/view.h"
+
+namespace qoed::ui {
+
+class LayoutTree {
+ public:
+  using ChangeObserver = std::function<void(std::uint64_t revision,
+                                            sim::TimePoint at)>;
+
+  explicit LayoutTree(sim::EventLoop& loop);
+  LayoutTree(const LayoutTree&) = delete;
+  LayoutTree& operator=(const LayoutTree&) = delete;
+
+  sim::EventLoop& loop() { return loop_; }
+
+  const std::shared_ptr<View>& root() const { return root_; }
+  void set_root(std::shared_ptr<View> root);
+
+  std::uint64_t revision() const { return revision_; }
+  sim::TimePoint last_change() const { return last_change_; }
+
+  // Observers fire synchronously on every mutation (the Screen subscribes).
+  void add_observer(ChangeObserver obs);
+
+  // Convenience searches over the current tree.
+  std::shared_ptr<View> find_by_id(std::string_view view_id) const;
+  std::shared_ptr<View> find_first(
+      const std::function<bool(const View&)>& pred) const;
+  std::vector<std::shared_ptr<View>> find_all(
+      const std::function<bool(const View&)>& pred) const;
+  std::size_t size() const { return root_ ? root_->subtree_size() : 0; }
+
+ private:
+  friend class View;
+  void on_view_changed();
+
+  sim::EventLoop& loop_;
+  std::shared_ptr<View> root_;
+  std::uint64_t revision_ = 0;
+  sim::TimePoint last_change_;
+  std::vector<ChangeObserver> observers_;
+};
+
+}  // namespace qoed::ui

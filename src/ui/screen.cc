@@ -1,0 +1,38 @@
+#include "ui/screen.h"
+
+namespace qoed::ui {
+
+Screen::Screen(sim::EventLoop& loop, ScreenConfig cfg)
+    : loop_(loop), cfg_(cfg) {}
+
+void Screen::attach(LayoutTree& tree) {
+  tree.add_observer([this](std::uint64_t revision, sim::TimePoint) {
+    pending_revision_ = revision;
+    schedule_frame();
+  });
+}
+
+void Screen::schedule_frame() {
+  if (frame_scheduled_) return;
+  frame_scheduled_ = true;
+  // Align to the next vsync boundary, then pay the compositor delay.
+  const std::int64_t period = cfg_.vsync_period.count();
+  const std::int64_t now_us = loop_.now().since_start().count();
+  const std::int64_t next_vsync = ((now_us / period) + 1) * period;
+  const sim::TimePoint draw_at =
+      sim::TimePoint{sim::Duration{next_vsync}} + cfg_.compositor_delay;
+  loop_.schedule_at(draw_at, [this] {
+    frame_scheduled_ = false;
+    draws_.push_back({pending_revision_, loop_.now()});
+  });
+}
+
+std::optional<sim::TimePoint> Screen::draw_time_for(
+    std::uint64_t revision) const {
+  for (const auto& d : draws_) {
+    if (d.revision >= revision) return d.at;
+  }
+  return std::nullopt;
+}
+
+}  // namespace qoed::ui

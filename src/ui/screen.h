@@ -1,0 +1,54 @@
+// Ground-truth display model.
+//
+// The layout tree updates at t_ui; pixels change at t_screen after a vsync-
+// aligned draw (Fig. 4). QoE Doctor can only observe the tree, so its
+// measurement differs from the on-screen truth by the draw delay — the paper
+// bounds this error at <40 ms / <4 % by filming the screen at 60 fps (§7.1).
+// The Screen records every draw with its revision so the accuracy benchmark
+// can make the same comparison without a camera.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "ui/layout_tree.h"
+
+namespace qoed::ui {
+
+struct DrawEvent {
+  std::uint64_t revision;  // highest tree revision included in this frame
+  sim::TimePoint at;
+};
+
+struct ScreenConfig {
+  sim::Duration vsync_period = sim::usec(16'667);  // 60 Hz
+  sim::Duration compositor_delay = sim::msec(8);          // queue + GPU
+};
+
+class Screen {
+ public:
+  Screen(sim::EventLoop& loop, ScreenConfig cfg = {});
+
+  // Watches `tree`; every revision eventually reaches a frame.
+  void attach(LayoutTree& tree);
+
+  const std::vector<DrawEvent>& draws() const { return draws_; }
+
+  // Time the first frame containing revision >= `revision` hit the glass.
+  std::optional<sim::TimePoint> draw_time_for(std::uint64_t revision) const;
+
+  void clear_history() { draws_.clear(); }
+
+ private:
+  void schedule_frame();
+
+  sim::EventLoop& loop_;
+  ScreenConfig cfg_;
+  std::uint64_t pending_revision_ = 0;
+  bool frame_scheduled_ = false;
+  std::vector<DrawEvent> draws_;
+};
+
+}  // namespace qoed::ui

@@ -1,0 +1,46 @@
+#include "ui/ui_thread.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qoed::ui {
+
+void CpuMeter::add(std::string_view category, sim::Duration d) {
+  auto it = by_category_.find(category);
+  if (it == by_category_.end()) {
+    by_category_.emplace(std::string(category), d);
+  } else {
+    it->second += d;
+  }
+}
+
+sim::Duration CpuMeter::total(std::string_view category) const {
+  auto it = by_category_.find(category);
+  return it == by_category_.end() ? sim::Duration::zero() : it->second;
+}
+
+sim::Duration CpuMeter::total() const {
+  sim::Duration sum{};
+  for (const auto& [cat, d] : by_category_) sum += d;
+  return sum;
+}
+
+UiThread::UiThread(sim::EventLoop& loop, CpuMeter* meter)
+    : loop_(loop), meter_(meter) {}
+
+void UiThread::post(sim::Duration cpu_cost, std::function<void()> task,
+                    std::string_view category) {
+  const sim::Duration scaled =
+      speed_ == 1.0 ? cpu_cost
+                    : sim::sec_f(sim::to_seconds(cpu_cost) / speed_);
+  const sim::TimePoint start = std::max(loop_.now(), busy_until_);
+  const sim::TimePoint done = start + scaled;
+  busy_until_ = done;
+  if (meter_) meter_->add(category, scaled);
+  loop_.schedule_at(done, [this, task = std::move(task)] {
+    ++tasks_;
+    task();
+  });
+}
+
+}  // namespace qoed::ui

@@ -1,0 +1,63 @@
+// Android-like main ("UI") thread.
+//
+// All view mutations are posted here with an explicit CPU cost; tasks run
+// serially, so an expensive update (e.g. WebView HTML parsing) delays
+// everything behind it — this is the *device latency* component of the
+// paper's breakdowns (Fig. 7, Fig. 15). Costs are also charged to a CPU
+// meter so the controller's overhead measurement (Table 3) has a
+// denominator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/event_loop.h"
+
+namespace qoed::ui {
+
+// Accumulates simulated CPU time by category ("app", "controller", ...).
+class CpuMeter {
+ public:
+  void add(std::string_view category, sim::Duration d);
+  sim::Duration total(std::string_view category) const;
+  sim::Duration total() const;
+  void reset() { by_category_.clear(); }
+
+ private:
+  std::map<std::string, sim::Duration, std::less<>> by_category_;
+};
+
+class UiThread {
+ public:
+  explicit UiThread(sim::EventLoop& loop, CpuMeter* meter = nullptr);
+  UiThread(const UiThread&) = delete;
+  UiThread& operator=(const UiThread&) = delete;
+
+  // Relative CPU speed of this device: posted costs are scaled by 1/speed
+  // (a Galaxy S4 at speed 1.3 runs the same UI work ~25% faster than the
+  // S3 baseline at 1.0).
+  void set_speed_factor(double speed) { speed_ = speed; }
+  double speed_factor() const { return speed_; }
+
+  // Enqueues `task`; it occupies the thread for `cpu_cost` (scaled by the
+  // device speed) and its effects (view mutations) land when that work
+  // completes. `category` is the CPU accounting bucket.
+  void post(sim::Duration cpu_cost, std::function<void()> task,
+            std::string_view category = "app");
+
+  bool busy() const { return loop_.now() < busy_until_; }
+  sim::TimePoint busy_until() const { return busy_until_; }
+  std::uint64_t tasks_executed() const { return tasks_; }
+
+ private:
+  sim::EventLoop& loop_;
+  CpuMeter* meter_;
+  double speed_ = 1.0;
+  sim::TimePoint busy_until_;
+  std::uint64_t tasks_ = 0;
+};
+
+}  // namespace qoed::ui

@@ -1,0 +1,105 @@
+#include "ui/view.h"
+
+#include <algorithm>
+
+#include "ui/layout_tree.h"
+
+namespace qoed::ui {
+
+View::View(std::string class_name, std::string view_id)
+    : class_name_(std::move(class_name)), view_id_(std::move(view_id)) {}
+
+void View::set_text(std::string text) {
+  if (text_ == text) return;
+  text_ = std::move(text);
+  notify_changed();
+}
+
+void View::set_description(std::string d) {
+  description_ = std::move(d);
+  notify_changed();
+}
+
+void View::set_visible(bool v) {
+  if (visible_ == v) return;
+  visible_ = v;
+  notify_changed();
+}
+
+void View::add_child(std::shared_ptr<View> child) {
+  child->parent_ = this;
+  child->set_tree(tree_);
+  children_.push_back(std::move(child));
+  notify_changed();
+}
+
+void View::insert_child(std::size_t index, std::shared_ptr<View> child) {
+  child->parent_ = this;
+  child->set_tree(tree_);
+  index = std::min(index, children_.size());
+  children_.insert(children_.begin() + static_cast<std::ptrdiff_t>(index),
+                   std::move(child));
+  notify_changed();
+}
+
+void View::remove_child(const View& child) {
+  auto it = std::find_if(children_.begin(), children_.end(),
+                         [&](const auto& c) { return c.get() == &child; });
+  if (it != children_.end()) {
+    (*it)->parent_ = nullptr;
+    (*it)->set_tree(nullptr);
+    children_.erase(it);
+    notify_changed();
+  }
+}
+
+void View::clear_children() {
+  for (auto& c : children_) {
+    c->parent_ = nullptr;
+    c->set_tree(nullptr);
+  }
+  children_.clear();
+  notify_changed();
+}
+
+std::shared_ptr<View> View::find_by_id(std::string_view view_id) {
+  if (view_id_ == view_id) return shared_from_this();
+  for (const auto& c : children_) {
+    if (auto found = c->find_by_id(view_id)) return found;
+  }
+  return nullptr;
+}
+
+void View::visit(const std::function<void(View&)>& fn) {
+  fn(*this);
+  for (const auto& c : children_) c->visit(fn);
+}
+
+std::size_t View::subtree_size() const {
+  std::size_t n = 1;
+  for (const auto& c : children_) n += c->subtree_size();
+  return n;
+}
+
+void View::perform_click() {
+  if (on_click_) on_click_();
+}
+
+void View::perform_scroll(int dy) {
+  if (on_scroll_) on_scroll_(dy);
+}
+
+void View::send_key(int keycode) {
+  if (on_key_) on_key_(keycode);
+}
+
+void View::notify_changed() {
+  if (tree_) tree_->on_view_changed();
+}
+
+void View::set_tree(LayoutTree* tree) {
+  tree_ = tree;
+  for (auto& c : children_) c->set_tree(tree);
+}
+
+}  // namespace qoed::ui

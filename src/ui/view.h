@@ -1,0 +1,93 @@
+// Android-like View hierarchy.
+//
+// QoE Doctor measures user-perceived latency "directly from UI changes" by
+// parsing the app's UI layout tree (§4.1). Views here carry exactly what the
+// paper's View signatures need — class name, view id, developer description,
+// text, visibility — plus click/scroll/key hooks so the Instrumentation
+// layer can inject the replayed user interactions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qoed::ui {
+
+class LayoutTree;
+
+class View : public std::enable_shared_from_this<View> {
+ public:
+  View(std::string class_name, std::string view_id);
+  virtual ~View() = default;
+  View(const View&) = delete;
+  View& operator=(const View&) = delete;
+
+  const std::string& class_name() const { return class_name_; }
+  const std::string& view_id() const { return view_id_; }
+
+  const std::string& text() const { return text_; }
+  void set_text(std::string text);
+
+  // Developer-facing content description (part of the View signature).
+  const std::string& description() const { return description_; }
+  void set_description(std::string d);
+
+  bool visible() const { return visible_; }
+  void set_visible(bool v);
+
+  // --- hierarchy ---
+  View* parent() const { return parent_; }
+  const std::vector<std::shared_ptr<View>>& children() const {
+    return children_;
+  }
+  void add_child(std::shared_ptr<View> child);
+  void insert_child(std::size_t index, std::shared_ptr<View> child);
+  void remove_child(const View& child);
+  void clear_children();
+
+  // Depth-first search helpers.
+  std::shared_ptr<View> find_by_id(std::string_view view_id);
+  void visit(const std::function<void(View&)>& fn);
+  std::size_t subtree_size() const;
+
+  // --- interaction ---
+  using ClickHandler = std::function<void()>;
+  using ScrollHandler = std::function<void(int dy)>;
+  using KeyHandler = std::function<void(int keycode)>;
+
+  void set_on_click(ClickHandler h) { on_click_ = std::move(h); }
+  void set_on_scroll(ScrollHandler h) { on_scroll_ = std::move(h); }
+  void set_on_key(KeyHandler h) { on_key_ = std::move(h); }
+
+  bool clickable() const { return static_cast<bool>(on_click_); }
+  void perform_click();
+  void perform_scroll(int dy);
+  void send_key(int keycode);
+
+ protected:
+  // Called on every observable mutation; propagates to the owning tree.
+  void notify_changed();
+
+ private:
+  friend class LayoutTree;
+  void set_tree(LayoutTree* tree);
+
+  std::string class_name_;
+  std::string view_id_;
+  std::string text_;
+  std::string description_;
+  bool visible_ = true;
+  View* parent_ = nullptr;
+  std::vector<std::shared_ptr<View>> children_;
+  LayoutTree* tree_ = nullptr;
+
+  ClickHandler on_click_;
+  ScrollHandler on_scroll_;
+  KeyHandler on_key_;
+};
+
+inline constexpr int kKeycodeEnter = 66;  // Android KEYCODE_ENTER
+
+}  // namespace qoed::ui

@@ -1,0 +1,3 @@
+// Widgets are header-only thin wrappers; this translation unit exists so the
+// library has a home for future out-of-line widget logic.
+#include "ui/widgets.h"

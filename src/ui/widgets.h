@@ -1,0 +1,91 @@
+// Concrete widget types mirroring the Android View classes the paper's
+// control specifications reference (Button, EditText, ProgressBar, ListView,
+// WebView, VideoView). Class-name strings match Android's so View signatures
+// read like the real thing.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ui/view.h"
+
+namespace qoed::ui {
+
+class Button final : public View {
+ public:
+  explicit Button(std::string view_id)
+      : View("android.widget.Button", std::move(view_id)) {}
+};
+
+class TextView final : public View {
+ public:
+  explicit TextView(std::string view_id)
+      : View("android.widget.TextView", std::move(view_id)) {}
+};
+
+class EditText final : public View {
+ public:
+  explicit EditText(std::string view_id)
+      : View("android.widget.EditText", std::move(view_id)) {}
+};
+
+// The wait component's workhorse: appearance/disappearance of progress bars
+// delimit most of the paper's latency metrics (Table 1).
+class ProgressBar final : public View {
+ public:
+  explicit ProgressBar(std::string view_id)
+      : View("android.widget.ProgressBar", std::move(view_id)) {
+    set_visible(false);
+  }
+};
+
+// Scrolling list of item views (the Facebook news feed in the ListView
+// design). Items are prepended as they would be on a feed.
+class ListView final : public View {
+ public:
+  explicit ListView(std::string view_id)
+      : View("android.widget.ListView", std::move(view_id)) {}
+
+  void prepend_item(std::shared_ptr<View> item) {
+    insert_child(0, std::move(item));
+  }
+  void append_item(std::shared_ptr<View> item) {
+    add_child(std::move(item));
+  }
+  std::size_t item_count() const { return children().size(); }
+};
+
+// HTML-rendering view (the Facebook news feed in the WebView design, and
+// browser pages). Content is summarized by a version string + size.
+class WebView final : public View {
+ public:
+  explicit WebView(std::string view_id)
+      : View("android.webkit.WebView", std::move(view_id)) {}
+
+  void set_content(std::string content_tag, std::size_t content_bytes) {
+    content_bytes_ = content_bytes;
+    set_text(std::move(content_tag));  // bumps the tree revision
+  }
+  std::size_t content_bytes() const { return content_bytes_; }
+
+ private:
+  std::size_t content_bytes_ = 0;
+};
+
+class VideoView final : public View {
+ public:
+  explicit VideoView(std::string view_id)
+      : View("android.widget.VideoView", std::move(view_id)) {}
+
+  bool playing() const { return playing_; }
+  void set_playing(bool p) {
+    if (playing_ == p) return;
+    playing_ = p;
+    set_text(p ? "playing" : "stopped");  // bumps the tree revision
+  }
+
+ private:
+  bool playing_ = false;
+};
+
+}  // namespace qoed::ui

@@ -1,0 +1,176 @@
+#include "apps/browser_app.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/web_server.h"
+
+namespace qoed::apps {
+namespace {
+
+class BrowserAppTest : public ::testing::Test {
+ protected:
+  BrowserAppTest()
+      : dns_(net_, net::IpAddr(8, 8, 8, 8)),
+        server_(net_, net::IpAddr(93, 184, 0, 1)) {
+    server_.add_page({.path = "/index",
+                      .html_bytes = 50'000,
+                      .object_count = 8,
+                      .object_bytes = 20'000});
+    server_.add_page({.path = "/tiny",
+                      .html_bytes = 5'000,
+                      .object_count = 0,
+                      .object_bytes = 0});
+  }
+
+  std::unique_ptr<device::Device> make_device() {
+    auto dev = std::make_unique<device::Device>(
+        net_, net::IpAddr(10, 0, 0, 2), "phone", sim::Rng(3), dns_.ip());
+    dev->attach_wifi();
+    return dev;
+  }
+
+  void load(BrowserApp& app, const std::string& url) {
+    auto bar = app.tree().find_by_id("url_bar");
+    bar->set_text(url);
+    bar->send_key(ui::kKeycodeEnter);
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_{loop_, sim::Rng(1)};
+  net::DnsServer dns_;
+  WebServer server_;
+};
+
+TEST_F(BrowserAppTest, LoadsPageAndHidesProgress) {
+  auto dev = make_device();
+  BrowserApp app(*dev);
+  app.launch();
+  load(app, "www.page.sim/index");
+  loop_.run_until(loop_.now() + sim::msec(100));
+  EXPECT_TRUE(app.tree().find_by_id("page_progress")->visible());
+  EXPECT_TRUE(app.page_loading());
+  loop_.run();
+  EXPECT_FALSE(app.page_loading());
+  EXPECT_FALSE(app.tree().find_by_id("page_progress")->visible());
+  EXPECT_EQ(app.pages_loaded(), 1u);
+  // HTML + 8 objects.
+  EXPECT_EQ(server_.requests_served(), 9u);
+}
+
+TEST_F(BrowserAppTest, AcceptsHttpSchemePrefix) {
+  auto dev = make_device();
+  BrowserApp app(*dev);
+  app.launch();
+  load(app, "http://www.page.sim/tiny");
+  loop_.run();
+  EXPECT_EQ(app.pages_loaded(), 1u);
+}
+
+TEST_F(BrowserAppTest, PageWithoutObjectsFinishesAfterHtml) {
+  auto dev = make_device();
+  BrowserApp app(*dev);
+  app.launch();
+  load(app, "www.page.sim/tiny");
+  loop_.run();
+  EXPECT_EQ(app.pages_loaded(), 1u);
+  EXPECT_EQ(server_.requests_served(), 1u);
+}
+
+TEST_F(BrowserAppTest, MissingPageStopsLoading) {
+  auto dev = make_device();
+  BrowserApp app(*dev);
+  app.launch();
+  load(app, "www.page.sim/missing");
+  loop_.run();
+  EXPECT_FALSE(app.page_loading());
+  EXPECT_FALSE(app.tree().find_by_id("page_progress")->visible());
+}
+
+TEST_F(BrowserAppTest, DnsFailureAbortsLoad) {
+  auto dev = make_device();
+  BrowserApp app(*dev);
+  app.launch();
+  load(app, "no.such.host/index");
+  loop_.run();
+  EXPECT_FALSE(app.page_loading());
+  EXPECT_EQ(app.pages_loaded(), 0u);
+}
+
+TEST_F(BrowserAppTest, UsesParallelConnections) {
+  auto dev = make_device();
+  BrowserApp app(*dev);  // chrome: up to 6 connections
+  app.launch();
+  load(app, "www.page.sim/index");
+  loop_.run();
+  // SYNs from distinct source ports in the trace.
+  std::set<net::Port> ports;
+  for (const auto& r : dev->trace().records()) {
+    if (r.flags.syn && !r.flags.ack && r.dst_port == 80) {
+      ports.insert(r.src_port);
+    }
+  }
+  EXPECT_EQ(ports.size(), 6u);
+}
+
+TEST_F(BrowserAppTest, StockBrowserSlowerThanChrome) {
+  sim::Duration elapsed[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    sim::EventLoop loop;
+    net::Network net(loop, sim::Rng(1));
+    net::DnsServer dns(net, net::IpAddr(8, 8, 8, 8));
+    WebServer server(net, net::IpAddr(93, 184, 0, 1));
+    server.add_page({.path = "/index",
+                     .html_bytes = 50'000,
+                     .object_count = 8,
+                     .object_bytes = 20'000});
+    device::Device dev(net, net::IpAddr(10, 0, 0, 2), "phone", sim::Rng(3),
+                       dns.ip());
+    dev.attach_wifi();
+    BrowserAppConfig cfg;
+    cfg.profile =
+        pass == 0 ? BrowserProfile::chrome() : BrowserProfile::stock();
+    BrowserApp app(dev, cfg);
+    app.launch();
+    auto bar = app.tree().find_by_id("url_bar");
+    bar->set_text("www.page.sim/index");
+    const sim::TimePoint start = loop.now();
+    bar->send_key(ui::kKeycodeEnter);
+    loop.run();
+    elapsed[pass] = loop.now() - start;
+  }
+  EXPECT_LT(elapsed[0], elapsed[1]);
+}
+
+TEST_F(BrowserAppTest, CellularLoadSlowerThanWifi) {
+  sim::Duration elapsed[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    sim::EventLoop loop;
+    net::Network net(loop, sim::Rng(1));
+    net::DnsServer dns(net, net::IpAddr(8, 8, 8, 8));
+    WebServer server(net, net::IpAddr(93, 184, 0, 1));
+    server.add_page({.path = "/index",
+                     .html_bytes = 50'000,
+                     .object_count = 8,
+                     .object_bytes = 20'000});
+    device::Device dev(net, net::IpAddr(10, 0, 0, 2), "phone", sim::Rng(3),
+                       dns.ip());
+    if (pass == 0) {
+      dev.attach_wifi();
+    } else {
+      dev.attach_cellular(radio::CellularConfig::umts());
+    }
+    BrowserApp app(dev);
+    app.launch();
+    auto bar = app.tree().find_by_id("url_bar");
+    bar->set_text("www.page.sim/index");
+    const sim::TimePoint start = loop.now();
+    bar->send_key(ui::kKeycodeEnter);
+    loop.run();
+    elapsed[pass] = loop.now() - start;
+  }
+  // 3G pays RRC promotion + FACH phase + RLC overhead.
+  EXPECT_GT(elapsed[1], elapsed[0] + sim::msec(500));
+}
+
+}  // namespace
+}  // namespace qoed::apps

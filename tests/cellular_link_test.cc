@@ -1,0 +1,172 @@
+#include "radio/cellular_link.h"
+
+#include <gtest/gtest.h>
+
+#include "net/tcp.h"
+#include "radio/power_model.h"
+
+namespace qoed::radio {
+namespace {
+
+class CellularLinkTest : public ::testing::Test {
+ protected:
+  CellularLinkTest() {
+    device_ = std::make_unique<net::Host>(net_, net::IpAddr(10, 0, 0, 2),
+                                          "device");
+    server_ = std::make_unique<net::Host>(net_, net::IpAddr(10, 0, 0, 3),
+                                          "server");
+  }
+
+  void attach(CellularConfig cfg) {
+    link_ = std::make_unique<CellularLink>(loop_, sim::Rng(5), std::move(cfg));
+    net_.attach_access_link(device_->ip(), *link_);
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_{loop_, sim::Rng(1)};
+  std::unique_ptr<net::Host> device_;
+  std::unique_ptr<net::Host> server_;
+  std::unique_ptr<CellularLink> link_;
+};
+
+TEST_F(CellularLinkTest, UdpRoundTripOver3g) {
+  attach(CellularConfig::umts());
+  sim::TimePoint at_server, at_device;
+  server_->set_udp_handler([&](const net::Packet& p) {
+    at_server = loop_.now();
+    server_->send_udp(p.src_ip, p.src_port, p.dst_port, 100, nullptr);
+  });
+  device_->set_udp_handler([&](const net::Packet&) { at_device = loop_.now(); });
+  device_->send_udp(server_->ip(), 9999, 1111, 100, nullptr);
+  loop_.run();
+  // Uplink must absorb the PCH promotion delay.
+  EXPECT_GE(at_server.since_start(),
+            link_->config().rrc.promo_pch_to_fach);
+  EXPECT_GT(at_device, at_server);
+}
+
+TEST_F(CellularLinkTest, RrcTransitionsAreLogged) {
+  attach(CellularConfig::umts());
+  server_->set_udp_handler([](const net::Packet&) {});
+  device_->send_udp(server_->ip(), 9999, 1111, 100, nullptr);
+  loop_.run();  // include full demotion cascade
+  const auto& rrc_log = link_->qxdm().rrc_log();
+  ASSERT_FALSE(rrc_log.empty());
+  EXPECT_EQ(rrc_log.back().to, RrcState::kPch);
+}
+
+TEST_F(CellularLinkTest, TcpTransferOverLte) {
+  attach(CellularConfig::lte());
+  std::vector<net::AppMessage> got;
+  server_->tcp().listen(80, [&](std::shared_ptr<net::TcpSocket> sock) {
+    sock->set_on_message([&got](const net::AppMessage& m) { got.push_back(m); });
+    // keep socket alive via capture
+    static std::vector<std::shared_ptr<net::TcpSocket>> keep;
+    keep.push_back(std::move(sock));
+  });
+  auto sock = device_->tcp().connect(server_->ip(), 80);
+  sock->send({.type = "UPLOAD", .size = 200'000});
+  loop_.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].size, 200'000u);
+  EXPECT_GT(link_->uplink_rlc().pdus_sent(), 100u);
+  EXPECT_GT(link_->downlink_rlc().pdus_sent(), 0u);  // ACK traffic
+}
+
+TEST_F(CellularLinkTest, UmtsUplinkNeedsManyMorePdusThanLte) {
+  // Finding 2's root cause: 3G's 40-byte uplink PDUs vs LTE's large PDUs.
+  std::uint64_t pdus_3g = 0, pdus_lte = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    sim::EventLoop loop;
+    net::Network net(loop, sim::Rng(1));
+    net::Host device(net, net::IpAddr(10, 0, 0, 2), "device");
+    net::Host server(net, net::IpAddr(10, 0, 0, 3), "server");
+    CellularLink link(loop, sim::Rng(5),
+                      pass == 0 ? CellularConfig::umts()
+                                : CellularConfig::lte());
+    net.attach_access_link(device.ip(), link);
+    std::vector<std::shared_ptr<net::TcpSocket>> keep;
+    server.tcp().listen(80, [&](std::shared_ptr<net::TcpSocket> s) {
+      keep.push_back(std::move(s));
+    });
+    auto sock = device.tcp().connect(server.ip(), 80);
+    sock->send({.type = "PHOTOS", .size = 100'000});
+    loop.run();
+    (pass == 0 ? pdus_3g : pdus_lte) = link.uplink_rlc().pdus_sent();
+  }
+  EXPECT_GT(pdus_3g, 2 * pdus_lte);
+}
+
+TEST_F(CellularLinkTest, ShapingDelaysButDeliversDownlink) {
+  CellularConfig cfg = CellularConfig::umts();
+  cfg.throttle = net::ThrottleKind::kShaping;
+  cfg.throttle_rate_bps = 200e3;
+  attach(cfg);
+
+  int received = 0;
+  device_->set_udp_handler([&](const net::Packet&) { ++received; });
+  // Server bursts 40 x 1400B = 56KB at the device: 2.24s at 200kbps.
+  for (int i = 0; i < 40; ++i) {
+    server_->send_udp(device_->ip(), 1111, 9999, 1400 - net::kHeaderBytes,
+                      nullptr);
+  }
+  loop_.run();
+  EXPECT_EQ(received, 40);
+  EXPECT_EQ(link_->downlink_gate().dropped_packets(), 0u);
+  EXPECT_GT(loop_.now().since_start(), sim::sec(1));
+}
+
+TEST_F(CellularLinkTest, PolicingDropsDownlinkBurst) {
+  CellularConfig cfg = CellularConfig::lte();
+  cfg.throttle = net::ThrottleKind::kPolicing;
+  cfg.throttle_rate_bps = 200e3;
+  cfg.throttle_burst_bytes = 8 * 1024;
+  attach(cfg);
+
+  int received = 0;
+  device_->set_udp_handler([&](const net::Packet&) { ++received; });
+  for (int i = 0; i < 40; ++i) {
+    server_->send_udp(device_->ip(), 1111, 9999, 1400 - net::kHeaderBytes,
+                      nullptr);
+  }
+  loop_.run();
+  EXPECT_LT(received, 40);
+  EXPECT_GT(link_->downlink_gate().dropped_packets(), 0u);
+}
+
+TEST_F(CellularLinkTest, UplinkUnthrottledByDefault) {
+  CellularConfig cfg = CellularConfig::umts();
+  cfg.throttle = net::ThrottleKind::kPolicing;
+  cfg.throttle_rate_bps = 1;  // would drop everything if applied to uplink
+  attach(cfg);
+  int received = 0;
+  server_->set_udp_handler([&](const net::Packet&) { ++received; });
+  for (int i = 0; i < 5; ++i) {
+    device_->send_udp(server_->ip(), 9999, 1111, 500, nullptr);
+  }
+  loop_.run();
+  EXPECT_EQ(received, 5);
+}
+
+TEST_F(CellularLinkTest, EnergyAccountingFromQxdmLog) {
+  attach(CellularConfig::umts());
+  server_->set_udp_handler([](const net::Packet&) {});
+  device_->send_udp(server_->ip(), 9999, 1111, 2000, nullptr);
+  loop_.run();
+  const sim::TimePoint end = loop_.now();
+  StateResidency r = compute_residency(link_->qxdm().rrc_log(),
+                                       RrcState::kPch, sim::kTimeZero, end);
+  EXPECT_GT(energy_joules(r, link_->config().rrc), 0.0);
+  // The tail (DCH 5s + FACH 12s) dominates residency for one tiny transfer.
+  EXPECT_GT(r.in(RrcState::kFach), sim::sec(10));
+}
+
+TEST_F(CellularLinkTest, ConfigPresets) {
+  EXPECT_EQ(CellularConfig::umts().rrc.tech, RadioTech::k3G);
+  EXPECT_EQ(CellularConfig::lte().rrc.tech, RadioTech::kLte);
+  EXPECT_FALSE(CellularConfig::umts_simplified().rrc.has_fach);
+  EXPECT_EQ(CellularConfig::lte().rlc.pdu_payload_ul, 1400);
+}
+
+}  // namespace
+}  // namespace qoed::radio

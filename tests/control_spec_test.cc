@@ -1,0 +1,151 @@
+#include "core/control_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/web_server.h"
+#include "core/qoe_doctor.h"
+
+namespace qoed::core {
+namespace {
+
+// Control specs drive the real browser app end-to-end.
+class ControlSpecTest : public ::testing::Test {
+ protected:
+  ControlSpecTest()
+      : bed_(51), server_(bed_.network(), bed_.next_server_ip()) {
+    server_.add_page({.path = "/index",
+                      .html_bytes = 30'000,
+                      .object_count = 4,
+                      .object_bytes = 10'000});
+    dev_ = bed_.make_device("phone");
+    dev_->attach_wifi();
+    app_ = std::make_unique<apps::BrowserApp>(*dev_);
+    app_->launch();
+    doctor_ = std::make_unique<QoeDoctor>(*dev_, *app_);
+  }
+
+  Testbed bed_;
+  apps::WebServer server_;
+  std::unique_ptr<device::Device> dev_;
+  std::unique_ptr<apps::BrowserApp> app_;
+  std::unique_ptr<QoeDoctor> doctor_;
+};
+
+ControlSpec page_load_spec(const std::string& url) {
+  ControlSpec spec("load_web_page");
+  spec.type_text(ViewSignature::by_id("url_bar"), url)
+      .press_enter(ViewSignature::by_id("url_bar"))
+      .wait_progress_cycle("page_load", ViewSignature::by_id("page_progress"));
+  return spec;
+}
+
+TEST_F(ControlSpecTest, BuilderComposesSteps) {
+  const ControlSpec spec = page_load_spec("www.page.sim/index");
+  EXPECT_EQ(spec.name(), "load_web_page");
+  EXPECT_EQ(spec.size(), 3u);
+}
+
+TEST_F(ControlSpecTest, RunsEndToEndAndRecordsLatency) {
+  ControlRunResult result;
+  run_control_spec(doctor_->controller(), page_load_spec("www.page.sim/index"),
+                   [&](const ControlRunResult& r) { result = r; });
+  bed_.loop().run();
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.steps_executed, 3u);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].action, "page_load");
+  EXPECT_FALSE(result.records[0].timed_out);
+  EXPECT_GT(sim::to_seconds(AppLayerAnalyzer::calibrate(result.records[0])),
+            0.05);
+  // The wait also landed in the controller's AppBehaviorLog.
+  EXPECT_EQ(doctor_->log().for_action("page_load").size(), 1u);
+  EXPECT_EQ(app_->pages_loaded(), 1u);
+}
+
+TEST_F(ControlSpecTest, DelayStepSpacesActions) {
+  ControlSpec spec("delayed");
+  spec.delay(sim::sec(5))
+      .type_text(ViewSignature::by_id("url_bar"), "www.page.sim/index")
+      .press_enter(ViewSignature::by_id("url_bar"))
+      .wait_progress_cycle("page_load", ViewSignature::by_id("page_progress"));
+  ControlRunResult result;
+  run_control_spec(doctor_->controller(), spec,
+                   [&](const ControlRunResult& r) { result = r; });
+  bed_.loop().run();
+  ASSERT_TRUE(result.completed);
+  // Measurement start is after the 5s delay, not at spec start.
+  EXPECT_GE(result.records[0].start.since_start(), sim::sec(5));
+}
+
+TEST_F(ControlSpecTest, WaitTimeoutStopsTheRun) {
+  ControlSpec spec("never_finishes");
+  WaitStep wait;
+  wait.action = "impossible";
+  wait.timeout = sim::sec(2);
+  wait.end_when = [](const ui::LayoutTree&) { return false; };
+  spec.wait(std::move(wait))
+      .type_text(ViewSignature::by_id("url_bar"), "never typed");
+
+  ControlRunResult result;
+  run_control_spec(doctor_->controller(), spec,
+                   [&](const ControlRunResult& r) { result = r; });
+  bed_.loop().run();
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_EQ(result.steps_executed, 1u);  // stopped at the wait
+  EXPECT_NE(dev_->host().name(), "");   // sanity
+  EXPECT_TRUE(app_->tree().find_by_id("url_bar")->text().empty());
+}
+
+TEST_F(ControlSpecTest, RepeatedRunsProduceRepeatableMeasurements) {
+  std::vector<double> latencies;
+  repeat_async(
+      bed_.loop(), 3, sim::sec(20),
+      [&](std::size_t, std::function<void()> next) {
+        run_control_spec(doctor_->controller(),
+                         page_load_spec("www.page.sim/index"),
+                         [&, next](const ControlRunResult& r) {
+                           if (r.completed) {
+                             latencies.push_back(
+                                 sim::to_seconds(AppLayerAnalyzer::calibrate(
+                                     r.records[0])));
+                           }
+                           next();
+                         });
+      },
+      [] {});
+  bed_.loop().run();
+  ASSERT_EQ(latencies.size(), 3u);
+  // Controlled replay: the spread across runs is small.
+  const Summary s = summarize(latencies);
+  EXPECT_LT(s.stddev, 0.25 * s.mean);
+}
+
+TEST_F(ControlSpecTest, EmptySpecCompletesImmediately) {
+  ControlSpec spec("empty");
+  ControlRunResult result;
+  run_control_spec(doctor_->controller(), spec,
+                   [&](const ControlRunResult& r) { result = r; });
+  bed_.loop().run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.steps_executed, 0u);
+}
+
+TEST_F(ControlSpecTest, UnnamedWaitGetsGeneratedActionName) {
+  ControlSpec spec("myspec");
+  WaitStep wait;
+  wait.timeout = sim::sec(1);
+  wait.end_when = [](const ui::LayoutTree&) { return true; };
+  spec.wait(std::move(wait));
+  ControlRunResult result;
+  run_control_spec(doctor_->controller(), spec,
+                   [&](const ControlRunResult& r) { result = r; });
+  bed_.loop().run();
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].action, "myspec#1");
+}
+
+}  // namespace
+}  // namespace qoed::core

@@ -1,0 +1,124 @@
+#include "net/dns.h"
+
+#include <gtest/gtest.h>
+
+#include "net/trace.h"
+
+namespace qoed::net {
+namespace {
+
+class DnsTest : public ::testing::Test {
+ protected:
+  DnsTest() : server_(net_, IpAddr(8, 8, 8, 8)) {
+    net_.register_hostname("api.facebook.test", IpAddr(31, 13, 0, 1));
+    net_.register_hostname("video.youtube.test", IpAddr(74, 125, 0, 1));
+  }
+
+  sim::EventLoop loop_;
+  Network net_{loop_, sim::Rng(1)};
+  DnsServer server_;
+};
+
+TEST_F(DnsTest, ResolvesRegisteredName) {
+  Host device(net_, IpAddr(10, 0, 0, 2), "device");
+  Resolver resolver(device, server_.ip());
+
+  IpAddr result;
+  resolver.resolve("api.facebook.test", [&](IpAddr a) { result = a; });
+  loop_.run();
+  EXPECT_EQ(result, IpAddr(31, 13, 0, 1));
+  EXPECT_EQ(server_.queries_served(), 1u);
+}
+
+TEST_F(DnsTest, UnknownNameYieldsUnspecified) {
+  Host device(net_, IpAddr(10, 0, 0, 2), "device");
+  Resolver resolver(device, server_.ip());
+
+  bool called = false;
+  IpAddr result = IpAddr(1, 1, 1, 1);
+  resolver.resolve("missing.test", [&](IpAddr a) {
+    called = true;
+    result = a;
+  });
+  loop_.run();
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(result.is_unspecified());
+}
+
+TEST_F(DnsTest, SecondLookupHitsCache) {
+  Host device(net_, IpAddr(10, 0, 0, 2), "device");
+  Resolver resolver(device, server_.ip());
+
+  resolver.resolve("api.facebook.test", [](IpAddr) {});
+  loop_.run();
+  IpAddr result;
+  resolver.resolve("api.facebook.test", [&](IpAddr a) { result = a; });
+  loop_.run();
+  EXPECT_EQ(result, IpAddr(31, 13, 0, 1));
+  EXPECT_EQ(server_.queries_served(), 1u);
+  EXPECT_EQ(resolver.cache_hits(), 1u);
+}
+
+TEST_F(DnsTest, CacheExpiresAfterTtl) {
+  Host device(net_, IpAddr(10, 0, 0, 2), "device");
+  Resolver resolver(device, server_.ip());
+  resolver.set_ttl(sim::sec(10));
+
+  resolver.resolve("api.facebook.test", [](IpAddr) {});
+  loop_.run();
+  loop_.run_until(loop_.now() + sim::sec(11));
+  resolver.resolve("api.facebook.test", [](IpAddr) {});
+  loop_.run();
+  EXPECT_EQ(server_.queries_served(), 2u);
+}
+
+TEST_F(DnsTest, ConcurrentQueriesForSameNameShareOneLookup) {
+  Host device(net_, IpAddr(10, 0, 0, 2), "device");
+  Resolver resolver(device, server_.ip());
+
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    resolver.resolve("api.facebook.test", [&](IpAddr a) {
+      EXPECT_EQ(a, IpAddr(31, 13, 0, 1));
+      ++done;
+    });
+  }
+  loop_.run();
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(server_.queries_served(), 1u);
+}
+
+TEST_F(DnsTest, LookupAppearsInDeviceTrace) {
+  Host device(net_, IpAddr(10, 0, 0, 2), "device");
+  TraceCapture trace;
+  device.set_trace(&trace);
+  Resolver resolver(device, server_.ip());
+
+  resolver.resolve("video.youtube.test", [](IpAddr) {});
+  loop_.run();
+
+  ASSERT_EQ(trace.records().size(), 2u);
+  const PacketRecord& query = trace.records()[0];
+  const PacketRecord& response = trace.records()[1];
+  ASSERT_TRUE(query.dns && response.dns);
+  EXPECT_FALSE(query.dns->is_response);
+  EXPECT_EQ(query.dst_port, kDnsPort);
+  EXPECT_TRUE(response.dns->is_response);
+  EXPECT_EQ(response.dns->hostname, "video.youtube.test");
+  EXPECT_EQ(response.dns->resolved, IpAddr(74, 125, 0, 1));
+}
+
+TEST_F(DnsTest, DistinctNamesResolveIndependently) {
+  Host device(net_, IpAddr(10, 0, 0, 2), "device");
+  Resolver resolver(device, server_.ip());
+  IpAddr fb, yt;
+  resolver.resolve("api.facebook.test", [&](IpAddr a) { fb = a; });
+  resolver.resolve("video.youtube.test", [&](IpAddr a) { yt = a; });
+  loop_.run();
+  EXPECT_EQ(fb, IpAddr(31, 13, 0, 1));
+  EXPECT_EQ(yt, IpAddr(74, 125, 0, 1));
+  EXPECT_EQ(server_.queries_served(), 2u);
+}
+
+}  // namespace
+}  // namespace qoed::net

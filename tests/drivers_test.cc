@@ -1,0 +1,198 @@
+// Driver-level behaviours not covered by the end-to-end qoe_doctor tests:
+// the passive feed-update wait (§7.4), measurement independence across
+// repeated actions, and ad-skip interactions.
+#include "core/drivers.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/social_server.h"
+#include "apps/video_server.h"
+#include "apps/web_server.h"
+#include "core/qoe_doctor.h"
+
+namespace qoed::core {
+namespace {
+
+class PassiveUpdateTest : public ::testing::Test {
+ protected:
+  PassiveUpdateTest()
+      : bed_(71), server_(bed_.network(), bed_.next_server_ip()) {
+    dev_ = bed_.make_device("galaxy-s4");
+    dev_->attach_cellular(radio::CellularConfig::lte());
+    apps::SocialAppConfig cfg;
+    cfg.refresh_interval = sim::Duration::zero();
+    cfg.foreground_update_interval = sim::minutes(2);  // app v5.0 behaviour
+    app_ = std::make_unique<apps::SocialApp>(*dev_, cfg);
+    app_->launch();
+    doctor_ = std::make_unique<QoeDoctor>(*dev_, *app_);
+    driver_ = std::make_unique<FacebookDriver>(doctor_->controller(), *app_);
+    app_->login("bob");
+    bed_.advance(sim::sec(20));
+  }
+
+  Testbed bed_;
+  apps::SocialServer server_;
+  std::unique_ptr<device::Device> dev_;
+  std::unique_ptr<apps::SocialApp> app_;
+  std::unique_ptr<QoeDoctor> doctor_;
+  std::unique_ptr<FacebookDriver> driver_;
+};
+
+TEST_F(PassiveUpdateTest, WaitFeedUpdateCatchesSelfUpdateCycle) {
+  BehaviorRecord rec;
+  driver_->wait_feed_update([&](const BehaviorRecord& r) { rec = r; });
+  // The app's 2-minute self-update cycle fires without any gesture.
+  bed_.advance(sim::minutes(3));
+  ASSERT_FALSE(rec.action.empty());
+  ASSERT_FALSE(rec.timed_out);
+  EXPECT_EQ(rec.action, "feed_update");
+  EXPECT_TRUE(rec.start_from_parse);
+  // The update started at the self-update firing (~2 min after login).
+  EXPECT_GE(rec.start.since_start(), sim::minutes(2));
+  const double latency = sim::to_seconds(AppLayerAnalyzer::calibrate(rec));
+  EXPECT_GT(latency, 0.1);
+  EXPECT_LT(latency, 3.0);
+}
+
+TEST_F(PassiveUpdateTest, BackToBackPassiveWaitsMeasureDistinctCycles) {
+  std::vector<BehaviorRecord> recs;
+  std::function<void()> arm = [&] {
+    driver_->wait_feed_update([&](const BehaviorRecord& r) {
+      recs.push_back(r);
+      if (recs.size() < 3) arm();
+    });
+  };
+  arm();
+  bed_.advance(sim::minutes(7));
+  ASSERT_EQ(recs.size(), 3u);
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    // Consecutive cycles ~2 minutes apart, never overlapping.
+    EXPECT_GE(recs[i].start - recs[i - 1].end, sim::minutes(1));
+  }
+}
+
+TEST(DriverIndependenceTest, RepeatedUploadsTagDistinctPosts) {
+  Testbed bed(73);
+  apps::SocialServer server(bed.network(), bed.next_server_ip());
+  auto dev = bed.make_device("phone");
+  dev->attach_wifi();
+  apps::SocialAppConfig cfg;
+  cfg.refresh_interval = sim::Duration::zero();
+  apps::SocialApp app(*dev, cfg);
+  app.launch();
+  QoeDoctor doctor(*dev, app);
+  FacebookDriver driver(doctor.controller(), app);
+  app.login("alice");
+  bed.advance(sim::sec(10));
+
+  std::vector<std::string> tags;
+  repeat_async(
+      bed.loop(), 5, sim::sec(2),
+      [&](std::size_t, std::function<void()> next) {
+        driver.upload_post(apps::PostKind::kStatus,
+                           [&, next](const BehaviorRecord& rec) {
+                             tags.push_back(rec.metadata.at("tag"));
+                             next();
+                           });
+      },
+      [] {});
+  bed.loop().run();
+  ASSERT_EQ(tags.size(), 5u);
+  std::set<std::string> unique(tags.begin(), tags.end());
+  EXPECT_EQ(unique.size(), 5u);  // every wait matched its own post
+  EXPECT_EQ(server.posts_received(), 5u);
+}
+
+TEST(UrlListReplayTest, LoadPagesWalksTheListInOrder) {
+  // §4.2.3: the controller takes a list of URL strings and enters them one
+  // by one into the URL bar.
+  Testbed bed(97);
+  apps::WebServer server(bed.network(), bed.next_server_ip());
+  sim::Rng rng = bed.fork_rng("pages");
+  for (auto& p : apps::make_page_dataset(rng, 4)) server.add_page(p);
+  auto dev = bed.make_device("phone");
+  dev->attach_wifi();
+  apps::BrowserApp app(*dev);
+  app.launch();
+  QoeDoctor doctor(*dev, app);
+  BrowserDriver driver(doctor.controller(), app);
+
+  std::vector<std::string> urls;
+  for (int i = 0; i < 4; ++i) {
+    urls.push_back("www.page.sim/page" + std::to_string(i));
+  }
+  std::vector<BehaviorRecord> records;
+  driver.load_pages(urls, sim::sec(5),
+                    [&](const std::vector<BehaviorRecord>& r) { records = r; });
+  bed.loop().run();
+
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_FALSE(records[i].timed_out);
+    EXPECT_EQ(records[i].metadata.at("url"), urls[i]);
+    if (i > 0) {
+      // Think time separates consecutive loads. The done callback fires at
+      // the detecting snapshot, one parse pass before the reported `end`.
+      EXPECT_GE(records[i].trigger - records[i - 1].end,
+                sim::sec(5) - records[i - 1].parsing_interval);
+    }
+  }
+  EXPECT_EQ(app.pages_loaded(), 4u);
+}
+
+TEST(UrlListReplayTest, EmptyListCompletesImmediately) {
+  Testbed bed(98);
+  apps::WebServer server(bed.network(), bed.next_server_ip());
+  auto dev = bed.make_device("phone");
+  dev->attach_wifi();
+  apps::BrowserApp app(*dev);
+  app.launch();
+  QoeDoctor doctor(*dev, app);
+  BrowserDriver driver(doctor.controller(), app);
+  bool done = false;
+  driver.load_pages({}, sim::sec(1),
+                    [&](const std::vector<BehaviorRecord>& r) {
+                      done = true;
+                      EXPECT_TRUE(r.empty());
+                    });
+  bed.loop().run();
+  EXPECT_TRUE(done);
+}
+
+TEST(AdTimeoutTest, UnskippableAdStillReachesMainVideo) {
+  // Ad shorter than the skippable threshold: the skip button never shows;
+  // the ad plays out fully and the driver's skip wait must not wedge the
+  // whole watch (the ad-end path starts the main video; the stale skip wait
+  // then gets cancelled along with the stall watch on completion).
+  Testbed bed(79);
+  apps::VideoServer server(bed.network(), bed.next_server_ip());
+  server.add_video({.id = "a1",
+                    .title = "a video 1",
+                    .duration = sim::sec(15),
+                    .bitrate_bps = 500e3});
+  apps::VideoAppConfig cfg;
+  cfg.ads_enabled = true;
+  cfg.ad_duration = sim::sec(4);
+  cfg.ad_skippable_after = sim::sec(10);  // never reached
+  server.add_video({.id = apps::kAdVideoId,
+                    .title = "ad",
+                    .duration = cfg.ad_duration,
+                    .bitrate_bps = cfg.ad_bitrate_bps});
+  auto dev = bed.make_device("phone");
+  dev->attach_wifi();
+  apps::VideoApp app(*dev, cfg);
+  app.launch();
+  app.connect();
+  bed.advance(sim::sec(5));
+  QoeDoctor doctor(*dev, app);
+  YouTubeDriver driver(doctor.controller(), app);
+
+  // The driver is built around skippable ads; with an unskippable one the
+  // app-level flow still finishes the main video on its own.
+  driver.watch_video("a video", "a1", [](const VideoWatchResult&) {});
+  bed.advance(sim::minutes(2));
+  EXPECT_EQ(app.player_state(), apps::VideoApp::PlayerState::kFinished);
+}
+
+}  // namespace
+}  // namespace qoed::core

@@ -1,0 +1,168 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qoed::sim {
+namespace {
+
+TEST(EventLoopTest, StartsAtTimeZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), kTimeZero);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoopTest, DispatchesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(msec(30), [&] { order.push_back(3); });
+  loop.schedule_after(msec(10), [&] { order.push_back(1); });
+  loop.schedule_after(msec(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now().since_start(), msec(30));
+}
+
+TEST(EventLoopTest, SameTimestampPreservesInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_after(msec(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoopTest, ClockAdvancesToEventTime) {
+  EventLoop loop;
+  TimePoint seen;
+  loop.schedule_after(sec(2), [&] { seen = loop.now(); });
+  loop.run();
+  EXPECT_EQ(seen.since_start(), sec(2));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_after(msec(10), [&] { ++fired; });
+  loop.schedule_after(msec(100), [&] { ++fired; });
+  loop.run_until(TimePoint{msec(50)});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now().since_start(), msec(50));
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, RunUntilWithEmptyQueueAdvancesClock) {
+  EventLoop loop;
+  loop.run_until(TimePoint{sec(5)});
+  EXPECT_EQ(loop.now().since_start(), sec(5));
+}
+
+TEST(EventLoopTest, EventAtDeadlineIsDispatched) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule_after(msec(50), [&] { fired = true; });
+  loop.run_until(TimePoint{msec(50)});
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoopTest, CancelledEventDoesNotFire) {
+  EventLoop loop;
+  bool fired = false;
+  TimerHandle h = loop.schedule_after(msec(10), [&] { fired = true; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, CancelAfterFireIsNoop) {
+  EventLoop loop;
+  int fired = 0;
+  TimerHandle h = loop.schedule_after(msec(10), [&] { ++fired; });
+  loop.run();
+  EXPECT_FALSE(h.active());
+  h.cancel();  // must not crash or affect anything
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, DefaultHandleIsInert) {
+  TimerHandle h;
+  EXPECT_FALSE(h.active());
+  h.cancel();  // no-op
+}
+
+TEST(EventLoopTest, EventsScheduledDuringDispatchRun) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(msec(1), recurse);
+  };
+  loop.schedule_after(msec(1), recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now().since_start(), msec(5));
+}
+
+TEST(EventLoopTest, PastScheduleClampsToNow) {
+  EventLoop loop;
+  loop.run_until(TimePoint{sec(1)});
+  TimePoint seen;
+  loop.schedule_at(TimePoint{msec(1)}, [&] { seen = loop.now(); });
+  loop.run();
+  EXPECT_EQ(seen.since_start(), sec(1));  // not in the past
+}
+
+TEST(EventLoopTest, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  loop.run_until(TimePoint{sec(1)});
+  bool fired = false;
+  loop.schedule_after(msec(-100), [&] { fired = true; });
+  loop.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.now().since_start(), sec(1));
+}
+
+TEST(EventLoopTest, StepDispatchesExactlyOne) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_after(msec(1), [&] { ++fired; });
+  loop.schedule_after(msec(2), [&] { ++fired; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(loop.step());
+}
+
+TEST(EventLoopTest, DispatchedCounterCounts) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.schedule_after(msec(i), [] {});
+  loop.run();
+  EXPECT_EQ(loop.dispatched_events(), 7u);
+}
+
+TEST(TimeTest, FormattingAndConversions) {
+  EXPECT_EQ(to_seconds(sec(3)), 3.0);
+  EXPECT_EQ(to_millis(msec(7)), 7.0);
+  EXPECT_EQ(sec_f(1.5), msec(1500));
+  EXPECT_EQ(minutes(2), sec(120));
+  EXPECT_EQ(hours(1), minutes(60));
+  EXPECT_EQ(format_duration(msec(1500)), "1.500000s");
+}
+
+TEST(TimeTest, TimePointArithmetic) {
+  TimePoint a{sec(10)};
+  TimePoint b = a + sec(5);
+  EXPECT_EQ(b - a, sec(5));
+  EXPECT_LT(a, b);
+  b += msec(1);
+  EXPECT_EQ(b.since_start(), sec(15) + msec(1));
+  EXPECT_EQ((b - sec(5)).since_start(), sec(10) + msec(1));
+}
+
+}  // namespace
+}  // namespace qoed::sim

@@ -1,0 +1,181 @@
+#include "core/flow_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/social_app.h"
+#include "apps/social_server.h"
+#include "core/scenario.h"
+#include "net/dns.h"
+
+namespace qoed::core {
+namespace {
+
+using net::Direction;
+
+// Hand-built trace helpers.
+net::PacketRecord make_rec(std::uint64_t uid, sim::Duration at, Direction dir,
+                           net::IpAddr remote, net::Port rport,
+                           std::uint32_t payload, std::uint64_t seq = 0,
+                           std::uint64_t ack = 0) {
+  net::PacketRecord r;
+  r.uid = uid;
+  r.timestamp = sim::TimePoint{at};
+  r.direction = dir;
+  const net::IpAddr device(10, 0, 0, 2);
+  if (dir == Direction::kUplink) {
+    r.src_ip = device;
+    r.src_port = 40000;
+    r.dst_ip = remote;
+    r.dst_port = rport;
+  } else {
+    r.src_ip = remote;
+    r.src_port = rport;
+    r.dst_ip = device;
+    r.dst_port = 40000;
+  }
+  r.payload_size = payload;
+  r.seq = seq;
+  r.ack = ack;
+  r.flags.ack = true;
+  return r;
+}
+
+TEST(FlowAnalyzerTest, GroupsBothDirectionsIntoOneFlow) {
+  const net::IpAddr server(31, 13, 0, 1);
+  std::vector<net::PacketRecord> trace;
+  trace.push_back(make_rec(1, sim::msec(0), Direction::kUplink, server, 443,
+                           100, 0));
+  trace.push_back(make_rec(2, sim::msec(50), Direction::kDownlink, server,
+                           443, 500, 0, 100));
+  FlowAnalyzer fa(trace);
+  ASSERT_EQ(fa.flows().size(), 1u);
+  const FlowStats& f = fa.flows()[0];
+  EXPECT_EQ(f.uplink_packets, 1u);
+  EXPECT_EQ(f.downlink_packets, 1u);
+  EXPECT_EQ(f.uplink_bytes, 100u + net::kHeaderBytes);
+  EXPECT_EQ(f.downlink_bytes, 500u + net::kHeaderBytes);
+  EXPECT_EQ(f.key.src_ip, net::IpAddr(10, 0, 0, 2));  // device-oriented
+  EXPECT_EQ(f.duration_seconds(), 0.05);
+}
+
+TEST(FlowAnalyzerTest, DetectsRetransmissions) {
+  const net::IpAddr server(31, 13, 0, 1);
+  std::vector<net::PacketRecord> trace;
+  trace.push_back(make_rec(1, sim::msec(0), Direction::kUplink, server, 443,
+                           1000, 0));
+  trace.push_back(make_rec(2, sim::msec(10), Direction::kUplink, server, 443,
+                           1000, 1000));
+  trace.push_back(make_rec(3, sim::msec(300), Direction::kUplink, server,
+                           443, 1000, 0));  // retransmission of seq 0
+  FlowAnalyzer fa(trace);
+  ASSERT_EQ(fa.flows().size(), 1u);
+  EXPECT_EQ(fa.flows()[0].retransmissions, 1u);
+}
+
+TEST(FlowAnalyzerTest, RttFromDataAckPairs) {
+  const net::IpAddr server(31, 13, 0, 1);
+  std::vector<net::PacketRecord> trace;
+  trace.push_back(make_rec(1, sim::msec(0), Direction::kUplink, server, 443,
+                           1000, 0));
+  trace.push_back(make_rec(2, sim::msec(80), Direction::kDownlink, server,
+                           443, 0, 0, 1000));  // ACK after 80ms
+  FlowAnalyzer fa(trace);
+  ASSERT_EQ(fa.flows()[0].rtt_samples.size(), 1u);
+  EXPECT_NEAR(fa.flows()[0].rtt_samples[0], 0.08, 1e-9);
+  EXPECT_NEAR(fa.flows()[0].mean_rtt(), 0.08, 1e-9);
+}
+
+TEST(FlowAnalyzerTest, HandshakeRttFromSynPair) {
+  const net::IpAddr server(31, 13, 0, 1);
+  std::vector<net::PacketRecord> trace;
+  auto syn = make_rec(1, sim::msec(0), Direction::kUplink, server, 443, 0);
+  syn.flags = {.syn = true};
+  auto synack =
+      make_rec(2, sim::msec(60), Direction::kDownlink, server, 443, 0);
+  synack.flags = {.syn = true, .ack = true};
+  trace.push_back(syn);
+  trace.push_back(synack);
+  FlowAnalyzer fa(trace);
+  ASSERT_TRUE(fa.flows()[0].handshake_rtt.has_value());
+  EXPECT_NEAR(*fa.flows()[0].handshake_rtt, 0.06, 1e-9);
+}
+
+TEST(FlowAnalyzerTest, WindowQueriesSelectTraffic) {
+  const net::IpAddr server(31, 13, 0, 1);
+  std::vector<net::PacketRecord> trace;
+  trace.push_back(make_rec(1, sim::sec(1), Direction::kUplink, server, 443,
+                           100, 0));
+  trace.push_back(make_rec(2, sim::sec(5), Direction::kUplink, server, 443,
+                           100, 100));
+  FlowAnalyzer fa(trace);
+
+  auto in_early = fa.flows_in_window(sim::TimePoint{sim::msec(500)},
+                                     sim::TimePoint{sim::sec(2)});
+  EXPECT_EQ(in_early.size(), 1u);
+  auto in_gap = fa.flows_in_window(sim::TimePoint{sim::sec(2)},
+                                   sim::TimePoint{sim::sec(4)});
+  EXPECT_TRUE(in_gap.empty());  // flow alive but no packet inside
+
+  auto vol = fa.bytes_in_window(sim::TimePoint{sim::sec(0)},
+                                sim::TimePoint{sim::sec(2)});
+  EXPECT_EQ(vol.uplink, 100u + net::kHeaderBytes);
+  EXPECT_EQ(vol.downlink, 0u);
+}
+
+TEST(FlowAnalyzerTest, EndToEndDnsAssociation) {
+  // Real stack end-to-end: DNS lookup then a Facebook-like exchange; the
+  // flow must be tagged with the hostname.
+  Testbed bed(3);
+  apps::SocialServer server(bed.network(), bed.next_server_ip());
+  auto dev = bed.make_device("phone");
+  dev->attach_wifi();
+  apps::SocialApp app(*dev);
+  app.launch();
+  app.login("alice");
+  bed.advance(sim::sec(20));
+
+  FlowAnalyzer fa(dev->trace().records());
+  auto fb_flows = fa.flows_to_host("facebook");
+  ASSERT_GE(fb_flows.size(), 2u);  // api + push connections
+  for (const auto* f : fb_flows) {
+    EXPECT_EQ(f->hostname, "api.facebook.sim");
+    EXPECT_GT(f->total_bytes(), 0u);
+  }
+  EXPECT_TRUE(fa.flows_to_host("youtube").empty());
+  EXPECT_EQ(fa.hostname_of(server.host().ip()), "api.facebook.sim");
+}
+
+TEST(FlowAnalyzerTest, DominantFlowPicksLargestInWindow) {
+  const net::IpAddr a(31, 13, 0, 1), b(74, 125, 0, 1);
+  std::vector<net::PacketRecord> trace;
+  trace.push_back(make_rec(1, sim::sec(1), Direction::kUplink, a, 443, 100, 0));
+  auto big = make_rec(2, sim::sec(1), Direction::kUplink, b, 443, 5000, 0);
+  big.src_port = 40001;
+  trace.push_back(big);
+  FlowAnalyzer fa(trace);
+  const FlowStats* dom = fa.dominant_flow(sim::TimePoint{sim::msec(500)},
+                                          sim::TimePoint{sim::sec(2)});
+  ASSERT_NE(dom, nullptr);
+  EXPECT_EQ(dom->key.dst_ip, b);
+  EXPECT_EQ(fa.dominant_flow(sim::TimePoint{sim::sec(3)},
+                             sim::TimePoint{sim::sec(4)}),
+            nullptr);
+}
+
+TEST(FlowAnalyzerTest, ThroughputSeriesIntegratesToTotalBytes) {
+  const net::IpAddr server(31, 13, 0, 1);
+  std::vector<net::PacketRecord> trace;
+  for (int i = 0; i < 20; ++i) {
+    trace.push_back(make_rec(static_cast<std::uint64_t>(i + 1),
+                             sim::msec(100 * i), Direction::kDownlink, server,
+                             443, 1000, 1000ull * i));
+  }
+  FlowAnalyzer fa(trace);
+  auto series = fa.throughput_series(Direction::kDownlink, sim::sec(1));
+  double integrated_bits = 0;
+  for (const auto& [t, bps] : series) integrated_bits += bps;  // 1s bins
+  EXPECT_NEAR(integrated_bits, 20 * (1000 + net::kHeaderBytes) * 8.0, 1.0);
+}
+
+}  // namespace
+}  // namespace qoed::core

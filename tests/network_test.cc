@@ -1,0 +1,173 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "net/tcp.h"
+
+namespace qoed::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::EventLoop loop;
+  Network net{loop, sim::Rng(1)};
+};
+
+TEST_F(NetworkTest, HostRegistrationLifecycle) {
+  const IpAddr ip(10, 0, 0, 2);
+  {
+    Host h(net, ip, "device");
+    EXPECT_EQ(net.find_host(ip), &h);
+  }
+  EXPECT_EQ(net.find_host(ip), nullptr);
+}
+
+TEST_F(NetworkTest, HostnameRegistry) {
+  net.register_hostname("api.facebook.test", IpAddr(31, 13, 0, 1));
+  EXPECT_EQ(net.lookup_hostname("api.facebook.test"), IpAddr(31, 13, 0, 1));
+  EXPECT_TRUE(net.lookup_hostname("nonexistent.test").is_unspecified());
+}
+
+TEST_F(NetworkTest, DirectCoreDeliveryWithLatency) {
+  Host a(net, IpAddr(10, 0, 0, 2), "a");
+  Host b(net, IpAddr(10, 0, 0, 3), "b");
+
+  sim::TimePoint received;
+  b.set_udp_handler([&](const Packet&) { received = loop.now(); });
+
+  a.send_udp(b.ip(), 9999, 1111, 100, nullptr);
+  loop.run();
+  // Base one-way core latency is 15ms (+ jitter).
+  EXPECT_GE(received.since_start(), sim::msec(15));
+  EXPECT_LT(received.since_start(), sim::msec(30));
+}
+
+TEST_F(NetworkTest, ExtraLatencyIsApplied) {
+  Host a(net, IpAddr(10, 0, 0, 2), "a");
+  Host b(net, IpAddr(10, 0, 0, 3), "far-server");
+  net.set_extra_latency(b.ip(), sim::msec(100));
+
+  sim::TimePoint received;
+  b.set_udp_handler([&](const Packet&) { received = loop.now(); });
+  a.send_udp(b.ip(), 9999, 1111, 100, nullptr);
+  loop.run();
+  EXPECT_GE(received.since_start(), sim::msec(115));
+}
+
+TEST_F(NetworkTest, PacketToUnknownHostVanishes) {
+  Host a(net, IpAddr(10, 0, 0, 2), "a");
+  a.send_udp(IpAddr(99, 99, 99, 99), 9999, 1111, 100, nullptr);
+  loop.run();  // must not crash
+  SUCCEED();
+}
+
+TEST_F(NetworkTest, TrafficTraversesAccessLinkBothWays) {
+  Host device(net, IpAddr(10, 0, 0, 2), "device");
+  Host server(net, IpAddr(10, 0, 0, 3), "server");
+
+  WifiLink link(loop, sim::Rng(2), {});
+  net.attach_access_link(device.ip(), link);
+
+  sim::TimePoint at_server, at_device;
+  server.set_udp_handler([&](const Packet& p) {
+    at_server = loop.now();
+    server.send_udp(p.src_ip, p.src_port, p.dst_port, 50, nullptr);
+  });
+  device.set_udp_handler([&](const Packet&) { at_device = loop.now(); });
+
+  device.send_udp(server.ip(), 9999, 1111, 100, nullptr);
+  loop.run();
+  // Uplink: wifi (~2ms) + core (~15ms). Round trip through both.
+  EXPECT_GE(at_server.since_start(), sim::msec(17));
+  EXPECT_GE(at_device - at_server, sim::msec(17));
+}
+
+TEST_F(NetworkTest, DeviceTraceSeesBothDirections) {
+  Host device(net, IpAddr(10, 0, 0, 2), "device");
+  Host server(net, IpAddr(10, 0, 0, 3), "server");
+  TraceCapture trace;
+  device.set_trace(&trace);
+
+  server.set_udp_handler([&](const Packet& p) {
+    server.send_udp(p.src_ip, p.src_port, p.dst_port, 500, nullptr);
+  });
+  device.send_udp(server.ip(), 9999, 1111, 100, nullptr);
+  loop.run();
+
+  ASSERT_EQ(trace.records().size(), 2u);
+  EXPECT_EQ(trace.records()[0].direction, Direction::kUplink);
+  EXPECT_EQ(trace.records()[1].direction, Direction::kDownlink);
+  EXPECT_EQ(trace.records()[0].payload_size, 100u);
+  EXPECT_EQ(trace.records()[1].payload_size, 500u);
+}
+
+TEST_F(NetworkTest, UplinkTraceTimestampPrecedesLinkCrossing) {
+  Host device(net, IpAddr(10, 0, 0, 2), "device");
+  Host server(net, IpAddr(10, 0, 0, 3), "server");
+  WifiLink link(loop, sim::Rng(2), {});
+  net.attach_access_link(device.ip(), link);
+  TraceCapture trace;
+  device.set_trace(&trace);
+
+  sim::TimePoint at_server;
+  server.set_udp_handler([&](const Packet&) { at_server = loop.now(); });
+  loop.run_until(sim::TimePoint{sim::sec(1)});
+  device.send_udp(server.ip(), 9999, 1111, 1000, nullptr);
+  loop.run();
+
+  ASSERT_EQ(trace.records().size(), 1u);
+  // tcpdump on the device stamps the packet before radio transmission.
+  EXPECT_EQ(trace.records()[0].timestamp.since_start(), sim::sec(1));
+  EXPECT_GT(at_server, trace.records()[0].timestamp);
+}
+
+TEST(WifiLinkTest, SerializationDelayScalesWithSize) {
+  sim::EventLoop loop;
+  Network net(loop, sim::Rng(1), {.base_one_way = sim::msec(1),
+                                  .jitter_stddev = sim::Duration::zero()});
+  Host device(net, IpAddr(10, 0, 0, 2), "device");
+  Host server(net, IpAddr(10, 0, 0, 3), "server");
+  WifiConfig cfg;
+  cfg.uplink_bps = 1e6;  // 1 Mbps -> 8 ms per 1000 B
+  cfg.jitter_stddev = sim::Duration::zero();
+  cfg.loss_probability = 0.0;
+  WifiLink link(loop, sim::Rng(2), cfg);
+  net.attach_access_link(device.ip(), link);
+
+  sim::TimePoint small_at, big_at;
+  server.set_udp_handler([&](const Packet& p) {
+    (p.payload_size < 500 ? small_at : big_at) = loop.now();
+  });
+  device.send_udp(server.ip(), 9999, 1111, 100, nullptr);
+  loop.run();
+  const sim::TimePoint t0 = loop.now();
+  device.send_udp(server.ip(), 9999, 1112, 10000, nullptr);
+  loop.run();
+  const sim::Duration small_lat = small_at.since_start();
+  const sim::Duration big_lat = big_at - t0;
+  EXPECT_GT(big_lat, small_lat + sim::msec(50));  // ~80ms serialization
+}
+
+TEST(WifiLinkTest, LossDropsPackets) {
+  sim::EventLoop loop;
+  Network net(loop, sim::Rng(1));
+  Host device(net, IpAddr(10, 0, 0, 2), "device");
+  Host server(net, IpAddr(10, 0, 0, 3), "server");
+  WifiConfig cfg;
+  cfg.loss_probability = 1.0;
+  WifiLink link(loop, sim::Rng(2), cfg);
+  net.attach_access_link(device.ip(), link);
+
+  int received = 0;
+  server.set_udp_handler([&](const Packet&) { ++received; });
+  for (int i = 0; i < 10; ++i) {
+    device.send_udp(server.ip(), 9999, 1111, 100, nullptr);
+  }
+  loop.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(link.dropped_packets(), 10u);
+}
+
+}  // namespace
+}  // namespace qoed::net

@@ -1,0 +1,144 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+#include "net/trace.h"
+
+namespace qoed::net {
+namespace {
+
+TEST(IpAddrTest, Formatting) {
+  EXPECT_EQ(IpAddr(10, 0, 0, 2).to_string(), "10.0.0.2");
+  EXPECT_EQ(IpAddr(192, 168, 1, 255).to_string(), "192.168.1.255");
+  EXPECT_EQ(IpAddr{}.to_string(), "0.0.0.0");
+}
+
+TEST(IpAddrTest, OrderingAndUnspecified) {
+  EXPECT_TRUE(IpAddr{}.is_unspecified());
+  EXPECT_FALSE(IpAddr(1, 2, 3, 4).is_unspecified());
+  EXPECT_LT(IpAddr(10, 0, 0, 1), IpAddr(10, 0, 0, 2));
+  EXPECT_EQ(IpAddr(10, 0, 0, 1), IpAddr(10, 0, 0, 1));
+}
+
+TEST(FlowKeyTest, CanonicalMergesDirections) {
+  FlowKey a{IpAddr(10, 0, 0, 2), 40001, IpAddr(1, 2, 3, 4), 443};
+  FlowKey b = a.reversed();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.canonical(), b.canonical());
+}
+
+TEST(FlowKeyTest, HashDistinguishesFlows) {
+  std::hash<FlowKey> h;
+  FlowKey a{IpAddr(10, 0, 0, 2), 40001, IpAddr(1, 2, 3, 4), 443};
+  FlowKey b{IpAddr(10, 0, 0, 2), 40002, IpAddr(1, 2, 3, 4), 443};
+  EXPECT_NE(h(a), h(b));
+}
+
+TEST(DirectionTest, ReverseAndName) {
+  EXPECT_EQ(reverse(Direction::kUplink), Direction::kDownlink);
+  EXPECT_EQ(reverse(Direction::kDownlink), Direction::kUplink);
+  EXPECT_STREQ(to_string(Direction::kUplink), "uplink");
+}
+
+TEST(PacketTest, FactoryAssignsUniqueIds) {
+  PacketFactory f;
+  Packet a = f.make();
+  Packet b = f.make();
+  EXPECT_NE(a.uid, b.uid);
+  EXPECT_EQ(f.allocated(), 2u);
+}
+
+TEST(PacketTest, TotalSizeIncludesHeader) {
+  PacketFactory f;
+  Packet p = f.make();
+  p.payload_size = 1000;
+  EXPECT_EQ(p.total_size(), 1000 + kHeaderBytes);
+}
+
+TEST(PacketTest, WireBytesAreDeterministic) {
+  PacketFactory f;
+  Packet p = f.make();
+  p.payload_size = 100;
+  for (std::uint32_t i = 0; i < p.total_size(); ++i) {
+    EXPECT_EQ(p.wire_byte(i), p.wire_byte(i));
+  }
+}
+
+TEST(PacketTest, WireBytesDifferAcrossPacketsAndOffsets) {
+  PacketFactory f;
+  Packet a = f.make();
+  Packet b = f.make();
+  int same_across_packets = 0, same_across_offsets = 0;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    if (a.wire_byte(i) == b.wire_byte(i)) ++same_across_packets;
+    if (a.wire_byte(i) == a.wire_byte(i + 1)) ++same_across_offsets;
+  }
+  // Hash output: expect ~1/256 collisions, allow generous slack.
+  EXPECT_LT(same_across_packets, 16);
+  EXPECT_LT(same_across_offsets, 16);
+}
+
+TEST(TcpFlagsTest, Rendering) {
+  TcpFlags f;
+  EXPECT_EQ(f.to_string(), ".");
+  f.syn = true;
+  f.ack = true;
+  EXPECT_EQ(f.to_string(), "SA");
+  f = {};
+  f.fin = true;
+  f.psh = true;
+  EXPECT_EQ(f.to_string(), "FP");
+}
+
+TEST(TraceTest, RecordsAndCountsBytes) {
+  PacketFactory f;
+  TraceCapture trace;
+  Packet p = f.make();
+  p.payload_size = 60;
+  trace.record(p, sim::TimePoint{sim::msec(5)}, Direction::kUplink);
+  p.payload_size = 100;
+  trace.record(p, sim::TimePoint{sim::msec(6)}, Direction::kDownlink);
+
+  ASSERT_EQ(trace.records().size(), 2u);
+  EXPECT_EQ(trace.records()[0].timestamp.since_start(), sim::msec(5));
+  EXPECT_EQ(trace.bytes(Direction::kUplink), 60u + kHeaderBytes);
+  EXPECT_EQ(trace.bytes(Direction::kDownlink), 100u + kHeaderBytes);
+}
+
+TEST(TraceTest, StopSuppressesCapture) {
+  PacketFactory f;
+  TraceCapture trace;
+  trace.stop();
+  trace.record(f.make(), sim::kTimeZero, Direction::kUplink);
+  EXPECT_TRUE(trace.records().empty());
+  trace.start();
+  trace.record(f.make(), sim::kTimeZero, Direction::kUplink);
+  EXPECT_EQ(trace.records().size(), 1u);
+}
+
+TEST(TraceTest, RecordPreservesPacketFields) {
+  PacketFactory f;
+  Packet p = f.make();
+  p.src_ip = IpAddr(10, 0, 0, 2);
+  p.src_port = 40000;
+  p.dst_ip = IpAddr(31, 13, 0, 1);
+  p.dst_port = 443;
+  p.seq = 12345;
+  p.ack = 678;
+  p.flags.psh = true;
+  p.flags.ack = true;
+  p.payload_size = 999;
+
+  PacketRecord r =
+      PacketRecord::from_packet(p, sim::TimePoint{sim::sec(1)},
+                                Direction::kUplink);
+  EXPECT_EQ(r.uid, p.uid);
+  EXPECT_EQ(r.flow(), p.flow());
+  EXPECT_EQ(r.seq, 12345u);
+  EXPECT_EQ(r.ack, 678u);
+  EXPECT_TRUE(r.flags.psh);
+  EXPECT_EQ(r.total_size(), p.total_size());
+}
+
+}  // namespace
+}  // namespace qoed::net

@@ -1,0 +1,135 @@
+#include "core/pcap_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "apps/web_server.h"
+#include "core/qoe_doctor.h"
+
+namespace qoed::core {
+namespace {
+
+std::uint32_t u32le(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+
+std::uint32_t u32be(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) |
+         static_cast<std::uint32_t>(b[off + 3]);
+}
+
+net::PacketRecord sample_record() {
+  net::PacketRecord r;
+  r.uid = 42;
+  r.timestamp = sim::TimePoint{sim::msec(1'234)};
+  r.direction = net::Direction::kUplink;
+  r.src_ip = net::IpAddr(10, 0, 0, 2);
+  r.src_port = 40000;
+  r.dst_ip = net::IpAddr(203, 0, 113, 10);
+  r.dst_port = 443;
+  r.protocol = net::Protocol::kTcp;
+  r.seq = 1000;
+  r.ack = 555;
+  r.flags.ack = true;
+  r.flags.psh = true;
+  r.payload_size = 32;
+  return r;
+}
+
+TEST(PcapWriterTest, GlobalHeaderIsWellFormed) {
+  const auto bytes = to_pcap({});
+  ASSERT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(u32le(bytes, 0), 0xa1b2c3d4u);  // magic, microsecond variant
+  EXPECT_EQ(bytes[4] | (bytes[5] << 8), 2);  // version 2.4
+  EXPECT_EQ(bytes[6] | (bytes[7] << 8), 4);
+  EXPECT_EQ(u32le(bytes, 20), 101u);  // LINKTYPE_RAW
+}
+
+TEST(PcapWriterTest, RecordHeaderAndIpFieldsRoundTrip) {
+  const auto rec = sample_record();
+  const auto bytes = to_pcap({rec});
+  // Record header at 24: ts_sec, ts_usec, incl_len, orig_len.
+  EXPECT_EQ(u32le(bytes, 24), 1u);
+  EXPECT_EQ(u32le(bytes, 28), 234'000u);
+  const std::uint32_t orig = u32le(bytes, 36);
+  EXPECT_EQ(orig, 20u + 20u + 32u);  // IP + TCP + payload
+  EXPECT_EQ(u32le(bytes, 32), orig);  // under snaplen: fully included
+
+  // IPv4 header at 40.
+  const std::size_t ip = 40;
+  EXPECT_EQ(bytes[ip], 0x45);
+  EXPECT_EQ(bytes[ip + 9], 6);  // TCP
+  EXPECT_EQ(u32be(bytes, ip + 12), rec.src_ip.value());
+  EXPECT_EQ(u32be(bytes, ip + 16), rec.dst_ip.value());
+  // TCP header at 60: ports, seq, flags.
+  EXPECT_EQ((bytes[60] << 8) | bytes[61], 40000);
+  EXPECT_EQ((bytes[62] << 8) | bytes[63], 443);
+  EXPECT_EQ(u32be(bytes, 64), 1000u);
+  EXPECT_EQ(bytes[73], 0x18);  // PSH|ACK
+}
+
+TEST(PcapWriterTest, SnaplenTruncatesButKeepsOriginalLength) {
+  auto rec = sample_record();
+  rec.payload_size = 1000;
+  PcapOptions opt;
+  opt.snaplen = 60;
+  const auto bytes = to_pcap({rec}, opt);
+  EXPECT_EQ(u32le(bytes, 32), 60u);     // included
+  EXPECT_EQ(u32le(bytes, 36), 1040u);   // original
+  EXPECT_EQ(bytes.size(), 24u + 16u + 60u);
+}
+
+TEST(PcapWriterTest, UdpRecordsUseUdpHeader) {
+  auto rec = sample_record();
+  rec.protocol = net::Protocol::kUdp;
+  rec.payload_size = 8;
+  const auto bytes = to_pcap({rec});
+  EXPECT_EQ(bytes[40 + 9], 17);  // IP protocol = UDP
+  EXPECT_EQ(u32le(bytes, 36), 20u + 8u + 8u);
+}
+
+TEST(PcapWriterTest, PayloadBytesMatchWireContent) {
+  const auto rec = sample_record();
+  const auto bytes = to_pcap({rec});
+  const std::size_t payload_off = 40 + 20 + 20;
+  for (std::uint32_t i = 0; i < rec.payload_size; ++i) {
+    EXPECT_EQ(bytes[payload_off + i],
+              net::wire_byte(rec.uid, net::kHeaderBytes + i));
+  }
+}
+
+TEST(PcapWriterTest, WritesRealTraceToDisk) {
+  Testbed bed(87);
+  apps::WebServer server(bed.network(), bed.next_server_ip());
+  server.add_page({.path = "/p", .html_bytes = 10'000, .object_count = 1,
+                   .object_bytes = 4'000});
+  auto dev = bed.make_device("phone");
+  dev->attach_wifi();
+  apps::BrowserApp app(*dev);
+  app.launch();
+  QoeDoctor doctor(*dev, app);
+  BrowserDriver driver(doctor.controller(), app);
+  driver.load_page("www.page.sim/p", [](const BehaviorRecord&) {});
+  bed.loop().run();
+  ASSERT_GT(dev->trace().records().size(), 10u);
+
+  const std::string path = ::testing::TempDir() + "/qoed_trace.pcap";
+  ASSERT_TRUE(write_pcap_file(path, dev->trace().records()));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  // Global header + at least one record per captured packet.
+  EXPECT_GT(size, 24 + 16 * static_cast<long>(dev->trace().records().size()));
+}
+
+}  // namespace
+}  // namespace qoed::core

@@ -1,0 +1,142 @@
+#include "core/rrc_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace qoed::core {
+namespace {
+
+class RrcAnalyzerTest : public ::testing::Test {
+ protected:
+  RrcAnalyzerTest() : bed_(13) {
+    server_ = std::make_unique<net::Host>(bed_.network(),
+                                          bed_.next_server_ip(), "sink");
+    server_->set_udp_handler([](const net::Packet&) {});
+  }
+
+  void attach(radio::CellularConfig cfg) {
+    dev_ = bed_.make_device("phone");
+    dev_->attach_cellular(std::move(cfg));
+  }
+
+  void send_burst(int packets, std::uint32_t bytes) {
+    for (int i = 0; i < packets; ++i) {
+      dev_->host().send_udp(server_->ip(), 9999, 1111, bytes, nullptr);
+    }
+  }
+
+  Testbed bed_;
+  std::unique_ptr<net::Host> server_;
+  std::unique_ptr<device::Device> dev_;
+};
+
+TEST_F(RrcAnalyzerTest, ResidencyCoversWholeWindow) {
+  attach(radio::CellularConfig::umts());
+  send_burst(5, 1000);
+  bed_.loop().run();
+  const sim::TimePoint end = bed_.loop().now();
+
+  RrcAnalyzer rrc(dev_->cellular()->qxdm(), dev_->cellular()->config().rrc);
+  auto res = rrc.residency(sim::kTimeZero, end);
+  EXPECT_EQ(res.total(), end - sim::kTimeZero);
+  EXPECT_GT(res.in(radio::RrcState::kDch), sim::Duration::zero());
+  EXPECT_GT(rrc.energy_joules(sim::kTimeZero, end), 0.0);
+}
+
+TEST_F(RrcAnalyzerTest, OtaRttEstimateNearConfiguredAirLatency) {
+  radio::CellularConfig cfg = radio::CellularConfig::umts();
+  cfg.rlc.pdu_loss_prob = 0;
+  cfg.rlc.status_loss_prob = 0;
+  attach(cfg);
+  send_burst(10, 1000);
+  bed_.loop().run();
+
+  RrcAnalyzer rrc(dev_->cellular()->qxdm(), dev_->cellular()->config().rrc);
+  const auto rtts = rrc.first_hop_ota_rtts(net::Direction::kUplink);
+  ASSERT_FALSE(rtts.empty());
+  // One-way DCH air latency is 28ms; poll->STATUS ~ 2*28ms + processing.
+  const double mean = rrc.mean_ota_rtt(net::Direction::kUplink);
+  EXPECT_GT(mean, 0.04);
+  EXPECT_LT(mean, 0.25);
+}
+
+TEST_F(RrcAnalyzerTest, PromotionDetectedInQoeWindow) {
+  attach(radio::CellularConfig::umts());
+  send_burst(1, 500);
+  bed_.loop().run();
+  const sim::TimePoint end = bed_.loop().now();
+
+  RrcAnalyzer rrc(dev_->cellular()->qxdm(), dev_->cellular()->config().rrc);
+  EXPECT_TRUE(rrc.promotion_in(sim::kTimeZero, sim::TimePoint{sim::sec(3)}));
+  // After the burst + tails, only demotions happen.
+  EXPECT_FALSE(rrc.promotion_in(end - sim::sec(1), end));
+  EXPECT_FALSE(rrc.transitions_in(sim::kTimeZero, end).empty());
+}
+
+TEST_F(RrcAnalyzerTest, EnergyBreakdownTailDominatesSingleSmallBurst) {
+  attach(radio::CellularConfig::umts());
+  send_burst(1, 500);
+  bed_.loop().run();
+  const sim::TimePoint end = bed_.loop().now();
+
+  EnergyAnalyzer energy(dev_->cellular()->qxdm(),
+                        dev_->cellular()->config().rrc);
+  const EnergyBreakdown b = energy.analyze(sim::kTimeZero, end);
+  EXPECT_GT(b.total_joules, 0.0);
+  EXPECT_GT(b.tail_joules, 0.0);
+  EXPECT_NEAR(b.tail_joules + b.non_tail_joules, b.total_joules, 1e-9);
+  // One tiny transfer then ~17s of high-power tail: tail dominates.
+  EXPECT_GT(b.tail_joules, b.non_tail_joules);
+}
+
+TEST_F(RrcAnalyzerTest, SustainedTransferShrinksTailShare) {
+  radio::CellularConfig cfg = radio::CellularConfig::umts();
+  attach(cfg);
+  // Keep the radio busy for a long time relative to the tail.
+  for (int burst = 0; burst < 60; ++burst) {
+    send_burst(4, 1200);
+    bed_.advance(sim::msec(300));
+  }
+  bed_.loop().run();
+  const sim::TimePoint end = bed_.loop().now();
+
+  EnergyAnalyzer energy(dev_->cellular()->qxdm(),
+                        dev_->cellular()->config().rrc);
+  const EnergyBreakdown b = energy.analyze(sim::kTimeZero, end);
+  EXPECT_GT(b.non_tail_joules, 0.0);
+  const double tail_share = b.tail_joules / b.total_joules;
+  EXPECT_LT(tail_share, 0.7);
+}
+
+TEST_F(RrcAnalyzerTest, LteEnergyLowerThan3gForSameTinyWorkload) {
+  double joules[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    Testbed bed(17);
+    net::Host server(bed.network(), bed.next_server_ip(), "sink");
+    server.set_udp_handler([](const net::Packet&) {});
+    auto dev = bed.make_device("phone");
+    dev->attach_cellular(pass == 0 ? radio::CellularConfig::umts()
+                                   : radio::CellularConfig::lte());
+    dev->host().send_udp(server.ip(), 9999, 1111, 500, nullptr);
+    bed.loop().run();
+    EnergyAnalyzer energy(dev->cellular()->qxdm(),
+                          dev->cellular()->config().rrc);
+    joules[pass] =
+        energy.analyze(sim::kTimeZero, bed.loop().now()).total_joules;
+  }
+  // 3G's 17s FACH+DCH tail outweighs LTE's DRX-staged tail for one packet.
+  EXPECT_GT(joules[0], joules[1]);
+}
+
+TEST_F(RrcAnalyzerTest, EmptyWindowYieldsZeroEnergy) {
+  attach(radio::CellularConfig::umts());
+  EnergyAnalyzer energy(dev_->cellular()->qxdm(),
+                        dev_->cellular()->config().rrc);
+  const EnergyBreakdown b =
+      energy.analyze(sim::TimePoint{sim::sec(5)}, sim::TimePoint{sim::sec(5)});
+  EXPECT_EQ(b.total_joules, 0.0);
+}
+
+}  // namespace
+}  // namespace qoed::core

@@ -1,0 +1,261 @@
+#include "radio/rrc_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "radio/rrc_config.h"
+
+namespace qoed::radio {
+namespace {
+
+struct Transition {
+  RrcState from, to;
+  sim::TimePoint at;
+};
+
+class RrcRecorder {
+ public:
+  explicit RrcRecorder(RrcMachine& m) {
+    m.add_observer([this](RrcState f, RrcState t, sim::TimePoint at) {
+      log.push_back({f, t, at});
+    });
+  }
+  std::vector<Transition> log;
+};
+
+TEST(RrcConfigTest, StateClassification) {
+  EXPECT_TRUE(is_low_power(RrcState::kPch));
+  EXPECT_TRUE(is_low_power(RrcState::kLteIdle));
+  EXPECT_FALSE(is_low_power(RrcState::kDch));
+  EXPECT_TRUE(is_transfer_capable(RrcState::kDch));
+  EXPECT_TRUE(is_transfer_capable(RrcState::kFach));
+  EXPECT_TRUE(is_transfer_capable(RrcState::kLteConnected));
+  EXPECT_FALSE(is_transfer_capable(RrcState::kPch));
+  EXPECT_FALSE(is_transfer_capable(RrcState::kLteIdle));
+}
+
+TEST(RrcConfigTest, ParamsLookupMatchesState) {
+  RrcConfig cfg = RrcConfig::umts_default();
+  EXPECT_EQ(cfg.params(RrcState::kDch).power_mw, cfg.dch.power_mw);
+  EXPECT_EQ(cfg.params(RrcState::kPch).power_mw, cfg.pch.power_mw);
+  EXPECT_GT(cfg.params(RrcState::kDch).downlink_bps,
+            cfg.params(RrcState::kFach).downlink_bps);
+}
+
+TEST(RrcConfigTest, PresetIdleStates) {
+  EXPECT_EQ(RrcConfig::umts_default().idle_state(), RrcState::kPch);
+  EXPECT_EQ(RrcConfig::lte_default().idle_state(), RrcState::kLteIdle);
+  EXPECT_FALSE(RrcConfig::umts_simplified().has_fach);
+}
+
+TEST(Rrc3gTest, StartsInPch) {
+  sim::EventLoop loop;
+  RrcMachine m(loop, RrcConfig::umts_default());
+  EXPECT_EQ(m.state(), RrcState::kPch);
+  EXPECT_FALSE(m.transfer_capable());
+}
+
+TEST(Rrc3gTest, SmallDataPromotesToFach) {
+  sim::EventLoop loop;
+  RrcConfig cfg = RrcConfig::umts_default();
+  RrcMachine m(loop, cfg);
+  bool ready = false;
+  m.request_transfer(100, [&] { ready = true; });
+  EXPECT_FALSE(ready);  // promotion takes time
+  loop.run_until(loop.now() + cfg.promo_pch_to_fach);
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(m.state(), RrcState::kFach);
+}
+
+TEST(Rrc3gTest, LargeDataPromotesDirectlyToDch) {
+  sim::EventLoop loop;
+  RrcConfig cfg = RrcConfig::umts_default();
+  RrcMachine m(loop, cfg);
+  bool ready = false;
+  m.request_transfer(100'000, [&] { ready = true; });
+  loop.run_until(loop.now() + cfg.promo_pch_to_fach + cfg.promo_fach_to_dch);
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(m.state(), RrcState::kDch);
+}
+
+TEST(Rrc3gTest, FachEscalatesToDchWhenBufferGrows) {
+  sim::EventLoop loop;
+  RrcConfig cfg = RrcConfig::umts_default();
+  RrcMachine m(loop, cfg);
+  m.request_transfer(100, nullptr);
+  loop.run_until(loop.now() + cfg.promo_pch_to_fach);
+  ASSERT_EQ(m.state(), RrcState::kFach);
+  m.on_activity(cfg.fach_to_dch_threshold_bytes + 1);
+  loop.run_until(loop.now() + cfg.promo_fach_to_dch);
+  EXPECT_EQ(m.state(), RrcState::kDch);
+}
+
+TEST(Rrc3gTest, DemotionCascadeDchFachPch) {
+  sim::EventLoop loop;
+  RrcConfig cfg = RrcConfig::umts_default();
+  RrcMachine m(loop, cfg);
+  RrcRecorder rec(m);
+  m.request_transfer(100'000, nullptr);
+  loop.run();  // promotion, then full demotion cascade with no activity
+  EXPECT_EQ(m.state(), RrcState::kPch);
+  ASSERT_EQ(rec.log.size(), 3u);
+  EXPECT_EQ(rec.log[0].to, RrcState::kDch);
+  EXPECT_EQ(rec.log[1].to, RrcState::kFach);
+  EXPECT_EQ(rec.log[2].to, RrcState::kPch);
+  // Tail timings.
+  EXPECT_EQ(rec.log[1].at - rec.log[0].at, cfg.dch_to_fach_timer);
+  EXPECT_EQ(rec.log[2].at - rec.log[1].at, cfg.fach_to_pch_timer);
+}
+
+TEST(Rrc3gTest, ActivityResetsDemotionTimer) {
+  sim::EventLoop loop;
+  RrcConfig cfg = RrcConfig::umts_default();
+  RrcMachine m(loop, cfg);
+  m.request_transfer(100'000, nullptr);
+  loop.run_until(loop.now() + sim::sec(2));
+  ASSERT_EQ(m.state(), RrcState::kDch);
+  // Touch every 2s: DCH demotion timer (5s) never fires.
+  for (int i = 0; i < 5; ++i) {
+    m.on_activity(100);
+    loop.run_until(loop.now() + sim::sec(2));
+    EXPECT_EQ(m.state(), RrcState::kDch);
+  }
+  loop.run();
+  EXPECT_EQ(m.state(), RrcState::kPch);
+}
+
+TEST(Rrc3gTest, SimplifiedMachineSkipsFach) {
+  sim::EventLoop loop;
+  RrcConfig cfg = RrcConfig::umts_simplified();
+  RrcMachine m(loop, cfg);
+  RrcRecorder rec(m);
+  bool ready = false;
+  m.request_transfer(100, [&] { ready = true; });
+  loop.run_until(loop.now() + cfg.promo_pch_to_dch);
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(m.state(), RrcState::kDch);
+  loop.run();
+  EXPECT_EQ(m.state(), RrcState::kPch);
+  for (const auto& t : rec.log) {
+    EXPECT_NE(t.to, RrcState::kFach);
+    EXPECT_NE(t.from, RrcState::kFach);
+  }
+}
+
+TEST(Rrc3gTest, SimplifiedPromotionFasterThanTwoStep) {
+  RrcConfig std_cfg = RrcConfig::umts_default();
+  RrcConfig simp_cfg = RrcConfig::umts_simplified();
+  EXPECT_LT(simp_cfg.promo_pch_to_dch,
+            std_cfg.promo_pch_to_fach + std_cfg.promo_fach_to_dch);
+}
+
+TEST(Rrc3gTest, RequestWhileCapableIsImmediate) {
+  sim::EventLoop loop;
+  RrcMachine m(loop, RrcConfig::umts_default());
+  m.request_transfer(100'000, nullptr);
+  loop.run_until(loop.now() + sim::sec(3));
+  ASSERT_TRUE(m.transfer_capable());
+  bool ready = false;
+  m.request_transfer(100, [&] { ready = true; });
+  EXPECT_TRUE(ready);  // no event-loop turn needed
+}
+
+TEST(Rrc3gTest, MultipleWaitersAllFlushed) {
+  sim::EventLoop loop;
+  RrcMachine m(loop, RrcConfig::umts_default());
+  int ready = 0;
+  for (int i = 0; i < 5; ++i) m.request_transfer(50, [&] { ++ready; });
+  loop.run_until(loop.now() + sim::sec(1));
+  EXPECT_EQ(ready, 5);
+  EXPECT_EQ(m.promotions(), 1u);  // a single promotion serves all waiters
+}
+
+TEST(RrcLteTest, PromotionIdleToConnected) {
+  sim::EventLoop loop;
+  RrcConfig cfg = RrcConfig::lte_default();
+  RrcMachine m(loop, cfg);
+  EXPECT_EQ(m.state(), RrcState::kLteIdle);
+  bool ready = false;
+  m.request_transfer(1000, [&] { ready = true; });
+  EXPECT_FALSE(ready);
+  loop.run_until(loop.now() + cfg.promo_idle_to_connected);
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(m.state(), RrcState::kLteConnected);
+}
+
+TEST(RrcLteTest, DrxCascadeToIdle) {
+  sim::EventLoop loop;
+  RrcConfig cfg = RrcConfig::lte_default();
+  RrcMachine m(loop, cfg);
+  RrcRecorder rec(m);
+  m.request_transfer(1000, nullptr);
+  loop.run();
+  EXPECT_EQ(m.state(), RrcState::kLteIdle);
+  ASSERT_EQ(rec.log.size(), 4u);
+  EXPECT_EQ(rec.log[1].to, RrcState::kLteShortDrx);
+  EXPECT_EQ(rec.log[2].to, RrcState::kLteLongDrx);
+  EXPECT_EQ(rec.log[3].to, RrcState::kLteIdle);
+}
+
+TEST(RrcLteTest, DataInShortDrxWakesAfterShortWakeDelay) {
+  sim::EventLoop loop;
+  RrcConfig cfg = RrcConfig::lte_default();
+  RrcMachine m(loop, cfg);
+  m.request_transfer(1000, nullptr);
+  loop.run_until(loop.now() + cfg.promo_idle_to_connected +
+                 cfg.connected_to_short_drx + sim::msec(50));
+  ASSERT_EQ(m.state(), RrcState::kLteShortDrx);
+  EXPECT_FALSE(m.transfer_capable());  // radio sleeping between on-durations
+  bool ready = false;
+  m.request_transfer(100, [&] { ready = true; });
+  EXPECT_FALSE(ready);
+  loop.run_until(loop.now() + cfg.short_drx_wake);
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(m.state(), RrcState::kLteConnected);
+  EXPECT_TRUE(m.transfer_capable());
+}
+
+TEST(RrcLteTest, LongDrxWakeSlowerThanShortDrxWake) {
+  RrcConfig cfg = RrcConfig::lte_default();
+  EXPECT_GT(cfg.long_drx_wake, cfg.short_drx_wake);
+  EXPECT_GT(cfg.promo_idle_to_connected, cfg.long_drx_wake);
+
+  sim::EventLoop loop;
+  RrcMachine m(loop, cfg);
+  m.request_transfer(1000, nullptr);
+  loop.run_until(loop.now() + cfg.promo_idle_to_connected +
+                 cfg.connected_to_short_drx + cfg.short_to_long_drx +
+                 sim::msec(50));
+  ASSERT_EQ(m.state(), RrcState::kLteLongDrx);
+  bool ready = false;
+  m.request_transfer(100, [&] { ready = true; });
+  loop.run_until(loop.now() + cfg.short_drx_wake);
+  EXPECT_FALSE(ready);  // long DRX needs the longer wake
+  loop.run_until(loop.now() + cfg.long_drx_wake);
+  EXPECT_TRUE(ready);
+}
+
+TEST(RrcLteTest, LteTailMuchShorterPromotionThan3g) {
+  // The paper's Fig. 7/8 rely on LTE having a far cheaper promotion than 3G.
+  RrcConfig lte = RrcConfig::lte_default();
+  RrcConfig umts = RrcConfig::umts_default();
+  EXPECT_LT(lte.promo_idle_to_connected, umts.promo_pch_to_fach);
+}
+
+TEST(RrcObserverTest, ObserversSeeEveryTransitionInOrder) {
+  sim::EventLoop loop;
+  RrcMachine m(loop, RrcConfig::umts_default());
+  RrcRecorder a(m), b(m);
+  m.request_transfer(100'000, nullptr);
+  loop.run();
+  EXPECT_EQ(a.log.size(), b.log.size());
+  ASSERT_FALSE(a.log.empty());
+  for (size_t i = 0; i < a.log.size(); ++i) {
+    EXPECT_EQ(a.log[i].to, b.log[i].to);
+    if (i > 0) EXPECT_EQ(a.log[i].from, a.log[i - 1].to);
+  }
+}
+
+}  // namespace
+}  // namespace qoed::radio

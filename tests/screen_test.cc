@@ -1,0 +1,72 @@
+#include "ui/screen.h"
+
+#include <gtest/gtest.h>
+
+#include "ui/widgets.h"
+
+namespace qoed::ui {
+namespace {
+
+class ScreenTest : public ::testing::Test {
+ protected:
+  ScreenTest() : tree_(loop_), screen_(loop_) {
+    root_ = std::make_shared<View>("L", "root");
+    tree_.set_root(root_);
+    screen_.attach(tree_);
+    screen_.clear_history();  // ignore the set_root frame
+  }
+
+  sim::EventLoop loop_;
+  LayoutTree tree_;
+  Screen screen_;
+  std::shared_ptr<View> root_;
+};
+
+TEST_F(ScreenTest, DrawFollowsMutationWithinOneFrame) {
+  loop_.run_until(sim::TimePoint{sim::msec(100)});
+  root_->set_text("x");
+  const std::uint64_t rev = tree_.revision();
+  loop_.run();
+  auto drawn = screen_.draw_time_for(rev);
+  ASSERT_TRUE(drawn.has_value());
+  const sim::Duration delay = *drawn - tree_.last_change();
+  EXPECT_GT(delay, sim::Duration::zero());
+  EXPECT_LT(delay, sim::msec(30));  // vsync (<=16.7ms) + compositor (8ms)
+}
+
+TEST_F(ScreenTest, CoalescesMutationsIntoOneFrame) {
+  for (int i = 0; i < 10; ++i) root_->set_text("v" + std::to_string(i));
+  loop_.run();
+  // All ten mutations land in a single vsync-aligned frame.
+  ASSERT_EQ(screen_.draws().size(), 1u);
+  EXPECT_EQ(screen_.draws()[0].revision, tree_.revision());
+}
+
+TEST_F(ScreenTest, SeparateFramesForSpacedMutations) {
+  root_->set_text("a");
+  loop_.run();
+  loop_.run_until(sim::TimePoint{sim::msec(200)});
+  root_->set_text("b");
+  loop_.run();
+  EXPECT_EQ(screen_.draws().size(), 2u);
+  EXPECT_GT(screen_.draws()[1].at, screen_.draws()[0].at);
+}
+
+TEST_F(ScreenTest, DrawTimeForFutureRevisionIsEmpty) {
+  root_->set_text("a");
+  loop_.run();
+  EXPECT_FALSE(screen_.draw_time_for(tree_.revision() + 100).has_value());
+}
+
+TEST_F(ScreenTest, DrawsAlignToVsyncGrid) {
+  loop_.run_until(sim::TimePoint{sim::msec(5)});
+  root_->set_text("x");
+  loop_.run();
+  ASSERT_EQ(screen_.draws().size(), 1u);
+  // Mutation at 5ms -> next vsync at 16.667ms -> +8ms compositor.
+  const auto at = screen_.draws()[0].at.since_start();
+  EXPECT_EQ(at, sim::usec(16'667) + sim::msec(8));
+}
+
+}  // namespace
+}  // namespace qoed::ui

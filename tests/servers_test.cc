@@ -1,0 +1,209 @@
+// Direct tests of the backend models (social / video / web servers) at the
+// protocol level, independent of the apps.
+#include <gtest/gtest.h>
+
+#include "apps/social_server.h"
+#include "apps/video_server.h"
+#include "apps/web_server.h"
+#include "core/scenario.h"
+
+namespace qoed::apps {
+namespace {
+
+class ServersTest : public ::testing::Test {
+ protected:
+  ServersTest() : bed_(83) {
+    client_ = bed_.make_device("client");
+    client_->attach_wifi();
+  }
+
+  std::shared_ptr<net::TcpSocket> connect(net::IpAddr ip, net::Port port) {
+    return client_->host().tcp().connect(ip, port);
+  }
+
+  core::Testbed bed_;
+  std::unique_ptr<device::Device> client_;
+};
+
+TEST_F(ServersTest, SocialServerAcksPostsAndBuildsFeeds) {
+  SocialServer server(bed_.network(), bed_.next_server_ip());
+  server.make_friends("a", "b");
+  auto sock = connect(server.host().ip(), server.config().api_port);
+  net::AppMessage ack;
+  sock->set_on_message([&](const net::AppMessage& m) { ack = m; });
+
+  net::AppMessage post{.type = "POST_UPLOAD", .size = 2'000};
+  post.headers["account"] = "a";
+  post.headers["kind"] = "status";
+  post.headers["text"] = "hello";
+  sock->send(std::move(post));
+  bed_.loop().run();
+
+  EXPECT_EQ(ack.type, "POST_ACK");
+  EXPECT_EQ(ack.header("index"), "1");
+  ASSERT_EQ(server.feed_of("a").size(), 1u);
+  ASSERT_EQ(server.feed_of("b").size(), 1u);
+  EXPECT_EQ(server.feed_of("b")[0].text, "hello");
+  EXPECT_TRUE(server.feed_of("stranger").empty());
+}
+
+TEST_F(ServersTest, SocialServerFeedSizesFollowDesign) {
+  SocialServer server(bed_.network(), bed_.next_server_ip());
+  // Seed one post so responses carry an item.
+  auto poster = connect(server.host().ip(), server.config().api_port);
+  net::AppMessage post{.type = "POST_UPLOAD", .size = 2'000};
+  post.headers["account"] = "a";
+  post.headers["kind"] = "status";
+  post.headers["text"] = "x";
+  poster->send(std::move(post));
+  bed_.loop().run();
+
+  std::uint64_t sizes[2] = {0, 0};
+  for (int pass = 0; pass < 2; ++pass) {
+    auto sock = connect(server.host().ip(), server.config().api_port);
+    sock->set_on_message(
+        [&, pass](const net::AppMessage& m) { sizes[pass] = m.size; });
+    net::AppMessage req{.type = "FEED_REQUEST", .size = 600};
+    req.headers["account"] = "a";
+    req.headers["since"] = "0";
+    req.headers["design"] = pass == 0 ? "listview" : "webview";
+    req.headers["recommendations"] = "0";
+    req.headers["foreground"] = "1";
+    sock->send(std::move(req));
+    bed_.loop().run();
+  }
+  const auto& cfg = server.config();
+  EXPECT_EQ(sizes[0], cfg.feed_base_listview + cfg.feed_item_listview);
+  EXPECT_EQ(sizes[1], cfg.feed_base_webview + cfg.feed_item_webview);
+}
+
+TEST_F(ServersTest, SocialServerRecommendationsOnlyWhenAsked) {
+  SocialServer server(bed_.network(), bed_.next_server_ip());
+  std::uint64_t with = 0, without = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    auto sock = connect(server.host().ip(), server.config().api_port);
+    sock->set_on_message([&, pass](const net::AppMessage& m) {
+      (pass == 0 ? with : without) = m.size;
+    });
+    net::AppMessage req{.type = "FEED_REQUEST", .size = 600};
+    req.headers["account"] = "a";
+    req.headers["since"] = "0";
+    req.headers["design"] = "listview";
+    req.headers["recommendations"] = pass == 0 ? "1" : "0";
+    req.headers["foreground"] = "0";
+    sock->send(std::move(req));
+    bed_.loop().run();
+  }
+  EXPECT_EQ(with - without, server.config().recommendations_bytes);
+}
+
+TEST_F(ServersTest, VideoServerStreamsMetaThenChunksToCompletion) {
+  VideoServer server(bed_.network(), bed_.next_server_ip());
+  server.add_video({.id = "v",
+                    .title = "v",
+                    .duration = sim::sec(10),
+                    .bitrate_bps = 400e3});
+  auto sock = connect(server.host().ip(), server.config().port);
+  std::uint64_t data = 0;
+  bool meta_first = false, any_data = false, final_seen = false;
+  sock->set_on_message([&](const net::AppMessage& m) {
+    if (m.type == "VIDEO_META") {
+      meta_first = !any_data;
+      EXPECT_EQ(m.header("id"), "v");
+      EXPECT_EQ(std::stoull(m.header("total_bytes")), 500'000u);
+    } else if (m.type == "VIDEO_DATA") {
+      any_data = true;
+      data += m.size;
+      if (m.header("final") == "1") final_seen = true;
+    }
+  });
+  net::AppMessage req{.type = "VIDEO_REQUEST", .size = 800};
+  req.headers["id"] = "v";
+  sock->send(std::move(req));
+  bed_.loop().run();
+  EXPECT_TRUE(meta_first);
+  EXPECT_TRUE(final_seen);
+  EXPECT_EQ(data, 500'000u);  // duration * bitrate / 8
+  EXPECT_EQ(server.streams_started(), 1u);
+}
+
+TEST_F(ServersTest, VideoServerRejectsUnknownId) {
+  VideoServer server(bed_.network(), bed_.next_server_ip());
+  auto sock = connect(server.host().ip(), server.config().port);
+  std::string got;
+  sock->set_on_message([&](const net::AppMessage& m) { got = m.type; });
+  net::AppMessage req{.type = "VIDEO_REQUEST", .size = 800};
+  req.headers["id"] = "nope";
+  sock->send(std::move(req));
+  bed_.loop().run();
+  EXPECT_EQ(got, "VIDEO_NOT_FOUND");
+}
+
+TEST_F(ServersTest, VideoServerStopCancelsPacedStream) {
+  VideoServer server(bed_.network(), bed_.next_server_ip());
+  server.add_video({.id = "v",
+                    .title = "v",
+                    .duration = sim::sec(60),
+                    .bitrate_bps = 400e3});
+  auto sock = connect(server.host().ip(), server.config().port);
+  std::uint64_t data = 0;
+  sock->set_on_message([&](const net::AppMessage& m) {
+    if (m.type == "VIDEO_DATA") data += m.size;
+  });
+  net::AppMessage req{.type = "VIDEO_REQUEST", .size = 800};
+  req.headers["id"] = "v";
+  sock->send(std::move(req));
+  bed_.advance(sim::sec(3));
+  sock->send({.type = "VIDEO_STOP", .size = 200});
+  bed_.loop().run();
+  // The initial burst (10s of content) plus a little pacing, then silence.
+  EXPECT_LT(data, 1'200'000u);
+  EXPECT_GT(data, 400'000u);
+}
+
+TEST_F(ServersTest, VideoServerSearchRespectsLimit) {
+  VideoServer server(bed_.network(), bed_.next_server_ip());
+  sim::Rng rng(1);
+  for (auto& v : make_video_dataset(rng, 400e3, sim::sec(10), sim::sec(20))) {
+    server.add_video(v);
+  }
+  EXPECT_EQ(server.search("a video", 10).size(), 10u);
+  EXPECT_EQ(server.search("a video", 3).size(), 3u);
+  EXPECT_TRUE(server.search("zzz nothing").empty());
+}
+
+TEST_F(ServersTest, WebServerServesHtmlAndObjectsWith404s) {
+  WebServer server(bed_.network(), bed_.next_server_ip());
+  server.add_page({.path = "/p",
+                   .html_bytes = 12'000,
+                   .object_count = 3,
+                   .object_bytes = 5'000});
+  auto sock = connect(server.host().ip(), server.config().port);
+  std::vector<net::AppMessage> got;
+  sock->set_on_message([&](const net::AppMessage& m) { got.push_back(m); });
+
+  net::AppMessage html{.type = "HTTP_GET", .size = 500};
+  html.headers["path"] = "/p";
+  sock->send(std::move(html));
+  net::AppMessage obj{.type = "HTTP_GET", .size = 500};
+  obj.headers["path"] = "/p";
+  obj.headers["object"] = "2";
+  sock->send(std::move(obj));
+  net::AppMessage missing{.type = "HTTP_GET", .size = 500};
+  missing.headers["path"] = "/missing";
+  sock->send(std::move(missing));
+  bed_.loop().run();
+
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].type, "HTTP_RESPONSE");
+  EXPECT_EQ(got[0].size, 12'000u);
+  EXPECT_EQ(got[0].header("objects"), "3");
+  EXPECT_EQ(got[1].size, 5'000u);
+  EXPECT_EQ(got[1].header("object"), "2");
+  EXPECT_EQ(got[2].type, "HTTP_404");
+  EXPECT_EQ(server.requests_served(), 3u);
+  EXPECT_EQ(server.page_count(), 1u);
+}
+
+}  // namespace
+}  // namespace qoed::apps

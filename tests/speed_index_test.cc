@@ -1,0 +1,130 @@
+#include "core/speed_index.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/web_server.h"
+#include "core/qoe_doctor.h"
+#include "ui/widgets.h"
+
+namespace qoed::core {
+namespace {
+
+QoeWindow window(sim::Duration start, sim::Duration end) {
+  return {sim::TimePoint{start}, sim::TimePoint{end}};
+}
+
+// Synthetic screen rig: drive a layout tree manually and check the integral.
+struct ScreenRig {
+  ScreenRig() : tree(loop), screen(loop) {
+    root = std::make_shared<ui::View>("L", "root");
+    tree.set_root(root);
+    screen.attach(tree);
+    loop.run();
+    screen.clear_history();
+  }
+
+  void mutate_at(sim::Duration t, int times = 1) {
+    loop.run_until(sim::TimePoint{t});
+    for (int i = 0; i < times; ++i) {
+      root->set_text("v" + std::to_string(++counter));
+    }
+    loop.run();
+  }
+
+  sim::EventLoop loop;
+  ui::LayoutTree tree;
+  ui::Screen screen;
+  std::shared_ptr<ui::View> root;
+  int counter = 0;
+};
+
+class SpeedIndexSyntheticTest : public ::testing::Test {
+ protected:
+  void mutate_at(sim::Duration t, int times = 1) { rig_.mutate_at(t, times); }
+  ui::Screen& screen_ref() { return rig_.screen; }
+  ScreenRig rig_;
+};
+
+TEST_F(SpeedIndexSyntheticTest, EmptyWindowIsZero) {
+  const auto r = compute_speed_index(screen_ref(), window(sim::sec(1), sim::sec(2)));
+  EXPECT_EQ(r.frames, 0);
+  EXPECT_EQ(r.speed_index_s, 0.0);
+  EXPECT_EQ(r.settle_time_s, 0.0);
+}
+
+TEST_F(SpeedIndexSyntheticTest, SingleFrameIntegratesToItsDelay) {
+  mutate_at(sim::sec(2));
+  const auto r =
+      compute_speed_index(screen_ref(), window(sim::sec(1), sim::sec(4)));
+  EXPECT_EQ(r.frames, 1);
+  // One frame at ~2.02s: progress 0 until then, 1 afterwards.
+  EXPECT_NEAR(r.speed_index_s, 1.02, 0.05);
+  EXPECT_NEAR(r.settle_time_s, 1.02, 0.05);
+}
+
+TEST_F(SpeedIndexSyntheticTest, EarlyContentScoresBetterThanLateContent) {
+  // Early-paint page: 9 of 10 mutations in the first frame, 1 at the end.
+  mutate_at(sim::sec(2), 9);
+  mutate_at(sim::sec(5), 1);
+  const auto early =
+      compute_speed_index(screen_ref(), window(sim::sec(1), sim::sec(6)));
+
+  // Late-paint page, same window shape, on a fresh rig.
+  ScreenRig late_rig;
+  late_rig.mutate_at(sim::sec(2), 1);
+  late_rig.mutate_at(sim::sec(5), 9);
+  const auto late =
+      compute_speed_index(late_rig.screen, window(sim::sec(1), sim::sec(6)));
+
+  EXPECT_EQ(early.frames, 2);
+  EXPECT_EQ(late.frames, 2);
+  EXPECT_NEAR(early.settle_time_s, late.settle_time_s, 0.05);
+  EXPECT_LT(early.speed_index_s, late.speed_index_s);
+}
+
+TEST(SpeedIndexPageLoadTest, BrowserLoadProducesSensibleIndex) {
+  Testbed bed(53);
+  apps::WebServer server(bed.network(), bed.next_server_ip());
+  server.add_page({.path = "/index",
+                   .html_bytes = 50'000,
+                   .object_count = 10,
+                   .object_bytes = 20'000});
+  auto dev = bed.make_device("phone");
+  dev->attach_cellular(radio::CellularConfig::umts());
+  apps::BrowserApp app(*dev);
+  app.launch();
+  QoeDoctor doctor(*dev, app);
+  BrowserDriver driver(doctor.controller(), app);
+  BehaviorRecord rec;
+  driver.load_page("www.page.sim/index",
+                   [&](const BehaviorRecord& r) { rec = r; });
+  bed.loop().run();
+  ASSERT_FALSE(rec.timed_out);
+
+  const auto si = compute_speed_index(dev->screen(), QoeWindow::of(rec));
+  EXPECT_GT(si.frames, 1);
+  EXPECT_GT(si.speed_index_s, 0.0);
+  // Speed index can never exceed the full window and never beat zero.
+  EXPECT_LE(si.speed_index_s, sim::to_seconds(rec.raw_latency()));
+  EXPECT_LE(si.settle_time_s, sim::to_seconds(rec.raw_latency()) + 0.05);
+}
+
+TEST(SpeedIndexPageLoadTest, DatasetGeneratorProducesValidPages) {
+  sim::Rng rng(5);
+  const auto pages = apps::make_page_dataset(rng, 20);
+  ASSERT_EQ(pages.size(), 20u);
+  for (const auto& p : pages) {
+    EXPECT_GE(p.html_bytes, 28'000u);
+    EXPECT_LE(p.html_bytes, 95'000u);
+    EXPECT_GE(p.object_count, 4u);
+    EXPECT_LE(p.object_count, 28u);
+    EXPECT_FALSE(p.path.empty());
+  }
+  // Paths are unique.
+  std::set<std::string> paths;
+  for (const auto& p : pages) paths.insert(p.path);
+  EXPECT_EQ(paths.size(), pages.size());
+}
+
+}  // namespace
+}  // namespace qoed::core

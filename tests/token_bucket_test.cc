@@ -1,0 +1,176 @@
+#include "net/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace qoed::net {
+namespace {
+
+Packet make_packet(PacketFactory& f, std::uint32_t payload) {
+  Packet p = f.make();
+  p.payload_size = payload;
+  return p;
+}
+
+TEST(TokenBucketTest, StartsFullAndConsumes) {
+  sim::EventLoop loop;
+  TokenBucket b(loop, /*rate=*/1000.0, /*burst=*/500.0);
+  EXPECT_TRUE(b.try_consume(500));
+  EXPECT_FALSE(b.try_consume(1));
+}
+
+TEST(TokenBucketTest, RefillsOverTime) {
+  sim::EventLoop loop;
+  TokenBucket b(loop, 1000.0, 500.0);
+  ASSERT_TRUE(b.try_consume(500));
+  loop.run_until(sim::TimePoint{sim::msec(100)});  // +100 tokens
+  EXPECT_TRUE(b.try_consume(100));
+  EXPECT_FALSE(b.try_consume(1));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  sim::EventLoop loop;
+  TokenBucket b(loop, 1000.0, 500.0);
+  loop.run_until(sim::TimePoint{sim::sec(100)});
+  EXPECT_TRUE(b.try_consume(500));
+  EXPECT_FALSE(b.try_consume(1));
+}
+
+TEST(TokenBucketTest, TimeUntilAvailable) {
+  sim::EventLoop loop;
+  TokenBucket b(loop, 1000.0, 500.0);
+  ASSERT_TRUE(b.try_consume(500));
+  const sim::Duration wait = b.time_until_available(250);
+  EXPECT_EQ(wait, sim::msec(250));
+  EXPECT_EQ(b.time_until_available(0), sim::Duration::zero());
+}
+
+TEST(PolicerTest, DropsExcessTraffic) {
+  sim::EventLoop loop;
+  PacketFactory f;
+  Policer policer(loop, /*rate=*/10000.0, /*burst=*/2000.0);
+  std::vector<Packet> out;
+  policer.set_forward([&](Packet p) { out.push_back(std::move(p)); });
+
+  // Burst of 10 x 1000B packets = 10400B with headers; only ~2000B conform.
+  for (int i = 0; i < 10; ++i) {
+    policer.submit(make_packet(f, 1000 - kHeaderBytes));
+  }
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(policer.dropped_packets(), 8u);
+  EXPECT_EQ(policer.accepted_packets(), 2u);
+}
+
+TEST(PolicerTest, ConformingTrafficPassesUntouched) {
+  sim::EventLoop loop;
+  PacketFactory f;
+  Policer policer(loop, 1e6, 10000.0);
+  int out = 0;
+  policer.set_forward([&](Packet) { ++out; });
+  // One small packet every 100ms at 1MB/s rate: always conformant.
+  for (int i = 0; i < 20; ++i) {
+    loop.run_until(sim::TimePoint{sim::msec(100 * (i + 1))});
+    policer.submit(make_packet(f, 500));
+  }
+  EXPECT_EQ(out, 20);
+  EXPECT_EQ(policer.dropped_packets(), 0u);
+}
+
+TEST(ShaperTest, DelaysExcessInsteadOfDropping) {
+  sim::EventLoop loop;
+  PacketFactory f;
+  Shaper shaper(loop, /*rate=*/10000.0, /*burst=*/2000.0);
+  std::vector<sim::TimePoint> deliveries;
+  shaper.set_forward([&](Packet) { deliveries.push_back(loop.now()); });
+
+  for (int i = 0; i < 10; ++i) {
+    shaper.submit(make_packet(f, 1000 - kHeaderBytes));
+  }
+  loop.run();
+  ASSERT_EQ(deliveries.size(), 10u);
+  EXPECT_EQ(shaper.dropped_packets(), 0u);
+  // First two conform immediately; the rest trickle at 10 kB/s (100 ms per
+  // 1000-byte packet).
+  EXPECT_EQ(deliveries[1].since_start(), sim::Duration::zero());
+  EXPECT_GT(deliveries[2].since_start(), sim::msec(90));
+  EXPECT_GT(deliveries[9] - deliveries[2], sim::msec(600));
+}
+
+TEST(ShaperTest, PreservesFifoOrder) {
+  sim::EventLoop loop;
+  PacketFactory f;
+  Shaper shaper(loop, 10000.0, 1000.0);
+  std::vector<std::uint64_t> uids;
+  shaper.set_forward([&](Packet p) { uids.push_back(p.uid); });
+  std::vector<std::uint64_t> submitted;
+  for (int i = 0; i < 8; ++i) {
+    Packet p = make_packet(f, 500);
+    submitted.push_back(p.uid);
+    shaper.submit(std::move(p));
+  }
+  loop.run();
+  EXPECT_EQ(uids, submitted);
+}
+
+TEST(ShaperTest, QueueOverflowDrops) {
+  sim::EventLoop loop;
+  PacketFactory f;
+  Shaper shaper(loop, 1000.0, 1000.0, /*max_queue_bytes=*/3000);
+  int out = 0;
+  shaper.set_forward([&](Packet) { ++out; });
+  for (int i = 0; i < 20; ++i) shaper.submit(make_packet(f, 1000));
+  EXPECT_GT(shaper.dropped_packets(), 0u);
+  loop.run();
+  EXPECT_EQ(static_cast<std::uint64_t>(out), shaper.accepted_packets());
+}
+
+TEST(ShaperTest, SustainedRateMatchesConfigured) {
+  sim::EventLoop loop;
+  PacketFactory f;
+  constexpr double kRate = 31250.0;  // 250 kbps in bytes/s
+  Shaper shaper(loop, kRate, 4000.0);
+  std::uint64_t delivered_bytes = 0;
+  sim::TimePoint last;
+  shaper.set_forward([&](Packet p) {
+    delivered_bytes += p.total_size();
+    last = loop.now();
+  });
+  // Offer 2x the sustainable load for 10 seconds.
+  for (int i = 0; i < 100; ++i) {
+    loop.run_until(sim::TimePoint{sim::msec(100 * i)});
+    for (int j = 0; j < 5; ++j) shaper.submit(make_packet(f, 1400));
+  }
+  loop.run();
+  const double rate = static_cast<double>(delivered_bytes) /
+                      sim::to_seconds(last.since_start());
+  EXPECT_NEAR(rate, kRate, kRate * 0.15);
+}
+
+TEST(NullGateTest, PassesEverything) {
+  PacketFactory f;
+  NullGate gate;
+  int out = 0;
+  gate.set_forward([&](Packet) { ++out; });
+  for (int i = 0; i < 100; ++i) gate.submit(make_packet(f, 1400));
+  EXPECT_EQ(out, 100);
+  EXPECT_EQ(gate.dropped_packets(), 0u);
+}
+
+TEST(GateFactoryTest, MakesRequestedKind) {
+  sim::EventLoop loop;
+  EXPECT_NE(dynamic_cast<NullGate*>(
+                make_gate(loop, ThrottleKind::kNone, 1e4, 1e3).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<Shaper*>(
+                make_gate(loop, ThrottleKind::kShaping, 1e4, 1e3).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<Policer*>(
+                make_gate(loop, ThrottleKind::kPolicing, 1e4, 1e3).get()),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace qoed::net

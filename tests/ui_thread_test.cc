@@ -1,0 +1,146 @@
+#include "ui/ui_thread.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ui/instrumentation.h"
+#include "ui/widgets.h"
+
+namespace qoed::ui {
+namespace {
+
+TEST(CpuMeterTest, AccumulatesByCategory) {
+  CpuMeter meter;
+  meter.add("app", sim::msec(10));
+  meter.add("app", sim::msec(5));
+  meter.add("controller", sim::msec(2));
+  EXPECT_EQ(meter.total("app"), sim::msec(15));
+  EXPECT_EQ(meter.total("controller"), sim::msec(2));
+  EXPECT_EQ(meter.total("missing"), sim::Duration::zero());
+  EXPECT_EQ(meter.total(), sim::msec(17));
+  meter.reset();
+  EXPECT_EQ(meter.total(), sim::Duration::zero());
+}
+
+TEST(UiThreadTest, TaskEffectsLandAfterCpuCost) {
+  sim::EventLoop loop;
+  UiThread thread(loop);
+  sim::TimePoint done;
+  thread.post(sim::msec(30), [&] { done = loop.now(); });
+  loop.run();
+  EXPECT_EQ(done.since_start(), sim::msec(30));
+  EXPECT_EQ(thread.tasks_executed(), 1u);
+}
+
+TEST(UiThreadTest, TasksSerializeInOrder) {
+  sim::EventLoop loop;
+  UiThread thread(loop);
+  std::vector<int> order;
+  std::vector<sim::TimePoint> times;
+  for (int i = 0; i < 3; ++i) {
+    thread.post(sim::msec(10), [&, i] {
+      order.push_back(i);
+      times.push_back(loop.now());
+    });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(times[2].since_start(), sim::msec(30));  // queued serially
+}
+
+TEST(UiThreadTest, ExpensiveTaskDelaysFollowers) {
+  sim::EventLoop loop;
+  UiThread thread(loop);
+  sim::TimePoint cheap_done;
+  thread.post(sim::msec(300), [] {});  // e.g. WebView HTML parse
+  thread.post(sim::msec(1), [&] { cheap_done = loop.now(); });
+  loop.run();
+  EXPECT_EQ(cheap_done.since_start(), sim::msec(301));
+}
+
+TEST(UiThreadTest, ChargesCpuMeter) {
+  sim::EventLoop loop;
+  CpuMeter meter;
+  UiThread thread(loop, &meter);
+  thread.post(sim::msec(25), [] {}, "app");
+  thread.post(sim::msec(5), [] {}, "controller");
+  loop.run();
+  EXPECT_EQ(meter.total("app"), sim::msec(25));
+  EXPECT_EQ(meter.total("controller"), sim::msec(5));
+}
+
+TEST(UiThreadTest, BusyFlagReflectsOccupancy) {
+  sim::EventLoop loop;
+  UiThread thread(loop);
+  EXPECT_FALSE(thread.busy());
+  thread.post(sim::msec(50), [] {});
+  EXPECT_TRUE(thread.busy());
+  loop.run();
+  EXPECT_FALSE(thread.busy());
+}
+
+TEST(InstrumentationTest, ClickGoesThroughUiThread) {
+  sim::EventLoop loop;
+  UiThread thread(loop);
+  LayoutTree tree(loop);
+  auto root = std::make_shared<View>("L", "root");
+  auto btn = std::make_shared<Button>("post");
+  root->add_child(btn);
+  tree.set_root(root);
+
+  Instrumentation instr(thread, tree);
+  bool clicked = false;
+  btn->set_on_click([&] { clicked = true; });
+  instr.click(btn);
+  EXPECT_FALSE(clicked);  // queued, not synchronous
+  loop.run();
+  EXPECT_TRUE(clicked);
+  EXPECT_EQ(instr.events_injected(), 1u);
+}
+
+TEST(InstrumentationTest, TypeTextAndKeyInjection) {
+  sim::EventLoop loop;
+  UiThread thread(loop);
+  LayoutTree tree(loop);
+  auto edit = std::make_shared<EditText>("url");
+  tree.set_root(edit);
+  Instrumentation instr(thread, tree);
+
+  int key_seen = 0;
+  edit->set_on_key([&](int k) { key_seen = k; });
+  instr.type_text(edit, "www.example.sim/index");
+  instr.press_key(edit, kKeycodeEnter);
+  loop.run();
+  EXPECT_EQ(edit->text(), "www.example.sim/index");
+  EXPECT_EQ(key_seen, kKeycodeEnter);
+}
+
+TEST(InstrumentationTest, SharesLiveLayoutTree) {
+  sim::EventLoop loop;
+  UiThread thread(loop);
+  LayoutTree tree(loop);
+  auto root = std::make_shared<View>("L", "root");
+  tree.set_root(root);
+  Instrumentation instr(thread, tree);
+  // The controller sees app-side mutations through the same tree object.
+  root->set_text("updated");
+  EXPECT_EQ(instr.tree().root()->text(), "updated");
+}
+
+TEST(InstrumentationTest, ScrollInjection) {
+  sim::EventLoop loop;
+  UiThread thread(loop);
+  LayoutTree tree(loop);
+  auto list = std::make_shared<ListView>("feed");
+  tree.set_root(list);
+  Instrumentation instr(thread, tree);
+  int dy = 0;
+  list->set_on_scroll([&](int d) { dy = d; });
+  instr.scroll(list, -350);
+  loop.run();
+  EXPECT_EQ(dy, -350);
+}
+
+}  // namespace
+}  // namespace qoed::ui

@@ -1,0 +1,187 @@
+#include "apps/video_app.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/video_server.h"
+
+namespace qoed::apps {
+namespace {
+
+class VideoAppTest : public ::testing::Test {
+ protected:
+  VideoAppTest()
+      : dns_(net_, net::IpAddr(8, 8, 8, 8)),
+        server_(net_, net::IpAddr(74, 125, 0, 1)) {
+    server_.add_video({.id = "a1",
+                       .title = "a video 1",
+                       .duration = sim::sec(30),
+                       .bitrate_bps = 500e3});
+    server_.add_video({.id = "a2",
+                       .title = "a video 2",
+                       .duration = sim::sec(20),
+                       .bitrate_bps = 500e3});
+  }
+
+  std::unique_ptr<device::Device> make_device() {
+    auto dev = std::make_unique<device::Device>(
+        net_, net::IpAddr(10, 0, 0, 2), "phone", sim::Rng(3), dns_.ip());
+    dev->attach_wifi();
+    return dev;
+  }
+
+  // Drives search("a") then clicks entry `id`.
+  void search_and_click(VideoApp& app, const std::string& id) {
+    app.tree().find_by_id("search_box")->set_text("a");
+    app.tree().find_by_id("search_button")->perform_click();
+    loop_.run();
+    auto entry = app.tree().find_first([&](const ui::View& v) {
+      return v.view_id() == "video_entry" && v.text() == id;
+    });
+    ASSERT_NE(entry, nullptr);
+    entry->perform_click();
+  }
+
+  sim::EventLoop loop_;
+  net::Network net_{loop_, sim::Rng(1)};
+  net::DnsServer dns_;
+  VideoServer server_;
+};
+
+TEST_F(VideoAppTest, SearchPopulatesResults) {
+  auto dev = make_device();
+  VideoApp app(*dev);
+  app.launch();
+  app.connect();
+  loop_.run();
+  app.tree().find_by_id("search_box")->set_text("a");
+  app.tree().find_by_id("search_button")->perform_click();
+  loop_.run();
+  auto results = app.tree().find_by_id("search_results");
+  EXPECT_EQ(results->children().size(), 2u);
+}
+
+TEST_F(VideoAppTest, PlaysVideoToCompletion) {
+  auto dev = make_device();
+  VideoApp app(*dev);
+  app.launch();
+  app.connect();
+  loop_.run();
+  search_and_click(app, "a2");
+  loop_.run();
+  EXPECT_EQ(app.player_state(), VideoApp::PlayerState::kFinished);
+  EXPECT_EQ(app.rebuffer_events(), 0u);  // WiFi easily sustains 500kbps
+  EXPECT_EQ(server_.streams_started(), 1u);
+}
+
+TEST_F(VideoAppTest, SpinnerVisibleDuringInitialLoading) {
+  auto dev = make_device();
+  VideoApp app(*dev);
+  app.launch();
+  app.connect();
+  loop_.run();
+  search_and_click(app, "a1");
+  loop_.run_until(loop_.now() + sim::msec(60));
+  EXPECT_TRUE(app.tree().find_by_id("player_progress")->visible());
+  EXPECT_EQ(app.player_state(), VideoApp::PlayerState::kLoading);
+  loop_.run_until(loop_.now() + sim::sec(5));
+  EXPECT_EQ(app.player_state(), VideoApp::PlayerState::kPlaying);
+  EXPECT_FALSE(app.tree().find_by_id("player_progress")->visible());
+  EXPECT_TRUE(app.tree().find_by_id("player")->text() == "playing");
+  loop_.run();
+}
+
+TEST_F(VideoAppTest, PlaybackTimeMatchesDuration) {
+  auto dev = make_device();
+  VideoApp app(*dev);
+  app.launch();
+  app.connect();
+  loop_.run();
+  const sim::TimePoint start = loop_.now();
+  search_and_click(app, "a2");  // 20-second video
+  loop_.run();
+  const double elapsed = sim::to_seconds(loop_.now() - start);
+  EXPECT_GT(elapsed, 15.0);  // roughly duration minus startup buffer
+  EXPECT_LT(elapsed, 30.0);
+}
+
+TEST_F(VideoAppTest, ThrottledCellularCausesRebuffering) {
+  auto dev = std::make_unique<device::Device>(
+      net_, net::IpAddr(10, 0, 0, 2), "phone", sim::Rng(3), dns_.ip());
+  radio::CellularConfig cell = radio::CellularConfig::umts();
+  cell.throttle = net::ThrottleKind::kShaping;
+  cell.throttle_rate_bps = 250e3;  // below the 500kbps media bitrate
+  dev->attach_cellular(cell);
+
+  VideoApp app(*dev);
+  app.launch();
+  app.connect();
+  loop_.run();
+  search_and_click(app, "a2");
+  loop_.run();
+  EXPECT_EQ(app.player_state(), VideoApp::PlayerState::kFinished);
+  EXPECT_GT(app.rebuffer_events(), 0u);
+}
+
+TEST_F(VideoAppTest, AdPlaysBeforeMainVideo) {
+  server_.add_video({.id = kAdVideoId,
+                     .title = "advertisement",
+                     .duration = sim::sec(15),
+                     .bitrate_bps = 400e3});
+  auto dev = make_device();
+  VideoAppConfig cfg;
+  cfg.ads_enabled = true;
+  VideoApp app(*dev, cfg);
+  app.launch();
+  app.connect();
+  loop_.run();
+  search_and_click(app, "a2");
+  loop_.run_until(loop_.now() + sim::sec(3));
+  EXPECT_TRUE(app.player_state() == VideoApp::PlayerState::kAdPlaying ||
+              app.player_state() == VideoApp::PlayerState::kAdLoading);
+  // Skip button appears after the configured delay.
+  loop_.run_until(loop_.now() + sim::sec(4));
+  EXPECT_TRUE(app.tree().find_by_id("skip_ad")->visible());
+  loop_.run();
+  EXPECT_EQ(app.player_state(), VideoApp::PlayerState::kFinished);
+}
+
+TEST_F(VideoAppTest, SkippingAdStartsMainVideoQuickly) {
+  server_.add_video({.id = kAdVideoId,
+                     .title = "advertisement",
+                     .duration = sim::sec(15),
+                     .bitrate_bps = 400e3});
+  auto dev = make_device();
+  VideoAppConfig cfg;
+  cfg.ads_enabled = true;
+  VideoApp app(*dev, cfg);
+  app.launch();
+  app.connect();
+  loop_.run();
+  search_and_click(app, "a2");
+  loop_.run_until(loop_.now() + sim::sec(6));  // ad playing, skippable now
+  auto skip = app.tree().find_by_id("skip_ad");
+  ASSERT_TRUE(skip->visible());
+  skip->perform_click();
+  // Prefetch during the ad means the main video starts almost instantly.
+  loop_.run_until(loop_.now() + sim::sec(1));
+  EXPECT_EQ(app.player_state(), VideoApp::PlayerState::kPlaying);
+  loop_.run();
+  EXPECT_EQ(app.player_state(), VideoApp::PlayerState::kFinished);
+}
+
+TEST_F(VideoAppTest, DatasetGeneratorCoversKeywords) {
+  sim::Rng rng(9);
+  auto dataset = make_video_dataset(rng, 500e3, sim::sec(20), sim::sec(90));
+  EXPECT_EQ(dataset.size(), 260u);
+  for (const auto& v : dataset) {
+    EXPECT_GE(v.duration, sim::sec(20));
+    EXPECT_LE(v.duration, sim::sec(90));
+    EXPECT_GT(v.size_bytes(), 0u);
+  }
+  // Search by keyword finds its videos.
+  for (const auto& v : dataset) server_.add_video(v);
+  EXPECT_EQ(server_.search("z video").size(), 10u);
+}
+
+}  // namespace
+}  // namespace qoed::apps

@@ -1,0 +1,74 @@
+#include "core/view_signature.h"
+
+#include <gtest/gtest.h>
+
+#include "ui/widgets.h"
+
+namespace qoed::core {
+namespace {
+
+TEST(ViewSignatureTest, MatchesByClassIdDescriptionText) {
+  ui::Button btn("post_button");
+  btn.set_text("Post");
+  btn.set_description("publish the composed post");
+
+  EXPECT_TRUE(ViewSignature::by_id("post_button").matches(btn));
+  EXPECT_FALSE(ViewSignature::by_id("other").matches(btn));
+  EXPECT_TRUE(ViewSignature::by_class("android.widget.Button").matches(btn));
+  EXPECT_FALSE(ViewSignature::by_class("android.widget.ListView").matches(btn));
+  EXPECT_TRUE(ViewSignature::by_text("Post").matches(btn));
+
+  ViewSignature desc;
+  desc.description = "publish";
+  EXPECT_TRUE(desc.matches(btn));  // substring
+  desc.description = "delete";
+  EXPECT_FALSE(desc.matches(btn));
+}
+
+TEST(ViewSignatureTest, AllFieldsMustMatch) {
+  ui::Button btn("post_button");
+  btn.set_text("Post");
+  ViewSignature sig;
+  sig.class_name = "android.widget.Button";
+  sig.view_id = "post_button";
+  sig.text = "Post";
+  EXPECT_TRUE(sig.matches(btn));
+  sig.text = "Cancel";
+  EXPECT_FALSE(sig.matches(btn));
+}
+
+TEST(ViewSignatureTest, EmptySignatureMatchesEverything) {
+  ui::TextView v("x");
+  EXPECT_TRUE(ViewSignature{}.matches(v));
+}
+
+TEST(ViewSignatureTest, FindViewSearchesTree) {
+  sim::EventLoop loop;
+  ui::LayoutTree tree(loop);
+  auto root = std::make_shared<ui::View>("L", "root");
+  auto feed = std::make_shared<ui::ListView>("news_feed");
+  auto item = std::make_shared<ui::TextView>("feed_item");
+  item->set_text("status: qoed-42");
+  feed->append_item(item);
+  root->add_child(feed);
+  tree.set_root(root);
+
+  EXPECT_EQ(find_view(tree, ViewSignature::by_id("news_feed")), feed);
+  ViewSignature tagged;
+  tagged.view_id = "feed_item";
+  tagged.text = "qoed-42";
+  EXPECT_EQ(find_view(tree, tagged), item);
+  EXPECT_EQ(find_view(tree, ViewSignature::by_id("absent")), nullptr);
+}
+
+TEST(ViewSignatureTest, Rendering) {
+  ViewSignature sig;
+  sig.class_name = "android.widget.Button";
+  sig.view_id = "post";
+  const std::string s = sig.to_string();
+  EXPECT_NE(s.find("class=android.widget.Button"), std::string::npos);
+  EXPECT_NE(s.find("id=post"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qoed::core

@@ -1,0 +1,198 @@
+#include "ui/view.h"
+
+#include <gtest/gtest.h>
+
+#include "ui/layout_tree.h"
+#include "ui/widgets.h"
+
+namespace qoed::ui {
+namespace {
+
+TEST(ViewTest, BasicProperties) {
+  View v("android.widget.TextView", "title");
+  EXPECT_EQ(v.class_name(), "android.widget.TextView");
+  EXPECT_EQ(v.view_id(), "title");
+  EXPECT_TRUE(v.visible());
+  v.set_text("hello");
+  EXPECT_EQ(v.text(), "hello");
+  v.set_description("the title");
+  EXPECT_EQ(v.description(), "the title");
+}
+
+TEST(ViewTest, HierarchyAndSearch) {
+  auto root = std::make_shared<View>("FrameLayout", "root");
+  auto list = std::make_shared<ListView>("feed");
+  auto item = std::make_shared<TextView>("item1");
+  list->add_child(item);
+  root->add_child(list);
+
+  EXPECT_EQ(root->subtree_size(), 3u);
+  EXPECT_EQ(root->find_by_id("item1"), item);
+  EXPECT_EQ(root->find_by_id("missing"), nullptr);
+  EXPECT_EQ(item->parent(), list.get());
+}
+
+TEST(ViewTest, InsertAndRemoveChildren) {
+  auto root = std::make_shared<View>("LinearLayout", "root");
+  auto a = std::make_shared<TextView>("a");
+  auto b = std::make_shared<TextView>("b");
+  auto c = std::make_shared<TextView>("c");
+  root->add_child(a);
+  root->add_child(c);
+  root->insert_child(1, b);
+  ASSERT_EQ(root->children().size(), 3u);
+  EXPECT_EQ(root->children()[1]->view_id(), "b");
+  root->remove_child(*b);
+  EXPECT_EQ(root->children().size(), 2u);
+  EXPECT_EQ(b->parent(), nullptr);
+  root->clear_children();
+  EXPECT_TRUE(root->children().empty());
+}
+
+TEST(ViewTest, VisitTraversesDepthFirst) {
+  auto root = std::make_shared<View>("L", "root");
+  auto a = std::make_shared<TextView>("a");
+  auto b = std::make_shared<TextView>("b");
+  a->add_child(b);
+  root->add_child(a);
+  std::vector<std::string> order;
+  root->visit([&](View& v) { order.push_back(v.view_id()); });
+  EXPECT_EQ(order, (std::vector<std::string>{"root", "a", "b"}));
+}
+
+TEST(ViewTest, InteractionHandlers) {
+  Button btn("post");
+  int clicks = 0;
+  EXPECT_FALSE(btn.clickable());
+  btn.set_on_click([&] { ++clicks; });
+  EXPECT_TRUE(btn.clickable());
+  btn.perform_click();
+  EXPECT_EQ(clicks, 1);
+
+  ListView list("feed");
+  int scrolled = 0;
+  list.set_on_scroll([&](int dy) { scrolled = dy; });
+  list.perform_scroll(-400);
+  EXPECT_EQ(scrolled, -400);
+
+  EditText edit("url");
+  int key = 0;
+  edit.set_on_key([&](int k) { key = k; });
+  edit.send_key(kKeycodeEnter);
+  EXPECT_EQ(key, kKeycodeEnter);
+}
+
+TEST(LayoutTreeTest, RevisionBumpsOnMutation) {
+  sim::EventLoop loop;
+  LayoutTree tree(loop);
+  auto root = std::make_shared<View>("L", "root");
+  tree.set_root(root);
+  const auto rev0 = tree.revision();
+
+  loop.run_until(sim::TimePoint{sim::msec(100)});
+  root->set_text("x");
+  EXPECT_GT(tree.revision(), rev0);
+  EXPECT_EQ(tree.last_change().since_start(), sim::msec(100));
+}
+
+TEST(LayoutTreeTest, MutationOfDeepChildNotifiesTree) {
+  sim::EventLoop loop;
+  LayoutTree tree(loop);
+  auto root = std::make_shared<View>("L", "root");
+  auto list = std::make_shared<ListView>("feed");
+  root->add_child(list);
+  tree.set_root(root);
+  const auto rev = tree.revision();
+  auto item = std::make_shared<TextView>("item");
+  list->append_item(item);       // structural change
+  item->set_text("post text");   // property change of adopted child
+  EXPECT_GE(tree.revision(), rev + 2);
+}
+
+TEST(LayoutTreeTest, DetachedSubtreeStopsNotifying) {
+  sim::EventLoop loop;
+  LayoutTree tree(loop);
+  auto root = std::make_shared<View>("L", "root");
+  auto child = std::make_shared<TextView>("c");
+  root->add_child(child);
+  tree.set_root(root);
+  root->remove_child(*child);
+  const auto rev = tree.revision();
+  child->set_text("orphan");  // no longer part of the tree
+  EXPECT_EQ(tree.revision(), rev);
+}
+
+TEST(LayoutTreeTest, ObserverSeesEveryChange) {
+  sim::EventLoop loop;
+  LayoutTree tree(loop);
+  int notified = 0;
+  tree.add_observer([&](std::uint64_t, sim::TimePoint) { ++notified; });
+  auto root = std::make_shared<View>("L", "root");
+  tree.set_root(root);
+  root->set_text("a");
+  root->set_text("b");
+  root->set_text("b");  // no-op: same value
+  EXPECT_EQ(notified, 3);
+}
+
+TEST(LayoutTreeTest, FindHelpers) {
+  sim::EventLoop loop;
+  LayoutTree tree(loop);
+  auto root = std::make_shared<View>("L", "root");
+  auto p1 = std::make_shared<ProgressBar>("spin1");
+  auto p2 = std::make_shared<ProgressBar>("spin2");
+  root->add_child(p1);
+  root->add_child(p2);
+  tree.set_root(root);
+
+  EXPECT_EQ(tree.find_by_id("spin2"), p2);
+  auto found = tree.find_first([](const View& v) {
+    return v.class_name() == "android.widget.ProgressBar";
+  });
+  EXPECT_EQ(found, p1);
+  auto all = tree.find_all([](const View& v) {
+    return v.class_name() == "android.widget.ProgressBar";
+  });
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(tree.size(), 3u);
+}
+
+TEST(WidgetsTest, ProgressBarStartsHidden) {
+  ProgressBar p("spinner");
+  EXPECT_FALSE(p.visible());
+}
+
+TEST(WidgetsTest, ListViewPrependOrdersNewestFirst) {
+  ListView feed("feed");
+  auto a = std::make_shared<TextView>("a");
+  auto b = std::make_shared<TextView>("b");
+  feed.prepend_item(a);
+  feed.prepend_item(b);
+  ASSERT_EQ(feed.item_count(), 2u);
+  EXPECT_EQ(feed.children()[0]->view_id(), "b");  // newest on top
+}
+
+TEST(WidgetsTest, WebViewContentTracksBytes) {
+  sim::EventLoop loop;
+  LayoutTree tree(loop);
+  auto web = std::make_shared<WebView>("page");
+  tree.set_root(web);
+  const auto rev = tree.revision();
+  web->set_content("v1", 120'000);
+  EXPECT_EQ(web->content_bytes(), 120'000u);
+  EXPECT_GT(tree.revision(), rev);  // content change is observable
+}
+
+TEST(WidgetsTest, VideoViewPlayingTogglesTreeState) {
+  sim::EventLoop loop;
+  LayoutTree tree(loop);
+  auto video = std::make_shared<VideoView>("player");
+  tree.set_root(video);
+  EXPECT_FALSE(video->playing());
+  video->set_playing(true);
+  EXPECT_TRUE(video->playing());
+  EXPECT_EQ(video->text(), "playing");
+}
+
+}  // namespace
+}  // namespace qoed::ui
