@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_background_traffic.dir/bench_background_traffic.cc.o"
+  "CMakeFiles/bench_background_traffic.dir/bench_background_traffic.cc.o.d"
+  "bench_background_traffic"
+  "bench_background_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_background_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

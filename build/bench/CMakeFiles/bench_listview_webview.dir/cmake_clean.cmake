@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_listview_webview.dir/bench_listview_webview.cc.o"
+  "CMakeFiles/bench_listview_webview.dir/bench_listview_webview.cc.o.d"
+  "bench_listview_webview"
+  "bench_listview_webview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_listview_webview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

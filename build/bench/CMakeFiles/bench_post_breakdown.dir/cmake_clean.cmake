@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_post_breakdown.dir/bench_post_breakdown.cc.o"
+  "CMakeFiles/bench_post_breakdown.dir/bench_post_breakdown.cc.o.d"
+  "bench_post_breakdown"
+  "bench_post_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_post_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rlc_breakdown.dir/bench_rlc_breakdown.cc.o"
+  "CMakeFiles/bench_rlc_breakdown.dir/bench_rlc_breakdown.cc.o.d"
+  "bench_rlc_breakdown"
+  "bench_rlc_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rlc_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rrc_design.dir/bench_rrc_design.cc.o"
+  "CMakeFiles/bench_rrc_design.dir/bench_rrc_design.cc.o.d"
+  "bench_rrc_design"
+  "bench_rrc_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rrc_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throttle_sweep.dir/bench_throttle_sweep.cc.o"
+  "CMakeFiles/bench_throttle_sweep.dir/bench_throttle_sweep.cc.o.d"
+  "bench_throttle_sweep"
+  "bench_throttle_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throttle_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throttling.dir/bench_throttling.cc.o"
+  "CMakeFiles/bench_throttling.dir/bench_throttling.cc.o.d"
+  "bench_throttling"
+  "bench_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

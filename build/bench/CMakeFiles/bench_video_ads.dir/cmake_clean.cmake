@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_video_ads.dir/bench_video_ads.cc.o"
+  "CMakeFiles/bench_video_ads.dir/bench_video_ads.cc.o.d"
+  "bench_video_ads"
+  "bench_video_ads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_video_ads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_rrc_study.dir/browser_rrc_study.cpp.o"
+  "CMakeFiles/browser_rrc_study.dir/browser_rrc_study.cpp.o.d"
+  "browser_rrc_study"
+  "browser_rrc_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_rrc_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

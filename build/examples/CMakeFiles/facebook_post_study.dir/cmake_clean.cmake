@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facebook_post_study.dir/facebook_post_study.cpp.o"
+  "CMakeFiles/facebook_post_study.dir/facebook_post_study.cpp.o.d"
+  "facebook_post_study"
+  "facebook_post_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facebook_post_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoed_cli.dir/qoed_cli.cpp.o"
+  "CMakeFiles/qoed_cli.dir/qoed_cli.cpp.o.d"
+  "qoed_cli"
+  "qoed_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoed_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

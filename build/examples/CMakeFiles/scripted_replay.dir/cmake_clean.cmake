@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scripted_replay.dir/scripted_replay.cpp.o"
+  "CMakeFiles/scripted_replay.dir/scripted_replay.cpp.o.d"
+  "scripted_replay"
+  "scripted_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scripted_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_throttling_study.dir/video_throttling_study.cpp.o"
+  "CMakeFiles/video_throttling_study.dir/video_throttling_study.cpp.o.d"
+  "video_throttling_study"
+  "video_throttling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_throttling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

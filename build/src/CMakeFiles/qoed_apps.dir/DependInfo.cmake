@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_base.cc" "src/CMakeFiles/qoed_apps.dir/apps/app_base.cc.o" "gcc" "src/CMakeFiles/qoed_apps.dir/apps/app_base.cc.o.d"
+  "/root/repo/src/apps/browser_app.cc" "src/CMakeFiles/qoed_apps.dir/apps/browser_app.cc.o" "gcc" "src/CMakeFiles/qoed_apps.dir/apps/browser_app.cc.o.d"
+  "/root/repo/src/apps/social_app.cc" "src/CMakeFiles/qoed_apps.dir/apps/social_app.cc.o" "gcc" "src/CMakeFiles/qoed_apps.dir/apps/social_app.cc.o.d"
+  "/root/repo/src/apps/social_server.cc" "src/CMakeFiles/qoed_apps.dir/apps/social_server.cc.o" "gcc" "src/CMakeFiles/qoed_apps.dir/apps/social_server.cc.o.d"
+  "/root/repo/src/apps/video_app.cc" "src/CMakeFiles/qoed_apps.dir/apps/video_app.cc.o" "gcc" "src/CMakeFiles/qoed_apps.dir/apps/video_app.cc.o.d"
+  "/root/repo/src/apps/video_server.cc" "src/CMakeFiles/qoed_apps.dir/apps/video_server.cc.o" "gcc" "src/CMakeFiles/qoed_apps.dir/apps/video_server.cc.o.d"
+  "/root/repo/src/apps/web_server.cc" "src/CMakeFiles/qoed_apps.dir/apps/web_server.cc.o" "gcc" "src/CMakeFiles/qoed_apps.dir/apps/web_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qoed_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

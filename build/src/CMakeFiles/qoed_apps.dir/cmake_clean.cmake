@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoed_apps.dir/apps/app_base.cc.o"
+  "CMakeFiles/qoed_apps.dir/apps/app_base.cc.o.d"
+  "CMakeFiles/qoed_apps.dir/apps/browser_app.cc.o"
+  "CMakeFiles/qoed_apps.dir/apps/browser_app.cc.o.d"
+  "CMakeFiles/qoed_apps.dir/apps/social_app.cc.o"
+  "CMakeFiles/qoed_apps.dir/apps/social_app.cc.o.d"
+  "CMakeFiles/qoed_apps.dir/apps/social_server.cc.o"
+  "CMakeFiles/qoed_apps.dir/apps/social_server.cc.o.d"
+  "CMakeFiles/qoed_apps.dir/apps/video_app.cc.o"
+  "CMakeFiles/qoed_apps.dir/apps/video_app.cc.o.d"
+  "CMakeFiles/qoed_apps.dir/apps/video_server.cc.o"
+  "CMakeFiles/qoed_apps.dir/apps/video_server.cc.o.d"
+  "CMakeFiles/qoed_apps.dir/apps/web_server.cc.o"
+  "CMakeFiles/qoed_apps.dir/apps/web_server.cc.o.d"
+  "libqoed_apps.a"
+  "libqoed_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoed_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_analyzer.cc" "src/CMakeFiles/qoed_core.dir/core/app_analyzer.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/app_analyzer.cc.o.d"
+  "/root/repo/src/core/behavior_log.cc" "src/CMakeFiles/qoed_core.dir/core/behavior_log.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/behavior_log.cc.o.d"
+  "/root/repo/src/core/control_spec.cc" "src/CMakeFiles/qoed_core.dir/core/control_spec.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/control_spec.cc.o.d"
+  "/root/repo/src/core/cross_layer_analyzer.cc" "src/CMakeFiles/qoed_core.dir/core/cross_layer_analyzer.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/cross_layer_analyzer.cc.o.d"
+  "/root/repo/src/core/drivers.cc" "src/CMakeFiles/qoed_core.dir/core/drivers.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/drivers.cc.o.d"
+  "/root/repo/src/core/flow_analyzer.cc" "src/CMakeFiles/qoed_core.dir/core/flow_analyzer.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/flow_analyzer.cc.o.d"
+  "/root/repo/src/core/log_export.cc" "src/CMakeFiles/qoed_core.dir/core/log_export.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/log_export.cc.o.d"
+  "/root/repo/src/core/pcap_writer.cc" "src/CMakeFiles/qoed_core.dir/core/pcap_writer.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/pcap_writer.cc.o.d"
+  "/root/repo/src/core/qoe_doctor.cc" "src/CMakeFiles/qoed_core.dir/core/qoe_doctor.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/qoe_doctor.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/qoed_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/rlc_mapper.cc" "src/CMakeFiles/qoed_core.dir/core/rlc_mapper.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/rlc_mapper.cc.o.d"
+  "/root/repo/src/core/rrc_analyzer.cc" "src/CMakeFiles/qoed_core.dir/core/rrc_analyzer.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/rrc_analyzer.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/CMakeFiles/qoed_core.dir/core/scenario.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/scenario.cc.o.d"
+  "/root/repo/src/core/speed_index.cc" "src/CMakeFiles/qoed_core.dir/core/speed_index.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/speed_index.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/qoed_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/stats.cc.o.d"
+  "/root/repo/src/core/ui_controller.cc" "src/CMakeFiles/qoed_core.dir/core/ui_controller.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/ui_controller.cc.o.d"
+  "/root/repo/src/core/view_signature.cc" "src/CMakeFiles/qoed_core.dir/core/view_signature.cc.o" "gcc" "src/CMakeFiles/qoed_core.dir/core/view_signature.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qoed_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoed_device.dir/device/device.cc.o"
+  "CMakeFiles/qoed_device.dir/device/device.cc.o.d"
+  "libqoed_device.a"
+  "libqoed_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoed_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

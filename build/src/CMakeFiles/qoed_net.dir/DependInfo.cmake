@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/dns.cc" "src/CMakeFiles/qoed_net.dir/net/dns.cc.o" "gcc" "src/CMakeFiles/qoed_net.dir/net/dns.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/qoed_net.dir/net/link.cc.o" "gcc" "src/CMakeFiles/qoed_net.dir/net/link.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/qoed_net.dir/net/network.cc.o" "gcc" "src/CMakeFiles/qoed_net.dir/net/network.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/qoed_net.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/qoed_net.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/CMakeFiles/qoed_net.dir/net/tcp.cc.o" "gcc" "src/CMakeFiles/qoed_net.dir/net/tcp.cc.o.d"
+  "/root/repo/src/net/token_bucket.cc" "src/CMakeFiles/qoed_net.dir/net/token_bucket.cc.o" "gcc" "src/CMakeFiles/qoed_net.dir/net/token_bucket.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/CMakeFiles/qoed_net.dir/net/trace.cc.o" "gcc" "src/CMakeFiles/qoed_net.dir/net/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qoed_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

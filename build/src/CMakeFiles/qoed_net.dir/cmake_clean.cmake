@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoed_net.dir/net/dns.cc.o"
+  "CMakeFiles/qoed_net.dir/net/dns.cc.o.d"
+  "CMakeFiles/qoed_net.dir/net/link.cc.o"
+  "CMakeFiles/qoed_net.dir/net/link.cc.o.d"
+  "CMakeFiles/qoed_net.dir/net/network.cc.o"
+  "CMakeFiles/qoed_net.dir/net/network.cc.o.d"
+  "CMakeFiles/qoed_net.dir/net/packet.cc.o"
+  "CMakeFiles/qoed_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/qoed_net.dir/net/tcp.cc.o"
+  "CMakeFiles/qoed_net.dir/net/tcp.cc.o.d"
+  "CMakeFiles/qoed_net.dir/net/token_bucket.cc.o"
+  "CMakeFiles/qoed_net.dir/net/token_bucket.cc.o.d"
+  "CMakeFiles/qoed_net.dir/net/trace.cc.o"
+  "CMakeFiles/qoed_net.dir/net/trace.cc.o.d"
+  "libqoed_net.a"
+  "libqoed_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoed_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/carrier.cc" "src/CMakeFiles/qoed_radio.dir/radio/carrier.cc.o" "gcc" "src/CMakeFiles/qoed_radio.dir/radio/carrier.cc.o.d"
+  "/root/repo/src/radio/cellular_link.cc" "src/CMakeFiles/qoed_radio.dir/radio/cellular_link.cc.o" "gcc" "src/CMakeFiles/qoed_radio.dir/radio/cellular_link.cc.o.d"
+  "/root/repo/src/radio/power_model.cc" "src/CMakeFiles/qoed_radio.dir/radio/power_model.cc.o" "gcc" "src/CMakeFiles/qoed_radio.dir/radio/power_model.cc.o.d"
+  "/root/repo/src/radio/qxdm_logger.cc" "src/CMakeFiles/qoed_radio.dir/radio/qxdm_logger.cc.o" "gcc" "src/CMakeFiles/qoed_radio.dir/radio/qxdm_logger.cc.o.d"
+  "/root/repo/src/radio/rlc.cc" "src/CMakeFiles/qoed_radio.dir/radio/rlc.cc.o" "gcc" "src/CMakeFiles/qoed_radio.dir/radio/rlc.cc.o.d"
+  "/root/repo/src/radio/rrc_config.cc" "src/CMakeFiles/qoed_radio.dir/radio/rrc_config.cc.o" "gcc" "src/CMakeFiles/qoed_radio.dir/radio/rrc_config.cc.o.d"
+  "/root/repo/src/radio/rrc_machine.cc" "src/CMakeFiles/qoed_radio.dir/radio/rrc_machine.cc.o" "gcc" "src/CMakeFiles/qoed_radio.dir/radio/rrc_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qoed_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoed_radio.dir/radio/carrier.cc.o"
+  "CMakeFiles/qoed_radio.dir/radio/carrier.cc.o.d"
+  "CMakeFiles/qoed_radio.dir/radio/cellular_link.cc.o"
+  "CMakeFiles/qoed_radio.dir/radio/cellular_link.cc.o.d"
+  "CMakeFiles/qoed_radio.dir/radio/power_model.cc.o"
+  "CMakeFiles/qoed_radio.dir/radio/power_model.cc.o.d"
+  "CMakeFiles/qoed_radio.dir/radio/qxdm_logger.cc.o"
+  "CMakeFiles/qoed_radio.dir/radio/qxdm_logger.cc.o.d"
+  "CMakeFiles/qoed_radio.dir/radio/rlc.cc.o"
+  "CMakeFiles/qoed_radio.dir/radio/rlc.cc.o.d"
+  "CMakeFiles/qoed_radio.dir/radio/rrc_config.cc.o"
+  "CMakeFiles/qoed_radio.dir/radio/rrc_config.cc.o.d"
+  "CMakeFiles/qoed_radio.dir/radio/rrc_machine.cc.o"
+  "CMakeFiles/qoed_radio.dir/radio/rrc_machine.cc.o.d"
+  "libqoed_radio.a"
+  "libqoed_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoed_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

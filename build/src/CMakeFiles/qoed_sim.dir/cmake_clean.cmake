@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoed_sim.dir/sim/event_loop.cc.o"
+  "CMakeFiles/qoed_sim.dir/sim/event_loop.cc.o.d"
+  "CMakeFiles/qoed_sim.dir/sim/log.cc.o"
+  "CMakeFiles/qoed_sim.dir/sim/log.cc.o.d"
+  "CMakeFiles/qoed_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/qoed_sim.dir/sim/rng.cc.o.d"
+  "libqoed_sim.a"
+  "libqoed_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ui/instrumentation.cc" "src/CMakeFiles/qoed_ui.dir/ui/instrumentation.cc.o" "gcc" "src/CMakeFiles/qoed_ui.dir/ui/instrumentation.cc.o.d"
+  "/root/repo/src/ui/layout_tree.cc" "src/CMakeFiles/qoed_ui.dir/ui/layout_tree.cc.o" "gcc" "src/CMakeFiles/qoed_ui.dir/ui/layout_tree.cc.o.d"
+  "/root/repo/src/ui/screen.cc" "src/CMakeFiles/qoed_ui.dir/ui/screen.cc.o" "gcc" "src/CMakeFiles/qoed_ui.dir/ui/screen.cc.o.d"
+  "/root/repo/src/ui/ui_thread.cc" "src/CMakeFiles/qoed_ui.dir/ui/ui_thread.cc.o" "gcc" "src/CMakeFiles/qoed_ui.dir/ui/ui_thread.cc.o.d"
+  "/root/repo/src/ui/view.cc" "src/CMakeFiles/qoed_ui.dir/ui/view.cc.o" "gcc" "src/CMakeFiles/qoed_ui.dir/ui/view.cc.o.d"
+  "/root/repo/src/ui/widgets.cc" "src/CMakeFiles/qoed_ui.dir/ui/widgets.cc.o" "gcc" "src/CMakeFiles/qoed_ui.dir/ui/widgets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qoed_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoed_ui.dir/ui/instrumentation.cc.o"
+  "CMakeFiles/qoed_ui.dir/ui/instrumentation.cc.o.d"
+  "CMakeFiles/qoed_ui.dir/ui/layout_tree.cc.o"
+  "CMakeFiles/qoed_ui.dir/ui/layout_tree.cc.o.d"
+  "CMakeFiles/qoed_ui.dir/ui/screen.cc.o"
+  "CMakeFiles/qoed_ui.dir/ui/screen.cc.o.d"
+  "CMakeFiles/qoed_ui.dir/ui/ui_thread.cc.o"
+  "CMakeFiles/qoed_ui.dir/ui/ui_thread.cc.o.d"
+  "CMakeFiles/qoed_ui.dir/ui/view.cc.o"
+  "CMakeFiles/qoed_ui.dir/ui/view.cc.o.d"
+  "CMakeFiles/qoed_ui.dir/ui/widgets.cc.o"
+  "CMakeFiles/qoed_ui.dir/ui/widgets.cc.o.d"
+  "libqoed_ui.a"
+  "libqoed_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoed_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qoed_ui.
+# This may be replaced when dependencies are built.

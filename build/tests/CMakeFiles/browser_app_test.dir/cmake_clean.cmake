@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_app_test.dir/browser_app_test.cc.o"
+  "CMakeFiles/browser_app_test.dir/browser_app_test.cc.o.d"
+  "browser_app_test"
+  "browser_app_test.pdb"
+  "browser_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

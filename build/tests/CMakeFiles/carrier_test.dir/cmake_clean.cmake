@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carrier_test.dir/carrier_test.cc.o"
+  "CMakeFiles/carrier_test.dir/carrier_test.cc.o.d"
+  "carrier_test"
+  "carrier_test.pdb"
+  "carrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_link_test.dir/cellular_link_test.cc.o"
+  "CMakeFiles/cellular_link_test.dir/cellular_link_test.cc.o.d"
+  "cellular_link_test"
+  "cellular_link_test.pdb"
+  "cellular_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

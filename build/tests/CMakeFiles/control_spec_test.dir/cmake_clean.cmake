@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_spec_test.dir/control_spec_test.cc.o"
+  "CMakeFiles/control_spec_test.dir/control_spec_test.cc.o.d"
+  "control_spec_test"
+  "control_spec_test.pdb"
+  "control_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

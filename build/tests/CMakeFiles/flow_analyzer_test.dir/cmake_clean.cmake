@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_analyzer_test.dir/flow_analyzer_test.cc.o"
+  "CMakeFiles/flow_analyzer_test.dir/flow_analyzer_test.cc.o.d"
+  "flow_analyzer_test"
+  "flow_analyzer_test.pdb"
+  "flow_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

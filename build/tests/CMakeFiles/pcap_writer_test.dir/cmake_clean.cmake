@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_writer_test.dir/pcap_writer_test.cc.o"
+  "CMakeFiles/pcap_writer_test.dir/pcap_writer_test.cc.o.d"
+  "pcap_writer_test"
+  "pcap_writer_test.pdb"
+  "pcap_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

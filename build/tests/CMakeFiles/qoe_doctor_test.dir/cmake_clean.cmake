@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qoe_doctor_test.dir/qoe_doctor_test.cc.o"
+  "CMakeFiles/qoe_doctor_test.dir/qoe_doctor_test.cc.o.d"
+  "qoe_doctor_test"
+  "qoe_doctor_test.pdb"
+  "qoe_doctor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qoe_doctor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

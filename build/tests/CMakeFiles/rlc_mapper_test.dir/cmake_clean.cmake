@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlc_mapper_test.dir/rlc_mapper_test.cc.o"
+  "CMakeFiles/rlc_mapper_test.dir/rlc_mapper_test.cc.o.d"
+  "rlc_mapper_test"
+  "rlc_mapper_test.pdb"
+  "rlc_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlc_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

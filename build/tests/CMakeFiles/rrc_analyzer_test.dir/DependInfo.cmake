@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rrc_analyzer_test.cc" "tests/CMakeFiles/rrc_analyzer_test.dir/rrc_analyzer_test.cc.o" "gcc" "tests/CMakeFiles/rrc_analyzer_test.dir/rrc_analyzer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qoed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qoed_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screen_test.dir/screen_test.cc.o"
+  "CMakeFiles/screen_test.dir/screen_test.cc.o.d"
+  "screen_test"
+  "screen_test.pdb"
+  "screen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_app_test.dir/social_app_test.cc.o"
+  "CMakeFiles/social_app_test.dir/social_app_test.cc.o.d"
+  "social_app_test"
+  "social_app_test.pdb"
+  "social_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

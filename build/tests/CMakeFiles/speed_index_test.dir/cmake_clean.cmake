@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_index_test.dir/speed_index_test.cc.o"
+  "CMakeFiles/speed_index_test.dir/speed_index_test.cc.o.d"
+  "speed_index_test"
+  "speed_index_test.pdb"
+  "speed_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ui_controller_test.dir/ui_controller_test.cc.o"
+  "CMakeFiles/ui_controller_test.dir/ui_controller_test.cc.o.d"
+  "ui_controller_test"
+  "ui_controller_test.pdb"
+  "ui_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ui_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ui_thread_test.dir/ui_thread_test.cc.o"
+  "CMakeFiles/ui_thread_test.dir/ui_thread_test.cc.o.d"
+  "ui_thread_test"
+  "ui_thread_test.pdb"
+  "ui_thread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ui_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_app_test.dir/video_app_test.cc.o"
+  "CMakeFiles/video_app_test.dir/video_app_test.cc.o.d"
+  "video_app_test"
+  "video_app_test.pdb"
+  "video_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_signature_test.dir/view_signature_test.cc.o"
+  "CMakeFiles/view_signature_test.dir/view_signature_test.cc.o.d"
+  "view_signature_test"
+  "view_signature_test.pdb"
+  "view_signature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
