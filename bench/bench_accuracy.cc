@@ -5,6 +5,10 @@
 // for the paper's 60fps camera): t_d = |measured - t_screen| must stay under
 // 40 ms and under 4% of t_screen. We also reproduce the IP->RLC mapping
 // ratios and the controller's worst-case CPU overhead.
+//
+// Each action family runs as a Campaign: the paper's 30x repetition protocol
+// becomes `runs` independent testbeds (own seed, device and app instance)
+// fanned out over the worker pool, with samples pooled across runs.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -24,15 +28,11 @@ struct AccuracySample {
   double truth_s = 0;
 
   double error_s() const { return std::abs(measured_s - truth_s); }
-  double error_ratio() const {
-    return truth_s > 0 ? error_s() / truth_s : 0;
-  }
 };
 
 // Ground truth from the screen: the draw containing the first revision after
 // the pre-detection snapshot.
-double truth_latency(const device::Device& dev, const BehaviorRecord& rec,
-                     const ui::Screen& screen) {
+double truth_latency(const BehaviorRecord& rec, const ui::Screen& screen) {
   auto end_truth = screen.draw_time_for(rec.prev_end_revision + 1);
   if (!end_truth) return 0;
   sim::TimePoint start_truth = rec.start;
@@ -41,12 +41,22 @@ double truth_latency(const device::Device& dev, const BehaviorRecord& rec,
     if (!s) return 0;
     start_truth = *s;
   }
-  (void)dev;
   return sim::to_seconds(*end_truth - start_truth);
 }
 
-std::vector<AccuracySample> facebook_samples(apps::PostKind kind, int reps) {
-  Testbed bed(101);
+void record(RunResult* out, const std::string& prefix,
+            const AccuracySample& s, double min_truth_s = 0.0) {
+  // `min_truth_s` drops sub-threshold events (e.g. fractional-second tail
+  // stalls) whose error *ratio* is dominated by the fixed +-t_parsing/2
+  // detection granularity; the paper's shortest observed t_screen per
+  // metric was on the order of a second or more.
+  if (s.truth_s <= 0 || s.truth_s < min_truth_s) return;
+  out->add_sample(prefix + "error_ms", s.error_s() * 1000);
+  out->add_sample(prefix + "truth_s", s.truth_s);
+}
+
+RunResult facebook_run(std::uint64_t seed, apps::PostKind kind, int reps) {
+  Testbed bed(seed);
   apps::SocialServer server(bed.network(), bed.next_server_ip());
   auto dev = bed.make_device("galaxy-s3");
   dev->attach_cellular(radio::CellularConfig::umts());
@@ -59,7 +69,7 @@ std::vector<AccuracySample> facebook_samples(apps::PostKind kind, int reps) {
   QoeDoctor doctor(*dev, app);
   FacebookDriver driver(doctor.controller(), app);
 
-  std::vector<AccuracySample> samples;
+  RunResult out;
   repeat_async(
       bed.loop(), static_cast<std::size_t>(reps), sim::sec(2),
       [&](std::size_t, std::function<void()> next) {
@@ -70,8 +80,8 @@ std::vector<AccuracySample> facebook_samples(apps::PostKind kind, int reps) {
               AccuracySample s;
               s.measured_s =
                   sim::to_seconds(AppLayerAnalyzer::calibrate(rec));
-              s.truth_s = truth_latency(*dev, rec, dev->screen());
-              if (s.truth_s > 0) samples.push_back(s);
+              s.truth_s = truth_latency(rec, dev->screen());
+              record(&out, "", s);
             }
             next();
           });
@@ -79,11 +89,11 @@ std::vector<AccuracySample> facebook_samples(apps::PostKind kind, int reps) {
       },
       [] {});
   bed.loop().run();
-  return samples;
+  return out;
 }
 
-std::vector<AccuracySample> pull_to_update_samples(int reps) {
-  Testbed bed(102);
+RunResult pull_to_update_run(std::uint64_t seed, int reps) {
+  Testbed bed(seed);
   apps::SocialServer server(bed.network(), bed.next_server_ip());
   auto poster_dev = bed.make_device("poster");
   poster_dev->attach_wifi();
@@ -100,10 +110,9 @@ std::vector<AccuracySample> pull_to_update_samples(int reps) {
   app.login("bob");
   bed.advance(sim::sec(10));
   QoeDoctor doctor(*dev, app);
-  FacebookDriver poster_driver_unused(doctor.controller(), app);
   FacebookDriver driver(doctor.controller(), app);
 
-  std::vector<AccuracySample> samples;
+  RunResult out;
   repeat_async(
       bed.loop(), static_cast<std::size_t>(reps), sim::sec(3),
       [&](std::size_t i, std::function<void()> next) {
@@ -118,8 +127,8 @@ std::vector<AccuracySample> pull_to_update_samples(int reps) {
                 AccuracySample s;
                 s.measured_s =
                     sim::to_seconds(AppLayerAnalyzer::calibrate(rec));
-                s.truth_s = truth_latency(*dev, rec, dev->screen());
-                if (s.truth_s > 0) samples.push_back(s);
+                s.truth_s = truth_latency(rec, dev->screen());
+                record(&out, "", s);
               }
               next();
             });
@@ -128,13 +137,13 @@ std::vector<AccuracySample> pull_to_update_samples(int reps) {
       },
       [] {});
   bed.loop().run();
-  return samples;
+  return out;
 }
 
-// YouTube initial loading + rebuffering accuracy in one pass.
-void youtube_samples(int videos, std::vector<AccuracySample>* loading,
-                     std::vector<AccuracySample>* rebuffering) {
-  Testbed bed(103);
+// YouTube initial loading + rebuffering accuracy in one pass; emits
+// "loading_*" and "rebuff_*" metrics.
+RunResult youtube_run(std::uint64_t seed, int videos) {
+  Testbed bed(seed);
   apps::VideoServer server(bed.network(), bed.next_server_ip());
   sim::Rng vid_rng = bed.fork_rng("videos");
   for (auto& v : apps::make_video_dataset(vid_rng, 500e3, sim::sec(25),
@@ -154,6 +163,7 @@ void youtube_samples(int videos, std::vector<AccuracySample>* loading,
   QoeDoctor doctor(*dev, app);
   YouTubeDriver driver(doctor.controller(), app);
 
+  RunResult out;
   repeat_async(
       bed.loop(), static_cast<std::size_t>(videos), sim::sec(3),
       [&](std::size_t i, std::function<void()> next) {
@@ -165,16 +175,15 @@ void youtube_samples(int videos, std::vector<AccuracySample>* loading,
                   AccuracySample s;
                   s.measured_s = sim::to_seconds(
                       AppLayerAnalyzer::calibrate(r.initial_loading));
-                  s.truth_s = truth_latency(*dev, r.initial_loading,
-                                            dev->screen());
-                  if (s.truth_s > 0) loading->push_back(s);
+                  s.truth_s = truth_latency(r.initial_loading, dev->screen());
+                  record(&out, "loading_", s);
                 }
                 for (const auto& stall : r.stalls) {
                   AccuracySample s;
                   s.measured_s =
                       sim::to_seconds(AppLayerAnalyzer::calibrate(stall));
-                  s.truth_s = truth_latency(*dev, stall, dev->screen());
-                  if (s.truth_s > 0) rebuffering->push_back(s);
+                  s.truth_s = truth_latency(stall, dev->screen());
+                  record(&out, "rebuff_", s, /*min_truth_s=*/1.0);
                 }
                 next();
               });
@@ -182,10 +191,11 @@ void youtube_samples(int videos, std::vector<AccuracySample>* loading,
       },
       [] {});
   bed.loop().run();
+  return out;
 }
 
-std::vector<AccuracySample> browser_samples(int reps) {
-  Testbed bed(104);
+RunResult browser_run(std::uint64_t seed, int reps) {
+  Testbed bed(seed);
   apps::WebServer server(bed.network(), bed.next_server_ip());
   server.add_page({.path = "/index",
                    .html_bytes = 55'000,
@@ -198,7 +208,7 @@ std::vector<AccuracySample> browser_samples(int reps) {
   QoeDoctor doctor(*dev, app);
   BrowserDriver driver(doctor.controller(), app);
 
-  std::vector<AccuracySample> samples;
+  RunResult out;
   repeat_async(
       bed.loop(), static_cast<std::size_t>(reps), sim::sec(20),
       [&](std::size_t, std::function<void()> next) {
@@ -209,8 +219,8 @@ std::vector<AccuracySample> browser_samples(int reps) {
                   AccuracySample s;
                   s.measured_s =
                       sim::to_seconds(AppLayerAnalyzer::calibrate(rec));
-                  s.truth_s = truth_latency(*dev, rec, dev->screen());
-                  if (s.truth_s > 0) samples.push_back(s);
+                  s.truth_s = truth_latency(rec, dev->screen());
+                  record(&out, "", s);
                 }
                 next();
               });
@@ -218,7 +228,7 @@ std::vector<AccuracySample> browser_samples(int reps) {
       },
       [] {});
   bed.loop().run();
-  return samples;
+  return out;
 }
 
 struct OverheadAndMapping {
@@ -266,23 +276,17 @@ OverheadAndMapping overhead_and_mapping(int posts) {
 }
 
 void report_metric(core::Table& fig6, const std::string& name,
-                   const std::vector<AccuracySample>& samples,
-                   double* max_error_ms, double min_truth_s = 0.0) {
-  // `min_truth_s` drops sub-threshold events (e.g. fractional-second tail
-  // stalls) whose error *ratio* is dominated by the fixed +-t_parsing/2
-  // detection granularity; the paper's shortest observed t_screen per
-  // metric was on the order of a second or more.
-  double worst_ratio = 0, worst_ms = 0, shortest_truth = 1e18;
-  for (const auto& s : samples) {
-    if (s.truth_s < min_truth_s) continue;
-    worst_ms = std::max(worst_ms, s.error_s() * 1000);
-    shortest_truth = std::min(shortest_truth, s.truth_s);
-  }
+                   const CampaignResult& c, const std::string& prefix,
+                   double* max_error_ms) {
+  const MetricAggregate* err = c.metric(prefix + "error_ms");
+  const MetricAggregate* truth = c.metric(prefix + "truth_s");
+  const double worst_ms = err ? err->pooled.max : 0;
+  const double shortest = truth && truth->pooled.n > 0 ? truth->pooled.min : 0;
   // Paper Fig. 6 method: upper-bound ratio = max error over shortest
   // t_screen in the experiment set.
-  worst_ratio = shortest_truth > 0 ? worst_ms / 1000 / shortest_truth : 0;
+  const double worst_ratio = shortest > 0 ? worst_ms / 1000 / shortest : 0;
   *max_error_ms = std::max(*max_error_ms, worst_ms);
-  fig6.add_row({name, std::to_string(samples.size()),
+  fig6.add_row({name, std::to_string(err ? err->pooled.n : 0),
                 core::Table::num(worst_ms, 1),
                 core::Table::pct(worst_ratio, 2)});
 }
@@ -290,27 +294,58 @@ void report_metric(core::Table& fig6, const std::string& name,
 }  // namespace
 }  // namespace qoed
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qoed;
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::banner("QoE measurement accuracy and overhead",
                 "Table 3 and Figure 6 (IMC'14 QoE Doctor, §7.1)");
 
-  constexpr int kReps = 30;
-  auto post = facebook_samples(apps::PostKind::kStatus, kReps);
-  auto pull = pull_to_update_samples(kReps);
-  std::vector<AccuracySample> loading, rebuffering;
-  youtube_samples(8, &loading, &rebuffering);
-  auto pages = browser_samples(kReps);
+  // 5 runs x 6 reps reproduces the paper's 30x protocol per action family.
+  constexpr int kRepsPerRun = 6;
+  constexpr std::size_t kDefaultRuns = 5;
+
+  core::Campaign post_campaign(
+      bench::campaign_config(opts, "accuracy/post", kDefaultRuns, 101));
+  const core::CampaignResult post = post_campaign.run(
+      [](std::uint64_t seed, const core::RunSpec&) {
+        return facebook_run(seed, apps::PostKind::kStatus, kRepsPerRun);
+      });
+  bench::report_campaign(post_campaign, post, opts);
+
+  core::Campaign pull_campaign(
+      bench::campaign_config(opts, "accuracy/pull", kDefaultRuns, 102));
+  const core::CampaignResult pull = pull_campaign.run(
+      [](std::uint64_t seed, const core::RunSpec&) {
+        return pull_to_update_run(seed, kRepsPerRun);
+      });
+  bench::report_campaign(pull_campaign, pull, opts);
+
+  core::Campaign yt_campaign(
+      bench::campaign_config(opts, "accuracy/youtube", /*default_runs=*/4,
+                             103));
+  const core::CampaignResult yt = yt_campaign.run(
+      [](std::uint64_t seed, const core::RunSpec&) {
+        return youtube_run(seed, /*videos=*/2);
+      });
+  bench::report_campaign(yt_campaign, yt, opts);
+
+  core::Campaign page_campaign(
+      bench::campaign_config(opts, "accuracy/browser", kDefaultRuns, 104));
+  const core::CampaignResult pages = page_campaign.run(
+      [](std::uint64_t seed, const core::RunSpec&) {
+        return browser_run(seed, kRepsPerRun);
+      });
+  bench::report_campaign(page_campaign, pages, opts);
 
   double max_error_ms = 0;
   core::Table fig6("Fig. 6 — latency measurement error per action",
                    {"metric", "n", "max |t_d| (ms)", "error ratio bound"});
-  report_metric(fig6, "Facebook post update", post, &max_error_ms);
-  report_metric(fig6, "Facebook pull-to-update", pull, &max_error_ms);
-  report_metric(fig6, "YouTube initial loading", loading, &max_error_ms);
-  report_metric(fig6, "YouTube rebuffering", rebuffering, &max_error_ms,
-                /*min_truth_s=*/1.0);
-  report_metric(fig6, "Web page loading", pages, &max_error_ms);
+  report_metric(fig6, "Facebook post update", post, "", &max_error_ms);
+  report_metric(fig6, "Facebook pull-to-update", pull, "", &max_error_ms);
+  report_metric(fig6, "YouTube initial loading", yt, "loading_",
+                &max_error_ms);
+  report_metric(fig6, "YouTube rebuffering", yt, "rebuff_", &max_error_ms);
+  report_metric(fig6, "Web page loading", pages, "", &max_error_ms);
   fig6.print();
 
   auto om = overhead_and_mapping(10);

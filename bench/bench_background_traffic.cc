@@ -19,7 +19,7 @@ namespace {
 
 using namespace core;
 
-struct RunResult {
+struct TrafficRun {
   double uplink_kb = 0;
   double downlink_kb = 0;
   double tail_j = 0;
@@ -27,7 +27,7 @@ struct RunResult {
   std::uint64_t pushes = 0;
 };
 
-RunResult run(std::optional<sim::Duration> post_interval, sim::Duration hours,
+TrafficRun run(std::optional<sim::Duration> post_interval, sim::Duration hours,
               std::uint64_t seed) {
   Testbed bed(seed);
   apps::SocialServer server(bed.network(), bed.next_server_ip());
@@ -71,7 +71,7 @@ RunResult run(std::optional<sim::Duration> post_interval, sim::Duration hours,
   bed.advance(hours);
   const sim::TimePoint t1 = bed.loop().now();
 
-  RunResult out;
+  TrafficRun out;
   FlowAnalyzer flows(dev_b->trace().records());
   const auto vol = flows.bytes_in_window(t0, t1, "facebook");
   out.uplink_kb = static_cast<double>(vol.uplink) / 1024.0;
@@ -115,7 +115,7 @@ int main() {
   double none_total_kb = 0, none_total_j = 0;
   std::uint64_t seed = 1000;
   for (const auto& c : conds) {
-    const RunResult r = run(c.interval, kRun, seed++);
+    const TrafficRun r = run(c.interval, kRun, seed++);
     const double total_kb = r.uplink_kb + r.downlink_kb;
     const double total_j = r.tail_j + r.non_tail_j;
     fig10.add_row({c.label, core::Table::num(r.uplink_kb, 1),

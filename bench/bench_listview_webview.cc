@@ -17,7 +17,7 @@ namespace {
 
 using namespace core;
 
-struct RunResult {
+struct DesignRun {
   std::vector<double> latencies_s;
   double device_s = 0;
   double network_s = 0;
@@ -26,7 +26,7 @@ struct RunResult {
   int updates = 0;
 };
 
-RunResult run(apps::FeedDesign design, bool lte, int updates,
+DesignRun run(apps::FeedDesign design, bool lte, int updates,
               std::uint64_t seed) {
   Testbed bed(seed);
   apps::SocialServer server(bed.network(), bed.next_server_ip());
@@ -56,7 +56,7 @@ RunResult run(apps::FeedDesign design, bool lte, int updates,
   app_b.login("bob");
   bed.advance(sim::sec(30));
 
-  RunResult out;
+  DesignRun out;
   double up_bytes = 0, down_bytes = 0;
   std::vector<BehaviorRecord> records;
 
@@ -121,7 +121,7 @@ int main() {
       {"WebView, WiFi", apps::FeedDesign::kWebView, false},
   };
 
-  std::vector<RunResult> results;
+  std::vector<DesignRun> results;
   std::uint64_t seed = 1400;
   for (const auto& c : conds) {
     results.push_back(run(c.design, c.lte, kUpdates, seed++));
@@ -140,7 +140,7 @@ int main() {
   core::Table fig16("Fig. 16 — network data per feed update",
                     {"condition", "uplink (KB)", "downlink (KB)"});
   for (std::size_t i = 0; i < conds.size(); ++i) {
-    const RunResult& r = results[i];
+    const DesignRun& r = results[i];
     fig15.add_row({conds[i].label, core::Table::num(r.device_s),
                    core::Table::num(r.network_s),
                    core::Table::num(r.device_s + r.network_s)});
@@ -151,8 +151,8 @@ int main() {
   fig15.print();
   fig16.print();
 
-  const RunResult& lv = results[0];
-  const RunResult& wv = results[1];
+  const DesignRun& lv = results[0];
+  const DesignRun& wv = results[1];
   std::printf(
       "\nFinding 5 check (LTE): ListView vs WebView — device latency\n"
       "-%.0f%% (paper >67%%), network latency -%.0f%% (paper >30%%),\n"

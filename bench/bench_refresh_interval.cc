@@ -16,7 +16,7 @@ namespace {
 
 using namespace core;
 
-struct RunResult {
+struct IntervalRun {
   double uplink_kb = 0;
   double downlink_kb = 0;
   double tail_j = 0;
@@ -25,7 +25,7 @@ struct RunResult {
   double total_j() const { return tail_j + non_tail_j; }
 };
 
-RunResult run(sim::Duration refresh_interval, sim::Duration hours,
+IntervalRun run(sim::Duration refresh_interval, sim::Duration hours,
               std::uint64_t seed) {
   Testbed bed(seed);
   apps::SocialServer server(bed.network(), bed.next_server_ip());
@@ -66,7 +66,7 @@ RunResult run(sim::Duration refresh_interval, sim::Duration hours,
   bed.advance(hours);
   const sim::TimePoint t1 = bed.loop().now();
 
-  RunResult out;
+  IntervalRun out;
   FlowAnalyzer flows(dev_b->trace().records());
   const auto vol = flows.bytes_in_window(t0, t1, "facebook");
   out.uplink_kb = static_cast<double>(vol.uplink) / 1024.0;
@@ -106,11 +106,11 @@ int main() {
                     {"refresh interval", "non-tail (J)", "tail (J)",
                      "total (J)"});
 
-  std::vector<RunResult> results;
+  std::vector<IntervalRun> results;
   std::uint64_t seed = 1200;
   for (const auto& c : conds) {
     results.push_back(run(c.interval, kRun, seed++));
-    const RunResult& r = results.back();
+    const IntervalRun& r = results.back();
     fig12.add_row({c.label, core::Table::num(r.uplink_kb, 1),
                    core::Table::num(r.downlink_kb, 1),
                    core::Table::num(r.total_kb(), 1)});

@@ -5,6 +5,10 @@
 // loading time (Fig. 20). Paper shape: LTE (policing) is consistently worse
 // than 3G (shaping) at every rate, and both improve as the rate approaches
 // the media bitrate.
+//
+// The whole sweep runs as ONE campaign: every (mechanism, rate, repetition)
+// cell is an independent run with its own testbed, so the grid fans out over
+// the worker pool instead of executing serially.
 #include <cstdio>
 #include <vector>
 
@@ -18,14 +22,17 @@ namespace {
 using namespace core;
 
 constexpr double kMediaBitrate = 500e3;
+const std::vector<double> kRates = {100e3, 200e3, 300e3, 400e3, 500e3};
 
-struct Point {
-  double rebuffering = 0;
-  double initial_loading_s = 0;
-  int videos = 0;
-};
+std::string point_key(const char* metric, bool lte, double rate_bps) {
+  return std::string(metric) + (lte ? "/lte/" : "/3g/") +
+         std::to_string(static_cast<int>(rate_bps / 1000));
+}
 
-Point run(bool lte, double rate_bps, int videos, std::uint64_t seed) {
+// One testbed watching `videos` videos at one sweep point; emits per-video
+// samples under the point's metric names.
+RunResult run_point(std::uint64_t seed, bool lte, double rate_bps,
+                    int videos) {
   Testbed bed(seed);
   apps::VideoServer server(bed.network(), bed.next_server_ip());
   sim::Rng vid_rng = bed.fork_rng("videos");
@@ -46,7 +53,7 @@ Point run(bool lte, double rate_bps, int videos, std::uint64_t seed) {
   QoeDoctor doctor(*dev, app);
   YouTubeDriver driver(doctor.controller(), app);
 
-  Point p;
+  RunResult out;
   sim::Rng pick = bed.fork_rng("pick");
   repeat_async(
       bed.loop(), static_cast<std::size_t>(videos), sim::sec(5),
@@ -58,49 +65,71 @@ Point run(bool lte, double rate_bps, int videos, std::uint64_t seed) {
             std::string(1, kw) + " video", id,
             [&, next](const VideoWatchResult& r) {
               if (r.completed) {
-                p.rebuffering += r.rebuffering_ratio();
-                p.initial_loading_s += sim::to_seconds(
-                    AppLayerAnalyzer::calibrate(r.initial_loading));
-                ++p.videos;
+                out.add_sample(point_key("rebuffering", lte, rate_bps),
+                               r.rebuffering_ratio());
+                out.add_sample(
+                    point_key("loading", lte, rate_bps),
+                    sim::to_seconds(
+                        AppLayerAnalyzer::calibrate(r.initial_loading)));
+                out.add_counter("videos_completed", 1);
               }
               next();
             });
       },
       [] {});
   bed.loop().run();
-  if (p.videos > 0) {
-    p.rebuffering /= p.videos;
-    p.initial_loading_s /= p.videos;
-  }
-  return p;
+  return out;
+}
+
+double point_mean(const CampaignResult& c, const char* metric, bool lte,
+                  double rate_bps) {
+  const MetricAggregate* agg = c.metric(point_key(metric, lte, rate_bps));
+  return agg ? agg->pooled.mean : 0;
 }
 
 }  // namespace
 }  // namespace qoed
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qoed;
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
   bench::banner("Video QoE vs throttled bandwidth (100-500 kbps)",
                 "Figure 19 + Figure 20 (IMC'14 QoE Doctor, §7.5)");
 
-  const std::vector<double> rates = {100e3, 200e3, 300e3, 400e3, 500e3};
-  constexpr int kVideos = 20;
+  // reps-per-point x videos-per-run = 20 videos per sweep point, as before
+  // the campaign port. --runs scales the reps per point.
+  constexpr int kVideosPerRun = 10;
+  constexpr std::size_t kDefaultRepsPerPoint = 2;
+  const std::size_t reps_per_point =
+      opts.runs ? opts.runs : kDefaultRepsPerPoint;
+  const std::size_t cells = kRates.size() * 2;
+
+  core::CampaignConfig cfg = bench::campaign_config(
+      opts, "throttle_sweep", cells * reps_per_point, /*default_seed=*/1900);
+  cfg.runs = cells * reps_per_point;  // --runs means reps per point here
+  core::Campaign campaign(cfg);
+  const core::CampaignResult result = campaign.run(
+      [&](std::uint64_t seed, const core::RunSpec& spec) {
+        const std::size_t cell = spec.run_index % cells;
+        const bool lte = cell >= kRates.size();
+        const double rate = kRates[cell % kRates.size()];
+        return run_point(seed, lte, rate, kVideosPerRun);
+      });
+  bench::report_campaign(campaign, result, opts);
 
   core::Table fig19("Fig. 19 — rebuffering ratio vs throttled bandwidth",
                     {"rate (kbps)", "3G shaping", "LTE policing"});
   core::Table fig20("Fig. 20 — initial loading time (s) vs throttled bandwidth",
                     {"rate (kbps)", "3G shaping", "LTE policing"});
-
-  std::uint64_t seed = 1900;
-  for (double rate : rates) {
-    const Point p3g = run(/*lte=*/false, rate, kVideos, seed++);
-    const Point plte = run(/*lte=*/true, rate, kVideos, seed++);
-    fig19.add_row({core::Table::num(rate / 1000, 0),
-                   core::Table::pct(p3g.rebuffering),
-                   core::Table::pct(plte.rebuffering)});
-    fig20.add_row({core::Table::num(rate / 1000, 0),
-                   core::Table::num(p3g.initial_loading_s),
-                   core::Table::num(plte.initial_loading_s)});
+  for (double rate : kRates) {
+    fig19.add_row(
+        {core::Table::num(rate / 1000, 0),
+         core::Table::pct(point_mean(result, "rebuffering", false, rate)),
+         core::Table::pct(point_mean(result, "rebuffering", true, rate))});
+    fig20.add_row(
+        {core::Table::num(rate / 1000, 0),
+         core::Table::num(point_mean(result, "loading", false, rate)),
+         core::Table::num(point_mean(result, "loading", true, rate))});
   }
   fig19.print();
   fig20.print();

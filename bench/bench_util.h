@@ -2,12 +2,98 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 
+#include "core/log_export.h"
 #include "core/qoe_doctor.h"
 
 namespace qoed::bench {
+
+// Command-line options shared by the campaign-based benches.
+//   --jobs N   worker threads (0 = hardware concurrency, the default)
+//   --runs N   campaign runs (0 = bench default)
+//   --seed S   master seed (0 = bench default)
+//   --json F   write each CampaignResult as JSON to F (appends)
+struct BenchOptions {
+  std::size_t jobs = 0;
+  std::size_t runs = 0;
+  std::uint64_t seed = 0;
+  std::string json_path;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto number = [&]() -> std::uint64_t {
+      const char* text = value();
+      char* end = nullptr;
+      const std::uint64_t n = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0') {
+        std::fprintf(stderr, "invalid number for %s: '%s'\n", arg.c_str(),
+                     text);
+        std::exit(2);
+      }
+      return n;
+    };
+    if (arg == "--jobs") {
+      opts.jobs = static_cast<std::size_t>(number());
+    } else if (arg == "--runs") {
+      opts.runs = static_cast<std::size_t>(number());
+    } else if (arg == "--seed") {
+      opts.seed = number();
+    } else if (arg == "--json") {
+      opts.json_path = value();
+    } else if (arg == "-h" || arg == "--help") {
+      std::printf(
+          "usage: %s [--jobs N] [--runs N] [--seed S] [--json FILE]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+// Applies the shared CLI options to a campaign config, keeping the bench's
+// defaults where the user passed nothing.
+inline core::CampaignConfig campaign_config(const BenchOptions& opts,
+                                            std::string name,
+                                            std::size_t default_runs,
+                                            std::uint64_t default_seed) {
+  core::CampaignConfig cfg;
+  cfg.name = std::move(name);
+  cfg.runs = opts.runs ? opts.runs : default_runs;
+  cfg.jobs = opts.jobs;
+  cfg.master_seed = opts.seed ? opts.seed : default_seed;
+  return cfg;
+}
+
+// "campaign 'x': 20 runs over 8 workers in 1.3s (0 failed)" + optional JSON.
+inline void report_campaign(const core::Campaign& campaign,
+                            const core::CampaignResult& result,
+                            const BenchOptions& opts) {
+  std::printf("campaign '%s': %zu runs over %zu workers in %.2fs (%zu failed)\n",
+              result.name.c_str(), result.runs, result.jobs,
+              campaign.last_wall_seconds(), result.failed_runs());
+  if (!opts.json_path.empty()) {
+    std::ofstream os(opts.json_path, std::ios::app);
+    core::export_campaign_json(os, result);
+  }
+}
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::printf("\n================================================================\n");

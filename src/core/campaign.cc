@@ -1,0 +1,133 @@
+#include "core/campaign.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "sim/rng.h"
+
+namespace qoed::core {
+
+std::size_t CampaignResult::failed_runs() const {
+  std::size_t n = 0;
+  for (const auto& e : run_errors) {
+    if (!e.empty()) ++n;
+  }
+  return n;
+}
+
+const MetricAggregate* CampaignResult::metric(const std::string& name) const {
+  auto it = metrics.find(name);
+  return it == metrics.end() ? nullptr : &it->second;
+}
+
+Campaign::Campaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {}
+
+std::uint64_t Campaign::run_seed(std::uint64_t master_seed,
+                                 std::size_t run_index) {
+  // Reuse the named-stream fork so run seeds live in the same derivation
+  // family as every other stream in the simulation.
+  return sim::Rng(master_seed)
+      .fork("campaign/run/" + std::to_string(run_index))
+      .seed();
+}
+
+namespace {
+
+void merge_runs(const std::vector<RunResult>& results, std::size_t cdf_points,
+                CampaignResult* out) {
+  // Walk runs strictly in index order so the accumulation order (and thus
+  // every floating-point result) is independent of scheduling.
+  std::map<std::string, std::vector<double>> run_means;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    out->run_errors.push_back(r.ok ? "" : r.error);
+    if (!r.ok) continue;
+    for (const auto& [name, samples] : r.samples) {
+      MetricAggregate& agg = out->metrics[name];
+      agg.pooled_samples.insert(agg.pooled_samples.end(), samples.begin(),
+                                samples.end());
+      if (!samples.empty()) {
+        double sum = 0;
+        for (double v : samples) sum += v;
+        run_means[name].push_back(sum / static_cast<double>(samples.size()));
+      }
+    }
+    for (const auto& [name, v] : r.counters) out->counters[name] += v;
+  }
+  for (auto& [name, agg] : out->metrics) {
+    agg.pooled = summarize(agg.pooled_samples);
+    agg.per_run_means = summarize(run_means[name]);
+    agg.cdf = cdf_points ? qoed::core::cdf_points(agg.pooled_samples,
+                                                  cdf_points)
+                         : std::vector<std::pair<double, double>>{};
+  }
+}
+
+}  // namespace
+
+CampaignResult Campaign::run(const RunFn& fn) {
+  const std::size_t runs = cfg_.runs;
+  std::size_t jobs = cfg_.jobs;
+  if (jobs == 0) {
+    jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (runs > 0) jobs = std::min(jobs, runs);
+  jobs = std::max<std::size_t>(jobs, 1);
+
+  CampaignResult out;
+  out.name = cfg_.name;
+  out.master_seed = cfg_.master_seed;
+  out.runs = runs;
+  out.jobs = jobs;
+  out.run_specs.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    RunSpec spec;
+    spec.run_index = i;
+    spec.seed = run_seed(cfg_.master_seed, i);
+    spec.master_seed = cfg_.master_seed;
+    spec.campaign = cfg_.name;
+    out.run_specs.push_back(std::move(spec));
+  }
+
+  // Workers claim run indices from a shared counter and write into disjoint
+  // slots of a pre-sized vector; no other state is shared.
+  std::vector<RunResult> results(runs);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= runs) return;
+      try {
+        results[i] = fn(out.run_specs[i].seed, out.run_specs[i]);
+      } catch (const std::exception& e) {
+        results[i] = RunResult{};
+        results[i].ok = false;
+        results[i].error = e.what();
+      } catch (...) {
+        results[i] = RunResult{};
+        results[i].ok = false;
+        results[i].error = "unknown exception";
+      }
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (jobs <= 1 || runs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  last_wall_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  merge_runs(results, cfg_.cdf_points, &out);
+  return out;
+}
+
+}  // namespace qoed::core

@@ -1,0 +1,122 @@
+// Multi-threaded campaign runner: fan N repeated experiments out over a
+// worker pool and merge their metrics.
+//
+// The paper's evaluation (§6-7) repeats every Facebook/YouTube/browser
+// experiment dozens of times per configuration and reports aggregate CDFs.
+// A Campaign scales that protocol: the caller supplies a factory describing
+// ONE self-contained run (its own EventLoop, Testbed, device and app, seeded
+// from the per-run seed), and the campaign executes `runs` of them across a
+// fixed-size thread pool.
+//
+// Determinism contract: results are bit-identical regardless of `jobs`.
+//   - per-run seeds derive from the campaign master seed and the run index
+//     only (Campaign::run_seed), never from thread identity or wall clock;
+//   - runs share nothing — no RNG, no event loop, no accumulators;
+//   - merging walks runs in index order, so floating-point accumulation
+//     order is fixed.
+// Wall-clock time is deliberately kept OUT of CampaignResult (it would break
+// the bit-identical guarantee); read Campaign::last_wall_seconds() instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace qoed::core {
+
+// Identity of one run within a campaign — enough to replay it alone.
+struct RunSpec {
+  std::size_t run_index = 0;
+  std::uint64_t seed = 0;         // per-run seed, derived from master_seed
+  std::uint64_t master_seed = 0;  // the campaign's master seed
+  std::string campaign;           // campaign name (for labeling exports)
+};
+
+// What one run hands back: named sample sets (e.g. latencies in seconds,
+// one value per replayed action) and named scalar counters (e.g. bytes
+// transferred, videos completed).
+struct RunResult {
+  std::map<std::string, std::vector<double>> samples;
+  std::map<std::string, double> counters;
+  bool ok = true;
+  std::string error;  // set when the factory threw; run contributes nothing
+
+  void add_sample(const std::string& metric, double v) {
+    samples[metric].push_back(v);
+  }
+  void add_counter(const std::string& name, double v) { counters[name] += v; }
+};
+
+// Cross-run aggregation of one named metric.
+struct MetricAggregate {
+  // All samples pooled across runs, concatenated in run-index order.
+  std::vector<double> pooled_samples;
+  // Summary (incl. pooled percentiles) over pooled_samples.
+  Summary pooled;
+  // Summary over the per-run means ("mean of runs" — each run weighs the
+  // same regardless of how many samples it produced).
+  Summary per_run_means;
+  // CDF of the pooled samples, paper-figure style.
+  std::vector<std::pair<double, double>> cdf;
+};
+
+struct CampaignResult {
+  std::string name;
+  std::uint64_t master_seed = 0;
+  std::size_t runs = 0;
+  std::size_t jobs = 0;  // pool size actually used
+
+  // Per-run replay info, ordered by run index. run_errors[i] is empty for a
+  // clean run and carries the exception message otherwise.
+  std::vector<RunSpec> run_specs;
+  std::vector<std::string> run_errors;
+
+  std::map<std::string, MetricAggregate> metrics;
+  std::map<std::string, double> counters;  // summed across runs, index order
+
+  std::size_t failed_runs() const;
+  const MetricAggregate* metric(const std::string& name) const;
+};
+
+struct CampaignConfig {
+  std::string name = "campaign";
+  std::size_t runs = 1;
+  std::size_t jobs = 0;  // 0 => std::thread::hardware_concurrency()
+  std::uint64_t master_seed = 1;
+  std::size_t cdf_points = 20;  // resolution of MetricAggregate::cdf
+};
+
+// Factory for one self-contained run. Must not touch state shared with other
+// runs; everything stochastic must derive from `seed` (== spec.seed).
+using RunFn = std::function<RunResult(std::uint64_t seed, const RunSpec&)>;
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig cfg);
+
+  // Executes all runs (blocking) and merges their results.
+  CampaignResult run(const RunFn& fn);
+
+  // Deterministic per-run seed derivation (stable across versions of the
+  // pool: depends on master seed and run index only).
+  static std::uint64_t run_seed(std::uint64_t master_seed,
+                                std::size_t run_index);
+
+  const CampaignConfig& config() const { return cfg_; }
+
+  // Wall-clock duration of the most recent run() — reported separately so
+  // CampaignResult stays bit-identical across thread counts.
+  double last_wall_seconds() const { return last_wall_seconds_; }
+
+ private:
+  CampaignConfig cfg_;
+  double last_wall_seconds_ = 0;
+};
+
+}  // namespace qoed::core

@@ -1,5 +1,6 @@
 #include "core/log_export.h"
 
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -12,6 +13,61 @@ namespace {
 
 void put_time(std::ostream& os, sim::TimePoint t) {
   os << std::fixed << std::setprecision(6) << t.seconds() << ' ';
+}
+
+// JSON helpers. Numbers use %.17g so distinct doubles never collapse to the
+// same text (round-trip precision); strings escape the minimum JSON set.
+void put_json_number(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void put_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void put_json_summary(std::ostream& os, const Summary& s) {
+  os << "{\"n\":" << s.n << ",\"mean\":";
+  put_json_number(os, s.mean);
+  os << ",\"stddev\":";
+  put_json_number(os, s.stddev);
+  os << ",\"min\":";
+  put_json_number(os, s.min);
+  os << ",\"max\":";
+  put_json_number(os, s.max);
+  os << ",\"p50\":";
+  put_json_number(os, s.p50);
+  os << ",\"p90\":";
+  put_json_number(os, s.p90);
+  os << ",\"p99\":";
+  put_json_number(os, s.p99);
+  os << '}';
 }
 
 }  // namespace
@@ -100,6 +156,55 @@ void export_behavior_log(std::ostream& os, const AppBehaviorLog& log) {
   }
 }
 
+void export_campaign_json(std::ostream& os, const CampaignResult& result) {
+  os << "{\"campaign\":";
+  put_json_string(os, result.name);
+  os << ",\"master_seed\":" << result.master_seed
+     << ",\"runs\":" << result.runs << ",\"jobs\":" << result.jobs
+     << ",\"failed_runs\":" << result.failed_runs();
+  os << ",\"run_seeds\":[";
+  for (std::size_t i = 0; i < result.run_specs.size(); ++i) {
+    if (i) os << ',';
+    os << result.run_specs[i].seed;
+  }
+  os << "],\"run_errors\":[";
+  for (std::size_t i = 0; i < result.run_errors.size(); ++i) {
+    if (i) os << ',';
+    put_json_string(os, result.run_errors[i]);
+  }
+  os << "],\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : result.counters) {
+    if (!first) os << ',';
+    first = false;
+    put_json_string(os, name);
+    os << ':';
+    put_json_number(os, v);
+  }
+  os << "},\"metrics\":{";
+  first = true;
+  for (const auto& [name, agg] : result.metrics) {
+    if (!first) os << ',';
+    first = false;
+    put_json_string(os, name);
+    os << ":{\"pooled\":";
+    put_json_summary(os, agg.pooled);
+    os << ",\"per_run_means\":";
+    put_json_summary(os, agg.per_run_means);
+    os << ",\"cdf\":[";
+    for (std::size_t i = 0; i < agg.cdf.size(); ++i) {
+      if (i) os << ',';
+      os << '[';
+      put_json_number(os, agg.cdf[i].first);
+      os << ',';
+      put_json_number(os, agg.cdf[i].second);
+      os << ']';
+    }
+    os << "]}";
+  }
+  os << "}}\n";
+}
+
 std::string trace_to_string(const std::vector<net::PacketRecord>& trace,
                             std::size_t max_lines) {
   std::ostringstream os;
@@ -117,6 +222,12 @@ std::string qxdm_to_string(const radio::QxdmLogger& log,
 std::string behavior_log_to_string(const AppBehaviorLog& log) {
   std::ostringstream os;
   export_behavior_log(os, log);
+  return os.str();
+}
+
+std::string campaign_to_json_string(const CampaignResult& result) {
+  std::ostringstream os;
+  export_campaign_json(os, result);
   return os.str();
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/app_analyzer.h"
 #include "core/behavior_log.h"
+#include "core/campaign.h"
 #include "core/cross_layer_analyzer.h"
 #include "core/drivers.h"
 #include "core/flow_analyzer.h"

@@ -21,15 +21,18 @@ Summary summarize(std::vector<double> values) {
   s.n = values.size();
   s.min = values.front();
   s.max = values.back();
-  double sum = 0, sq = 0;
-  for (double v : values) {
-    sum += v;
-    sq += v * v;
-  }
+  double sum = 0;
+  for (double v : values) sum += v;
   s.mean = sum / static_cast<double>(s.n);
-  const double var =
-      std::max(0.0, sq / static_cast<double>(s.n) - s.mean * s.mean);
-  s.stddev = std::sqrt(var);
+  // Two-pass variance: the textbook E[x²]−E[x]² form catastrophically
+  // cancels for large-magnitude samples (e.g. absolute TimePoint
+  // microsecond values), yielding garbage or negative variance.
+  double ss = 0;
+  for (double v : values) {
+    const double d = v - s.mean;
+    ss += d * d;
+  }
+  s.stddev = std::sqrt(std::max(0.0, ss / static_cast<double>(s.n)));
   s.p50 = percentile_sorted(values, 0.50);
   s.p90 = percentile_sorted(values, 0.90);
   s.p99 = percentile_sorted(values, 0.99);

@@ -43,7 +43,12 @@ sim::Duration TokenBucket::time_until_available(double bytes) {
   refill();
   if (tokens_ >= bytes) return sim::Duration::zero();
   const double deficit = bytes - tokens_;
-  return sim::sec_f(deficit / rate_);
+  if (rate_ <= 0) return kNeverDuration;
+  const double secs = deficit / rate_;
+  // Guard the int64 microsecond cast in sec_f: a vanishingly small rate
+  // behaves as "never" rather than overflowing into UB.
+  if (secs >= 9.2e12) return kNeverDuration;
+  return sim::sec_f(secs);
 }
 
 void Policer::submit(Packet p) {
@@ -92,6 +97,12 @@ void Shaper::pump() {
       continue;
     }
     const sim::Duration wait = bucket_.time_until_available(threshold);
+    if (wait == kNeverDuration) {
+      // Zero-rate link: tokens never accumulate, so leave the queue as-is
+      // (overflow drops on later submits) instead of scheduling a timer at
+      // a nonsense time.
+      return;
+    }
     pump_scheduled_ = true;
     loop_.schedule_after(std::max(wait, sim::usec(1)), [this] {
       pump_scheduled_ = false;

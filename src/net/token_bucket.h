@@ -21,6 +21,11 @@
 
 namespace qoed::net {
 
+// Sentinel returned by TokenBucket::time_until_available when the requested
+// tokens can never accumulate (zero-rate bucket, i.e. a fully-throttled
+// link). Gates must not schedule a timer for it.
+inline constexpr sim::Duration kNeverDuration = sim::Duration::max();
+
 // Continuous-refill token bucket.
 class TokenBucket {
  public:
@@ -36,7 +41,9 @@ class TokenBucket {
   // could never conform and a shaper would spin forever.
   bool try_consume_deficit(double bytes, double threshold);
 
-  // Time until `bytes` tokens will be available (zero if already available).
+  // Time until `bytes` tokens will be available (zero if already available,
+  // kNeverDuration if the rate is zero or the wait would overflow the
+  // microsecond clock).
   sim::Duration time_until_available(double bytes);
 
   double tokens() const { return tokens_; }

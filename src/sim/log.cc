@@ -21,13 +21,19 @@ const char* level_name(LogLevel l) {
 
 }  // namespace
 
-Logger::Logger() {
-  sink_ = [](LogLevel level, TimePoint t, std::string_view msg) {
+namespace {
+
+Logger::Sink default_sink() {
+  return [](LogLevel level, TimePoint t, std::string_view msg) {
     std::fprintf(stderr, "[%s %10s] %.*s\n", level_name(level),
                  format_time(t).c_str(), static_cast<int>(msg.size()),
                  msg.data());
   };
 }
+
+}  // namespace
+
+Logger::Logger() { sink_ = default_sink(); }
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -38,13 +44,13 @@ void Logger::set_sink(Sink sink) {
   if (sink) {
     sink_ = std::move(sink);
   } else {
-    *this = Logger{};
+    sink_ = default_sink();
   }
 }
 
 void Logger::log(LogLevel level, TimePoint t, std::string_view component,
                  std::string_view message) {
-  if (level < level_) return;
+  if (level < this->level()) return;
   std::string line;
   line.reserve(component.size() + message.size() + 2);
   line.append(component);

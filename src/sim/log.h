@@ -1,10 +1,12 @@
 // Minimal leveled logger for simulation diagnostics.
 //
 // Off by default (tests and benches stay quiet); examples turn it on to show
-// the replay as it happens. Not thread-aware: the simulation is
-// single-threaded by design.
+// the replay as it happens. Each simulation is single-threaded, but campaign
+// workers run simulations concurrently, so the level check is atomic; the
+// sink must not be replaced while a campaign is running.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -21,8 +23,10 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   // Replaces the sink (default writes to stderr). Pass nullptr to restore.
   void set_sink(Sink sink);
@@ -32,7 +36,7 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kOff;
+  std::atomic<LogLevel> level_{LogLevel::kOff};
   Sink sink_;
 };
 

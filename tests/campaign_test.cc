@@ -1,0 +1,201 @@
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "apps/web_server.h"
+#include "core/log_export.h"
+#include "core/qoe_doctor.h"
+
+namespace qoed::core {
+namespace {
+
+// A full (but small) simulation run: fresh testbed, one device, one page
+// load. This is what campaign workers execute concurrently, so it doubles as
+// the ThreadSanitizer workload for run isolation.
+RunResult page_load_run(std::uint64_t seed) {
+  Testbed bed(seed);
+  apps::WebServer server(bed.network(), bed.next_server_ip());
+  sim::Rng pages_rng = bed.fork_rng("pages");
+  for (auto& p : apps::make_page_dataset(pages_rng, 2)) server.add_page(p);
+  auto device = bed.make_device("galaxy-s3");
+  device->attach_cellular(radio::CellularConfig::umts());
+  apps::BrowserApp browser(*device);
+  browser.launch();
+  QoeDoctor doctor(*device, browser);
+  BrowserDriver driver(doctor.controller(), browser);
+
+  RunResult out;
+  driver.load_page("www.page.sim/page0", [&](const BehaviorRecord& rec) {
+    if (!rec.timed_out) {
+      out.add_sample("page_load_s",
+                     sim::to_seconds(AppLayerAnalyzer::calibrate(rec)));
+    }
+  });
+  bed.loop().run();
+  out.add_counter("bytes_down", static_cast<double>(device->trace().bytes(
+                                    net::Direction::kDownlink)));
+  return out;
+}
+
+CampaignResult run_campaign(std::size_t jobs, std::size_t runs,
+                            std::uint64_t master_seed) {
+  CampaignConfig cfg;
+  cfg.name = "determinism";
+  cfg.runs = runs;
+  cfg.jobs = jobs;
+  cfg.master_seed = master_seed;
+  Campaign campaign(cfg);
+  return campaign.run([](std::uint64_t seed, const RunSpec&) {
+    return page_load_run(seed);
+  });
+}
+
+TEST(CampaignTest, RunSeedsAreStableAndDistinct) {
+  // The derivation must never change: recorded seeds are the replay handle
+  // for individual runs.
+  EXPECT_EQ(Campaign::run_seed(1, 0), Campaign::run_seed(1, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 100; ++i) {
+    seeds.insert(Campaign::run_seed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 100u);
+  EXPECT_NE(Campaign::run_seed(1, 0), Campaign::run_seed(2, 0));
+}
+
+TEST(CampaignTest, BitIdenticalAcrossThreadCounts) {
+  // Same master seed => identical aggregated output for 1 vs 8 workers,
+  // compared through the byte-exact JSON export.
+  const CampaignResult serial = run_campaign(/*jobs=*/1, /*runs=*/8, 7);
+  const CampaignResult parallel = run_campaign(/*jobs=*/8, /*runs=*/8, 7);
+  EXPECT_EQ(serial.jobs, 1u);
+  EXPECT_EQ(parallel.jobs, 8u);
+
+  const MetricAggregate* m = serial.metric("page_load_s");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->pooled.n, 8u);
+  EXPECT_GT(m->pooled.mean, 0.0);
+
+  // jobs is part of the export (it describes the execution); mask it so the
+  // comparison covers exactly the deterministic payload.
+  std::string a = campaign_to_json_string(serial);
+  std::string b = campaign_to_json_string(parallel);
+  const auto mask = [](std::string& s) {
+    const auto pos = s.find("\"jobs\":");
+    ASSERT_NE(pos, std::string::npos);
+    const auto end = s.find(',', pos);
+    s.erase(pos, end - pos);
+  };
+  mask(a);
+  mask(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CampaignTest, DifferentMasterSeedsChangeResults) {
+  const CampaignResult a = run_campaign(1, 4, 7);
+  const CampaignResult b = run_campaign(1, 4, 8);
+  ASSERT_NE(a.metric("page_load_s"), nullptr);
+  ASSERT_NE(b.metric("page_load_s"), nullptr);
+  EXPECT_NE(a.run_specs[0].seed, b.run_specs[0].seed);
+}
+
+TEST(CampaignTest, MergesInRunIndexOrderWithKnownValues) {
+  CampaignConfig cfg;
+  cfg.runs = 4;
+  cfg.jobs = 2;
+  cfg.cdf_points = 4;
+  Campaign campaign(cfg);
+  const CampaignResult result =
+      campaign.run([](std::uint64_t, const RunSpec& spec) {
+        RunResult out;
+        // Run i contributes samples {i, i+1} => per-run mean i + 0.5.
+        const double i = static_cast<double>(spec.run_index);
+        out.add_sample("m", i);
+        out.add_sample("m", i + 1);
+        out.add_counter("c", 1);
+        return out;
+      });
+
+  const MetricAggregate* m = result.metric("m");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->pooled_samples.size(), 8u);
+  // Concatenated strictly by run index: 0,1,1,2,2,3,3,4.
+  EXPECT_EQ(m->pooled_samples[0], 0.0);
+  EXPECT_EQ(m->pooled_samples[1], 1.0);
+  EXPECT_EQ(m->pooled_samples[6], 3.0);
+  EXPECT_EQ(m->pooled_samples[7], 4.0);
+  EXPECT_DOUBLE_EQ(m->pooled.mean, 2.0);
+  EXPECT_EQ(m->per_run_means.n, 4u);
+  EXPECT_DOUBLE_EQ(m->per_run_means.mean, 2.0);
+  EXPECT_DOUBLE_EQ(m->per_run_means.min, 0.5);
+  EXPECT_DOUBLE_EQ(m->per_run_means.max, 3.5);
+  EXPECT_EQ(m->cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.counters.at("c"), 4.0);
+}
+
+TEST(CampaignTest, CapturesPerRunExceptions) {
+  CampaignConfig cfg;
+  cfg.runs = 6;
+  cfg.jobs = 3;
+  Campaign campaign(cfg);
+  const CampaignResult result =
+      campaign.run([](std::uint64_t, const RunSpec& spec) -> RunResult {
+        if (spec.run_index % 2 == 1) {
+          throw std::runtime_error("boom " + std::to_string(spec.run_index));
+        }
+        RunResult out;
+        out.add_sample("ok", 1.0);
+        return out;
+      });
+
+  EXPECT_EQ(result.failed_runs(), 3u);
+  ASSERT_EQ(result.run_errors.size(), 6u);
+  EXPECT_EQ(result.run_errors[0], "");
+  EXPECT_EQ(result.run_errors[1], "boom 1");
+  EXPECT_EQ(result.run_errors[5], "boom 5");
+  // Failed runs contribute nothing to the aggregates.
+  const MetricAggregate* m = result.metric("ok");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->pooled.n, 3u);
+}
+
+TEST(CampaignTest, DefaultJobsUsesHardwareConcurrency) {
+  CampaignConfig cfg;
+  cfg.runs = 2;
+  cfg.jobs = 0;
+  Campaign campaign(cfg);
+  const CampaignResult result =
+      campaign.run([](std::uint64_t, const RunSpec&) { return RunResult{}; });
+  EXPECT_GE(result.jobs, 1u);
+  EXPECT_LE(result.jobs, 2u);  // clamped to the run count
+  EXPECT_GE(campaign.last_wall_seconds(), 0.0);
+}
+
+TEST(CampaignTest, EmptyCampaignIsWellFormed) {
+  CampaignConfig cfg;
+  cfg.runs = 0;
+  Campaign campaign(cfg);
+  const CampaignResult result =
+      campaign.run([](std::uint64_t, const RunSpec&) { return RunResult{}; });
+  EXPECT_EQ(result.runs, 0u);
+  EXPECT_TRUE(result.metrics.empty());
+  EXPECT_EQ(result.failed_runs(), 0u);
+}
+
+TEST(CampaignTest, JsonExportRecordsReplayHandles) {
+  const CampaignResult result = run_campaign(1, 2, 99);
+  const std::string json = campaign_to_json_string(result);
+  EXPECT_NE(json.find("\"campaign\":\"determinism\""), std::string::npos);
+  EXPECT_NE(json.find("\"master_seed\":99"), std::string::npos);
+  EXPECT_NE(json.find("\"run_seeds\":[" +
+                      std::to_string(Campaign::run_seed(99, 0))),
+            std::string::npos);
+  EXPECT_NE(json.find("\"page_load_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_run_means\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qoed::core

@@ -25,6 +25,20 @@ TEST(StatsTest, EmptySummaryIsZero) {
   EXPECT_EQ(s.mean, 0.0);
 }
 
+TEST(StatsTest, LargeMagnitudeStddevDoesNotCancel) {
+  // Regression: the naive E[x²]−E[x]² formula catastrophically cancels for
+  // large-magnitude samples (e.g. absolute TimePoint microsecond values).
+  // Shifting a sample set by a constant must not change its stddev.
+  const double base = 1e9;
+  Summary s = summarize({base + 1, base + 2, base + 3, base + 4, base + 5});
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-6);
+  EXPECT_DOUBLE_EQ(s.mean, base + 3);
+
+  // Zero spread at large magnitude stays exactly zero (clamp still holds).
+  Summary z = summarize({base, base, base});
+  EXPECT_DOUBLE_EQ(z.stddev, 0.0);
+}
+
 TEST(StatsTest, PercentileInterpolates) {
   std::vector<double> v{0, 10};
   EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 5.0);

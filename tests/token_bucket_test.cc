@@ -48,6 +48,56 @@ TEST(TokenBucketTest, TimeUntilAvailable) {
   EXPECT_EQ(b.time_until_available(0), sim::Duration::zero());
 }
 
+TEST(TokenBucketTest, ZeroRateReturnsNeverInsteadOfInf) {
+  // Regression: a zero-rate bucket (fully-throttled link, §7.5) used to
+  // divide by zero and hand inf/NaN to the scheduler.
+  sim::EventLoop loop;
+  TokenBucket b(loop, /*rate=*/0.0, /*burst=*/100.0);
+  EXPECT_EQ(b.time_until_available(50), sim::Duration::zero());  // burst left
+  ASSERT_TRUE(b.try_consume(100));
+  EXPECT_EQ(b.time_until_available(50), kNeverDuration);
+}
+
+TEST(TokenBucketTest, VanishinglySmallRateSaturatesToNever) {
+  sim::EventLoop loop;
+  TokenBucket b(loop, /*rate=*/1e-9, /*burst=*/10.0);
+  ASSERT_TRUE(b.try_consume(10));
+  // 1e9 bytes at 1e-9 B/s would overflow the microsecond clock; must clamp.
+  EXPECT_EQ(b.time_until_available(1e9), kNeverDuration);
+}
+
+TEST(ShaperTest, ZeroRateQueuesAndDropsWithoutScheduling) {
+  sim::EventLoop loop;
+  PacketFactory f;
+  Shaper shaper(loop, /*rate=*/0.0, /*burst=*/2000.0,
+                /*max_queue_bytes=*/3000);
+  int out = 0;
+  shaper.set_forward([&](Packet) { ++out; });
+  for (int i = 0; i < 10; ++i) {
+    shaper.submit(make_packet(f, 1000 - kHeaderBytes));
+  }
+  // The 2000-byte burst conforms two packets; a queue's worth waits forever;
+  // the rest drop. Crucially no timer is scheduled, so run() terminates.
+  EXPECT_EQ(loop.run(), 0u);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(shaper.queued_bytes(), 3000u);
+  EXPECT_EQ(shaper.dropped_packets(), 5u);
+}
+
+TEST(PolicerTest, ZeroRateDropsEverythingAfterBurst) {
+  sim::EventLoop loop;
+  PacketFactory f;
+  Policer policer(loop, /*rate=*/0.0, /*burst=*/2000.0);
+  int out = 0;
+  policer.set_forward([&](Packet) { ++out; });
+  for (int i = 0; i < 10; ++i) {
+    loop.run_until(sim::TimePoint{sim::sec(i + 1)});
+    policer.submit(make_packet(f, 1000 - kHeaderBytes));
+  }
+  EXPECT_EQ(out, 2);  // burst only, regardless of elapsed time
+  EXPECT_EQ(policer.dropped_packets(), 8u);
+}
+
 TEST(PolicerTest, DropsExcessTraffic) {
   sim::EventLoop loop;
   PacketFactory f;
