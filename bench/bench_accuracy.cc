@@ -89,6 +89,7 @@ RunResult facebook_run(std::uint64_t seed, apps::PostKind kind, int reps) {
       },
       [] {});
   bed.loop().run();
+  doctor.collector().add_counters(out);
   return out;
 }
 
@@ -137,6 +138,7 @@ RunResult pull_to_update_run(std::uint64_t seed, int reps) {
       },
       [] {});
   bed.loop().run();
+  doctor.collector().add_counters(out);
   return out;
 }
 
@@ -191,6 +193,7 @@ RunResult youtube_run(std::uint64_t seed, int videos) {
       },
       [] {});
   bed.loop().run();
+  doctor.collector().add_counters(out);
   return out;
 }
 
@@ -228,6 +231,7 @@ RunResult browser_run(std::uint64_t seed, int reps) {
       },
       [] {});
   bed.loop().run();
+  doctor.collector().add_counters(out);
   return out;
 }
 

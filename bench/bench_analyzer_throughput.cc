@@ -1,0 +1,217 @@
+// Analyzer-throughput micro-benchmark: repeated multi-layer analysis over a
+// large packet trace, copying baseline vs the streaming FlowAnalyzer.
+//
+// Before the collection spine, every QoeDoctor::analyze() call copied the
+// device trace into a fresh FlowAnalyzer and rebuilt all flow state; with
+// the spine, one streaming FlowAnalyzer borrows the trace and analyze() is
+// a cheap borrow. This bench measures both paths over the same synthetic
+// trace (>=100k packets), checks the results agree bit-for-bit, and reports
+// the speedup.
+//
+//   bench_analyzer_throughput [--runs N] [--seed S] [--json FILE]
+//
+//   --runs N   analyze() calls per path          [20]
+//   --seed S   synthetic-trace seed              [97]
+//   --json F   result JSON path                  [BENCH_analyzer.json]
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/cross_layer_analyzer.h"
+#include "core/flow_analyzer.h"
+#include "net/dns.h"
+
+namespace qoed {
+namespace {
+
+constexpr std::size_t kTracePackets = 120'000;
+constexpr std::size_t kFlows = 64;
+
+// Synthesizes a plausible trace: per-flow DNS lookup + handshake, then data
+// segments with cumulative ACKs and occasional retransmissions, round-robin
+// across flows so flow state churns the way a real capture does.
+std::vector<net::PacketRecord> make_trace(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const net::IpAddr device(10, 0, 0, 2);
+  std::vector<net::PacketRecord> trace;
+  trace.reserve(kTracePackets);
+
+  struct FlowState {
+    net::IpAddr server;
+    net::Port sport;
+    std::uint64_t next_seq = 0;
+  };
+  std::vector<FlowState> flows;
+  std::uint64_t uid = 0;
+  sim::TimePoint now = sim::kTimeZero;
+
+  auto base = [&](net::Direction dir, const FlowState& f) {
+    net::PacketRecord r;
+    r.uid = ++uid;
+    r.timestamp = now;
+    r.direction = dir;
+    if (dir == net::Direction::kUplink) {
+      r.src_ip = device;
+      r.src_port = f.sport;
+      r.dst_ip = f.server;
+      r.dst_port = 443;
+    } else {
+      r.src_ip = f.server;
+      r.src_port = 443;
+      r.dst_ip = device;
+      r.dst_port = f.sport;
+    }
+    return r;
+  };
+
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    FlowState f;
+    f.server = net::IpAddr(31, 13, static_cast<std::uint8_t>(i / 250),
+                           static_cast<std::uint8_t>(i % 250 + 1));
+    f.sport = static_cast<net::Port>(40000 + i);
+    now = now + sim::usec(200);
+
+    net::PacketRecord dns;  // response only — enough to fill the DNS table
+    dns.uid = ++uid;
+    dns.timestamp = now;
+    dns.direction = net::Direction::kDownlink;
+    dns.src_ip = net::IpAddr(8, 8, 8, 8);
+    dns.src_port = net::kDnsPort;
+    dns.dst_ip = device;
+    dns.dst_port = 50000;
+    dns.protocol = net::Protocol::kUdp;
+    dns.payload_size = 60;
+    auto msg = std::make_shared<net::DnsMessage>();
+    msg->hostname = "cdn" + std::to_string(i) + ".example.sim";
+    msg->resolved = f.server;
+    msg->is_response = true;
+    dns.dns = msg;
+    trace.push_back(dns);
+
+    auto syn = base(net::Direction::kUplink, f);
+    syn.flags = {.syn = true};
+    trace.push_back(syn);
+    now = now + sim::usec(30'000);
+    auto synack = base(net::Direction::kDownlink, f);
+    synack.flags = {.syn = true, .ack = true};
+    trace.push_back(synack);
+    flows.push_back(f);
+  }
+
+  while (trace.size() < kTracePackets) {
+    FlowState& f = flows[rng.uniform_int(0, static_cast<int>(kFlows) - 1)];
+    now = now + sim::usec(rng.uniform_int(50, 2'000));
+    const bool retx = rng.uniform() < 0.01 && f.next_seq > 0;
+    auto data = base(net::Direction::kUplink, f);
+    data.payload_size = 1400;
+    data.seq = retx ? f.next_seq - 1400 : f.next_seq;
+    data.flags.ack = true;
+    trace.push_back(data);
+    if (!retx) f.next_seq += 1400;
+    now = now + sim::usec(rng.uniform_int(100, 80'000));
+    auto ack = base(net::Direction::kDownlink, f);
+    ack.ack = f.next_seq;
+    ack.flags.ack = true;
+    trace.push_back(ack);
+  }
+  return trace;
+}
+
+// The per-call analysis workload: a window split over the middle of the
+// trace plus a bytes query, via a fresh CrossLayerAnalyzer (cheap — the
+// FlowAnalyzer carries all the state).
+double analysis_pass(const core::FlowAnalyzer& flows,
+                     const core::BehaviorRecord& record) {
+  const core::CrossLayerAnalyzer cross(flows);
+  const core::DeviceNetworkSplit split = cross.device_network_split(record);
+  const auto vol =
+      flows.bytes_in_window(record.start, record.end, "cdn1.example.sim");
+  return split.network_s + static_cast<double>(vol.total());
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+}  // namespace qoed
+
+int main(int argc, char** argv) {
+  using namespace qoed;
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const std::size_t runs = opts.runs ? opts.runs : 20;
+  const std::uint64_t seed = opts.seed ? opts.seed : 97;
+  const std::string json =
+      opts.json_path.empty() ? "BENCH_analyzer.json" : opts.json_path;
+
+  bench::banner("analyzer throughput: copying baseline vs streaming spine",
+                "collection-spine refactor (no paper figure)");
+
+  const std::vector<net::PacketRecord> trace = make_trace(seed);
+  std::printf("trace: %zu packets, %zu flows\n", trace.size(), kFlows);
+
+  // QoE window covering the middle half of the trace.
+  core::BehaviorRecord record;
+  record.action = "bench";
+  record.trigger = trace[trace.size() / 4].timestamp;
+  record.start = record.trigger;
+  record.end = trace[(3 * trace.size()) / 4].timestamp;
+
+  // Copying baseline: what analyze() cost before the spine — copy the trace,
+  // rebuild every flow, then run the pass.
+  double baseline_check = 0;
+  const auto t_base = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < runs; ++i) {
+    const std::vector<net::PacketRecord> copy = trace;
+    const core::FlowAnalyzer rebuilt(copy);
+    baseline_check += analysis_pass(rebuilt, record);
+  }
+  const double baseline_s = seconds_since(t_base);
+
+  // Streaming path: one FlowAnalyzer borrows the trace; each analyze() is a
+  // fresh CrossLayerAnalyzer over the same state.
+  const core::FlowAnalyzer streaming(trace);
+  double streaming_check = 0;
+  const auto t_stream = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < runs; ++i) {
+    streaming_check += analysis_pass(streaming, record);
+  }
+  const double streaming_s = seconds_since(t_stream);
+
+  if (baseline_check != streaming_check) {
+    std::fprintf(stderr,
+                 "FAIL: streaming analysis diverged from baseline "
+                 "(%.17g != %.17g)\n",
+                 streaming_check, baseline_check);
+    return 1;
+  }
+
+  const double speedup = baseline_s / streaming_s;
+  const double per_call_base_ms = baseline_s * 1e3 / static_cast<double>(runs);
+  const double per_call_stream_ms =
+      streaming_s * 1e3 / static_cast<double>(runs);
+  std::printf("baseline  (copy + rebuild): %8.2f ms/analyze\n",
+              per_call_base_ms);
+  std::printf("streaming (borrow)        : %8.4f ms/analyze\n",
+              per_call_stream_ms);
+  std::printf("speedup: %.1fx over %zu analyze() calls (bit-identical)\n",
+              speedup, runs);
+
+  bench::write_bench_json(
+      json, "analyzer_throughput",
+      {{"packets", static_cast<double>(trace.size())},
+       {"runs", static_cast<double>(runs)},
+       {"baseline_ms_per_call", per_call_base_ms},
+       {"streaming_ms_per_call", per_call_stream_ms},
+       {"speedup", speedup}});
+  std::printf("wrote %s\n", json.c_str());
+
+  // The refactor's acceptance bar: repeated analysis must be at least 5x
+  // cheaper than the copying baseline.
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: speedup %.1fx below the 5x bar\n", speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <functional>
 #include <string>
 
+#include "core/json_util.h"
 #include "core/log_export.h"
 #include "core/qoe_doctor.h"
 
@@ -93,6 +94,23 @@ inline void report_campaign(const core::Campaign& campaign,
     std::ofstream os(opts.json_path, std::ios::app);
     core::export_campaign_json(os, result);
   }
+}
+
+// Writes one micro-benchmark result as a flat JSON object (appends, one
+// object per line, so repeated runs accumulate a JSONL series).
+inline void write_bench_json(
+    const std::string& path, const std::string& name,
+    const std::vector<std::pair<std::string, double>>& values) {
+  std::ofstream os(path, std::ios::app);
+  os << "{\"bench\":";
+  core::put_json_string(os, name);
+  for (const auto& [key, v] : values) {
+    os << ',';
+    core::put_json_string(os, key);
+    os << ':';
+    core::put_json_number(os, v);
+  }
+  os << "}\n";
 }
 
 inline void banner(const std::string& title, const std::string& paper_ref) {

@@ -13,6 +13,8 @@
 //   --seed=N                              simulation seed    [1]
 //   --pcap=FILE                           write libpcap capture
 //   --qxdm=FILE                           write QxDM-style text log
+//   --timeline=FILE                       write merged cross-layer JSONL
+//   --counters                            print collection-spine counters
 //   pageload: --pages=N [5]  --think=SECONDS [20]
 //   post:     --kind=status|checkin|photos [status]  --reps=N [10]
 //   video:    --videos=N [3] --throttle=KBPS [0=off]
@@ -26,8 +28,7 @@
 #include "apps/social_server.h"
 #include "apps/video_server.h"
 #include "apps/web_server.h"
-#include "core/log_export.h"
-#include "core/pcap_writer.h"
+#include "core/export_sink.h"
 #include "core/qoe_doctor.h"
 #include "core/speed_index.h"
 
@@ -92,21 +93,29 @@ void attach_network(device::Device& dev, const Options& opt) {
   dev.attach_cellular(cfg);
 }
 
-void export_artifacts(device::Device& dev, const Options& opt) {
-  const std::string pcap = opt.get("pcap", "");
-  if (!pcap.empty()) {
-    if (core::write_pcap_file(pcap, dev.trace().records())) {
-      std::printf("wrote %zu packets to %s\n", dev.trace().records().size(),
-                  pcap.c_str());
-    } else {
-      std::printf("FAILED to write %s\n", pcap.c_str());
-    }
+void run_sink(const core::ExportSink& sink, const std::string& path) {
+  if (sink.write_file(path)) {
+    std::printf("wrote %s to %s\n", std::string(sink.id()).c_str(),
+                path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", path.c_str());
   }
+}
+
+void export_artifacts(device::Device& dev, core::QoeDoctor& doctor,
+                      const Options& opt) {
+  const std::string pcap = opt.get("pcap", "");
+  if (!pcap.empty()) run_sink(core::PcapSink(dev.trace().records()), pcap);
   const std::string qxdm = opt.get("qxdm", "");
   if (!qxdm.empty() && dev.cellular() != nullptr) {
-    std::ofstream out(qxdm);
-    core::export_qxdm(out, dev.cellular()->qxdm());
-    std::printf("wrote radio log to %s\n", qxdm.c_str());
+    run_sink(core::QxdmTextSink(dev.cellular()->qxdm()), qxdm);
+  }
+  const std::string timeline = opt.get("timeline", "");
+  if (!timeline.empty()) {
+    run_sink(core::TimelineJsonlSink(doctor.collector()), timeline);
+  }
+  if (opt.get_int("counters", 0) != 0) {
+    doctor.collector().counters_table().print();
   }
 }
 
@@ -163,7 +172,7 @@ int run_pageload(const Options& opt) {
   std::printf("\nmean %.2fs, stddev %.2fs over %zu pages\n", s.mean, s.stddev,
               s.n);
   print_radio_summary(*dev, doctor, bed.loop().now());
-  export_artifacts(*dev, opt);
+  export_artifacts(*dev, doctor, opt);
   return 0;
 }
 
@@ -215,7 +224,7 @@ int run_post(const Options& opt) {
   }
   t.print();
   print_radio_summary(*dev, doctor, bed.loop().now());
-  export_artifacts(*dev, opt);
+  export_artifacts(*dev, doctor, opt);
   return 0;
 }
 
@@ -264,7 +273,7 @@ int run_video(const Options& opt) {
   bed.loop().run();
   t.print();
   print_radio_summary(*dev, doctor, bed.loop().now());
-  export_artifacts(*dev, opt);
+  export_artifacts(*dev, doctor, opt);
   return 0;
 }
 
@@ -272,7 +281,7 @@ void usage() {
   std::printf(
       "usage: qoed_cli <pageload|post|video> [--network=wifi|3g|"
       "3g-simplified|lte]\n"
-      "  [--seed=N] [--pcap=FILE] [--qxdm=FILE]\n"
+      "  [--seed=N] [--pcap=FILE] [--qxdm=FILE] [--timeline=FILE] [--counters]\n"
       "  pageload: [--pages=N] [--think=SECONDS]\n"
       "  post:     [--kind=status|checkin|photos] [--reps=N]\n"
       "  video:    [--videos=N] [--throttle=KBPS]"

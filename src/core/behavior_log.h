@@ -3,8 +3,18 @@
 // Every replayed interaction produces one record with the raw measurement
 // timestamps; the application-layer analyzer applies the t_parsing/t_offset
 // calibration of §5.1 to recover the true UI latency.
+//
+// AppBehaviorLog is one of the three collection front-ends behind the
+// core::Collector spine: a tap observes every appended record (and clears),
+// which is how UI events reach the unified cross-layer timeline.
+//
+// Collection contract (shared with the other front-ends): start() resumes
+// logging, stop() suspends it (suppressed records are counted, not stored),
+// clear() empties the store and resets the drop counter.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -46,15 +56,47 @@ struct BehaviorRecord {
 
 class AppBehaviorLog {
  public:
-  void add(BehaviorRecord record) { records_.push_back(std::move(record)); }
+  // Observes appended records; `index` is the record's position in
+  // records(). One tap slot (last set_tap wins) — the spine owns it.
+  using Tap = std::function<void(const BehaviorRecord& record,
+                                 std::size_t index)>;
+
+  void add(BehaviorRecord record) {
+    if (!running_) {
+      ++dropped_;
+      return;
+    }
+    records_.push_back(std::move(record));
+    if (tap_) tap_(records_.back(), records_.size() - 1);
+  }
   const std::vector<BehaviorRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+
+  bool running() const { return running_; }
+  void start() { running_ = true; }
+  void stop() { running_ = false; }
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+    if (clear_tap_) clear_tap_();
+  }
+
+  void set_tap(Tap on_add, std::function<void()> on_clear = nullptr) {
+    tap_ = std::move(on_add);
+    clear_tap_ = std::move(on_clear);
+  }
+
+  // Records offered while stopped (not stored). Reset by clear().
+  std::uint64_t records_dropped() const { return dropped_; }
 
   // All records for a given action name.
   std::vector<BehaviorRecord> for_action(const std::string& action) const;
 
  private:
+  bool running_ = true;
+  std::uint64_t dropped_ = 0;
   std::vector<BehaviorRecord> records_;
+  Tap tap_;
+  std::function<void()> clear_tap_;
 };
 
 }  // namespace qoed::core

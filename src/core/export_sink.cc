@@ -1,0 +1,145 @@
+#include "core/export_sink.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/json_util.h"
+#include "core/log_export.h"
+#include "net/dns.h"
+
+namespace qoed::core {
+namespace {
+
+void put_jsonl_envelope(std::ostream& os, const Collector& c, const Event& e) {
+  (void)c;
+  os << "{\"t\":";
+  put_json_number(os, e.at.seconds());
+  os << ",\"seq\":" << e.seq << ",\"layer\":\"" << to_string(e.layer)
+     << "\",\"kind\":\"" << to_string(e.kind) << '"';
+}
+
+void put_jsonl_behavior(std::ostream& os, const BehaviorRecord& r) {
+  os << ",\"action\":";
+  put_json_string(os, r.action);
+  os << ",\"start\":";
+  put_json_number(os, r.start.seconds());
+  os << ",\"end\":";
+  put_json_number(os, r.end.seconds());
+  os << ",\"timed_out\":" << (r.timed_out ? "true" : "false");
+  if (!r.timed_out) {
+    os << ",\"raw_s\":";
+    put_json_number(os, sim::to_seconds(r.raw_latency()));
+  }
+  if (!r.metadata.empty()) {
+    os << ",\"metadata\":{";
+    bool first = true;
+    for (const auto& [k, v] : r.metadata) {
+      if (!first) os << ',';
+      first = false;
+      put_json_string(os, k);
+      os << ':';
+      put_json_string(os, v);
+    }
+    os << '}';
+  }
+}
+
+void put_jsonl_packet(std::ostream& os, const net::PacketRecord& r) {
+  os << ",\"dir\":\"" << net::to_string(r.direction) << "\",\"src\":";
+  put_json_string(os, r.src_ip.to_string() + ':' + std::to_string(r.src_port));
+  os << ",\"dst\":";
+  put_json_string(os, r.dst_ip.to_string() + ':' + std::to_string(r.dst_port));
+  os << ",\"proto\":\""
+     << (r.protocol == net::Protocol::kUdp ? "udp" : "tcp") << '"';
+  if (r.protocol == net::Protocol::kTcp) {
+    os << ",\"flags\":";
+    put_json_string(os, r.flags.to_string());
+    os << ",\"tcp_seq\":" << r.seq << ",\"tcp_ack\":" << r.ack;
+  } else if (r.dns) {
+    os << ",\"dns\":";
+    put_json_string(os, r.dns->hostname);
+    os << ",\"dns_resp\":" << (r.dns->is_response ? "true" : "false");
+  }
+  os << ",\"len\":" << r.payload_size;
+}
+
+void put_jsonl_pdu(std::ostream& os, const radio::PduRecord& r) {
+  os << ",\"dir\":\"" << net::to_string(r.dir) << "\",\"rlc_seq\":" << r.seq
+     << ",\"len\":" << r.payload_len;
+  if (r.poll) os << ",\"poll\":true";
+  if (r.retransmission) os << ",\"retx\":true";
+}
+
+void put_jsonl_rrc(std::ostream& os, const radio::RrcTransitionRecord& r) {
+  os << ",\"from\":\"" << radio::to_string(r.from) << "\",\"to\":\""
+     << radio::to_string(r.to) << '"';
+}
+
+void put_jsonl_status(std::ostream& os, const radio::StatusRecord& r) {
+  os << ",\"dir\":\"" << net::to_string(r.data_dir)
+     << "\",\"ack_until\":" << r.ack_until << ",\"nacks\":" << r.nack_count;
+}
+
+}  // namespace
+
+bool ExportSink::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write(os);
+  return static_cast<bool>(os);
+}
+
+std::string ExportSink::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void TraceTextSink::write(std::ostream& os) const {
+  export_trace(os, *trace_, max_lines_);
+}
+
+void QxdmTextSink::write(std::ostream& os) const {
+  export_qxdm(os, *log_, max_lines_);
+}
+
+void BehaviorTextSink::write(std::ostream& os) const {
+  export_behavior_log(os, *log_);
+}
+
+void PcapSink::write(std::ostream& os) const {
+  const std::vector<std::uint8_t> bytes = to_pcap(*trace_, options_);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+void CampaignJsonSink::write(std::ostream& os) const {
+  export_campaign_json(os, *result_);
+}
+
+void TimelineJsonlSink::write(std::ostream& os) const {
+  for (const Event& e : collector_->timeline()) {
+    put_jsonl_envelope(os, *collector_, e);
+    switch (e.kind) {
+      case EventKind::kBehavior:
+        put_jsonl_behavior(os, collector_->behavior(e));
+        break;
+      case EventKind::kPacket:
+        put_jsonl_packet(os, collector_->packet(e));
+        break;
+      case EventKind::kPdu:
+        put_jsonl_pdu(os, collector_->pdu(e));
+        break;
+      case EventKind::kRrcTransition:
+        put_jsonl_rrc(os, collector_->rrc_transition(e));
+        break;
+      case EventKind::kStatus:
+        put_jsonl_status(os, collector_->status(e));
+        break;
+    }
+    os << "}\n";
+  }
+}
+
+}  // namespace qoed::core

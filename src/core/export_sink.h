@@ -1,0 +1,126 @@
+// Pluggable export sinks.
+//
+// Every exporter the tool knows — the tcpdump-like trace text, the QxDM-like
+// radio text, the behavior-log text, the binary pcap and the campaign JSON —
+// is exposed through one ExportSink interface: a named artifact that can
+// serialize itself to any std::ostream, a file, or a string. On top of the
+// collection spine there is additionally a merged JSON-lines timeline export
+// (one event envelope + payload per line, all three layers interleaved in
+// capture order) for offline tooling.
+//
+// Sinks borrow their sources (trace vector, QxdmLogger, Collector, …); a
+// sink must not outlive what it was constructed over, and writes snapshot
+// whatever the source holds at write() time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/behavior_log.h"
+#include "core/campaign.h"
+#include "core/collector.h"
+#include "core/pcap_writer.h"
+#include "net/trace.h"
+#include "radio/qxdm_logger.h"
+
+namespace qoed::core {
+
+class ExportSink {
+ public:
+  virtual ~ExportSink() = default;
+
+  // Artifact identity, conventionally a file name ("trace.txt",
+  // "timeline.jsonl", "trace.pcap").
+  virtual std::string_view id() const = 0;
+  virtual void write(std::ostream& os) const = 0;
+
+  // Writes the artifact to `path` (binary-safe); false on I/O failure.
+  bool write_file(const std::string& path) const;
+  std::string to_string() const;
+};
+
+// One line per packet, tcpdump-style (see log_export.h).
+class TraceTextSink final : public ExportSink {
+ public:
+  explicit TraceTextSink(const std::vector<net::PacketRecord>& trace,
+                         std::size_t max_lines = 0)
+      : trace_(&trace), max_lines_(max_lines) {}
+  std::string_view id() const override { return "trace.txt"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const std::vector<net::PacketRecord>* trace_;
+  std::size_t max_lines_;
+};
+
+// RRC transitions + data PDUs + STATUS PDUs, QxDM-style.
+class QxdmTextSink final : public ExportSink {
+ public:
+  explicit QxdmTextSink(const radio::QxdmLogger& log,
+                        std::size_t max_lines = 0)
+      : log_(&log), max_lines_(max_lines) {}
+  std::string_view id() const override { return "qxdm.txt"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const radio::QxdmLogger* log_;
+  std::size_t max_lines_;
+};
+
+// AppBehaviorLog rendering with raw and calibrated latencies.
+class BehaviorTextSink final : public ExportSink {
+ public:
+  explicit BehaviorTextSink(const AppBehaviorLog& log) : log_(&log) {}
+  std::string_view id() const override { return "behavior.txt"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const AppBehaviorLog* log_;
+};
+
+// Binary libpcap capture of the packet trace (see pcap_writer.h).
+class PcapSink final : public ExportSink {
+ public:
+  explicit PcapSink(const std::vector<net::PacketRecord>& trace,
+                    PcapOptions options = {})
+      : trace_(&trace), options_(options) {}
+  std::string_view id() const override { return "trace.pcap"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const std::vector<net::PacketRecord>* trace_;
+  PcapOptions options_;
+};
+
+// CampaignResult as JSON (see log_export.h).
+class CampaignJsonSink final : public ExportSink {
+ public:
+  explicit CampaignJsonSink(const CampaignResult& result) : result_(&result) {}
+  std::string_view id() const override { return "campaign.json"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const CampaignResult* result_;
+};
+
+// Merged cross-layer timeline as JSON lines: one object per event, in the
+// spine's capture order, e.g.
+//   {"t":1.002334,"seq":7,"layer":"packet","kind":"packet","dir":"UL",...}
+//   {"t":1.032334,"seq":8,"layer":"radio","kind":"pdu","rlc_seq":12,...}
+//   {"t":1.062334,"seq":9,"layer":"ui","kind":"behavior","action":"...",...}
+// Doubles are emitted with round-trip precision, so two bit-identical runs
+// produce byte-identical exports.
+class TimelineJsonlSink final : public ExportSink {
+ public:
+  explicit TimelineJsonlSink(const Collector& collector)
+      : collector_(&collector) {}
+  std::string_view id() const override { return "timeline.jsonl"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const Collector* collector_;
+};
+
+}  // namespace qoed::core

@@ -5,6 +5,21 @@
 // and computes per-flow data consumption, retransmissions, RTT and
 // throughput — the raw material for mobile-data metrics and for the
 // cross-layer analyses.
+//
+// The analyzer is *incremental*: it borrows the trace vector (zero copy) and
+// folds packets into FlowStats one record at a time, so it can either be
+// built over a finished trace or subscribe to the collection spine's packet
+// events and stay current while the experiment runs (attach()). Repeated
+// analysis passes (QoeDoctor::analyze) therefore reuse one analyzer instead
+// of copying the trace and rebuilding per call.
+//
+// Lifetime rules: the borrowed trace vector must outlive the analyzer and
+// must only grow (append) between sync() calls — the per-layer stores behind
+// core::Collector satisfy this, and a clear is delivered as
+// on_layers_cleared which resets the analyzer. Hostnames attach to a flow
+// from the DNS facts seen so far; a response arriving after the flow's first
+// packet backfills the name, so the end state matches a batch build over the
+// same trace.
 #pragma once
 
 #include <map>
@@ -12,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/collector.h"
 #include "core/stats.h"
 #include "net/trace.h"
 
@@ -41,12 +57,34 @@ struct FlowStats {
   }
 };
 
-class FlowAnalyzer {
+class FlowAnalyzer : public CollectorSink {
  public:
+  // Borrows `trace` (no copy) and ingests everything it currently holds.
   explicit FlowAnalyzer(const std::vector<net::PacketRecord>& trace);
+  ~FlowAnalyzer() override;
+  FlowAnalyzer(const FlowAnalyzer&) = delete;
+  FlowAnalyzer& operator=(const FlowAnalyzer&) = delete;
+
+  // Subscribes to the spine's packet events: every captured packet is folded
+  // in as it arrives, and a packet-layer clear resets the analysis. The
+  // collector's trace store must be the vector this analyzer borrows.
+  void attach(Collector& collector);
+
+  // Folds in any records appended to the borrowed trace since the last
+  // sync/ingest. (No-op when attached to a collector — events keep us
+  // current.)
+  void sync();
+
+  // Number of trace records folded in so far.
+  std::size_t consumed() const { return consumed_; }
 
   const std::vector<FlowStats>& flows() const { return flows_; }
-  const std::vector<net::PacketRecord>& trace() const { return trace_; }
+  const std::vector<net::PacketRecord>& trace() const { return *trace_; }
+
+  // CollectorSink: packet events -> sync; packet-layer clear -> reset.
+  void on_event(const Collector& collector, const Event& event) override;
+  void on_layers_cleared(const Collector& collector,
+                         std::uint32_t layer_mask) override;
 
   // Hostname an address resolved to in this trace (empty if none).
   std::string hostname_of(net::IpAddr addr) const;
@@ -84,13 +122,57 @@ class FlowAnalyzer {
       const std::string& hostname_substr = "") const;
 
  private:
-  void build_dns_table();
-  void build_flows();
+  // Per-flow transient state carried across ingests.
+  struct BuildState {
+    std::uint64_t max_seq_end_up = 0;
+    std::uint64_t max_seq_end_down = 0;
+    std::optional<sim::TimePoint> syn_at;
+    // Outstanding uplink data segments awaiting a cumulative ACK, as
+    // (seq_end -> send time); retransmitted ranges are dropped (Karn).
+    std::map<std::uint64_t, sim::TimePoint> pending_up;
+  };
 
-  std::vector<net::PacketRecord> trace_;
+  // Per-group window index: packet timestamps (nondecreasing for captured
+  // traces — virtual time is monotone) with cumulative per-direction byte
+  // sums, so window queries cost two binary searches instead of a scan over
+  // every record. Sums are exact (uint64), so the fast path returns the
+  // same values the linear scan would.
+  struct WindowIndex {
+    std::vector<sim::TimePoint> at;
+    std::vector<std::uint64_t> cum_up;
+    std::vector<std::uint64_t> cum_down;
+
+    void push(sim::TimePoint t, net::Direction dir, std::uint64_t bytes);
+    // [lo, hi) range of entries with at in [start, end].
+    std::pair<std::size_t, std::size_t> range(sim::TimePoint start,
+                                              sim::TimePoint end) const;
+    Volume bytes_between(sim::TimePoint start, sim::TimePoint end) const;
+  };
+
+  void ingest(const net::PacketRecord& r, std::size_t index);
+  void reset();
+  Volume bytes_in_window_linear(sim::TimePoint start, sim::TimePoint end,
+                                const std::string& hostname_substr) const;
+  // Index of `flow` within flows_, or npos when it isn't ours.
+  std::size_t index_of(const FlowStats& flow) const;
+
+  const std::vector<net::PacketRecord>* trace_;
+  std::size_t consumed_ = 0;
+  Collector* collector_ = nullptr;
+
   std::map<net::IpAddr, std::string> dns_table_;
   std::vector<FlowStats> flows_;
   std::map<net::FlowKey, std::size_t> flow_index_;
+  std::map<net::FlowKey, BuildState> build_;
+
+  // Window indexes: one per flow (parallel to flows_) plus one per remote
+  // address for non-TCP traffic. `time_ordered_` drops to false if the
+  // borrowed trace ever steps backwards in time (hand-built traces); the
+  // window queries then fall back to linear scans.
+  std::vector<WindowIndex> flow_window_;
+  std::map<net::IpAddr, WindowIndex> other_window_;
+  bool time_ordered_ = true;
+  sim::TimePoint last_ts_;
 };
 
 }  // namespace qoed::core

@@ -1,0 +1,48 @@
+// Minimal JSON emission helpers shared by the exporters (log_export,
+// export_sink). Numbers use %.17g so distinct doubles never collapse to the
+// same text (round-trip precision) — two bit-identical results therefore
+// produce byte-identical JSON; strings escape the minimum JSON set.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace qoed::core {
+
+inline void put_json_number(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+inline void put_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace qoed::core

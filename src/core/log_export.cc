@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/app_analyzer.h"
+#include "core/json_util.h"
 #include "net/dns.h"
 
 namespace qoed::core {
@@ -13,43 +14,6 @@ namespace {
 
 void put_time(std::ostream& os, sim::TimePoint t) {
   os << std::fixed << std::setprecision(6) << t.seconds() << ' ';
-}
-
-// JSON helpers. Numbers use %.17g so distinct doubles never collapse to the
-// same text (round-trip precision); strings escape the minimum JSON set.
-void put_json_number(std::ostream& os, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  os << buf;
-}
-
-void put_json_string(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
 }
 
 void put_json_summary(std::ostream& os, const Summary& s) {

@@ -2,8 +2,20 @@
 
 namespace qoed::core {
 
-MultiLayerAnalyzer::MultiLayerAnalyzer(device::Device& dev) : device_(dev) {
-  flows_ = std::make_unique<FlowAnalyzer>(dev.trace().records());
+MultiLayerAnalyzer::MultiLayerAnalyzer(device::Device& dev, FlowAnalyzer& flows)
+    : device_(dev), flows_(&flows) {
+  cross_ = std::make_unique<CrossLayerAnalyzer>(*flows_);
+  if (auto* cell = dev.cellular()) {
+    rrc_ = std::make_unique<RrcAnalyzer>(cell->qxdm(), cell->config().rrc);
+    energy_ = std::make_unique<EnergyAnalyzer>(cell->qxdm(),
+                                               cell->config().rrc);
+  }
+}
+
+MultiLayerAnalyzer::MultiLayerAnalyzer(device::Device& dev)
+    : device_(dev),
+      owned_flows_(std::make_unique<FlowAnalyzer>(dev.trace().records())) {
+  flows_ = owned_flows_.get();
   cross_ = std::make_unique<CrossLayerAnalyzer>(*flows_);
   if (auto* cell = dev.cellular()) {
     rrc_ = std::make_unique<RrcAnalyzer>(cell->qxdm(), cell->config().rrc);
@@ -34,12 +46,13 @@ std::optional<FineBreakdown> MultiLayerAnalyzer::fine_breakdown(
 
 QoeDoctor::QoeDoctor(device::Device& dev, apps::AndroidApp& app,
                      UiControllerConfig cfg)
-    : device_(dev), controller_(dev, app, cfg) {}
-
-void QoeDoctor::reset_collection() {
-  controller_.log().clear();
-  device_.trace().clear();
-  if (auto* cell = device_.cellular()) cell->qxdm().clear();
+    : device_(dev),
+      controller_(dev, app, cfg),
+      flows_(dev.trace().records()) {
+  collector_.attach(dev, controller_.log());
+  flows_.attach(collector_);
 }
+
+void QoeDoctor::reset_collection() { collector_.clear(); }
 
 }  // namespace qoed::core

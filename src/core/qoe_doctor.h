@@ -14,8 +14,10 @@
 #include "core/app_analyzer.h"
 #include "core/behavior_log.h"
 #include "core/campaign.h"
+#include "core/collector.h"
 #include "core/cross_layer_analyzer.h"
 #include "core/drivers.h"
+#include "core/export_sink.h"
 #include "core/flow_analyzer.h"
 #include "core/report.h"
 #include "core/rlc_mapper.h"
@@ -27,11 +29,17 @@
 
 namespace qoed::core {
 
-// Offline analysis bundle built from whatever the device collected. Owns
-// the FlowAnalyzer (which copies the trace) and the optional radio-layer
-// analyzers (valid only while the device's cellular link is alive).
+// Analysis bundle over whatever the device collected. Borrows a streaming
+// FlowAnalyzer (zero copy — QoeDoctor::analyze passes its own, which stays
+// current via the collection spine) or, in the self-contained form, builds
+// one over the device trace without copying it. The optional radio-layer
+// analyzers are valid only while the device's cellular link is alive.
 class MultiLayerAnalyzer {
  public:
+  // Borrowing form: `flows` must outlive the analyzer and must analyze the
+  // device's own trace.
+  MultiLayerAnalyzer(device::Device& dev, FlowAnalyzer& flows);
+  // Self-contained form: builds a FlowAnalyzer over the device trace.
   explicit MultiLayerAnalyzer(device::Device& dev);
 
   FlowAnalyzer& flows() { return *flows_; }
@@ -53,7 +61,8 @@ class MultiLayerAnalyzer {
 
  private:
   device::Device& device_;
-  std::unique_ptr<FlowAnalyzer> flows_;
+  FlowAnalyzer* flows_ = nullptr;         // borrowed, or owned_flows_.get()
+  std::unique_ptr<FlowAnalyzer> owned_flows_;
   std::unique_ptr<CrossLayerAnalyzer> cross_;
   std::unique_ptr<RrcAnalyzer> rrc_;
   std::unique_ptr<EnergyAnalyzer> energy_;
@@ -68,16 +77,28 @@ class QoeDoctor {
   AppBehaviorLog& log() { return controller_.log(); }
   device::Device& device() { return device_; }
 
-  // Snapshot analysis of everything collected so far.
-  MultiLayerAnalyzer analyze() { return MultiLayerAnalyzer(device_); }
+  // The unified collection spine: merged cross-layer timeline, subscriber
+  // API, per-layer counters, start/stop/clear control.
+  Collector& collector() { return collector_; }
+  const Collector& collector() const { return collector_; }
+
+  // The streaming transport-layer analysis, kept current by the spine.
+  FlowAnalyzer& flows() { return flows_; }
+
+  // Analysis of everything collected so far; borrows the streaming
+  // FlowAnalyzer, so no trace copy and no per-call rebuild.
+  MultiLayerAnalyzer analyze() { return MultiLayerAnalyzer(device_, flows_); }
 
   // Clears all collected data (behavior log, trace, radio log) so separate
-  // experiment phases don't contaminate each other.
+  // experiment phases don't contaminate each other. Drop counters reset
+  // with the stores; high-water marks survive.
   void reset_collection();
 
  private:
   device::Device& device_;
   UiController controller_;
+  Collector collector_;   // declared before flows_: flows_ detaches first
+  FlowAnalyzer flows_;
 };
 
 }  // namespace qoed::core

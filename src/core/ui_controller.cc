@@ -139,7 +139,9 @@ void UiController::finish_wait(std::size_t index, sim::TimePoint end,
                  wait.record.action + " " +
                      (timed_out ? "TIMEOUT" : sim::format_duration(
                                                   wait.record.raw_latency())));
-  if (wait.done) wait.done(log_.records().back());
+  // Hand the local record to `done`, not log_.records().back(): a stopped
+  // collection spine drops the log append, but the wait still completed.
+  if (wait.done) wait.done(wait.record);
 }
 
 }  // namespace qoed::core

@@ -26,6 +26,7 @@ void Device::attach_wifi(net::WifiConfig cfg) {
   wifi_ = std::make_unique<net::WifiLink>(network_.loop(), rng_.fork("wifi"),
                                           cfg);
   network_.attach_access_link(ip(), *wifi_);
+  if (access_link_listener_) access_link_listener_();
 }
 
 void Device::attach_cellular(radio::CellularConfig cfg) {
@@ -33,12 +34,15 @@ void Device::attach_cellular(radio::CellularConfig cfg) {
   cellular_ = std::make_unique<radio::CellularLink>(
       network_.loop(), rng_.fork("cellular"), std::move(cfg));
   network_.attach_access_link(ip(), *cellular_);
+  if (access_link_listener_) access_link_listener_();
 }
 
 void Device::detach_network() {
-  if (wifi_ || cellular_) network_.detach_access_link(ip());
+  const bool had_link = wifi_ || cellular_;
+  if (had_link) network_.detach_access_link(ip());
   wifi_.reset();
   cellular_.reset();
+  if (had_link && access_link_listener_) access_link_listener_();
 }
 
 }  // namespace qoed::device

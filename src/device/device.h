@@ -7,6 +7,7 @@
 // drives them through it.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -56,6 +57,13 @@ class Device {
   // The foreground app's layout tree drives the screen.
   void set_foreground_tree(ui::LayoutTree& tree) { screen_->attach(tree); }
 
+  // Invoked after every attach_wifi/attach_cellular/detach_network so the
+  // collection spine can rewire its radio-log tap. One listener slot (last
+  // set wins); pass nullptr to clear before the listener's owner dies.
+  void set_access_link_listener(std::function<void()> fn) {
+    access_link_listener_ = std::move(fn);
+  }
+
   // Applies a handset profile (UI-thread speed etc.). Defaults to the
   // Galaxy S3 baseline.
   void set_profile(DeviceProfile profile);
@@ -74,6 +82,7 @@ class Device {
   std::unique_ptr<net::Resolver> resolver_;
   std::unique_ptr<net::WifiLink> wifi_;
   std::unique_ptr<radio::CellularLink> cellular_;
+  std::function<void()> access_link_listener_;
 };
 
 }  // namespace qoed::device

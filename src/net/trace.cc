@@ -22,8 +22,18 @@ PacketRecord PacketRecord::from_packet(const Packet& p, sim::TimePoint ts,
 }
 
 void TraceCapture::record(const Packet& p, sim::TimePoint ts, Direction dir) {
-  if (!running_) return;
+  if (!running_) {
+    ++dropped_;
+    return;
+  }
   records_.push_back(PacketRecord::from_packet(p, ts, dir));
+  if (tap_) tap_(records_.back(), records_.size() - 1);
+}
+
+void TraceCapture::clear() {
+  records_.clear();
+  dropped_ = 0;
+  if (clear_tap_) clear_tap_();
 }
 
 std::uint64_t TraceCapture::bytes(Direction dir) const {

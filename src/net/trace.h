@@ -5,9 +5,19 @@
 // records every packet the device sends (before radio transmission) and every
 // packet it receives (after radio reassembly), with the device-local
 // timestamp. The offline analyzers consume the resulting vector of records.
+//
+// TraceCapture is one of the three collection front-ends behind the
+// core::Collector spine: a tap observes every appended record (and clears),
+// which is how packet events reach the unified cross-layer timeline without
+// this layer depending on core.
+//
+// Collection contract (shared with the other front-ends): start() resumes
+// capture, stop() suspends it (suppressed records are counted, not stored),
+// clear() empties the store and resets the drop counter.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "net/packet.h"
@@ -39,14 +49,27 @@ struct PacketRecord {
 
 class TraceCapture {
  public:
+  // Observes appended records; `index` is the record's position in
+  // records(). One tap slot (last set_tap wins) — the spine owns it.
+  using Tap = std::function<void(const PacketRecord& record,
+                                 std::size_t index)>;
+
   void record(const Packet& p, sim::TimePoint ts, Direction dir);
 
   bool running() const { return running_; }
   void start() { running_ = true; }
   void stop() { running_ = false; }
-  void clear() { records_.clear(); }
+  void clear();
+
+  void set_tap(Tap on_record, std::function<void()> on_clear = nullptr) {
+    tap_ = std::move(on_record);
+    clear_tap_ = std::move(on_clear);
+  }
 
   const std::vector<PacketRecord>& records() const { return records_; }
+
+  // Packets offered while stopped (not stored). Reset by clear().
+  std::uint64_t records_dropped() const { return dropped_; }
 
   // Total IP bytes captured in each direction (headers included), the raw
   // material for the paper's mobile-data-consumption metric.
@@ -54,7 +77,10 @@ class TraceCapture {
 
  private:
   bool running_ = true;
+  std::uint64_t dropped_ = 0;
   std::vector<PacketRecord> records_;
+  Tap tap_;
+  std::function<void()> clear_tap_;
 };
 
 }  // namespace qoed::net

@@ -3,12 +3,19 @@
 namespace qoed::radio {
 
 void QxdmLogger::log_rrc(RrcState from, RrcState to, sim::TimePoint at) {
-  if (!enabled_) return;
+  if (!enabled_) {
+    ++records_suppressed_;
+    return;
+  }
   rrc_log_.push_back({at, from, to});
+  if (taps_.on_rrc) taps_.on_rrc(rrc_log_.back(), rrc_log_.size() - 1);
 }
 
 void QxdmLogger::log_pdu(PduRecord record) {
-  if (!enabled_) return;
+  if (!enabled_) {
+    ++records_suppressed_;
+    return;
+  }
   const double loss = record.dir == net::Direction::kUplink ? record_loss_ul_
                                                             : record_loss_dl_;
   if (rng_.bernoulli(loss)) {
@@ -16,18 +23,29 @@ void QxdmLogger::log_pdu(PduRecord record) {
     return;
   }
   pdu_log_.push_back(std::move(record));
+  if (taps_.on_pdu) taps_.on_pdu(pdu_log_.back(), pdu_log_.size() - 1);
 }
 
 void QxdmLogger::log_status(StatusRecord record) {
-  if (!enabled_) return;
+  if (!enabled_) {
+    ++records_suppressed_;
+    return;
+  }
   status_log_.push_back(record);
+  if (taps_.on_status) {
+    taps_.on_status(status_log_.back(), status_log_.size() - 1);
+  }
 }
 
 void QxdmLogger::clear() {
   rrc_log_.clear();
   pdu_log_.clear();
   status_log_.clear();
+  // Counters reset with the logs: an experiment phase must not inherit the
+  // previous phase's drop/suppression counts (QoeDoctor::reset_collection).
   records_dropped_ = 0;
+  records_suppressed_ = 0;
+  if (taps_.on_clear) taps_.on_clear();
 }
 
 }  // namespace qoed::radio

@@ -10,10 +10,21 @@
 //      88.83 % downlink in the paper).
 // Records also carry the ground-truth packet uids of the carried bytes;
 // analyzers never read them — they exist so tests can validate the mapper.
+//
+// QxdmLogger is one of the three collection front-ends behind the
+// core::Collector spine: taps observe every appended record (and clears),
+// which is how radio events reach the unified cross-layer timeline without
+// this layer depending on core.
+//
+// Collection contract (shared with the other front-ends): start() resumes
+// logging, stop() suspends it (suppressed records are counted, not stored),
+// clear() empties every log and resets both the record-loss and suppression
+// counters.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "net/addr.h"
@@ -56,10 +67,27 @@ struct StatusRecord {
 
 class QxdmLogger {
  public:
+  // Observers of appended records; each receives the record and its index in
+  // the corresponding log. One tap set (last set_taps wins) — the spine owns
+  // it.
+  struct Taps {
+    std::function<void(const RrcTransitionRecord&, std::size_t)> on_rrc;
+    std::function<void(const PduRecord&, std::size_t)> on_pdu;
+    std::function<void(const StatusRecord&, std::size_t)> on_status;
+    std::function<void()> on_clear;
+  };
+
   explicit QxdmLogger(sim::Rng rng) : rng_(std::move(rng)) {}
 
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
+
+  // Unified front-end contract aliases (see header comment).
+  void start() { enabled_ = true; }
+  void stop() { enabled_ = false; }
+  bool running() const { return enabled_; }
+
+  void set_taps(Taps taps) { taps_ = std::move(taps); }
 
   // Probability that a PDU record is silently missing from the log.
   void set_record_loss(double uplink, double downlink) {
@@ -78,6 +106,8 @@ class QxdmLogger {
   const std::vector<StatusRecord>& status_log() const { return status_log_; }
 
   std::uint64_t pdus_dropped_from_log() const { return records_dropped_; }
+  // Records offered while stopped (any kind), counted but not stored.
+  std::uint64_t records_suppressed() const { return records_suppressed_; }
 
  private:
   sim::Rng rng_;
@@ -88,6 +118,8 @@ class QxdmLogger {
   std::vector<PduRecord> pdu_log_;
   std::vector<StatusRecord> status_log_;
   std::uint64_t records_dropped_ = 0;
+  std::uint64_t records_suppressed_ = 0;
+  Taps taps_;
 };
 
 }  // namespace qoed::radio

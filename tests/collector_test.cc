@@ -1,0 +1,331 @@
+// Tests of the unified collection spine (core::Collector): the merged
+// cross-layer timeline, subscriber API, per-layer counters, the shared
+// start/stop/clear contract, and the export sinks built on top.
+#include "core/collector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "apps/social_server.h"
+#include "core/export_sink.h"
+#include "core/log_export.h"
+#include "core/pcap_writer.h"
+#include "core/qoe_doctor.h"
+
+namespace qoed::core {
+namespace {
+
+// --- QxdmLogger front-end contract (regression: clear() must reset the
+// record-loss drop counter alongside the logs, so a post-clear phase reports
+// only its own losses) ---
+
+TEST(QxdmLoggerTest, ClearResetsDropAndSuppressCounters) {
+  radio::QxdmLogger log(sim::Rng(7));
+  log.set_record_loss(1.0, 1.0);  // every PDU record silently lost
+  radio::PduRecord pdu;
+  pdu.payload_len = 40;
+  log.log_pdu(pdu);
+  log.log_pdu(pdu);
+  EXPECT_TRUE(log.pdu_log().empty());
+  EXPECT_EQ(log.pdus_dropped_from_log(), 2u);
+
+  log.stop();
+  log.log_rrc(radio::RrcState::kPch, radio::RrcState::kDch, sim::kTimeZero);
+  log.log_pdu(pdu);
+  log.log_status({});
+  EXPECT_EQ(log.records_suppressed(), 3u);
+  EXPECT_TRUE(log.rrc_log().empty());
+
+  log.clear();
+  EXPECT_EQ(log.pdus_dropped_from_log(), 0u);
+  EXPECT_EQ(log.records_suppressed(), 0u);
+  EXPECT_TRUE(log.pdu_log().empty());
+  EXPECT_TRUE(log.rrc_log().empty());
+  EXPECT_TRUE(log.status_log().empty());
+
+  // Still stopped after clear — start() is the only way to resume.
+  log.log_pdu(pdu);
+  EXPECT_EQ(log.records_suppressed(), 1u);
+  log.start();
+  log.set_record_loss(0.0, 0.0);
+  log.log_pdu(pdu);
+  EXPECT_EQ(log.pdu_log().size(), 1u);
+}
+
+// --- Spine over a real end-to-end run ---
+
+class CollectorSpineTest : public ::testing::Test {
+ protected:
+  CollectorSpineTest()
+      : bed_(21), server_(bed_.network(), bed_.next_server_ip()) {
+    dev_ = bed_.make_device("galaxy-s3");
+  }
+
+  void start() {
+    dev_->attach_cellular(radio::CellularConfig::umts());
+    app_ = std::make_unique<apps::SocialApp>(*dev_);
+    app_->launch();
+    doctor_ = std::make_unique<QoeDoctor>(*dev_, *app_);
+    driver_ = std::make_unique<FacebookDriver>(doctor_->controller(), *app_);
+    app_->login("alice");
+    bed_.advance(sim::sec(15));
+  }
+
+  // Drives one status upload to completion; returns the behavior record.
+  BehaviorRecord upload() {
+    BehaviorRecord rec;
+    driver_->upload_post(apps::PostKind::kStatus,
+                         [&](const BehaviorRecord& r) { rec = r; });
+    bed_.advance(sim::sec(30));
+    return rec;
+  }
+
+  Testbed bed_;
+  apps::SocialServer server_;
+  std::unique_ptr<device::Device> dev_;
+  std::unique_ptr<apps::SocialApp> app_;
+  std::unique_ptr<QoeDoctor> doctor_;
+  std::unique_ptr<FacebookDriver> driver_;
+};
+
+TEST_F(CollectorSpineTest, SubscriberSeesInterleavedLayersInOrder) {
+  start();
+  Collector& c = doctor_->collector();
+
+  std::vector<Event> seen;
+  CollectorSink* sub = c.subscribe(
+      kLayerAll,
+      [&](const Collector&, const Event& e) { seen.push_back(e); });
+  const std::size_t timeline_before = c.timeline().size();
+  const BehaviorRecord rec = upload();
+  ASSERT_FALSE(rec.timed_out);
+  c.unsubscribe(sub);
+
+  // The upload produced live events on every layer, delivered in capture
+  // order (nondecreasing timestamps, strictly increasing seq).
+  ASSERT_FALSE(seen.empty());
+  std::set<Layer> layers;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    layers.insert(seen[i].layer);
+    if (i > 0) {
+      EXPECT_GE(seen[i].at, seen[i - 1].at);
+      EXPECT_GT(seen[i].seq, seen[i - 1].seq);
+    }
+  }
+  EXPECT_TRUE(layers.count(kLayerUi));
+  EXPECT_TRUE(layers.count(kLayerPacket));
+  EXPECT_TRUE(layers.count(kLayerRadio));
+
+  // Live events extended the merged timeline, and payload lookup round-trips
+  // through the envelope back to the front-end stores.
+  EXPECT_EQ(c.timeline().size(), timeline_before + seen.size());
+  for (const Event& e : seen) {
+    switch (e.kind) {
+      case EventKind::kBehavior:
+        EXPECT_EQ(&c.behavior(e), &doctor_->log().records()[e.index]);
+        break;
+      case EventKind::kPacket:
+        EXPECT_EQ(&c.packet(e), &dev_->trace().records()[e.index]);
+        break;
+      case EventKind::kPdu:
+        EXPECT_EQ(&c.pdu(e), &dev_->cellular()->qxdm().pdu_log()[e.index]);
+        break;
+      case EventKind::kRrcTransition:
+        EXPECT_EQ(&c.rrc_transition(e),
+                  &dev_->cellular()->qxdm().rrc_log()[e.index]);
+        break;
+      case EventKind::kStatus:
+        EXPECT_EQ(&c.status(e),
+                  &dev_->cellular()->qxdm().status_log()[e.index]);
+        break;
+    }
+  }
+
+  // The full timeline (backfill + live) is itself timestamp-ordered.
+  const auto& tl = c.timeline();
+  for (std::size_t i = 1; i < tl.size(); ++i) {
+    EXPECT_GE(tl[i].at, tl[i - 1].at);
+  }
+}
+
+TEST_F(CollectorSpineTest, LayerMaskFiltersEvents) {
+  start();
+  Collector& c = doctor_->collector();
+  std::vector<Event> packets, radio;
+  c.subscribe(kLayerPacket,
+              [&](const Collector&, const Event& e) { packets.push_back(e); });
+  c.subscribe(kLayerRadio,
+              [&](const Collector&, const Event& e) { radio.push_back(e); });
+  ASSERT_FALSE(upload().timed_out);
+
+  ASSERT_FALSE(packets.empty());
+  ASSERT_FALSE(radio.empty());
+  for (const Event& e : packets) {
+    EXPECT_EQ(e.layer, kLayerPacket);
+    EXPECT_EQ(e.kind, EventKind::kPacket);
+  }
+  for (const Event& e : radio) EXPECT_EQ(e.layer, kLayerRadio);
+}
+
+TEST_F(CollectorSpineTest, CountersMatchFrontEndStores) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  const Collector& c = doctor_->collector();
+  const auto& qxdm = dev_->cellular()->qxdm();
+
+  const LayerCounters ui = c.counters(kLayerUi);
+  const LayerCounters pkt = c.counters(kLayerPacket);
+  const LayerCounters rad = c.counters(kLayerRadio);
+  EXPECT_EQ(ui.events, doctor_->log().records().size());
+  EXPECT_EQ(pkt.events, dev_->trace().records().size());
+  EXPECT_EQ(rad.events, qxdm.rrc_log().size() + qxdm.pdu_log().size() +
+                            qxdm.status_log().size());
+  EXPECT_EQ(c.total_events(), ui.events + pkt.events + rad.events);
+  EXPECT_EQ(c.timeline().size(), c.total_events());
+
+  // Packet bytes = total IP bytes in both directions.
+  EXPECT_EQ(pkt.bytes, dev_->trace().bytes(net::Direction::kUplink) +
+                           dev_->trace().bytes(net::Direction::kDownlink));
+  // Radio drops surface QxDM's intrinsic record loss.
+  EXPECT_EQ(rad.dropped, qxdm.pdus_dropped_from_log());
+  EXPECT_EQ(ui.high_water, ui.events);
+  EXPECT_EQ(pkt.high_water, pkt.events);
+
+  // The campaign surface carries the same numbers.
+  RunResult rr;
+  c.add_counters(rr);
+  EXPECT_EQ(rr.counters.at("collector.packet.events"),
+            static_cast<double>(pkt.events));
+  EXPECT_EQ(rr.counters.at("collector.radio.dropped"),
+            static_cast<double>(rad.dropped));
+  EXPECT_EQ(rr.counters.at("collector.ui.events"),
+            static_cast<double>(ui.events));
+}
+
+TEST_F(CollectorSpineTest, StopCountsDropsAndClearResetsAllLayers) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  Collector& c = doctor_->collector();
+  const std::uint64_t packet_events = c.counters(kLayerPacket).events;
+  ASSERT_GT(packet_events, 0u);
+
+  // Stopped spine: front-ends drop instead of storing, and the timeline
+  // does not grow.
+  c.stop();
+  EXPECT_FALSE(dev_->trace().running());
+  EXPECT_FALSE(doctor_->log().running());
+  EXPECT_FALSE(dev_->cellular()->qxdm().running());
+  const BehaviorRecord stopped_rec = upload();  // runs, but nothing recorded
+  EXPECT_FALSE(stopped_rec.timed_out);
+  EXPECT_EQ(c.counters(kLayerPacket).events, packet_events);
+  EXPECT_GT(c.counters(kLayerPacket).dropped, 0u);
+  EXPECT_GT(c.counters(kLayerUi).dropped, 0u);
+  EXPECT_GT(c.counters(kLayerRadio).dropped, 0u);
+
+  // clear() empties every store, resets drop counters, keeps high-water.
+  const std::uint64_t hw = c.counters(kLayerPacket).high_water;
+  c.clear();
+  EXPECT_TRUE(c.timeline().empty());
+  EXPECT_EQ(c.total_events(), 0u);
+  for (Layer layer : {kLayerUi, kLayerPacket, kLayerRadio}) {
+    EXPECT_EQ(c.counters(layer).events, 0u);
+    EXPECT_EQ(c.counters(layer).dropped, 0u);
+  }
+  EXPECT_EQ(c.counters(kLayerPacket).high_water, hw);
+  EXPECT_TRUE(dev_->trace().records().empty());
+  EXPECT_TRUE(doctor_->log().records().empty());
+  EXPECT_TRUE(dev_->cellular()->qxdm().pdu_log().empty());
+
+  // start() resumes collection end-to-end.
+  c.start();
+  ASSERT_FALSE(upload().timed_out);
+  EXPECT_GT(c.counters(kLayerPacket).events, 0u);
+  EXPECT_EQ(c.counters(kLayerPacket).dropped, 0u);
+}
+
+TEST_F(CollectorSpineTest, FrontEndClearRemovesLayerFromTimeline) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  Collector& c = doctor_->collector();
+  ASSERT_GT(c.counters(kLayerPacket).events, 0u);
+  ASSERT_GT(c.counters(kLayerRadio).events, 0u);
+
+  std::uint32_t cleared_mask = 0;
+  class ClearWatch final : public CollectorSink {
+   public:
+    explicit ClearWatch(std::uint32_t& mask) : mask_(mask) {}
+    void on_event(const Collector&, const Event&) override {}
+    void on_layers_cleared(const Collector&, std::uint32_t m) override {
+      mask_ |= m;
+    }
+
+   private:
+    std::uint32_t& mask_;
+  } watch(cleared_mask);
+  c.subscribe(kLayerAll, &watch);
+
+  // Clearing one front-end directly must drop exactly that layer's
+  // envelopes — indices never dangle.
+  dev_->trace().clear();
+  c.unsubscribe(&watch);
+  EXPECT_EQ(cleared_mask, static_cast<std::uint32_t>(kLayerPacket));
+  EXPECT_EQ(c.counters(kLayerPacket).events, 0u);
+  EXPECT_GT(c.counters(kLayerRadio).events, 0u);
+  EXPECT_GT(c.counters(kLayerUi).events, 0u);
+  for (const Event& e : c.timeline()) {
+    EXPECT_NE(e.layer, kLayerPacket);
+  }
+}
+
+// --- Export sinks ---
+
+TEST_F(CollectorSpineTest, SinksMatchLegacyExporters) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  const auto& trace = dev_->trace().records();
+  const auto& qxdm = dev_->cellular()->qxdm();
+
+  EXPECT_EQ(TraceTextSink(trace).to_string(), trace_to_string(trace));
+  EXPECT_EQ(QxdmTextSink(qxdm).to_string(), qxdm_to_string(qxdm));
+  EXPECT_EQ(BehaviorTextSink(doctor_->log()).to_string(),
+            behavior_log_to_string(doctor_->log()));
+
+  const auto pcap_bytes = to_pcap(trace);
+  const std::string pcap_str = PcapSink(trace).to_string();
+  ASSERT_EQ(pcap_str.size(), pcap_bytes.size());
+  EXPECT_EQ(0, std::memcmp(pcap_str.data(), pcap_bytes.data(),
+                           pcap_bytes.size()));
+
+  CampaignResult campaign;
+  campaign.name = "c";
+  EXPECT_EQ(CampaignJsonSink(campaign).to_string(),
+            campaign_to_json_string(campaign));
+}
+
+TEST_F(CollectorSpineTest, TimelineJsonlDeterministicOneLinePerEvent) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  const Collector& c = doctor_->collector();
+
+  const std::string a = TimelineJsonlSink(c).to_string();
+  const std::string b = TimelineJsonlSink(c).to_string();
+  EXPECT_EQ(a, b);  // deterministic
+
+  std::istringstream lines(a);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"t\":"), std::string::npos);
+    EXPECT_NE(line.find("\"layer\":"), std::string::npos);
+  }
+  EXPECT_EQ(n, c.timeline().size());
+}
+
+}  // namespace
+}  // namespace qoed::core

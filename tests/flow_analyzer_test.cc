@@ -162,6 +162,81 @@ TEST(FlowAnalyzerTest, DominantFlowPicksLargestInWindow) {
             nullptr);
 }
 
+TEST(FlowAnalyzerTest, StreamingSyncMatchesBatchBuild) {
+  const net::IpAddr device(10, 0, 0, 2);
+  const net::IpAddr server(31, 13, 0, 1);
+
+  // A trace with every feature the analyzer folds: handshake, data/ACK RTT
+  // pairs, a retransmission, and a DNS response that arrives AFTER the
+  // flow's first packet (exercising hostname backfill).
+  std::vector<net::PacketRecord> full;
+  auto syn = make_rec(1, sim::msec(0), Direction::kUplink, server, 443, 0);
+  syn.flags = {.syn = true};
+  full.push_back(syn);
+  auto synack =
+      make_rec(2, sim::msec(60), Direction::kDownlink, server, 443, 0);
+  synack.flags = {.syn = true, .ack = true};
+  full.push_back(synack);
+  full.push_back(make_rec(3, sim::msec(100), Direction::kUplink, server, 443,
+                          1000, 0));
+  {  // late DNS response naming the already-active flow
+    net::PacketRecord dns;
+    dns.uid = 4;
+    dns.timestamp = sim::TimePoint{sim::msec(120)};
+    dns.direction = Direction::kDownlink;
+    dns.src_ip = net::IpAddr(8, 8, 8, 8);
+    dns.src_port = net::kDnsPort;
+    dns.dst_ip = device;
+    dns.dst_port = 50000;
+    dns.protocol = net::Protocol::kUdp;
+    dns.payload_size = 60;
+    auto msg = std::make_shared<net::DnsMessage>();
+    msg->hostname = "api.facebook.sim";
+    msg->resolved = server;
+    msg->is_response = true;
+    dns.dns = msg;
+    full.push_back(dns);
+  }
+  full.push_back(make_rec(5, sim::msec(180), Direction::kDownlink, server,
+                          443, 0, 0, 1000));  // ACK -> RTT sample
+  full.push_back(make_rec(6, sim::msec(500), Direction::kUplink, server, 443,
+                          1000, 0));  // retransmission of seq 0
+  full.push_back(make_rec(7, sim::msec(600), Direction::kUplink, server, 443,
+                          1000, 1000));
+
+  const FlowAnalyzer batch(full);
+
+  // Streaming: grow the borrowed vector one record at a time and sync().
+  std::vector<net::PacketRecord> growing;
+  growing.reserve(full.size());  // stable storage is NOT required, only order
+  FlowAnalyzer streaming(growing);
+  for (const auto& r : full) {
+    growing.push_back(r);
+    streaming.sync();
+    EXPECT_EQ(streaming.consumed(), growing.size());
+  }
+
+  ASSERT_EQ(streaming.flows().size(), batch.flows().size());
+  for (std::size_t i = 0; i < batch.flows().size(); ++i) {
+    const FlowStats& s = streaming.flows()[i];
+    const FlowStats& b = batch.flows()[i];
+    EXPECT_EQ(s.key, b.key);
+    EXPECT_EQ(s.hostname, b.hostname);  // backfilled == batch-built
+    EXPECT_EQ(s.first_packet, b.first_packet);
+    EXPECT_EQ(s.last_packet, b.last_packet);
+    EXPECT_EQ(s.uplink_bytes, b.uplink_bytes);
+    EXPECT_EQ(s.downlink_bytes, b.downlink_bytes);
+    EXPECT_EQ(s.uplink_packets, b.uplink_packets);
+    EXPECT_EQ(s.downlink_packets, b.downlink_packets);
+    EXPECT_EQ(s.retransmissions, b.retransmissions);
+    EXPECT_EQ(s.handshake_rtt, b.handshake_rtt);
+    EXPECT_EQ(s.rtt_samples, b.rtt_samples);
+    EXPECT_EQ(s.packet_indices, b.packet_indices);
+  }
+  EXPECT_EQ(streaming.flows()[0].hostname, "api.facebook.sim");
+  EXPECT_EQ(streaming.hostname_of(server), batch.hostname_of(server));
+}
+
 TEST(FlowAnalyzerTest, ThroughputSeriesIntegratesToTotalBytes) {
   const net::IpAddr server(31, 13, 0, 1);
   std::vector<net::PacketRecord> trace;

@@ -130,7 +130,57 @@ TEST_F(QoeDoctorFacebookTest, ResetCollectionClearsAllLayers) {
   doctor_->reset_collection();
   EXPECT_TRUE(doctor_->log().records().empty());
   EXPECT_TRUE(dev_->trace().records().empty());
-  EXPECT_TRUE(dev_->cellular()->qxdm().pdu_log().empty());
+  const auto& qxdm = dev_->cellular()->qxdm();
+  EXPECT_TRUE(qxdm.pdu_log().empty());
+  EXPECT_TRUE(qxdm.rrc_log().empty());
+  EXPECT_TRUE(qxdm.status_log().empty());
+  EXPECT_EQ(qxdm.pdus_dropped_from_log(), 0u);
+  EXPECT_EQ(dev_->trace().records_dropped(), 0u);
+  EXPECT_EQ(doctor_->log().records_dropped(), 0u);
+  // The spine's merged timeline and streaming analysis reset with it.
+  EXPECT_TRUE(doctor_->collector().timeline().empty());
+  EXPECT_TRUE(doctor_->flows().flows().empty());
+  EXPECT_EQ(doctor_->flows().consumed(), 0u);
+}
+
+TEST_F(QoeDoctorFacebookTest, StreamingAnalysisMatchesBatchBitExactly) {
+  start(radio::CellularConfig::umts());
+  BehaviorRecord rec;
+  driver_->upload_post(apps::PostKind::kPhotos,
+                       [&](const BehaviorRecord& r) { rec = r; });
+  bed_.advance(sim::sec(120));
+  ASSERT_FALSE(rec.timed_out);
+
+  // analyze() borrows the doctor's streaming FlowAnalyzer — same trace
+  // storage, no copy, no per-call rebuild.
+  auto analysis = doctor_->analyze();
+  EXPECT_EQ(&analysis.flows(), &doctor_->flows());
+  EXPECT_EQ(analysis.flows().trace().data(), dev_->trace().records().data());
+  EXPECT_EQ(analysis.flows().consumed(), dev_->trace().records().size());
+
+  // Baseline: a from-scratch batch build over a *copy* of the trace. The
+  // streaming analysis must agree bit-for-bit.
+  const std::vector<net::PacketRecord> copy = dev_->trace().records();
+  FlowAnalyzer batch(copy);
+  MultiLayerAnalyzer baseline(*dev_, batch);
+
+  const DeviceNetworkSplit streamed = analysis.split(rec, "facebook");
+  const DeviceNetworkSplit batched = baseline.split(rec, "facebook");
+  EXPECT_EQ(streamed.total_s, batched.total_s);
+  EXPECT_EQ(streamed.device_s, batched.device_s);
+  EXPECT_EQ(streamed.network_s, batched.network_s);
+  EXPECT_EQ(streamed.network_on_critical_path,
+            batched.network_on_critical_path);
+
+  const auto fine_s = analysis.fine_breakdown(rec, net::Direction::kUplink);
+  const auto fine_b = baseline.fine_breakdown(rec, net::Direction::kUplink);
+  ASSERT_EQ(fine_s.has_value(), fine_b.has_value());
+  ASSERT_TRUE(fine_s.has_value());
+  EXPECT_EQ(fine_s->network_s, fine_b->network_s);
+  EXPECT_EQ(fine_s->ip_to_rlc_s, fine_b->ip_to_rlc_s);
+  EXPECT_EQ(fine_s->rlc_tx_s, fine_b->rlc_tx_s);
+  EXPECT_EQ(fine_s->first_hop_ota_s, fine_b->first_hop_ota_s);
+  EXPECT_EQ(fine_s->other_s, fine_b->other_s);
 }
 
 TEST(QoeDoctorYouTubeTest, WatchVideoEndToEnd) {
