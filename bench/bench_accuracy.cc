@@ -17,6 +17,7 @@
 #include "apps/video_server.h"
 #include "apps/web_server.h"
 #include "bench_util.h"
+#include "diag/diagnosis_engine.h"
 
 namespace qoed {
 namespace {
@@ -67,6 +68,7 @@ RunResult facebook_run(std::uint64_t seed, apps::PostKind kind, int reps) {
   app.login("alice");
   bed.advance(sim::sec(10));
   QoeDoctor doctor(*dev, app);
+  diag::DiagnosisEngine& engine = doctor.enable_diagnosis();
   FacebookDriver driver(doctor.controller(), app);
 
   RunResult out;
@@ -89,6 +91,8 @@ RunResult facebook_run(std::uint64_t seed, apps::PostKind kind, int reps) {
       },
       [] {});
   bed.loop().run();
+  engine.finalize_all();
+  engine.add_counters(out);
   doctor.collector().add_counters(out);
   return out;
 }
@@ -209,6 +213,7 @@ RunResult browser_run(std::uint64_t seed, int reps) {
   apps::BrowserApp app(*dev);
   app.launch();
   QoeDoctor doctor(*dev, app);
+  diag::DiagnosisEngine& engine = doctor.enable_diagnosis();
   BrowserDriver driver(doctor.controller(), app);
 
   RunResult out;
@@ -231,6 +236,8 @@ RunResult browser_run(std::uint64_t seed, int reps) {
       },
       [] {});
   bed.loop().run();
+  engine.finalize_all();
+  engine.add_counters(out);
   doctor.collector().add_counters(out);
   return out;
 }

@@ -1,0 +1,253 @@
+// Live-diagnosis micro-benchmark: mid-run radio window queries, full-log
+// rescans vs the binary-search analyzers vs the streaming RrcStateTracker.
+//
+// Before this change every RrcAnalyzer::residency / transitions_in and
+// EnergyAnalyzer::activity_intervals call walked the entire QxDM log; a
+// live diagnosis engine issuing one query per UI window would pay O(log
+// size) per window. This bench synthesizes a 100k+-record radio log, runs
+// the same query workload through three paths — the old linear scans
+// (reproduced locally), the batch analyzers with the shared binary-search
+// helper, and the checkpointed tracker — checks all three agree
+// bit-for-bit, and reports the speedups. Both fast paths must clear 5x.
+//
+//   bench_live_diag [--runs N] [--seed S] [--json FILE]
+//
+//   --runs N   window queries per path            [600]
+//   --seed S   synthetic-log seed                 [113]
+//   --json F   result JSON path                   [BENCH_live_diag.json]
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/rrc_analyzer.h"
+#include "diag/rrc_state_tracker.h"
+
+namespace qoed {
+namespace {
+
+constexpr std::size_t kTransitions = 40'000;
+constexpr std::size_t kPdus = 110'000;
+
+using radio::RrcState;
+
+// Synthesizes a plausible UMTS log: PCH->FACH->DCH promotion cycles with
+// PDU bursts while on DCH, timer-driven demotions between bursts.
+void fill_log(radio::QxdmLogger& log, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  log.set_record_loss(0, 0);
+  sim::TimePoint now = sim::kTimeZero;
+  RrcState state = RrcState::kPch;
+  std::size_t transitions = 0, pdus = 0;
+  std::uint32_t seq = 0;
+  while (transitions < kTransitions || pdus < kPdus) {
+    now += sim::msec(rng.uniform_int(20, 400));
+    if (state == RrcState::kPch && transitions < kTransitions) {
+      log.log_rrc(state, RrcState::kFach, now);
+      state = RrcState::kFach;
+      ++transitions;
+    } else if (state == RrcState::kFach && transitions < kTransitions) {
+      log.log_rrc(state, RrcState::kDch, now);
+      state = RrcState::kDch;
+      ++transitions;
+    } else if (state == RrcState::kDch) {
+      // A data burst, then the inactivity demotions.
+      const int burst = rng.uniform_int(1, 8);
+      for (int i = 0; i < burst && pdus < kPdus; ++i) {
+        radio::PduRecord p;
+        p.at = now;
+        p.seq = seq++;
+        p.payload_len = 1400;
+        p.poll = i + 1 == burst;
+        log.log_pdu(p);
+        ++pdus;
+        now += sim::usec(rng.uniform_int(200, 5'000));
+      }
+      if (transitions < kTransitions) {
+        log.log_rrc(state, RrcState::kFach, now);
+        log.log_rrc(RrcState::kFach, RrcState::kPch, now + sim::sec(2));
+        now += sim::sec(2);
+        transitions += 2;
+      }
+      state = RrcState::kPch;
+    } else {
+      // Transition budget exhausted: keep appending PDUs to reach kPdus.
+      radio::PduRecord p;
+      p.at = now;
+      p.seq = seq++;
+      p.payload_len = 1400;
+      log.log_pdu(p);
+      ++pdus;
+    }
+  }
+}
+
+// --- the pre-change linear scans, reproduced for the baseline ---
+
+radio::StateResidency residency_linear(
+    const std::vector<radio::RrcTransitionRecord>& log, RrcState initial,
+    sim::TimePoint start, sim::TimePoint end) {
+  radio::StateResidency out;
+  if (end <= start) return out;
+  RrcState state = initial;
+  sim::TimePoint cursor = start;
+  for (const auto& t : log) {
+    if (t.at <= start) {
+      state = t.to;
+      continue;
+    }
+    if (t.at >= end) break;
+    out.time_in_state[state] += t.at - cursor;
+    cursor = t.at;
+    state = t.to;
+  }
+  out.time_in_state[state] += end - cursor;
+  return out;
+}
+
+std::size_t transitions_in_linear(
+    const std::vector<radio::RrcTransitionRecord>& log, sim::TimePoint start,
+    sim::TimePoint end) {
+  std::size_t n = 0;
+  for (const auto& t : log) {
+    if (t.at >= start && t.at <= end) ++n;
+  }
+  return n;
+}
+
+std::size_t activity_intervals_linear(const std::vector<radio::PduRecord>& log,
+                                      sim::TimePoint start, sim::TimePoint end,
+                                      sim::Duration guard) {
+  std::size_t intervals = 0;
+  sim::TimePoint last_hi = sim::kTimeZero;
+  bool open = false;
+  for (const auto& p : log) {
+    if (p.at < start || p.at > end) continue;
+    const sim::TimePoint lo = p.at - guard;
+    const sim::TimePoint hi = p.at + guard;
+    if (open && lo <= last_hi) {
+      if (hi > last_hi) last_hi = hi;
+    } else {
+      ++intervals;
+      last_hi = hi;
+      open = true;
+    }
+  }
+  return intervals;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+}  // namespace qoed
+
+int main(int argc, char** argv) {
+  using namespace qoed;
+  bench::BenchOptions opts = bench::parse_options(argc, argv);
+  const std::size_t queries = opts.runs ? opts.runs : 600;
+  const std::uint64_t seed = opts.seed ? opts.seed : 113;
+  const std::string json =
+      opts.json_path.empty() ? "BENCH_live_diag.json" : opts.json_path;
+
+  bench::banner("live diagnosis: window queries, rescans vs indexes",
+                "diag subsystem refactor (no paper figure)");
+
+  const radio::RrcConfig cfg = radio::RrcConfig::umts_default();
+  radio::QxdmLogger log{sim::Rng(seed)};
+  fill_log(log, seed);
+  const std::size_t records = log.rrc_log().size() + log.pdu_log().size();
+  std::printf("log: %zu rrc transitions, %zu pdus (%zu records)\n",
+              log.rrc_log().size(), log.pdu_log().size(), records);
+
+  // The query workload: windows of varying width swept across the log —
+  // the shape a diagnosis engine generates, one per UI-latency window.
+  const sim::TimePoint log_end = log.pdu_log().back().at;
+  const double span_s = sim::to_seconds(log_end - sim::kTimeZero);
+  std::vector<std::pair<sim::TimePoint, sim::TimePoint>> windows;
+  sim::Rng wrng(seed + 1);
+  for (std::size_t i = 0; i < queries; ++i) {
+    const double a = wrng.uniform() * span_s;
+    const double width = 0.5 + wrng.uniform() * 30;
+    windows.emplace_back(sim::kTimeZero + sim::sec_f(a),
+                         sim::kTimeZero + sim::sec_f(a + width));
+  }
+  const sim::Duration guard = sim::msec(200);
+
+  // Baseline: the pre-change full-log scans, once per query.
+  double base_check = 0;
+  const auto t_base = std::chrono::steady_clock::now();
+  for (const auto& [a, b] : windows) {
+    const auto res = residency_linear(log.rrc_log(), cfg.idle_state(), a, b);
+    base_check += radio::energy_joules(res, cfg);
+    base_check += static_cast<double>(transitions_in_linear(log.rrc_log(), a, b));
+    base_check +=
+        static_cast<double>(activity_intervals_linear(log.pdu_log(), a, b, guard));
+  }
+  const double base_s = seconds_since(t_base);
+
+  // Batch analyzers with the shared binary-search helper (the perf fix).
+  const core::RrcAnalyzer rrc(log, cfg);
+  const core::EnergyAnalyzer energy(log, cfg, guard);
+  double analyzer_check = 0;
+  const auto t_analyzer = std::chrono::steady_clock::now();
+  for (const auto& [a, b] : windows) {
+    analyzer_check += rrc.energy_joules(a, b);
+    analyzer_check += static_cast<double>(rrc.transitions_in(a, b).size());
+    analyzer_check += static_cast<double>(energy.activity_intervals(a, b).size());
+  }
+  const double analyzer_s = seconds_since(t_analyzer);
+
+  // Streaming tracker: checkpoint prefix sums, as the live engine uses
+  // mid-run. (Interval counting stays with EnergyAnalyzer — the tracker
+  // does not index PDU activity.)
+  diag::RrcStateTracker tracker(log, cfg);
+  double tracker_check = 0;
+  const auto t_tracker = std::chrono::steady_clock::now();
+  for (const auto& [a, b] : windows) {
+    tracker_check += tracker.energy_joules(a, b);
+    tracker_check += static_cast<double>(tracker.transitions_in_count(a, b));
+    tracker_check += static_cast<double>(energy.activity_intervals(a, b).size());
+  }
+  const double tracker_s = seconds_since(t_tracker);
+
+  if (analyzer_check != base_check || tracker_check != base_check) {
+    std::fprintf(stderr,
+                 "FAIL: fast paths diverged from the linear scans "
+                 "(base %.17g, analyzer %.17g, tracker %.17g)\n",
+                 base_check, analyzer_check, tracker_check);
+    return 1;
+  }
+
+  const double n = static_cast<double>(queries);
+  const double speedup_analyzer = base_s / analyzer_s;
+  const double speedup_tracker = base_s / tracker_s;
+  std::printf("baseline (full-log rescan): %9.3f us/query\n",
+              base_s * 1e6 / n);
+  std::printf("analyzer (binary search)  : %9.3f us/query  (%.0fx)\n",
+              analyzer_s * 1e6 / n, speedup_analyzer);
+  std::printf("tracker  (prefix sums)    : %9.3f us/query  (%.0fx)\n",
+              tracker_s * 1e6 / n, speedup_tracker);
+  std::printf("all three paths bit-identical over %zu queries\n", queries);
+
+  bench::write_bench_json(json, "live_diag",
+                          {{"records", static_cast<double>(records)},
+                           {"queries", n},
+                           {"baseline_us_per_query", base_s * 1e6 / n},
+                           {"analyzer_us_per_query", analyzer_s * 1e6 / n},
+                           {"tracker_us_per_query", tracker_s * 1e6 / n},
+                           {"speedup_analyzer", speedup_analyzer},
+                           {"speedup_tracker", speedup_tracker}});
+  std::printf("wrote %s\n", json.c_str());
+
+  // Acceptance bar: mid-run window queries must be at least 5x faster than
+  // repeated full-log re-analysis at 100k+ records.
+  if (speedup_analyzer < 5.0 || speedup_tracker < 5.0) {
+    std::fprintf(stderr, "FAIL: speedup below the 5x bar (%.1fx / %.1fx)\n",
+                 speedup_analyzer, speedup_tracker);
+    return 1;
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 //   qoed_cli pageload --network=3g --pages=5 --think=20 --pcap=trace.pcap
 //   qoed_cli post     --network=lte --kind=photos --reps=10
 //   qoed_cli video    --network=lte --throttle=250 --mechanism=policing
+//   qoed_cli merge    --out=all.jsonl phone1.jsonl phone2.jsonl
 //
 // Options:
 //   --network=wifi|3g|3g-simplified|lte   access network     [3g]
@@ -15,15 +16,21 @@
 //   --qxdm=FILE                           write QxDM-style text log
 //   --timeline=FILE                       write merged cross-layer JSONL
 //   --counters                            print collection-spine counters
+//   --diagnose                            live diagnosis: print findings
+//   --findings=FILE                       write findings JSONL (implies
+//                                         --diagnose)
 //   pageload: --pages=N [5]  --think=SECONDS [20]
 //   post:     --kind=status|checkin|photos [status]  --reps=N [10]
 //   video:    --videos=N [3] --throttle=KBPS [0=off]
 //             --mechanism=shaping|policing [shaping]
+//   merge:    per-device timeline JSONL files; --out=FILE [stdout]
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/social_server.h"
 #include "apps/video_server.h"
@@ -31,6 +38,9 @@
 #include "core/export_sink.h"
 #include "core/qoe_doctor.h"
 #include "core/speed_index.h"
+#include "core/timeline_merge.h"
+#include "diag/diagnosis_engine.h"
+#include "diag/findings_sink.h"
 
 namespace {
 
@@ -39,6 +49,7 @@ using namespace qoed;
 struct Options {
   std::string command;
   std::map<std::string, std::string> kv;
+  std::vector<std::string> positional;
 
   std::string get(const std::string& key, const std::string& def) const {
     auto it = kv.find(key);
@@ -55,7 +66,10 @@ Options parse(int argc, char** argv) {
   if (argc >= 2) opt.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      opt.positional.push_back(arg);
+      continue;
+    }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq == std::string::npos) {
@@ -102,8 +116,29 @@ void run_sink(const core::ExportSink& sink, const std::string& path) {
   }
 }
 
+// Turns on the live diagnosis engine when requested; must run before the
+// experiment so windows are attributed as they complete.
+void maybe_enable_diagnosis(core::QoeDoctor& doctor, const Options& opt) {
+  if (opt.get_int("diagnose", 0) == 0 && opt.get("findings", "").empty()) {
+    return;
+  }
+  doctor.enable_diagnosis();
+}
+
+void report_diagnosis(core::QoeDoctor& doctor, const Options& opt) {
+  diag::DiagnosisEngine* engine = doctor.diagnosis();
+  if (engine == nullptr) return;
+  engine->finalize_all();
+  engine->findings_table().print();
+  const std::string findings = opt.get("findings", "");
+  if (!findings.empty()) {
+    run_sink(diag::FindingsJsonlSink(*engine), findings);
+  }
+}
+
 void export_artifacts(device::Device& dev, core::QoeDoctor& doctor,
                       const Options& opt) {
+  report_diagnosis(doctor, opt);
   const std::string pcap = opt.get("pcap", "");
   if (!pcap.empty()) run_sink(core::PcapSink(dev.trace().records()), pcap);
   const std::string qxdm = opt.get("qxdm", "");
@@ -148,6 +183,7 @@ int run_pageload(const Options& opt) {
   apps::BrowserApp app(*dev);
   app.launch();
   core::QoeDoctor doctor(*dev, app);
+  maybe_enable_diagnosis(doctor, opt);
   core::BrowserDriver driver(doctor.controller(), app);
 
   std::vector<std::string> urls;
@@ -186,6 +222,7 @@ int run_post(const Options& opt) {
   apps::SocialApp app(*dev, cfg);
   app.launch();
   core::QoeDoctor doctor(*dev, app);
+  maybe_enable_diagnosis(doctor, opt);
   core::FacebookDriver driver(doctor.controller(), app);
   app.login("cli-user");
   bed.advance(sim::sec(10));
@@ -243,6 +280,7 @@ int run_video(const Options& opt) {
   app.connect();
   bed.advance(sim::sec(5));
   core::QoeDoctor doctor(*dev, app);
+  maybe_enable_diagnosis(doctor, opt);
   core::YouTubeDriver driver(doctor.controller(), app);
 
   const long videos = opt.get_int("videos", 3);
@@ -277,15 +315,58 @@ int run_video(const Options& opt) {
   return 0;
 }
 
+// Interleaves per-device timeline JSONL files (written via --timeline) into
+// one stream ordered by (t, device, seq); the device label is the file's
+// basename without extension.
+int run_merge(const Options& opt) {
+  std::vector<core::DeviceTimeline> inputs;
+  for (const std::string& path : opt.positional) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::printf("cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    std::string device = path;
+    const auto slash = device.find_last_of('/');
+    if (slash != std::string::npos) device = device.substr(slash + 1);
+    const auto dot = device.rfind('.');
+    if (dot != std::string::npos && dot > 0) device = device.substr(0, dot);
+    inputs.push_back({device, content.str()});
+  }
+  if (inputs.empty()) {
+    std::printf("merge: no input timelines given\n");
+    return 2;
+  }
+  const std::string merged = core::merge_timelines(inputs);
+  const std::string out = opt.get("out", "");
+  if (out.empty()) {
+    std::fwrite(merged.data(), 1, merged.size(), stdout);
+    return 0;
+  }
+  std::ofstream os(out, std::ios::binary);
+  os.write(merged.data(), static_cast<std::streamsize>(merged.size()));
+  if (!os) {
+    std::printf("FAILED to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote merged timeline (%zu devices) to %s\n", inputs.size(),
+              out.c_str());
+  return 0;
+}
+
 void usage() {
   std::printf(
-      "usage: qoed_cli <pageload|post|video> [--network=wifi|3g|"
+      "usage: qoed_cli <pageload|post|video|merge> [--network=wifi|3g|"
       "3g-simplified|lte]\n"
       "  [--seed=N] [--pcap=FILE] [--qxdm=FILE] [--timeline=FILE] [--counters]\n"
+      "  [--diagnose] [--findings=FILE]\n"
       "  pageload: [--pages=N] [--think=SECONDS]\n"
       "  post:     [--kind=status|checkin|photos] [--reps=N]\n"
       "  video:    [--videos=N] [--throttle=KBPS]"
-      " [--mechanism=shaping|policing]\n");
+      " [--mechanism=shaping|policing]\n"
+      "  merge:    [--out=FILE] TIMELINE.jsonl...\n");
 }
 
 }  // namespace
@@ -295,6 +376,7 @@ int main(int argc, char** argv) {
   if (opt.command == "pageload") return run_pageload(opt);
   if (opt.command == "post") return run_post(opt);
   if (opt.command == "video") return run_video(opt);
+  if (opt.command == "merge" || opt.command == "--merge") return run_merge(opt);
   usage();
   return opt.command.empty() ? 1 : 2;
 }

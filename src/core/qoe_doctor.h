@@ -27,6 +27,11 @@
 #include "core/ui_controller.h"
 #include "core/view_signature.h"
 
+namespace qoed::diag {
+class DiagnosisEngine;
+struct DiagnosisConfig;
+}  // namespace qoed::diag
+
 namespace qoed::core {
 
 // Analysis bundle over whatever the device collected. Borrows a streaming
@@ -94,11 +99,24 @@ class QoeDoctor {
   // with the stores; high-water marks survive.
   void reset_collection();
 
+  // Live diagnosis (src/diag): creates — once — a diag::DiagnosisEngine
+  // subscribed to the spine, so UI-latency windows are attributed online as
+  // the experiment runs. Defined in the qoed_diag library; calling it
+  // requires linking qoed::diag (qoed_core itself stays diag-free).
+  diag::DiagnosisEngine& enable_diagnosis();
+  diag::DiagnosisEngine& enable_diagnosis(const diag::DiagnosisConfig& cfg);
+  // The engine, or null when enable_diagnosis was never called.
+  diag::DiagnosisEngine* diagnosis() const { return diagnosis_.get(); }
+
  private:
   device::Device& device_;
   UiController controller_;
   Collector collector_;   // declared before flows_: flows_ detaches first
   FlowAnalyzer flows_;
+  // shared_ptr so the incomplete type destroys cleanly from core TUs; the
+  // engine unsubscribes from collector_ in its own destructor, which runs
+  // first (last-declared member).
+  std::shared_ptr<diag::DiagnosisEngine> diagnosis_;
 };
 
 }  // namespace qoed::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "radio/record_search.h"
+
 namespace qoed::core {
 
 RrcAnalyzer::RrcAnalyzer(const radio::QxdmLogger& log,
@@ -49,11 +51,10 @@ double RrcAnalyzer::mean_ota_rtt(net::Direction dir) const {
 
 std::vector<radio::RrcTransitionRecord> RrcAnalyzer::transitions_in(
     sim::TimePoint start, sim::TimePoint end) const {
-  std::vector<radio::RrcTransitionRecord> out;
-  for (const auto& t : log_.rrc_log()) {
-    if (t.at >= start && t.at <= end) out.push_back(t);
-  }
-  return out;
+  const auto& log = log_.rrc_log();
+  const auto [lo, hi] = radio::record_range(log, start, end);
+  return {log.begin() + static_cast<std::ptrdiff_t>(lo),
+          log.begin() + static_cast<std::ptrdiff_t>(hi)};
 }
 
 bool RrcAnalyzer::promotion_in(sim::TimePoint start,
@@ -76,10 +77,11 @@ std::vector<std::pair<sim::TimePoint, sim::TimePoint>>
 EnergyAnalyzer::activity_intervals(sim::TimePoint start,
                                    sim::TimePoint end) const {
   std::vector<std::pair<sim::TimePoint, sim::TimePoint>> out;
-  for (const auto& p : log_.pdu_log()) {
-    if (p.at < start || p.at > end) continue;
-    const sim::TimePoint lo = p.at - guard_;
-    const sim::TimePoint hi = p.at + guard_;
+  const auto& pdus = log_.pdu_log();
+  const auto [first, last] = radio::record_range(pdus, start, end);
+  for (std::size_t i = first; i < last; ++i) {
+    const sim::TimePoint lo = pdus[i].at - guard_;
+    const sim::TimePoint hi = pdus[i].at + guard_;
     if (!out.empty() && lo <= out.back().second) {
       out.back().second = std::max(out.back().second, hi);
     } else {
@@ -95,8 +97,12 @@ EnergyBreakdown EnergyAnalyzer::analyze(sim::TimePoint start,
   if (end <= start) return out;
   const auto activity = activity_intervals(start, end);
 
-  // Piecewise state timeline over [start, end].
-  radio::RrcState state = cfg_.idle_state();
+  // Piecewise state timeline over [start, end]; the pre-window prefix is
+  // skipped by binary search (the last transition at or before `start` sets
+  // the state there).
+  const auto& rrc = log_.rrc_log();
+  std::size_t next = radio::first_after(rrc, start);
+  radio::RrcState state = next > 0 ? rrc[next - 1].to : cfg_.idle_state();
   sim::TimePoint cursor = start;
   auto emit = [&](sim::TimePoint seg_start, sim::TimePoint seg_end,
                   radio::RrcState s) {
@@ -116,15 +122,10 @@ EnergyBreakdown EnergyAnalyzer::analyze(sim::TimePoint start,
     out.tail_joules += joules - active_j;
   };
 
-  for (const auto& t : log_.rrc_log()) {
-    if (t.at <= start) {
-      state = t.to;
-      continue;
-    }
-    if (t.at >= end) break;
-    emit(cursor, t.at, state);
-    cursor = t.at;
-    state = t.to;
+  for (; next < rrc.size() && rrc[next].at < end; ++next) {
+    emit(cursor, rrc[next].at, state);
+    cursor = rrc[next].at;
+    state = rrc[next].to;
   }
   emit(cursor, end, state);
   out.non_tail_joules = out.total_joules - out.tail_joules;

@@ -53,11 +53,11 @@ class EnergyAnalyzer {
 
   EnergyBreakdown analyze(sim::TimePoint start, sim::TimePoint end) const;
 
- private:
   // Merged [start,end] intervals around data-plane activity.
   std::vector<std::pair<sim::TimePoint, sim::TimePoint>> activity_intervals(
       sim::TimePoint start, sim::TimePoint end) const;
 
+ private:
   const radio::QxdmLogger& log_;
   radio::RrcConfig cfg_;
   sim::Duration guard_;

@@ -1,0 +1,65 @@
+#include "core/timeline_merge.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <tuple>
+
+#include "core/json_util.h"
+
+namespace qoed::core {
+
+namespace {
+
+struct MergeLine {
+  double t = 0;
+  const std::string* device = nullptr;
+  std::uint64_t seq = 0;
+  std::string_view body;  // the line, without its opening '{'
+};
+
+// Value of a top-level numeric field, parsed from the raw JSON text.
+double field_number(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return 0;
+  return std::strtod(line.data() + pos + needle.size(), nullptr);
+}
+
+}  // namespace
+
+std::string merge_timelines(const std::vector<DeviceTimeline>& inputs) {
+  std::vector<MergeLine> lines;
+  for (const DeviceTimeline& input : inputs) {
+    std::string_view rest = input.jsonl;
+    while (!rest.empty()) {
+      const auto nl = rest.find('\n');
+      std::string_view line = rest.substr(0, nl);
+      rest = nl == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(nl + 1);
+      if (line.empty() || line.front() != '{') continue;
+      MergeLine m;
+      m.t = field_number(line, "t");
+      m.device = &input.device;
+      m.seq = static_cast<std::uint64_t>(field_number(line, "seq"));
+      m.body = line.substr(1);
+      lines.push_back(m);
+    }
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const MergeLine& a, const MergeLine& b) {
+                     return std::tie(a.t, *a.device, a.seq) <
+                            std::tie(b.t, *b.device, b.seq);
+                   });
+  std::ostringstream os;
+  for (const MergeLine& m : lines) {
+    os << "{\"device\":";
+    put_json_string(os, *m.device);
+    if (m.body != "}") os << ',';
+    os << m.body << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qoed::core

@@ -1,0 +1,27 @@
+// Multi-device timeline merge.
+//
+// Each device's collection spine exports one timeline.jsonl (see
+// TimelineJsonlSink); a campaign over several devices produces several.
+// merge_timelines interleaves them into a single stream ordered by
+// (t, device, seq) — timestamp first, then device label, then the
+// device-local capture sequence — and stamps every line with its device:
+//   {"device":"galaxy-s3","t":1.002334,"seq":7,"layer":"packet",...}
+// The ordering key is total for distinct device labels, so the merge is a
+// pure function of the *set* of inputs: feeding the same timelines in any
+// order yields byte-identical output (determinism test in
+// timeline_merge_test). Lines that are not JSON objects are dropped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qoed::core {
+
+struct DeviceTimeline {
+  std::string device;  // label injected into every merged line
+  std::string jsonl;   // raw timeline.jsonl content
+};
+
+std::string merge_timelines(const std::vector<DeviceTimeline>& inputs);
+
+}  // namespace qoed::core

@@ -1,0 +1,150 @@
+#include "diag/diagnosis_engine.h"
+
+#include "core/campaign.h"
+#include "core/cross_layer_analyzer.h"
+#include "core/report.h"
+#include "core/rrc_analyzer.h"
+#include "device/device.h"
+#include "radio/cellular_link.h"
+
+namespace qoed::diag {
+
+DiagnosisEngine::DiagnosisEngine(device::Device& dev,
+                                 core::FlowAnalyzer& flows,
+                                 DiagnosisConfig cfg)
+    : device_(dev), flows_(&flows), cfg_(std::move(cfg)) {}
+
+DiagnosisEngine::~DiagnosisEngine() {
+  if (collector_ != nullptr) collector_->unsubscribe(this);
+}
+
+void DiagnosisEngine::attach(core::Collector& collector) {
+  collector.subscribe(core::kLayerAll, this);
+  collector_ = &collector;
+  ensure_tracker();
+}
+
+void DiagnosisEngine::ensure_tracker() {
+  auto* cell = device_.cellular();
+  if (cell == nullptr) return;
+  if (tracker_ != nullptr) return;
+  tracker_ =
+      std::make_unique<RrcStateTracker>(cell->qxdm(), cell->config().rrc);
+  // The tracker subscribes itself so radio clears reach it even between
+  // engine callbacks; a late cellular attach re-resolves its log there.
+  if (collector_ != nullptr) tracker_->attach(*collector_);
+}
+
+void DiagnosisEngine::finalize(std::size_t behavior_index) {
+  const auto& records = collector_->behavior_log()->records();
+  const core::BehaviorRecord& r = records[behavior_index];
+  const core::QoeWindow w = core::QoeWindow::for_traffic(r);
+
+  Finding f;
+  f.behavior_index = behavior_index;
+  f.action = r.action;
+  f.window_start = w.start;
+  f.window_end = w.end;
+  f.timed_out = r.timed_out;
+
+  const core::CrossLayerAnalyzer cross(*flows_);
+  const core::DeviceNetworkSplit split =
+      cross.device_network_split(r, cfg_.hostname_substr);
+  f.total_s = split.total_s;
+  f.device_s = split.device_s;
+  f.network_s = split.network_s;
+  f.network_on_critical_path = split.network_on_critical_path;
+  if (split.flow != nullptr) {
+    f.has_flow = true;
+    f.flow = split.flow->key.to_string();
+    f.hostname = split.flow->hostname;
+  }
+  f.window_bytes =
+      flows_->bytes_in_window(w.start, w.end, cfg_.hostname_substr).total();
+
+  ensure_tracker();
+  auto* cell = device_.cellular();
+  if (cell != nullptr && tracker_ != nullptr) {
+    tracker_->sync();
+    f.has_radio = true;
+    f.promotion_overlap = tracker_->promotion_in(w.start, w.end);
+    f.transitions = tracker_->transitions_in_count(w.start, w.end);
+    f.energy_j = tracker_->energy_joules(w.start, w.end);
+    const core::EnergyAnalyzer energy(cell->qxdm(), cell->config().rrc);
+    const core::EnergyBreakdown eb = energy.analyze(w.start, w.end);
+    f.tail_j = eb.tail_joules;
+    f.tail_share = eb.total_joules > 0 ? eb.tail_joules / eb.total_joules : 0;
+  }
+  findings_.push_back(std::move(f));
+}
+
+void DiagnosisEngine::finalize_all() {
+  while (!pending_.empty()) {
+    finalize(pending_.front().behavior_index);
+    pending_.pop_front();
+  }
+}
+
+void DiagnosisEngine::on_event(const core::Collector& collector,
+                               const core::Event& event) {
+  // Nondecreasing event time: once the stream passes a window's trailing
+  // probe, nothing that arrives later can land inside it.
+  while (!pending_.empty() && pending_.front().watermark < event.at) {
+    finalize(pending_.front().behavior_index);
+    pending_.pop_front();
+  }
+  if (event.kind == core::EventKind::kBehavior) {
+    const core::BehaviorRecord& r = collector.behavior(event);
+    const core::QoeWindow w = core::QoeWindow::for_traffic(r);
+    pending_.push_back({event.index, w.end + cfg_.trailing});
+  }
+}
+
+void DiagnosisEngine::on_layers_cleared(const core::Collector& collector,
+                                        std::uint32_t layer_mask) {
+  (void)collector;
+  // A UI or packet clear is a phase boundary: pending behavior indices and
+  // finalized attributions refer to stores that no longer exist. A
+  // radio-only clear (cellular detach) keeps findings — the tracker resets
+  // itself via its own subscription.
+  if ((layer_mask & (core::kLayerUi | core::kLayerPacket)) != 0) {
+    pending_.clear();
+    findings_.clear();
+  }
+}
+
+core::Table DiagnosisEngine::findings_table() const {
+  core::Table table("Live diagnosis findings",
+                    {"#", "action", "total_s", "network_s", "device_s",
+                     "net_crit", "flow", "promo", "energy_j", "tail"});
+  for (const Finding& f : findings_) {
+    table.add_row({std::to_string(f.behavior_index), f.action,
+                   core::Table::num(f.total_s), core::Table::num(f.network_s),
+                   core::Table::num(f.device_s),
+                   f.network_on_critical_path ? "yes" : "no",
+                   f.has_flow ? (f.hostname.empty() ? f.flow : f.hostname)
+                              : "-",
+                   f.has_radio ? (f.promotion_overlap ? "yes" : "no") : "-",
+                   f.has_radio ? core::Table::num(f.energy_j) : "-",
+                   f.has_radio ? core::Table::pct(f.tail_share) : "-"});
+  }
+  return table;
+}
+
+void DiagnosisEngine::add_counters(core::RunResult& out,
+                                   const std::string& prefix) const {
+  out.add_counter(prefix + "findings", static_cast<double>(findings_.size()));
+  double net_crit = 0, promo = 0, energy = 0, tail = 0;
+  for (const Finding& f : findings_) {
+    if (f.network_on_critical_path) ++net_crit;
+    if (f.promotion_overlap) ++promo;
+    energy += f.energy_j;
+    tail += f.tail_j;
+  }
+  out.add_counter(prefix + "network_critical", net_crit);
+  out.add_counter(prefix + "promotion_overlap", promo);
+  out.add_counter(prefix + "energy_j", energy);
+  out.add_counter(prefix + "tail_j", tail);
+}
+
+}  // namespace qoed::diag

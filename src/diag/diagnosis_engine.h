@@ -1,0 +1,152 @@
+// Live cross-layer root-cause attribution (§5.4, online).
+//
+// The batch path answers "why was this interaction slow?" after the run:
+// CrossLayerAnalyzer splits the QoE window into device vs network time,
+// RrcAnalyzer checks for an overlapping promotion, EnergyAnalyzer prices
+// the window's tail energy. The DiagnosisEngine produces the same answers
+// *while the experiment runs*: it subscribes to all three spine layers,
+// opens a pending window for every behavior record, and finalizes it into
+// a Finding as soon as the event stream guarantees the answer can no
+// longer change.
+//
+// Watermark rule: the device/network split probes traffic up to
+// window_end + trailing (the paper's local-echo heuristic), so a window is
+// finalized when an event with a later timestamp arrives — virtual time is
+// nondecreasing across the merged timeline, so by then every packet the
+// probe could see has been captured. finalize_all() drains the rest at end
+// of run (equivalent to running the batch analyzers on the log as-is).
+//
+// Equivalence contract (enforced by diag_test): every Finding field is
+// bit-identical to the batch analyzers run post-hoc over the same logs —
+// the split comes from the same CrossLayerAnalyzer over the same streaming
+// FlowAnalyzer, residency/energy from the RrcStateTracker (itself
+// bit-exact against RrcAnalyzer), and the tail split from EnergyAnalyzer
+// over the same window. One caveat: a DNS response captured only *after* a
+// window finalizes can backfill a flow's hostname in the batch view; with
+// the default (empty) hostname filter this affects only the Finding's
+// hostname label, never the attribution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/collector.h"
+#include "core/flow_analyzer.h"
+#include "diag/rrc_state_tracker.h"
+#include "sim/time.h"
+
+namespace qoed::device {
+class Device;
+}
+
+namespace qoed::core {
+class Table;
+struct RunResult;
+}  // namespace qoed::core
+
+namespace qoed::diag {
+
+struct DiagnosisConfig {
+  // Restricts responsible-flow attribution to hosts matching this
+  // substring (empty = any flow), as in CrossLayerAnalyzer.
+  std::string hostname_substr;
+  // How far past the window the local-echo probe looks; must match
+  // CrossLayerAnalyzer::device_network_split's trailing-traffic window.
+  sim::Duration trailing = sim::sec(3);
+};
+
+// One diagnosed UI-latency window. Latency fields mirror
+// DeviceNetworkSplit; radio fields are zero when the device had no
+// cellular link (has_radio false). energy_j is the residency-based value
+// (RrcAnalyzer::energy_joules); tail_j/tail_share come from
+// EnergyAnalyzer's activity split over the same window.
+struct Finding {
+  std::size_t behavior_index = 0;
+  std::string action;
+  sim::TimePoint window_start;  // QoeWindow::for_traffic bounds
+  sim::TimePoint window_end;
+  bool timed_out = false;
+
+  double total_s = 0;
+  double device_s = 0;
+  double network_s = 0;
+  bool network_on_critical_path = false;
+  bool has_flow = false;
+  std::string flow;      // responsible flow key ("ip:port>ip:port")
+  std::string hostname;  // its DNS name, when one was captured in time
+  std::uint64_t window_bytes = 0;
+
+  bool has_radio = false;
+  bool promotion_overlap = false;
+  std::size_t transitions = 0;
+  double energy_j = 0;
+  double tail_j = 0;
+  double tail_share = 0;
+};
+
+class DiagnosisEngine : public core::CollectorSink {
+ public:
+  // Borrows the device and its streaming FlowAnalyzer (both must outlive
+  // the engine); `flows` must be the analyzer the spine keeps current.
+  DiagnosisEngine(device::Device& dev, core::FlowAnalyzer& flows,
+                  DiagnosisConfig cfg = {});
+  ~DiagnosisEngine() override;
+  DiagnosisEngine(const DiagnosisEngine&) = delete;
+  DiagnosisEngine& operator=(const DiagnosisEngine&) = delete;
+
+  // Subscribes to all spine layers. The engine must be subscribed after
+  // the FlowAnalyzer it borrows (QoeDoctor::enable_diagnosis guarantees
+  // this) so packets are folded before any window they could finalize.
+  void attach(core::Collector& collector);
+
+  // Drains every pending window immediately — end-of-run flush. Findings
+  // finalized here saw exactly the data the batch analyzers would.
+  void finalize_all();
+
+  // Findings finalized so far, in behavior-record order.
+  const std::vector<Finding>& findings() const { return findings_; }
+  // Windows still waiting for their trailing probe to elapse.
+  std::size_t pending() const { return pending_.size(); }
+
+  // The streaming radio tracker; null until a radio event or finalize
+  // happens on a cellular device.
+  RrcStateTracker* tracker() { return tracker_.get(); }
+  const DiagnosisConfig& config() const { return cfg_; }
+
+  // Report surface: one row per finding.
+  core::Table findings_table() const;
+  // Campaign surface: finding counts and energy totals as
+  // "<prefix><name>" counters.
+  void add_counters(core::RunResult& out,
+                    const std::string& prefix = "diag.") const;
+
+  // CollectorSink.
+  void on_event(const core::Collector& collector,
+                const core::Event& event) override;
+  void on_layers_cleared(const core::Collector& collector,
+                         std::uint32_t layer_mask) override;
+
+ private:
+  struct PendingWindow {
+    std::size_t behavior_index = 0;
+    sim::TimePoint watermark;  // window_end + cfg_.trailing
+  };
+
+  void ensure_tracker();
+  void finalize(std::size_t behavior_index);
+
+  device::Device& device_;
+  core::FlowAnalyzer* flows_;
+  DiagnosisConfig cfg_;
+  core::Collector* collector_ = nullptr;
+  std::unique_ptr<RrcStateTracker> tracker_;
+
+  std::deque<PendingWindow> pending_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace qoed::diag

@@ -1,0 +1,53 @@
+#include "diag/findings_sink.h"
+
+#include <ostream>
+
+#include "core/json_util.h"
+
+namespace qoed::diag {
+
+namespace {
+
+void put_bool(std::ostream& os, bool b) { os << (b ? "true" : "false"); }
+
+}  // namespace
+
+void FindingsJsonlSink::write(std::ostream& os) const {
+  for (const Finding& f : engine_->findings()) {
+    os << "{\"i\":" << f.behavior_index << ",\"action\":";
+    core::put_json_string(os, f.action);
+    os << ",\"t_start\":";
+    core::put_json_number(os, f.window_start.seconds());
+    os << ",\"t_end\":";
+    core::put_json_number(os, f.window_end.seconds());
+    os << ",\"timed_out\":";
+    put_bool(os, f.timed_out);
+    os << ",\"total_s\":";
+    core::put_json_number(os, f.total_s);
+    os << ",\"device_s\":";
+    core::put_json_number(os, f.device_s);
+    os << ",\"network_s\":";
+    core::put_json_number(os, f.network_s);
+    os << ",\"network_critical\":";
+    put_bool(os, f.network_on_critical_path);
+    os << ",\"flow\":";
+    core::put_json_string(os, f.flow);
+    os << ",\"hostname\":";
+    core::put_json_string(os, f.hostname);
+    os << ",\"window_bytes\":" << f.window_bytes;
+    os << ",\"has_radio\":";
+    put_bool(os, f.has_radio);
+    os << ",\"promotion\":";
+    put_bool(os, f.promotion_overlap);
+    os << ",\"transitions\":" << f.transitions;
+    os << ",\"energy_j\":";
+    core::put_json_number(os, f.energy_j);
+    os << ",\"tail_j\":";
+    core::put_json_number(os, f.tail_j);
+    os << ",\"tail_share\":";
+    core::put_json_number(os, f.tail_share);
+    os << "}\n";
+  }
+}
+
+}  // namespace qoed::diag

@@ -1,0 +1,25 @@
+// JSON-lines export of live diagnosis findings.
+//
+// One object per Finding, in behavior-record order. Doubles are emitted
+// with round-trip precision (%.17g, see json_util.h), so two bit-identical
+// runs — and therefore any --jobs fan-out of a deterministic campaign —
+// produce byte-identical findings files.
+#pragma once
+
+#include "core/export_sink.h"
+#include "diag/diagnosis_engine.h"
+
+namespace qoed::diag {
+
+class FindingsJsonlSink final : public core::ExportSink {
+ public:
+  explicit FindingsJsonlSink(const DiagnosisEngine& engine)
+      : engine_(&engine) {}
+  std::string_view id() const override { return "findings.jsonl"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const DiagnosisEngine* engine_;
+};
+
+}  // namespace qoed::diag

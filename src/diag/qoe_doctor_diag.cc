@@ -1,0 +1,23 @@
+// QoeDoctor's live-diagnosis entry points. Kept in the qoed_diag library so
+// qoed_core carries only a forward declaration of the engine: targets that
+// never diagnose pay nothing, and the library layering stays acyclic
+// (qoed_diag -> qoed_core, never the reverse).
+#include "core/qoe_doctor.h"
+#include "diag/diagnosis_engine.h"
+
+namespace qoed::core {
+
+diag::DiagnosisEngine& QoeDoctor::enable_diagnosis() {
+  return enable_diagnosis(diag::DiagnosisConfig{});
+}
+
+diag::DiagnosisEngine& QoeDoctor::enable_diagnosis(
+    const diag::DiagnosisConfig& cfg) {
+  if (!diagnosis_) {
+    diagnosis_ = std::make_shared<diag::DiagnosisEngine>(device_, flows_, cfg);
+    diagnosis_->attach(collector_);
+  }
+  return *diagnosis_;
+}
+
+}  // namespace qoed::core

@@ -1,0 +1,151 @@
+#include "diag/rrc_state_tracker.h"
+
+#include <algorithm>
+
+#include "radio/record_search.h"
+
+namespace qoed::diag {
+
+namespace {
+
+std::size_t slot(radio::RrcState s) { return static_cast<std::size_t>(s); }
+
+bool is_promotion(const radio::RrcTransitionRecord& t) {
+  return radio::is_low_power(t.from) ||
+         (t.from == radio::RrcState::kFach && t.to == radio::RrcState::kDch);
+}
+
+bool is_demotion(const radio::RrcTransitionRecord& t) {
+  return (!radio::is_low_power(t.from) && radio::is_low_power(t.to)) ||
+         (t.from == radio::RrcState::kDch && t.to == radio::RrcState::kFach);
+}
+
+}  // namespace
+
+RrcStateTracker::RrcStateTracker(const radio::QxdmLogger& log,
+                                 radio::RrcConfig config)
+    : log_(&log), cfg_(std::move(config)) {
+  sync();
+}
+
+RrcStateTracker::~RrcStateTracker() {
+  if (collector_ != nullptr) collector_->unsubscribe(this);
+}
+
+void RrcStateTracker::attach(core::Collector& collector) {
+  collector.subscribe(core::kLayerRadio, this);
+  collector_ = &collector;
+  sync();
+}
+
+void RrcStateTracker::sync() {
+  if (log_ == nullptr) return;
+  const auto& rrc = log_->rrc_log();
+  for (; consumed_rrc_ < rrc.size(); ++consumed_rrc_) {
+    const auto& t = rrc[consumed_rrc_];
+    Checkpoint cp;
+    cp.at = t.at;
+    cp.state_after = t.to;
+    if (checkpoints_.empty()) {
+      cp.cum[slot(cfg_.idle_state())] = (t.at - sim::kTimeZero).count();
+    } else {
+      const Checkpoint& prev = checkpoints_.back();
+      cp.cum = prev.cum;
+      cp.cum[slot(prev.state_after)] += (t.at - prev.at).count();
+    }
+    checkpoints_.push_back(cp);
+    if (is_promotion(t)) {
+      promotion_at_.push_back(t.at);
+      ++promotions_;
+    }
+    if (is_demotion(t)) ++demotions_;
+  }
+  const auto& pdus = log_->pdu_log();
+  for (; consumed_pdu_ < pdus.size(); ++consumed_pdu_) {
+    ++pdus_seen_;
+    pdu_bytes_ += pdus[consumed_pdu_].payload_len;
+  }
+}
+
+void RrcStateTracker::reset() {
+  checkpoints_.clear();
+  promotion_at_.clear();
+  consumed_rrc_ = 0;
+  consumed_pdu_ = 0;
+  promotions_ = 0;
+  demotions_ = 0;
+  pdus_seen_ = 0;
+  pdu_bytes_ = 0;
+}
+
+std::array<sim::Duration::rep, RrcStateTracker::kStateCount>
+RrcStateTracker::cum_at(sim::TimePoint t) const {
+  const std::size_t i = radio::first_after(checkpoints_, t);
+  if (i == 0) {
+    std::array<sim::Duration::rep, kStateCount> cum{};
+    cum[slot(cfg_.idle_state())] = (t - sim::kTimeZero).count();
+    return cum;
+  }
+  const Checkpoint& cp = checkpoints_[i - 1];
+  auto cum = cp.cum;
+  cum[slot(cp.state_after)] += (t - cp.at).count();
+  return cum;
+}
+
+radio::StateResidency RrcStateTracker::residency(sim::TimePoint start,
+                                                 sim::TimePoint end) const {
+  radio::StateResidency out;
+  if (end <= start) return out;
+  const auto a = cum_at(start);
+  const auto b = cum_at(end);
+  for (std::size_t s = 0; s < kStateCount; ++s) {
+    const sim::Duration::rep d = b[s] - a[s];
+    if (d != 0) {
+      out.time_in_state[static_cast<radio::RrcState>(s)] = sim::Duration{d};
+    }
+  }
+  return out;
+}
+
+double RrcStateTracker::energy_joules(sim::TimePoint start,
+                                      sim::TimePoint end) const {
+  return radio::energy_joules(residency(start, end), cfg_);
+}
+
+bool RrcStateTracker::promotion_in(sim::TimePoint start,
+                                   sim::TimePoint end) const {
+  const auto lo =
+      std::lower_bound(promotion_at_.begin(), promotion_at_.end(), start);
+  return lo != promotion_at_.end() && *lo <= end;
+}
+
+std::size_t RrcStateTracker::transitions_in_count(sim::TimePoint start,
+                                                  sim::TimePoint end) const {
+  const auto [lo, hi] = radio::record_range(checkpoints_, start, end);
+  return hi - lo;
+}
+
+radio::RrcState RrcStateTracker::state_at(sim::TimePoint t) const {
+  const std::size_t i = radio::first_after(checkpoints_, t);
+  return i > 0 ? checkpoints_[i - 1].state_after : cfg_.idle_state();
+}
+
+void RrcStateTracker::on_event(const core::Collector& collector,
+                               const core::Event& event) {
+  (void)collector;
+  (void)event;
+  // Radio backfills bypass notification, so fold everything unconsumed
+  // rather than just this event's record.
+  sync();
+}
+
+void RrcStateTracker::on_layers_cleared(const core::Collector& collector,
+                                        std::uint32_t layer_mask) {
+  if ((layer_mask & core::kLayerRadio) == 0) return;
+  reset();
+  // The store may be gone (cellular detach) or replaced (re-attach).
+  log_ = collector.qxdm();
+  sync();
+}
+
+}  // namespace qoed::diag

@@ -1,0 +1,125 @@
+// Streaming RRC state tracker (live half of §5.3).
+//
+// The batch RrcAnalyzer answers residency/energy/promotion queries by
+// walking the finished QxDM log. This tracker folds the same
+// RrcTransitionRecord/PduRecord stream online — as a CollectorSink on the
+// spine's radio layer — into per-transition checkpoints carrying cumulative
+// per-state residency (integer microseconds since time zero), plus
+// promotion/demotion counters and a sorted promotion-time index. Any
+// mid-run window query is then two binary searches and an integer
+// subtraction, the same design as FlowAnalyzer's WindowIndex.
+//
+// Equivalence contract (enforced by diag_test): for every window whose
+// records have been folded in, residency() and energy_joules() are
+// bit-identical to RrcAnalyzer::residency/energy_joules over the same log —
+// residencies are exact integer durations, so the prefix-sum difference
+// C(end) - C(start) reproduces the batch walk's per-state totals, and the
+// energy sum iterates states in the same (enum) order over the same
+// doubles.
+//
+// Ingestion follows the FlowAnalyzer idiom: the tracker borrows the
+// QxdmLogger's record vectors (which only grow between syncs), keeps
+// consumed counts, and folds new records on sync(). attach() subscribes to
+// the collector's radio events so the tracker stays current automatically;
+// a radio-layer clear (phase reset, cellular detach) resets the derived
+// state and re-resolves the log from the collector.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/collector.h"
+#include "radio/power_model.h"
+#include "radio/qxdm_logger.h"
+#include "radio/rrc_config.h"
+#include "sim/time.h"
+
+namespace qoed::diag {
+
+class RrcStateTracker : public core::CollectorSink {
+ public:
+  // One slot per RrcState enumerator.
+  static constexpr std::size_t kStateCount = 7;
+
+  // Borrows `log` (must outlive the tracker, or be superseded via a
+  // radio-layer clear notification) and folds in everything it holds.
+  RrcStateTracker(const radio::QxdmLogger& log, radio::RrcConfig config);
+  ~RrcStateTracker() override;
+  RrcStateTracker(const RrcStateTracker&) = delete;
+  RrcStateTracker& operator=(const RrcStateTracker&) = delete;
+
+  // Subscribes to the spine's radio events; every captured transition/PDU
+  // is folded in as it arrives. Radio backfills merged without notification
+  // (Collector::wire_radio) are picked up by the next sync().
+  void attach(core::Collector& collector);
+
+  // Folds in records appended to the borrowed log since the last sync.
+  void sync();
+
+  // Drops all derived state (checkpoints, counters); the next sync()
+  // re-folds the borrowed log from the start.
+  void reset();
+
+  // --- window queries (valid through the last synced record) ---
+
+  // Per-state residency over [start, end]; bit-identical to
+  // radio::compute_residency over the folded log (zero-duration entries
+  // are omitted — in() and energy sums are unaffected).
+  radio::StateResidency residency(sim::TimePoint start,
+                                  sim::TimePoint end) const;
+  // Energy of the residency under the tracked RrcConfig; bit-identical to
+  // RrcAnalyzer::energy_joules.
+  double energy_joules(sim::TimePoint start, sim::TimePoint end) const;
+  // True when a promotion (low-power origin, or FACH->DCH) lies in
+  // [start, end] — the RrcAnalyzer::promotion_in predicate.
+  bool promotion_in(sim::TimePoint start, sim::TimePoint end) const;
+  // Number of transitions with timestamp in [start, end].
+  std::size_t transitions_in_count(sim::TimePoint start,
+                                   sim::TimePoint end) const;
+  // The state at time t (last transition at or before t; idle initially).
+  radio::RrcState state_at(sim::TimePoint t) const;
+
+  // --- running counters over everything folded so far ---
+  std::uint64_t promotions() const { return promotions_; }
+  std::uint64_t demotions() const { return demotions_; }
+  std::uint64_t pdus_seen() const { return pdus_seen_; }
+  std::uint64_t pdu_bytes() const { return pdu_bytes_; }
+  std::size_t consumed_transitions() const { return consumed_rrc_; }
+
+  const radio::RrcConfig& config() const { return cfg_; }
+
+  // CollectorSink: radio events -> sync; radio-layer clear -> reset and
+  // re-resolve the borrowed log (it may have been destroyed or replaced).
+  void on_event(const core::Collector& collector,
+                const core::Event& event) override;
+  void on_layers_cleared(const core::Collector& collector,
+                         std::uint32_t layer_mask) override;
+
+ private:
+  // Cumulative per-state residency (integer microsecond ticks) from time
+  // zero through `at`; `state_after` is the state entered at `at`.
+  struct Checkpoint {
+    sim::TimePoint at;
+    radio::RrcState state_after = radio::RrcState::kPch;
+    std::array<sim::Duration::rep, kStateCount> cum{};
+  };
+
+  std::array<sim::Duration::rep, kStateCount> cum_at(sim::TimePoint t) const;
+
+  const radio::QxdmLogger* log_;
+  radio::RrcConfig cfg_;
+  core::Collector* collector_ = nullptr;
+
+  std::vector<Checkpoint> checkpoints_;
+  std::vector<sim::TimePoint> promotion_at_;  // sorted (capture order)
+  std::size_t consumed_rrc_ = 0;
+  std::size_t consumed_pdu_ = 0;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t pdus_seen_ = 0;
+  std::uint64_t pdu_bytes_ = 0;
+};
+
+}  // namespace qoed::diag

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "radio/record_search.h"
+
 namespace qoed::radio {
 
 sim::Duration StateResidency::total() const {
@@ -21,17 +23,16 @@ StateResidency compute_residency(const std::vector<RrcTransitionRecord>& log,
   StateResidency out;
   if (end <= start) return out;
 
-  RrcState state = initial;
+  // The state at `start` is set by the last transition at or before it
+  // (ties resolve to the latest, as the linear scan applied them in order);
+  // only transitions strictly inside (start, end) then split the window.
+  std::size_t i = first_after(log, start);
+  RrcState state = i > 0 ? log[i - 1].to : initial;
   sim::TimePoint cursor = start;
-  for (const auto& t : log) {
-    if (t.at <= start) {
-      state = t.to;
-      continue;
-    }
-    if (t.at >= end) break;
-    out.time_in_state[state] += t.at - cursor;
-    cursor = t.at;
-    state = t.to;
+  for (; i < log.size() && log[i].at < end; ++i) {
+    out.time_in_state[state] += log[i].at - cursor;
+    cursor = log[i].at;
+    state = log[i].to;
   }
   out.time_in_state[state] += end - cursor;
   return out;

@@ -24,7 +24,9 @@ struct StateResidency {
 
 // Walks the transition log over [start, end]; `initial` is the state at the
 // beginning of the log (transitions before `start` are applied to find the
-// state at `start`).
+// state at `start`). The log must be sorted by `at` (captured logs always
+// are); the window is located by binary search, so the cost is
+// O(log n + transitions inside the window), not O(log size).
 StateResidency compute_residency(const std::vector<RrcTransitionRecord>& log,
                                  RrcState initial, sim::TimePoint start,
                                  sim::TimePoint end);

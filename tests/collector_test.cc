@@ -280,6 +280,53 @@ TEST_F(CollectorSpineTest, FrontEndClearRemovesLayerFromTimeline) {
   }
 }
 
+TEST_F(CollectorSpineTest, UnsubscribedOwnedFunctionSinkStopsDelivery) {
+  start();
+  Collector& c = doctor_->collector();
+  std::size_t delivered = 0;
+  CollectorSink* owned = c.subscribe(
+      kLayerAll, [&](const Collector&, const Event&) { ++delivered; });
+  ASSERT_FALSE(upload().timed_out);
+  ASSERT_GT(delivered, 0u);
+
+  // Unsubscribing the collector-owned handle must stop delivery cold; the
+  // next upload's events don't reach the dead sink.
+  c.unsubscribe(owned);
+  const std::size_t at_unsubscribe = delivered;
+  ASSERT_FALSE(upload().timed_out);
+  EXPECT_EQ(delivered, at_unsubscribe);
+}
+
+TEST_F(CollectorSpineTest, SubscriberAddedMidRunSeesOnlySubsequentEvents) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  Collector& c = doctor_->collector();
+  const std::uint64_t seq_floor = c.timeline().back().seq;
+
+  std::vector<Event> seen;
+  c.subscribe(kLayerAll,
+              [&](const Collector&, const Event& e) { seen.push_back(e); });
+  ASSERT_FALSE(upload().timed_out);
+
+  // Nothing already in the timeline is replayed to a late subscriber; every
+  // delivered event postdates the subscription point.
+  ASSERT_FALSE(seen.empty());
+  for (const Event& e : seen) EXPECT_GT(e.seq, seq_floor);
+}
+
+TEST_F(CollectorSpineTest, TimelineJsonlOnEmptyTimelineIsEmpty) {
+  start();
+  Collector& c = doctor_->collector();
+  ASSERT_FALSE(upload().timed_out);
+  c.clear();
+  ASSERT_TRUE(c.timeline().empty());
+  EXPECT_EQ(TimelineJsonlSink(c).to_string(), "");
+
+  // A detached spine (no front-ends at all) exports the same nothing.
+  Collector detached;
+  EXPECT_EQ(TimelineJsonlSink(detached).to_string(), "");
+}
+
 // --- Export sinks ---
 
 TEST_F(CollectorSpineTest, SinksMatchLegacyExporters) {

@@ -1,0 +1,415 @@
+// Tests of the live diagnosis engine (src/diag): the streaming
+// RrcStateTracker and the online DiagnosisEngine, each held bit-exact
+// against the batch analyzers over the same logs, plus the findings
+// export determinism guarantees.
+#include "diag/diagnosis_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/social_server.h"
+#include "core/log_export.h"
+#include "core/qoe_doctor.h"
+#include "diag/findings_sink.h"
+#include "diag/rrc_state_tracker.h"
+
+namespace qoed::diag {
+namespace {
+
+using radio::RrcState;
+
+sim::TimePoint at_ms(std::int64_t ms) { return sim::kTimeZero + sim::msec(ms); }
+
+// --- RrcStateTracker against the batch analyzers, hand-built log ---
+
+class HandBuiltLogTest : public ::testing::Test {
+ protected:
+  HandBuiltLogTest() : log_(sim::Rng(1)), cfg_(radio::RrcConfig::umts_default()) {
+    log_.set_record_loss(0, 0);
+  }
+
+  void fill_log() {
+    log_.log_rrc(RrcState::kPch, RrcState::kFach, at_ms(1000));
+    log_.log_rrc(RrcState::kFach, RrcState::kDch, at_ms(1500));
+    log_.log_rrc(RrcState::kDch, RrcState::kFach, at_ms(8000));
+    // Same-timestamp pair: the batch walk produces a zero-duration segment.
+    log_.log_rrc(RrcState::kFach, RrcState::kDch, at_ms(8000));
+    log_.log_rrc(RrcState::kDch, RrcState::kFach, at_ms(12000));
+    log_.log_rrc(RrcState::kFach, RrcState::kPch, at_ms(15000));
+  }
+
+  // Every query the tracker answers, compared bit-exact with the batch
+  // analyzer over the same window.
+  void expect_matches_batch(const RrcStateTracker& tracker,
+                            sim::TimePoint start, sim::TimePoint end) {
+    const core::RrcAnalyzer batch(log_, cfg_);
+    const auto live = tracker.residency(start, end);
+    const auto ref = batch.residency(start, end);
+    for (int s = 0; s < 7; ++s) {
+      const auto state = static_cast<RrcState>(s);
+      EXPECT_EQ(live.in(state), ref.in(state))
+          << "state " << radio::to_string(state) << " in ["
+          << start.seconds() << ", " << end.seconds() << "]";
+    }
+    EXPECT_EQ(live.total(), ref.total());
+    EXPECT_EQ(tracker.energy_joules(start, end),
+              batch.energy_joules(start, end));
+    EXPECT_EQ(tracker.promotion_in(start, end),
+              batch.promotion_in(start, end));
+    EXPECT_EQ(tracker.transitions_in_count(start, end),
+              batch.transitions_in(start, end).size());
+  }
+
+  radio::QxdmLogger log_;
+  radio::RrcConfig cfg_;
+};
+
+TEST_F(HandBuiltLogTest, WindowQueriesMatchBatchBitExact) {
+  fill_log();
+  RrcStateTracker tracker(log_, cfg_);
+  const std::pair<std::int64_t, std::int64_t> windows[] = {
+      {0, 20000},     // whole log and beyond
+      {500, 1250},    // crosses the first promotion
+      {1000, 1500},   // both ends exactly on transition timestamps
+      {200, 700},     // no transitions inside
+      {7900, 8100},   // brackets the same-timestamp pair
+      {8000, 12000},  // starts exactly on the pair
+      {14000, 20000},  // ends past the final demotion
+      {15000, 15000},  // empty window
+  };
+  for (const auto& [a, b] : windows) {
+    expect_matches_batch(tracker, at_ms(a), at_ms(b));
+  }
+}
+
+TEST_F(HandBuiltLogTest, IncrementalSyncEqualsBatchRebuildMidStream) {
+  RrcStateTracker tracker(log_, cfg_);  // constructed over the empty log
+  expect_matches_batch(tracker, at_ms(0), at_ms(5000));  // idle everywhere
+
+  // Fold the log in piecewise; after every sync the tracker must agree
+  // with a batch analyzer over the records captured so far.
+  log_.log_rrc(RrcState::kPch, RrcState::kFach, at_ms(1000));
+  log_.log_rrc(RrcState::kFach, RrcState::kDch, at_ms(1500));
+  tracker.sync();
+  expect_matches_batch(tracker, at_ms(0), at_ms(3000));
+  expect_matches_batch(tracker, at_ms(1200), at_ms(1800));
+
+  log_.log_rrc(RrcState::kDch, RrcState::kFach, at_ms(8000));
+  log_.log_rrc(RrcState::kFach, RrcState::kDch, at_ms(8000));
+  log_.log_rrc(RrcState::kDch, RrcState::kFach, at_ms(12000));
+  log_.log_rrc(RrcState::kFach, RrcState::kPch, at_ms(15000));
+  tracker.sync();
+  expect_matches_batch(tracker, at_ms(0), at_ms(20000));
+  expect_matches_batch(tracker, at_ms(7900), at_ms(8100));
+
+  // sync() is idempotent.
+  tracker.sync();
+  expect_matches_batch(tracker, at_ms(0), at_ms(20000));
+}
+
+TEST_F(HandBuiltLogTest, StateAndCountersFollowTheLog) {
+  fill_log();
+  RrcStateTracker tracker(log_, cfg_);
+  EXPECT_EQ(tracker.state_at(at_ms(500)), RrcState::kPch);
+  EXPECT_EQ(tracker.state_at(at_ms(1000)), RrcState::kFach);  // tie -> latest
+  EXPECT_EQ(tracker.state_at(at_ms(8000)), RrcState::kDch);   // pair applied
+  EXPECT_EQ(tracker.state_at(at_ms(16000)), RrcState::kPch);
+  // Promotions: PCH->FACH, FACH->DCH, and the 8s FACH->DCH re-promotion.
+  EXPECT_EQ(tracker.promotions(), 3u);
+  // Demotions: both DCH->FACH drops plus the final FACH->PCH.
+  EXPECT_EQ(tracker.demotions(), 3u);
+  EXPECT_EQ(tracker.consumed_transitions(), log_.rrc_log().size());
+
+  radio::PduRecord pdu;
+  pdu.payload_len = 40;
+  pdu.at = at_ms(2000);
+  log_.log_pdu(pdu);
+  log_.log_pdu(pdu);
+  tracker.sync();
+  EXPECT_EQ(tracker.pdus_seen(), 2u);
+  EXPECT_EQ(tracker.pdu_bytes(), 80u);
+}
+
+// --- Live engine over a real end-to-end run ---
+
+class LiveDiagTest : public ::testing::Test {
+ protected:
+  LiveDiagTest() : bed_(21), server_(bed_.network(), bed_.next_server_ip()) {
+    dev_ = bed_.make_device("galaxy-s3");
+  }
+
+  void start(bool cellular = true) {
+    if (cellular) {
+      dev_->attach_cellular(radio::CellularConfig::umts());
+    } else {
+      dev_->attach_wifi();
+    }
+    app_ = std::make_unique<apps::SocialApp>(*dev_);
+    app_->launch();
+    doctor_ = std::make_unique<core::QoeDoctor>(*dev_, *app_);
+    engine_ = &doctor_->enable_diagnosis();
+    driver_ =
+        std::make_unique<core::FacebookDriver>(doctor_->controller(), *app_);
+    app_->login("alice");
+    bed_.advance(sim::sec(15));
+  }
+
+  core::BehaviorRecord upload() {
+    core::BehaviorRecord rec;
+    driver_->upload_post(apps::PostKind::kStatus,
+                         [&](const core::BehaviorRecord& r) { rec = r; });
+    bed_.advance(sim::sec(30));
+    return rec;
+  }
+
+  // Asserts the finding reproduces the batch analyzers bit-exact.
+  void expect_finding_matches_batch(const Finding& f) {
+    const core::BehaviorRecord& rec =
+        doctor_->log().records()[f.behavior_index];
+    const core::QoeWindow w = core::QoeWindow::for_traffic(rec);
+    EXPECT_EQ(f.window_start, w.start);
+    EXPECT_EQ(f.window_end, w.end);
+    EXPECT_EQ(f.action, rec.action);
+    EXPECT_EQ(f.timed_out, rec.timed_out);
+
+    auto analysis = doctor_->analyze();
+    const core::DeviceNetworkSplit split =
+        analysis.cross_layer().device_network_split(rec, "");
+    EXPECT_EQ(f.total_s, split.total_s);
+    EXPECT_EQ(f.device_s, split.device_s);
+    EXPECT_EQ(f.network_s, split.network_s);
+    EXPECT_EQ(f.network_on_critical_path, split.network_on_critical_path);
+    EXPECT_EQ(f.has_flow, split.flow != nullptr);
+    if (split.flow != nullptr) {
+      EXPECT_EQ(f.flow, split.flow->key.to_string());
+      EXPECT_EQ(f.hostname, split.flow->hostname);
+    }
+    EXPECT_EQ(f.window_bytes,
+              doctor_->flows().bytes_in_window(w.start, w.end, "").total());
+
+    EXPECT_EQ(f.has_radio, analysis.has_radio());
+    if (analysis.has_radio()) {
+      EXPECT_EQ(f.promotion_overlap, analysis.rrc().promotion_in(w.start, w.end));
+      EXPECT_EQ(f.transitions,
+                analysis.rrc().transitions_in(w.start, w.end).size());
+      EXPECT_EQ(f.energy_j, analysis.rrc().energy_joules(w.start, w.end));
+      const core::EnergyBreakdown eb = analysis.energy().analyze(w.start, w.end);
+      EXPECT_EQ(f.tail_j, eb.tail_joules);
+      EXPECT_EQ(f.tail_share,
+                eb.total_joules > 0 ? eb.tail_joules / eb.total_joules : 0.0);
+    } else {
+      EXPECT_EQ(f.energy_j, 0.0);
+      EXPECT_EQ(f.transitions, 0u);
+    }
+  }
+
+  core::Testbed bed_;
+  apps::SocialServer server_;
+  std::unique_ptr<device::Device> dev_;
+  std::unique_ptr<apps::SocialApp> app_;
+  std::unique_ptr<core::QoeDoctor> doctor_;
+  std::unique_ptr<core::FacebookDriver> driver_;
+  DiagnosisEngine* engine_ = nullptr;
+};
+
+TEST_F(LiveDiagTest, TrackerMatchesBatchOverRealRadioLog) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  ASSERT_FALSE(upload().timed_out);
+
+  RrcStateTracker* tracker = engine_->tracker();
+  ASSERT_NE(tracker, nullptr);
+  tracker->sync();
+  ASSERT_GT(tracker->consumed_transitions(), 0u);
+
+  auto analysis = doctor_->analyze();
+  const sim::TimePoint now = bed_.loop().now();
+  const core::RrcAnalyzer& batch = analysis.rrc();
+  const std::pair<double, double> windows[] = {
+      {0, sim::to_seconds(now - sim::kTimeZero)},
+      {10, 20},
+      {14.5, 16.5},
+      {0, 5},
+  };
+  for (const auto& [a, b] : windows) {
+    const sim::TimePoint start = sim::kTimeZero + sim::sec_f(a);
+    const sim::TimePoint end = sim::kTimeZero + sim::sec_f(b);
+    const auto live = tracker->residency(start, end);
+    const auto ref = batch.residency(start, end);
+    for (int s = 0; s < 7; ++s) {
+      const auto state = static_cast<RrcState>(s);
+      EXPECT_EQ(live.in(state), ref.in(state));
+    }
+    EXPECT_EQ(tracker->energy_joules(start, end),
+              batch.energy_joules(start, end));
+    EXPECT_EQ(tracker->promotion_in(start, end),
+              batch.promotion_in(start, end));
+    EXPECT_EQ(tracker->transitions_in_count(start, end),
+              batch.transitions_in(start, end).size());
+  }
+}
+
+TEST_F(LiveDiagTest, FindingsMatchBatchAnalyzersFieldForField) {
+  start();
+  for (int i = 0; i < 3; ++i) ASSERT_FALSE(upload().timed_out);
+  engine_->finalize_all();
+
+  const auto& findings = engine_->findings();
+  ASSERT_EQ(findings.size(), doctor_->log().records().size());
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) expect_finding_matches_batch(f);
+}
+
+TEST_F(LiveDiagTest, FindingsStreamOutMidRunBeforeFinalizeAll) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  // The 30 s the upload advanced are well past the window's trailing probe,
+  // and the radio tail demotions that follow the transfer delivered events
+  // behind it — the finding must already be finalized, no flush needed.
+  EXPECT_EQ(engine_->findings().size(), 1u);
+  EXPECT_EQ(engine_->pending(), 0u);
+  expect_finding_matches_batch(engine_->findings()[0]);
+}
+
+TEST_F(LiveDiagTest, WifiRunDiagnosesWithoutRadio) {
+  start(/*cellular=*/false);
+  ASSERT_FALSE(upload().timed_out);
+  engine_->finalize_all();
+  ASSERT_EQ(engine_->findings().size(), 1u);
+  const Finding& f = engine_->findings()[0];
+  EXPECT_FALSE(f.has_radio);
+  EXPECT_EQ(engine_->tracker(), nullptr);
+  expect_finding_matches_batch(f);
+}
+
+TEST_F(LiveDiagTest, ResetCollectionStartsAFreshDiagnosisPhase) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  engine_->finalize_all();
+  ASSERT_EQ(engine_->findings().size(), 1u);
+
+  doctor_->reset_collection();
+  EXPECT_EQ(engine_->findings().size(), 0u);
+  EXPECT_EQ(engine_->pending(), 0u);
+
+  ASSERT_FALSE(upload().timed_out);
+  engine_->finalize_all();
+  ASSERT_EQ(engine_->findings().size(), 1u);
+  expect_finding_matches_batch(engine_->findings()[0]);
+}
+
+TEST_F(LiveDiagTest, CountersAndTableSurfaceFindings) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  engine_->finalize_all();
+  ASSERT_EQ(engine_->findings().size(), 1u);
+
+  core::RunResult rr;
+  engine_->add_counters(rr);
+  EXPECT_EQ(rr.counters.at("diag.findings"), 1.0);
+  EXPECT_EQ(rr.counters.at("diag.energy_j"), engine_->findings()[0].energy_j);
+  EXPECT_EQ(rr.counters.at("diag.tail_j"), engine_->findings()[0].tail_j);
+  EXPECT_TRUE(rr.counters.count("diag.network_critical"));
+  EXPECT_TRUE(rr.counters.count("diag.promotion_overlap"));
+  engine_->findings_table();  // renders without crashing
+}
+
+// --- Findings export determinism ---
+
+std::string run_and_export_findings(std::uint64_t seed) {
+  core::Testbed bed(seed);
+  apps::SocialServer server(bed.network(), bed.next_server_ip());
+  auto dev = bed.make_device("phone");
+  dev->attach_cellular(radio::CellularConfig::umts());
+  apps::SocialApp app(*dev);
+  app.launch();
+  core::QoeDoctor doctor(*dev, app);
+  DiagnosisEngine& engine = doctor.enable_diagnosis();
+  core::FacebookDriver driver(doctor.controller(), app);
+  app.login("bob");
+  bed.advance(sim::sec(10));
+  for (int i = 0; i < 2; ++i) {
+    driver.upload_post(apps::PostKind::kStatus,
+                       [](const core::BehaviorRecord&) {});
+    bed.advance(sim::sec(20));
+  }
+  engine.finalize_all();
+  return FindingsJsonlSink(engine).to_string();
+}
+
+TEST(FindingsSinkTest, ByteIdenticalAcrossIdenticalRuns) {
+  const std::string a = run_and_export_findings(77);
+  const std::string b = run_and_export_findings(77);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+
+  std::istringstream lines(a);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"action\":"), std::string::npos);
+    EXPECT_NE(line.find("\"energy_j\":"), std::string::npos);
+  }
+  EXPECT_EQ(n, 2u);  // one line per finding
+}
+
+TEST(FindingsSinkTest, CampaignJsonWithDiagCountersIdenticalAcrossJobs) {
+  const auto factory = [](std::uint64_t seed, const core::RunSpec&) {
+    core::RunResult out;
+    core::Testbed bed(seed);
+    apps::SocialServer server(bed.network(), bed.next_server_ip());
+    auto dev = bed.make_device("phone");
+    dev->attach_cellular(radio::CellularConfig::umts());
+    apps::SocialApp app(*dev);
+    app.launch();
+    core::QoeDoctor doctor(*dev, app);
+    DiagnosisEngine& engine = doctor.enable_diagnosis();
+    core::FacebookDriver driver(doctor.controller(), app);
+    app.login("carol");
+    bed.advance(sim::sec(10));
+    driver.upload_post(apps::PostKind::kStatus,
+                       [](const core::BehaviorRecord&) {});
+    bed.advance(sim::sec(20));
+    engine.finalize_all();
+    for (const Finding& f : engine.findings()) {
+      out.add_sample("diag.total_s", f.total_s);
+      out.add_sample("diag.energy_j", f.energy_j);
+    }
+    engine.add_counters(out);
+    return out;
+  };
+
+  core::CampaignConfig cfg;
+  cfg.name = "diag-campaign";
+  cfg.runs = 4;
+  cfg.master_seed = 5;
+  cfg.jobs = 1;
+  const core::CampaignResult serial = core::Campaign(cfg).run(factory);
+  cfg.jobs = 3;
+  const core::CampaignResult parallel = core::Campaign(cfg).run(factory);
+
+  EXPECT_GT(serial.counters.at("diag.findings"), 0.0);
+  // jobs is part of the export (it describes the execution); mask it so the
+  // comparison covers exactly the deterministic payload.
+  std::string a = core::campaign_to_json_string(serial);
+  std::string b = core::campaign_to_json_string(parallel);
+  const auto mask = [](std::string& s) {
+    const auto pos = s.find("\"jobs\":");
+    ASSERT_NE(pos, std::string::npos);
+    const auto end = s.find(',', pos);
+    s.erase(pos, end - pos);
+  };
+  mask(a);
+  mask(b);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace qoed::diag

@@ -1,0 +1,120 @@
+// Tests of core::merge_timelines: the (t, device, seq) interleaving order,
+// the device stamp, and the input-order determinism guarantee.
+#include "core/timeline_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/social_server.h"
+#include "core/export_sink.h"
+#include "core/qoe_doctor.h"
+
+namespace qoed::core {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+TEST(TimelineMergeTest, InterleavesByTimestampAndStampsDevice) {
+  const DeviceTimeline a{
+      "phone-a",
+      "{\"t\":1,\"seq\":0,\"layer\":\"ui\"}\n"
+      "{\"t\":3,\"seq\":1,\"layer\":\"packet\"}\n"};
+  const DeviceTimeline b{"phone-b", "{\"t\":2,\"seq\":0,\"layer\":\"radio\"}\n"};
+  const auto merged = lines_of(merge_timelines({a, b}));
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0],
+            "{\"device\":\"phone-a\",\"t\":1,\"seq\":0,\"layer\":\"ui\"}");
+  EXPECT_EQ(merged[1],
+            "{\"device\":\"phone-b\",\"t\":2,\"seq\":0,\"layer\":\"radio\"}");
+  EXPECT_EQ(merged[2],
+            "{\"device\":\"phone-a\",\"t\":3,\"seq\":1,\"layer\":\"packet\"}");
+}
+
+TEST(TimelineMergeTest, TimestampTiesBreakByDeviceThenSeq) {
+  // Both devices log at t=5; within a device, seq keeps capture order even
+  // though the records tie on time.
+  const DeviceTimeline b{"b", "{\"t\":5,\"seq\":0,\"k\":\"b0\"}\n"};
+  const DeviceTimeline a{
+      "a",
+      "{\"t\":5,\"seq\":2,\"k\":\"a2\"}\n"
+      "{\"t\":5,\"seq\":10,\"k\":\"a10\"}\n"};
+  const auto merged = lines_of(merge_timelines({b, a}));
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_NE(merged[0].find("\"k\":\"a2\""), std::string::npos);
+  EXPECT_NE(merged[1].find("\"k\":\"a10\""), std::string::npos);
+  EXPECT_NE(merged[2].find("\"k\":\"b0\""), std::string::npos);
+}
+
+TEST(TimelineMergeTest, EmptyAndBlankInputsAreDropped) {
+  const DeviceTimeline empty{"empty", ""};
+  const DeviceTimeline blanks{"blanks", "\n\nnot-json\n"};
+  const DeviceTimeline real{"real", "{\"t\":1,\"seq\":0}\n"};
+  const auto merged = lines_of(merge_timelines({empty, blanks, real}));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], "{\"device\":\"real\",\"t\":1,\"seq\":0}");
+  EXPECT_TRUE(merge_timelines({}).empty());
+}
+
+TEST(TimelineMergeTest, MergeIsAPureFunctionOfTheInputSet) {
+  // Distinct device labels make (t, device, seq) a total order, so feeding
+  // the same timelines in any order yields byte-identical output.
+  const DeviceTimeline a{
+      "a",
+      "{\"t\":0.5,\"seq\":0}\n{\"t\":2,\"seq\":1}\n{\"t\":2,\"seq\":2}\n"};
+  const DeviceTimeline b{"b", "{\"t\":0.5,\"seq\":0}\n{\"t\":1.75,\"seq\":1}\n"};
+  const DeviceTimeline c{"c", "{\"t\":2,\"seq\":0}\n"};
+  const std::string abc = merge_timelines({a, b, c});
+  EXPECT_EQ(abc, merge_timelines({c, b, a}));
+  EXPECT_EQ(abc, merge_timelines({b, a, c}));
+}
+
+// End-to-end: merge two real spine exports and check the result is globally
+// time-ordered with every line stamped.
+TEST(TimelineMergeTest, MergesRealSpineExports) {
+  auto capture = [](std::uint64_t seed) {
+    Testbed bed(seed);
+    apps::SocialServer server(bed.network(), bed.next_server_ip());
+    auto dev = bed.make_device("phone");
+    dev->attach_cellular(radio::CellularConfig::umts());
+    apps::SocialApp app(*dev);
+    app.launch();
+    QoeDoctor doctor(*dev, app);
+    FacebookDriver driver(doctor.controller(), app);
+    app.login("dana");
+    bed.advance(sim::sec(10));
+    driver.upload_post(apps::PostKind::kStatus, [](const BehaviorRecord&) {});
+    bed.advance(sim::sec(20));
+    return TimelineJsonlSink(doctor.collector()).to_string();
+  };
+  const DeviceTimeline d1{"phone-1", capture(3)};
+  const DeviceTimeline d2{"phone-2", capture(4)};
+  const auto merged = lines_of(merge_timelines({d1, d2}));
+  ASSERT_EQ(merged.size(),
+            lines_of(d1.jsonl).size() + lines_of(d2.jsonl).size());
+
+  double last_t = -1;
+  std::size_t stamped = 0;
+  for (const std::string& line : merged) {
+    ASSERT_EQ(line.rfind("{\"device\":\"phone-", 0), 0u);
+    ++stamped;
+    const auto tpos = line.find("\"t\":");
+    ASSERT_NE(tpos, std::string::npos);
+    const double t = std::strtod(line.c_str() + tpos + 4, nullptr);
+    EXPECT_GE(t, last_t);
+    last_t = t;
+  }
+  EXPECT_EQ(stamped, merged.size());
+}
+
+}  // namespace
+}  // namespace qoed::core
