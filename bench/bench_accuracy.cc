@@ -9,6 +9,10 @@
 // Each action family runs as a Campaign: the paper's 30x repetition protocol
 // becomes `runs` independent testbeds (own seed, device and app instance)
 // fanned out over the worker pool, with samples pooled across runs.
+//
+// Set QOED_FAULT_PLAN (and optionally QOED_FAULT_SEED) to replay the whole
+// bench under injected collection faults; fault.* counters then appear in
+// the campaign JSON alongside the accuracy metrics.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -18,6 +22,7 @@
 #include "apps/web_server.h"
 #include "bench_util.h"
 #include "diag/diagnosis_engine.h"
+#include "fault/fault_injector.h"
 
 namespace qoed {
 namespace {
@@ -68,6 +73,7 @@ RunResult facebook_run(std::uint64_t seed, apps::PostKind kind, int reps) {
   app.login("alice");
   bed.advance(sim::sec(10));
   QoeDoctor doctor(*dev, app);
+  auto faults = fault::install_from_env(doctor, seed);
   diag::DiagnosisEngine& engine = doctor.enable_diagnosis();
   FacebookDriver driver(doctor.controller(), app);
 
@@ -91,9 +97,12 @@ RunResult facebook_run(std::uint64_t seed, apps::PostKind kind, int reps) {
       },
       [] {});
   bed.loop().run();
+  if (faults != nullptr) faults->flush();
   engine.finalize_all();
   engine.add_counters(out);
+  if (faults != nullptr) faults->add_counters(out);
   doctor.collector().add_counters(out);
+  out.virtual_seconds = bed.loop().now().seconds();
   return out;
 }
 
@@ -115,6 +124,7 @@ RunResult pull_to_update_run(std::uint64_t seed, int reps) {
   app.login("bob");
   bed.advance(sim::sec(10));
   QoeDoctor doctor(*dev, app);
+  auto faults = fault::install_from_env(doctor, seed);
   FacebookDriver driver(doctor.controller(), app);
 
   RunResult out;
@@ -142,7 +152,12 @@ RunResult pull_to_update_run(std::uint64_t seed, int reps) {
       },
       [] {});
   bed.loop().run();
+  if (faults != nullptr) {
+    faults->flush();
+    faults->add_counters(out);
+  }
   doctor.collector().add_counters(out);
+  out.virtual_seconds = bed.loop().now().seconds();
   return out;
 }
 
@@ -167,6 +182,7 @@ RunResult youtube_run(std::uint64_t seed, int videos) {
   app.connect();
   bed.advance(sim::sec(5));
   QoeDoctor doctor(*dev, app);
+  auto faults = fault::install_from_env(doctor, seed);
   YouTubeDriver driver(doctor.controller(), app);
 
   RunResult out;
@@ -197,7 +213,12 @@ RunResult youtube_run(std::uint64_t seed, int videos) {
       },
       [] {});
   bed.loop().run();
+  if (faults != nullptr) {
+    faults->flush();
+    faults->add_counters(out);
+  }
   doctor.collector().add_counters(out);
+  out.virtual_seconds = bed.loop().now().seconds();
   return out;
 }
 
@@ -213,6 +234,7 @@ RunResult browser_run(std::uint64_t seed, int reps) {
   apps::BrowserApp app(*dev);
   app.launch();
   QoeDoctor doctor(*dev, app);
+  auto faults = fault::install_from_env(doctor, seed);
   diag::DiagnosisEngine& engine = doctor.enable_diagnosis();
   BrowserDriver driver(doctor.controller(), app);
 
@@ -236,9 +258,12 @@ RunResult browser_run(std::uint64_t seed, int reps) {
       },
       [] {});
   bed.loop().run();
+  if (faults != nullptr) faults->flush();
   engine.finalize_all();
   engine.add_counters(out);
+  if (faults != nullptr) faults->add_counters(out);
   doctor.collector().add_counters(out);
+  out.virtual_seconds = bed.loop().now().seconds();
   return out;
 }
 

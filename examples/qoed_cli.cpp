@@ -19,6 +19,12 @@
 //   --diagnose                            live diagnosis: print findings
 //   --findings=FILE                       write findings JSONL (implies
 //                                         --diagnose)
+//   --fault-plan=SPEC                     inject capture faults (see
+//                                         fault/fault_plan.h grammar, e.g.
+//                                         "packet:drop=0.02;radio:blackout=5..8")
+//   --fault-seed=N                        fault stream seed  [1]
+//   (QOED_FAULT_PLAN / QOED_FAULT_SEED env vars are the fallback when
+//   --fault-plan is not given)
 //   pageload: --pages=N [5]  --think=SECONDS [20]
 //   post:     --kind=status|checkin|photos [status]  --reps=N [10]
 //   video:    --videos=N [3] --throttle=KBPS [0=off]
@@ -41,6 +47,8 @@
 #include "core/timeline_merge.h"
 #include "diag/diagnosis_engine.h"
 #include "diag/findings_sink.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 
 namespace {
 
@@ -116,13 +124,44 @@ void run_sink(const core::ExportSink& sink, const std::string& path) {
   }
 }
 
+// Installs capture-fault injection from --fault-plan/--fault-seed, falling
+// back to the QOED_FAULT_PLAN/QOED_FAULT_SEED environment; returns null
+// when no faults are configured. Must run before the experiment so every
+// record passes through the tap.
+std::unique_ptr<fault::FaultInjector> maybe_install_faults(
+    core::QoeDoctor& doctor, const Options& opt) {
+  const std::string spec = opt.get("fault-plan", "");
+  if (spec.empty()) {
+    return fault::install_from_env(
+        doctor, static_cast<std::uint64_t>(opt.get_int("seed", 1)));
+  }
+  fault::FaultPlan plan;
+  try {
+    plan = fault::FaultPlan::parse(spec);
+  } catch (const std::exception& e) {
+    std::printf("bad --fault-plan: %s\n", e.what());
+    std::exit(2);
+  }
+  auto injector = std::make_unique<fault::FaultInjector>(
+      plan, static_cast<std::uint64_t>(opt.get_int("fault-seed", 1)));
+  injector->install(doctor);
+  return injector;
+}
+
 // Turns on the live diagnosis engine when requested; must run before the
-// experiment so windows are attributed as they complete.
-void maybe_enable_diagnosis(core::QoeDoctor& doctor, const Options& opt) {
+// experiment so windows are attributed as they complete. Under delay
+// faults the watermark needs slack for the injector's bounded lateness,
+// or late-released packets would finalize windows prematurely.
+void maybe_enable_diagnosis(core::QoeDoctor& doctor, const Options& opt,
+                            const fault::FaultInjector* injector) {
   if (opt.get_int("diagnose", 0) == 0 && opt.get("findings", "").empty()) {
     return;
   }
-  doctor.enable_diagnosis();
+  diag::DiagnosisConfig cfg;
+  if (injector != nullptr) {
+    cfg.watermark_slack = injector->plan().max_lateness();
+  }
+  doctor.enable_diagnosis(cfg);
 }
 
 void report_diagnosis(core::QoeDoctor& doctor, const Options& opt) {
@@ -137,7 +176,10 @@ void report_diagnosis(core::QoeDoctor& doctor, const Options& opt) {
 }
 
 void export_artifacts(device::Device& dev, core::QoeDoctor& doctor,
-                      const Options& opt) {
+                      const Options& opt, fault::FaultInjector* injector) {
+  // Release any held (delayed) records before analysis/export so batch
+  // views see the complete faulted capture.
+  if (injector != nullptr) injector->flush();
   report_diagnosis(doctor, opt);
   const std::string pcap = opt.get("pcap", "");
   if (!pcap.empty()) run_sink(core::PcapSink(dev.trace().records()), pcap);
@@ -151,6 +193,7 @@ void export_artifacts(device::Device& dev, core::QoeDoctor& doctor,
   }
   if (opt.get_int("counters", 0) != 0) {
     doctor.collector().counters_table().print();
+    if (injector != nullptr) injector->counters_table().print();
   }
 }
 
@@ -183,7 +226,8 @@ int run_pageload(const Options& opt) {
   apps::BrowserApp app(*dev);
   app.launch();
   core::QoeDoctor doctor(*dev, app);
-  maybe_enable_diagnosis(doctor, opt);
+  auto injector = maybe_install_faults(doctor, opt);
+  maybe_enable_diagnosis(doctor, opt, injector.get());
   core::BrowserDriver driver(doctor.controller(), app);
 
   std::vector<std::string> urls;
@@ -208,7 +252,7 @@ int run_pageload(const Options& opt) {
   std::printf("\nmean %.2fs, stddev %.2fs over %zu pages\n", s.mean, s.stddev,
               s.n);
   print_radio_summary(*dev, doctor, bed.loop().now());
-  export_artifacts(*dev, doctor, opt);
+  export_artifacts(*dev, doctor, opt, injector.get());
   return 0;
 }
 
@@ -222,7 +266,8 @@ int run_post(const Options& opt) {
   apps::SocialApp app(*dev, cfg);
   app.launch();
   core::QoeDoctor doctor(*dev, app);
-  maybe_enable_diagnosis(doctor, opt);
+  auto injector = maybe_install_faults(doctor, opt);
+  maybe_enable_diagnosis(doctor, opt, injector.get());
   core::FacebookDriver driver(doctor.controller(), app);
   app.login("cli-user");
   bed.advance(sim::sec(10));
@@ -261,7 +306,7 @@ int run_post(const Options& opt) {
   }
   t.print();
   print_radio_summary(*dev, doctor, bed.loop().now());
-  export_artifacts(*dev, doctor, opt);
+  export_artifacts(*dev, doctor, opt, injector.get());
   return 0;
 }
 
@@ -280,7 +325,8 @@ int run_video(const Options& opt) {
   app.connect();
   bed.advance(sim::sec(5));
   core::QoeDoctor doctor(*dev, app);
-  maybe_enable_diagnosis(doctor, opt);
+  auto injector = maybe_install_faults(doctor, opt);
+  maybe_enable_diagnosis(doctor, opt, injector.get());
   core::YouTubeDriver driver(doctor.controller(), app);
 
   const long videos = opt.get_int("videos", 3);
@@ -311,7 +357,7 @@ int run_video(const Options& opt) {
   bed.loop().run();
   t.print();
   print_radio_summary(*dev, doctor, bed.loop().now());
-  export_artifacts(*dev, doctor, opt);
+  export_artifacts(*dev, doctor, opt, injector.get());
   return 0;
 }
 
@@ -339,7 +385,14 @@ int run_merge(const Options& opt) {
     std::printf("merge: no input timelines given\n");
     return 2;
   }
-  const std::string merged = core::merge_timelines(inputs);
+  const core::TimelineMergeResult result = core::merge_timelines_checked(inputs);
+  for (const core::TimelineMergeStats& s : result.inputs) {
+    if (s.malformed > 0 || s.out_of_order > 0) {
+      std::printf("merge: %s: %zu/%zu lines quarantined, %zu out of order\n",
+                  s.device.c_str(), s.malformed, s.lines, s.out_of_order);
+    }
+  }
+  const std::string& merged = result.jsonl;
   const std::string out = opt.get("out", "");
   if (out.empty()) {
     std::fwrite(merged.data(), 1, merged.size(), stdout);
@@ -361,7 +414,7 @@ void usage() {
       "usage: qoed_cli <pageload|post|video|merge> [--network=wifi|3g|"
       "3g-simplified|lte]\n"
       "  [--seed=N] [--pcap=FILE] [--qxdm=FILE] [--timeline=FILE] [--counters]\n"
-      "  [--diagnose] [--findings=FILE]\n"
+      "  [--diagnose] [--findings=FILE] [--fault-plan=SPEC] [--fault-seed=N]\n"
       "  pageload: [--pages=N] [--think=SECONDS]\n"
       "  post:     [--kind=status|checkin|photos] [--reps=N]\n"
       "  video:    [--videos=N] [--throttle=KBPS]"

@@ -60,12 +60,27 @@ class AppBehaviorLog {
   // records(). One tap slot (last set_tap wins) — the spine owns it.
   using Tap = std::function<void(const BehaviorRecord& record,
                                  std::size_t index)>;
+  // Intake filter between ingress and the store: receives each record
+  // offered while running and returns the records to actually store
+  // (possibly none, possibly extras released from a hold-back buffer). One
+  // slot (last set_intake wins) — the fault-injection harness owns it.
+  using Intake =
+      std::function<std::vector<BehaviorRecord>(BehaviorRecord record)>;
 
   void add(BehaviorRecord record) {
     if (!running_) {
       ++dropped_;
       return;
     }
+    if (intake_) {
+      for (BehaviorRecord& r : intake_(std::move(record))) commit(std::move(r));
+      return;
+    }
+    commit(std::move(record));
+  }
+  // Stores a record directly, bypassing the running check and intake filter;
+  // the fault injector's flush path uses it to land held-back records.
+  void commit(BehaviorRecord record) {
     records_.push_back(std::move(record));
     if (tap_) tap_(records_.back(), records_.size() - 1);
   }
@@ -84,6 +99,7 @@ class AppBehaviorLog {
     tap_ = std::move(on_add);
     clear_tap_ = std::move(on_clear);
   }
+  void set_intake(Intake intake) { intake_ = std::move(intake); }
 
   // Records offered while stopped (not stored). Reset by clear().
   std::uint64_t records_dropped() const { return dropped_; }
@@ -96,6 +112,7 @@ class AppBehaviorLog {
   std::uint64_t dropped_ = 0;
   std::vector<BehaviorRecord> records_;
   Tap tap_;
+  Intake intake_;
   std::function<void()> clear_tap_;
 };
 

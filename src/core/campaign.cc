@@ -1,5 +1,6 @@
 #include "core/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <exception>
@@ -33,17 +34,36 @@ std::uint64_t Campaign::run_seed(std::uint64_t master_seed,
       .seed();
 }
 
+std::uint64_t Campaign::retry_seed(std::uint64_t master_seed,
+                                   std::size_t run_index, std::size_t attempt) {
+  const std::uint64_t base = run_seed(master_seed, run_index);
+  if (attempt == 0) return base;
+  return sim::Rng(base).fork("retry/" + std::to_string(attempt)).seed();
+}
+
 namespace {
 
-void merge_runs(const std::vector<RunResult>& results, std::size_t cdf_points,
-                CampaignResult* out) {
+// Per-run outcome bookkeeping beyond the RunResult itself.
+struct RunOutcome {
+  std::size_t attempts = 0;
+  std::uint64_t last_seed = 0;
+};
+
+void merge_runs(const std::vector<RunResult>& results,
+                const std::vector<RunOutcome>& outcomes,
+                std::size_t cdf_points, CampaignResult* out) {
   // Walk runs strictly in index order so the accumulation order (and thus
   // every floating-point result) is independent of scheduling.
   std::map<std::string, std::vector<double>> run_means;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     out->run_errors.push_back(r.ok ? "" : r.error);
-    if (!r.ok) continue;
+    out->run_attempts.push_back(outcomes[i].attempts);
+    if (!r.ok) {
+      out->quarantined.push_back({i, outcomes[i].attempts,
+                                  outcomes[i].last_seed, r.error});
+      continue;
+    }
     for (const auto& [name, samples] : r.samples) {
       MetricAggregate& agg = out->metrics[name];
       agg.pooled_samples.insert(agg.pooled_samples.end(), samples.begin(),
@@ -92,23 +112,61 @@ CampaignResult Campaign::run(const RunFn& fn) {
   }
 
   // Workers claim run indices from a shared counter and write into disjoint
-  // slots of a pre-sized vector; no other state is shared.
+  // slots of pre-sized vectors; no other state is shared.
   std::vector<RunResult> results(runs);
+  std::vector<RunOutcome> outcomes(runs);
   std::atomic<std::size_t> next{0};
+  auto attempt_run = [&](std::size_t i, std::size_t attempt) {
+    RunSpec spec = out.run_specs[i];
+    spec.attempt = attempt;
+    spec.seed = retry_seed(cfg_.master_seed, i, attempt);
+    outcomes[i].attempts = attempt + 1;
+    outcomes[i].last_seed = spec.seed;
+    try {
+      results[i] = fn(spec.seed, spec);
+    } catch (const std::exception& e) {
+      results[i] = RunResult{};
+      results[i].ok = false;
+      results[i].error = e.what();
+    } catch (...) {
+      results[i] = RunResult{};
+      results[i].ok = false;
+      results[i].error = "unknown exception";
+    }
+    // Virtual-time watchdog: a run that "succeeded" but consumed more
+    // simulated time than allowed is as suspect as one that threw — fail it
+    // with a deterministic message so retry/quarantine handle it uniformly.
+    if (results[i].ok && cfg_.max_run_virtual_seconds > 0 &&
+        results[i].virtual_seconds > cfg_.max_run_virtual_seconds) {
+      const double got = results[i].virtual_seconds;
+      results[i] = RunResult{};
+      results[i].ok = false;
+      results[i].error = "virtual-time watchdog: run consumed " +
+                         std::to_string(got) + "s (limit " +
+                         std::to_string(cfg_.max_run_virtual_seconds) + "s)";
+    }
+  };
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= runs) return;
-      try {
-        results[i] = fn(out.run_specs[i].seed, out.run_specs[i]);
-      } catch (const std::exception& e) {
-        results[i] = RunResult{};
-        results[i].ok = false;
-        results[i].error = e.what();
-      } catch (...) {
-        results[i] = RunResult{};
-        results[i].ok = false;
-        results[i].error = "unknown exception";
+      for (std::size_t attempt = 0;; ++attempt) {
+        attempt_run(i, attempt);
+        if (results[i].ok || attempt >= cfg_.max_retries) break;
+        if (cfg_.retry_backoff.count() > 0) {
+          // Exponential backoff with deterministic jitter in [0.5, 1.5).
+          // Wall clock only — nothing here feeds back into results.
+          const double jitter =
+              0.5 + sim::Rng(retry_seed(cfg_.master_seed, i, attempt))
+                        .fork("backoff")
+                        .uniform();
+          const double scale = static_cast<double>(1ULL << std::min<std::size_t>(
+                                   attempt, 20)) *
+                               jitter;
+          std::this_thread::sleep_for(std::chrono::duration_cast<
+                                      std::chrono::milliseconds>(
+              cfg_.retry_backoff * scale));
+        }
       }
     }
   };
@@ -126,7 +184,7 @@ CampaignResult Campaign::run(const RunFn& fn) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  merge_runs(results, cfg_.cdf_points, &out);
+  merge_runs(results, outcomes, cfg_.cdf_points, &out);
   return out;
 }
 

@@ -18,6 +18,7 @@
 // the bit-identical guarantee); read Campaign::last_wall_seconds() instead.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -36,6 +37,10 @@ struct RunSpec {
   std::uint64_t seed = 0;         // per-run seed, derived from master_seed
   std::uint64_t master_seed = 0;  // the campaign's master seed
   std::string campaign;           // campaign name (for labeling exports)
+  // Which attempt this is (0 = first). Retries re-run the factory with a
+  // reseeded spec (Campaign::retry_seed), so a run that failed on a
+  // stochastic edge gets a genuinely different draw sequence.
+  std::size_t attempt = 0;
 };
 
 // What one run hands back: named sample sets (e.g. latencies in seconds,
@@ -46,6 +51,10 @@ struct RunResult {
   std::map<std::string, double> counters;
   bool ok = true;
   std::string error;  // set when the factory threw; run contributes nothing
+  // Virtual time the run consumed, reported by the factory (e.g. the event
+  // loop's final now()). The campaign's virtual-time watchdog fails runs
+  // exceeding CampaignConfig::max_run_virtual_seconds; zero = not reported.
+  double virtual_seconds = 0;
 
   void add_sample(const std::string& metric, double v) {
     samples[metric].push_back(v);
@@ -72,10 +81,24 @@ struct CampaignResult {
   std::size_t runs = 0;
   std::size_t jobs = 0;  // pool size actually used
 
-  // Per-run replay info, ordered by run index. run_errors[i] is empty for a
-  // clean run and carries the exception message otherwise.
+  // Per-run replay info, ordered by run index. run_specs[i].seed is the
+  // FIRST attempt's seed (replay identity); run_errors[i] is empty for a
+  // clean run and carries the final attempt's exception message otherwise.
   std::vector<RunSpec> run_specs;
   std::vector<std::string> run_errors;
+  // Attempts consumed per run (1 = no retry needed), ordered by run index.
+  std::vector<std::size_t> run_attempts;
+
+  // A run whose last allowed attempt still failed. Quarantined runs
+  // contribute no samples/counters but are reported — campaign JSON carries
+  // them, so degraded fleets are visible rather than silently thinner.
+  struct QuarantinedRun {
+    std::size_t run_index = 0;
+    std::size_t attempts = 0;       // attempts consumed (all failed)
+    std::uint64_t last_seed = 0;    // seed of the final attempt
+    std::string error;              // its failure message
+  };
+  std::vector<QuarantinedRun> quarantined;
 
   std::map<std::string, MetricAggregate> metrics;
   std::map<std::string, double> counters;  // summed across runs, index order
@@ -90,6 +113,19 @@ struct CampaignConfig {
   std::size_t jobs = 0;  // 0 => std::thread::hardware_concurrency()
   std::uint64_t master_seed = 1;
   std::size_t cdf_points = 20;  // resolution of MetricAggregate::cdf
+
+  // --- robustness policy (defaults preserve pre-existing behavior) ---
+  // Extra attempts after a failed one; each retry reruns the factory with a
+  // reseeded RunSpec. 0 = fail fast.
+  std::size_t max_retries = 0;
+  // Base wall-clock backoff before retry k: base * 2^k, scaled by a
+  // deterministic jitter in [0.5, 1.5) drawn from the attempt seed. Wall
+  // clock only — never observable in CampaignResult. 0 = no backoff.
+  std::chrono::milliseconds retry_backoff{0};
+  // Per-run virtual-time watchdog: a run reporting
+  // RunResult::virtual_seconds beyond this is treated as failed (and
+  // retried/quarantined like a thrown run). 0 = disabled.
+  double max_run_virtual_seconds = 0;
 };
 
 // Factory for one self-contained run. Must not touch state shared with other
@@ -107,6 +143,11 @@ class Campaign {
   // pool: depends on master seed and run index only).
   static std::uint64_t run_seed(std::uint64_t master_seed,
                                 std::size_t run_index);
+  // Seed for retry `attempt` (0 = run_seed itself); depends only on
+  // (master_seed, run_index, attempt), so retried campaigns stay
+  // bit-identical across jobs counts.
+  static std::uint64_t retry_seed(std::uint64_t master_seed,
+                                  std::size_t run_index, std::size_t attempt);
 
   const CampaignConfig& config() const { return cfg_; }
 

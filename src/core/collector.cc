@@ -47,6 +47,18 @@ const char* to_string(Layer layer) {
   }
 }
 
+const char* to_string(LayerHealth health) {
+  switch (health) {
+    case LayerHealth::kHealthy:
+      return "healthy";
+    case LayerHealth::kDegraded:
+      return "degraded";
+    case LayerHealth::kLost:
+      return "lost";
+  }
+  return "?";
+}
+
 const char* to_string(EventKind kind) {
   switch (kind) {
     case EventKind::kBehavior:
@@ -103,6 +115,7 @@ void Collector::detach() {
   ui_counters_ = {};
   packet_counters_ = {};
   radio_counters_ = {};
+  latest_at_ = {};
 }
 
 void Collector::wire_radio() {
@@ -235,6 +248,9 @@ void Collector::append(Layer layer, EventKind kind, std::size_t index,
   e.seq = next_seq_++;
 
   PushCounters& pc = push_counters(layer);
+  if (pc.events > 0 && at < pc.last_at) pc.out_of_order++;
+  pc.last_at = std::max(pc.last_at, at);
+  latest_at_ = std::max(latest_at_, at);
   pc.events++;
   pc.bytes += bytes;
   pc.high_water = std::max(pc.high_water, pc.events);
@@ -263,6 +279,8 @@ void Collector::clear_layer(std::uint32_t layer_mask) {
     PushCounters& pc = push_counters(layer);
     pc.events = 0;
     pc.bytes = 0;  // high_water deliberately survives (peak of the phase)
+    pc.out_of_order = 0;
+    pc.last_at = sim::TimePoint{};  // health restarts fresh for the new phase
   }
   for (std::size_t i = 0; i < subscribers_.size(); ++i) {
     if (subscribers_[i].mask & layer_mask) {
@@ -287,16 +305,34 @@ const Collector::PushCounters& Collector::push_counters(Layer layer) const {
 }
 
 EventPayload Collector::payload(const Event& e) const {
+  // A detached store (or a stale envelope index) yields a null payload
+  // pointer of the event's type rather than undefined behavior; callers that
+  // hold Events across detach()/clear_layer() see a defined degraded result.
   switch (e.kind) {
     case EventKind::kBehavior:
+      if (behavior_ == nullptr || e.index >= behavior_->records().size()) {
+        return static_cast<const BehaviorRecord*>(nullptr);
+      }
       return &behavior_->records()[e.index];
     case EventKind::kPacket:
+      if (trace_ == nullptr || e.index >= trace_->records().size()) {
+        return static_cast<const net::PacketRecord*>(nullptr);
+      }
       return &trace_->records()[e.index];
     case EventKind::kPdu:
+      if (qxdm_ == nullptr || e.index >= qxdm_->pdu_log().size()) {
+        return static_cast<const radio::PduRecord*>(nullptr);
+      }
       return &qxdm_->pdu_log()[e.index];
     case EventKind::kRrcTransition:
+      if (qxdm_ == nullptr || e.index >= qxdm_->rrc_log().size()) {
+        return static_cast<const radio::RrcTransitionRecord*>(nullptr);
+      }
       return &qxdm_->rrc_log()[e.index];
     case EventKind::kStatus:
+      if (qxdm_ == nullptr || e.index >= qxdm_->status_log().size()) {
+        return static_cast<const radio::StatusRecord*>(nullptr);
+      }
       return &qxdm_->status_log()[e.index];
   }
   return static_cast<const net::PacketRecord*>(nullptr);
@@ -334,6 +370,7 @@ LayerCounters Collector::counters(Layer layer) const {
   out.events = pc.events;
   out.bytes = pc.bytes;
   out.high_water = pc.high_water;
+  out.out_of_order = pc.out_of_order;
   switch (layer) {
     case kLayerUi:
       out.dropped = behavior_ != nullptr ? behavior_->records_dropped() : 0;
@@ -352,16 +389,42 @@ LayerCounters Collector::counters(Layer layer) const {
   return out;
 }
 
+LayerHealth Collector::health(Layer layer) const {
+  const bool present = layer == kLayerUi      ? behavior_ != nullptr
+                       : layer == kLayerPacket ? trace_ != nullptr
+                                               : qxdm_ != nullptr;
+  if (!present) return LayerHealth::kLost;
+  const PushCounters& pc = push_counters(layer);
+  const LayerCounters c = counters(layer);
+  // Gap heuristics only apply once the layer has produced something: an
+  // idle-but-attached layer (e.g. radio before any traffic) is healthy.
+  if (pc.events > 0 && latest_at_ - pc.last_at > health_cfg_.lost_after) {
+    return LayerHealth::kLost;
+  }
+  const double offered = static_cast<double>(c.events + c.dropped);
+  const bool drops_excessive =
+      c.dropped > 0 && offered > 0 &&
+      static_cast<double>(c.dropped) / offered >
+          health_cfg_.degraded_drop_fraction;
+  if (drops_excessive || pc.out_of_order > 0 ||
+      (pc.events > 0 && latest_at_ - pc.last_at > health_cfg_.stale_after)) {
+    return LayerHealth::kDegraded;
+  }
+  return LayerHealth::kHealthy;
+}
+
 Table Collector::counters_table() const {
-  Table table("collector spine",
-              {"layer", "events", "bytes", "dropped", "high_water"});
+  Table table("collector spine", {"layer", "events", "bytes", "dropped", "ooo",
+                                  "high_water", "health"});
   for (Layer layer : {kLayerUi, kLayerPacket, kLayerRadio}) {
     const LayerCounters c = counters(layer);
     table.add_row({to_string(layer),
                    std::to_string(c.events),
                    std::to_string(c.bytes),
                    std::to_string(c.dropped),
-                   std::to_string(c.high_water)});
+                   std::to_string(c.out_of_order),
+                   std::to_string(c.high_water),
+                   to_string(health(layer))});
   }
   return table;
 }
@@ -374,6 +437,10 @@ void Collector::add_counters(RunResult& out, const std::string& prefix) const {
     out.add_counter(base + "bytes", static_cast<double>(c.bytes));
     out.add_counter(base + "dropped", static_cast<double>(c.dropped));
     out.add_counter(base + "high_water", static_cast<double>(c.high_water));
+    out.add_counter(base + "out_of_order",
+                    static_cast<double>(c.out_of_order));
+    out.add_counter(base + "health",
+                    static_cast<double>(static_cast<int>(health(layer))));
   }
 }
 

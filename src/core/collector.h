@@ -70,8 +70,31 @@ enum class EventKind : std::uint8_t {
   kStatus,
 };
 
+// Per-layer collection health, derived from gap/ordering heuristics (see
+// Collector::health): kHealthy = store attached, delivering in order;
+// kDegraded = records dropped beyond the tolerated fraction, out-of-order
+// arrivals observed, or no arrivals for stale_after while other layers kept
+// capturing; kLost = no store attached, or silent past lost_after.
+enum class LayerHealth : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kLost = 2,
+};
+
+// Thresholds for the health heuristics, in virtual time. A layer that has
+// captured at least one event and then stays silent while the spine's
+// newest event moves stale_after (lost_after) past its last arrival is
+// degraded (lost). `degraded_drop_fraction` tolerates the intrinsic QxDM
+// record loss the paper documents (§5.4) before flagging the radio layer.
+struct HealthConfig {
+  sim::Duration stale_after = sim::sec(5);
+  sim::Duration lost_after = sim::sec(20);
+  double degraded_drop_fraction = 0.02;
+};
+
 const char* to_string(Layer layer);
 const char* to_string(EventKind kind);
+const char* to_string(LayerHealth health);
 
 // Common event envelope: when, which layer, and where the payload lives in
 // its front-end store. `seq` is the global arrival counter (unique and
@@ -100,6 +123,10 @@ struct LayerCounters {
   std::uint64_t bytes = 0;  // IP bytes (packet) / RLC payload bytes (radio)
   std::uint64_t dropped = 0;
   std::uint64_t high_water = 0;
+  // Arrivals stamped earlier than the layer's previous arrival (a healthy
+  // front-end captures in time order; reorder faults and back-stamps land
+  // here). Reset by clear(), like events.
+  std::uint64_t out_of_order = 0;
 };
 
 class Collector;
@@ -167,6 +194,14 @@ class Collector {
   LayerCounters counters(Layer layer) const;
   std::uint64_t total_events() const { return timeline_.size(); }
 
+  // --- health ---
+  // Gap/ordering heuristics over the spine counters; see LayerHealth. Health
+  // is computed on demand against the newest event time any layer captured,
+  // so a layer can degrade/lose mid-run without any explicit probe.
+  LayerHealth health(Layer layer) const;
+  void set_health_config(const HealthConfig& cfg) { health_cfg_ = cfg; }
+  const HealthConfig& health_config() const { return health_cfg_; }
+
   // Report-surface rendering: one row per layer.
   Table counters_table() const;
   // Campaign surface: adds the spine counters to a run's counter map as
@@ -179,6 +214,8 @@ class Collector {
     std::uint64_t events = 0;
     std::uint64_t bytes = 0;
     std::uint64_t high_water = 0;
+    std::uint64_t out_of_order = 0;
+    sim::TimePoint last_at;  // newest capture time this layer stamped
   };
 
   void append(Layer layer, EventKind kind, std::size_t index,
@@ -198,6 +235,11 @@ class Collector {
   std::uint64_t next_seq_ = 0;
   std::vector<Event> timeline_;
   PushCounters ui_counters_, packet_counters_, radio_counters_;
+  HealthConfig health_cfg_;
+  // Newest capture time across all layers; the reference clock for the
+  // stale/lost gap heuristics. Never rewinds (clear() keeps it: virtual
+  // time does not go backwards between experiment phases).
+  sim::TimePoint latest_at_;
 
   struct Subscription {
     std::uint32_t mask = 0;

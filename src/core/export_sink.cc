@@ -1,5 +1,6 @@
 #include "core/export_sink.h"
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -84,10 +85,26 @@ void put_jsonl_status(std::ostream& os, const radio::StatusRecord& r) {
 }  // namespace
 
 bool ExportSink::write_file(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
-  write(os);
-  return static_cast<bool>(os);
+  // Crash-safe export: write the full payload to a sibling temp file, then
+  // atomically rename it over the destination. A crash mid-write leaves the
+  // previous file (or nothing) at `path`, never a truncated export.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    write(os);
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::string ExportSink::to_string() const {

@@ -56,7 +56,17 @@ void FlowAnalyzer::reset() {
   other_window_.clear();
   time_ordered_ = true;
   last_ts_ = sim::TimePoint{};
+  inversions_.clear();
   sync();  // the store may have been cleared to non-empty content in theory
+}
+
+std::size_t FlowAnalyzer::disorder_in_window(sim::TimePoint start,
+                                             sim::TimePoint end) const {
+  std::size_t count = 0;
+  for (const auto& inv : inversions_) {
+    if (inv.first >= start && inv.first <= end) ++count;
+  }
+  return count;
 }
 
 void FlowAnalyzer::WindowIndex::push(sim::TimePoint t, net::Direction dir,
@@ -92,7 +102,10 @@ std::size_t FlowAnalyzer::index_of(const FlowStats& flow) const {
 }
 
 void FlowAnalyzer::ingest(const net::PacketRecord& r, std::size_t index) {
-  if (r.timestamp < last_ts_) time_ordered_ = false;
+  if (r.timestamp < last_ts_) {
+    time_ordered_ = false;
+    inversions_.emplace_back(r.timestamp, last_ts_);
+  }
   last_ts_ = std::max(last_ts_, r.timestamp);
   if (r.dns && r.dns->is_response && !r.dns->nxdomain) {
     dns_table_[r.dns->resolved] = r.dns->hostname;

@@ -121,6 +121,12 @@ class FlowAnalyzer : public CollectorSink {
       net::Direction dir, sim::Duration bin,
       const std::string& hostname_substr = "") const;
 
+  // Count of capture-order timestamp inversions whose timestamps both fall
+  // inside [start, end] — evidence that the trace for this window arrived
+  // late/reordered, so window attributions over it are degraded. O(number
+  // of inversions seen), not O(trace).
+  std::size_t disorder_in_window(sim::TimePoint start, sim::TimePoint end) const;
+
  private:
   // Per-flow transient state carried across ingests.
   struct BuildState {
@@ -173,6 +179,10 @@ class FlowAnalyzer : public CollectorSink {
   std::map<net::IpAddr, WindowIndex> other_window_;
   bool time_ordered_ = true;
   sim::TimePoint last_ts_;
+  // One entry per inversion: (the late record's timestamp, the newest
+  // timestamp seen before it). Rare by construction, so window disorder
+  // queries just scan this list.
+  std::vector<std::pair<sim::TimePoint, sim::TimePoint>> inversions_;
 };
 
 }  // namespace qoed::core

@@ -136,6 +136,20 @@ void export_campaign_json(std::ostream& os, const CampaignResult& result) {
     if (i) os << ',';
     put_json_string(os, result.run_errors[i]);
   }
+  os << "],\"run_attempts\":[";
+  for (std::size_t i = 0; i < result.run_attempts.size(); ++i) {
+    if (i) os << ',';
+    os << result.run_attempts[i];
+  }
+  os << "],\"quarantined\":[";
+  for (std::size_t i = 0; i < result.quarantined.size(); ++i) {
+    const auto& q = result.quarantined[i];
+    if (i) os << ',';
+    os << "{\"run\":" << q.run_index << ",\"attempts\":" << q.attempts
+       << ",\"seed\":" << q.last_seed << ",\"error\":";
+    put_json_string(os, q.error);
+    os << '}';
+  }
   os << "],\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : result.counters) {

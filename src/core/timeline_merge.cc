@@ -1,6 +1,7 @@
 #include "core/timeline_merge.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <sstream>
@@ -20,32 +21,60 @@ struct MergeLine {
 };
 
 // Value of a top-level numeric field, parsed from the raw JSON text.
-double field_number(std::string_view line, std::string_view key) {
+// Sets *ok to whether the key exists and holds a finite number.
+double field_number(std::string_view line, std::string_view key, bool* ok) {
   const std::string needle = "\"" + std::string(key) + "\":";
   const auto pos = line.find(needle);
-  if (pos == std::string_view::npos) return 0;
-  return std::strtod(line.data() + pos + needle.size(), nullptr);
+  if (pos == std::string_view::npos) {
+    if (ok != nullptr) *ok = false;
+    return 0;
+  }
+  const char* start = line.data() + pos + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (ok != nullptr) *ok = end != start && std::isfinite(v);
+  return (ok == nullptr || *ok) ? v : 0;
 }
 
 }  // namespace
 
-std::string merge_timelines(const std::vector<DeviceTimeline>& inputs) {
+TimelineMergeResult merge_timelines_checked(
+    const std::vector<DeviceTimeline>& inputs) {
+  TimelineMergeResult result;
+  result.inputs.reserve(inputs.size());
   std::vector<MergeLine> lines;
   for (const DeviceTimeline& input : inputs) {
+    TimelineMergeStats stats;
+    stats.device = input.device;
+    double prev_t = 0;
+    bool have_prev = false;
     std::string_view rest = input.jsonl;
     while (!rest.empty()) {
       const auto nl = rest.find('\n');
       std::string_view line = rest.substr(0, nl);
       rest = nl == std::string_view::npos ? std::string_view{}
                                           : rest.substr(nl + 1);
-      if (line.empty() || line.front() != '{') continue;
+      if (line.empty()) continue;  // blank lines are not corruption
+      ++stats.lines;
+      // Quarantine rules: a usable line is a JSON object (braces on both
+      // ends) carrying a finite "t". Anything else is counted, not merged.
+      bool t_ok = false;
+      const double t = field_number(line, "t", &t_ok);
+      if (line.front() != '{' || line.back() != '}' || !t_ok) {
+        ++stats.malformed;
+        continue;
+      }
+      if (have_prev && t < prev_t) ++stats.out_of_order;
+      prev_t = std::max(prev_t, t);
+      have_prev = true;
       MergeLine m;
-      m.t = field_number(line, "t");
+      m.t = t;
       m.device = &input.device;
-      m.seq = static_cast<std::uint64_t>(field_number(line, "seq"));
+      m.seq = static_cast<std::uint64_t>(field_number(line, "seq", nullptr));
       m.body = line.substr(1);
       lines.push_back(m);
     }
+    result.inputs.push_back(std::move(stats));
   }
   std::stable_sort(lines.begin(), lines.end(),
                    [](const MergeLine& a, const MergeLine& b) {
@@ -59,7 +88,12 @@ std::string merge_timelines(const std::vector<DeviceTimeline>& inputs) {
     if (m.body != "}") os << ',';
     os << m.body << '\n';
   }
-  return os.str();
+  result.jsonl = os.str();
+  return result;
+}
+
+std::string merge_timelines(const std::vector<DeviceTimeline>& inputs) {
+  return merge_timelines_checked(inputs).jsonl;
 }
 
 }  // namespace qoed::core

@@ -9,9 +9,17 @@
 // The ordering key is total for distinct device labels, so the merge is a
 // pure function of the *set* of inputs: feeding the same timelines in any
 // order yields byte-identical output (determinism test in
-// timeline_merge_test). Lines that are not JSON objects are dropped.
+// timeline_merge_test).
+//
+// Robustness: real exports get truncated by crashes and corrupted in
+// transit. merge_timelines_checked quarantines malformed lines (not a JSON
+// object, or no finite "t" field) instead of merging garbage, counts them
+// per input, and flags out-of-order timestamps within an input (still
+// merged — the sort repairs them — but a symptom worth surfacing). The
+// plain merge_timelines wrapper keeps the original drop-silently contract.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -22,6 +30,29 @@ struct DeviceTimeline {
   std::string jsonl;   // raw timeline.jsonl content
 };
 
+// Per-input accounting from a checked merge.
+struct TimelineMergeStats {
+  std::string device;
+  std::size_t lines = 0;         // non-blank lines seen
+  std::size_t malformed = 0;     // quarantined (not merged)
+  std::size_t out_of_order = 0;  // t went backwards vs previous good line
+};
+
+struct TimelineMergeResult {
+  std::string jsonl;  // the merged stream (well-formed lines only)
+  std::vector<TimelineMergeStats> inputs;  // one entry per input, in order
+
+  std::size_t total_malformed() const {
+    std::size_t n = 0;
+    for (const auto& s : inputs) n += s.malformed;
+    return n;
+  }
+};
+
+TimelineMergeResult merge_timelines_checked(
+    const std::vector<DeviceTimeline>& inputs);
+
+// Back-compat wrapper: merged stream only, corruption dropped silently.
 std::string merge_timelines(const std::vector<DeviceTimeline>& inputs);
 
 }  // namespace qoed::core

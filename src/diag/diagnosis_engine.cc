@@ -36,7 +36,15 @@ void DiagnosisEngine::ensure_tracker() {
 }
 
 void DiagnosisEngine::finalize(std::size_t behavior_index) {
-  const auto& records = collector_->behavior_log()->records();
+  // Degraded-input guards: the collector may have been detached, or the
+  // behavior store cleared/truncated, while this window was pending. A
+  // window whose record is gone cannot be attributed — skip it (defined
+  // no-op) instead of dereferencing a dead store.
+  if (collector_ == nullptr) return;
+  core::AppBehaviorLog* log = collector_->behavior_log();
+  if (log == nullptr) return;
+  const auto& records = log->records();
+  if (behavior_index >= records.size()) return;
   const core::BehaviorRecord& r = records[behavior_index];
   const core::QoeWindow w = core::QoeWindow::for_traffic(r);
 
@@ -74,7 +82,16 @@ void DiagnosisEngine::finalize(std::size_t behavior_index) {
     const core::EnergyBreakdown eb = energy.analyze(w.start, w.end);
     f.tail_j = eb.tail_joules;
     f.tail_share = eb.total_joules > 0 ? eb.tail_joules / eb.total_joules : 0;
+    // Traffic crossed the radio but no radio record covers the window: the
+    // residency/energy values above are idle extrapolations over a silent
+    // log, not measurements. Flag them unavailable (values are kept so the
+    // live/batch equivalence contract still holds field-for-field).
+    f.radio_unavailable = f.window_bytes > 0 && f.transitions == 0 &&
+                          tracker_->pdus_in_count(w.start, w.end) == 0;
   }
+  f.traffic_degraded = flows_->disorder_in_window(w.start, w.end) > 0;
+  if (f.traffic_degraded) f.confidence *= 0.7;
+  if (f.radio_unavailable) f.confidence *= 0.8;
   findings_.push_back(std::move(f));
 }
 
@@ -96,7 +113,8 @@ void DiagnosisEngine::on_event(const core::Collector& collector,
   if (event.kind == core::EventKind::kBehavior) {
     const core::BehaviorRecord& r = collector.behavior(event);
     const core::QoeWindow w = core::QoeWindow::for_traffic(r);
-    pending_.push_back({event.index, w.end + cfg_.trailing});
+    pending_.push_back(
+        {event.index, w.end + cfg_.trailing + cfg_.watermark_slack});
   }
 }
 
@@ -116,17 +134,24 @@ void DiagnosisEngine::on_layers_cleared(const core::Collector& collector,
 core::Table DiagnosisEngine::findings_table() const {
   core::Table table("Live diagnosis findings",
                     {"#", "action", "total_s", "network_s", "device_s",
-                     "net_crit", "flow", "promo", "energy_j", "tail"});
+                     "net_crit", "flow", "promo", "energy_j", "tail", "conf"});
   for (const Finding& f : findings_) {
+    // Radio columns: "-" = no radio link, "n/a" = link present but no radio
+    // record covered the window (values would be extrapolations).
+    const bool radio_usable = f.has_radio && !f.radio_unavailable;
     table.add_row({std::to_string(f.behavior_index), f.action,
                    core::Table::num(f.total_s), core::Table::num(f.network_s),
                    core::Table::num(f.device_s),
                    f.network_on_critical_path ? "yes" : "no",
                    f.has_flow ? (f.hostname.empty() ? f.flow : f.hostname)
                               : "-",
-                   f.has_radio ? (f.promotion_overlap ? "yes" : "no") : "-",
-                   f.has_radio ? core::Table::num(f.energy_j) : "-",
-                   f.has_radio ? core::Table::pct(f.tail_share) : "-"});
+                   radio_usable ? (f.promotion_overlap ? "yes" : "no")
+                                : (f.has_radio ? "n/a" : "-"),
+                   radio_usable ? core::Table::num(f.energy_j)
+                                : (f.has_radio ? "n/a" : "-"),
+                   radio_usable ? core::Table::pct(f.tail_share)
+                                : (f.has_radio ? "n/a" : "-"),
+                   core::Table::num(f.confidence)});
   }
   return table;
 }
@@ -134,10 +159,11 @@ core::Table DiagnosisEngine::findings_table() const {
 void DiagnosisEngine::add_counters(core::RunResult& out,
                                    const std::string& prefix) const {
   out.add_counter(prefix + "findings", static_cast<double>(findings_.size()));
-  double net_crit = 0, promo = 0, energy = 0, tail = 0;
+  double net_crit = 0, promo = 0, energy = 0, tail = 0, degraded = 0;
   for (const Finding& f : findings_) {
     if (f.network_on_critical_path) ++net_crit;
     if (f.promotion_overlap) ++promo;
+    if (f.confidence < 1.0) ++degraded;
     energy += f.energy_j;
     tail += f.tail_j;
   }
@@ -145,6 +171,7 @@ void DiagnosisEngine::add_counters(core::RunResult& out,
   out.add_counter(prefix + "promotion_overlap", promo);
   out.add_counter(prefix + "energy_j", energy);
   out.add_counter(prefix + "tail_j", tail);
+  out.add_counter(prefix + "degraded_findings", degraded);
 }
 
 }  // namespace qoed::diag

@@ -57,6 +57,12 @@ struct DiagnosisConfig {
   // How far past the window the local-echo probe looks; must match
   // CrossLayerAnalyzer::device_network_split's trailing-traffic window.
   sim::Duration trailing = sim::sec(3);
+  // Extra watermark grace beyond `trailing` before a pending window is
+  // finalized. Zero for perfect capture; under bounded-lateness capture
+  // faults set it to at least fault::FaultPlan::max_lateness() so records
+  // released late can still land inside their window — keeping live
+  // findings equal to the batch analyzers instead of misattributing.
+  sim::Duration watermark_slack{};
 };
 
 // One diagnosed UI-latency window. Latency fields mirror
@@ -86,6 +92,21 @@ struct Finding {
   double energy_j = 0;
   double tail_j = 0;
   double tail_share = 0;
+
+  // --- degradation labelling (1.0 / false / false on healthy capture) ---
+  // Confidence in the attribution, multiplicatively discounted per
+  // degradation observed (0.7 for reordered window traffic, 0.8 for
+  // missing radio evidence). Never zero: a finding is always produced.
+  double confidence = 1.0;
+  // The packet capture for this window arrived late/reordered
+  // (FlowAnalyzer::disorder_in_window > 0), so the split/flow attribution
+  // rests on a perturbed trace.
+  bool traffic_degraded = false;
+  // The device had a radio link and the window saw traffic, but no radio
+  // record covers the window (blackout / log outage): the radio fields are
+  // idle-state extrapolations, not measurements — treat them as
+  // unavailable rather than zero. findings_table renders them "n/a".
+  bool radio_unavailable = false;
 };
 
 class DiagnosisEngine : public core::CollectorSink {

@@ -46,6 +46,12 @@ void FindingsJsonlSink::write(std::ostream& os) const {
     core::put_json_number(os, f.tail_j);
     os << ",\"tail_share\":";
     core::put_json_number(os, f.tail_share);
+    os << ",\"confidence\":";
+    core::put_json_number(os, f.confidence);
+    os << ",\"traffic_degraded\":";
+    put_bool(os, f.traffic_degraded);
+    os << ",\"radio_unavailable\":";
+    put_bool(os, f.radio_unavailable);
     os << "}\n";
   }
 }

@@ -64,12 +64,21 @@ void RrcStateTracker::sync() {
   for (; consumed_pdu_ < pdus.size(); ++consumed_pdu_) {
     ++pdus_seen_;
     pdu_bytes_ += pdus[consumed_pdu_].payload_len;
+    const sim::TimePoint at = pdus[consumed_pdu_].at;
+    // Capture order is normally time order, so this is an append; a
+    // reordered (fault-released) record costs one sorted insert.
+    if (pdu_at_.empty() || !(at < pdu_at_.back())) {
+      pdu_at_.push_back(at);
+    } else {
+      pdu_at_.insert(std::upper_bound(pdu_at_.begin(), pdu_at_.end(), at), at);
+    }
   }
 }
 
 void RrcStateTracker::reset() {
   checkpoints_.clear();
   promotion_at_.clear();
+  pdu_at_.clear();
   consumed_rrc_ = 0;
   consumed_pdu_ = 0;
   promotions_ = 0;
@@ -123,6 +132,14 @@ std::size_t RrcStateTracker::transitions_in_count(sim::TimePoint start,
                                                   sim::TimePoint end) const {
   const auto [lo, hi] = radio::record_range(checkpoints_, start, end);
   return hi - lo;
+}
+
+std::size_t RrcStateTracker::pdus_in_count(sim::TimePoint start,
+                                           sim::TimePoint end) const {
+  if (end < start) return 0;
+  const auto lo = std::lower_bound(pdu_at_.begin(), pdu_at_.end(), start);
+  const auto hi = std::upper_bound(lo, pdu_at_.end(), end);
+  return static_cast<std::size_t>(hi - lo);
 }
 
 radio::RrcState RrcStateTracker::state_at(sim::TimePoint t) const {

@@ -78,6 +78,10 @@ class RrcStateTracker : public core::CollectorSink {
   // Number of transitions with timestamp in [start, end].
   std::size_t transitions_in_count(sim::TimePoint start,
                                    sim::TimePoint end) const;
+  // Number of folded PDU records with timestamp in [start, end]. Zero over
+  // a window with application traffic is the radio-blackout signature the
+  // DiagnosisEngine uses to mark radio fields unavailable.
+  std::size_t pdus_in_count(sim::TimePoint start, sim::TimePoint end) const;
   // The state at time t (last transition at or before t; idle initially).
   radio::RrcState state_at(sim::TimePoint t) const;
 
@@ -114,6 +118,7 @@ class RrcStateTracker : public core::CollectorSink {
 
   std::vector<Checkpoint> checkpoints_;
   std::vector<sim::TimePoint> promotion_at_;  // sorted (capture order)
+  std::vector<sim::TimePoint> pdu_at_;        // sorted (insertion keeps order)
   std::size_t consumed_rrc_ = 0;
   std::size_t consumed_pdu_ = 0;
   std::uint64_t promotions_ = 0;

@@ -1,0 +1,253 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace qoed::fault {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  const std::string t = trim(text);
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (t.empty() || end != t.c_str() + t.size() || !std::isfinite(v)) {
+    throw std::invalid_argument("fault plan: bad number for " + what + ": '" +
+                                text + "'");
+  }
+  return v;
+}
+
+double parse_probability(const std::string& text, const std::string& what) {
+  const double v = parse_double(text, what);
+  if (v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("fault plan: " + what +
+                                " must be in [0,1], got '" + text + "'");
+  }
+  return v;
+}
+
+// Seconds renderer that round-trips through parse_double exactly.
+std::string seconds_str(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+void apply_item(LayerFaultSpec& spec, const std::string& item) {
+  const std::size_t eq = item.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("fault plan: expected key=value, got '" + item +
+                                "'");
+  }
+  const std::string key = trim(item.substr(0, eq));
+  const std::string value = item.substr(eq + 1);
+  if (key == "drop") {
+    spec.drop_rate = parse_probability(value, "drop");
+  } else if (key == "dup") {
+    spec.dup_rate = parse_probability(value, "dup");
+  } else if (key == "delay") {
+    const std::size_t at = value.find('@');
+    if (at == std::string::npos) {
+      throw std::invalid_argument(
+          "fault plan: delay needs 'delay=P@MAX_SECONDS', got '" + item + "'");
+    }
+    spec.delay_rate = parse_probability(value.substr(0, at), "delay rate");
+    const double max_s = parse_double(value.substr(at + 1), "delay bound");
+    if (max_s <= 0.0) {
+      throw std::invalid_argument("fault plan: delay bound must be > 0");
+    }
+    spec.delay_max = sim::sec_f(max_s);
+  } else if (key == "skew") {
+    spec.skew = sim::sec_f(parse_double(value, "skew"));
+  } else if (key == "drift") {
+    spec.drift = parse_double(value, "drift");
+  } else if (key == "truncate") {
+    const double at_s = parse_double(value, "truncate");
+    if (at_s < 0.0) {
+      throw std::invalid_argument("fault plan: truncate must be >= 0");
+    }
+    spec.truncate_at = sim::kTimeZero + sim::sec_f(at_s);
+  } else if (key == "blackout") {
+    const std::size_t dots = value.find("..");
+    if (dots == std::string::npos) {
+      throw std::invalid_argument(
+          "fault plan: blackout needs 'blackout=A..B', got '" + item + "'");
+    }
+    const double a = parse_double(value.substr(0, dots), "blackout start");
+    const double b = parse_double(value.substr(dots + 2), "blackout end");
+    if (b <= a) {
+      throw std::invalid_argument("fault plan: blackout end must be > start");
+    }
+    spec.blackouts.push_back(BlackoutWindow{sim::kTimeZero + sim::sec_f(a),
+                                            sim::kTimeZero + sim::sec_f(b)});
+  } else {
+    throw std::invalid_argument("fault plan: unknown key '" + key + "'");
+  }
+}
+
+void append_spec(std::ostringstream& os, const char* name,
+                 const LayerFaultSpec& spec) {
+  if (!spec.any()) return;
+  if (os.tellp() > 0) os << ';';
+  os << name << ':';
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  if (spec.drop_rate > 0) {
+    sep();
+    os << "drop=" << seconds_str(spec.drop_rate);
+  }
+  if (spec.dup_rate > 0) {
+    sep();
+    os << "dup=" << seconds_str(spec.dup_rate);
+  }
+  if (spec.delay_rate > 0) {
+    sep();
+    os << "delay=" << seconds_str(spec.delay_rate) << '@'
+       << seconds_str(sim::to_seconds(spec.delay_max));
+  }
+  if (spec.skew != sim::Duration::zero()) {
+    sep();
+    os << "skew=" << seconds_str(sim::to_seconds(spec.skew));
+  }
+  if (spec.drift != 0) {
+    sep();
+    os << "drift=" << seconds_str(spec.drift);
+  }
+  if (spec.truncate_at) {
+    sep();
+    os << "truncate=" << seconds_str(spec.truncate_at->seconds());
+  }
+  for (const BlackoutWindow& w : spec.blackouts) {
+    sep();
+    os << "blackout=" << seconds_str(w.start.seconds()) << ".."
+       << seconds_str(w.end.seconds());
+  }
+}
+
+}  // namespace
+
+bool LayerFaultSpec::any() const {
+  return drop_rate > 0 || dup_rate > 0 || delay_rate > 0 ||
+         skew != sim::Duration::zero() || drift != 0 ||
+         truncate_at.has_value() || !blackouts.empty();
+}
+
+bool LayerFaultSpec::in_blackout(sim::TimePoint t) const {
+  for (const BlackoutWindow& w : blackouts) {
+    if (t >= w.start && t < w.end) return true;
+  }
+  return false;
+}
+
+sim::TimePoint LayerFaultSpec::retimed(sim::TimePoint t) const {
+  if (skew == sim::Duration::zero() && drift == 0) return t;
+  sim::TimePoint shifted =
+      t + skew +
+      sim::Duration{static_cast<sim::Duration::rep>(
+          drift * static_cast<double>((t - sim::kTimeZero).count()))};
+  return std::max(shifted, sim::kTimeZero);
+}
+
+const LayerFaultSpec& FaultPlan::layer(core::Layer layer) const {
+  switch (layer) {
+    case core::kLayerUi:
+      return ui;
+    case core::kLayerPacket:
+      return packet;
+    default:
+      return radio;
+  }
+}
+
+LayerFaultSpec& FaultPlan::layer(core::Layer layer) {
+  switch (layer) {
+    case core::kLayerUi:
+      return ui;
+    case core::kLayerPacket:
+      return packet;
+    default:
+      return radio;
+  }
+}
+
+bool FaultPlan::any() const { return ui.any() || packet.any() || radio.any(); }
+
+sim::Duration FaultPlan::max_lateness() const {
+  sim::Duration lateness{};
+  for (const LayerFaultSpec* spec : {&ui, &packet, &radio}) {
+    sim::Duration l{};
+    if (spec->delay_rate > 0) l += spec->delay_max;
+    if (spec->skew < sim::Duration::zero()) l += -spec->skew;
+    lateness = std::max(lateness, l);
+  }
+  return lateness;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  append_spec(os, "ui", ui);
+  append_spec(os, "packet", packet);
+  append_spec(os, "radio", radio);
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t sc = spec.find(';', pos);
+    if (sc == std::string::npos) sc = spec.size();
+    const std::string clause = trim(spec.substr(pos, sc - pos));
+    pos = sc + 1;
+    if (clause.empty()) continue;
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("fault plan: expected 'layer:items', got '" +
+                                  clause + "'");
+    }
+    const std::string layer_name = trim(clause.substr(0, colon));
+    std::vector<LayerFaultSpec*> targets;
+    if (layer_name == "ui") {
+      targets = {&plan.ui};
+    } else if (layer_name == "packet") {
+      targets = {&plan.packet};
+    } else if (layer_name == "radio") {
+      targets = {&plan.radio};
+    } else if (layer_name == "all") {
+      targets = {&plan.ui, &plan.packet, &plan.radio};
+    } else {
+      throw std::invalid_argument("fault plan: unknown layer '" + layer_name +
+                                  "' (want ui|packet|radio|all)");
+    }
+    std::size_t ip = colon + 1;
+    while (ip <= clause.size()) {
+      std::size_t comma = clause.find(',', ip);
+      if (comma == std::string::npos) comma = clause.size();
+      const std::string item = trim(clause.substr(ip, comma - ip));
+      ip = comma + 1;
+      if (item.empty()) {
+        throw std::invalid_argument("fault plan: empty item in clause '" +
+                                    clause + "'");
+      }
+      for (LayerFaultSpec* target : targets) apply_item(*target, item);
+    }
+  }
+  return plan;
+}
+
+}  // namespace qoed::fault

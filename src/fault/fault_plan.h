@@ -1,0 +1,96 @@
+// Deterministic fault-injection plans for the collection spine.
+//
+// QoE Doctor's real-world inputs are lossy: QxDM drops records, UI-tree
+// polling jitters, and per-layer clocks skew (the paper calibrates
+// t_offset/t_parsing precisely because measurement is imperfect). A
+// FaultPlan describes, per collection layer, how to degrade the *capture*
+// path — packets, radio records and behavior records still flow through the
+// simulation untouched; only what the front-end stores (and therefore what
+// every analyzer sees) is perturbed. Faults are drawn from a seeded Rng in
+// the FaultInjector, so the same (plan, seed) pair reproduces the same
+// faulted timeline bit-for-bit on any --jobs fan-out.
+//
+// Plans have a compact textual form (used by qoed_cli --fault-plan= and the
+// QOED_FAULT_PLAN environment variable):
+//
+//   spec    := clause (';' clause)*
+//   clause  := layer ':' item (',' item)*
+//   layer   := 'ui' | 'packet' | 'radio' | 'all'
+//   item    := 'drop=' P            probability a record never reaches the
+//                                   store
+//            | 'dup=' P             probability a stored record is stored
+//                                   twice
+//            | 'delay=' P '@' S     probability a record is held back, for
+//                                   up to S seconds (bounded reorder: it is
+//                                   released, timestamp intact, when a later
+//                                   same-kind record arrives or on flush)
+//            | 'skew=' S            constant clock skew, seconds (may be
+//                                   negative)
+//            | 'drift=' D           clock drift, seconds of extra skew per
+//                                   second of virtual time
+//            | 'truncate=' S        hard stop: records at or after S are
+//                                   discarded
+//            | 'blackout=' A '..' B records with time in [A, B) are
+//                                   discarded (repeatable)
+//
+//   e.g. "packet:drop=0.02;radio:blackout=5..8;ui:skew=0.004"
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/collector.h"
+#include "sim/time.h"
+
+namespace qoed::fault {
+
+// Half-open capture blackout: records with time in [start, end) are lost.
+struct BlackoutWindow {
+  sim::TimePoint start;
+  sim::TimePoint end;
+};
+
+struct LayerFaultSpec {
+  double drop_rate = 0;
+  double dup_rate = 0;
+  double delay_rate = 0;
+  sim::Duration delay_max{};  // upper bound of the random hold-back
+  sim::Duration skew{};       // constant clock skew applied to timestamps
+  double drift = 0;           // extra skew per second of virtual time
+  std::optional<sim::TimePoint> truncate_at;
+  std::vector<BlackoutWindow> blackouts;
+
+  // True when this layer has any fault configured.
+  bool any() const;
+  bool in_blackout(sim::TimePoint t) const;
+  // The skew/drift-retimed capture timestamp (clamped to time zero).
+  sim::TimePoint retimed(sim::TimePoint t) const;
+};
+
+struct FaultPlan {
+  LayerFaultSpec ui;
+  LayerFaultSpec packet;
+  LayerFaultSpec radio;
+
+  const LayerFaultSpec& layer(core::Layer layer) const;
+  LayerFaultSpec& layer(core::Layer layer);
+  bool any() const;
+
+  // Upper bound on how far behind the live event stream a faulted record
+  // can surface: the largest configured hold-back plus the largest negative
+  // skew. Callers feed this into DiagnosisConfig::watermark_slack so live
+  // findings are not finalized before late records can still land inside
+  // their window. (Unbounded negative drift is deliberately ignored; plans
+  // combining delay faults with strong negative drift should set the slack
+  // by hand.)
+  sim::Duration max_lateness() const;
+
+  // Canonical textual form; parse(to_string()) round-trips.
+  std::string to_string() const;
+  // Parses the grammar above; throws std::invalid_argument with a
+  // position-carrying message on malformed input.
+  static FaultPlan parse(const std::string& spec);
+};
+
+}  // namespace qoed::fault

@@ -26,7 +26,23 @@ void TraceCapture::record(const Packet& p, sim::TimePoint ts, Direction dir) {
     ++dropped_;
     return;
   }
-  records_.push_back(PacketRecord::from_packet(p, ts, dir));
+  add(PacketRecord::from_packet(p, ts, dir));
+}
+
+void TraceCapture::add(PacketRecord record) {
+  if (!running_) {
+    ++dropped_;
+    return;
+  }
+  if (intake_) {
+    for (PacketRecord& r : intake_(std::move(record))) commit(std::move(r));
+    return;
+  }
+  commit(std::move(record));
+}
+
+void TraceCapture::commit(PacketRecord record) {
+  records_.push_back(std::move(record));
   if (tap_) tap_(records_.back(), records_.size() - 1);
 }
 

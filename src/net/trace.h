@@ -53,8 +53,19 @@ class TraceCapture {
   // records(). One tap slot (last set_tap wins) — the spine owns it.
   using Tap = std::function<void(const PacketRecord& record,
                                  std::size_t index)>;
+  // Intake filter between ingress and the store: receives each record
+  // offered while running and returns the records to actually store
+  // (possibly none, possibly extras released from a hold-back buffer). One
+  // slot (last set_intake wins) — the fault-injection harness owns it.
+  using Intake = std::function<std::vector<PacketRecord>(PacketRecord record)>;
 
   void record(const Packet& p, sim::TimePoint ts, Direction dir);
+  // Record-level ingress (record() builds the record and lands here); goes
+  // through the running check and intake filter.
+  void add(PacketRecord record);
+  // Stores a record directly, bypassing the running check and intake filter;
+  // the fault injector's flush path uses it to land held-back records.
+  void commit(PacketRecord record);
 
   bool running() const { return running_; }
   void start() { running_ = true; }
@@ -65,6 +76,7 @@ class TraceCapture {
     tap_ = std::move(on_record);
     clear_tap_ = std::move(on_clear);
   }
+  void set_intake(Intake intake) { intake_ = std::move(intake); }
 
   const std::vector<PacketRecord>& records() const { return records_; }
 
@@ -80,6 +92,7 @@ class TraceCapture {
   std::uint64_t dropped_ = 0;
   std::vector<PacketRecord> records_;
   Tap tap_;
+  Intake intake_;
   std::function<void()> clear_tap_;
 };
 

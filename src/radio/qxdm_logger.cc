@@ -7,8 +7,12 @@ void QxdmLogger::log_rrc(RrcState from, RrcState to, sim::TimePoint at) {
     ++records_suppressed_;
     return;
   }
-  rrc_log_.push_back({at, from, to});
-  if (taps_.on_rrc) taps_.on_rrc(rrc_log_.back(), rrc_log_.size() - 1);
+  RrcTransitionRecord record{at, from, to};
+  if (intake_.on_rrc) {
+    for (RrcTransitionRecord& r : intake_.on_rrc(record)) commit_rrc(r);
+    return;
+  }
+  commit_rrc(record);
 }
 
 void QxdmLogger::log_pdu(PduRecord record) {
@@ -22,8 +26,13 @@ void QxdmLogger::log_pdu(PduRecord record) {
     ++records_dropped_;
     return;
   }
-  pdu_log_.push_back(std::move(record));
-  if (taps_.on_pdu) taps_.on_pdu(pdu_log_.back(), pdu_log_.size() - 1);
+  if (intake_.on_pdu) {
+    for (PduRecord& r : intake_.on_pdu(std::move(record))) {
+      commit_pdu(std::move(r));
+    }
+    return;
+  }
+  commit_pdu(std::move(record));
 }
 
 void QxdmLogger::log_status(StatusRecord record) {
@@ -31,6 +40,24 @@ void QxdmLogger::log_status(StatusRecord record) {
     ++records_suppressed_;
     return;
   }
+  if (intake_.on_status) {
+    for (StatusRecord& r : intake_.on_status(record)) commit_status(r);
+    return;
+  }
+  commit_status(record);
+}
+
+void QxdmLogger::commit_rrc(RrcTransitionRecord record) {
+  rrc_log_.push_back(record);
+  if (taps_.on_rrc) taps_.on_rrc(rrc_log_.back(), rrc_log_.size() - 1);
+}
+
+void QxdmLogger::commit_pdu(PduRecord record) {
+  pdu_log_.push_back(std::move(record));
+  if (taps_.on_pdu) taps_.on_pdu(pdu_log_.back(), pdu_log_.size() - 1);
+}
+
+void QxdmLogger::commit_status(StatusRecord record) {
   status_log_.push_back(record);
   if (taps_.on_status) {
     taps_.on_status(status_log_.back(), status_log_.size() - 1);

@@ -77,6 +77,17 @@ class QxdmLogger {
     std::function<void()> on_clear;
   };
 
+  // Intake filters between ingress and the per-kind stores: each receives a
+  // record offered while enabled (PDUs: after the intrinsic record-loss
+  // draw) and returns the records to actually store (possibly none, possibly
+  // extras released from a hold-back buffer). One set (last set_intake wins)
+  // — the fault-injection harness owns it.
+  struct Intake {
+    std::function<std::vector<RrcTransitionRecord>(RrcTransitionRecord)> on_rrc;
+    std::function<std::vector<PduRecord>(PduRecord)> on_pdu;
+    std::function<std::vector<StatusRecord>(StatusRecord)> on_status;
+  };
+
   explicit QxdmLogger(sim::Rng rng) : rng_(std::move(rng)) {}
 
   void set_enabled(bool on) { enabled_ = on; }
@@ -88,6 +99,7 @@ class QxdmLogger {
   bool running() const { return enabled_; }
 
   void set_taps(Taps taps) { taps_ = std::move(taps); }
+  void set_intake(Intake intake) { intake_ = std::move(intake); }
 
   // Probability that a PDU record is silently missing from the log.
   void set_record_loss(double uplink, double downlink) {
@@ -98,6 +110,13 @@ class QxdmLogger {
   void log_rrc(RrcState from, RrcState to, sim::TimePoint at);
   void log_pdu(PduRecord record);
   void log_status(StatusRecord record);
+
+  // Store a record directly, bypassing the enabled check, intrinsic record
+  // loss and intake filters; the fault injector's flush path uses these to
+  // land held-back records.
+  void commit_rrc(RrcTransitionRecord record);
+  void commit_pdu(PduRecord record);
+  void commit_status(StatusRecord record);
 
   void clear();
 
@@ -120,6 +139,7 @@ class QxdmLogger {
   std::uint64_t records_dropped_ = 0;
   std::uint64_t records_suppressed_ = 0;
   Taps taps_;
+  Intake intake_;
 };
 
 }  // namespace qoed::radio

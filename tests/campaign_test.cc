@@ -9,6 +9,7 @@
 #include "apps/web_server.h"
 #include "core/log_export.h"
 #include "core/qoe_doctor.h"
+#include "fault/fault_injector.h"
 
 namespace qoed::core {
 namespace {
@@ -26,6 +27,9 @@ RunResult page_load_run(std::uint64_t seed) {
   apps::BrowserApp browser(*device);
   browser.launch();
   QoeDoctor doctor(*device, browser);
+  // Honors QOED_FAULT_PLAN so CI can re-run this whole suite under a
+  // degraded capture; a no-op (null) when the environment is clean.
+  auto faults = fault::install_from_env(doctor, seed);
   BrowserDriver driver(doctor.controller(), browser);
 
   RunResult out;
@@ -36,8 +40,13 @@ RunResult page_load_run(std::uint64_t seed) {
     }
   });
   bed.loop().run();
+  if (faults != nullptr) {
+    faults->flush();
+    faults->add_counters(out);
+  }
   out.add_counter("bytes_down", static_cast<double>(device->trace().bytes(
                                     net::Direction::kDownlink)));
+  out.virtual_seconds = bed.loop().now().seconds();
   return out;
 }
 
@@ -183,6 +192,122 @@ TEST(CampaignTest, EmptyCampaignIsWellFormed) {
   EXPECT_EQ(result.runs, 0u);
   EXPECT_TRUE(result.metrics.empty());
   EXPECT_EQ(result.failed_runs(), 0u);
+}
+
+TEST(CampaignTest, RetrySeedsAreStableAndDistinctFromRunSeeds) {
+  EXPECT_EQ(Campaign::retry_seed(7, 3, 0), Campaign::run_seed(7, 3));
+  EXPECT_EQ(Campaign::retry_seed(7, 3, 2), Campaign::retry_seed(7, 3, 2));
+  std::set<std::uint64_t> seeds;
+  for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+    seeds.insert(Campaign::retry_seed(7, 3, attempt));
+  }
+  EXPECT_EQ(seeds.size(), 8u);
+}
+
+TEST(CampaignTest, RetriesRecoverDeterministically) {
+  // Odd runs fail on their first attempt only; with retries enabled the
+  // campaign recovers them, reports the attempt counts, and stays
+  // bit-identical across jobs counts.
+  const auto flaky = [](std::uint64_t, const RunSpec& spec) -> RunResult {
+    if (spec.run_index % 2 == 1 && spec.attempt == 0) {
+      throw std::runtime_error("flaky " + std::to_string(spec.run_index));
+    }
+    RunResult out;
+    out.add_sample("v", static_cast<double>(spec.run_index) +
+                            static_cast<double>(spec.attempt) / 10);
+    return out;
+  };
+  const auto run_with_jobs = [&](std::size_t jobs) {
+    CampaignConfig cfg;
+    cfg.runs = 6;
+    cfg.jobs = jobs;
+    cfg.master_seed = 5;
+    cfg.max_retries = 2;
+    Campaign campaign(cfg);
+    return campaign.run(flaky);
+  };
+  const CampaignResult result = run_with_jobs(1);
+
+  EXPECT_EQ(result.failed_runs(), 0u);
+  EXPECT_TRUE(result.quarantined.empty());
+  ASSERT_EQ(result.run_attempts.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result.run_attempts[i], i % 2 == 1 ? 2u : 1u) << "run " << i;
+    // run_specs keeps the first attempt's seed as the replay handle.
+    EXPECT_EQ(result.run_specs[i].seed, Campaign::run_seed(5, i));
+  }
+  // Recovered runs contributed their retry-attempt sample.
+  const MetricAggregate* m = result.metric("v");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->pooled_samples.size(), 6u);
+  EXPECT_DOUBLE_EQ(m->pooled_samples[1], 1.1);
+  EXPECT_DOUBLE_EQ(m->pooled_samples[2], 2.0);
+
+  std::string a = campaign_to_json_string(result);
+  std::string b = campaign_to_json_string(run_with_jobs(6));
+  const auto mask = [](std::string& s) {
+    const auto pos = s.find("\"jobs\":");
+    ASSERT_NE(pos, std::string::npos);
+    s.erase(pos, s.find(',', pos) - pos);
+  };
+  mask(a);
+  mask(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CampaignTest, QuarantineReportedNotDropped) {
+  CampaignConfig cfg;
+  cfg.runs = 4;
+  cfg.jobs = 2;
+  cfg.master_seed = 9;
+  cfg.max_retries = 1;
+  Campaign campaign(cfg);
+  const CampaignResult result =
+      campaign.run([](std::uint64_t, const RunSpec& spec) -> RunResult {
+        if (spec.run_index == 2) throw std::runtime_error("always fails");
+        RunResult out;
+        out.add_sample("ok", 1.0);
+        return out;
+      });
+
+  EXPECT_EQ(result.failed_runs(), 1u);
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  const auto& q = result.quarantined[0];
+  EXPECT_EQ(q.run_index, 2u);
+  EXPECT_EQ(q.attempts, 2u);  // first attempt + one retry, both failed
+  EXPECT_EQ(q.last_seed, Campaign::retry_seed(9, 2, 1));
+  EXPECT_EQ(q.error, "always fails");
+  // The quarantined run is visible in the JSON export, not silently thinner.
+  const std::string json = campaign_to_json_string(result);
+  EXPECT_NE(json.find("\"quarantined\":[{\"run\":2,\"attempts\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"run_attempts\":[1,1,2,1]"), std::string::npos);
+}
+
+TEST(CampaignTest, VirtualTimeWatchdogFailsOverlongRuns) {
+  CampaignConfig cfg;
+  cfg.runs = 3;
+  cfg.jobs = 1;
+  cfg.max_run_virtual_seconds = 100;
+  Campaign campaign(cfg);
+  const CampaignResult result =
+      campaign.run([](std::uint64_t, const RunSpec& spec) {
+        RunResult out;
+        out.add_sample("ok", 1.0);
+        // Run 1 reports a runaway virtual clock.
+        out.virtual_seconds = spec.run_index == 1 ? 1e6 : 10;
+        return out;
+      });
+
+  EXPECT_EQ(result.failed_runs(), 1u);
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  EXPECT_EQ(result.quarantined[0].run_index, 1u);
+  EXPECT_NE(result.run_errors[1].find("virtual-time watchdog"),
+            std::string::npos);
+  // The watchdog victim contributes no samples.
+  const MetricAggregate* m = result.metric("ok");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->pooled.n, 2u);
 }
 
 TEST(CampaignTest, JsonExportRecordsReplayHandles) {

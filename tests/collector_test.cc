@@ -374,5 +374,116 @@ TEST_F(CollectorSpineTest, TimelineJsonlDeterministicOneLinePerEvent) {
   EXPECT_EQ(n, c.timeline().size());
 }
 
+// --- per-layer health states (degraded-mode diagnosis) ---
+
+sim::TimePoint health_at(double s) { return sim::kTimeZero + sim::sec_f(s); }
+
+class CollectorHealthTest : public ::testing::Test {
+ protected:
+  CollectorHealthTest() : bed_(3) {
+    dev_ = bed_.make_device("phone");
+    dev_->attach_cellular(radio::CellularConfig::umts());
+    collector_.attach(*dev_, log_);
+  }
+
+  void add_packet(double at_s) {
+    net::PacketRecord p;
+    p.timestamp = health_at(at_s);
+    p.payload_size = 100;
+    dev_->trace().add(p);
+  }
+
+  Testbed bed_;
+  std::unique_ptr<device::Device> dev_;
+  AppBehaviorLog log_;
+  Collector collector_;
+};
+
+TEST_F(CollectorHealthTest, IdleAttachedLayersAreHealthy) {
+  EXPECT_EQ(collector_.health(kLayerUi), LayerHealth::kHealthy);
+  EXPECT_EQ(collector_.health(kLayerPacket), LayerHealth::kHealthy);
+  EXPECT_EQ(collector_.health(kLayerRadio), LayerHealth::kHealthy);
+  EXPECT_STREQ(to_string(LayerHealth::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(LayerHealth::kDegraded), "degraded");
+  EXPECT_STREQ(to_string(LayerHealth::kLost), "lost");
+}
+
+TEST_F(CollectorHealthTest, OutOfOrderArrivalsDegradeTheLayer) {
+  add_packet(1.0);
+  EXPECT_EQ(collector_.health(kLayerPacket), LayerHealth::kHealthy);
+  add_packet(0.5);  // back-stamped: capture went backwards
+  EXPECT_EQ(collector_.counters(kLayerPacket).out_of_order, 1u);
+  EXPECT_EQ(collector_.health(kLayerPacket), LayerHealth::kDegraded);
+}
+
+TEST_F(CollectorHealthTest, SilentLayerDegradesThenIsLostThenRecovers) {
+  auto& qxdm = dev_->cellular()->qxdm();
+  qxdm.log_rrc(radio::RrcState::kPch, radio::RrcState::kFach, health_at(1));
+  add_packet(1.0);
+  EXPECT_EQ(collector_.health(kLayerRadio), LayerHealth::kHealthy);
+
+  // Packets keep arriving while the radio log stays silent: the gap to the
+  // spine's newest event crosses stale_after (5 s), then lost_after (20 s).
+  add_packet(10.0);
+  EXPECT_EQ(collector_.health(kLayerRadio), LayerHealth::kDegraded);
+  EXPECT_EQ(collector_.health(kLayerPacket), LayerHealth::kHealthy);
+  add_packet(25.0);
+  EXPECT_EQ(collector_.health(kLayerRadio), LayerHealth::kLost);
+
+  // A fresh radio record closes the gap — health is a live signal.
+  qxdm.log_rrc(radio::RrcState::kFach, radio::RrcState::kDch, health_at(25));
+  EXPECT_EQ(collector_.health(kLayerRadio), LayerHealth::kHealthy);
+}
+
+TEST_F(CollectorHealthTest, ExcessiveDropsDegradeButToleratedDropsDoNot) {
+  // One drop out of two offers (50%) is far past the 2% tolerance.
+  collector_.stop();
+  add_packet(1.0);
+  collector_.start();
+  add_packet(1.5);
+  EXPECT_EQ(collector_.counters(kLayerPacket).dropped, 1u);
+  EXPECT_EQ(collector_.health(kLayerPacket), LayerHealth::kDegraded);
+
+  // With enough delivered records the same single drop falls back inside
+  // the tolerated fraction (QxDM-style intrinsic loss must not flag).
+  for (int i = 0; i < 60; ++i) add_packet(1.5 + i * 0.01);
+  EXPECT_EQ(collector_.health(kLayerPacket), LayerHealth::kHealthy);
+}
+
+TEST_F(CollectorHealthTest, DetachedLayerIsLostAndPayloadIsNull) {
+  add_packet(1.0);
+  ASSERT_EQ(collector_.timeline().size(), 1u);
+  const Event e = collector_.timeline()[0];
+  EXPECT_NE(std::get<const net::PacketRecord*>(collector_.payload(e)),
+            nullptr);
+
+  collector_.detach();
+  EXPECT_EQ(collector_.health(kLayerUi), LayerHealth::kLost);
+  EXPECT_EQ(collector_.health(kLayerPacket), LayerHealth::kLost);
+  EXPECT_EQ(collector_.health(kLayerRadio), LayerHealth::kLost);
+  // A held envelope resolves to a defined null payload, not UB.
+  EXPECT_EQ(std::get<const net::PacketRecord*>(collector_.payload(e)),
+            nullptr);
+}
+
+TEST_F(CollectorHealthTest, StaleEnvelopeIndexYieldsNullPayload) {
+  add_packet(1.0);
+  const Event e = collector_.timeline()[0];
+  dev_->trace().clear();  // store emptied; the held envelope is now stale
+  EXPECT_EQ(std::get<const net::PacketRecord*>(collector_.payload(e)),
+            nullptr);
+}
+
+TEST_F(CollectorHealthTest, CountersSurfaceHealthAndOutOfOrder) {
+  add_packet(1.0);
+  add_packet(0.5);
+  RunResult rr;
+  collector_.add_counters(rr);
+  EXPECT_EQ(rr.counters.at("collector.packet.out_of_order"), 1.0);
+  EXPECT_EQ(rr.counters.at("collector.packet.health"), 1.0);  // kDegraded
+  EXPECT_EQ(rr.counters.at("collector.ui.health"), 0.0);      // kHealthy
+  collector_.counters_table().print();  // renders the health column
+}
+
 }  // namespace
 }  // namespace qoed::core

@@ -16,6 +16,7 @@
 #include "core/qoe_doctor.h"
 #include "diag/findings_sink.h"
 #include "diag/rrc_state_tracker.h"
+#include "fault/fault_injector.h"
 
 namespace qoed::diag {
 namespace {
@@ -151,6 +152,10 @@ class LiveDiagTest : public ::testing::Test {
     app_ = std::make_unique<apps::SocialApp>(*dev_);
     app_->launch();
     doctor_ = std::make_unique<core::QoeDoctor>(*dev_, *app_);
+    // CI reruns this suite under QOED_FAULT_PLAN (delay-free plans only:
+    // the live/batch equality below holds by construction for every fault
+    // except bounded delay); null in a clean environment.
+    faults_ = fault::install_from_env(*doctor_, 21);
     engine_ = &doctor_->enable_diagnosis();
     driver_ =
         std::make_unique<core::FacebookDriver>(doctor_->controller(), *app_);
@@ -212,6 +217,7 @@ class LiveDiagTest : public ::testing::Test {
   std::unique_ptr<device::Device> dev_;
   std::unique_ptr<apps::SocialApp> app_;
   std::unique_ptr<core::QoeDoctor> doctor_;
+  std::unique_ptr<fault::FaultInjector> faults_;
   std::unique_ptr<core::FacebookDriver> driver_;
   DiagnosisEngine* engine_ = nullptr;
 };
@@ -328,6 +334,7 @@ std::string run_and_export_findings(std::uint64_t seed) {
   apps::SocialApp app(*dev);
   app.launch();
   core::QoeDoctor doctor(*dev, app);
+  auto faults = fault::install_from_env(doctor, seed);
   DiagnosisEngine& engine = doctor.enable_diagnosis();
   core::FacebookDriver driver(doctor.controller(), app);
   app.login("bob");
@@ -337,6 +344,7 @@ std::string run_and_export_findings(std::uint64_t seed) {
                        [](const core::BehaviorRecord&) {});
     bed.advance(sim::sec(20));
   }
+  if (faults != nullptr) faults->flush();
   engine.finalize_all();
   return FindingsJsonlSink(engine).to_string();
 }
@@ -370,6 +378,7 @@ TEST(FindingsSinkTest, CampaignJsonWithDiagCountersIdenticalAcrossJobs) {
     apps::SocialApp app(*dev);
     app.launch();
     core::QoeDoctor doctor(*dev, app);
+    auto faults = fault::install_from_env(doctor, seed);
     DiagnosisEngine& engine = doctor.enable_diagnosis();
     core::FacebookDriver driver(doctor.controller(), app);
     app.login("carol");
@@ -377,6 +386,7 @@ TEST(FindingsSinkTest, CampaignJsonWithDiagCountersIdenticalAcrossJobs) {
     driver.upload_post(apps::PostKind::kStatus,
                        [](const core::BehaviorRecord&) {});
     bed.advance(sim::sec(20));
+    if (faults != nullptr) faults->flush();
     engine.finalize_all();
     for (const Finding& f : engine.findings()) {
       out.add_sample("diag.total_s", f.total_s);

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "apps/web_server.h"
+#include "core/export_sink.h"
 #include "core/qoe_doctor.h"
 
 namespace qoed::core {
@@ -74,6 +79,37 @@ TEST(LogExportEmptyTest, EmptyLogsProduceEmptyOutput) {
   EXPECT_TRUE(trace_to_string({}).empty());
   AppBehaviorLog empty;
   EXPECT_TRUE(behavior_log_to_string(empty).empty());
+}
+
+// --- crash-safe exports: temp-file + atomic rename ---
+
+TEST_F(LogExportTest, WriteFileIsAtomicAndLeavesNoTempFile) {
+  const std::string path = ::testing::TempDir() + "qoed_export_atomic.txt";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  const BehaviorTextSink sink(doctor_->log());
+  ASSERT_TRUE(sink.write_file(path));
+  // No stray temp file, and the content equals the in-memory render.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::ostringstream got;
+  got << std::ifstream(path, std::ios::binary).rdbuf();
+  EXPECT_EQ(got.str(), sink.to_string());
+
+  // Overwrite goes through the same rename; prior content fully replaced.
+  ASSERT_TRUE(sink.write_file(path));
+  std::ostringstream again;
+  again << std::ifstream(path, std::ios::binary).rdbuf();
+  EXPECT_EQ(again.str(), sink.to_string());
+  std::remove(path.c_str());
+}
+
+TEST_F(LogExportTest, WriteFileToBadDirectoryFailsCleanly) {
+  const BehaviorTextSink sink(doctor_->log());
+  const std::string path = "/nonexistent-dir-qoed/export.txt";
+  EXPECT_FALSE(sink.write_file(path));
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
 }
 
 }  // namespace

@@ -116,5 +116,69 @@ TEST(TimelineMergeTest, MergesRealSpineExports) {
   EXPECT_EQ(stamped, merged.size());
 }
 
+// --- corrupted-input robustness (merge_timelines_checked) ---
+
+TEST(TimelineMergeCheckedTest, QuarantinesCorruptedLinesWithCounts) {
+  // A fixture shaped like a crash-truncated + bit-flipped export: a good
+  // line, a line cut mid-object, garbage, a line with no usable timestamp,
+  // and a non-finite timestamp.
+  const DeviceTimeline bad{
+      "bad",
+      "{\"t\":1,\"seq\":0,\"layer\":\"ui\"}\n"
+      "{\"t\":2,\"seq\":1,\"lay\n"
+      "####binary@@@garbage\n"
+      "{\"seq\":3,\"layer\":\"packet\"}\n"
+      "{\"t\":nan,\"seq\":4}\n"
+      "{\"t\":5,\"seq\":5,\"layer\":\"radio\"}\n"};
+  const DeviceTimeline good{"good", "{\"t\":3,\"seq\":0}\n"};
+
+  const TimelineMergeResult result = merge_timelines_checked({bad, good});
+  ASSERT_EQ(result.inputs.size(), 2u);
+  EXPECT_EQ(result.inputs[0].device, "bad");
+  EXPECT_EQ(result.inputs[0].lines, 6u);
+  EXPECT_EQ(result.inputs[0].malformed, 4u);
+  EXPECT_EQ(result.inputs[1].malformed, 0u);
+  EXPECT_EQ(result.total_malformed(), 4u);
+
+  // Only the well-formed lines survive, still globally ordered.
+  const auto merged = lines_of(result.jsonl);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_NE(merged[0].find("\"t\":1"), std::string::npos);
+  EXPECT_NE(merged[1].find("\"device\":\"good\""), std::string::npos);
+  EXPECT_NE(merged[2].find("\"t\":5"), std::string::npos);
+}
+
+TEST(TimelineMergeCheckedTest, CountsOutOfOrderTimestampsButStillMerges) {
+  const DeviceTimeline shuffled{
+      "shuffled",
+      "{\"t\":2,\"seq\":0}\n"
+      "{\"t\":1,\"seq\":1}\n"   // behind the previous good line
+      "{\"t\":3,\"seq\":2}\n"
+      "{\"t\":0.5,\"seq\":3}\n"};
+  const TimelineMergeResult result = merge_timelines_checked({shuffled});
+  ASSERT_EQ(result.inputs.size(), 1u);
+  EXPECT_EQ(result.inputs[0].malformed, 0u);
+  EXPECT_EQ(result.inputs[0].out_of_order, 2u);
+  // All four lines merge — the sort repairs the order.
+  const auto merged = lines_of(result.jsonl);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_NE(merged[0].find("\"t\":0.5"), std::string::npos);
+  EXPECT_NE(merged[3].find("\"t\":3"), std::string::npos);
+}
+
+TEST(TimelineMergeCheckedTest, BlankLinesAreNotCountedAsCorruption) {
+  const TimelineMergeResult result =
+      merge_timelines_checked({{"d", "\n\n{\"t\":1,\"seq\":0}\n\n"}});
+  EXPECT_EQ(result.inputs[0].lines, 1u);
+  EXPECT_EQ(result.inputs[0].malformed, 0u);
+  EXPECT_EQ(lines_of(result.jsonl).size(), 1u);
+}
+
+TEST(TimelineMergeCheckedTest, PlainWrapperMatchesCheckedJsonl) {
+  const DeviceTimeline a{"a", "{\"t\":1,\"seq\":0}\nnot-json\n"};
+  const DeviceTimeline b{"b", "{\"t\":0.5,\"seq\":0}\n"};
+  EXPECT_EQ(merge_timelines({a, b}), merge_timelines_checked({a, b}).jsonl);
+}
+
 }  // namespace
 }  // namespace qoed::core
