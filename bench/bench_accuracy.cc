@@ -15,6 +15,7 @@
 // the campaign JSON alongside the accuracy metrics.
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "apps/social_server.h"
@@ -28,6 +29,11 @@ namespace qoed {
 namespace {
 
 using namespace core;
+
+// Set once in main (before any campaign starts) when --trace is given; each
+// run then records its doctor's tracer and hands it to the campaign via
+// RunResult::trace.
+bool g_trace = false;
 
 struct AccuracySample {
   double measured_s = 0;
@@ -73,6 +79,7 @@ RunResult facebook_run(std::uint64_t seed, apps::PostKind kind, int reps) {
   app.login("alice");
   bed.advance(sim::sec(10));
   QoeDoctor doctor(*dev, app);
+  doctor.obs().tracer.set_enabled(g_trace);
   auto faults = fault::install_from_env(doctor, seed);
   diag::DiagnosisEngine& engine = doctor.enable_diagnosis();
   FacebookDriver driver(doctor.controller(), app);
@@ -103,6 +110,7 @@ RunResult facebook_run(std::uint64_t seed, apps::PostKind kind, int reps) {
   if (faults != nullptr) faults->add_counters(out);
   doctor.collector().add_counters(out);
   out.virtual_seconds = bed.loop().now().seconds();
+  out.trace = std::move(doctor.obs().tracer);
   return out;
 }
 
@@ -124,6 +132,7 @@ RunResult pull_to_update_run(std::uint64_t seed, int reps) {
   app.login("bob");
   bed.advance(sim::sec(10));
   QoeDoctor doctor(*dev, app);
+  doctor.obs().tracer.set_enabled(g_trace);
   auto faults = fault::install_from_env(doctor, seed);
   FacebookDriver driver(doctor.controller(), app);
 
@@ -158,6 +167,7 @@ RunResult pull_to_update_run(std::uint64_t seed, int reps) {
   }
   doctor.collector().add_counters(out);
   out.virtual_seconds = bed.loop().now().seconds();
+  out.trace = std::move(doctor.obs().tracer);
   return out;
 }
 
@@ -182,6 +192,7 @@ RunResult youtube_run(std::uint64_t seed, int videos) {
   app.connect();
   bed.advance(sim::sec(5));
   QoeDoctor doctor(*dev, app);
+  doctor.obs().tracer.set_enabled(g_trace);
   auto faults = fault::install_from_env(doctor, seed);
   YouTubeDriver driver(doctor.controller(), app);
 
@@ -219,6 +230,7 @@ RunResult youtube_run(std::uint64_t seed, int videos) {
   }
   doctor.collector().add_counters(out);
   out.virtual_seconds = bed.loop().now().seconds();
+  out.trace = std::move(doctor.obs().tracer);
   return out;
 }
 
@@ -234,6 +246,7 @@ RunResult browser_run(std::uint64_t seed, int reps) {
   apps::BrowserApp app(*dev);
   app.launch();
   QoeDoctor doctor(*dev, app);
+  doctor.obs().tracer.set_enabled(g_trace);
   auto faults = fault::install_from_env(doctor, seed);
   diag::DiagnosisEngine& engine = doctor.enable_diagnosis();
   BrowserDriver driver(doctor.controller(), app);
@@ -264,6 +277,7 @@ RunResult browser_run(std::uint64_t seed, int reps) {
   if (faults != nullptr) faults->add_counters(out);
   doctor.collector().add_counters(out);
   out.virtual_seconds = bed.loop().now().seconds();
+  out.trace = std::move(doctor.obs().tracer);
   return out;
 }
 
@@ -333,6 +347,8 @@ void report_metric(core::Table& fig6, const std::string& name,
 int main(int argc, char** argv) {
   using namespace qoed;
   const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  g_trace = opts.tracing();
+  bench::TraceCollector traces;
   bench::banner("QoE measurement accuracy and overhead",
                 "Table 3 and Figure 6 (IMC'14 QoE Doctor, §7.1)");
 
@@ -346,7 +362,7 @@ int main(int argc, char** argv) {
       [](std::uint64_t seed, const core::RunSpec&) {
         return facebook_run(seed, apps::PostKind::kStatus, kRepsPerRun);
       });
-  bench::report_campaign(post_campaign, post, opts);
+  bench::report_campaign(post_campaign, post, opts, &traces);
 
   core::Campaign pull_campaign(
       bench::campaign_config(opts, "accuracy/pull", kDefaultRuns, 102));
@@ -354,7 +370,7 @@ int main(int argc, char** argv) {
       [](std::uint64_t seed, const core::RunSpec&) {
         return pull_to_update_run(seed, kRepsPerRun);
       });
-  bench::report_campaign(pull_campaign, pull, opts);
+  bench::report_campaign(pull_campaign, pull, opts, &traces);
 
   core::Campaign yt_campaign(
       bench::campaign_config(opts, "accuracy/youtube", /*default_runs=*/4,
@@ -363,7 +379,7 @@ int main(int argc, char** argv) {
       [](std::uint64_t seed, const core::RunSpec&) {
         return youtube_run(seed, /*videos=*/2);
       });
-  bench::report_campaign(yt_campaign, yt, opts);
+  bench::report_campaign(yt_campaign, yt, opts, &traces);
 
   core::Campaign page_campaign(
       bench::campaign_config(opts, "accuracy/browser", kDefaultRuns, 104));
@@ -371,7 +387,7 @@ int main(int argc, char** argv) {
       [](std::uint64_t seed, const core::RunSpec&) {
         return browser_run(seed, kRepsPerRun);
       });
-  bench::report_campaign(page_campaign, pages, opts);
+  bench::report_campaign(page_campaign, pages, opts, &traces);
 
   double max_error_ms = 0;
   core::Table fig6("Fig. 6 — latency measurement error per action",
@@ -397,5 +413,6 @@ int main(int argc, char** argv) {
   t3.add_row({"CPU overhead (photo upload, worst case)",
               core::Table::pct(om.cpu_overhead, 2), "6.18%"});
   t3.print();
+  traces.write(opts.trace_path);
   return 0;
 }

@@ -7,23 +7,35 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/export_sink.h"
 #include "core/json_util.h"
 #include "core/log_export.h"
 #include "core/qoe_doctor.h"
+#include "obs/tracer.h"
 
 namespace qoed::bench {
 
 // Command-line options shared by the campaign-based benches.
-//   --jobs N   worker threads (0 = hardware concurrency, the default)
-//   --runs N   campaign runs (0 = bench default)
-//   --seed S   master seed (0 = bench default)
-//   --json F   write each CampaignResult as JSON to F (appends)
+//   --jobs N      worker threads (0 = hardware concurrency, the default)
+//   --runs N      campaign runs (0 = bench default)
+//   --seed S      master seed (0 = bench default)
+//   --json F      write each CampaignResult as JSON to F (appends)
+//   --metrics F   write each campaign's merged metrics registry to F
+//                 (appends, one {"campaign":...,"registry":...} per line)
+//   --trace F     write ONE merged Chrome trace-event JSON covering every
+//                 campaign to F (overwrites; the format cannot be appended)
 struct BenchOptions {
   std::size_t jobs = 0;
   std::size_t runs = 0;
   std::uint64_t seed = 0;
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
+
+  bool tracing() const { return !trace_path.empty(); }
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -56,9 +68,14 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opts.seed = number();
     } else if (arg == "--json") {
       opts.json_path = value();
+    } else if (arg == "--metrics") {
+      opts.metrics_path = value();
+    } else if (arg == "--trace") {
+      opts.trace_path = value();
     } else if (arg == "-h" || arg == "--help") {
       std::printf(
-          "usage: %s [--jobs N] [--runs N] [--seed S] [--json FILE]\n",
+          "usage: %s [--jobs N] [--runs N] [--seed S] [--json FILE]"
+          " [--metrics FILE] [--trace FILE]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -80,13 +97,40 @@ inline core::CampaignConfig campaign_config(const BenchOptions& opts,
   cfg.runs = opts.runs ? opts.runs : default_runs;
   cfg.jobs = opts.jobs;
   cfg.master_seed = opts.seed ? opts.seed : default_seed;
+  cfg.trace = opts.tracing();
   return cfg;
 }
 
-// "campaign 'x': 20 runs over 8 workers in 1.3s (0 failed)" + optional JSON.
+// Accumulates (label, tracer) rows across campaigns so everything lands in
+// ONE merged Chrome trace JSON at exit — the format cannot be appended to.
+// Borrows the tracers: every added CampaignResult must outlive write().
+struct TraceCollector {
+  std::vector<std::pair<std::string, const obs::Tracer*>> processes;
+
+  void add(const core::CampaignResult& result) {
+    for (auto& p : result.trace_processes()) processes.push_back(p);
+  }
+  // No-op when nothing was collected (e.g. tracing off).
+  bool write(const std::string& path) const {
+    if (path.empty() || processes.empty()) return false;
+    const core::TraceEventSink sink(processes);
+    if (!sink.write_file(path)) {
+      std::fprintf(stderr, "FAILED to write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote trace.json (%zu processes) to %s\n", processes.size(),
+                path.c_str());
+    return true;
+  }
+};
+
+// "campaign 'x': 20 runs over 8 workers in 1.3s (0 failed)" + optional JSON
+// artifacts. `traces`, when given, collects this campaign's tracers for the
+// caller's final TraceCollector::write.
 inline void report_campaign(const core::Campaign& campaign,
                             const core::CampaignResult& result,
-                            const BenchOptions& opts) {
+                            const BenchOptions& opts,
+                            TraceCollector* traces = nullptr) {
   std::printf("campaign '%s': %zu runs over %zu workers in %.2fs (%zu failed)\n",
               result.name.c_str(), result.runs, result.jobs,
               campaign.last_wall_seconds(), result.failed_runs());
@@ -94,6 +138,15 @@ inline void report_campaign(const core::Campaign& campaign,
     std::ofstream os(opts.json_path, std::ios::app);
     core::export_campaign_json(os, result);
   }
+  if (!opts.metrics_path.empty()) {
+    std::ofstream os(opts.metrics_path, std::ios::app);
+    os << "{\"campaign\":";
+    core::put_json_string(os, result.name);
+    os << ",\"registry\":";
+    result.registry.write_json(os);
+    os << "}\n";
+  }
+  if (traces != nullptr && opts.tracing()) traces->add(result);
 }
 
 // Writes one micro-benchmark result as a flat JSON object (appends, one

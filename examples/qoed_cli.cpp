@@ -25,11 +25,17 @@
 //   --fault-seed=N                        fault stream seed  [1]
 //   (QOED_FAULT_PLAN / QOED_FAULT_SEED env vars are the fallback when
 //   --fault-plan is not given)
+//   --trace=FILE                          write Chrome trace-event JSON
+//                                         (load in Perfetto / about:tracing)
+//   --metrics=FILE                        write metrics-registry JSON and
+//                                         print the metrics table
 //   pageload: --pages=N [5]  --think=SECONDS [20]
 //   post:     --kind=status|checkin|photos [status]  --reps=N [10]
 //   video:    --videos=N [3] --throttle=KBPS [0=off]
 //             --mechanism=shaping|policing [shaping]
 //   merge:    per-device timeline JSONL files; --out=FILE [stdout]
+//             --strict: exit nonzero if any line was quarantined or
+//             out of order
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -49,6 +55,7 @@
 #include "diag/findings_sink.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
+#include "sim/log.h"
 
 namespace {
 
@@ -124,6 +131,15 @@ void run_sink(const core::ExportSink& sink, const std::string& path) {
   }
 }
 
+// Switches the per-device tracer on when --trace is given. Must run before
+// fault installation: the lanes copy the collector's obs::Context at
+// install time, and before the scenario so every event is recorded.
+void maybe_enable_tracing(core::QoeDoctor& doctor, const Options& opt) {
+  if (!opt.get("trace", "").empty()) {
+    doctor.obs().tracer.set_enabled(true);
+  }
+}
+
 // Installs capture-fault injection from --fault-plan/--fault-seed, falling
 // back to the QOED_FAULT_PLAN/QOED_FAULT_SEED environment; returns null
 // when no faults are configured. Must run before the experiment so every
@@ -195,6 +211,24 @@ void export_artifacts(device::Device& dev, core::QoeDoctor& doctor,
     doctor.collector().counters_table().print();
     if (injector != nullptr) injector->counters_table().print();
   }
+  const std::string metrics = opt.get("metrics", "");
+  if (!metrics.empty()) {
+    obs::MetricsRegistry& reg = doctor.obs().metrics;
+    doctor.collector().export_metrics(reg);
+    doctor.flows().export_metrics(reg);
+    if (doctor.diagnosis() != nullptr) doctor.diagnosis()->export_metrics(reg);
+    if (injector != nullptr) injector->export_metrics(reg);
+    const sim::LogCounts& logs = sim::Logger::thread_counts();
+    reg.add_counter("log.warn", logs.warn);
+    reg.add_counter("log.error", logs.error);
+    core::metrics_table(reg).print();
+    run_sink(core::MetricsJsonSink(reg), metrics);
+  }
+  const std::string trace = opt.get("trace", "");
+  if (!trace.empty()) {
+    run_sink(core::TraceEventSink(doctor.obs().tracer, "device:" + dev.name()),
+             trace);
+  }
 }
 
 void print_radio_summary(device::Device& dev, core::QoeDoctor& doctor,
@@ -226,6 +260,7 @@ int run_pageload(const Options& opt) {
   apps::BrowserApp app(*dev);
   app.launch();
   core::QoeDoctor doctor(*dev, app);
+  maybe_enable_tracing(doctor, opt);
   auto injector = maybe_install_faults(doctor, opt);
   maybe_enable_diagnosis(doctor, opt, injector.get());
   core::BrowserDriver driver(doctor.controller(), app);
@@ -266,6 +301,7 @@ int run_post(const Options& opt) {
   apps::SocialApp app(*dev, cfg);
   app.launch();
   core::QoeDoctor doctor(*dev, app);
+  maybe_enable_tracing(doctor, opt);
   auto injector = maybe_install_faults(doctor, opt);
   maybe_enable_diagnosis(doctor, opt, injector.get());
   core::FacebookDriver driver(doctor.controller(), app);
@@ -325,6 +361,7 @@ int run_video(const Options& opt) {
   app.connect();
   bed.advance(sim::sec(5));
   core::QoeDoctor doctor(*dev, app);
+  maybe_enable_tracing(doctor, opt);
   auto injector = maybe_install_faults(doctor, opt);
   maybe_enable_diagnosis(doctor, opt, injector.get());
   core::YouTubeDriver driver(doctor.controller(), app);
@@ -386,17 +423,23 @@ int run_merge(const Options& opt) {
     return 2;
   }
   const core::TimelineMergeResult result = core::merge_timelines_checked(inputs);
+  bool dirty = false;
   for (const core::TimelineMergeStats& s : result.inputs) {
     if (s.malformed > 0 || s.out_of_order > 0) {
+      dirty = true;
       std::printf("merge: %s: %zu/%zu lines quarantined, %zu out of order\n",
                   s.device.c_str(), s.malformed, s.lines, s.out_of_order);
     }
   }
+  // --strict: the merged output is still written (for inspection), but a
+  // quarantined or out-of-order input line fails the invocation.
+  const int strict_rc =
+      (opt.get_int("strict", 0) != 0 && dirty) ? 3 : 0;
   const std::string& merged = result.jsonl;
   const std::string out = opt.get("out", "");
   if (out.empty()) {
     std::fwrite(merged.data(), 1, merged.size(), stdout);
-    return 0;
+    return strict_rc;
   }
   std::ofstream os(out, std::ios::binary);
   os.write(merged.data(), static_cast<std::streamsize>(merged.size()));
@@ -406,7 +449,10 @@ int run_merge(const Options& opt) {
   }
   std::printf("wrote merged timeline (%zu devices) to %s\n", inputs.size(),
               out.c_str());
-  return 0;
+  if (strict_rc != 0) {
+    std::printf("merge: --strict: failing on quarantined/out-of-order input\n");
+  }
+  return strict_rc;
 }
 
 void usage() {
@@ -415,11 +461,12 @@ void usage() {
       "3g-simplified|lte]\n"
       "  [--seed=N] [--pcap=FILE] [--qxdm=FILE] [--timeline=FILE] [--counters]\n"
       "  [--diagnose] [--findings=FILE] [--fault-plan=SPEC] [--fault-seed=N]\n"
+      "  [--trace=FILE] [--metrics=FILE]\n"
       "  pageload: [--pages=N] [--think=SECONDS]\n"
       "  post:     [--kind=status|checkin|photos] [--reps=N]\n"
       "  video:    [--videos=N] [--throttle=KBPS]"
       " [--mechanism=shaping|policing]\n"
-      "  merge:    [--out=FILE] TIMELINE.jsonl...\n");
+      "  merge:    [--out=FILE] [--strict] TIMELINE.jsonl...\n");
 }
 
 }  // namespace

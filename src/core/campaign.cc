@@ -6,6 +6,7 @@
 #include <exception>
 #include <thread>
 
+#include "sim/log.h"
 #include "sim/rng.h"
 
 namespace qoed::core {
@@ -21,6 +22,18 @@ std::size_t CampaignResult::failed_runs() const {
 const MetricAggregate* CampaignResult::metric(const std::string& name) const {
   auto it = metrics.find(name);
   return it == metrics.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, const obs::Tracer*>>
+CampaignResult::trace_processes() const {
+  std::vector<std::pair<std::string, const obs::Tracer*>> out;
+  if (!trace.events().empty()) out.emplace_back("campaign:" + name, &trace);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (!traces[i].events().empty()) {
+      out.emplace_back("run-" + std::to_string(i), &traces[i]);
+    }
+  }
+  return out;
 }
 
 Campaign::Campaign(CampaignConfig cfg) : cfg_(std::move(cfg)) {}
@@ -49,21 +62,45 @@ struct RunOutcome {
   std::uint64_t last_seed = 0;
 };
 
-void merge_runs(const std::vector<RunResult>& results,
+void merge_runs(std::vector<RunResult>& results,
                 const std::vector<RunOutcome>& outcomes,
-                std::size_t cdf_points, CampaignResult* out) {
+                std::size_t cdf_points, bool build_trace,
+                CampaignResult* out) {
   // Walk runs strictly in index order so the accumulation order (and thus
   // every floating-point result) is independent of scheduling.
   std::map<std::string, std::vector<double>> run_means;
+  std::size_t total_attempts = 0;
+  out->trace.set_enabled(build_trace);
+  out->traces.resize(results.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
+    RunResult& r = results[i];
     out->run_errors.push_back(r.ok ? "" : r.error);
     out->run_attempts.push_back(outcomes[i].attempts);
+    total_attempts += outcomes[i].attempts;
+    out->traces[i] = std::move(r.trace);
+    if (build_trace) {
+      // Campaign-spine rows, rebuilt here in index order: worker identity
+      // and completion order never reach the artifact.
+      const std::uint32_t track =
+          out->trace.track("run-" + std::to_string(i));
+      const sim::TimePoint t0;
+      const sim::TimePoint t1{sim::sec_f(r.virtual_seconds)};
+      const auto id = out->trace.span_open(
+          track, out->name, "campaign", t0,
+          "{\"seed\":" + std::to_string(outcomes[i].last_seed) +
+              ",\"attempts\":" + std::to_string(outcomes[i].attempts) + "}");
+      for (std::size_t a = 1; a < outcomes[i].attempts; ++a) {
+        out->trace.instant(track, "retry", "campaign", t0);
+      }
+      if (!r.ok) out->trace.instant(track, "quarantined", "campaign", t1);
+      out->trace.span_close(id, t1);
+    }
     if (!r.ok) {
       out->quarantined.push_back({i, outcomes[i].attempts,
                                   outcomes[i].last_seed, r.error});
       continue;
     }
+    out->registry.merge_from(r.registry);
     for (const auto& [name, samples] : r.samples) {
       MetricAggregate& agg = out->metrics[name];
       agg.pooled_samples.insert(agg.pooled_samples.end(), samples.begin(),
@@ -76,6 +113,10 @@ void merge_runs(const std::vector<RunResult>& results,
     }
     for (const auto& [name, v] : r.counters) out->counters[name] += v;
   }
+  out->registry.add_counter("campaign.run_attempts",
+                            static_cast<double>(total_attempts));
+  out->registry.add_counter("campaign.quarantined",
+                            static_cast<double>(out->quarantined.size()));
   for (auto& [name, agg] : out->metrics) {
     agg.pooled = summarize(agg.pooled_samples);
     agg.per_run_means = summarize(run_means[name]);
@@ -115,6 +156,10 @@ CampaignResult Campaign::run(const RunFn& fn) {
   // slots of pre-sized vectors; no other state is shared.
   std::vector<RunResult> results(runs);
   std::vector<RunOutcome> outcomes(runs);
+  // Wall-clock profile slots, one per run (disjoint writes; folded into
+  // last_profile_ after the join, in index order). Never enters `out`.
+  std::vector<double> run_wall(runs, 0), backoff_wall(runs, 0),
+      queue_wait(runs, 0);
   std::atomic<std::size_t> next{0};
   auto attempt_run = [&](std::size_t i, std::size_t attempt) {
     RunSpec spec = out.run_specs[i];
@@ -122,6 +167,10 @@ CampaignResult Campaign::run(const RunFn& fn) {
     spec.seed = retry_seed(cfg_.master_seed, i, attempt);
     outcomes[i].attempts = attempt + 1;
     outcomes[i].last_seed = spec.seed;
+    // The run is single-threaded on this worker, so the thread-local logger
+    // tallies delta-attributed here belong to exactly this attempt.
+    const sim::LogCounts log_before = sim::Logger::thread_counts();
+    const auto run_t0 = std::chrono::steady_clock::now();
     try {
       results[i] = fn(spec.seed, spec);
     } catch (const std::exception& e) {
@@ -133,6 +182,15 @@ CampaignResult Campaign::run(const RunFn& fn) {
       results[i].ok = false;
       results[i].error = "unknown exception";
     }
+    run_wall[i] +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_t0)
+            .count();
+    const sim::LogCounts log_after = sim::Logger::thread_counts();
+    results[i].add_counter(
+        "log.warn", static_cast<double>(log_after.warn - log_before.warn));
+    results[i].add_counter(
+        "log.error", static_cast<double>(log_after.error - log_before.error));
     // Virtual-time watchdog: a run that "succeeded" but consumed more
     // simulated time than allowed is as suspect as one that threw — fail it
     // with a deterministic message so retry/quarantine handle it uniformly.
@@ -146,10 +204,14 @@ CampaignResult Campaign::run(const RunFn& fn) {
                          std::to_string(cfg_.max_run_virtual_seconds) + "s)";
     }
   };
+  const auto t0 = std::chrono::steady_clock::now();
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= runs) return;
+      queue_wait[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
       for (std::size_t attempt = 0;; ++attempt) {
         attempt_run(i, attempt);
         if (results[i].ok || attempt >= cfg_.max_retries) break;
@@ -163,15 +225,18 @@ CampaignResult Campaign::run(const RunFn& fn) {
           const double scale = static_cast<double>(1ULL << std::min<std::size_t>(
                                    attempt, 20)) *
                                jitter;
+          const auto sleep_t0 = std::chrono::steady_clock::now();
           std::this_thread::sleep_for(std::chrono::duration_cast<
                                       std::chrono::milliseconds>(
               cfg_.retry_backoff * scale));
+          backoff_wall[i] += std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - sleep_t0)
+                                 .count();
         }
       }
     }
   };
 
-  const auto t0 = std::chrono::steady_clock::now();
   if (jobs <= 1 || runs <= 1) {
     worker();
   } else {
@@ -184,7 +249,20 @@ CampaignResult Campaign::run(const RunFn& fn) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  merge_runs(results, outcomes, cfg_.cdf_points, &out);
+  // Fold the wall-clock slots into the profile registry (index order for a
+  // stable fold, though this registry is explicitly non-deterministic).
+  last_profile_.clear();
+  for (std::size_t i = 0; i < runs; ++i) {
+    last_profile_.observe("prof.campaign.run_wall", run_wall[i]);
+    last_profile_.observe("prof.campaign.queue_wait", queue_wait[i]);
+    if (backoff_wall[i] > 0) {
+      last_profile_.observe("prof.campaign.backoff_wall", backoff_wall[i]);
+    }
+  }
+  last_profile_.set_gauge("prof.campaign.total_wall", last_wall_seconds_);
+  last_profile_.set_gauge("prof.campaign.jobs", static_cast<double>(jobs));
+
+  merge_runs(results, outcomes, cfg_.cdf_points, cfg_.trace, &out);
   return out;
 }
 

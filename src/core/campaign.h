@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "core/stats.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace qoed::core {
 
@@ -49,6 +51,15 @@ struct RunSpec {
 struct RunResult {
   std::map<std::string, std::vector<double>> samples;
   std::map<std::string, double> counters;
+  // Unified metrics registry for this run. add_sample/add_counter write
+  // through to it, so every legacy `collector.*` / `diag.*` / `fault.*`
+  // counter and sampled metric lands here with no per-callsite change.
+  // Merged across runs in index order into CampaignResult::registry.
+  obs::MetricsRegistry registry;
+  // The run's span trace (virtual time), moved from the factory's doctor
+  // when tracing is on; merged into the campaign trace artifact as one
+  // process per run. Empty/disabled otherwise.
+  obs::Tracer trace;
   bool ok = true;
   std::string error;  // set when the factory threw; run contributes nothing
   // Virtual time the run consumed, reported by the factory (e.g. the event
@@ -58,8 +69,12 @@ struct RunResult {
 
   void add_sample(const std::string& metric, double v) {
     samples[metric].push_back(v);
+    registry.observe(metric, v);
   }
-  void add_counter(const std::string& name, double v) { counters[name] += v; }
+  void add_counter(const std::string& name, double v) {
+    counters[name] += v;
+    registry.add_counter(name, v);
+  }
 };
 
 // Cross-run aggregation of one named metric.
@@ -103,6 +118,25 @@ struct CampaignResult {
   std::map<std::string, MetricAggregate> metrics;
   std::map<std::string, double> counters;  // summed across runs, index order
 
+  // Unified registry: every clean run's RunResult::registry merged in index
+  // order, plus campaign-level counters (campaign.run_attempts,
+  // campaign.quarantined). Byte-identical snapshot at any --jobs.
+  obs::MetricsRegistry registry;
+
+  // Campaign-spine trace (only when CampaignConfig::trace): one "run-N"
+  // track per run carrying its run span (virtual 0 .. virtual_seconds) with
+  // retry/quarantine instants. Built post-hoc in index order — worker
+  // identity never leaks in.
+  obs::Tracer trace;
+  // Per-run traces moved out of RunResult, indexed by run.
+  std::vector<obs::Tracer> traces;
+
+  // (label, tracer) pairs for TraceEventSink: the campaign spine plus every
+  // run trace that recorded events, labeled "run-N". Pointers borrow from
+  // this result — keep it alive while the sink is in use.
+  std::vector<std::pair<std::string, const obs::Tracer*>> trace_processes()
+      const;
+
   std::size_t failed_runs() const;
   const MetricAggregate* metric(const std::string& name) const;
 };
@@ -126,6 +160,9 @@ struct CampaignConfig {
   // RunResult::virtual_seconds beyond this is treated as failed (and
   // retried/quarantined like a thrown run). 0 = disabled.
   double max_run_virtual_seconds = 0;
+  // Build the campaign-spine trace (CampaignResult::trace). Factories opt
+  // their own per-run tracers in independently (RunResult::trace).
+  bool trace = false;
 };
 
 // Factory for one self-contained run. Must not touch state shared with other
@@ -155,9 +192,16 @@ class Campaign {
   // CampaignResult stays bit-identical across thread counts.
   double last_wall_seconds() const { return last_wall_seconds_; }
 
+  // Wall-clock profile of the most recent run() (`prof.campaign.*`
+  // histograms: queue-wait, per-run wall time, retry backoff). Like
+  // last_wall_seconds(), kept OUT of CampaignResult so deterministic
+  // artifacts never see the wall clock.
+  const obs::MetricsRegistry& last_profile() const { return last_profile_; }
+
  private:
   CampaignConfig cfg_;
   double last_wall_seconds_ = 0;
+  obs::MetricsRegistry last_profile_;
 };
 
 }  // namespace qoed::core

@@ -262,11 +262,18 @@ void Collector::append(Layer layer, EventKind kind, std::size_t index,
     timeline_.insert(
         std::upper_bound(timeline_.begin(), timeline_.end(), e, by_at), e);
   }
+  if (obs_.tracing()) {
+    obs_.tracer->instant(obs_.track, to_string(kind), "collector", at);
+  }
   // Index loop: a sink subscribing from within a callback is picked up next
   // event; unsubscribing from within a callback is not supported.
-  for (std::size_t i = 0; i < subscribers_.size(); ++i) {
-    if (subscribers_[i].mask & layer) {
-      subscribers_[i].sink->on_event(*this, e);
+  {
+    obs::ScopedWallTimer dispatch_timer(obs_.profile(),
+                                        "prof.collector.dispatch");
+    for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+      if (subscribers_[i].mask & layer) {
+        subscribers_[i].sink->on_event(*this, e);
+      }
     }
   }
 }
@@ -440,6 +447,22 @@ void Collector::add_counters(RunResult& out, const std::string& prefix) const {
     out.add_counter(base + "out_of_order",
                     static_cast<double>(c.out_of_order));
     out.add_counter(base + "health",
+                    static_cast<double>(static_cast<int>(health(layer))));
+  }
+}
+
+void Collector::export_metrics(obs::MetricsRegistry& reg,
+                               const std::string& prefix) const {
+  for (Layer layer : {kLayerUi, kLayerPacket, kLayerRadio}) {
+    const LayerCounters c = counters(layer);
+    const std::string base = prefix + to_string(layer) + ".";
+    reg.add_counter(base + "events", static_cast<double>(c.events));
+    reg.add_counter(base + "bytes", static_cast<double>(c.bytes));
+    reg.add_counter(base + "dropped", static_cast<double>(c.dropped));
+    reg.add_counter(base + "high_water", static_cast<double>(c.high_water));
+    reg.add_counter(base + "out_of_order",
+                    static_cast<double>(c.out_of_order));
+    reg.add_counter(base + "health",
                     static_cast<double>(static_cast<int>(health(layer))));
   }
 }

@@ -42,6 +42,7 @@
 
 #include "core/behavior_log.h"
 #include "net/trace.h"
+#include "obs/observability.h"
 #include "radio/qxdm_logger.h"
 #include "sim/time.h"
 
@@ -208,6 +209,17 @@ class Collector {
   // "<prefix><layer>.<events|bytes|dropped|high_water>".
   void add_counters(RunResult& out,
                     const std::string& prefix = "collector.") const;
+  // Registry surface for the non-campaign path: same keys, same values.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix = "collector.") const;
+
+  // --- observability ---
+  // Wires the spine into a tracer (one virtual-time instant per captured
+  // event, cat "collector") and optionally a wall-clock profile registry
+  // (subscriber-dispatch timing). Cost with tracing disabled: one branch
+  // per event.
+  void set_observability(const obs::Context& ctx) { obs_ = ctx; }
+  const obs::Context& observability() const { return obs_; }
 
  private:
   struct PushCounters {
@@ -231,6 +243,7 @@ class Collector {
   net::TraceCapture* trace_ = nullptr;
   radio::QxdmLogger* qxdm_ = nullptr;
 
+  obs::Context obs_;
   bool running_ = true;
   std::uint64_t next_seq_ = 0;
   std::vector<Event> timeline_;

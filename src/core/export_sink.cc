@@ -159,4 +159,13 @@ void TimelineJsonlSink::write(std::ostream& os) const {
   }
 }
 
+void TraceEventSink::write(std::ostream& os) const {
+  obs::Tracer::write_merged_chrome_json(os, tracers_);
+}
+
+void MetricsJsonSink::write(std::ostream& os) const {
+  registry_->write_json(os);
+  os << '\n';
+}
+
 }  // namespace qoed::core

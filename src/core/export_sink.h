@@ -23,6 +23,8 @@
 #include "core/collector.h"
 #include "core/pcap_writer.h"
 #include "net/trace.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "radio/qxdm_logger.h"
 
 namespace qoed::core {
@@ -121,6 +123,37 @@ class TimelineJsonlSink final : public ExportSink {
 
  private:
   const Collector* collector_;
+};
+
+// Chrome trace-event JSON (Perfetto / chrome://tracing) over one or more
+// tracers. The multi-tracer form renders each (label, tracer) pair as one
+// process and interleaves events by (t, label, seq) — the same total order
+// core::merge_timelines uses — so the artifact is byte-identical no matter
+// how the tracers were produced (e.g. campaign --jobs).
+class TraceEventSink final : public ExportSink {
+ public:
+  TraceEventSink(const obs::Tracer& tracer, std::string label = "qoed")
+      : tracers_{{std::move(label), &tracer}} {}
+  explicit TraceEventSink(
+      std::vector<std::pair<std::string, const obs::Tracer*>> tracers)
+      : tracers_(std::move(tracers)) {}
+  std::string_view id() const override { return "trace.json"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  std::vector<std::pair<std::string, const obs::Tracer*>> tracers_;
+};
+
+// MetricsRegistry snapshot as byte-stable JSON.
+class MetricsJsonSink final : public ExportSink {
+ public:
+  explicit MetricsJsonSink(const obs::MetricsRegistry& registry)
+      : registry_(&registry) {}
+  std::string_view id() const override { return "metrics.json"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const obs::MetricsRegistry* registry_;
 };
 
 }  // namespace qoed::core

@@ -28,10 +28,21 @@ void FlowAnalyzer::attach(Collector& collector) {
 }
 
 void FlowAnalyzer::sync() {
+  if (consumed_ >= trace_->size()) return;
+  obs::ScopedWallTimer timer(obs_.profile(), "prof.flow.sync");
   while (consumed_ < trace_->size()) {
     const std::size_t i = consumed_++;
     ingest((*trace_)[i], i);
   }
+}
+
+void FlowAnalyzer::export_metrics(obs::MetricsRegistry& reg,
+                                  const std::string& prefix) const {
+  std::uint64_t retx = 0;
+  for (const FlowStats& f : flows_) retx += f.retransmissions;
+  reg.add_counter(prefix + "flows", static_cast<double>(flows_.size()));
+  reg.add_counter(prefix + "packets", static_cast<double>(consumed_));
+  reg.add_counter(prefix + "retransmissions", static_cast<double>(retx));
 }
 
 void FlowAnalyzer::on_event(const Collector& collector, const Event& event) {
@@ -154,6 +165,9 @@ void FlowAnalyzer::ingest(const net::PacketRecord& r, std::size_t index) {
       const std::uint64_t end = r.seq + r.payload_size;
       if (end <= st.max_seq_end_up) {
         ++flow.retransmissions;
+        if (obs_.tracing()) {
+          obs_.tracer->instant(obs_.track, "retx", "flow", r.timestamp);
+        }
         st.pending_up.erase(end);  // Karn: never sample retransmissions
       } else {
         st.max_seq_end_up = end;
@@ -171,6 +185,9 @@ void FlowAnalyzer::ingest(const net::PacketRecord& r, std::size_t index) {
       const std::uint64_t end = r.seq + r.payload_size;
       if (end <= st.max_seq_end_down) {
         ++flow.retransmissions;
+        if (obs_.tracing()) {
+          obs_.tracer->instant(obs_.track, "retx", "flow", r.timestamp);
+        }
       } else {
         st.max_seq_end_down = end;
       }

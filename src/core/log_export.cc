@@ -180,7 +180,9 @@ void export_campaign_json(std::ostream& os, const CampaignResult& result) {
     }
     os << "]}";
   }
-  os << "}}\n";
+  os << "},\"registry\":";
+  result.registry.write_json(os);
+  os << "}\n";
 }
 
 std::string trace_to_string(const std::vector<net::PacketRecord>& trace,

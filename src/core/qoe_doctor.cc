@@ -49,6 +49,9 @@ QoeDoctor::QoeDoctor(device::Device& dev, apps::AndroidApp& app,
     : device_(dev),
       controller_(dev, app, cfg),
       flows_(dev.trace().records()) {
+  const obs::Context ctx = obs_.context(obs_.tracer.track("device:" + dev.name()));
+  collector_.set_observability(ctx);
+  flows_.set_observability(ctx);
   collector_.attach(dev, controller_.log());
   flows_.attach(collector_);
 }

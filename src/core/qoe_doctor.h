@@ -90,6 +90,15 @@ class QoeDoctor {
   // The streaming transport-layer analysis, kept current by the spine.
   FlowAnalyzer& flows() { return flows_; }
 
+  // Per-device observability bundle: the deterministic metrics registry,
+  // the wall-clock profile registry, and the virtual-time tracer every
+  // attached component (collector, flow analyzer, diagnosis engine, fault
+  // lanes) records into. Tracing is off by default; call
+  // obs().tracer.set_enabled(true) before the scenario runs. The device
+  // records on one track named "device:<name>".
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
+
   // Analysis of everything collected so far; borrows the streaming
   // FlowAnalyzer, so no trace copy and no per-call rebuild.
   MultiLayerAnalyzer analyze() { return MultiLayerAnalyzer(device_, flows_); }
@@ -111,6 +120,9 @@ class QoeDoctor {
  private:
   device::Device& device_;
   UiController controller_;
+  // Declared before collector_/flows_: they hold obs::Contexts pointing
+  // into this bundle, so it must outlive them.
+  obs::Observability obs_;
   Collector collector_;   // declared before flows_: flows_ detaches first
   FlowAnalyzer flows_;
   // shared_ptr so the incomplete type destroys cleanly from core TUs; the

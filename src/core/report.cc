@@ -57,4 +57,20 @@ void print_series(const std::string& title, const std::string& x_label,
   }
 }
 
+Table metrics_table(const obs::MetricsRegistry& registry,
+                    const std::string& title) {
+  Table table(title, {"metric", "kind", "value", "count"});
+  for (const auto& [name, v] : registry.counters()) {
+    table.add_row({name, "counter", Table::num(v), "-"});
+  }
+  for (const auto& [name, v] : registry.gauges()) {
+    table.add_row({name, "gauge", Table::num(v), "-"});
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    table.add_row({name, "histogram", Table::num(h.mean(), 6),
+                   std::to_string(h.count)});
+  }
+  return table;
+}
+
 }  // namespace qoed::core

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace qoed::core {
 
 class Table {
@@ -30,5 +32,10 @@ class Table {
 void print_series(const std::string& title, const std::string& x_label,
                   const std::string& y_label,
                   const std::vector<std::pair<double, double>>& points);
+
+// One row per registry entry: counters and gauges with their value,
+// histograms with count/mean (mean in original units).
+Table metrics_table(const obs::MetricsRegistry& registry,
+                    const std::string& title = "metrics");
 
 }  // namespace qoed::core

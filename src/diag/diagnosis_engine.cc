@@ -35,7 +35,10 @@ void DiagnosisEngine::ensure_tracker() {
   if (collector_ != nullptr) tracker_->attach(*collector_);
 }
 
-void DiagnosisEngine::finalize(std::size_t behavior_index) {
+void DiagnosisEngine::finalize(const PendingWindow& w0,
+                               sim::TimePoint close_at) {
+  const std::size_t behavior_index = w0.behavior_index;
+  if (obs_.tracing()) obs_.tracer->span_close(w0.span, close_at);
   // Degraded-input guards: the collector may have been detached, or the
   // behavior store cleared/truncated, while this window was pending. A
   // window whose record is gone cannot be attributed — skip it (defined
@@ -97,7 +100,7 @@ void DiagnosisEngine::finalize(std::size_t behavior_index) {
 
 void DiagnosisEngine::finalize_all() {
   while (!pending_.empty()) {
-    finalize(pending_.front().behavior_index);
+    finalize(pending_.front(), pending_.front().watermark);
     pending_.pop_front();
   }
 }
@@ -107,14 +110,20 @@ void DiagnosisEngine::on_event(const core::Collector& collector,
   // Nondecreasing event time: once the stream passes a window's trailing
   // probe, nothing that arrives later can land inside it.
   while (!pending_.empty() && pending_.front().watermark < event.at) {
-    finalize(pending_.front().behavior_index);
+    finalize(pending_.front(), event.at);
     pending_.pop_front();
   }
   if (event.kind == core::EventKind::kBehavior) {
     const core::BehaviorRecord& r = collector.behavior(event);
     const core::QoeWindow w = core::QoeWindow::for_traffic(r);
-    pending_.push_back(
-        {event.index, w.end + cfg_.trailing + cfg_.watermark_slack});
+    PendingWindow pw{event.index,
+                     w.end + cfg_.trailing + cfg_.watermark_slack, 0};
+    if (obs_.tracing()) {
+      pw.span = obs_.tracer->span_open(
+          obs_.track, r.action, "diag", event.at,
+          "{\"behavior_index\":" + std::to_string(event.index) + "}");
+    }
+    pending_.push_back(pw);
   }
 }
 
@@ -172,6 +181,28 @@ void DiagnosisEngine::add_counters(core::RunResult& out,
   out.add_counter(prefix + "energy_j", energy);
   out.add_counter(prefix + "tail_j", tail);
   out.add_counter(prefix + "degraded_findings", degraded);
+  for (const Finding& f : findings_) {
+    out.registry.observe(prefix + "window_total_s", f.total_s);
+  }
+}
+
+void DiagnosisEngine::export_metrics(obs::MetricsRegistry& reg,
+                                     const std::string& prefix) const {
+  reg.add_counter(prefix + "findings", static_cast<double>(findings_.size()));
+  double net_crit = 0, promo = 0, energy = 0, tail = 0, degraded = 0;
+  for (const Finding& f : findings_) {
+    if (f.network_on_critical_path) ++net_crit;
+    if (f.promotion_overlap) ++promo;
+    if (f.confidence < 1.0) ++degraded;
+    energy += f.energy_j;
+    tail += f.tail_j;
+    reg.observe(prefix + "window_total_s", f.total_s);
+  }
+  reg.add_counter(prefix + "network_critical", net_crit);
+  reg.add_counter(prefix + "promotion_overlap", promo);
+  reg.add_counter(prefix + "energy_j", energy);
+  reg.add_counter(prefix + "tail_j", tail);
+  reg.add_counter(prefix + "degraded_findings", degraded);
 }
 
 }  // namespace qoed::diag

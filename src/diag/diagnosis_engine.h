@@ -141,9 +141,19 @@ class DiagnosisEngine : public core::CollectorSink {
   // Report surface: one row per finding.
   core::Table findings_table() const;
   // Campaign surface: finding counts and energy totals as
-  // "<prefix><name>" counters.
+  // "<prefix><name>" counters, plus a per-window total-latency histogram
+  // (`<prefix>window_total_s`) in the run's registry.
   void add_counters(core::RunResult& out,
                     const std::string& prefix = "diag.") const;
+  // Registry surface for the non-campaign path: same keys and histogram.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix = "diag.") const;
+
+  // Observability: one async span per diagnosis window (cat "diag", named
+  // after the UI action) from the behavior event to the moment the stream
+  // finalizes it — the live pipeline's decision latency, visible next to
+  // the collector instants it derives from.
+  void set_observability(const obs::Context& ctx) { obs_ = ctx; }
 
   // CollectorSink.
   void on_event(const core::Collector& collector,
@@ -155,16 +165,20 @@ class DiagnosisEngine : public core::CollectorSink {
   struct PendingWindow {
     std::size_t behavior_index = 0;
     sim::TimePoint watermark;  // window_end + cfg_.trailing
+    obs::Tracer::SpanId span = 0;  // open trace span, 0 when not tracing
   };
 
   void ensure_tracker();
-  void finalize(std::size_t behavior_index);
+  // Finalizes one pending window; `close_at` stamps the trace span close
+  // (the triggering event's time, or the watermark for end-of-run drains).
+  void finalize(const PendingWindow& w, sim::TimePoint close_at);
 
   device::Device& device_;
   core::FlowAnalyzer* flows_;
   DiagnosisConfig cfg_;
   core::Collector* collector_ = nullptr;
   std::unique_ptr<RrcStateTracker> tracker_;
+  obs::Context obs_;
 
   std::deque<PendingWindow> pending_;
   std::vector<Finding> findings_;

@@ -15,6 +15,7 @@ diag::DiagnosisEngine& QoeDoctor::enable_diagnosis(
     const diag::DiagnosisConfig& cfg) {
   if (!diagnosis_) {
     diagnosis_ = std::make_shared<diag::DiagnosisEngine>(device_, flows_, cfg);
+    diagnosis_->set_observability(collector_.observability());
     diagnosis_->attach(collector_);
   }
   return *diagnosis_;

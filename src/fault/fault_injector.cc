@@ -34,6 +34,13 @@ class Lane {
   Lane(const LayerFaultSpec* spec, sim::Rng rng, TimeOf time_of, Retime retime)
       : spec_(spec), rng_(std::move(rng)), time_of_(time_of), retime_(retime) {}
 
+  // Trace hook: one virtual-time instant per fault decision (cat "fault"),
+  // tagged with the lane so a Perfetto view shows which record kind was hit.
+  void set_observability(const obs::Context* ctx, const char* lane) {
+    obs_ = ctx;
+    lane_ = lane;
+  }
+
   std::vector<Record> process(Record rec) {
     std::vector<Record> out;
     const sim::TimePoint t = time_of_(rec);
@@ -45,20 +52,24 @@ class Lane {
     const double u_amount = rng_.uniform();
     if (spec_->truncate_at && t >= *spec_->truncate_at) {
       ++counters_.truncated;
+      mark("truncate", t);
       return out;
     }
     if (spec_->in_blackout(t)) {
       ++counters_.blacked_out;
+      mark("blackout", t);
       return out;
     }
     if (u_drop < spec_->drop_rate) {
       ++counters_.dropped;
+      mark("drop", t);
       return out;
     }
     const sim::TimePoint t2 = spec_->retimed(t);
     if (t2 != t) {
       retime_(rec, t2 - t);
       ++counters_.retimed;
+      mark("retime", t);
     }
     if (u_delay < spec_->delay_rate &&
         spec_->delay_max > sim::Duration::zero()) {
@@ -72,12 +83,14 @@ class Lane {
                                          const Held& h) { return at < h.release_at; }),
                      Held{t2 + hold, std::move(rec)});
       ++counters_.delayed;
+      mark("delay", t2);
       return out;
     }
     ++counters_.delivered;
     out.push_back(rec);
     if (u_dup < spec_->dup_rate) {
       ++counters_.duplicated;
+      mark("dup", t2);
       out.push_back(std::move(rec));
     }
     return out;
@@ -114,12 +127,21 @@ class Lane {
     buffer_.erase(buffer_.begin(), buffer_.begin() + n);
   }
 
+  void mark(const char* outcome, sim::TimePoint t) {
+    if (obs_ != nullptr && obs_->tracing()) {
+      obs_->tracer->instant(obs_->track, outcome, "fault", t,
+                            std::string("{\"lane\":\"") + lane_ + "\"}");
+    }
+  }
+
   const LayerFaultSpec* spec_;
   sim::Rng rng_;
   TimeOf time_of_;
   Retime retime_;
   std::vector<Held> buffer_;  // sorted by release_at, FIFO within ties
   LaneCounters counters_;
+  const obs::Context* obs_ = nullptr;
+  const char* lane_ = "";
 };
 
 sim::TimePoint behavior_time(const core::BehaviorRecord& r) { return r.end; }
@@ -198,6 +220,9 @@ struct FaultInjector::Impl : core::CollectorSink {
   net::TraceCapture* trace = nullptr;
   radio::QxdmLogger* qxdm = nullptr;
   core::Collector* collector = nullptr;
+  // Copied from the collector at install; lanes hold a pointer into it, so
+  // it must live as long as the lanes (it does — same Impl).
+  obs::Context obs;
 };
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
@@ -247,6 +272,12 @@ void FaultInjector::install(core::AppBehaviorLog* behavior,
   if (collector != nullptr) {
     impl->collector = collector;
     collector->subscribe(core::kLayerAll, static_cast<core::CollectorSink*>(impl));
+    impl->obs = collector->observability();
+    impl->ui.set_observability(&impl->obs, "ui");
+    impl->packet.set_observability(&impl->obs, "packet");
+    impl->rrc.set_observability(&impl->obs, "rrc");
+    impl->pdu.set_observability(&impl->obs, "pdu");
+    impl->status.set_observability(&impl->obs, "status");
   }
 }
 
@@ -351,6 +382,24 @@ void FaultInjector::add_counters(core::RunResult& out,
     out.add_counter(base + "truncated", static_cast<double>(c.truncated));
     out.add_counter(base + "blacked_out", static_cast<double>(c.blacked_out));
     out.add_counter(base + "retimed", static_cast<double>(c.retimed));
+  }
+}
+
+void FaultInjector::export_metrics(obs::MetricsRegistry& reg,
+                                   const std::string& prefix) const {
+  for (core::Layer layer :
+       {core::kLayerUi, core::kLayerPacket, core::kLayerRadio}) {
+    if (!plan_.layer(layer).any()) continue;
+    const LaneCounters c = counters(layer);
+    const std::string base = prefix + core::to_string(layer) + ".";
+    reg.add_counter(base + "offered", static_cast<double>(c.offered));
+    reg.add_counter(base + "delivered", static_cast<double>(c.delivered));
+    reg.add_counter(base + "dropped", static_cast<double>(c.dropped));
+    reg.add_counter(base + "duplicated", static_cast<double>(c.duplicated));
+    reg.add_counter(base + "delayed", static_cast<double>(c.delayed));
+    reg.add_counter(base + "truncated", static_cast<double>(c.truncated));
+    reg.add_counter(base + "blacked_out", static_cast<double>(c.blacked_out));
+    reg.add_counter(base + "retimed", static_cast<double>(c.retimed));
   }
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "fault/fault_plan.h"
+#include "obs/metrics.h"
 
 namespace qoed::core {
 class AppBehaviorLog;
@@ -95,6 +96,9 @@ class FaultInjector {
   // layer with any fault configured.
   void add_counters(core::RunResult& out,
                     const std::string& prefix = "fault.") const;
+  // Registry surface for the non-campaign path: same keys, same values.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix = "fault.") const;
 
  private:
   struct Impl;

@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "core/json_util.h"
+
+namespace qoed::obs {
+
+const std::vector<std::int64_t>& default_bounds() {
+  static const std::vector<std::int64_t> bounds = [] {
+    std::vector<std::int64_t> b;
+    std::int64_t decade = 1;
+    for (int k = 0; k < 9; ++k) {  // 1µ-unit .. 5e8, plus the 1e9 cap below
+      b.push_back(decade);
+      b.push_back(2 * decade);
+      b.push_back(5 * decade);
+      decade *= 10;
+    }
+    b.push_back(decade);  // 1e9 micro-units = 1000 base units
+    return b;
+  }();
+  return bounds;
+}
+
+void MetricsRegistry::Histogram::observe(std::int64_t micro) {
+  // First bound whose value is >= the observation; past-the-end = overflow.
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), micro);
+  counts[static_cast<std::size_t>(it - bounds.begin())]++;
+  count++;
+  sum += micro;
+}
+
+double MetricsRegistry::Histogram::mean() const {
+  if (count == 0) return 0;
+  return static_cast<double>(sum) / 1e6 / static_cast<double>(count);
+}
+
+void MetricsRegistry::add_counter(std::string_view name, double delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(
+    std::string_view name, const std::vector<std::int64_t>& bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram h;
+    h.bounds = bounds.empty() ? default_bounds() : bounds;
+    h.counts.assign(h.bounds.size() + 1, 0);
+    it = histograms_.emplace(std::string(name), std::move(h)).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  observe_us(name, std::llround(value * 1e6));
+}
+
+void MetricsRegistry::observe_us(std::string_view name, std::int64_t micro) {
+  histogram(name).observe(micro);
+}
+
+double MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+const MetricsRegistry::Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) add_counter(name, v);
+  for (const auto& [name, v] : other.gauges_) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_.emplace(name, v);
+    } else {
+      it->second = std::max(it->second, v);
+    }
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    Histogram& mine = histogram(name, h.bounds);
+    assert(mine.bounds == h.bounds && "histogram bound mismatch in merge");
+    for (std::size_t i = 0; i < h.counts.size() && i < mine.counts.size();
+         ++i) {
+      mine.counts[i] += h.counts[i];
+    }
+    mine.count += h.count;
+    mine.sum += h.sum;
+  }
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    core::put_json_string(os, name);
+    os << ':';
+    core::put_json_number(os, v);
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    core::put_json_string(os, name);
+    os << ':';
+    core::put_json_number(os, v);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    core::put_json_string(os, name);
+    os << ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) os << ',';
+      os << h.bounds[i];
+    }
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) os << ',';
+      os << h.counts[i];
+    }
+    os << "],\"count\":" << h.count << ",\"sum\":" << h.sum << '}';
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::snapshot() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace qoed::obs

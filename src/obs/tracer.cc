@@ -1,0 +1,194 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "core/json_util.h"
+
+namespace qoed::obs {
+namespace {
+
+// One renderable row of the merged stream: which tracer (process) it came
+// from plus the event itself. Ordering mirrors core::merge_timelines:
+// (t, process label, per-tracer seq) — total for distinct labels.
+struct MergedRow {
+  std::int64_t t_us;
+  std::size_t tracer_index;
+  const TraceEvent* event;
+};
+
+void put_event(std::ostream& os, const TraceEvent& e, std::uint32_t pid,
+               std::int64_t id_offset) {
+  os << "{\"ph\":\"";
+  switch (e.phase) {
+    case TracePhase::kSpanBegin:
+      os << 'b';
+      break;
+    case TracePhase::kSpanEnd:
+      os << 'e';
+      break;
+    case TracePhase::kInstant:
+      os << 'i';
+      break;
+  }
+  os << "\",\"pid\":" << pid << ",\"tid\":" << e.track << ",\"ts\":" << e.t_us
+     << ",\"cat\":";
+  core::put_json_string(os, e.cat);
+  os << ",\"name\":";
+  core::put_json_string(os, e.name);
+  if (e.phase == TracePhase::kInstant) {
+    os << ",\"s\":\"t\"";
+  } else {
+    // Async span ids must be unique within the whole file; the merge offsets
+    // each tracer's id space so two runs' span #1 never collide.
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(e.id + id_offset));
+    os << ",\"id\":\"" << buf << '"';
+  }
+  if (!e.args_json.empty()) os << ",\"args\":" << e.args_json;
+  os << '}';
+}
+
+void put_metadata(std::ostream& os, std::uint32_t pid,
+                  std::string_view process_label,
+                  const std::vector<std::string>& tracks, bool& first) {
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  sep();
+  os << "{\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
+  core::put_json_string(os, std::string(process_label));
+  os << "}}";
+  for (std::size_t t = 0; t < tracks.size(); ++t) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << t
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    core::put_json_string(os, tracks[t]);
+    os << "}}";
+  }
+}
+
+}  // namespace
+
+std::uint32_t Tracer::track(std::string_view name) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  tracks_.emplace_back(name);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+Tracer::SpanId Tracer::span_open(std::uint32_t track, std::string_view name,
+                                 std::string_view cat, sim::TimePoint at,
+                                 std::string args_json) {
+  if (!enabled_) return 0;
+  const SpanId id = next_span_++;
+  TraceEvent e;
+  e.t_us = at.since_start().count();
+  e.id = id;
+  e.phase = TracePhase::kSpanBegin;
+  e.track = track;
+  e.seq = next_seq_++;
+  e.name = std::string(name);
+  e.cat = std::string(cat);
+  e.args_json = std::move(args_json);
+  open_.push_back({id, track, e.name, e.cat});
+  events_.push_back(std::move(e));
+  return id;
+}
+
+void Tracer::span_close(SpanId id, sim::TimePoint at, std::string args_json) {
+  if (!enabled_ || id == 0) return;
+  const auto it =
+      std::find_if(open_.begin(), open_.end(),
+                   [&](const OpenSpan& s) { return s.id == id; });
+  if (it == open_.end()) return;  // already closed, or opened pre-clear()
+  TraceEvent e;
+  e.t_us = at.since_start().count();
+  e.id = id;
+  e.phase = TracePhase::kSpanEnd;
+  e.track = it->track;
+  e.seq = next_seq_++;
+  e.name = it->name;
+  e.cat = it->cat;
+  e.args_json = std::move(args_json);
+  open_.erase(it);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(std::uint32_t track, std::string_view name,
+                     std::string_view cat, sim::TimePoint at,
+                     std::string args_json) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.t_us = at.since_start().count();
+  e.phase = TracePhase::kInstant;
+  e.track = track;
+  e.seq = next_seq_++;
+  e.name = std::string(name);
+  e.cat = std::string(cat);
+  e.args_json = std::move(args_json);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::clear() {
+  events_.clear();
+  open_.clear();
+  // Track registrations and id counters survive: a phase reset keeps the
+  // same threads-of-execution, and span ids stay unique per tracer.
+}
+
+void Tracer::write_chrome_json(std::ostream& os, std::string_view label,
+                               std::uint32_t pid) const {
+  write_merged_chrome_json(
+      os, {{std::string(label), this}});
+  (void)pid;
+}
+
+void Tracer::write_merged_chrome_json(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, const Tracer*>>& tracers) {
+  // Span-id offset per tracer so async ids never collide across processes.
+  std::vector<std::int64_t> offsets(tracers.size(), 0);
+  std::int64_t running = 0;
+  for (std::size_t i = 0; i < tracers.size(); ++i) {
+    offsets[i] = running;
+    running += tracers[i].second->next_span_;
+  }
+
+  std::vector<MergedRow> rows;
+  for (std::size_t i = 0; i < tracers.size(); ++i) {
+    for (const TraceEvent& e : tracers[i].second->events()) {
+      rows.push_back({e.t_us, i, &e});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [&](const MergedRow& a, const MergedRow& b) {
+              if (a.t_us != b.t_us) return a.t_us < b.t_us;
+              if (a.tracer_index != b.tracer_index) {
+                return tracers[a.tracer_index].first <
+                       tracers[b.tracer_index].first;
+              }
+              return a.event->seq < b.event->seq;
+            });
+
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t i = 0; i < tracers.size(); ++i) {
+    put_metadata(os, static_cast<std::uint32_t>(i), tracers[i].first,
+                 tracers[i].second->tracks(), first);
+  }
+  for (const MergedRow& row : rows) {
+    if (!first) os << ",\n";
+    first = false;
+    put_event(os, *row.event, static_cast<std::uint32_t>(row.tracer_index),
+              offsets[row.tracer_index]);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace qoed::obs

@@ -13,6 +13,8 @@ const char* level_name(LogLevel l) {
       return "INFO ";
     case LogLevel::kWarn:
       return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
     case LogLevel::kOff:
       return "OFF  ";
   }
@@ -40,6 +42,12 @@ Logger& Logger::instance() {
   return logger;
 }
 
+namespace {
+thread_local LogCounts g_thread_counts;
+}  // namespace
+
+const LogCounts& Logger::thread_counts() { return g_thread_counts; }
+
 void Logger::set_sink(Sink sink) {
   if (sink) {
     sink_ = std::move(sink);
@@ -50,6 +58,9 @@ void Logger::set_sink(Sink sink) {
 
 void Logger::log(LogLevel level, TimePoint t, std::string_view component,
                  std::string_view message) {
+  // Count before the level filter: a suppressed warning still happened.
+  if (level == LogLevel::kWarn) ++g_thread_counts.warn;
+  if (level == LogLevel::kError) ++g_thread_counts.error;
   if (level < this->level()) return;
   std::string line;
   line.reserve(component.size() + message.size() + 2);
@@ -67,6 +78,9 @@ void log_info(TimePoint t, std::string_view component, std::string_view msg) {
 }
 void log_warn(TimePoint t, std::string_view component, std::string_view msg) {
   Logger::instance().log(LogLevel::kWarn, t, component, msg);
+}
+void log_error(TimePoint t, std::string_view component, std::string_view msg) {
+  Logger::instance().log(LogLevel::kError, t, component, msg);
 }
 
 }  // namespace qoed::sim

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -15,13 +16,26 @@
 
 namespace qoed::sim {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Per-thread warn/error tallies. Each simulation runs single-threaded on one
+// campaign worker, so a before/after delta around a run attributes counts to
+// that run exactly — no sink interception needed, and counting happens even
+// when the level filter suppresses the output, so a silent run with warnings
+// is still visible in campaign JSON (log.warn / log.error).
+struct LogCounts {
+  std::uint64_t warn = 0;
+  std::uint64_t error = 0;
+};
 
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, TimePoint, std::string_view)>;
 
   static Logger& instance();
+
+  // Tallies for the calling thread (counted before level filtering).
+  static const LogCounts& thread_counts();
 
   void set_level(LogLevel level) {
     level_.store(level, std::memory_order_relaxed);
@@ -43,5 +57,6 @@ class Logger {
 void log_debug(TimePoint t, std::string_view component, std::string_view msg);
 void log_info(TimePoint t, std::string_view component, std::string_view msg);
 void log_warn(TimePoint t, std::string_view component, std::string_view msg);
+void log_error(TimePoint t, std::string_view component, std::string_view msg);
 
 }  // namespace qoed::sim
