@@ -19,6 +19,7 @@
 #include <limits>
 
 #include "bench_util.h"
+#include "core/collector.h"
 #include "core/cross_layer_analyzer.h"
 #include "core/flow_analyzer.h"
 #include "net/dns.h"
@@ -137,6 +138,118 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// --- hot-path memory layout: arena ingest + SoA window folds ---
+
+// A spine-shaped event stream: mostly packets with radio envelopes
+// interleaved, timestamps strictly increasing with jitter.
+std::vector<core::Event> make_events(std::size_t count, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<core::Event> events;
+  events.reserve(count);
+  sim::TimePoint now = sim::kTimeZero;
+  for (std::size_t i = 0; i < count; ++i) {
+    now = now + sim::usec(rng.uniform_int(1, 40));
+    core::Event e;
+    e.at = now;
+    if (i % 4 == 3) {
+      e.layer = core::kLayerRadio;
+      e.kind = core::EventKind::kPdu;
+    }
+    e.index = static_cast<std::uint32_t>(i);
+    e.seq = i;
+    events.push_back(e);
+  }
+  return events;
+}
+
+struct LayoutNumbers {
+  double vector_ingest_ms = 0;  // doubling std::vector baseline
+  double arena_ingest_ms = 0;   // paged EventArena bump append
+  double linear_us_per_query = 0;  // stride over the interleaved timeline
+  double soa_us_per_query = 0;     // two binary searches on LayerIndex
+  double fold_speedup = 0;
+};
+
+LayoutNumbers measure_layout(const std::vector<core::Event>& events,
+                             std::uint64_t seed) {
+  constexpr int kTrials = 5;
+  constexpr std::size_t kQueries = 128;
+  LayoutNumbers out;
+
+  double vec_best = std::numeric_limits<double>::infinity();
+  double arena_best = vec_best;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<core::Event> v;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const core::Event& e : events) v.push_back(e);
+    vec_best = std::min(vec_best, seconds_since(t0));
+
+    core::EventArena a;
+    t0 = std::chrono::steady_clock::now();
+    for (const core::Event& e : events) a.push_back(e);
+    arena_best = std::min(arena_best, seconds_since(t0));
+    if (a.size() != events.size()) std::abort();
+  }
+  out.vector_ingest_ms = vec_best * 1e3;
+  out.arena_ingest_ms = arena_best * 1e3;
+
+  core::EventArena arena;
+  core::LayerIndex packets;
+  for (const core::Event& e : events) {
+    arena.push_back(e);
+    if (e.layer == core::kLayerPacket) {
+      packets.at.push_back(e.at);
+      packets.kind.push_back(e.kind);
+      packets.index.push_back(e.index);
+    }
+  }
+
+  // Deterministic query windows spanning ~1/16 of the run each.
+  sim::Rng rng(seed ^ 0x5157u);
+  const sim::TimePoint last = events.back().at;
+  const auto span = (last - sim::kTimeZero).count();
+  std::vector<std::pair<sim::TimePoint, sim::TimePoint>> queries;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    const auto lo = rng.uniform_int(0, static_cast<int>(span * 15 / 16));
+    queries.emplace_back(sim::kTimeZero + sim::Duration{lo},
+                         sim::kTimeZero + sim::Duration{lo + span / 16});
+  }
+
+  std::uint64_t linear_total = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const auto& [start, end] : queries) {
+    std::uint64_t n = 0;
+    for (const core::Event& e : arena) {
+      if (e.layer == core::kLayerPacket && e.at >= start && e.at <= end) ++n;
+    }
+    linear_total += n;
+  }
+  const double linear_s = seconds_since(t0);
+
+  std::uint64_t soa_total = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (const auto& [start, end] : queries) {
+    const auto lo =
+        std::lower_bound(packets.at.begin(), packets.at.end(), start);
+    const auto hi = std::upper_bound(lo, packets.at.end(), end);
+    soa_total += static_cast<std::uint64_t>(hi - lo);
+  }
+  const double soa_s = seconds_since(t0);
+
+  if (linear_total != soa_total) {
+    std::fprintf(stderr,
+                 "FAIL: SoA window fold diverged from the linear scan "
+                 "(%llu != %llu)\n",
+                 static_cast<unsigned long long>(soa_total),
+                 static_cast<unsigned long long>(linear_total));
+    std::exit(1);
+  }
+  out.linear_us_per_query = linear_s * 1e6 / kQueries;
+  out.soa_us_per_query = soa_s * 1e6 / kQueries;
+  out.fold_speedup = soa_s > 0 ? linear_s / soa_s : 0;
+  return out;
+}
+
 // Streaming-ingest wall time (best of several trials): appends the trace in
 // chunks to a grown vector and syncs after each, the way the collection
 // spine feeds the analyzer. With `obs` non-null the analyzer gets a wired
@@ -242,6 +355,18 @@ int main(int argc, char** argv) {
               "(%+.1f%% overhead)\n",
               bare_s * 1e3, wired_s * 1e3, overhead * 100);
 
+  // Spine memory layout: paged-arena envelope ingest and SoA window folds
+  // (the Collector::window path) against their pre-refactor shapes.
+  const std::vector<core::Event> events = make_events(512 * 1024, seed);
+  const LayoutNumbers layout = measure_layout(events, seed);
+  std::printf("envelope ingest (%zu events): %6.2f ms vector, %6.2f ms "
+              "arena\n",
+              events.size(), layout.vector_ingest_ms, layout.arena_ingest_ms);
+  std::printf("window fold: %8.2f us linear scan, %8.4f us SoA "
+              "(%.0fx, same counts)\n",
+              layout.linear_us_per_query, layout.soa_us_per_query,
+              layout.fold_speedup);
+
   bench::write_bench_json(
       json, "analyzer_throughput",
       {{"packets", static_cast<double>(trace.size())},
@@ -249,7 +374,12 @@ int main(int argc, char** argv) {
        {"baseline_ms_per_call", per_call_base_ms},
        {"streaming_ms_per_call", per_call_stream_ms},
        {"speedup", speedup},
-       {"disabled_tracing_overhead", overhead}});
+       {"disabled_tracing_overhead", overhead},
+       {"arena_ingest_ms", layout.arena_ingest_ms},
+       {"vector_ingest_ms", layout.vector_ingest_ms},
+       {"window_linear_us_per_query", layout.linear_us_per_query},
+       {"window_soa_us_per_query", layout.soa_us_per_query},
+       {"window_fold_speedup", layout.fold_speedup}});
   std::printf("wrote %s\n", json.c_str());
 
   // The refactor's acceptance bar: repeated analysis must be at least 5x

@@ -185,6 +185,27 @@ void report_diagnosis(core::QoeDoctor& doctor, const Options& opt) {
   if (engine == nullptr) return;
   engine->finalize_all();
   engine->findings_table().print();
+  // Whole-run view of the streaming long-jump mapper backing the rlc
+  // column: per-direction anchoring quality plus retransmission totals.
+  if (diag::RlcChainTracker* rlc = engine->rlc_tracker()) {
+    rlc->sync();
+    const auto line = [&](const char* name, net::Direction d) {
+      const core::MappingResult& r = rlc->result(d);
+      if (r.packets.empty()) {
+        std::printf("rlc %s: mapped n/a (no packets)\n", name);
+        return;
+      }
+      std::printf("rlc %s: mapped %.2f%% (%zu/%zu), %zu retx PDUs\n", name,
+                  rlc->mapped_ratio(d) * 100, r.mapped_count,
+                  r.packets.size(), r.retx_pdus);
+    };
+    line("UL", net::Direction::kUplink);
+    line("DL", net::Direction::kDownlink);
+    if (rlc->corrupt_pdus() > 0) {
+      std::printf("rlc: %zu corrupt PDU records dropped\n",
+                  rlc->corrupt_pdus());
+    }
+  }
   const std::string findings = opt.get("findings", "");
   if (!findings.empty()) {
     run_sink(diag::FindingsJsonlSink(*engine), findings);

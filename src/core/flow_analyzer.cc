@@ -51,6 +51,14 @@ void FlowAnalyzer::on_event(const Collector& collector, const Event& event) {
   sync();
 }
 
+void FlowAnalyzer::on_events(const Collector& collector, const Event* events,
+                             std::size_t count) {
+  (void)collector;
+  (void)events;
+  (void)count;
+  sync();
+}
+
 void FlowAnalyzer::on_layers_cleared(const Collector& collector,
                                      std::uint32_t layer_mask) {
   (void)collector;

@@ -89,8 +89,11 @@ class FlowAnalyzer : public CollectorSink {
   const std::vector<FlowStats>& flows() const { return flows_; }
   const std::vector<net::PacketRecord>& trace() const { return *trace_; }
 
-  // CollectorSink: packet events -> sync; packet-layer clear -> reset.
+  // CollectorSink: packet events -> sync (a batched backlog folds in one
+  // pass); packet-layer clear -> reset.
   void on_event(const Collector& collector, const Event& event) override;
+  void on_events(const Collector& collector, const Event* events,
+                 std::size_t count) override;
   void on_layers_cleared(const Collector& collector,
                          std::uint32_t layer_mask) override;
 

@@ -1,38 +1,8 @@
 #include "core/rlc_mapper.h"
 
 #include <algorithm>
-#include <map>
 
 namespace qoed::core {
-namespace {
-
-struct Pkt {
-  std::uint64_t uid;
-  std::uint32_t size;
-  sim::TimePoint ts;
-};
-
-std::uint8_t byte_of(const Pkt& p, std::uint32_t i) {
-  return net::wire_byte(p.uid, i);
-}
-
-// Expected (b0, b1) at offset `o` of packet `p`, where b1 may spill into the
-// next packet's first byte under concatenation.
-bool expected_two(const std::vector<Pkt>& pkts, std::size_t p,
-                  std::uint32_t o, std::uint8_t out[2]) {
-  if (p >= pkts.size() || o >= pkts[p].size) return false;
-  out[0] = byte_of(pkts[p], o);
-  if (o + 1 < pkts[p].size) {
-    out[1] = byte_of(pkts[p], o + 1);
-  } else if (p + 1 < pkts.size()) {
-    out[1] = byte_of(pkts[p + 1], 0);
-  } else {
-    out[1] = 0;  // lone final byte: only b0 is checkable
-  }
-  return true;
-}
-
-}  // namespace
 
 const PacketMapping* MappingResult::find(std::uint64_t uid) const {
   for (const auto& m : packets) {
@@ -41,138 +11,314 @@ const PacketMapping* MappingResult::find(std::uint64_t uid) const {
   return nullptr;
 }
 
+RlcStream::RlcStream(net::Direction dir, std::size_t resync_lookahead)
+    : dir_(dir), lookahead_(resync_lookahead) {}
+
+void RlcStream::add_packet(const net::PacketRecord& r) {
+  if (r.direction != dir_) return;
+  pkts_.push_back({r.uid, r.total_size(), r.timestamp});
+  PacketMapping m;
+  m.packet_uid = r.uid;
+  m.packet_ts = r.timestamp;
+  m.packet_size = r.total_size();
+  result_.packets.push_back(std::move(m));
+}
+
+std::uint64_t RlcStream::unwrap(std::uint32_t seq) {
+  constexpr std::uint64_t kMod = RlcMapper::kSnModulus;
+  constexpr std::uint64_t kMask = kMod - 1;
+  // Bias keeps keys positive if the log opens on a retransmission dipping
+  // below the first-seen SN; a multiple of the modulus, so it never changes
+  // the wrapped view.
+  constexpr std::uint64_t kBias = kMod << 8;
+  const std::uint64_t s = seq & kMask;
+  if (!unwrap_init_) {
+    unwrap_init_ = true;
+    max_key_ = kBias + s;
+    return max_key_;
+  }
+  // Shortest-distance unwrap relative to the highest key seen: AM transmit
+  // windows (512/1024 PDUs) are far below half the SN space, so a forward
+  // delta under kMod/2 is new data and anything else is a lagging SN.
+  const std::uint64_t delta = (s - (max_key_ & kMask)) & kMask;
+  const std::uint64_t key =
+      delta < kMod / 2 ? max_key_ + delta : max_key_ - (kMod - delta);
+  max_key_ = std::max(max_key_, key);
+  return key;
+}
+
+RlcStream::PduIntake RlcStream::add_pdu(const radio::PduRecord& r) {
+  if (r.dir != dir_ || r.is_status || r.payload_len == 0) {
+    return PduIntake::kIgnored;
+  }
+  const std::uint64_t key = unwrap(r.seq);
+  auto it = std::lower_bound(
+      pdus_.begin(), pdus_.end(), key,
+      [](const PduView& v, std::uint64_t k) { return v.key < k; });
+  if (it != pdus_.end() && it->key == key) {
+    // A retransmission carries the same bytes; the first record wins.
+    ++result_.retx_pdus;
+    return PduIntake::kRetransmission;
+  }
+  PduView v;
+  v.key = key;
+  v.seq = r.seq;
+  v.at = r.at;
+  v.payload_len = r.payload_len;
+  v.first_two = r.first_two;
+  v.li_ends = r.li_ends;
+  // Truncation check: LI offsets must be strictly increasing and bounded by
+  // the payload (an RLC SDU segment is at least one byte). A record failing
+  // this would wrap the fold's tail arithmetic — count it and let the fold
+  // treat it as a desync instead.
+  std::uint16_t prev = 0;
+  for (std::uint16_t li : v.li_ends) {
+    if (li <= prev || li > v.payload_len) {
+      v.corrupt = true;
+      break;
+    }
+    prev = li;
+  }
+  if (v.corrupt) ++result_.corrupt_pdus;
+  const std::size_t pos = static_cast<std::size_t>(it - pdus_.begin());
+  if (pos < st_.next_pdu) need_full_refold_ = true;
+  pdus_.insert(it, std::move(v));
+  return PduIntake::kNewData;
+}
+
+void RlcStream::mark_dirty(std::size_t from) {
+  dirty_floor_ = std::min(dirty_floor_, from);
+}
+
+std::size_t RlcStream::take_dirty_floor() {
+  const std::size_t floor = dirty_floor_;
+  dirty_floor_ = npos;
+  return floor;
+}
+
+bool RlcStream::expected_two(std::size_t p, std::uint32_t o,
+                             std::uint8_t out[2], bool& frontier) const {
+  if (p >= pkts_.size() || o >= pkts_[p].size) return false;
+  out[0] = net::wire_byte(pkts_[p].uid, o);
+  if (o + 1 < pkts_[p].size) {
+    out[1] = net::wire_byte(pkts_[p].uid, o + 1);
+  } else if (p + 1 < pkts_.size()) {
+    out[1] = net::wire_byte(pkts_[p + 1].uid, 0);
+  } else {
+    out[1] = 0;  // lone final byte: only b0 is checkable — for now
+    frontier = true;
+  }
+  return true;
+}
+
+bool RlcStream::fold_one(const PduView& pdu) {
+  bool frontier = false;
+  auto give_up_packet = [&](std::size_t idx) {
+    result_.packets[idx].mapped = false;
+  };
+
+  // Corrupt record: its LI chain cannot be trusted, so walking it would
+  // desync silently. Drop the packet under the cursor and force a resync.
+  if (pdu.corrupt) {
+    give_up_packet(st_.p);
+    st_.in_sync = false;
+    st_.o = pkts_[st_.p].size;  // poison the offset so matching fails
+    return false;
+  }
+
+  std::uint8_t want[2];
+  const bool have =
+      expected_two(st_.p, st_.o, want, frontier) &&
+      pdu.first_two[0] == want[0] &&
+      (pdu.payload_len < 2 || pdu.first_two[1] == want[1]);
+
+  if (!have) {
+    // Desync (usually a PDU record missing from the log): the current
+    // packet cannot be fully mapped. Re-anchor on a later PDU using its
+    // first Length Indicator: if that PDU ends packet q, its payload must
+    // start at offset size(q) - li1, and the two logged bytes must match
+    // there. Without an LI there is nothing to anchor on; skip the PDU.
+    give_up_packet(st_.p);
+    if (pdu.li_ends.empty()) return frontier;
+    const std::uint16_t li1 = pdu.li_ends.front();
+    bool resynced = false;
+    const std::size_t q_limit = st_.p + 1 + lookahead_;
+    const std::size_t q_end = std::min(pkts_.size(), q_limit);
+    for (std::size_t q = st_.p; q < q_end && !resynced; ++q) {
+      if (pkts_[q].size < li1) continue;
+      const std::uint32_t anchor = pkts_[q].size - li1;
+      std::uint8_t head[2];
+      if (!expected_two(q, anchor, head, frontier)) continue;
+      if (pdu.first_two[0] == head[0] &&
+          (pdu.payload_len < 2 || pdu.first_two[1] == head[1])) {
+        for (std::size_t skipped = st_.p; skipped < q; ++skipped) {
+          give_up_packet(skipped);
+        }
+        st_.p = q;
+        st_.o = anchor;
+        // The re-anchored packet missed its head unless the anchor is its
+        // very first byte.
+        st_.in_sync = anchor == 0;
+        resynced = true;
+      }
+    }
+    if (!resynced) {
+      // The scan may have been cut short by the packet frontier; with more
+      // packets the anchor could still land.
+      if (q_limit > pkts_.size()) frontier = true;
+      return frontier;  // try anchoring on a later PDU instead
+    }
+  }
+
+  // Long jump: we trust the 2-byte prefix and walk the PDU's Length
+  // Indicators to advance through packet boundaries (Fig. 5).
+  auto note_pdu = [&](PacketMapping& m) {
+    if (m.pdu_seqs.empty()) m.first_pdu_at = pdu.at;
+    m.last_pdu_at = pdu.at;
+    m.pdu_seqs.push_back(pdu.seq);
+  };
+  note_pdu(result_.packets[st_.p]);
+
+  std::uint16_t cursor = 0;
+  bool consistent = true;
+  for (std::uint16_t li : pdu.li_ends) {
+    const std::uint32_t seg = static_cast<std::uint32_t>(li - cursor);
+    if (st_.p >= pkts_.size() || st_.o + seg != pkts_[st_.p].size) {
+      if (st_.p >= pkts_.size()) frontier = true;
+      consistent = false;
+      break;
+    }
+    // Cumulative mapped index equals the packet size: mapping success.
+    if (st_.in_sync) {
+      result_.packets[st_.p].mapped = true;
+      ++result_.mapped_count;
+      result_.mapped_bytes += pkts_[st_.p].size;
+    }
+    ++st_.p;
+    st_.o = 0;
+    st_.in_sync = true;
+    cursor = li;
+    if (li < pdu.payload_len) {
+      if (st_.p < pkts_.size()) {
+        note_pdu(result_.packets[st_.p]);
+      } else {
+        frontier = true;  // the concatenated head belongs to a future packet
+      }
+    }
+  }
+  if (!consistent) {
+    if (st_.p < pkts_.size()) {
+      give_up_packet(st_.p);
+      st_.o = pkts_[st_.p].size;  // poison the offset so matching fails
+    }
+    st_.in_sync = false;  // force resync on the next PDU
+    return frontier;
+  }
+  // Post-intake LI validation guarantees cursor <= payload_len, so this
+  // subtraction can no longer wrap.
+  const std::uint16_t tail =
+      static_cast<std::uint16_t>(pdu.payload_len - cursor);
+  if (tail > 0) {
+    if (st_.p >= pkts_.size() || st_.o + tail >= pkts_[st_.p].size) {
+      // A packet end without a Length Indicator is inconsistent.
+      if (st_.p >= pkts_.size()) frontier = true;
+      if (st_.p < pkts_.size()) {
+        give_up_packet(st_.p);
+        st_.o = pkts_[st_.p].size;
+      }
+      st_.in_sync = false;
+      return frontier;
+    }
+    st_.o += tail;
+  }
+  return frontier;
+}
+
+void RlcStream::sync() {
+  if (need_full_refold_) {
+    // A PDU slotted in behind the consumed cursor: replay everything.
+    for (auto& m : result_.packets) {
+      m.mapped = false;
+      m.pdu_seqs.clear();
+      m.first_pdu_at = {};
+      m.last_pdu_at = {};
+    }
+    result_.mapped_count = 0;
+    result_.mapped_bytes = 0;
+    st_ = {};
+    tentative_ = false;
+    need_full_refold_ = false;
+    ++refolds_;
+    mark_dirty(0);
+  } else if (tentative_ && pkts_.size() > cp_.pkts) {
+    // Packets arrived past a frontier-dependent fold: rewind to just before
+    // it and replay the suffix against the longer packet list.
+    // The packet under the checkpointed cursor keeps the annotations it got
+    // from PDUs folded before the checkpoint (the replay starts after them);
+    // everything past it was touched by checkpointed folds only.
+    PacketMapping& m0 = result_.packets[cp_.st.p];
+    m0.mapped = false;
+    m0.pdu_seqs.resize(cp_.partial_seqs);
+    m0.first_pdu_at = cp_.partial_first;
+    m0.last_pdu_at = cp_.partial_last;
+    for (std::size_t i = cp_.st.p + 1; i < result_.packets.size(); ++i) {
+      PacketMapping& m = result_.packets[i];
+      m.mapped = false;
+      m.pdu_seqs.clear();
+      m.first_pdu_at = {};
+      m.last_pdu_at = {};
+    }
+    result_.mapped_count = cp_.mapped_count;
+    result_.mapped_bytes = cp_.mapped_bytes;
+    st_ = cp_.st;
+    tentative_ = false;
+    ++refolds_;
+    mark_dirty(st_.p);
+  }
+
+  while (st_.next_pdu < pdus_.size() && st_.p < pkts_.size()) {
+    Checkpoint before;
+    before.st = st_;
+    before.mapped_count = result_.mapped_count;
+    before.mapped_bytes = result_.mapped_bytes;
+    before.pkts = pkts_.size();
+    const PacketMapping& cur = result_.packets[st_.p];
+    before.partial_seqs = cur.pdu_seqs.size();
+    before.partial_first = cur.first_pdu_at;
+    before.partial_last = cur.last_pdu_at;
+    mark_dirty(st_.p);
+    const bool frontier = fold_one(pdus_[st_.next_pdu]);
+    ++st_.next_pdu;
+    if (frontier && !tentative_) {
+      tentative_ = true;
+      cp_ = before;
+    }
+  }
+}
+
+void RlcStream::reset() {
+  pkts_.clear();
+  pdus_.clear();
+  result_ = MappingResult{};
+  st_ = {};
+  tentative_ = false;
+  cp_ = {};
+  need_full_refold_ = false;
+  refolds_ = 0;
+  dirty_floor_ = 0;
+  unwrap_init_ = false;
+  max_key_ = 0;
+}
+
 MappingResult RlcMapper::map(const std::vector<net::PacketRecord>& trace,
                              const std::vector<radio::PduRecord>& pdu_log,
                              net::Direction dir,
                              std::size_t resync_lookahead) {
-  // IP packets of this direction, in stream order.
-  std::vector<Pkt> pkts;
-  for (const auto& r : trace) {
-    if (r.direction != dir) continue;
-    pkts.push_back({r.uid, r.total_size(), r.timestamp});
-  }
-
-  // Data PDUs of this direction, deduplicated by sequence number (a
-  // retransmission carries the same bytes) and ordered by sequence.
-  std::map<std::uint32_t, const radio::PduRecord*> by_seq;
-  for (const auto& p : pdu_log) {
-    if (p.dir != dir || p.is_status || p.payload_len == 0) continue;
-    by_seq.try_emplace(p.seq, &p);
-  }
-  std::vector<const radio::PduRecord*> pdus;
-  pdus.reserve(by_seq.size());
-  for (const auto& [seq, p] : by_seq) pdus.push_back(p);
-
-  MappingResult result;
-  result.packets.reserve(pkts.size());
-  for (const auto& p : pkts) {
-    PacketMapping m;
-    m.packet_uid = p.uid;
-    m.packet_ts = p.ts;
-    result.packets.push_back(std::move(m));
-  }
-
-  std::size_t p = 0;       // current packet
-  std::uint32_t o = 0;     // current offset within packet p
-  bool in_sync = o == 0;   // whether packet p has matched from its start
-
-  auto give_up_packet = [&](std::size_t idx) {
-    result.packets[idx].mapped = false;
-  };
-
-  for (std::size_t j = 0; j < pdus.size() && p < pkts.size(); ++j) {
-    const radio::PduRecord& pdu = *pdus[j];
-
-    std::uint8_t want[2];
-    const bool have =
-        expected_two(pkts, p, o, want) && pdu.first_two[0] == want[0] &&
-        (pdu.payload_len < 2 || pdu.first_two[1] == want[1]);
-
-    if (!have) {
-      // Desync (usually a PDU record missing from the log): the current
-      // packet cannot be fully mapped. Re-anchor on a later PDU using its
-      // first Length Indicator: if that PDU ends packet q, its payload must
-      // start at offset size(q) - li1, and the two logged bytes must match
-      // there. Without an LI there is nothing to anchor on; skip the PDU.
-      give_up_packet(p);
-      if (pdu.li_ends.empty()) continue;
-      const std::uint16_t li1 = pdu.li_ends.front();
-      bool resynced = false;
-      const std::size_t q_end =
-          std::min(pkts.size(), p + 1 + resync_lookahead);
-      for (std::size_t q = p; q < q_end && !resynced; ++q) {
-        if (pkts[q].size < li1) continue;
-        const std::uint32_t anchor = pkts[q].size - li1;
-        std::uint8_t head[2];
-        if (!expected_two(pkts, q, anchor, head)) continue;
-        if (pdu.first_two[0] == head[0] &&
-            (pdu.payload_len < 2 || pdu.first_two[1] == head[1])) {
-          for (std::size_t skipped = p; skipped < q; ++skipped) {
-            give_up_packet(skipped);
-          }
-          p = q;
-          o = anchor;
-          // The re-anchored packet missed its head unless the anchor is its
-          // very first byte.
-          in_sync = anchor == 0;
-          resynced = true;
-        }
-      }
-      if (!resynced) continue;  // try anchoring on a later PDU instead
-    }
-
-    // Long jump: we trust the 2-byte prefix and walk the PDU's Length
-    // Indicators to advance through packet boundaries (Fig. 5).
-    PacketMapping& cur = result.packets[p];
-    auto note_pdu = [&](PacketMapping& m) {
-      if (m.pdu_seqs.empty()) m.first_pdu_at = pdu.at;
-      m.last_pdu_at = pdu.at;
-      m.pdu_seqs.push_back(pdu.seq);
-    };
-    note_pdu(cur);
-
-    std::uint16_t cursor = 0;
-    bool consistent = true;
-    for (std::uint16_t li : pdu.li_ends) {
-      const std::uint32_t seg = static_cast<std::uint32_t>(li - cursor);
-      if (p >= pkts.size() || o + seg != pkts[p].size) {
-        consistent = false;
-        break;
-      }
-      // Cumulative mapped index equals the packet size: mapping success.
-      if (in_sync) {
-        result.packets[p].mapped = true;
-        ++result.mapped_count;
-      }
-      ++p;
-      o = 0;
-      in_sync = true;
-      cursor = li;
-      if (p < pkts.size() && li < pdu.payload_len) {
-        note_pdu(result.packets[p]);
-      }
-    }
-    if (!consistent) {
-      give_up_packet(p);
-      in_sync = false;  // force resync on the next PDU
-      o = pkts[p].size;  // poison the offset so matching fails
-      continue;
-    }
-    const std::uint16_t tail =
-        static_cast<std::uint16_t>(pdu.payload_len - cursor);
-    if (tail > 0) {
-      if (p >= pkts.size() || o + tail >= pkts[p].size) {
-        // A packet end without a Length Indicator is inconsistent.
-        if (p < pkts.size()) give_up_packet(p);
-        in_sync = false;
-        if (p < pkts.size()) o = pkts[p].size;
-        continue;
-      }
-      o += tail;
-    }
-  }
-
-  return result;
+  RlcStream stream(dir, resync_lookahead);
+  for (const auto& r : trace) stream.add_packet(r);
+  for (const auto& r : pdu_log) stream.add_pdu(r);
+  stream.sync();
+  return stream.release_result();
 }
 
 }  // namespace qoed::core

@@ -12,8 +12,15 @@
 // The mapper consumes ONLY what the real tool has: the device packet trace
 // and the truncated PDU log. PduRecord::true_uids exists strictly for
 // validation in tests.
+//
+// Two entry points share one fold:
+//  - RlcMapper::map — the post-hoc batch pass over complete logs.
+//  - RlcStream — the same fold driven incrementally (diag::RlcChainTracker
+//    feeds it from Collector events); after sync() its result is
+//    bit-identical to the batch pass over everything added so far.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -24,9 +31,10 @@ namespace qoed::core {
 
 struct PacketMapping {
   std::uint64_t packet_uid = 0;
-  sim::TimePoint packet_ts;  // tcpdump timestamp of the IP packet
+  sim::TimePoint packet_ts;       // tcpdump timestamp of the IP packet
+  std::uint32_t packet_size = 0;  // wire bytes (for mapped-byte accounting)
   bool mapped = false;
-  std::vector<std::uint32_t> pdu_seqs;
+  std::vector<std::uint32_t> pdu_seqs;  // logged (mod-4096) sequence numbers
   sim::TimePoint first_pdu_at;
   sim::TimePoint last_pdu_at;
 };
@@ -34,6 +42,14 @@ struct PacketMapping {
 struct MappingResult {
   std::vector<PacketMapping> packets;
   std::size_t mapped_count = 0;
+  std::uint64_t mapped_bytes = 0;
+  // Data-PDU records recognized as duplicates of an already-seen sequence
+  // number (modulo the 12-bit SN space): RLC retransmissions.
+  std::size_t retx_pdus = 0;
+  // Records whose Length-Indicator chain is inconsistent with payload_len
+  // (truncated/corrupt log entries). The fold refuses to walk them — it
+  // drops the packet under the cursor and desyncs instead.
+  std::size_t corrupt_pdus = 0;
 
   double mapped_ratio() const {
     return packets.empty() ? 0
@@ -48,6 +64,9 @@ class RlcMapper {
   // Default packet lookahead when re-anchoring after a missing PDU record;
   // must exceed the number of small packets one PDU can hide.
   static constexpr std::size_t kDefaultResyncLookahead = 64;
+  // 12-bit acknowledged-mode sequence-number space (3GPP TS 25.322): logged
+  // SNs wrap at 4096; the mapper re-unwraps them in log order.
+  static constexpr std::uint32_t kSnModulus = 4096;
 
   // Maps IP packets of `dir` from `trace` onto the PDU chain of `pdu_log`.
   // `resync_lookahead` = 0 disables re-anchoring entirely (ablation).
@@ -56,6 +75,120 @@ class RlcMapper {
                            net::Direction dir,
                            std::size_t resync_lookahead =
                                kDefaultResyncLookahead);
+};
+
+// Resumable long-jump fold over one direction's packet and PDU streams.
+//
+// Contract: after sync(), result() is bit-identical to RlcMapper::map over
+// every record added so far, in any interleaving of add_packet/add_pdu.
+//
+// The fold naturally stalls when the cursor reaches the end of the known
+// packet list (downlink PDUs are logged before their reassembled packets
+// reach the trace) and resumes when packets arrive. A fold step whose
+// decision touched the packet frontier (a prefix byte, resync scan, or LI
+// walk that ran out of packets) is tentatively committed and checkpointed;
+// once more packets are known the stream rewinds to the checkpoint and
+// replays the suffix. A PDU arriving out of (unwrapped) sequence order
+// behind the consumed cursor — its original record was lost on the air and
+// only the retransmission got logged late — forces a full refold. Both are
+// rare; both restore the batch invariant exactly.
+class RlcStream {
+ public:
+  enum class PduIntake : std::uint8_t {
+    kNewData,         // first record of this (unwrapped) sequence number
+    kRetransmission,  // duplicate SN modulo 4096
+    kIgnored,         // other direction, STATUS, or zero payload
+  };
+
+  explicit RlcStream(net::Direction dir,
+                     std::size_t resync_lookahead =
+                         RlcMapper::kDefaultResyncLookahead);
+
+  // Packets of other directions are ignored, so callers may feed the raw
+  // trace. Records must arrive in trace order.
+  void add_packet(const net::PacketRecord& r);
+  PduIntake add_pdu(const radio::PduRecord& r);
+
+  // Folds everything pending; afterwards result() matches the batch pass.
+  void sync();
+  void reset();
+
+  const MappingResult& result() const { return result_; }
+  net::Direction direction() const { return dir_; }
+  std::size_t packet_count() const { return pkts_.size(); }
+  std::size_t pdu_count() const { return pdus_.size(); }
+  // Folds replayed to restore the batch invariant (frontier rewinds plus
+  // out-of-order full refolds): a cost counter, not a correctness signal.
+  std::uint64_t refolds() const { return refolds_; }
+  // Lowest packet index whose mapping may have changed since the last call
+  // (npos when none); resets the floor. Incremental index builders rebuild
+  // their suffix from here.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t take_dirty_floor();
+
+ private:
+  friend class RlcMapper;
+
+  struct Pkt {
+    std::uint64_t uid;
+    std::uint32_t size;
+    sim::TimePoint ts;
+  };
+  // A deduplicated data-PDU record, keyed by unwrapped sequence number.
+  struct PduView {
+    std::uint64_t key = 0;  // unwrapped sequence (ordering / dedup key)
+    std::uint32_t seq = 0;  // logged SN, as reported in pdu_seqs
+    sim::TimePoint at;
+    std::uint16_t payload_len = 0;
+    std::array<std::uint8_t, 2> first_two{};
+    std::vector<std::uint16_t> li_ends;
+    bool corrupt = false;
+  };
+  struct FoldState {
+    std::size_t p = 0;       // current packet
+    std::uint32_t o = 0;     // current offset within packet p
+    bool in_sync = true;     // whether packet p has matched from its start
+    std::size_t next_pdu = 0;  // next pdus_ entry to fold
+  };
+  struct Checkpoint {
+    FoldState st;
+    std::size_t mapped_count = 0;
+    std::uint64_t mapped_bytes = 0;
+    std::size_t pkts = 0;  // packet count when the checkpoint was taken
+    // Snapshot of result_.packets[st.p]'s annotations: PDUs folded before
+    // the checkpoint may already have noted the packet under the cursor, and
+    // the replay starts after them — the rewind truncates back to this
+    // prefix instead of clearing the packet outright. (Folds only append to
+    // the cursor packet's pdu_seqs, so a length is a complete snapshot.)
+    std::size_t partial_seqs = 0;
+    sim::TimePoint partial_first;
+    sim::TimePoint partial_last;
+  };
+
+  std::uint64_t unwrap(std::uint32_t seq);
+  bool expected_two(std::size_t p, std::uint32_t o, std::uint8_t out[2],
+                    bool& frontier) const;
+  // One batch-identical fold step; returns true when any decision depended
+  // on the current packet frontier (i.e. could change with more packets).
+  bool fold_one(const PduView& pdu);
+  void mark_dirty(std::size_t from);
+  MappingResult release_result() { return std::move(result_); }
+
+  net::Direction dir_;
+  std::size_t lookahead_;
+  std::vector<Pkt> pkts_;
+  std::vector<PduView> pdus_;  // sorted by key
+  MappingResult result_;
+  FoldState st_;
+
+  bool tentative_ = false;  // some consumed fold depended on the frontier
+  Checkpoint cp_;           // replay point once more packets are known
+  bool need_full_refold_ = false;
+  std::uint64_t refolds_ = 0;
+  std::size_t dirty_floor_ = npos;
+
+  bool unwrap_init_ = false;
+  std::uint64_t max_key_ = 0;
 };
 
 }  // namespace qoed::core

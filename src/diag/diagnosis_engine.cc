@@ -27,12 +27,18 @@ void DiagnosisEngine::attach(core::Collector& collector) {
 void DiagnosisEngine::ensure_tracker() {
   auto* cell = device_.cellular();
   if (cell == nullptr) return;
-  if (tracker_ != nullptr) return;
-  tracker_ =
-      std::make_unique<RrcStateTracker>(cell->qxdm(), cell->config().rrc);
-  // The tracker subscribes itself so radio clears reach it even between
-  // engine callbacks; a late cellular attach re-resolves its log there.
-  if (collector_ != nullptr) tracker_->attach(*collector_);
+  if (tracker_ == nullptr) {
+    tracker_ =
+        std::make_unique<RrcStateTracker>(cell->qxdm(), cell->config().rrc);
+    // The tracker subscribes itself so radio clears reach it even between
+    // engine callbacks; a late cellular attach re-resolves its log there.
+    if (collector_ != nullptr) tracker_->attach(*collector_);
+  }
+  if (rlc_ == nullptr) {
+    rlc_ = std::make_unique<RlcChainTracker>(device_.trace().records(),
+                                             cell->qxdm());
+    if (collector_ != nullptr) rlc_->attach(*collector_);
+  }
 }
 
 void DiagnosisEngine::finalize(const PendingWindow& w0,
@@ -92,9 +98,29 @@ void DiagnosisEngine::finalize(const PendingWindow& w0,
     f.radio_unavailable = f.window_bytes > 0 && f.transitions == 0 &&
                           tracker_->pdus_in_count(w.start, w.end) == 0;
   }
+  if (cell != nullptr && rlc_ != nullptr) {
+    rlc_->sync();
+    const RlcChainTracker::WindowStats up =
+        rlc_->window(net::Direction::kUplink, w.start, w.end);
+    const RlcChainTracker::WindowStats down =
+        rlc_->window(net::Direction::kDownlink, w.start, w.end);
+    f.has_rlc = true;
+    f.rlc_retx_ul = up.retx;
+    f.rlc_retx_dl = down.retx;
+    f.rlc_window_packets = up.packets + down.packets;
+    f.rlc_window_mapped = up.mapped + down.mapped;
+    f.rlc_mapped_ratio =
+        f.rlc_window_packets > 0
+            ? static_cast<double>(f.rlc_window_mapped) /
+                  static_cast<double>(f.rlc_window_packets)
+            : 0;
+    f.rlc_degraded = f.rlc_window_packets > 0 &&
+                     f.rlc_mapped_ratio < cfg_.rlc_degraded_ratio;
+  }
   f.traffic_degraded = flows_->disorder_in_window(w.start, w.end) > 0;
   if (f.traffic_degraded) f.confidence *= 0.7;
   if (f.radio_unavailable) f.confidence *= 0.8;
+  if (f.rlc_degraded) f.confidence *= 0.9;
   findings_.push_back(std::move(f));
 }
 
@@ -141,13 +167,22 @@ void DiagnosisEngine::on_layers_cleared(const core::Collector& collector,
 }
 
 core::Table DiagnosisEngine::findings_table() const {
-  core::Table table("Live diagnosis findings",
-                    {"#", "action", "total_s", "network_s", "device_s",
-                     "net_crit", "flow", "promo", "energy_j", "tail", "conf"});
+  core::Table table(
+      "Live diagnosis findings",
+      {"#", "action", "total_s", "network_s", "device_s", "net_crit", "flow",
+       "promo", "energy_j", "tail", "rlc", "conf"});
   for (const Finding& f : findings_) {
     // Radio columns: "-" = no radio link, "n/a" = link present but no radio
     // record covered the window (values would be extrapolations).
     const bool radio_usable = f.has_radio && !f.radio_unavailable;
+    // RLC column: per-window retransmitted PDU records; "n/a" when the
+    // window carried no packets to map.
+    const std::string rlc =
+        !f.has_rlc ? "-"
+        : f.rlc_window_packets == 0
+            ? "n/a"
+            : std::to_string(f.rlc_retx_ul + f.rlc_retx_dl) +
+                  (f.rlc_degraded ? "?" : "");
     table.add_row({std::to_string(f.behavior_index), f.action,
                    core::Table::num(f.total_s), core::Table::num(f.network_s),
                    core::Table::num(f.device_s),
@@ -160,7 +195,7 @@ core::Table DiagnosisEngine::findings_table() const {
                                 : (f.has_radio ? "n/a" : "-"),
                    radio_usable ? core::Table::pct(f.tail_share)
                                 : (f.has_radio ? "n/a" : "-"),
-                   core::Table::num(f.confidence)});
+                   rlc, core::Table::num(f.confidence)});
   }
   return table;
 }
@@ -169,10 +204,13 @@ void DiagnosisEngine::add_counters(core::RunResult& out,
                                    const std::string& prefix) const {
   out.add_counter(prefix + "findings", static_cast<double>(findings_.size()));
   double net_crit = 0, promo = 0, energy = 0, tail = 0, degraded = 0;
+  double rlc_retx = 0, rlc_degraded = 0;
   for (const Finding& f : findings_) {
     if (f.network_on_critical_path) ++net_crit;
     if (f.promotion_overlap) ++promo;
     if (f.confidence < 1.0) ++degraded;
+    if (f.rlc_degraded) ++rlc_degraded;
+    rlc_retx += static_cast<double>(f.rlc_retx_ul + f.rlc_retx_dl);
     energy += f.energy_j;
     tail += f.tail_j;
   }
@@ -181,19 +219,27 @@ void DiagnosisEngine::add_counters(core::RunResult& out,
   out.add_counter(prefix + "energy_j", energy);
   out.add_counter(prefix + "tail_j", tail);
   out.add_counter(prefix + "degraded_findings", degraded);
+  out.add_counter(prefix + "rlc_retx", rlc_retx);
+  out.add_counter(prefix + "rlc_degraded_findings", rlc_degraded);
   for (const Finding& f : findings_) {
     out.registry.observe(prefix + "window_total_s", f.total_s);
   }
+  // Whole-run mapper counters ride along under their own namespace, giving
+  // campaigns the paper's per-direction mapping/retransmission figures.
+  if (rlc_ != nullptr) rlc_->add_counters(out);
 }
 
 void DiagnosisEngine::export_metrics(obs::MetricsRegistry& reg,
                                      const std::string& prefix) const {
   reg.add_counter(prefix + "findings", static_cast<double>(findings_.size()));
   double net_crit = 0, promo = 0, energy = 0, tail = 0, degraded = 0;
+  double rlc_retx = 0, rlc_degraded = 0;
   for (const Finding& f : findings_) {
     if (f.network_on_critical_path) ++net_crit;
     if (f.promotion_overlap) ++promo;
     if (f.confidence < 1.0) ++degraded;
+    if (f.rlc_degraded) ++rlc_degraded;
+    rlc_retx += static_cast<double>(f.rlc_retx_ul + f.rlc_retx_dl);
     energy += f.energy_j;
     tail += f.tail_j;
     reg.observe(prefix + "window_total_s", f.total_s);
@@ -203,6 +249,9 @@ void DiagnosisEngine::export_metrics(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + "energy_j", energy);
   reg.add_counter(prefix + "tail_j", tail);
   reg.add_counter(prefix + "degraded_findings", degraded);
+  reg.add_counter(prefix + "rlc_retx", rlc_retx);
+  reg.add_counter(prefix + "rlc_degraded_findings", rlc_degraded);
+  if (rlc_ != nullptr) rlc_->export_metrics(reg);
 }
 
 }  // namespace qoed::diag

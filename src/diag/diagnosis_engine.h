@@ -36,6 +36,7 @@
 
 #include "core/collector.h"
 #include "core/flow_analyzer.h"
+#include "diag/rlc_chain_tracker.h"
 #include "diag/rrc_state_tracker.h"
 #include "sim/time.h"
 
@@ -63,6 +64,10 @@ struct DiagnosisConfig {
   // released late can still land inside their window — keeping live
   // findings equal to the batch analyzers instead of misattributing.
   sim::Duration watermark_slack{};
+  // A window whose long-jump mapped ratio falls below this (with traffic
+  // present) has its RLC evidence marked degraded: PDU records are missing
+  // (blackout / heavy log loss), so retransmission counts undercount.
+  double rlc_degraded_ratio = 0.5;
 };
 
 // One diagnosed UI-latency window. Latency fields mirror
@@ -92,6 +97,18 @@ struct Finding {
   double energy_j = 0;
   double tail_j = 0;
   double tail_share = 0;
+
+  // --- RLC evidence (streaming long-jump mapper, §5.4.2) ---
+  bool has_rlc = false;                // a cellular link backed the window
+  std::size_t rlc_retx_ul = 0;         // retransmitted PDU records in window
+  std::size_t rlc_retx_dl = 0;
+  std::size_t rlc_window_packets = 0;  // IP packets in window, both dirs
+  std::size_t rlc_window_mapped = 0;   // of those, long-jump mapped
+  double rlc_mapped_ratio = 0;         // mapped/packets; 0 when no packets
+  // Mapping confidence signal: the window saw packets but fewer than
+  // rlc_degraded_ratio of them anchored to PDU records, so the RLC counts
+  // above rest on an incomplete log.
+  bool rlc_degraded = false;
 
   // --- degradation labelling (1.0 / false / false on healthy capture) ---
   // Confidence in the attribution, multiplicatively discounted per
@@ -136,6 +153,8 @@ class DiagnosisEngine : public core::CollectorSink {
   // The streaming radio tracker; null until a radio event or finalize
   // happens on a cellular device.
   RrcStateTracker* tracker() { return tracker_.get(); }
+  // The streaming RLC mapper; same lifetime rule as tracker().
+  RlcChainTracker* rlc_tracker() { return rlc_.get(); }
   const DiagnosisConfig& config() const { return cfg_; }
 
   // Report surface: one row per finding.
@@ -178,6 +197,7 @@ class DiagnosisEngine : public core::CollectorSink {
   DiagnosisConfig cfg_;
   core::Collector* collector_ = nullptr;
   std::unique_ptr<RrcStateTracker> tracker_;
+  std::unique_ptr<RlcChainTracker> rlc_;
   obs::Context obs_;
 
   std::deque<PendingWindow> pending_;

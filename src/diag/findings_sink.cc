@@ -52,6 +52,16 @@ void FindingsJsonlSink::write(std::ostream& os) const {
     put_bool(os, f.traffic_degraded);
     os << ",\"radio_unavailable\":";
     put_bool(os, f.radio_unavailable);
+    os << ",\"has_rlc\":";
+    put_bool(os, f.has_rlc);
+    os << ",\"rlc_retx_ul\":" << f.rlc_retx_ul;
+    os << ",\"rlc_retx_dl\":" << f.rlc_retx_dl;
+    os << ",\"rlc_packets\":" << f.rlc_window_packets;
+    os << ",\"rlc_mapped\":" << f.rlc_window_mapped;
+    os << ",\"rlc_mapped_ratio\":";
+    core::put_json_number(os, f.rlc_mapped_ratio);
+    os << ",\"rlc_degraded\":";
+    put_bool(os, f.rlc_degraded);
     os << "}\n";
   }
 }

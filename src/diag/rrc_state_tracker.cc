@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "radio/record_search.h"
-
 namespace qoed::diag {
 
 namespace {
@@ -43,17 +41,16 @@ void RrcStateTracker::sync() {
   const auto& rrc = log_->rrc_log();
   for (; consumed_rrc_ < rrc.size(); ++consumed_rrc_) {
     const auto& t = rrc[consumed_rrc_];
-    Checkpoint cp;
-    cp.at = t.at;
-    cp.state_after = t.to;
-    if (checkpoints_.empty()) {
-      cp.cum[slot(cfg_.idle_state())] = (t.at - sim::kTimeZero).count();
+    CumResidency cum{};
+    if (cp_at_.empty()) {
+      cum[slot(cfg_.idle_state())] = (t.at - sim::kTimeZero).count();
     } else {
-      const Checkpoint& prev = checkpoints_.back();
-      cp.cum = prev.cum;
-      cp.cum[slot(prev.state_after)] += (t.at - prev.at).count();
+      cum = cp_cum_.back();
+      cum[slot(cp_state_.back())] += (t.at - cp_at_.back()).count();
     }
-    checkpoints_.push_back(cp);
+    cp_at_.push_back(t.at);
+    cp_state_.push_back(t.to);
+    cp_cum_.push_back(cum);
     if (is_promotion(t)) {
       promotion_at_.push_back(t.at);
       ++promotions_;
@@ -76,7 +73,9 @@ void RrcStateTracker::sync() {
 }
 
 void RrcStateTracker::reset() {
-  checkpoints_.clear();
+  cp_at_.clear();
+  cp_state_.clear();
+  cp_cum_.clear();
   promotion_at_.clear();
   pdu_at_.clear();
   consumed_rrc_ = 0;
@@ -87,17 +86,18 @@ void RrcStateTracker::reset() {
   pdu_bytes_ = 0;
 }
 
-std::array<sim::Duration::rep, RrcStateTracker::kStateCount>
-RrcStateTracker::cum_at(sim::TimePoint t) const {
-  const std::size_t i = radio::first_after(checkpoints_, t);
+RrcStateTracker::CumResidency RrcStateTracker::cum_at(sim::TimePoint t) const {
+  // First checkpoint after t; ties resolve to the latest record, matching
+  // radio::first_after over the old array-of-structs checkpoints.
+  const std::size_t i = static_cast<std::size_t>(
+      std::upper_bound(cp_at_.begin(), cp_at_.end(), t) - cp_at_.begin());
   if (i == 0) {
-    std::array<sim::Duration::rep, kStateCount> cum{};
+    CumResidency cum{};
     cum[slot(cfg_.idle_state())] = (t - sim::kTimeZero).count();
     return cum;
   }
-  const Checkpoint& cp = checkpoints_[i - 1];
-  auto cum = cp.cum;
-  cum[slot(cp.state_after)] += (t - cp.at).count();
+  CumResidency cum = cp_cum_[i - 1];
+  cum[slot(cp_state_[i - 1])] += (t - cp_at_[i - 1]).count();
   return cum;
 }
 
@@ -130,8 +130,9 @@ bool RrcStateTracker::promotion_in(sim::TimePoint start,
 
 std::size_t RrcStateTracker::transitions_in_count(sim::TimePoint start,
                                                   sim::TimePoint end) const {
-  const auto [lo, hi] = radio::record_range(checkpoints_, start, end);
-  return hi - lo;
+  const auto lo = std::lower_bound(cp_at_.begin(), cp_at_.end(), start);
+  const auto hi = std::upper_bound(lo, cp_at_.end(), end);
+  return static_cast<std::size_t>(hi - lo);
 }
 
 std::size_t RrcStateTracker::pdus_in_count(sim::TimePoint start,
@@ -143,16 +144,25 @@ std::size_t RrcStateTracker::pdus_in_count(sim::TimePoint start,
 }
 
 radio::RrcState RrcStateTracker::state_at(sim::TimePoint t) const {
-  const std::size_t i = radio::first_after(checkpoints_, t);
-  return i > 0 ? checkpoints_[i - 1].state_after : cfg_.idle_state();
+  const std::size_t i = static_cast<std::size_t>(
+      std::upper_bound(cp_at_.begin(), cp_at_.end(), t) - cp_at_.begin());
+  return i > 0 ? cp_state_[i - 1] : cfg_.idle_state();
 }
 
 void RrcStateTracker::on_event(const core::Collector& collector,
                                const core::Event& event) {
   (void)collector;
   (void)event;
-  // Radio backfills bypass notification, so fold everything unconsumed
-  // rather than just this event's record.
+  // Fold everything unconsumed rather than just this event's record.
+  sync();
+}
+
+void RrcStateTracker::on_events(const core::Collector& collector,
+                                const core::Event* events, std::size_t count) {
+  (void)collector;
+  (void)events;
+  (void)count;
+  // A merged backlog (late cellular attach): one fold covers all of it.
   sync();
 }
 

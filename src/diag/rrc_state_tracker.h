@@ -51,8 +51,8 @@ class RrcStateTracker : public core::CollectorSink {
   RrcStateTracker& operator=(const RrcStateTracker&) = delete;
 
   // Subscribes to the spine's radio events; every captured transition/PDU
-  // is folded in as it arrives. Radio backfills merged without notification
-  // (Collector::wire_radio) are picked up by the next sync().
+  // is folded in as it arrives. Radio backfills (Collector::wire_radio)
+  // arrive as one batched on_events notification and fold in a single pass.
   void attach(core::Collector& collector);
 
   // Folds in records appended to the borrowed log since the last sync.
@@ -94,29 +94,33 @@ class RrcStateTracker : public core::CollectorSink {
 
   const radio::RrcConfig& config() const { return cfg_; }
 
-  // CollectorSink: radio events -> sync; radio-layer clear -> reset and
-  // re-resolve the borrowed log (it may have been destroyed or replaced).
+  // CollectorSink: radio events -> sync (batched backlogs fold once);
+  // radio-layer clear -> reset and re-resolve the borrowed log (it may
+  // have been destroyed or replaced).
   void on_event(const core::Collector& collector,
                 const core::Event& event) override;
+  void on_events(const core::Collector& collector, const core::Event* events,
+                 std::size_t count) override;
   void on_layers_cleared(const core::Collector& collector,
                          std::uint32_t layer_mask) override;
 
  private:
-  // Cumulative per-state residency (integer microsecond ticks) from time
-  // zero through `at`; `state_after` is the state entered at `at`.
-  struct Checkpoint {
-    sim::TimePoint at;
-    radio::RrcState state_after = radio::RrcState::kPch;
-    std::array<sim::Duration::rep, kStateCount> cum{};
-  };
+  using CumResidency = std::array<sim::Duration::rep, kStateCount>;
 
-  std::array<sim::Duration::rep, kStateCount> cum_at(sim::TimePoint t) const;
+  CumResidency cum_at(sim::TimePoint t) const;
 
   const radio::QxdmLogger* log_;
   radio::RrcConfig cfg_;
   core::Collector* collector_ = nullptr;
 
-  std::vector<Checkpoint> checkpoints_;
+  // Checkpoints in structure-of-arrays form: one entry per transition, with
+  // the timestamps (the only field the binary searches touch) contiguous.
+  // cp_cum_[i] is the cumulative per-state residency (integer microsecond
+  // ticks) from time zero through cp_at_[i]; cp_state_[i] is the state
+  // entered there.
+  std::vector<sim::TimePoint> cp_at_;
+  std::vector<radio::RrcState> cp_state_;
+  std::vector<CumResidency> cp_cum_;
   std::vector<sim::TimePoint> promotion_at_;  // sorted (capture order)
   std::vector<sim::TimePoint> pdu_at_;        // sorted (insertion keeps order)
   std::size_t consumed_rrc_ = 0;

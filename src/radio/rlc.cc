@@ -26,7 +26,11 @@ RlcChannel::RlcChannel(sim::EventLoop& loop, sim::Rng rng, RlcConfig cfg,
       cfg_(cfg),
       dir_(dir),
       rrc_(rrc),
-      logger_(logger) {}
+      logger_(logger) {
+  next_seq_ = cfg_.initial_sn;
+  rcv_expected_ = cfg_.initial_sn;
+  highest_received_ = cfg_.initial_sn;
+}
 
 double RlcChannel::rate_bps() const {
   const StateParams& p = rrc_.current_params();
@@ -117,7 +121,9 @@ PduRecord RlcChannel::record_for(const Pdu& pdu, bool retransmission,
   PduRecord rec;
   rec.at = at;
   rec.dir = dir_;
-  rec.seq = pdu.seq;
+  // QxDM reports the on-air 12-bit SN; the internal unwrapped counter is
+  // not observable.
+  rec.seq = pdu.seq % RlcConfig::kSnModulus;
   rec.payload_len = pdu.payload_len;
   rec.poll = pdu.poll;
   rec.retransmission = retransmission;

@@ -25,6 +25,12 @@
 namespace qoed::radio {
 
 struct RlcConfig {
+  // 12-bit acknowledged-mode SN space (3GPP TS 25.322): logged PduRecords
+  // carry seq mod 4096. Internal ARQ state stays unwrapped — the channel
+  // object outlives any single window, and the transmit window (far below
+  // half the SN space) makes the logged view unambiguous to unwrap.
+  static constexpr std::uint32_t kSnModulus = 4096;
+
   std::uint16_t pdu_payload_ul = 40;   // 3G uplink: fixed (3GPP TS 25.322)
   std::uint16_t pdu_payload_dl = 480;  // 3G downlink: flexible, typical
   std::uint16_t pdu_header = 2;
@@ -34,6 +40,9 @@ struct RlcConfig {
   double status_loss_prob = 0.001;
   sim::Duration status_processing = sim::msec(2);
   sim::Duration poll_timeout = sim::msec(250);
+  // First sequence number of the channel. Tests set it just below the
+  // modulus to exercise wrap-crossing logs.
+  std::uint32_t initial_sn = 0;
 
   std::uint16_t pdu_payload(net::Direction dir) const {
     return dir == net::Direction::kUplink ? pdu_payload_ul : pdu_payload_dl;
@@ -117,7 +126,7 @@ class RlcChannel {
   // Sender side.
   std::deque<PendingPacket> pending_;
   std::size_t queued_bytes_ = 0;
-  std::uint32_t next_seq_ = 0;
+  std::uint32_t next_seq_ = 0;  // unwrapped; wrapped only at the logger
   std::map<std::uint32_t, Pdu> unacked_;
   std::deque<std::uint32_t> retx_queue_;
   bool busy_ = false;

@@ -14,7 +14,9 @@
 #include "apps/social_server.h"
 #include "core/log_export.h"
 #include "core/qoe_doctor.h"
+#include "core/rlc_mapper.h"
 #include "diag/findings_sink.h"
+#include "diag/rlc_chain_tracker.h"
 #include "diag/rrc_state_tracker.h"
 #include "fault/fault_injector.h"
 
@@ -210,6 +212,48 @@ class LiveDiagTest : public ::testing::Test {
       EXPECT_EQ(f.energy_j, 0.0);
       EXPECT_EQ(f.transitions, 0u);
     }
+
+    // RLC evidence: the finding's per-window counts must reproduce a fresh
+    // window query (the PDUs anchoring a window's packets arrive inside the
+    // window, so the end-of-run fold answers identically to the streaming
+    // snapshot taken at finalize time).
+    EXPECT_EQ(f.has_rlc, engine_->rlc_tracker() != nullptr);
+    if (RlcChainTracker* rlc = engine_->rlc_tracker()) {
+      rlc->sync();
+      const auto up = rlc->window(net::Direction::kUplink, w.start, w.end);
+      const auto down = rlc->window(net::Direction::kDownlink, w.start, w.end);
+      EXPECT_EQ(f.rlc_retx_ul, up.retx);
+      EXPECT_EQ(f.rlc_retx_dl, down.retx);
+      EXPECT_EQ(f.rlc_window_packets, up.packets + down.packets);
+      EXPECT_EQ(f.rlc_window_mapped, up.mapped + down.mapped);
+    }
+    EXPECT_EQ(f.rlc_degraded,
+              f.has_rlc && f.rlc_window_packets > 0 &&
+                  f.rlc_mapped_ratio < engine_->config().rlc_degraded_ratio);
+  }
+
+  // Full-field equality between the streaming tracker's whole-run view and
+  // the batch long-jump mapper over the same stores.
+  static void expect_stream_equals_batch(const core::MappingResult& live,
+                                         const core::MappingResult& ref,
+                                         const char* where) {
+    SCOPED_TRACE(where);
+    EXPECT_EQ(live.mapped_count, ref.mapped_count);
+    EXPECT_EQ(live.mapped_bytes, ref.mapped_bytes);
+    EXPECT_EQ(live.retx_pdus, ref.retx_pdus);
+    EXPECT_EQ(live.corrupt_pdus, ref.corrupt_pdus);
+    ASSERT_EQ(live.packets.size(), ref.packets.size());
+    for (std::size_t i = 0; i < ref.packets.size(); ++i) {
+      const core::PacketMapping& a = live.packets[i];
+      const core::PacketMapping& b = ref.packets[i];
+      EXPECT_EQ(a.packet_uid, b.packet_uid) << "packet " << i;
+      EXPECT_EQ(a.packet_ts, b.packet_ts) << "packet " << i;
+      EXPECT_EQ(a.packet_size, b.packet_size) << "packet " << i;
+      EXPECT_EQ(a.mapped, b.mapped) << "packet " << i;
+      EXPECT_EQ(a.pdu_seqs, b.pdu_seqs) << "packet " << i;
+      EXPECT_EQ(a.first_pdu_at, b.first_pdu_at) << "packet " << i;
+      EXPECT_EQ(a.last_pdu_at, b.last_pdu_at) << "packet " << i;
+    }
   }
 
   core::Testbed bed_;
@@ -259,6 +303,74 @@ TEST_F(LiveDiagTest, TrackerMatchesBatchOverRealRadioLog) {
   }
 }
 
+TEST_F(LiveDiagTest, RlcTrackerMatchesBatchMapperMidRunAndAtEnd) {
+  start();
+  RlcChainTracker* rlc = engine_->rlc_tracker();
+  ASSERT_NE(rlc, nullptr);
+
+  // The downlink log loses ~9% of PDU records (QxDM-style intrinsic loss),
+  // so this run exercises desync + LI re-anchoring inside the stream; the
+  // equality below must hold regardless.
+  const auto expect_matches_batch_now = [&](const char* where) {
+    rlc->sync();
+    for (const net::Direction dir :
+         {net::Direction::kUplink, net::Direction::kDownlink}) {
+      const core::MappingResult ref = core::RlcMapper::map(
+          dev_->trace().records(), dev_->cellular()->qxdm().pdu_log(), dir);
+      expect_stream_equals_batch(rlc->result(dir), ref, where);
+    }
+  };
+
+  expect_matches_batch_now("after login");  // mid-run query #1
+  ASSERT_FALSE(upload().timed_out);
+  expect_matches_batch_now("after upload 1");  // mid-run query #2
+  ASSERT_FALSE(upload().timed_out);
+  expect_matches_batch_now("at end");
+  ASSERT_GT(rlc->result(net::Direction::kUplink).mapped_count, 0u);
+  ASSERT_GT(rlc->result(net::Direction::kDownlink).packets.size(), 0u);
+}
+
+TEST_F(LiveDiagTest, RlcWindowStatsMatchManualScanOfBatchResult) {
+  start();
+  ASSERT_FALSE(upload().timed_out);
+  ASSERT_FALSE(upload().timed_out);
+  RlcChainTracker* rlc = engine_->rlc_tracker();
+  ASSERT_NE(rlc, nullptr);
+  rlc->sync();
+
+  const sim::TimePoint now = bed_.loop().now();
+  const std::pair<double, double> windows[] = {
+      {0, sim::to_seconds(now - sim::kTimeZero)}, {14, 18}, {15.5, 16.0},
+      {200, 300},  // empty: past the end of the run
+  };
+  for (const net::Direction dir :
+       {net::Direction::kUplink, net::Direction::kDownlink}) {
+    const core::MappingResult ref = core::RlcMapper::map(
+        dev_->trace().records(), dev_->cellular()->qxdm().pdu_log(), dir);
+    for (const auto& [a, b] : windows) {
+      const sim::TimePoint start = sim::kTimeZero + sim::sec_f(a);
+      const sim::TimePoint end = sim::kTimeZero + sim::sec_f(b);
+      const RlcChainTracker::WindowStats ws = rlc->window(dir, start, end);
+      RlcChainTracker::WindowStats manual;
+      for (const core::PacketMapping& pm : ref.packets) {
+        if (pm.packet_ts < start || pm.packet_ts > end) continue;
+        ++manual.packets;
+        if (pm.mapped) {
+          ++manual.mapped;
+          manual.mapped_bytes += pm.packet_size;
+        }
+      }
+      EXPECT_EQ(ws.packets, manual.packets) << "[" << a << ", " << b << "]";
+      EXPECT_EQ(ws.mapped, manual.mapped) << "[" << a << ", " << b << "]";
+      EXPECT_EQ(ws.mapped_bytes, manual.mapped_bytes)
+          << "[" << a << ", " << b << "]";
+    }
+    // The whole-run window's retransmission count is exactly the batch
+    // mapper's total for the direction.
+    EXPECT_EQ(rlc->window(dir, sim::kTimeZero, now).retx, ref.retx_pdus);
+  }
+}
+
 TEST_F(LiveDiagTest, FindingsMatchBatchAnalyzersFieldForField) {
   start();
   for (int i = 0; i < 3; ++i) ASSERT_FALSE(upload().timed_out);
@@ -289,6 +401,8 @@ TEST_F(LiveDiagTest, WifiRunDiagnosesWithoutRadio) {
   const Finding& f = engine_->findings()[0];
   EXPECT_FALSE(f.has_radio);
   EXPECT_EQ(engine_->tracker(), nullptr);
+  EXPECT_EQ(engine_->rlc_tracker(), nullptr);  // no cellular link, no mapper
+  EXPECT_FALSE(f.has_rlc);
   expect_finding_matches_batch(f);
 }
 
@@ -406,6 +520,11 @@ TEST(FindingsSinkTest, CampaignJsonWithDiagCountersIdenticalAcrossJobs) {
   const core::CampaignResult parallel = core::Campaign(cfg).run(factory);
 
   EXPECT_GT(serial.counters.at("diag.findings"), 0.0);
+  // The whole-run RLC mapper counters ride along with the diag export and
+  // must pool identically across jobs.
+  EXPECT_GT(serial.counters.at("rlc.ul.packets"), 0.0);
+  EXPECT_TRUE(serial.counters.count("rlc.corrupt_pdu"));
+  EXPECT_TRUE(serial.counters.count("rlc.dl.retx"));
   // jobs is part of the export (it describes the execution); mask it so the
   // comparison covers exactly the deterministic payload.
   std::string a = core::campaign_to_json_string(serial);

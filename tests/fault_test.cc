@@ -416,7 +416,16 @@ TEST(FaultCrashPathTest, TotalRadioBlackoutYieldsFlaggedFindingsNotCrash) {
   EXPECT_GT(f.window_bytes, 0u);
   EXPECT_TRUE(f.radio_unavailable);
   EXPECT_FALSE(f.traffic_degraded);
-  EXPECT_DOUBLE_EQ(f.confidence, 0.8);
+  // The blackout also starves the long-jump mapper: the window has packets
+  // but no PDU records to anchor them, so the RLC evidence is degraded —
+  // the retransmission count stays a defined 0, with confidence discounted
+  // (0.8 for missing radio, 0.9 for degraded RLC) instead of zeroed.
+  EXPECT_TRUE(f.has_rlc);
+  EXPECT_TRUE(f.rlc_degraded);
+  EXPECT_GT(f.rlc_window_packets, 0u);
+  EXPECT_EQ(f.rlc_window_mapped, 0u);
+  EXPECT_EQ(f.rlc_retx_ul + f.rlc_retx_dl, 0u);
+  EXPECT_DOUBLE_EQ(f.confidence, 0.8 * 0.9);
   engine.findings_table().print();  // renders the n/a radio columns
 }
 
@@ -487,8 +496,9 @@ TEST(FaultAcceptanceTest, BlackoutCampaignWithRetriesIsJobsInvariant) {
   const core::MetricAggregate* conf = serial.metric("confidence");
   ASSERT_NE(conf, nullptr);
   EXPECT_EQ(conf->pooled.n, 3u);  // one finding per successful run
-  EXPECT_DOUBLE_EQ(conf->pooled.min, 0.8);
-  EXPECT_DOUBLE_EQ(conf->pooled.max, 0.8);
+  // 0.8 (radio unavailable) x 0.9 (RLC evidence starved by the blackout).
+  EXPECT_DOUBLE_EQ(conf->pooled.min, 0.8 * 0.9);
+  EXPECT_DOUBLE_EQ(conf->pooled.max, 0.8 * 0.9);
   EXPECT_DOUBLE_EQ(serial.counters.at("radio_unavailable"), 3.0);
   EXPECT_DOUBLE_EQ(serial.counters.at("diag.degraded_findings"), 3.0);
   EXPECT_GT(serial.counters.at("fault.radio.blacked_out"), 0.0);

@@ -188,5 +188,259 @@ TEST_F(RlcMapperTest, EmptyInputsProduceEmptyResult) {
   EXPECT_EQ(result.mapped_ratio(), 0.0);
 }
 
+// --- hand-built records: malformed-input and equality suites ---
+// The simulated radio never emits malformed PDU records, so these build
+// trace/PDU vectors directly.
+
+net::PacketRecord make_uplink_packet(std::uint64_t uid,
+                                     std::uint32_t total_size,
+                                     sim::TimePoint at) {
+  net::PacketRecord r;
+  r.uid = uid;
+  r.timestamp = at;
+  r.direction = net::Direction::kUplink;
+  r.src_ip = net::IpAddr(10, 0, 0, 2);
+  r.src_port = 40000;
+  r.dst_ip = net::IpAddr(31, 13, 1, 7);
+  r.dst_port = 443;
+  r.payload_size = total_size - net::kHeaderBytes;
+  return r;
+}
+
+// A PDU record whose payload starts at byte `o` of packet `uid`; the second
+// logged byte comes from `uid2` when the first packet has no byte o+1.
+radio::PduRecord make_pdu(std::uint32_t seq, std::uint64_t uid,
+                          std::uint32_t o, std::uint16_t payload_len,
+                          std::vector<std::uint16_t> li_ends,
+                          std::uint64_t uid2 = 0) {
+  radio::PduRecord rec;
+  rec.dir = net::Direction::kUplink;
+  rec.seq = seq;
+  rec.at = sim::kTimeZero + sim::msec(1000 + seq);
+  rec.payload_len = payload_len;
+  rec.first_two[0] = net::wire_byte(uid, o);
+  rec.first_two[1] =
+      uid2 != 0 ? net::wire_byte(uid2, 0) : net::wire_byte(uid, o + 1);
+  rec.li_ends = std::move(li_ends);
+  return rec;
+}
+
+// Regression for the truncation bug: a corrupt record whose cumulative LI
+// exceeds payload_len used to wrap the unsigned tail arithmetic and walk
+// the mapper off the packet array. It must now be counted, the packet under
+// the cursor dropped, and the mapper must resync on the next sound record.
+TEST(RlcMapperMalformedTest, TruncatedPduWithOversizedLiIsDroppedNotWrapped) {
+  std::vector<net::PacketRecord> trace;
+  for (std::uint64_t uid = 1; uid <= 3; ++uid) {
+    trace.push_back(
+        make_uplink_packet(uid, 100, sim::kTimeZero + sim::msec(uid)));
+  }
+  std::vector<radio::PduRecord> pdus;
+  pdus.push_back(make_pdu(0, 1, 0, 100, {100}));  // packet 1, complete
+  // Corrupt: LI says an SDU ends at 50 inside a 40-byte payload (a
+  // truncated capture); payload_len - cursor would underflow.
+  pdus.push_back(make_pdu(1, 2, 0, 40, {50}));
+  pdus.push_back(make_pdu(2, 3, 0, 100, {100}));  // packet 3, complete
+
+  const MappingResult result =
+      RlcMapper::map(trace, pdus, net::Direction::kUplink);
+  EXPECT_EQ(result.corrupt_pdus, 1u);
+  ASSERT_EQ(result.packets.size(), 3u);
+  EXPECT_TRUE(result.packets[0].mapped);
+  EXPECT_FALSE(result.packets[1].mapped);  // under the corrupt record
+  EXPECT_TRUE(result.packets[2].mapped);   // resynced via the next LI
+  EXPECT_EQ(result.mapped_count, 2u);
+  EXPECT_EQ(result.mapped_bytes, 200u);
+}
+
+// Regression for the companion out-of-bounds: an LI chain that runs past
+// the last captured packet used to index packets[size()]. The walk must
+// stop at the frontier and desync instead.
+TEST(RlcMapperMalformedTest, LiChainPastLastPacketDesyncsCleanly) {
+  std::vector<net::PacketRecord> trace;
+  trace.push_back(make_uplink_packet(1, 100, sim::kTimeZero + sim::msec(1)));
+  std::vector<radio::PduRecord> pdus;
+  // Ends packet 1 at cursor 100, then claims another SDU end at 140 — but
+  // there is no second packet to attribute it to.
+  pdus.push_back(make_pdu(0, 1, 0, 150, {100, 140}));
+
+  const MappingResult result =
+      RlcMapper::map(trace, pdus, net::Direction::kUplink);
+  EXPECT_EQ(result.corrupt_pdus, 0u);
+  ASSERT_EQ(result.packets.size(), 1u);
+  EXPECT_TRUE(result.packets[0].mapped);
+  EXPECT_EQ(result.mapped_count, 1u);
+}
+
+TEST_F(RlcMapperTest, MappingWorksAcrossSequenceNumberWrap) {
+  radio::CellularConfig cfg = radio::CellularConfig::umts();
+  cfg.rlc.pdu_loss_prob = 0;
+  cfg.rlc.status_loss_prob = 0;
+  // Start 46 PDUs shy of the 12-bit AM wrap (3GPP TS 25.322): the run's
+  // PDU stream crosses seq 4095 -> 0 while packets are mid-flight.
+  cfg.rlc.initial_sn = 4050;
+  run_uplink_traffic(cfg, 0);
+  dev_->cellular()->qxdm().set_record_loss(0, 0);
+  for (int i = 0; i < 20; ++i) {
+    dev_->host().send_udp(server_->ip(), 9999, 1111, 400 + i * 61, nullptr);
+    bed_.advance(sim::msec(50));
+  }
+  bed_.loop().run();
+
+  // The logger emits wrapped sequence numbers...
+  const auto& pdu_log = dev_->cellular()->qxdm().pdu_log();
+  bool crossed = false;
+  for (const auto& p : pdu_log) {
+    ASSERT_LT(p.seq, RlcMapper::kSnModulus);
+    if (!p.is_status && p.payload_len > 0 && p.seq < 4050) crossed = true;
+  }
+  ASSERT_TRUE(crossed) << "traffic too small to cross the SN wrap";
+
+  // ...and the mapper unwraps them: packets whose PDU chain straddles the
+  // wrap still map, with nothing misattributed.
+  auto result = RlcMapper::map(dev_->trace().records(), pdu_log,
+                               net::Direction::kUplink);
+  EXPECT_EQ(result.packets.size(), 20u);
+  EXPECT_DOUBLE_EQ(result.mapped_ratio(), 1.0);
+  validate(result, net::Direction::kUplink);
+  bool straddles = false;
+  for (const auto& m : result.packets) {
+    const bool has_high =
+        std::any_of(m.pdu_seqs.begin(), m.pdu_seqs.end(),
+                    [](std::uint32_t s) { return s >= 4050; });
+    const bool has_low =
+        std::any_of(m.pdu_seqs.begin(), m.pdu_seqs.end(),
+                    [](std::uint32_t s) { return s < 46; });
+    if (has_high && has_low) straddles = true;
+  }
+  EXPECT_TRUE(straddles) << "no packet chain crossed the wrap boundary";
+}
+
+// --- streaming-vs-batch bit-exactness ---
+
+void expect_results_equal(const MappingResult& live,
+                          const MappingResult& batch, const char* where) {
+  ASSERT_EQ(live.packets.size(), batch.packets.size()) << where;
+  EXPECT_EQ(live.mapped_count, batch.mapped_count) << where;
+  EXPECT_EQ(live.mapped_bytes, batch.mapped_bytes) << where;
+  EXPECT_EQ(live.retx_pdus, batch.retx_pdus) << where;
+  EXPECT_EQ(live.corrupt_pdus, batch.corrupt_pdus) << where;
+  for (std::size_t i = 0; i < live.packets.size(); ++i) {
+    const PacketMapping& a = live.packets[i];
+    const PacketMapping& b = batch.packets[i];
+    ASSERT_EQ(a.packet_uid, b.packet_uid) << where << " packet " << i;
+    EXPECT_EQ(a.mapped, b.mapped) << where << " packet " << i;
+    EXPECT_EQ(a.pdu_seqs, b.pdu_seqs) << where << " packet " << i;
+    EXPECT_EQ(a.first_pdu_at, b.first_pdu_at) << where << " packet " << i;
+    EXPECT_EQ(a.last_pdu_at, b.last_pdu_at) << where << " packet " << i;
+  }
+}
+
+// Feeds the captured logs into an RlcStream in capture-time order with a
+// sync after every record, comparing against a batch map over the prefix at
+// several cut points. This is the invariant the streaming tracker rests on:
+// at any mid-run moment the stream equals RlcMapper::map over the records
+// seen so far — including after desync/resync and with PDU records that
+// precede their packets' capture (the downlink reassembly path, which
+// exercises the tentative-checkpoint/rewind machinery).
+void check_streaming_prefixes(const std::vector<net::PacketRecord>& trace,
+                              const std::vector<radio::PduRecord>& pdu_log,
+                              net::Direction dir) {
+  // Merge into capture order: packets by timestamp, PDUs by log time, ties
+  // resolved packet-first (matches the collector's stable merge).
+  struct Item {
+    sim::TimePoint at;
+    bool is_packet;
+    std::size_t index;
+  };
+  std::vector<Item> order;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    order.push_back({trace[i].timestamp, true, i});
+  }
+  for (std::size_t i = 0; i < pdu_log.size(); ++i) {
+    order.push_back({pdu_log[i].at, false, i});
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Item& a, const Item& b) { return a.at < b.at; });
+
+  RlcStream stream(dir);
+  std::vector<net::PacketRecord> trace_prefix;
+  std::vector<radio::PduRecord> pdu_prefix;
+  const std::size_t step = std::max<std::size_t>(1, order.size() / 16);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i].is_packet) {
+      stream.add_packet(trace[order[i].index]);
+      trace_prefix.push_back(trace[order[i].index]);
+    } else {
+      stream.add_pdu(pdu_log[order[i].index]);
+      pdu_prefix.push_back(pdu_log[order[i].index]);
+    }
+    stream.sync();
+    if (i % step != 0 && i + 1 != order.size()) continue;
+    const MappingResult batch = RlcMapper::map(trace_prefix, pdu_prefix, dir);
+    const std::string where = "after record " + std::to_string(i);
+    expect_results_equal(stream.result(), batch, where.c_str());
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_F(RlcMapperTest, StreamingMatchesBatchAtEveryUplinkPrefix) {
+  radio::CellularConfig cfg = radio::CellularConfig::umts();
+  cfg.rlc.pdu_loss_prob = 0.05;  // retransmissions on the wire
+  cfg.rlc.status_loss_prob = 0;
+  run_uplink_traffic(cfg, 0);
+  dev_->cellular()->qxdm().set_record_loss(0.01, 0.01);  // resync path
+  for (int i = 0; i < 30; ++i) {
+    dev_->host().send_udp(server_->ip(), 9999, 1111, 250 + i * 97, nullptr);
+    bed_.advance(sim::msec(50));
+  }
+  bed_.loop().run();
+  check_streaming_prefixes(dev_->trace().records(),
+                           dev_->cellular()->qxdm().pdu_log(),
+                           net::Direction::kUplink);
+}
+
+TEST_F(RlcMapperTest, StreamingMatchesBatchAtEveryDownlinkPrefix) {
+  radio::CellularConfig cfg = radio::CellularConfig::umts();
+  cfg.rlc.pdu_loss_prob = 0;
+  cfg.rlc.status_loss_prob = 0;
+  server_ = std::make_unique<net::Host>(bed_.network(), bed_.next_server_ip(),
+                                        "sink");
+  dev_ = bed_.make_device("phone");
+  dev_->attach_cellular(cfg);
+  dev_->host().set_udp_handler([](const net::Packet&) {});
+  server_->set_udp_handler([this](const net::Packet& p) {
+    for (int i = 0; i < 20; ++i) {
+      server_->send_udp(p.src_ip, p.src_port, p.dst_port, 700 + i * 41,
+                        nullptr);
+    }
+  });
+  dev_->host().send_udp(server_->ip(), 9999, 1111, 100, nullptr);
+  bed_.loop().run();
+  // Downlink PDU records precede their packets' capture (reassembly), so
+  // every fold here runs at the packet frontier first.
+  check_streaming_prefixes(dev_->trace().records(),
+                           dev_->cellular()->qxdm().pdu_log(),
+                           net::Direction::kDownlink);
+}
+
+TEST(RlcStreamTest, ResetRestoresFreshState) {
+  RlcStream stream(net::Direction::kUplink);
+  stream.add_packet(
+      make_uplink_packet(1, 100, sim::kTimeZero + sim::msec(1)));
+  stream.add_pdu(make_pdu(0, 1, 0, 100, {100}));
+  stream.sync();
+  EXPECT_EQ(stream.result().mapped_count, 1u);
+  stream.reset();
+  EXPECT_TRUE(stream.result().packets.empty());
+  EXPECT_EQ(stream.packet_count(), 0u);
+  EXPECT_EQ(stream.pdu_count(), 0u);
+  stream.add_packet(
+      make_uplink_packet(2, 120, sim::kTimeZero + sim::msec(2)));
+  stream.add_pdu(make_pdu(5, 2, 0, 120, {120}));
+  stream.sync();
+  EXPECT_EQ(stream.result().mapped_count, 1u);
+}
+
 }  // namespace
 }  // namespace qoed::core
