@@ -23,6 +23,7 @@
 #include "apps/web_server.h"
 #include "bench_util.h"
 #include "diag/diagnosis_engine.h"
+#include "diag/findings_sink.h"
 #include "fault/fault_injector.h"
 
 namespace qoed {
@@ -34,6 +35,20 @@ using namespace core;
 // run then records its doctor's tracer and hands it to the campaign via
 // RunResult::trace.
 bool g_trace = false;
+// Set when --out-dir is given (sharded campaigns): each run also captures
+// its findings/timeline JSONL into RunResult::artifacts for streaming into
+// the shard files.
+bool g_artifacts = false;
+
+void capture_artifacts(RunResult* out, QoeDoctor& doctor) {
+  if (!g_artifacts) return;
+  if (doctor.diagnosis() != nullptr) {
+    out->artifacts.findings_jsonl =
+        diag::FindingsJsonlSink(*doctor.diagnosis()).to_string();
+  }
+  out->artifacts.timeline_jsonl =
+      TimelineJsonlSink(doctor.collector()).to_string();
+}
 
 struct AccuracySample {
   double measured_s = 0;
@@ -110,6 +125,7 @@ RunResult facebook_run(std::uint64_t seed, apps::PostKind kind, int reps) {
   if (faults != nullptr) faults->add_counters(out);
   doctor.collector().add_counters(out);
   out.virtual_seconds = bed.loop().now().seconds();
+  capture_artifacts(&out, doctor);
   out.trace = std::move(doctor.obs().tracer);
   return out;
 }
@@ -167,6 +183,7 @@ RunResult pull_to_update_run(std::uint64_t seed, int reps) {
   }
   doctor.collector().add_counters(out);
   out.virtual_seconds = bed.loop().now().seconds();
+  capture_artifacts(&out, doctor);
   out.trace = std::move(doctor.obs().tracer);
   return out;
 }
@@ -230,6 +247,7 @@ RunResult youtube_run(std::uint64_t seed, int videos) {
   }
   doctor.collector().add_counters(out);
   out.virtual_seconds = bed.loop().now().seconds();
+  capture_artifacts(&out, doctor);
   out.trace = std::move(doctor.obs().tracer);
   return out;
 }
@@ -277,6 +295,7 @@ RunResult browser_run(std::uint64_t seed, int reps) {
   if (faults != nullptr) faults->add_counters(out);
   doctor.collector().add_counters(out);
   out.virtual_seconds = bed.loop().now().seconds();
+  capture_artifacts(&out, doctor);
   out.trace = std::move(doctor.obs().tracer);
   return out;
 }
@@ -348,6 +367,7 @@ int main(int argc, char** argv) {
   using namespace qoed;
   const bench::BenchOptions opts = bench::parse_options(argc, argv);
   g_trace = opts.tracing();
+  g_artifacts = opts.sharded();
   bench::TraceCollector traces;
   bench::banner("QoE measurement accuracy and overhead",
                 "Table 3 and Figure 6 (IMC'14 QoE Doctor, §7.1)");

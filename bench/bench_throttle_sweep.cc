@@ -21,6 +21,11 @@ namespace {
 
 using namespace core;
 
+// Set when --out-dir is given (sharded campaigns): each run captures its
+// collector timeline into RunResult::artifacts for the shard files. The
+// sweep runs no diagnosis engine, so there are no findings to capture.
+bool g_artifacts = false;
+
 constexpr double kMediaBitrate = 500e3;
 const std::vector<double> kRates = {100e3, 200e3, 300e3, 400e3, 500e3};
 
@@ -78,6 +83,10 @@ RunResult run_point(std::uint64_t seed, bool lte, double rate_bps,
       },
       [] {});
   bed.loop().run();
+  if (g_artifacts) {
+    out.artifacts.timeline_jsonl =
+        TimelineJsonlSink(doctor.collector()).to_string();
+  }
   return out;
 }
 
@@ -93,6 +102,7 @@ double point_mean(const CampaignResult& c, const char* metric, bool lte,
 int main(int argc, char** argv) {
   using namespace qoed;
   const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  g_artifacts = opts.sharded();
   bench::banner("Video QoE vs throttled bandwidth (100-500 kbps)",
                 "Figure 19 + Figure 20 (IMC'14 QoE Doctor, §7.5)");
 

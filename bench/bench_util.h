@@ -14,6 +14,7 @@
 #include "core/json_util.h"
 #include "core/log_export.h"
 #include "core/qoe_doctor.h"
+#include "core/shard.h"
 #include "obs/tracer.h"
 
 namespace qoed::bench {
@@ -27,6 +28,12 @@ namespace qoed::bench {
 //                 (appends, one {"campaign":...,"registry":...} per line)
 //   --trace F     write ONE merged Chrome trace-event JSON covering every
 //                 campaign to F (overwrites; the format cannot be appended)
+//   --out-dir D   sharded (constant-memory) campaigns: each campaign streams
+//                 its runs into shard files under D/<campaign>/ and writes
+//                 merged findings.jsonl/timeline.jsonl/metrics.json there
+//                 (byte-identical to in-memory mode at any --jobs)
+//   --shard-bytes N  shard rotation budget in bytes [4 MiB]
+//   --shards N    also rotate every N runs (0 = byte budget only)
 struct BenchOptions {
   std::size_t jobs = 0;
   std::size_t runs = 0;
@@ -34,8 +41,12 @@ struct BenchOptions {
   std::string json_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string out_dir;
+  std::size_t shard_bytes = 4u << 20;
+  std::size_t shard_runs = 0;
 
   bool tracing() const { return !trace_path.empty(); }
+  bool sharded() const { return !out_dir.empty(); }
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -72,10 +83,17 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opts.metrics_path = value();
     } else if (arg == "--trace") {
       opts.trace_path = value();
+    } else if (arg == "--out-dir") {
+      opts.out_dir = value();
+    } else if (arg == "--shard-bytes") {
+      opts.shard_bytes = static_cast<std::size_t>(number());
+    } else if (arg == "--shards") {
+      opts.shard_runs = static_cast<std::size_t>(number());
     } else if (arg == "-h" || arg == "--help") {
       std::printf(
           "usage: %s [--jobs N] [--runs N] [--seed S] [--json FILE]"
-          " [--metrics FILE] [--trace FILE]\n",
+          " [--metrics FILE] [--trace FILE] [--out-dir DIR]"
+          " [--shard-bytes N] [--shards N]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -86,8 +104,19 @@ inline BenchOptions parse_options(int argc, char** argv) {
   return opts;
 }
 
+// Campaign names may contain '/' (e.g. "accuracy/post"); flatten them for
+// use as a shard subdirectory name.
+inline std::string sanitize_campaign_dir(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  return out;
+}
+
 // Applies the shared CLI options to a campaign config, keeping the bench's
-// defaults where the user passed nothing.
+// defaults where the user passed nothing. With --out-dir the campaign runs
+// sharded, streaming into <out-dir>/<sanitized-name>/.
 inline core::CampaignConfig campaign_config(const BenchOptions& opts,
                                             std::string name,
                                             std::size_t default_runs,
@@ -98,6 +127,11 @@ inline core::CampaignConfig campaign_config(const BenchOptions& opts,
   cfg.jobs = opts.jobs;
   cfg.master_seed = opts.seed ? opts.seed : default_seed;
   cfg.trace = opts.tracing();
+  if (opts.sharded()) {
+    cfg.shard.out_dir = opts.out_dir + "/" + sanitize_campaign_dir(cfg.name);
+    cfg.shard.shard_bytes = opts.shard_bytes;
+    cfg.shard.shard_runs = opts.shard_runs;
+  }
   return cfg;
 }
 
@@ -147,6 +181,15 @@ inline void report_campaign(const core::Campaign& campaign,
     os << "}\n";
   }
   if (traces != nullptr && opts.tracing()) traces->add(result);
+  if (opts.sharded()) {
+    // Merged campaign-level artifacts, produced by the external k-way merge
+    // over this campaign's shard directory.
+    const std::string dir =
+        opts.out_dir + "/" + sanitize_campaign_dir(result.name);
+    core::ShardFindingsMergeSink(dir).write_file(dir + "/findings.jsonl");
+    core::ShardTimelineMergeSink(dir).write_file(dir + "/timeline.jsonl");
+    core::ShardMetricsMergeSink(dir).write_file(dir + "/metrics.json");
+  }
 }
 
 // Writes one micro-benchmark result as a flat JSON object (appends, one

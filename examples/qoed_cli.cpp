@@ -8,6 +8,8 @@
 //   qoed_cli post     --network=lte --kind=photos --reps=10
 //   qoed_cli video    --network=lte --throttle=250 --mechanism=policing
 //   qoed_cli merge    --out=all.jsonl phone1.jsonl phone2.jsonl
+//   qoed_cli fleet    --specs=runs.jsonl --jobs=8 --out-dir=fleet/
+//   qoed_cli serve    --jobs=4 --out-dir=serve/
 //
 // Options:
 //   --network=wifi|3g|3g-simplified|lte   access network     [3g]
@@ -36,9 +38,20 @@
 //   merge:    per-device timeline JSONL files; --out=FILE [stdout]
 //             --strict: exit nonzero if any line was quarantined or
 //             out of order
+//   fleet:    batch campaign over one ScenarioSpec JSON per line of --specs.
+//             Sharded (constant-memory) by default with --out-dir; --memory
+//             pools RunResults instead. Merged findings.jsonl /
+//             timeline.jsonl / metrics.json are byte-identical between the
+//             two modes and at any --jobs. --resume continues a killed
+//             sharded fleet; --merge-only just rebuilds merged artifacts
+//             from an existing shard dir.
+//   serve:    long-lived scheduler; line-delimited JSON commands
+//             (submit/status/drain/shutdown) on stdin or --socket=PATH.
+//             See src/svc/serve.h for the protocol.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -48,7 +61,9 @@
 #include "apps/video_server.h"
 #include "apps/web_server.h"
 #include "core/export_sink.h"
+#include "core/log_export.h"
 #include "core/qoe_doctor.h"
+#include "core/shard.h"
 #include "core/speed_index.h"
 #include "core/timeline_merge.h"
 #include "diag/diagnosis_engine.h"
@@ -56,6 +71,8 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "sim/log.h"
+#include "svc/run_spec.h"
+#include "svc/serve.h"
 
 namespace {
 
@@ -476,6 +493,156 @@ int run_merge(const Options& opt) {
   return strict_rc;
 }
 
+// Writes the merged fleet artifacts: from the shard directory (sharded
+// mode) or from the pooled per-run artifacts (--memory). Same stamping and
+// merge code both ways, so the outputs are byte-identical.
+void write_fleet_artifacts(const Options& opt, const std::string& out_dir,
+                           const core::CampaignResult* memory_result) {
+  const auto path = [&](const char* key, const char* def) {
+    std::string p = opt.get(key, "");
+    if (p.empty() && !out_dir.empty()) {
+      p = out_dir + "/" + def;
+    }
+    return p;
+  };
+  const std::string findings = path("findings", "findings.jsonl");
+  const std::string timeline = path("timeline", "timeline.jsonl");
+  const std::string metrics = path("metrics", "metrics.json");
+  if (memory_result == nullptr) {
+    if (!findings.empty()) {
+      run_sink(core::ShardFindingsMergeSink(out_dir), findings);
+    }
+    if (!timeline.empty()) {
+      run_sink(core::ShardTimelineMergeSink(out_dir), timeline);
+    }
+    if (!metrics.empty()) {
+      run_sink(core::ShardMetricsMergeSink(out_dir), metrics);
+    }
+    return;
+  }
+  if (!findings.empty()) {
+    run_sink(core::CampaignFindingsSink(*memory_result), findings);
+  }
+  if (!timeline.empty()) {
+    run_sink(core::CampaignTimelineSink(*memory_result), timeline);
+  }
+  if (!metrics.empty()) {
+    run_sink(core::MetricsJsonSink(memory_result->registry), metrics);
+  }
+}
+
+int run_fleet(const Options& opt) {
+  const std::string specs_path = opt.get("specs", "");
+  const std::string out_dir = opt.get("out-dir", "");
+  const bool memory = opt.get_int("memory", 0) != 0;
+
+  if (opt.get_int("merge-only", 0) != 0) {
+    if (out_dir.empty()) {
+      std::printf("fleet: --merge-only needs --out-dir\n");
+      return 2;
+    }
+    write_fleet_artifacts(opt, out_dir, nullptr);
+    return 0;
+  }
+
+  if (specs_path.empty()) {
+    std::printf("fleet: --specs=FILE (one ScenarioSpec JSON per line) "
+                "required\n");
+    return 2;
+  }
+  std::ifstream in(specs_path, std::ios::binary);
+  if (!in) {
+    std::printf("fleet: cannot read %s\n", specs_path.c_str());
+    return 1;
+  }
+  std::vector<svc::ScenarioSpec> specs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    svc::ScenarioSpec spec;
+    std::string error;
+    if (!svc::ScenarioSpec::parse_json(line, &spec, &error)) {
+      std::printf("fleet: %s:%zu: %s\n", specs_path.c_str(), lineno,
+                  error.c_str());
+      return 2;
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    std::printf("fleet: no specs in %s\n", specs_path.c_str());
+    return 2;
+  }
+  if (!memory && out_dir.empty()) {
+    std::printf("fleet: need --out-dir (sharded) or --memory\n");
+    return 2;
+  }
+
+  core::CampaignConfig cfg;
+  cfg.name = "fleet";
+  cfg.runs = specs.size();
+  cfg.jobs = static_cast<std::size_t>(opt.get_int("jobs", 1));
+  cfg.master_seed = static_cast<std::uint64_t>(opt.get_int("master-seed", 1));
+  cfg.max_retries = static_cast<std::size_t>(opt.get_int("retries", 0));
+  cfg.max_run_virtual_seconds =
+      std::strtod(opt.get("max-virtual-s", "0").c_str(), nullptr);
+  if (memory) {
+    cfg.keep_artifacts = true;
+  } else {
+    cfg.shard.out_dir = out_dir;
+    cfg.shard.shard_bytes = static_cast<std::size_t>(
+        opt.get_int("shard-bytes", 4 << 20));
+    cfg.shard.shard_runs =
+        static_cast<std::size_t>(opt.get_int("shard-runs", 0));
+    cfg.shard.resume = opt.get_int("resume", 0) != 0;
+  }
+
+  core::Campaign campaign(cfg);
+  core::CampaignResult result;
+  try {
+    // The factory ignores the campaign-derived seed: each spec carries its
+    // own, so fleet/serve/resume all reproduce identical per-run artifacts.
+    result = campaign.run([&specs](std::uint64_t, const core::RunSpec& rs) {
+      return svc::run_scenario(specs[rs.run_index]);
+    });
+  } catch (const std::exception& e) {
+    std::printf("fleet: %s\n", e.what());
+    return 1;
+  }
+  std::printf("fleet: %zu runs (%zu quarantined) on %zu jobs in %.2fs\n",
+              result.runs, result.quarantined.size(), result.jobs,
+              campaign.last_wall_seconds());
+
+  write_fleet_artifacts(opt, out_dir, memory ? &result : nullptr);
+  const std::string json = opt.get("json", "");
+  if (!json.empty()) {
+    std::ofstream os(json, std::ios::binary);
+    core::export_campaign_json(os, result);
+    if (os) std::printf("wrote campaign.json to %s\n", json.c_str());
+  }
+  return result.quarantined.empty() ? 0 : 3;
+}
+
+int run_serve(const Options& opt) {
+  svc::ServeOptions sopts;
+  sopts.jobs = static_cast<std::size_t>(opt.get_int("jobs", 1));
+  sopts.out_dir = opt.get("out-dir", "");
+  sopts.shard_bytes =
+      static_cast<std::size_t>(opt.get_int("shard-bytes", 4 << 20));
+  sopts.shard_runs = static_cast<std::size_t>(opt.get_int("shard-runs", 0));
+  sopts.max_retries = static_cast<std::size_t>(opt.get_int("retries", 0));
+  sopts.max_virtual_s =
+      std::strtod(opt.get("max-virtual-s", "0").c_str(), nullptr);
+  sopts.master_seed = static_cast<std::uint64_t>(opt.get_int("master-seed", 1));
+  const std::string socket_path = opt.get("socket", "");
+  if (!socket_path.empty()) {
+    return svc::serve_over_socket(socket_path, sopts);
+  }
+  svc::ServeEngine engine(std::cin, std::cout, sopts);
+  return engine.run();
+}
+
 void usage() {
   std::printf(
       "usage: qoed_cli <pageload|post|video|merge> [--network=wifi|3g|"
@@ -487,7 +654,15 @@ void usage() {
       "  post:     [--kind=status|checkin|photos] [--reps=N]\n"
       "  video:    [--videos=N] [--throttle=KBPS]"
       " [--mechanism=shaping|policing]\n"
-      "  merge:    [--out=FILE] [--strict] TIMELINE.jsonl...\n");
+      "  merge:    [--out=FILE] [--strict] TIMELINE.jsonl...\n"
+      "  fleet:    --specs=FILE [--jobs=N] [--out-dir=DIR | --memory]\n"
+      "            [--shard-bytes=N] [--shard-runs=N] [--resume]\n"
+      "            [--merge-only] [--retries=N] [--max-virtual-s=S]\n"
+      "            [--findings=FILE] [--timeline=FILE] [--metrics=FILE]\n"
+      "            [--json=FILE]\n"
+      "  serve:    [--jobs=N] [--out-dir=DIR] [--shard-bytes=N]\n"
+      "            [--shard-runs=N] [--socket=PATH] [--retries=N]\n"
+      "            [--max-virtual-s=S]\n");
 }
 
 }  // namespace
@@ -498,6 +673,8 @@ int main(int argc, char** argv) {
   if (opt.command == "post") return run_post(opt);
   if (opt.command == "video") return run_video(opt);
   if (opt.command == "merge" || opt.command == "--merge") return run_merge(opt);
+  if (opt.command == "fleet") return run_fleet(opt);
+  if (opt.command == "serve") return run_serve(opt);
   usage();
   return opt.command.empty() ? 1 : 2;
 }

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <thread>
 
+#include "core/shard.h"
 #include "sim/log.h"
 #include "sim/rng.h"
 
@@ -24,14 +26,24 @@ const MetricAggregate* CampaignResult::metric(const std::string& name) const {
   return it == metrics.end() ? nullptr : &it->second;
 }
 
+std::vector<CampaignResult::TraceProcess>
+CampaignResult::trace_process_refs() const {
+  std::vector<TraceProcess> out;
+  if (!trace.events().empty()) out.push_back({"campaign:" + name, -1});
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (!traces[i].events().empty()) {
+      out.push_back({"run-" + std::to_string(i), static_cast<int>(i)});
+    }
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, const obs::Tracer*>>
 CampaignResult::trace_processes() const {
   std::vector<std::pair<std::string, const obs::Tracer*>> out;
-  if (!trace.events().empty()) out.emplace_back("campaign:" + name, &trace);
-  for (std::size_t i = 0; i < traces.size(); ++i) {
-    if (!traces[i].events().empty()) {
-      out.emplace_back("run-" + std::to_string(i), &traces[i]);
-    }
+  for (TraceProcess& p : trace_process_refs()) {
+    out.emplace_back(std::move(p.label),
+                     p.run < 0 ? &trace : &traces[static_cast<size_t>(p.run)]);
   }
   return out;
 }
@@ -52,6 +64,73 @@ std::uint64_t Campaign::retry_seed(std::uint64_t master_seed,
   const std::uint64_t base = run_seed(master_seed, run_index);
   if (attempt == 0) return base;
   return sim::Rng(base).fork("retry/" + std::to_string(attempt)).seed();
+}
+
+RunExecution execute_run_with_policy(const CampaignConfig& cfg,
+                                     const RunFn& fn, RunSpec base) {
+  RunExecution ex;
+  for (std::size_t attempt = 0;; ++attempt) {
+    RunSpec spec = base;
+    spec.attempt = attempt;
+    spec.seed = Campaign::retry_seed(base.master_seed, base.run_index, attempt);
+    ex.attempts = attempt + 1;
+    ex.last_seed = spec.seed;
+    // The run is single-threaded on this worker, so the thread-local logger
+    // tallies delta-attributed here belong to exactly this attempt.
+    const sim::LogCounts log_before = sim::Logger::thread_counts();
+    const auto run_t0 = std::chrono::steady_clock::now();
+    try {
+      ex.result = fn(spec.seed, spec);
+    } catch (const std::exception& e) {
+      ex.result = RunResult{};
+      ex.result.ok = false;
+      ex.result.error = e.what();
+    } catch (...) {
+      ex.result = RunResult{};
+      ex.result.ok = false;
+      ex.result.error = "unknown exception";
+    }
+    ex.run_wall_s += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - run_t0)
+                         .count();
+    const sim::LogCounts log_after = sim::Logger::thread_counts();
+    ex.result.add_counter(
+        "log.warn", static_cast<double>(log_after.warn - log_before.warn));
+    ex.result.add_counter(
+        "log.error", static_cast<double>(log_after.error - log_before.error));
+    // Virtual-time watchdog: a run that "succeeded" but consumed more
+    // simulated time than allowed is as suspect as one that threw — fail it
+    // with a deterministic message so retry/quarantine handle it uniformly.
+    if (ex.result.ok && cfg.max_run_virtual_seconds > 0 &&
+        ex.result.virtual_seconds > cfg.max_run_virtual_seconds) {
+      const double got = ex.result.virtual_seconds;
+      ex.result = RunResult{};
+      ex.result.ok = false;
+      ex.result.error = "virtual-time watchdog: run consumed " +
+                        std::to_string(got) + "s (limit " +
+                        std::to_string(cfg.max_run_virtual_seconds) + "s)";
+    }
+    if (ex.result.ok || attempt >= cfg.max_retries) return ex;
+    if (cfg.retry_backoff.count() > 0) {
+      // Exponential backoff with deterministic jitter in [0.5, 1.5).
+      // Wall clock only — nothing here feeds back into results.
+      const double jitter =
+          0.5 + sim::Rng(Campaign::retry_seed(base.master_seed, base.run_index,
+                                              attempt))
+                    .fork("backoff")
+                    .uniform();
+      const double scale =
+          static_cast<double>(1ULL << std::min<std::size_t>(attempt, 20)) *
+          jitter;
+      const auto sleep_t0 = std::chrono::steady_clock::now();
+      std::this_thread::sleep_for(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              cfg.retry_backoff * scale));
+      ex.backoff_wall_s += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - sleep_t0)
+                               .count();
+    }
+  }
 }
 
 namespace {
@@ -152,58 +231,25 @@ CampaignResult Campaign::run(const RunFn& fn) {
     out.run_specs.push_back(std::move(spec));
   }
 
-  // Workers claim run indices from a shared counter and write into disjoint
-  // slots of pre-sized vectors; no other state is shared.
-  std::vector<RunResult> results(runs);
-  std::vector<RunOutcome> outcomes(runs);
+  const bool sharded = !cfg_.shard.out_dir.empty();
+  // In-memory mode: workers write into disjoint slots of pre-sized vectors.
+  // Sharded mode: the sink orders and folds; the vectors stay empty.
+  std::vector<RunResult> results(sharded ? 0 : runs);
+  std::vector<RunOutcome> outcomes(sharded ? 0 : runs);
   // Wall-clock profile slots, one per run (disjoint writes; folded into
   // last_profile_ after the join, in index order). Never enters `out`.
   std::vector<double> run_wall(runs, 0), backoff_wall(runs, 0),
       queue_wait(runs, 0);
-  std::atomic<std::size_t> next{0};
-  auto attempt_run = [&](std::size_t i, std::size_t attempt) {
-    RunSpec spec = out.run_specs[i];
-    spec.attempt = attempt;
-    spec.seed = retry_seed(cfg_.master_seed, i, attempt);
-    outcomes[i].attempts = attempt + 1;
-    outcomes[i].last_seed = spec.seed;
-    // The run is single-threaded on this worker, so the thread-local logger
-    // tallies delta-attributed here belong to exactly this attempt.
-    const sim::LogCounts log_before = sim::Logger::thread_counts();
-    const auto run_t0 = std::chrono::steady_clock::now();
-    try {
-      results[i] = fn(spec.seed, spec);
-    } catch (const std::exception& e) {
-      results[i] = RunResult{};
-      results[i].ok = false;
-      results[i].error = e.what();
-    } catch (...) {
-      results[i] = RunResult{};
-      results[i].ok = false;
-      results[i].error = "unknown exception";
-    }
-    run_wall[i] +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      run_t0)
-            .count();
-    const sim::LogCounts log_after = sim::Logger::thread_counts();
-    results[i].add_counter(
-        "log.warn", static_cast<double>(log_after.warn - log_before.warn));
-    results[i].add_counter(
-        "log.error", static_cast<double>(log_after.error - log_before.error));
-    // Virtual-time watchdog: a run that "succeeded" but consumed more
-    // simulated time than allowed is as suspect as one that threw — fail it
-    // with a deterministic message so retry/quarantine handle it uniformly.
-    if (results[i].ok && cfg_.max_run_virtual_seconds > 0 &&
-        results[i].virtual_seconds > cfg_.max_run_virtual_seconds) {
-      const double got = results[i].virtual_seconds;
-      results[i] = RunResult{};
-      results[i].ok = false;
-      results[i].error = "virtual-time watchdog: run consumed " +
-                         std::to_string(got) + "s (limit " +
-                         std::to_string(cfg_.max_run_virtual_seconds) + "s)";
-    }
-  };
+
+  std::unique_ptr<ShardedCampaignSink> sink;
+  std::size_t start = 0;
+  if (sharded) {
+    sink = std::make_unique<ShardedCampaignSink>(cfg_.shard, cfg_.name,
+                                                 cfg_.master_seed, runs);
+    start = sink->committed();  // resume skips the durable prefix
+  }
+
+  std::atomic<std::size_t> next{start};
   const auto t0 = std::chrono::steady_clock::now();
   auto worker = [&] {
     for (;;) {
@@ -212,32 +258,20 @@ CampaignResult Campaign::run(const RunFn& fn) {
       queue_wait[i] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
-      for (std::size_t attempt = 0;; ++attempt) {
-        attempt_run(i, attempt);
-        if (results[i].ok || attempt >= cfg_.max_retries) break;
-        if (cfg_.retry_backoff.count() > 0) {
-          // Exponential backoff with deterministic jitter in [0.5, 1.5).
-          // Wall clock only — nothing here feeds back into results.
-          const double jitter =
-              0.5 + sim::Rng(retry_seed(cfg_.master_seed, i, attempt))
-                        .fork("backoff")
-                        .uniform();
-          const double scale = static_cast<double>(1ULL << std::min<std::size_t>(
-                                   attempt, 20)) *
-                               jitter;
-          const auto sleep_t0 = std::chrono::steady_clock::now();
-          std::this_thread::sleep_for(std::chrono::duration_cast<
-                                      std::chrono::milliseconds>(
-              cfg_.retry_backoff * scale));
-          backoff_wall[i] += std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - sleep_t0)
-                                 .count();
-        }
+      RunExecution ex = execute_run_with_policy(cfg_, fn, out.run_specs[i]);
+      run_wall[i] = ex.run_wall_s;
+      backoff_wall[i] = ex.backoff_wall_s;
+      if (sharded) {
+        sink->submit(i, std::move(ex));
+      } else {
+        outcomes[i] = {ex.attempts, ex.last_seed};
+        results[i] = std::move(ex.result);
       }
     }
   };
 
-  if (jobs <= 1 || runs <= 1) {
+  const std::size_t todo = runs > start ? runs - start : 0;
+  if (jobs <= 1 || todo <= 1) {
     worker();
   } else {
     std::vector<std::thread> pool;
@@ -252,7 +286,7 @@ CampaignResult Campaign::run(const RunFn& fn) {
   // Fold the wall-clock slots into the profile registry (index order for a
   // stable fold, though this registry is explicitly non-deterministic).
   last_profile_.clear();
-  for (std::size_t i = 0; i < runs; ++i) {
+  for (std::size_t i = start; i < runs; ++i) {
     last_profile_.observe("prof.campaign.run_wall", run_wall[i]);
     last_profile_.observe("prof.campaign.queue_wait", queue_wait[i]);
     if (backoff_wall[i] > 0) {
@@ -262,7 +296,18 @@ CampaignResult Campaign::run(const RunFn& fn) {
   last_profile_.set_gauge("prof.campaign.total_wall", last_wall_seconds_);
   last_profile_.set_gauge("prof.campaign.jobs", static_cast<double>(jobs));
 
+  if (sharded) {
+    sink->finalize();  // throws on shard I/O failure — don't mask it
+    sink->fold_into(&out, cfg_.trace);
+    return out;
+  }
   merge_runs(results, outcomes, cfg_.cdf_points, cfg_.trace, &out);
+  if (cfg_.keep_artifacts) {
+    out.run_artifacts.resize(runs);
+    for (std::size_t i = 0; i < runs; ++i) {
+      out.run_artifacts[i] = std::move(results[i].artifacts);
+    }
+  }
   return out;
 }
 

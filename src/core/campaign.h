@@ -45,6 +45,20 @@ struct RunSpec {
   std::size_t attempt = 0;
 };
 
+// Per-run export artifacts a factory may attach to its RunResult: the raw
+// (unstamped) findings and timeline JSONL for that one run. The campaign
+// either streams them into shard files (sharded mode) or moves them into
+// CampaignResult::run_artifacts (in-memory mode with keep_artifacts) so the
+// merged campaign-level findings.jsonl / timeline.jsonl can be produced by
+// either path with byte-identical output.
+struct RunArtifacts {
+  std::string findings_jsonl;  // FindingsJsonlSink::to_string() of this run
+  std::string timeline_jsonl;  // TimelineJsonlSink::to_string() of this run
+  bool empty() const {
+    return findings_jsonl.empty() && timeline_jsonl.empty();
+  }
+};
+
 // What one run hands back: named sample sets (e.g. latencies in seconds,
 // one value per replayed action) and named scalar counters (e.g. bytes
 // transferred, videos completed).
@@ -66,6 +80,9 @@ struct RunResult {
   // loop's final now()). The campaign's virtual-time watchdog fails runs
   // exceeding CampaignConfig::max_run_virtual_seconds; zero = not reported.
   double virtual_seconds = 0;
+  // Optional per-run export artifacts (see RunArtifacts): streamed to shard
+  // files in sharded mode, kept per run when CampaignConfig::keep_artifacts.
+  RunArtifacts artifacts;
 
   void add_sample(const std::string& metric, double v) {
     samples[metric].push_back(v);
@@ -131,14 +148,56 @@ struct CampaignResult {
   // Per-run traces moved out of RunResult, indexed by run.
   std::vector<obs::Tracer> traces;
 
+  // Per-run artifacts moved out of RunResult (in-memory mode only, and only
+  // when CampaignConfig::keep_artifacts — sharded mode streams them to disk
+  // instead of retaining them). Indexed by run; quarantined runs hold empty
+  // entries.
+  std::vector<RunArtifacts> run_artifacts;
+
+  // Move-stable description of one trace process: the spine (run == -1) or
+  // the per-run tracer at traces[run]. Resolve against the CampaignResult
+  // you hold NOW — indices survive moves, pointers would not.
+  struct TraceProcess {
+    std::string label;
+    int run = -1;  // -1 = campaign spine; otherwise index into `traces`
+  };
+  std::vector<TraceProcess> trace_process_refs() const;
+
   // (label, tracer) pairs for TraceEventSink: the campaign spine plus every
-  // run trace that recorded events, labeled "run-N". Pointers borrow from
-  // this result — keep it alive while the sink is in use.
+  // run trace that recorded events, labeled "run-N". The pointers borrow
+  // from THIS object as it is at call time — they are materialized per call,
+  // so after moving a CampaignResult, call trace_processes() again on the
+  // destination (pairs obtained from the moved-from object dangle). Use
+  // trace_process_refs() when the result may move between lookup and use.
   std::vector<std::pair<std::string, const obs::Tracer*>> trace_processes()
       const;
 
   std::size_t failed_runs() const;
   const MetricAggregate* metric(const std::string& name) const;
+};
+
+// Sharded (constant-memory) campaign execution. When `out_dir` is set,
+// Campaign::run streams per-run findings/timeline/metrics JSONL into
+// bounded shard files under out_dir instead of pooling RunResults:
+//   findings-NNNNNN.jsonl   stamped {"run":N,...} findings, run-index order
+//   timeline-NNNNNN.jsonl   stamped {"device":"run-N",...} lines, sorted by
+//                           the (t, device, seq) merge key
+//   metrics-NNNNNN.jsonl    one per-run line: spec/outcome + samples +
+//                           counters + registry snapshot
+//   MANIFEST.json           shard index + durable commit frontier
+// Shards rotate when the payload exceeds shard_bytes (or shard_runs runs),
+// each written atomically (tmp+rename) before the manifest records it, so a
+// killed campaign leaves a consistent prefix that `resume` continues from.
+// The final artifacts come from an external k-way merge over the shards and
+// are byte-identical to the in-memory path at any --jobs.
+struct CampaignShardConfig {
+  std::string out_dir;  // empty => in-memory mode (pool RunResults)
+  std::size_t shard_bytes = 4u << 20;  // rotate when payload exceeds this
+  std::size_t shard_runs = 0;          // also rotate every N runs (0 = off)
+  // Adopt an existing MANIFEST.json in out_dir: replay closed shards into
+  // the aggregates and continue at the durable frontier. Campaign identity
+  // (name, master_seed, runs) must match or Campaign::run throws.
+  bool resume = false;
 };
 
 struct CampaignConfig {
@@ -163,11 +222,49 @@ struct CampaignConfig {
   // Build the campaign-spine trace (CampaignResult::trace). Factories opt
   // their own per-run tracers in independently (RunResult::trace).
   bool trace = false;
+
+  // In-memory mode: move each run's RunArtifacts into
+  // CampaignResult::run_artifacts instead of dropping them. Off by default
+  // (it pools O(runs) artifact bytes — the thing sharded mode exists to
+  // avoid). Ignored in sharded mode, which always streams artifacts.
+  bool keep_artifacts = false;
+
+  // Sharded streaming execution; active when shard.out_dir is non-empty.
+  // Sharded campaigns keep O(shard) memory: CampaignResult then carries
+  // summaries/specs/quarantine info but no pooled samples, per-run traces
+  // or cdf (metrics summaries use streaming folds — exact n/min/max,
+  // Welford stddev, histogram-derived percentiles — documented in
+  // DESIGN.md §5g). Findings/timeline/metrics artifacts merged from the
+  // shards are byte-identical to the in-memory path.
+  CampaignShardConfig shard;
+};
+
+// Factory for one self-contained run (see RunFn below) executed through the
+// full per-run policy: retry loop with reseeded attempts, deterministic
+// exponential backoff, exception capture and the virtual-time watchdog.
+// Shared by Campaign::run's workers and the service-mode scheduler so both
+// paths fail/retry/quarantine identically.
+struct RunExecution {
+  RunResult result;
+  std::size_t attempts = 0;     // attempts consumed (1 = no retry)
+  std::uint64_t last_seed = 0;  // seed of the final attempt
+  // Wall-clock profile (never enters deterministic artifacts).
+  double run_wall_s = 0;      // time inside the factory, all attempts
+  double backoff_wall_s = 0;  // time sleeping between attempts
 };
 
 // Factory for one self-contained run. Must not touch state shared with other
 // runs; everything stochastic must derive from `seed` (== spec.seed).
 using RunFn = std::function<RunResult(std::uint64_t seed, const RunSpec&)>;
+
+// Executes ONE run through the campaign's retry/backoff/watchdog policy
+// (only the policy fields of `cfg` are read). Seeds derive from
+// (base.master_seed, base.run_index, attempt) via Campaign::retry_seed, so
+// the outcome is deterministic regardless of which thread or process runs
+// it — this is what lets `qoed_cli serve` schedule ad-hoc submissions with
+// exactly the batch campaign's failure semantics.
+RunExecution execute_run_with_policy(const CampaignConfig& cfg,
+                                     const RunFn& fn, RunSpec base);
 
 class Campaign {
  public:

@@ -1,12 +1,21 @@
-// Minimal JSON emission helpers shared by the exporters (log_export,
-// export_sink). Numbers use %.17g so distinct doubles never collapse to the
-// same text (round-trip precision) — two bit-identical results therefore
-// produce byte-identical JSON; strings escape the minimum JSON set.
+// Minimal JSON emission and parsing helpers shared by the exporters
+// (log_export, export_sink) and the shard/service layers. Numbers use %.17g
+// so distinct doubles never collapse to the same text (round-trip precision)
+// — two bit-identical results therefore produce byte-identical JSON; strings
+// escape the minimum JSON set. The parser below is the inverse: it reads
+// exactly the JSON this codebase emits (objects, arrays, strings with the
+// escape set above, finite numbers, booleans), which is all the shard merge
+// and the serve protocol ever need to consume.
 #pragma once
 
+#include <cctype>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace qoed::core {
 
@@ -44,5 +53,221 @@ inline void put_json_string(std::ostream& os, const std::string& s) {
   }
   os << '"';
 }
+
+// Cursor-based pull parser over a JSON text. All methods return false on a
+// grammar mismatch and leave the cursor in an unspecified position; callers
+// treat any false as "malformed input". Keys and values must be consumed in
+// document order — this is a streaming reader, not a DOM.
+//
+//   JsonLiteParser p(line);
+//   std::string key;
+//   if (!p.enter_object()) ...;
+//   while (p.next_key(&key)) {
+//     if (key == "t") p.read_number(&t); else p.skip_value();
+//   }
+class JsonLiteParser {
+ public:
+  explicit JsonLiteParser(std::string_view text) : text_(text) {}
+
+  // Consumes '{'. The matching next_key loop ends (returns false) at '}'.
+  bool enter_object() {
+    skip_ws();
+    if (!consume('{')) return false;
+    stack_.push_back(true);
+    return true;
+  }
+
+  // Advances to the next "key": inside the current object; false at the
+  // closing '}' (which it consumes) or on malformed input.
+  bool next_key(std::string* key) {
+    skip_ws();
+    if (consume('}')) {
+      if (!stack_.empty()) stack_.pop_back();
+      return false;
+    }
+    if (!separator()) return false;
+    if (!read_string(key)) return false;
+    skip_ws();
+    return consume(':');
+  }
+
+  // Consumes '['. array_next returns false at ']' (consuming it); call it
+  // before reading each element.
+  bool enter_array() {
+    skip_ws();
+    if (!consume('[')) return false;
+    stack_.push_back(true);
+    return true;
+  }
+  bool array_next() {
+    skip_ws();
+    if (consume(']')) {
+      if (!stack_.empty()) stack_.pop_back();
+      return false;
+    }
+    return separator();
+  }
+
+  bool read_string(std::string* out) {
+    skip_ws();
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          // Our emitter only writes \u00XX for control bytes; decode the
+          // low byte and ignore anything outside latin-1 (never produced).
+          out->push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool read_number(double* out) {
+    skip_ws();
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    *out = v;
+    return true;
+  }
+
+  // Exact unsigned-64 parse; use for seeds/ids, which exceed the 2^53
+  // mantissa a double round-trips.
+  bool read_uint64(std::uint64_t* out) {
+    skip_ws();
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(start, &end, 10);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+  }
+
+  bool read_bool(bool* out) {
+    skip_ws();
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      *out = true;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      *out = false;
+      return true;
+    }
+    return false;
+  }
+
+  // Returns the raw text of the next value (balanced object/array, string,
+  // or scalar token) and advances past it. Useful for delegating a nested
+  // section to another parser without materializing it.
+  bool raw_value(std::string_view* out) {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (!skip_value()) return false;
+    *out = text_.substr(start, pos_ - start);
+    return true;
+  }
+
+  bool skip_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string scratch;
+      return read_string(&scratch);
+    }
+    if (c == '{' || c == '[') {
+      // Balanced scan, string-aware.
+      int depth = 0;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (d == '"') {
+          std::string scratch;
+          if (!read_string(&scratch)) return false;
+          continue;
+        }
+        ++pos_;
+        if (d == '{' || d == '[') ++depth;
+        if (d == '}' || d == ']') {
+          if (--depth == 0) return true;
+        }
+      }
+      return false;
+    }
+    // Scalar token: number / true / false / null.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '+' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  // Consumes the ',' between members of the innermost open container
+  // (tracked per nesting level so sibling containers don't share state).
+  bool separator() {
+    if (stack_.empty()) return false;
+    if (stack_.back()) {
+      stack_.back() = false;
+      return true;
+    }
+    if (!consume(',')) return false;
+    skip_ws();
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::vector<bool> stack_;  // per open container: "next member is first"
+};
 
 }  // namespace qoed::core

@@ -1,0 +1,696 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/json_util.h"
+
+namespace qoed::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string shard_file(const std::string& out_dir, const char* kind,
+                       std::size_t index) {
+  char num[16];
+  std::snprintf(num, sizeof(num), "%06zu", index);
+  return out_dir + "/" + kind + "-" + num + ".jsonl";
+}
+
+std::string manifest_path(const std::string& out_dir) {
+  return out_dir + "/MANIFEST.json";
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!os) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+bool read_shard_manifest(const std::string& out_dir, ShardManifest* out,
+                         std::string* error) {
+  const auto fail = [error](const char* msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  std::ifstream in(manifest_path(out_dir), std::ios::binary);
+  if (!in) return fail("no manifest");
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+  JsonLiteParser p(text);
+  if (!p.enter_object()) return fail("manifest: expected object");
+  *out = ShardManifest{};
+  std::string key;
+  while (p.next_key(&key)) {
+    bool parsed = true;
+    if (key == "campaign") {
+      parsed = p.read_string(&out->campaign);
+    } else if (key == "master_seed") {
+      parsed = p.read_uint64(&out->master_seed);
+    } else if (key == "runs") {
+      std::uint64_t v = 0;
+      parsed = p.read_uint64(&v);
+      out->runs = static_cast<std::size_t>(v);
+    } else if (key == "complete") {
+      parsed = p.read_bool(&out->complete);
+    } else if (key == "shards") {
+      parsed = p.enter_array();
+      while (parsed && p.array_next()) {
+        parsed = p.enter_object();
+        ShardInfo info;
+        std::string skey;
+        while (parsed && p.next_key(&skey)) {
+          std::uint64_t v = 0;
+          parsed = p.read_uint64(&v);
+          if (skey == "index") {
+            info.index = static_cast<std::size_t>(v);
+          } else if (skey == "run_begin") {
+            info.run_begin = static_cast<std::size_t>(v);
+          } else if (skey == "run_end") {
+            info.run_end = static_cast<std::size_t>(v);
+          }
+        }
+        out->shards.push_back(info);
+      }
+    } else {
+      parsed = p.skip_value();
+    }
+    if (!parsed) return fail("manifest: malformed value");
+  }
+  return true;
+}
+
+void stamp_findings(std::size_t run_index, std::string_view findings_jsonl,
+                    std::string* out) {
+  const std::string stamp = "{\"run\":" + std::to_string(run_index) + ",";
+  std::string_view rest = findings_jsonl;
+  while (!rest.empty()) {
+    const auto nl = rest.find('\n');
+    const std::string_view line = rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(nl + 1);
+    if (line.empty()) continue;
+    if (line.front() == '{') {
+      const std::string_view body = line.substr(1);
+      out->append(stamp, 0, body == "}" ? stamp.size() - 1 : stamp.size());
+      out->append(body);
+    } else {
+      out->append(line);  // non-object lines pass through unchanged
+    }
+    out->push_back('\n');
+  }
+}
+
+std::string encode_metrics_line(std::size_t run_index,
+                                const RunExecution& ex) {
+  const RunResult& r = ex.result;
+  std::ostringstream os;
+  os << "{\"run\":" << run_index << ",\"attempts\":" << ex.attempts
+     << ",\"seed\":" << ex.last_seed << ",\"ok\":" << (r.ok ? "true" : "false")
+     << ",\"error\":";
+  put_json_string(os, r.error);
+  os << ",\"virtual_s\":";
+  put_json_number(os, r.virtual_seconds);
+  os << ",\"samples\":{";
+  bool first = true;
+  for (const auto& [name, vals] : r.samples) {
+    if (!first) os << ',';
+    first = false;
+    put_json_string(os, name);
+    os << ":[";
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      if (i) os << ',';
+      put_json_number(os, vals[i]);
+    }
+    os << ']';
+  }
+  os << "},\"counters\":{";
+  first = true;
+  for (const auto& [name, v] : r.counters) {
+    if (!first) os << ',';
+    first = false;
+    put_json_string(os, name);
+    os << ':';
+    put_json_number(os, v);
+  }
+  os << "},\"registry\":";
+  r.registry.write_json(os);
+  os << '}';
+  return os.str();
+}
+
+// ---- ShardedCampaignSink ----
+
+void ShardedCampaignSink::Welford::add(double v) {
+  if (n == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++n;
+  const double d = v - mean;
+  mean += d / static_cast<double>(n);
+  m2 += d * (v - mean);
+}
+
+ShardedCampaignSink::ShardedCampaignSink(const CampaignShardConfig& cfg,
+                                         std::string campaign,
+                                         std::uint64_t master_seed,
+                                         std::size_t planned_runs)
+    : cfg_(cfg) {
+  manifest_.campaign = std::move(campaign);
+  manifest_.master_seed = master_seed;
+  manifest_.runs = planned_runs;
+  if (planned_runs > 0) meta_.resize(planned_runs);
+  if (cfg_.out_dir.empty()) return;
+
+  std::error_code ec;
+  fs::create_directories(cfg_.out_dir, ec);
+  if (ec) {
+    throw std::runtime_error("shard: cannot create out dir " + cfg_.out_dir);
+  }
+  ShardManifest existing;
+  if (cfg_.resume && read_shard_manifest(cfg_.out_dir, &existing)) {
+    if (existing.campaign != manifest_.campaign ||
+        existing.master_seed != manifest_.master_seed ||
+        (planned_runs > 0 && existing.runs != planned_runs)) {
+      throw std::runtime_error(
+          "shard resume: MANIFEST.json in " + cfg_.out_dir +
+          " belongs to a different campaign (name/master_seed/runs "
+          "mismatch)");
+    }
+    manifest_.shards = existing.shards;
+    replay_closed_shards();
+    frontier_ = manifest_.committed();
+    shard_run_begin_ = frontier_;
+  } else if (!cfg_.resume) {
+    fs::remove(manifest_path(cfg_.out_dir), ec);
+  }
+  // Pending spill files never survive a process: stale ones belong to runs
+  // past the durable frontier, which will be re-executed.
+  for (const auto& entry : fs::directory_iterator(cfg_.out_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("pending-", 0) == 0 ||
+        (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0)) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::size_t ShardedCampaignSink::committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frontier_;
+}
+
+void ShardedCampaignSink::set_commit_hook(CommitHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hook_ = std::move(hook);
+}
+
+std::string ShardedCampaignSink::shard_path(const char* kind,
+                                            std::size_t index) const {
+  return shard_file(cfg_.out_dir, kind, index);
+}
+
+std::string ShardedCampaignSink::pending_path(std::size_t run_index) const {
+  return cfg_.out_dir + "/pending-" + std::to_string(run_index);
+}
+
+void ShardedCampaignSink::submit(std::size_t run_index, RunExecution&& ex) {
+  // Serialization happens on the worker, outside the lock.
+  std::string metrics_line = encode_metrics_line(run_index, ex);
+  std::string findings = std::move(ex.result.artifacts.findings_jsonl);
+  std::string timeline = std::move(ex.result.artifacts.timeline_jsonl);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (run_index < frontier_) return;  // resume overlap; already durable
+  if (run_index != frontier_) {
+    Pending p;
+    if (!cfg_.out_dir.empty()) {
+      // Spill out-of-order completions so memory stays O(shard budget)
+      // even when one slow run stalls the frontier.
+      std::ofstream os(pending_path(run_index),
+                       std::ios::binary | std::ios::trunc);
+      os << metrics_line.size() << ' ' << findings.size() << ' '
+         << timeline.size() << '\n';
+      os.write(metrics_line.data(),
+               static_cast<std::streamsize>(metrics_line.size()));
+      os.write(findings.data(), static_cast<std::streamsize>(findings.size()));
+      os.write(timeline.data(), static_cast<std::streamsize>(timeline.size()));
+      if (os) {
+        p.spilled = true;
+      } else {  // disk trouble: keep it in memory rather than lose the run
+        p.metrics = std::move(metrics_line);
+        p.findings = std::move(findings);
+        p.timeline = std::move(timeline);
+      }
+    } else {
+      p.metrics = std::move(metrics_line);
+      p.findings = std::move(findings);
+      p.timeline = std::move(timeline);
+    }
+    pending_.emplace(run_index, std::move(p));
+    return;
+  }
+  commit_locked(run_index, metrics_line, std::move(findings),
+                std::move(timeline));
+  // Drain every spilled/parked successor the new frontier unblocks.
+  for (auto it = pending_.find(frontier_); it != pending_.end();
+       it = pending_.find(frontier_)) {
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    const std::size_t idx = frontier_;
+    if (p.spilled) {
+      std::ifstream in(pending_path(idx), std::ios::binary);
+      std::size_t m = 0, f = 0, t = 0;
+      in >> m >> f >> t;
+      in.get();  // the '\n' after the header
+      p.metrics.resize(m);
+      p.findings.resize(f);
+      p.timeline.resize(t);
+      in.read(p.metrics.data(), static_cast<std::streamsize>(m));
+      in.read(p.findings.data(), static_cast<std::streamsize>(f));
+      in.read(p.timeline.data(), static_cast<std::streamsize>(t));
+      if (!in) {
+        io_error_ = "shard: cannot read back " + pending_path(idx);
+        return;
+      }
+      std::error_code ec;
+      fs::remove(pending_path(idx), ec);
+    }
+    commit_locked(idx, p.metrics, std::move(p.findings),
+                  std::move(p.timeline));
+  }
+}
+
+bool ShardedCampaignSink::fold_metrics_line(std::string_view line,
+                                            ParsedOutcome* out) {
+  JsonLiteParser p(line);
+  if (!p.enter_object()) return false;
+  std::string key;
+  std::uint64_t u = 0;
+  while (p.next_key(&key)) {
+    bool parsed = true;
+    if (key == "run") {
+      parsed = p.read_uint64(&u);
+      out->run = static_cast<std::size_t>(u);
+    } else if (key == "attempts") {
+      parsed = p.read_uint64(&u);
+      out->attempts = static_cast<std::size_t>(u);
+    } else if (key == "seed") {
+      parsed = p.read_uint64(&out->seed);
+    } else if (key == "ok") {
+      parsed = p.read_bool(&out->ok);
+    } else if (key == "error") {
+      parsed = p.read_string(&out->error);
+    } else if (key == "virtual_s") {
+      parsed = p.read_number(&out->virtual_seconds);
+    } else if (key == "samples") {
+      // Quarantined runs contribute nothing — same rule as the in-memory
+      // merge. "ok" precedes the payload sections in the line format.
+      if (!out->ok) {
+        parsed = p.skip_value();
+      } else {
+        parsed = p.enter_object();
+        std::string name;
+        double v = 0;
+        while (parsed && p.next_key(&name)) {
+          parsed = p.enter_array();
+          MetricAccum& acc = metrics_[name];
+          double sum = 0;
+          std::uint64_t count = 0;
+          while (parsed && p.array_next()) {
+            parsed = p.read_number(&v);
+            acc.pooled.add(v);
+            sum += v;
+            ++count;
+          }
+          if (count > 0) {
+            const double run_mean = sum / static_cast<double>(count);
+            acc.run_means.add(run_mean);
+            if (acc.mean_hist.counts.empty()) {
+              acc.mean_hist.bounds = obs::default_bounds();
+              acc.mean_hist.counts.assign(acc.mean_hist.bounds.size() + 1, 0);
+            }
+            acc.mean_hist.observe(std::llround(run_mean * 1e6));
+          }
+        }
+      }
+    } else if (key == "counters") {
+      if (!out->ok) {
+        parsed = p.skip_value();
+      } else {
+        parsed = p.enter_object();
+        std::string name;
+        double v = 0;
+        while (parsed && p.next_key(&name)) {
+          parsed = p.read_number(&v);
+          counters_[name] += v;
+        }
+      }
+    } else if (key == "registry") {
+      parsed = p.raw_value(&out->registry);
+      if (parsed && out->ok) {
+        parsed = registry_.merge_from_json(out->registry);
+      }
+    } else {
+      parsed = p.skip_value();
+    }
+    if (!parsed) return false;
+  }
+  return true;
+}
+
+void ShardedCampaignSink::commit_locked(std::size_t run_index,
+                                        const std::string& metrics_line,
+                                        std::string&& findings,
+                                        std::string&& timeline) {
+  ParsedOutcome po;
+  if (!fold_metrics_line(metrics_line, &po)) {
+    po = ParsedOutcome{};
+    po.run = run_index;
+    po.attempts = 1;
+    po.ok = false;
+    po.error = "shard: malformed metrics line";
+  }
+  if (meta_.size() <= run_index) meta_.resize(run_index + 1);
+  RunMeta& m = meta_[run_index];
+  m.attempts = static_cast<std::uint32_t>(po.attempts);
+  m.ok = po.ok;
+  m.last_seed = po.seed;
+  m.virtual_seconds = po.virtual_seconds;
+  m.error = po.ok ? std::string() : po.error;
+  total_attempts_ += po.attempts;
+  if (!po.ok) ++quarantined_;
+
+  if (!cfg_.out_dir.empty()) {
+    stamp_findings(run_index, findings, &findings_buf_);
+    metrics_buf_ += metrics_line;
+    metrics_buf_ += '\n';
+  }
+  if (hook_) {
+    Commit c;
+    c.run_index = run_index;
+    c.attempts = po.attempts;
+    c.last_seed = po.seed;
+    c.ok = po.ok;
+    c.error = po.error;
+    c.virtual_seconds = po.virtual_seconds;
+    c.findings_jsonl = findings;
+    c.registry_json = po.registry;
+    hook_(c);
+  }
+  if (!cfg_.out_dir.empty()) {
+    timeline_bytes_ += timeline.size();
+    timeline_entries_.push_back(
+        {"run-" + std::to_string(run_index), std::move(timeline)});
+  }
+  ++frontier_;
+
+  if (cfg_.out_dir.empty()) return;
+  const std::size_t bytes =
+      findings_buf_.size() + metrics_buf_.size() + timeline_bytes_;
+  const std::size_t runs_in_shard = frontier_ - shard_run_begin_;
+  if ((cfg_.shard_bytes > 0 && bytes >= cfg_.shard_bytes) ||
+      (cfg_.shard_runs > 0 && runs_in_shard >= cfg_.shard_runs)) {
+    close_shard_locked();
+  }
+}
+
+void ShardedCampaignSink::close_shard_locked() {
+  if (frontier_ == shard_run_begin_) return;  // nothing buffered
+  if (cfg_.out_dir.empty()) {
+    shard_run_begin_ = frontier_;
+    return;
+  }
+  if (!io_error_.empty()) return;  // don't extend a broken prefix
+  const std::size_t index = manifest_.shards.size();
+  // Artifacts first, manifest last: a crash in between leaves unlisted
+  // files that the next resume simply overwrites.
+  if (!write_file_atomic(shard_path("findings", index), findings_buf_) ||
+      !write_file_atomic(shard_path("timeline", index),
+                         merge_timelines(timeline_entries_)) ||
+      !write_file_atomic(shard_path("metrics", index), metrics_buf_)) {
+    io_error_ = "shard: cannot write shard " + std::to_string(index) +
+                " under " + cfg_.out_dir;
+    return;
+  }
+  manifest_.shards.push_back({index, shard_run_begin_, frontier_});
+  write_manifest_locked();
+  findings_buf_.clear();
+  metrics_buf_.clear();
+  timeline_entries_.clear();
+  timeline_bytes_ = 0;
+  shard_run_begin_ = frontier_;
+}
+
+void ShardedCampaignSink::write_manifest_locked() {
+  std::ostringstream os;
+  os << "{\"campaign\":";
+  put_json_string(os, manifest_.campaign);
+  os << ",\"master_seed\":" << manifest_.master_seed
+     << ",\"runs\":" << manifest_.runs
+     << ",\"complete\":" << (manifest_.complete ? "true" : "false")
+     << ",\"shards\":[";
+  for (std::size_t i = 0; i < manifest_.shards.size(); ++i) {
+    const ShardInfo& s = manifest_.shards[i];
+    if (i) os << ',';
+    os << "{\"index\":" << s.index << ",\"run_begin\":" << s.run_begin
+       << ",\"run_end\":" << s.run_end << '}';
+  }
+  os << "]}";
+  if (!write_file_atomic(manifest_path(cfg_.out_dir), os.str())) {
+    io_error_ = "shard: cannot write MANIFEST.json under " + cfg_.out_dir;
+  }
+}
+
+void ShardedCampaignSink::replay_closed_shards() {
+  for (const ShardInfo& info : manifest_.shards) {
+    std::ifstream in(shard_path("metrics", info.index), std::ios::binary);
+    if (!in) {
+      throw std::runtime_error("shard resume: manifest lists " +
+                               shard_path("metrics", info.index) +
+                               " but it cannot be read");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ParsedOutcome po;
+      if (!fold_metrics_line(line, &po)) {
+        throw std::runtime_error("shard resume: malformed metrics line in " +
+                                 shard_path("metrics", info.index));
+      }
+      if (meta_.size() <= po.run) meta_.resize(po.run + 1);
+      RunMeta& m = meta_[po.run];
+      m.attempts = static_cast<std::uint32_t>(po.attempts);
+      m.ok = po.ok;
+      m.last_seed = po.seed;
+      m.virtual_seconds = po.virtual_seconds;
+      m.error = po.ok ? std::string() : po.error;
+      total_attempts_ += po.attempts;
+      if (!po.ok) ++quarantined_;
+    }
+  }
+}
+
+void ShardedCampaignSink::finalize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  close_shard_locked();
+  if (manifest_.runs == 0) manifest_.runs = frontier_;  // open-ended service
+  manifest_.complete =
+      io_error_.empty() && pending_.empty() && frontier_ >= manifest_.runs;
+  if (!cfg_.out_dir.empty()) write_manifest_locked();
+  if (!io_error_.empty()) throw std::runtime_error(io_error_);
+}
+
+namespace {
+
+Summary streaming_summary(std::uint64_t n, double mean, double m2, double min,
+                          double max,
+                          const obs::MetricsRegistry::Histogram* hist) {
+  Summary s;
+  if (n == 0) return s;
+  s.n = static_cast<std::size_t>(n);
+  s.mean = mean;
+  s.stddev = std::sqrt(std::max(0.0, m2 / static_cast<double>(n)));
+  s.min = min;
+  s.max = max;
+  if (hist != nullptr && hist->count > 0) {
+    s.p50 = obs::histogram_quantile(*hist, 0.50);
+    s.p90 = obs::histogram_quantile(*hist, 0.90);
+    s.p99 = obs::histogram_quantile(*hist, 0.99);
+  }
+  return s;
+}
+
+}  // namespace
+
+void ShardedCampaignSink::fold_into(CampaignResult* out,
+                                    bool build_trace) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->run_errors.reserve(meta_.size());
+  out->run_attempts.reserve(meta_.size());
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    const RunMeta& m = meta_[i];
+    out->run_errors.push_back(m.error);
+    out->run_attempts.push_back(m.attempts);
+    if (!m.ok) {
+      out->quarantined.push_back({i, m.attempts, m.last_seed, m.error});
+    }
+  }
+  out->counters = counters_;
+  out->registry = registry_;
+  out->registry.add_counter("campaign.run_attempts",
+                            static_cast<double>(total_attempts_));
+  out->registry.add_counter("campaign.quarantined",
+                            static_cast<double>(quarantined_));
+  for (const auto& [name, acc] : metrics_) {
+    MetricAggregate& agg = out->metrics[name];
+    agg.pooled =
+        streaming_summary(acc.pooled.n, acc.pooled.mean, acc.pooled.m2,
+                          acc.pooled.min, acc.pooled.max,
+                          out->registry.find_histogram(name));
+    agg.per_run_means = streaming_summary(
+        acc.run_means.n, acc.run_means.mean, acc.run_means.m2,
+        acc.run_means.min, acc.run_means.max,
+        acc.mean_hist.count > 0 ? &acc.mean_hist : nullptr);
+  }
+  out->trace.set_enabled(build_trace);
+  if (build_trace) {
+    // Same spine rows the in-memory merge builds, from the streamed
+    // metadata: worker identity and completion order never reach it.
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      const RunMeta& m = meta_[i];
+      const std::uint32_t track =
+          out->trace.track("run-" + std::to_string(i));
+      const sim::TimePoint t0;
+      const sim::TimePoint t1{sim::sec_f(m.virtual_seconds)};
+      const auto id = out->trace.span_open(
+          track, out->name, "campaign", t0,
+          "{\"seed\":" + std::to_string(m.last_seed) +
+              ",\"attempts\":" + std::to_string(m.attempts) + "}");
+      for (std::size_t a = 1; a < m.attempts; ++a) {
+        out->trace.instant(track, "retry", "campaign", t0);
+      }
+      if (!m.ok) out->trace.instant(track, "quarantined", "campaign", t1);
+      out->trace.span_close(id, t1);
+    }
+  }
+}
+
+// ---- merged-artifact sinks ----
+
+void ShardFindingsMergeSink::write(std::ostream& os) const {
+  ShardManifest manifest;
+  if (!read_shard_manifest(out_dir_, &manifest)) return;
+  for (const ShardInfo& info : manifest.shards) {
+    std::ifstream in(shard_file(out_dir_, "findings", info.index),
+                     std::ios::binary);
+    // Skip empty shards (runs with no findings): inserting a zero-length
+    // rdbuf would set failbit on `os` and abort the whole export.
+    if (in && in.peek() != std::char_traits<char>::eof()) os << in.rdbuf();
+  }
+}
+
+void ShardTimelineMergeSink::write(std::ostream& os) const {
+  ShardManifest manifest;
+  if (!read_shard_manifest(out_dir_, &manifest)) return;
+  std::vector<std::ifstream> files;
+  files.reserve(manifest.shards.size());
+  for (const ShardInfo& info : manifest.shards) {
+    files.emplace_back(shard_file(out_dir_, "timeline", info.index),
+                       std::ios::binary);
+  }
+  std::vector<std::istream*> streams;
+  streams.reserve(files.size());
+  for (std::ifstream& f : files) streams.push_back(&f);
+  merge_sorted_timeline_streams(streams, os);
+}
+
+void ShardMetricsMergeSink::write(std::ostream& os) const {
+  obs::MetricsRegistry registry;
+  std::size_t total_attempts = 0, quarantined = 0;
+  ShardManifest manifest;
+  if (read_shard_manifest(out_dir_, &manifest)) {
+    for (const ShardInfo& info : manifest.shards) {
+      std::ifstream in(shard_file(out_dir_, "metrics", info.index),
+                       std::ios::binary);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        JsonLiteParser p(line);
+        if (!p.enter_object()) continue;
+        std::string key;
+        bool ok = true;
+        std::uint64_t attempts = 0;
+        std::string_view reg;
+        bool parsed = true;
+        while (parsed && p.next_key(&key)) {
+          if (key == "attempts") {
+            parsed = p.read_uint64(&attempts);
+          } else if (key == "ok") {
+            parsed = p.read_bool(&ok);
+          } else if (key == "registry") {
+            parsed = p.raw_value(&reg);
+          } else {
+            parsed = p.skip_value();
+          }
+        }
+        if (!parsed) continue;
+        total_attempts += static_cast<std::size_t>(attempts);
+        if (!ok) {
+          ++quarantined;
+        } else if (!reg.empty()) {
+          registry.merge_from_json(reg);
+        }
+      }
+    }
+  }
+  registry.add_counter("campaign.run_attempts",
+                       static_cast<double>(total_attempts));
+  registry.add_counter("campaign.quarantined",
+                       static_cast<double>(quarantined));
+  registry.write_json(os);
+  os << '\n';
+}
+
+// ---- in-memory mirror sinks ----
+
+void CampaignFindingsSink::write(std::ostream& os) const {
+  std::string buf;
+  for (std::size_t i = 0; i < result_->run_artifacts.size(); ++i) {
+    buf.clear();
+    stamp_findings(i, result_->run_artifacts[i].findings_jsonl, &buf);
+    os << buf;
+  }
+}
+
+void CampaignTimelineSink::write(std::ostream& os) const {
+  std::vector<DeviceTimeline> inputs;
+  inputs.reserve(result_->run_artifacts.size());
+  for (std::size_t i = 0; i < result_->run_artifacts.size(); ++i) {
+    if (result_->run_artifacts[i].timeline_jsonl.empty()) continue;
+    inputs.push_back({"run-" + std::to_string(i),
+                      result_->run_artifacts[i].timeline_jsonl});
+  }
+  os << merge_timelines(inputs);
+}
+
+}  // namespace qoed::core

@@ -1,0 +1,269 @@
+// Constant-memory sharded campaign execution (DESIGN.md §5g).
+//
+// The in-memory campaign pools every RunResult and exports one artifact at
+// the end — O(total artifact bytes) memory, fine for hundreds of runs, not
+// for a simulated metro fleet. ShardedCampaignSink inverts that: workers
+// stream each run's findings/timeline/metrics JSONL into bounded shard
+// files, rotated at a byte budget and written atomically (tmp+rename)
+// BEFORE the manifest records them, so a killed campaign leaves a
+// consistent prefix that a resume continues from. The final artifacts come
+// from an external merge over the shards:
+//
+//   findings.jsonl  = concatenation of findings shards (run-index order)
+//   timeline.jsonl  = k-way merge of the per-shard (t, device, seq)-sorted
+//                     timeline shards (core::merge_sorted_timeline_streams)
+//   metrics.json    = index-ordered fold of the per-run registry snapshots
+//                     (obs::MetricsRegistry::merge_from_json)
+//
+// Determinism: runs are committed strictly in run-index order regardless of
+// worker completion order (out-of-order payloads spill to pending files, so
+// memory stays O(shard budget)); every fold happens at commit from the
+// serialized line bytes, and %.17g doubles round-trip exactly — so the
+// merged artifacts are byte-identical to the in-memory path at any --jobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/export_sink.h"
+#include "core/timeline_merge.h"
+#include "obs/metrics.h"
+
+namespace qoed::core {
+
+// Atomic write shared by shards, manifests and merged artifacts: the
+// content lands under a temporary name and is renamed into place, so a
+// reader never observes a partial file. False on I/O failure.
+bool write_file_atomic(const std::string& path, const std::string& content);
+
+struct ShardInfo {
+  std::size_t index = 0;
+  std::size_t run_begin = 0;  // first run committed to this shard
+  std::size_t run_end = 0;    // one past the last
+};
+
+// out_dir/MANIFEST.json — the durable index of a sharded campaign. Only
+// shards listed here exist as far as readers are concerned; files written
+// after the last manifest update are overwritten on resume.
+struct ShardManifest {
+  std::string campaign;
+  std::uint64_t master_seed = 0;
+  std::size_t runs = 0;   // planned campaign size (0 = open-ended service)
+  bool complete = false;  // finalize() saw every planned run committed
+  std::vector<ShardInfo> shards;
+
+  // Durable commit frontier: every run below this is safely on disk.
+  std::size_t committed() const {
+    return shards.empty() ? 0 : shards.back().run_end;
+  }
+};
+
+// Reads out_dir/MANIFEST.json; false when absent or malformed.
+bool read_shard_manifest(const std::string& out_dir, ShardManifest* out,
+                         std::string* error = nullptr);
+
+// Stamps one run's raw findings JSONL with its run index, turning
+// {"i":0,...} into {"run":7,"i":0,...} — the exact transformation both the
+// sharded and the in-memory merged findings artifact apply, so the two are
+// byte-comparable.
+void stamp_findings(std::size_t run_index, std::string_view findings_jsonl,
+                    std::string* out);
+
+// One metrics-shard line: the run's identity, outcome, samples, counters
+// and registry snapshot. This line is the unit of both the aggregate fold
+// and crash recovery — resume replays closed metrics shards through the
+// same fold that live commits use.
+std::string encode_metrics_line(std::size_t run_index, const RunExecution& ex);
+
+// Thread-safe streaming sink for campaign runs. Workers submit completed
+// RunExecutions in any order; the sink commits them strictly in run-index
+// order, folding aggregates and buffering artifact bytes until the open
+// shard exceeds its budget and rotates to disk. With an empty out_dir it
+// degrades to an in-memory ordering/fold stage (used by `qoed_cli serve`
+// without an artifact directory).
+class ShardedCampaignSink {
+ public:
+  // What a commit hook observes — fired under the sink lock, strictly in
+  // run-index order. Views borrow from the commit in flight; copy to keep.
+  struct Commit {
+    std::size_t run_index = 0;
+    std::size_t attempts = 0;
+    std::uint64_t last_seed = 0;
+    bool ok = true;
+    std::string_view error;
+    double virtual_seconds = 0;
+    std::string_view findings_jsonl;  // raw (unstamped) findings lines
+    std::string_view registry_json;   // this run's registry snapshot
+  };
+  using CommitHook = std::function<void(const Commit&)>;
+
+  // Creates out_dir if needed. With cfg.resume and a matching manifest,
+  // replays the closed shards into the aggregates and continues at the
+  // durable frontier; a manifest disagreeing on (campaign, master_seed,
+  // runs) throws std::runtime_error. Without resume, stale manifest and
+  // pending files in out_dir are removed.
+  ShardedCampaignSink(const CampaignShardConfig& cfg, std::string campaign,
+                      std::uint64_t master_seed, std::size_t planned_runs);
+
+  // The commit frontier: every run below it is folded (and durable when
+  // sharding to disk). Campaign::run starts its index counter here.
+  std::size_t committed() const;
+
+  void set_commit_hook(CommitHook hook);
+
+  // Thread-safe. Accepts any run index >= the frontier; indices already
+  // committed (resume overlap) are dropped.
+  void submit(std::size_t run_index, RunExecution&& ex);
+
+  // Closes the open shard, writes the final manifest (complete=true when
+  // every planned run is in). Call once, after all workers joined.
+  void finalize();
+
+  // Fills a CampaignResult from the streaming aggregates: run_errors /
+  // run_attempts / quarantined / counters / registry (+ campaign.* totals),
+  // metric summaries (exact n/min/max and index-ordered mean, Welford
+  // stddev, histogram-derived percentiles; pooled_samples and cdf stay
+  // empty — see DESIGN.md §5g), and the spine trace when build_trace.
+  void fold_into(CampaignResult* out, bool build_trace) const;
+
+  const ShardManifest& manifest() const { return manifest_; }
+
+ private:
+  struct RunMeta {
+    std::uint32_t attempts = 0;
+    bool ok = true;
+    std::uint64_t last_seed = 0;
+    double virtual_seconds = 0;
+    std::string error;  // empty for clean runs
+  };
+  struct Welford {
+    std::uint64_t n = 0;
+    double mean = 0, m2 = 0, min = 0, max = 0;
+    void add(double v);
+  };
+  struct MetricAccum {
+    Welford pooled;               // every sample, folded in run-index order
+    Welford run_means;            // one entry per contributing run
+    obs::MetricsRegistry::Histogram mean_hist;  // percentiles of run means
+  };
+  struct ParsedOutcome {
+    std::size_t run = 0;
+    std::size_t attempts = 0;
+    std::uint64_t seed = 0;
+    bool ok = true;
+    std::string error;
+    double virtual_seconds = 0;
+    std::string_view registry;  // raw section within the line
+  };
+  struct Pending {
+    bool spilled = false;  // payload lives in pending file, not here
+    std::string metrics, findings, timeline;
+  };
+
+  bool fold_metrics_line(std::string_view line, ParsedOutcome* out);
+  void commit_locked(std::size_t run_index, const std::string& metrics_line,
+                     std::string&& findings, std::string&& timeline);
+  void close_shard_locked();
+  void write_manifest_locked();
+  std::string shard_path(const char* kind, std::size_t index) const;
+  std::string pending_path(std::size_t run_index) const;
+  void replay_closed_shards();
+
+  mutable std::mutex mu_;
+  CampaignShardConfig cfg_;
+  ShardManifest manifest_;
+  std::size_t frontier_ = 0;
+  // First shard I/O failure; sticky. Writes stop extending the manifest and
+  // finalize() rethrows it on the caller's thread (workers must not throw).
+  std::string io_error_;
+  std::map<std::size_t, Pending> pending_;
+  CommitHook hook_;
+
+  // Open-shard buffers (bounded by the rotation budget).
+  std::string findings_buf_, metrics_buf_;
+  std::vector<DeviceTimeline> timeline_entries_;
+  std::size_t timeline_bytes_ = 0;
+  std::size_t shard_run_begin_ = 0;
+
+  // Streaming aggregates (O(runs) metadata, O(1) per metric — never
+  // O(artifact bytes)).
+  obs::MetricsRegistry registry_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, MetricAccum> metrics_;
+  std::vector<RunMeta> meta_;
+  std::size_t total_attempts_ = 0;
+  std::size_t quarantined_ = 0;
+};
+
+// ---- merged-artifact sinks over a shard directory ----
+// Each reads MANIFEST.json at write() time and merges only manifest-listed
+// shards, so stale files from an interrupted run are never consulted.
+
+class ShardFindingsMergeSink final : public ExportSink {
+ public:
+  explicit ShardFindingsMergeSink(std::string out_dir)
+      : out_dir_(std::move(out_dir)) {}
+  std::string_view id() const override { return "findings.jsonl"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  std::string out_dir_;
+};
+
+class ShardTimelineMergeSink final : public ExportSink {
+ public:
+  explicit ShardTimelineMergeSink(std::string out_dir)
+      : out_dir_(std::move(out_dir)) {}
+  std::string_view id() const override { return "timeline.jsonl"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  std::string out_dir_;
+};
+
+class ShardMetricsMergeSink final : public ExportSink {
+ public:
+  explicit ShardMetricsMergeSink(std::string out_dir)
+      : out_dir_(std::move(out_dir)) {}
+  std::string_view id() const override { return "metrics.json"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  std::string out_dir_;
+};
+
+// ---- in-memory mirror sinks ----
+// The same merged artifacts, produced from a CampaignResult that ran with
+// keep_artifacts. Byte-identical to the shard merge sinks by construction
+// (same stamping and merge code) — the equality the shard tests enforce.
+
+class CampaignFindingsSink final : public ExportSink {
+ public:
+  explicit CampaignFindingsSink(const CampaignResult& result)
+      : result_(&result) {}
+  std::string_view id() const override { return "findings.jsonl"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const CampaignResult* result_;
+};
+
+class CampaignTimelineSink final : public ExportSink {
+ public:
+  explicit CampaignTimelineSink(const CampaignResult& result)
+      : result_(&result) {}
+  std::string_view id() const override { return "timeline.jsonl"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const CampaignResult* result_;
+};
+
+}  // namespace qoed::core

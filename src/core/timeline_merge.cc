@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <istream>
+#include <queue>
 #include <sstream>
 #include <tuple>
 
@@ -36,7 +38,75 @@ double field_number(std::string_view line, std::string_view key, bool* ok) {
   return (ok == nullptr || *ok) ? v : 0;
 }
 
+// Value of a top-level string field (escape-decoded), parsed from the raw
+// JSON text. The key must not occur earlier inside a value — true for the
+// stamped-line format, where "device" is always the first member.
+bool field_string(std::string_view line, std::string_view key,
+                  std::string* out) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  JsonLiteParser p(line.substr(pos + needle.size()));
+  return p.read_string(out);
+}
+
+struct StreamHead {
+  double t = 0;
+  std::string device;
+  std::uint64_t seq = 0;
+  std::size_t src = 0;
+  std::string line;
+};
+
+struct HeadGreater {
+  bool operator()(const StreamHead& a, const StreamHead& b) const {
+    return std::tie(a.t, a.device, a.seq, a.src) >
+           std::tie(b.t, b.device, b.seq, b.src);
+  }
+};
+
+// Pulls the next usable line from one input into *out; false at EOF.
+bool read_head(std::istream& in, std::size_t src, StreamHead* out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    bool t_ok = false;
+    const double t = field_number(line, "t", &t_ok);
+    if (!t_ok) continue;
+    if (!field_string(line, "device", &out->device)) continue;
+    out->t = t;
+    out->seq = static_cast<std::uint64_t>(field_number(line, "seq", nullptr));
+    out->src = src;
+    out->line = std::move(line);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+std::size_t merge_sorted_timeline_streams(
+    const std::vector<std::istream*>& inputs, std::ostream& out) {
+  std::priority_queue<StreamHead, std::vector<StreamHead>, HeadGreater> heap;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    StreamHead head;
+    if (inputs[i] != nullptr && read_head(*inputs[i], i, &head)) {
+      heap.push(std::move(head));
+    }
+  }
+  std::size_t written = 0;
+  while (!heap.empty()) {
+    const StreamHead top = heap.top();
+    heap.pop();
+    out << top.line << '\n';
+    ++written;
+    StreamHead next;
+    if (read_head(*inputs[top.src], top.src, &next)) {
+      heap.push(std::move(next));
+    }
+  }
+  return written;
+}
 
 TimelineMergeResult merge_timelines_checked(
     const std::vector<DeviceTimeline>& inputs) {

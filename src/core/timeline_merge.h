@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -54,5 +55,18 @@ TimelineMergeResult merge_timelines_checked(
 
 // Back-compat wrapper: merged stream only, corruption dropped silently.
 std::string merge_timelines(const std::vector<DeviceTimeline>& inputs);
+
+// External k-way merge for the sharded campaign path: each input is an
+// already-stamped, already-(t,device,seq)-sorted timeline stream (the
+// output format of merge_timelines — shard files qualify by construction),
+// and the merge interleaves them by the same (t, device, seq) key without
+// ever materializing more than one line per input. Because the key is
+// total across distinct device labels, merging sorted shards produces the
+// same bytes as one global merge_timelines over all the runs — this is
+// what makes sharded campaign timelines byte-identical to the in-memory
+// path. Lines without a finite "t" or a "device" string are dropped
+// (same contract as merge_timelines). Returns the number of lines written.
+std::size_t merge_sorted_timeline_streams(
+    const std::vector<std::istream*>& inputs, std::ostream& out);
 
 }  // namespace qoed::core

@@ -162,4 +162,110 @@ std::string MetricsRegistry::snapshot() const {
   return os.str();
 }
 
+bool MetricsRegistry::merge_from_json(std::string_view snapshot_json,
+                                      std::string* error) {
+  const auto fail = [error](const char* msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  core::JsonLiteParser p(snapshot_json);
+  if (!p.enter_object()) return fail("registry snapshot: expected object");
+  std::string section;
+  while (p.next_key(&section)) {
+    if (section == "counters" || section == "gauges") {
+      const bool is_counter = section == "counters";
+      if (!p.enter_object()) return fail("registry snapshot: expected map");
+      std::string name;
+      double v = 0;
+      while (p.next_key(&name)) {
+        if (!p.read_number(&v)) return fail("registry snapshot: bad number");
+        if (is_counter) {
+          add_counter(name, v);
+        } else {
+          auto it = gauges_.find(name);
+          if (it == gauges_.end()) {
+            gauges_.emplace(name, v);
+          } else {
+            it->second = std::max(it->second, v);
+          }
+        }
+      }
+    } else if (section == "histograms") {
+      if (!p.enter_object()) return fail("registry snapshot: expected map");
+      std::string hname;
+      while (p.next_key(&hname)) {
+        if (!p.enter_object()) return fail("histogram: expected object");
+        std::vector<std::int64_t> bounds;
+        std::vector<std::uint64_t> counts;
+        std::uint64_t count = 0;
+        std::int64_t sum = 0;
+        std::string key;
+        double v = 0;
+        while (p.next_key(&key)) {
+          if (key == "bounds" || key == "counts") {
+            const bool is_bounds = key == "bounds";
+            if (!p.enter_array()) return fail("histogram: expected array");
+            while (p.array_next()) {
+              if (!p.read_number(&v)) return fail("histogram: bad number");
+              if (is_bounds) {
+                bounds.push_back(std::llround(v));
+              } else {
+                counts.push_back(
+                    static_cast<std::uint64_t>(std::llround(v)));
+              }
+            }
+          } else if (key == "count") {
+            if (!p.read_number(&v)) return fail("histogram: bad count");
+            count = static_cast<std::uint64_t>(std::llround(v));
+          } else if (key == "sum") {
+            if (!p.read_number(&v)) return fail("histogram: bad sum");
+            sum = std::llround(v);
+          } else if (!p.skip_value()) {
+            return fail("histogram: malformed value");
+          }
+        }
+        if (counts.size() != bounds.size() + 1) {
+          return fail("histogram: counts/bounds size mismatch");
+        }
+        Histogram& mine = histogram(hname, bounds);
+        if (mine.bounds != bounds) {
+          return fail("histogram: bound mismatch in merge");
+        }
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          mine.counts[i] += counts[i];
+        }
+        mine.count += count;
+        mine.sum += sum;
+      }
+    } else if (!p.skip_value()) {
+      return fail("registry snapshot: malformed value");
+    }
+  }
+  return true;
+}
+
+double histogram_quantile(const MetricsRegistry::Histogram& h, double q) {
+  if (h.count == 0 || h.bounds.empty()) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double rank = q * static_cast<double>(h.count);
+  double cum = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(h.counts[i]);
+    if (next >= rank) {
+      // Overflow bucket has no upper bound; clamp to the last bound.
+      if (i >= h.bounds.size()) {
+        return static_cast<double>(h.bounds.back()) / 1e6;
+      }
+      const double lo = i == 0 ? 0.0 : static_cast<double>(h.bounds[i - 1]);
+      const double hi = static_cast<double>(h.bounds[i]);
+      const double frac = (rank - cum) / static_cast<double>(h.counts[i]);
+      return (lo + (hi - lo) * frac) / 1e6;
+    }
+    cum = next;
+  }
+  return static_cast<double>(h.bounds.back()) / 1e6;
+}
+
 }  // namespace qoed::obs

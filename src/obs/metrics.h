@@ -90,10 +90,27 @@ class MetricsRegistry {
   void write_json(std::ostream& os) const;
   std::string snapshot() const;
 
+  // Inverse of write_json for the sharded-campaign fold: merges a snapshot
+  // produced by write_json into this registry (counter sum, gauge max,
+  // histogram element-wise add; bounds adopted on first sight, verified
+  // after). Because put_json_number emits round-trip (%.17g) doubles, folding
+  // parsed snapshots in run-index order is byte-equivalent to merge_from on
+  // the live registries. Returns false (and sets *error when non-null)
+  // on malformed input or bound mismatch; the registry may then hold a
+  // partial merge.
+  bool merge_from_json(std::string_view snapshot_json,
+                       std::string* error = nullptr);
+
  private:
   std::map<std::string, double, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
+
+// Linear-interpolated quantile estimate from a histogram's buckets, in
+// original (non-micro) units; q in [0,1]. Deterministic: integer bucket
+// state in, fixed arithmetic out. Used by the sharded campaign path to
+// report p50/p90/p99 without keeping pooled samples in memory.
+double histogram_quantile(const MetricsRegistry::Histogram& h, double q);
 
 }  // namespace qoed::obs

@@ -1,0 +1,298 @@
+#include "svc/run_spec.h"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/social_server.h"
+#include "apps/video_server.h"
+#include "apps/web_server.h"
+#include "core/export_sink.h"
+#include "core/json_util.h"
+#include "core/qoe_doctor.h"
+#include "diag/diagnosis_engine.h"
+#include "diag/findings_sink.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+
+namespace qoed::svc {
+
+namespace {
+
+bool one_of(const std::string& v, std::initializer_list<const char*> allowed) {
+  for (const char* a : allowed) {
+    if (v == a) return true;
+  }
+  return false;
+}
+
+void attach_network(device::Device& dev, const ScenarioSpec& spec) {
+  if (spec.network == "wifi") {
+    dev.attach_wifi();
+    return;
+  }
+  radio::CellularConfig cfg;
+  if (spec.network == "lte") {
+    cfg = radio::CellularConfig::lte();
+  } else if (spec.network == "3g-simplified") {
+    cfg = radio::CellularConfig::umts_simplified();
+  } else {
+    cfg = radio::CellularConfig::umts();
+  }
+  if (spec.throttle_kbps > 0) {
+    const bool policing = spec.mechanism == "policing";
+    cfg.throttle =
+        policing ? net::ThrottleKind::kPolicing : net::ThrottleKind::kShaping;
+    cfg.throttle_rate_bps = static_cast<double>(spec.throttle_kbps) * 1000;
+    cfg.throttle_burst_bytes = policing ? 8 * 1024 : 24 * 1024;
+  }
+  dev.attach_cellular(cfg);
+}
+
+std::unique_ptr<fault::FaultInjector> install_faults(
+    core::QoeDoctor& doctor, const ScenarioSpec& spec) {
+  if (spec.fault_plan.empty()) return nullptr;
+  const fault::FaultPlan plan = fault::FaultPlan::parse(spec.fault_plan);
+  auto injector =
+      std::make_unique<fault::FaultInjector>(plan, spec.fault_seed);
+  injector->install(doctor);
+  return injector;
+}
+
+diag::DiagnosisEngine& enable_diagnosis(core::QoeDoctor& doctor,
+                                        const fault::FaultInjector* injector) {
+  diag::DiagnosisConfig cfg;
+  if (injector != nullptr) {
+    cfg.watermark_slack = injector->plan().max_lateness();
+  }
+  return doctor.enable_diagnosis(cfg);
+}
+
+// Shared run epilogue: flush held fault records, finalize diagnosis, fold
+// every layer's counters, and capture this run's export artifacts.
+void finish(core::Testbed& bed, core::QoeDoctor& doctor,
+            fault::FaultInjector* injector, diag::DiagnosisEngine& engine,
+            core::RunResult* out) {
+  if (injector != nullptr) injector->flush();
+  engine.finalize_all();
+  engine.add_counters(*out);
+  if (injector != nullptr) injector->add_counters(*out);
+  doctor.collector().add_counters(*out);
+  out->virtual_seconds = bed.loop().now().seconds();
+  out->artifacts.findings_jsonl = diag::FindingsJsonlSink(engine).to_string();
+  out->artifacts.timeline_jsonl =
+      core::TimelineJsonlSink(doctor.collector()).to_string();
+}
+
+core::RunResult run_pageload(const ScenarioSpec& spec) {
+  core::Testbed bed(spec.seed);
+  apps::WebServer server(bed.network(), bed.next_server_ip());
+  sim::Rng rng = bed.fork_rng("pages");
+  const auto dataset =
+      apps::make_page_dataset(rng, static_cast<std::size_t>(spec.pages));
+  for (const auto& p : dataset) server.add_page(p);
+
+  auto dev = bed.make_device("phone");
+  attach_network(*dev, spec);
+  apps::BrowserApp app(*dev);
+  app.launch();
+  core::QoeDoctor doctor(*dev, app);
+  auto injector = install_faults(doctor, spec);
+  diag::DiagnosisEngine& engine = enable_diagnosis(doctor, injector.get());
+  core::BrowserDriver driver(doctor.controller(), app);
+
+  std::vector<std::string> urls;
+  urls.reserve(dataset.size());
+  for (const auto& p : dataset) urls.push_back("www.page.sim" + p.path);
+  driver.load_pages(urls, sim::sec(spec.think_s),
+                    [](const std::vector<core::BehaviorRecord>&) {});
+  bed.loop().run();
+
+  core::RunResult out;
+  for (const auto& rec : doctor.log().for_action("page_load")) {
+    out.add_sample("latency_s",
+                   sim::to_seconds(core::AppLayerAnalyzer::calibrate(rec)));
+  }
+  finish(bed, doctor, injector.get(), engine, &out);
+  return out;
+}
+
+core::RunResult run_post(const ScenarioSpec& spec) {
+  core::Testbed bed(spec.seed);
+  apps::SocialServer server(bed.network(), bed.next_server_ip());
+  auto dev = bed.make_device("phone");
+  attach_network(*dev, spec);
+  apps::SocialAppConfig app_cfg;
+  app_cfg.refresh_interval = sim::Duration::zero();
+  apps::SocialApp app(*dev, app_cfg);
+  app.launch();
+  core::QoeDoctor doctor(*dev, app);
+  auto injector = install_faults(doctor, spec);
+  diag::DiagnosisEngine& engine = enable_diagnosis(doctor, injector.get());
+  core::FacebookDriver driver(doctor.controller(), app);
+  app.login("svc-user");
+  bed.advance(sim::sec(10));
+
+  const apps::PostKind kind = spec.kind == "photos"
+                                  ? apps::PostKind::kPhotos
+                                  : spec.kind == "checkin"
+                                        ? apps::PostKind::kCheckin
+                                        : apps::PostKind::kStatus;
+  core::RunResult out;
+  core::repeat_async(
+      bed.loop(), static_cast<std::size_t>(spec.reps), sim::sec(2),
+      [&](std::size_t, std::function<void()> next) {
+        driver.upload_post(kind, [&, next](const core::BehaviorRecord& rec) {
+          if (!rec.timed_out) {
+            out.add_sample(
+                "latency_s",
+                sim::to_seconds(core::AppLayerAnalyzer::calibrate(rec)));
+          }
+          next();
+        });
+      },
+      [] {});
+  bed.loop().run();
+  finish(bed, doctor, injector.get(), engine, &out);
+  return out;
+}
+
+core::RunResult run_video(const ScenarioSpec& spec) {
+  core::Testbed bed(spec.seed);
+  apps::VideoServer server(bed.network(), bed.next_server_ip());
+  sim::Rng vid_rng = bed.fork_rng("videos");
+  for (auto& v :
+       apps::make_video_dataset(vid_rng, 500e3, sim::sec(20), sim::sec(60))) {
+    server.add_video(v);
+  }
+  auto dev = bed.make_device("phone");
+  attach_network(*dev, spec);
+  apps::VideoApp app(*dev);
+  app.launch();
+  app.connect();
+  bed.advance(sim::sec(5));
+  core::QoeDoctor doctor(*dev, app);
+  auto injector = install_faults(doctor, spec);
+  diag::DiagnosisEngine& engine = enable_diagnosis(doctor, injector.get());
+  core::YouTubeDriver driver(doctor.controller(), app);
+
+  core::RunResult out;
+  sim::Rng pick = bed.fork_rng("pick");
+  core::repeat_async(
+      bed.loop(), static_cast<std::size_t>(spec.videos), sim::sec(5),
+      [&](std::size_t, std::function<void()> next) {
+        const char kw = static_cast<char>('a' + pick.uniform_int(0, 25));
+        const std::string id =
+            std::string(1, kw) + std::to_string(pick.uniform_int(0, 9));
+        driver.watch_video(std::string(1, kw) + " video", id,
+                           [&, next](const core::VideoWatchResult& r) {
+                             if (!r.initial_loading.timed_out) {
+                               out.add_sample(
+                                   "loading_s",
+                                   sim::to_seconds(
+                                       core::AppLayerAnalyzer::calibrate(
+                                           r.initial_loading)));
+                             }
+                             out.add_counter(
+                                 "video.stalls",
+                                 static_cast<double>(r.stalls.size()));
+                             next();
+                           });
+      },
+      [] {});
+  bed.loop().run();
+  finish(bed, doctor, injector.get(), engine, &out);
+  return out;
+}
+
+}  // namespace
+
+bool ScenarioSpec::parse_json(std::string_view json, ScenarioSpec* out,
+                              std::string* error) {
+  const auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  core::JsonLiteParser p(json);
+  if (!p.enter_object()) return fail("spec: expected a JSON object");
+  *out = ScenarioSpec{};
+  std::string key;
+  while (p.next_key(&key)) {
+    bool parsed = true;
+    double num = 0;
+    if (key == "scenario") {
+      parsed = p.read_string(&out->scenario);
+    } else if (key == "network") {
+      parsed = p.read_string(&out->network);
+    } else if (key == "seed") {
+      parsed = p.read_uint64(&out->seed);
+    } else if (key == "pages") {
+      parsed = p.read_number(&num);
+      out->pages = static_cast<long>(num);
+    } else if (key == "think") {
+      parsed = p.read_number(&num);
+      out->think_s = static_cast<long>(num);
+    } else if (key == "kind") {
+      parsed = p.read_string(&out->kind);
+    } else if (key == "reps") {
+      parsed = p.read_number(&num);
+      out->reps = static_cast<long>(num);
+    } else if (key == "videos") {
+      parsed = p.read_number(&num);
+      out->videos = static_cast<long>(num);
+    } else if (key == "throttle") {
+      parsed = p.read_number(&num);
+      out->throttle_kbps = static_cast<long>(num);
+    } else if (key == "mechanism") {
+      parsed = p.read_string(&out->mechanism);
+    } else if (key == "fault_plan") {
+      parsed = p.read_string(&out->fault_plan);
+    } else if (key == "fault_seed") {
+      parsed = p.read_uint64(&out->fault_seed);
+    } else {
+      parsed = p.skip_value();  // "cmd", "id", future extensions
+    }
+    if (!parsed) return fail("spec: malformed value for \"" + key + "\"");
+  }
+  if (!one_of(out->scenario, {"pageload", "post", "video"})) {
+    return fail("spec: unknown scenario \"" + out->scenario + "\"");
+  }
+  if (!one_of(out->network, {"wifi", "3g", "3g-simplified", "lte"})) {
+    return fail("spec: unknown network \"" + out->network + "\"");
+  }
+  if (!one_of(out->kind, {"status", "checkin", "photos"})) {
+    return fail("spec: unknown kind \"" + out->kind + "\"");
+  }
+  if (!one_of(out->mechanism, {"shaping", "policing"})) {
+    return fail("spec: unknown mechanism \"" + out->mechanism + "\"");
+  }
+  return true;
+}
+
+std::string ScenarioSpec::to_json() const {
+  std::ostringstream os;
+  os << "{\"scenario\":";
+  core::put_json_string(os, scenario);
+  os << ",\"network\":";
+  core::put_json_string(os, network);
+  os << ",\"seed\":" << seed << ",\"pages\":" << pages
+     << ",\"think\":" << think_s << ",\"kind\":";
+  core::put_json_string(os, kind);
+  os << ",\"reps\":" << reps << ",\"videos\":" << videos
+     << ",\"throttle\":" << throttle_kbps << ",\"mechanism\":";
+  core::put_json_string(os, mechanism);
+  os << ",\"fault_plan\":";
+  core::put_json_string(os, fault_plan);
+  os << ",\"fault_seed\":" << fault_seed << '}';
+  return os.str();
+}
+
+core::RunResult run_scenario(const ScenarioSpec& spec) {
+  if (spec.scenario == "pageload") return run_pageload(spec);
+  if (spec.scenario == "post") return run_post(spec);
+  if (spec.scenario == "video") return run_video(spec);
+  throw std::runtime_error("unknown scenario: " + spec.scenario);
+}
+
+}  // namespace qoed::svc

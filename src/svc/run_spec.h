@@ -1,0 +1,65 @@
+// Scenario run specs for fleet/service mode (DESIGN.md §5g).
+//
+// A ScenarioSpec is the JSON-serializable description of ONE headless
+// measurement run — the same pageload/post/video scenarios qoed_cli drives
+// interactively, minus the terminal output. `qoed_cli fleet` reads one spec
+// per line from a file and executes them as a campaign; `qoed_cli serve`
+// accepts the same grammar over stdin or a Unix socket at runtime.
+//
+// Determinism: run_scenario derives everything stochastic from spec.seed,
+// so a spec executed by a batch fleet, a resumed fleet, or a serve worker
+// produces the identical RunResult (and therefore identical artifacts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/campaign.h"
+
+namespace qoed::svc {
+
+struct ScenarioSpec {
+  std::string scenario = "pageload";  // pageload | post | video
+  std::string network = "3g";         // wifi | 3g | 3g-simplified | lte
+  std::uint64_t seed = 1;
+
+  // pageload
+  long pages = 5;
+  long think_s = 20;
+
+  // post
+  std::string kind = "status";  // status | checkin | photos
+  long reps = 10;
+
+  // video
+  long videos = 3;
+  long throttle_kbps = 0;            // 0 = no throttle
+  std::string mechanism = "shaping";  // shaping | policing
+
+  // Capture-fault injection (explicit only — the QOED_FAULT_PLAN env
+  // fallback is a per-process knob and service runs must not depend on
+  // ambient environment).
+  std::string fault_plan;
+  std::uint64_t fault_seed = 1;
+
+  // Parses one spec from a JSON object line. Unknown keys (e.g. the serve
+  // protocol's "cmd") are ignored; missing keys keep their defaults. False
+  // on malformed JSON or an unknown scenario/network/kind value, with a
+  // reason in *error.
+  static bool parse_json(std::string_view json, ScenarioSpec* out,
+                         std::string* error);
+
+  // Canonical JSON form (parse_json round-trips it).
+  std::string to_json() const;
+};
+
+// Executes one scenario headlessly and returns its RunResult: samples
+// ("latency_s" per action; video adds "loading_s" and a video.stalls
+// counter), the unified registry, diagnosis/fault/collector counters, and
+// RunArtifacts carrying this run's findings and timeline JSONL. Diagnosis
+// is always enabled. Throws on an unknown scenario or a bad fault plan —
+// the campaign retry policy turns that into a quarantined run.
+core::RunResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace qoed::svc

@@ -1,0 +1,106 @@
+// `qoed_cli serve` — long-lived measurement service (DESIGN.md §5g).
+//
+// A ServeEngine reads line-delimited JSON commands from an input stream
+// (stdin, or one Unix-socket connection via serve_over_socket), schedules
+// submitted runs onto a worker pool with the batch campaign's exact
+// retry/watchdog/quarantine policy (core::execute_run_with_policy), and
+// streams results back as runs COMMIT — strictly in submission order, via
+// the same ShardedCampaignSink the batch fleet uses, so a serve session
+// with --out-dir leaves the identical shard directory a batch fleet over
+// the same specs would.
+//
+// Protocol (one JSON object per line; replies/events on the output stream):
+//   {"cmd":"submit", <ScenarioSpec fields>}  -> {"ok":true,"id":N}
+//   {"cmd":"status"}    -> {"ok":true,"submitted":S,"committed":C,"pending":P}
+//   {"cmd":"drain"}     -> blocks, then {"ok":true,"drained":C}
+//   {"cmd":"shutdown"}  -> drain + finalize + merged artifacts, then
+//                          {"ok":true,"shutdown":true,"runs":C}
+//   EOF                 -> implicit shutdown (no ack)
+// As each run commits the engine emits, in this order:
+//   {"event":"finding","id":N,<finding fields>}   (one per finding line)
+//   {"event":"run","id":N,"ok":...,"attempts":...,"seed":...,"error":...,
+//    "virtual_s":...,"registry":{...}}
+// Acks always precede the submitted run's events (the ack is written under
+// the same output lock the commit hook takes).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/shard.h"
+#include "svc/run_spec.h"
+
+namespace qoed::svc {
+
+struct ServeOptions {
+  std::size_t jobs = 1;
+  // Shard directory: when set, committed runs stream into shard files and
+  // shutdown writes merged findings.jsonl/timeline.jsonl/metrics.json there.
+  std::string out_dir;
+  std::size_t shard_bytes = 4u << 20;
+  std::size_t shard_runs = 0;
+  // Campaign retry policy applied to every submitted run.
+  std::size_t max_retries = 0;
+  double max_virtual_s = 0;
+  std::uint64_t master_seed = 1;
+};
+
+class ServeEngine {
+ public:
+  ServeEngine(std::istream& in, std::ostream& out, ServeOptions opts);
+  ~ServeEngine();
+
+  // Blocks until shutdown or EOF; returns a process exit code (0 on a clean
+  // shutdown, 1 when finalize hit a shard I/O error).
+  int run();
+
+ private:
+  void start_workers();
+  void worker_main();
+  void handle_line(const std::string& line, bool* shutdown);
+  void reply(const std::string& line);
+  void wait_drained();
+  int shutdown_now(bool ack);
+
+  std::istream& in_;
+  std::ostream& out_;
+  ServeOptions opts_;
+  core::CampaignConfig policy_;
+  std::unique_ptr<core::ShardedCampaignSink> sink_;
+
+  // Output lock: protocol acks and commit-hook events interleave here.
+  // Order: the sink's internal lock may be held when the hook takes out_mu_,
+  // so nothing may call into the sink while holding out_mu_.
+  std::mutex out_mu_;
+
+  // Task queue (indices into specs_).
+  std::mutex q_mu_;
+  std::condition_variable q_cv_;
+  std::deque<std::size_t> queue_;
+  std::vector<ScenarioSpec> specs_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  // Progress signal for drain: atomics only — the waiter's predicate must
+  // not touch the sink (the hook holds the sink lock while notifying).
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> committed_{0};
+  std::mutex progress_mu_;
+  std::condition_variable progress_cv_;
+};
+
+// Binds a Unix-domain socket at `path`, serves one client connection with a
+// ServeEngine, then unlinks the socket. Returns the engine's exit code, or
+// 2 when the socket cannot be created.
+int serve_over_socket(const std::string& path, const ServeOptions& opts);
+
+}  // namespace qoed::svc

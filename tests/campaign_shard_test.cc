@@ -1,0 +1,360 @@
+// Sharded (constant-memory) campaign execution: byte-equality with the
+// in-memory path, shard rotation, crash/resume, and stale-file hygiene.
+//
+// The contract under test (DESIGN.md §5g): a campaign streamed through
+// ShardedCampaignSink produces merged findings/timeline/metrics artifacts
+// byte-identical to the in-memory keep_artifacts path, at any --jobs, and
+// a killed campaign resumes from its durable frontier without changing a
+// byte of the final output.
+#include "core/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/export_sink.h"
+#include "core/json_util.h"
+#include "sim/rng.h"
+
+namespace qoed::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Cheap deterministic run with realistic artifacts: a few timeline lines,
+// one finding, two samples, a counter. No testbed — these tests exercise
+// the shard plumbing, not the simulation.
+RunResult synthetic_run(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  RunResult out;
+  std::ostringstream timeline;
+  std::ostringstream findings;
+  double t = 0;
+  for (int i = 0; i < 6; ++i) {
+    t += rng.uniform();
+    timeline << "{\"t\":";
+    put_json_number(timeline, t);
+    timeline << ",\"seq\":" << i << ",\"layer\":\"packet\",\"len\":"
+             << rng.uniform_int(40, 1500) << "}\n";
+  }
+  findings << "{\"rule\":\"test.flag\",\"t\":";
+  put_json_number(findings, t);
+  findings << "}\n";
+  out.add_sample("latency_s", rng.uniform(0.1, 2.0));
+  out.add_sample("latency_s", rng.uniform(0.1, 2.0));
+  out.add_counter("events", 6);
+  out.virtual_seconds = 1 + rng.uniform();
+  out.artifacts.timeline_jsonl = timeline.str();
+  out.artifacts.findings_jsonl = findings.str();
+  return out;
+}
+
+// A run with a timeline but NO findings (like a scenario without a
+// diagnosis engine attached).
+RunResult bare_run(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  RunResult out;
+  out.add_sample("latency_s", rng.uniform(0.1, 2.0));
+  out.artifacts.timeline_jsonl =
+      "{\"t\":0.5,\"seq\":0,\"layer\":\"packet\",\"len\":100}\n";
+  out.virtual_seconds = 1;
+  return out;
+}
+
+// Fresh scratch dir under the test temp root; removed first so reruns
+// never see a previous invocation's shards.
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "qoed_shard_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+CampaignConfig sharded_config(const std::string& dir, std::size_t runs,
+                              std::size_t jobs) {
+  CampaignConfig cfg;
+  cfg.name = "shard-test";
+  cfg.runs = runs;
+  cfg.jobs = jobs;
+  cfg.master_seed = 4242;
+  cfg.shard.out_dir = dir;
+  return cfg;
+}
+
+struct Artifacts {
+  std::string findings, timeline, metrics;
+};
+
+Artifacts merged_artifacts(const std::string& dir) {
+  return {ShardFindingsMergeSink(dir).to_string(),
+          ShardTimelineMergeSink(dir).to_string(),
+          ShardMetricsMergeSink(dir).to_string()};
+}
+
+RunFn synthetic_factory() {
+  return [](std::uint64_t seed, const RunSpec&) { return synthetic_run(seed); };
+}
+
+TEST(CampaignShard, MatchesInMemoryByteForByte) {
+  const std::string dir = scratch_dir("vs_memory");
+  CampaignConfig sharded = sharded_config(dir, 9, 4);
+  const CampaignResult shard_result =
+      Campaign(sharded).run(synthetic_factory());
+
+  CampaignConfig memory = sharded_config("", 9, 4);
+  memory.shard.out_dir.clear();
+  memory.keep_artifacts = true;
+  const CampaignResult mem_result = Campaign(memory).run(synthetic_factory());
+
+  const Artifacts a = merged_artifacts(dir);
+  EXPECT_EQ(a.findings, CampaignFindingsSink(mem_result).to_string());
+  EXPECT_EQ(a.timeline, CampaignTimelineSink(mem_result).to_string());
+  EXPECT_EQ(a.metrics, MetricsJsonSink(mem_result.registry).to_string());
+
+  // The streaming summaries agree with the in-memory fold on the exact
+  // moments (pooled percentiles intentionally differ: histogram-derived).
+  ASSERT_EQ(shard_result.runs, mem_result.runs);
+  ASSERT_EQ(shard_result.counters, mem_result.counters);
+  const MetricAggregate* ms = shard_result.metric("latency_s");
+  const MetricAggregate* mm = mem_result.metric("latency_s");
+  ASSERT_NE(ms, nullptr);
+  ASSERT_NE(mm, nullptr);
+  EXPECT_EQ(ms->pooled.n, mm->pooled.n);
+  EXPECT_DOUBLE_EQ(ms->pooled.mean, mm->pooled.mean);
+  EXPECT_DOUBLE_EQ(ms->pooled.min, mm->pooled.min);
+  EXPECT_DOUBLE_EQ(ms->pooled.max, mm->pooled.max);
+  EXPECT_NEAR(ms->pooled.stddev, mm->pooled.stddev, 1e-9);
+  // Sharded mode keeps O(shard) memory: no pooled samples or cdf.
+  EXPECT_TRUE(ms->pooled_samples.empty());
+  EXPECT_TRUE(ms->cdf.empty());
+}
+
+TEST(CampaignShard, ArtifactsInvariantAcrossJobs) {
+  const std::string dir1 = scratch_dir("jobs1");
+  const std::string dir8 = scratch_dir("jobs8");
+  Campaign(sharded_config(dir1, 12, 1)).run(synthetic_factory());
+  Campaign(sharded_config(dir8, 12, 8)).run(synthetic_factory());
+
+  const Artifacts a1 = merged_artifacts(dir1);
+  const Artifacts a8 = merged_artifacts(dir8);
+  EXPECT_EQ(a1.findings, a8.findings);
+  EXPECT_EQ(a1.timeline, a8.timeline);
+  EXPECT_EQ(a1.metrics, a8.metrics);
+
+  // The shard files themselves are identical too, not just the merge.
+  std::ifstream m1(dir1 + "/MANIFEST.json");
+  std::ifstream m8(dir8 + "/MANIFEST.json");
+  std::stringstream s1, s8;
+  s1 << m1.rdbuf();
+  s8 << m8.rdbuf();
+  EXPECT_EQ(s1.str(), s8.str());
+}
+
+TEST(CampaignShard, RotatesAtTinyBudgetAndManifestCoversAllRuns) {
+  const std::string dir = scratch_dir("rotate");
+  CampaignConfig cfg = sharded_config(dir, 7, 2);
+  cfg.shard.shard_bytes = 200;  // every run overflows the budget
+  Campaign(cfg).run(synthetic_factory());
+
+  ShardManifest manifest;
+  ASSERT_TRUE(read_shard_manifest(dir, &manifest));
+  EXPECT_TRUE(manifest.complete);
+  EXPECT_EQ(manifest.runs, 7u);
+  ASSERT_GT(manifest.shards.size(), 1u);
+  std::size_t expect_begin = 0;
+  for (const ShardInfo& info : manifest.shards) {
+    EXPECT_EQ(info.run_begin, expect_begin);
+    EXPECT_GT(info.run_end, info.run_begin);
+    for (const char* kind : {"findings", "timeline", "metrics"}) {
+      char name[64];
+      std::snprintf(name, sizeof name, "%s-%06zu.jsonl", kind, info.index);
+      EXPECT_TRUE(fs::exists(dir + "/" + name)) << name;
+    }
+    expect_begin = info.run_end;
+  }
+  EXPECT_EQ(expect_begin, 7u);
+}
+
+// Simulated kill: a sink is dropped without finalize() after closing some
+// shards; a resume sink picks up at the durable frontier and the final
+// artifacts are byte-identical to an uninterrupted run.
+TEST(CampaignShard, SinkLevelResumeAfterKill) {
+  const std::uint64_t master = 4242;
+  const std::size_t runs = 6;
+  auto make_exec = [&](std::size_t i) {
+    RunExecution ex;
+    ex.last_seed = Campaign::run_seed(master, i);
+    ex.result = synthetic_run(ex.last_seed);
+    ex.attempts = 1;
+    return ex;
+  };
+
+  const std::string clean_dir = scratch_dir("kill_clean");
+  CampaignShardConfig clean_cfg;
+  clean_cfg.out_dir = clean_dir;
+  clean_cfg.shard_runs = 2;
+  {
+    ShardedCampaignSink sink(clean_cfg, "kill-test", master, runs);
+    for (std::size_t i = 0; i < runs; ++i) sink.submit(i, make_exec(i));
+    sink.finalize();
+  }
+
+  const std::string dir = scratch_dir("kill");
+  CampaignShardConfig cfg = clean_cfg;
+  cfg.out_dir = dir;
+  {
+    // Killed mid-shard: runs 0..4 submitted, shards [0,2) and [2,4) are
+    // closed and durable, run 4 sits in the open buffer and dies with the
+    // process (no finalize()).
+    ShardedCampaignSink sink(cfg, "kill-test", master, runs);
+    for (std::size_t i = 0; i < 5; ++i) sink.submit(i, make_exec(i));
+  }
+  ShardManifest partial;
+  ASSERT_TRUE(read_shard_manifest(dir, &partial));
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.committed(), 4u);
+
+  {
+    CampaignShardConfig resume_cfg = cfg;
+    resume_cfg.resume = true;
+    ShardedCampaignSink sink(resume_cfg, "kill-test", master, runs);
+    EXPECT_EQ(sink.committed(), 4u);
+    // Resubmitting committed work (resume overlap) is dropped, not folded
+    // twice.
+    sink.submit(1, make_exec(1));
+    for (std::size_t i = 4; i < runs; ++i) sink.submit(i, make_exec(i));
+    sink.finalize();
+
+    CampaignResult folded;
+    sink.fold_into(&folded, /*build_trace=*/false);
+    EXPECT_EQ(folded.counters.at("events"), 6.0 * runs);
+  }
+
+  const Artifacts resumed = merged_artifacts(dir);
+  const Artifacts clean = merged_artifacts(clean_dir);
+  EXPECT_EQ(resumed.findings, clean.findings);
+  EXPECT_EQ(resumed.timeline, clean.timeline);
+  EXPECT_EQ(resumed.metrics, clean.metrics);
+}
+
+TEST(CampaignShard, CampaignLevelResumeSkipsCommittedRuns) {
+  const std::string dir = scratch_dir("campaign_resume");
+  Campaign(sharded_config(dir, 8, 4)).run(synthetic_factory());
+  const Artifacts first = merged_artifacts(dir);
+
+  // Resuming a complete campaign is a no-op: zero factory invocations,
+  // identical bytes.
+  CampaignConfig cfg = sharded_config(dir, 8, 4);
+  cfg.shard.resume = true;
+  std::atomic<int> calls{0};
+  const CampaignResult result =
+      Campaign(cfg).run([&](std::uint64_t seed, const RunSpec&) {
+        ++calls;
+        return synthetic_run(seed);
+      });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(result.runs, 8u);
+  EXPECT_EQ(result.counters.at("events"), 6.0 * 8);
+
+  const Artifacts second = merged_artifacts(dir);
+  EXPECT_EQ(first.findings, second.findings);
+  EXPECT_EQ(first.timeline, second.timeline);
+  EXPECT_EQ(first.metrics, second.metrics);
+}
+
+TEST(CampaignShard, ResumeIdentityMismatchThrows) {
+  const std::string dir = scratch_dir("identity");
+  CampaignShardConfig cfg;
+  cfg.out_dir = dir;
+  {
+    ShardedCampaignSink sink(cfg, "identity-test", 7, 2);
+    sink.finalize();
+  }
+  CampaignShardConfig resume_cfg = cfg;
+  resume_cfg.resume = true;
+  EXPECT_THROW(ShardedCampaignSink(resume_cfg, "identity-test", 8, 2),
+               std::runtime_error);
+  EXPECT_THROW(ShardedCampaignSink(resume_cfg, "other-campaign", 7, 2),
+               std::runtime_error);
+  EXPECT_NO_THROW(ShardedCampaignSink(resume_cfg, "identity-test", 7, 2));
+}
+
+TEST(CampaignShard, FreshStartClearsStaleFiles) {
+  const std::string dir = scratch_dir("stale");
+  fs::create_directories(dir);
+  // Debris from a hypothetical interrupted earlier run under a DIFFERENT
+  // config: a stale manifest, an orphaned pending spill, a torn temp file.
+  std::ofstream(dir + "/MANIFEST.json") << "{\"campaign\":\"old\"}";
+  std::ofstream(dir + "/pending-000003") << "junk";
+  std::ofstream(dir + "/findings-000099.jsonl.tmp") << "junk";
+
+  const std::string clean_dir = scratch_dir("stale_clean");
+  Campaign(sharded_config(clean_dir, 5, 2)).run(synthetic_factory());
+  Campaign(sharded_config(dir, 5, 2)).run(synthetic_factory());
+
+  EXPECT_FALSE(fs::exists(dir + "/pending-000003"));
+  EXPECT_FALSE(fs::exists(dir + "/findings-000099.jsonl.tmp"));
+  const Artifacts a = merged_artifacts(dir);
+  const Artifacts c = merged_artifacts(clean_dir);
+  EXPECT_EQ(a.findings, c.findings);
+  EXPECT_EQ(a.timeline, c.timeline);
+  EXPECT_EQ(a.metrics, c.metrics);
+}
+
+// Regression: campaigns whose runs emit no findings must still export an
+// (empty) merged findings.jsonl — a zero-length rdbuf insert used to set
+// failbit and abort the whole write_file.
+TEST(CampaignShard, EmptyFindingsStillExport) {
+  const std::string dir = scratch_dir("no_findings");
+  Campaign(sharded_config(dir, 3, 2))
+      .run([](std::uint64_t seed, const RunSpec&) { return bare_run(seed); });
+
+  EXPECT_EQ(ShardFindingsMergeSink(dir).to_string(), "");
+  EXPECT_TRUE(ShardFindingsMergeSink(dir).write_file(dir + "/findings.jsonl"));
+  EXPECT_TRUE(fs::exists(dir + "/findings.jsonl"));
+  EXPECT_EQ(fs::file_size(dir + "/findings.jsonl"), 0u);
+  EXPECT_FALSE(ShardTimelineMergeSink(dir).to_string().empty());
+}
+
+TEST(CampaignShard, EmptyShardedCampaignIsWellFormed) {
+  const std::string dir = scratch_dir("empty");
+  CampaignConfig cfg = sharded_config(dir, 0, 2);
+  const CampaignResult result = Campaign(cfg).run(synthetic_factory());
+  EXPECT_EQ(result.runs, 0u);
+  EXPECT_EQ(result.failed_runs(), 0u);
+
+  ShardManifest manifest;
+  ASSERT_TRUE(read_shard_manifest(dir, &manifest));
+  EXPECT_TRUE(manifest.complete);
+  EXPECT_TRUE(manifest.shards.empty());
+  EXPECT_EQ(merged_artifacts(dir).findings, "");
+}
+
+TEST(CampaignShard, QuarantinedRunsReportedAndExcludedFromMetrics) {
+  const std::string dir = scratch_dir("quarantine");
+  CampaignConfig cfg = sharded_config(dir, 4, 2);
+  const CampaignResult result =
+      Campaign(cfg).run([](std::uint64_t seed, const RunSpec& spec) {
+        if (spec.run_index == 2) throw std::runtime_error("device offline");
+        return synthetic_run(seed);
+      });
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  EXPECT_EQ(result.quarantined[0].run_index, 2u);
+  EXPECT_EQ(result.quarantined[0].error, "device offline");
+  EXPECT_EQ(result.failed_runs(), 1u);
+  // Quarantined runs contribute nothing to pooled metrics or counters.
+  EXPECT_EQ(result.counters.at("events"), 6.0 * 3);
+  const MetricAggregate* agg = result.metric("latency_s");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->pooled.n, 2u * 3);
+  // And the registry carries the campaign-level accounting.
+  EXPECT_EQ(result.registry.counter("campaign.quarantined"), 1.0);
+}
+
+}  // namespace
+}  // namespace qoed::core

@@ -310,6 +310,55 @@ TEST(CampaignTest, VirtualTimeWatchdogFailsOverlongRuns) {
   EXPECT_EQ(m->pooled.n, 2u);
 }
 
+TEST(CampaignTest, TraceProcessesSurviveMove) {
+  // Regression: trace_processes() used to hand out pointers captured before
+  // a move, leaving callers dangling. The refs are index-based now, so
+  // resolving against the post-move object yields its own tracers.
+  CampaignConfig cfg;
+  cfg.name = "move";
+  cfg.runs = 2;
+  cfg.jobs = 1;
+  cfg.master_seed = 5;
+  cfg.trace = true;
+  Campaign campaign(cfg);
+  CampaignResult original = campaign.run(
+      [](std::uint64_t seed, const RunSpec&) { return page_load_run(seed); });
+  const auto before = original.trace_processes();
+  ASSERT_FALSE(before.empty());
+
+  const CampaignResult moved = std::move(original);
+  const auto after = moved.trace_processes();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].first, before[i].first);
+    // Every pointer resolves into `moved`, never the moved-from shell.
+    const bool is_spine = after[i].second == &moved.trace;
+    bool is_run_trace = false;
+    for (const auto& t : moved.traces) is_run_trace |= after[i].second == &t;
+    EXPECT_TRUE(is_spine || is_run_trace) << after[i].first;
+  }
+  // The index-based refs themselves are move-stable.
+  const auto refs = moved.trace_process_refs();
+  ASSERT_EQ(refs.size(), after.size());
+  EXPECT_EQ(refs[0].run, -1);  // campaign spine first
+}
+
+TEST(CampaignTest, CdfPointsZeroDisablesCdfOnly) {
+  CampaignConfig cfg;
+  cfg.name = "nocdf";
+  cfg.runs = 3;
+  cfg.jobs = 1;
+  cfg.master_seed = 7;
+  cfg.cdf_points = 0;
+  Campaign campaign(cfg);
+  const CampaignResult result = campaign.run(
+      [](std::uint64_t seed, const RunSpec&) { return page_load_run(seed); });
+  const MetricAggregate* m = result.metric("page_load_s");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->cdf.empty());
+  EXPECT_GT(m->pooled.n, 0u);  // summaries unaffected
+}
+
 TEST(CampaignTest, JsonExportRecordsReplayHandles) {
   const CampaignResult result = run_campaign(1, 2, 99);
   const std::string json = campaign_to_json_string(result);

@@ -110,6 +110,72 @@ TEST(MetricsRegistry, MergeSumsCountersMaxesGaugesAddsHistograms) {
   EXPECT_EQ(h->sum, 53);
 }
 
+TEST(MetricsRegistry, MergeFromJsonRoundTripsSnapshots) {
+  obs::MetricsRegistry a;
+  a.add_counter("c", 2.5);
+  a.set_gauge("g", 5);
+  a.observe("lat", 0.25);
+  a.observe("lat", 1.5);
+  a.histogram("h", {10, 100}).observe(42);
+
+  std::ostringstream snap;
+  a.write_json(snap);
+
+  // Folding the parsed snapshot into an empty registry reproduces the
+  // registry byte-for-byte — the invariant the sharded metrics merge
+  // (ShardMetricsMergeSink) rests on.
+  obs::MetricsRegistry b;
+  std::string error;
+  ASSERT_TRUE(b.merge_from_json(snap.str(), &error)) << error;
+  std::ostringstream snap_b;
+  b.write_json(snap_b);
+  EXPECT_EQ(snap.str(), snap_b.str());
+
+  // Folding snapshots is equivalent to merging registries.
+  obs::MetricsRegistry c;
+  c.add_counter("c", 1);
+  c.observe("lat", 0.75);
+  obs::MetricsRegistry via_merge;
+  via_merge.merge_from(a);
+  via_merge.merge_from(c);
+  obs::MetricsRegistry via_json;
+  std::ostringstream snap_c;
+  c.write_json(snap_c);
+  ASSERT_TRUE(via_json.merge_from_json(snap.str(), &error)) << error;
+  ASSERT_TRUE(via_json.merge_from_json(snap_c.str(), &error)) << error;
+  std::ostringstream merged_a, merged_b;
+  via_merge.write_json(merged_a);
+  via_json.write_json(merged_b);
+  EXPECT_EQ(merged_a.str(), merged_b.str());
+
+  // Malformed snapshots are rejected with a message, not folded partially.
+  obs::MetricsRegistry d;
+  EXPECT_FALSE(d.merge_from_json("{\"counters\":", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(MetricsRegistry, HistogramQuantileInterpolatesWithinBuckets) {
+  obs::MetricsRegistry r;
+  // 100 observations uniformly 1..100 (original units) over default bounds.
+  for (int i = 1; i <= 100; ++i) r.observe("h", i);
+  const auto* h = r.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  const double p50 = obs::histogram_quantile(*h, 0.5);
+  const double p90 = obs::histogram_quantile(*h, 0.9);
+  const double p99 = obs::histogram_quantile(*h, 0.99);
+  // Quantiles are monotone and land near the exact order statistics
+  // (bucket-resolution accuracy, not exactness, is the contract).
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(p50, 50, 30);
+  EXPECT_NEAR(p99, 99, 30);
+  // Degenerate cases: empty histogram and out-of-range q clamp sanely.
+  obs::MetricsRegistry::Histogram empty;
+  EXPECT_EQ(obs::histogram_quantile(empty, 0.5), 0.0);
+  EXPECT_LE(obs::histogram_quantile(*h, 0.0), p50);
+  EXPECT_GE(obs::histogram_quantile(*h, 1.0), p99);
+}
+
 TEST(Tracer, DisabledRecordsNothingAndCostsNoIds) {
   obs::Tracer tr;
   const auto track = tr.track("main");

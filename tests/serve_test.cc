@@ -1,0 +1,220 @@
+// Service mode (`qoed_cli serve`): protocol behavior over in-memory
+// streams, and the batch-equivalence contract — a serve session with
+// --out-dir leaves the identical shard directory a batch fleet over the
+// same specs would.
+#include "svc/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+#include "core/shard.h"
+#include "svc/run_spec.h"
+
+namespace qoed::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "qoed_serve_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+std::size_t count_containing(const std::vector<std::string>& lines,
+                             const std::string& needle) {
+  std::size_t n = 0;
+  for (const auto& l : lines) {
+    if (l.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+// Cheap specs: the "post" scenario with one repetition finishes in a few
+// milliseconds of wall time per run.
+std::string submit_line(std::uint64_t seed) {
+  return "{\"cmd\":\"submit\",\"scenario\":\"post\",\"seed\":" +
+         std::to_string(seed) + ",\"reps\":1}\n";
+}
+
+TEST(Serve, SubmitStatusDrainShutdown) {
+  const std::string dir = scratch_dir("basic");
+  std::istringstream in(submit_line(11) + submit_line(12) +
+                        "{\"cmd\":\"status\"}\n"
+                        "{\"cmd\":\"drain\"}\n"
+                        "{\"cmd\":\"shutdown\"}\n");
+  std::ostringstream out;
+  ServeOptions opts;
+  opts.jobs = 2;
+  opts.out_dir = dir;
+  ServeEngine engine(in, out, opts);
+  EXPECT_EQ(engine.run(), 0);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  // 2 submit acks with ids 0 and 1.
+  EXPECT_EQ(count_containing(lines, "{\"ok\":true,\"id\":0}"), 1u);
+  EXPECT_EQ(count_containing(lines, "{\"ok\":true,\"id\":1}"), 1u);
+  // One run event per submission, in submission order.
+  EXPECT_EQ(count_containing(lines, "\"event\":\"run\""), 2u);
+  EXPECT_EQ(count_containing(lines, "\"drained\":2"), 1u);
+  EXPECT_EQ(count_containing(lines, "\"shutdown\":true,\"runs\":2"), 1u);
+
+  // Acks precede the run's own events.
+  std::size_t ack0 = lines.size(), run0 = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("{\"ok\":true,\"id\":0}") != std::string::npos) ack0 = i;
+    if (lines[i].find("\"event\":\"run\",\"id\":0") != std::string::npos &&
+        run0 == lines.size()) {
+      run0 = i;
+    }
+  }
+  EXPECT_LT(ack0, run0);
+
+  // Shutdown wrote the merged artifacts next to the shards.
+  EXPECT_TRUE(fs::exists(dir + "/MANIFEST.json"));
+  EXPECT_TRUE(fs::exists(dir + "/findings.jsonl"));
+  EXPECT_TRUE(fs::exists(dir + "/timeline.jsonl"));
+  EXPECT_TRUE(fs::exists(dir + "/metrics.json"));
+}
+
+TEST(Serve, EofIsImplicitShutdown) {
+  const std::string dir = scratch_dir("eof");
+  std::istringstream in(submit_line(21));
+  std::ostringstream out;
+  ServeOptions opts;
+  opts.out_dir = dir;
+  ServeEngine engine(in, out, opts);
+  EXPECT_EQ(engine.run(), 0);
+  // No shutdown ack on EOF, but the session still drains and finalizes.
+  EXPECT_EQ(count_containing(lines_of(out.str()), "\"shutdown\""), 0u);
+  EXPECT_TRUE(fs::exists(dir + "/MANIFEST.json"));
+  EXPECT_TRUE(fs::exists(dir + "/findings.jsonl"));
+}
+
+TEST(Serve, RejectsMalformedInput) {
+  std::istringstream in(
+      "{\"cmd\":\"bogus\"}\n"
+      "not json at all\n"
+      "{\"cmd\":\"submit\",\"scenario\":\"no-such-scenario\"}\n"
+      "{\"cmd\":\"status\"}\n"
+      "{\"cmd\":\"shutdown\"}\n");
+  std::ostringstream out;
+  ServeEngine engine(in, out, ServeOptions{});
+  EXPECT_EQ(engine.run(), 0);
+  const std::vector<std::string> lines = lines_of(out.str());
+  EXPECT_EQ(count_containing(lines, "\"ok\":false"), 3u);
+  // Nothing was scheduled.
+  EXPECT_EQ(count_containing(lines, "\"submitted\":0,\"committed\":0"), 1u);
+  EXPECT_EQ(count_containing(lines, "\"shutdown\":true,\"runs\":0"), 1u);
+}
+
+// The determinism contract: serve commits runs through the same sink and
+// seeds runs from the spec itself, so a serve session and a batch fleet
+// over the same spec list leave byte-identical shard directories.
+TEST(Serve, ShardDirMatchesBatchFleet) {
+  std::vector<ScenarioSpec> specs;
+  for (std::uint64_t seed : {31, 32, 33}) {
+    ScenarioSpec s;
+    s.scenario = "post";
+    s.reps = 1;
+    s.seed = seed;
+    specs.push_back(s);
+  }
+
+  const std::string serve_dir = scratch_dir("vs_batch_serve");
+  {
+    std::string input;
+    for (const ScenarioSpec& s : specs) {
+      input += "{\"cmd\":\"submit\",\"scenario\":\"post\",\"reps\":1,"
+               "\"seed\":" + std::to_string(s.seed) + "}\n";
+    }
+    input += "{\"cmd\":\"shutdown\"}\n";
+    std::istringstream in(input);
+    std::ostringstream out;
+    ServeOptions opts;
+    opts.jobs = 3;
+    opts.out_dir = serve_dir;
+    ServeEngine engine(in, out, opts);
+    ASSERT_EQ(engine.run(), 0);
+  }
+
+  const std::string batch_dir = scratch_dir("vs_batch_fleet");
+  {
+    core::CampaignConfig cfg;
+    cfg.name = "serve";  // the serve engine's campaign identity
+    cfg.runs = specs.size();
+    cfg.jobs = 2;  // different pool size must not matter
+    cfg.master_seed = 1;
+    cfg.shard.out_dir = batch_dir;
+    core::Campaign campaign(cfg);
+    campaign.run([&specs](std::uint64_t, const core::RunSpec& rs) {
+      return run_scenario(specs[rs.run_index]);
+    });
+    core::ShardFindingsMergeSink(batch_dir)
+        .write_file(batch_dir + "/findings.jsonl");
+    core::ShardTimelineMergeSink(batch_dir)
+        .write_file(batch_dir + "/timeline.jsonl");
+    core::ShardMetricsMergeSink(batch_dir)
+        .write_file(batch_dir + "/metrics.json");
+  }
+
+  for (const char* name :
+       {"MANIFEST.json", "findings.jsonl", "timeline.jsonl", "metrics.json"}) {
+    std::ifstream a(serve_dir + "/" + name, std::ios::binary);
+    std::ifstream b(batch_dir + "/" + name, std::ios::binary);
+    ASSERT_TRUE(a.is_open()) << name;
+    ASSERT_TRUE(b.is_open()) << name;
+    std::stringstream sa, sb;
+    sa << a.rdbuf();
+    sb << b.rdbuf();
+    EXPECT_EQ(sa.str(), sb.str()) << name;
+  }
+}
+
+TEST(ScenarioSpec, JsonRoundTripAndValidation) {
+  ScenarioSpec spec;
+  spec.scenario = "video";
+  spec.network = "lte";
+  spec.seed = 9000000000000000001ull;  // > 2^53: must survive as an integer
+  spec.videos = 2;
+  spec.throttle_kbps = 200;
+  spec.mechanism = "policing";
+
+  ScenarioSpec parsed;
+  std::string error;
+  ASSERT_TRUE(ScenarioSpec::parse_json(spec.to_json(), &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.to_json(), spec.to_json());
+  EXPECT_EQ(parsed.seed, spec.seed);
+
+  EXPECT_FALSE(
+      ScenarioSpec::parse_json("{\"scenario\":\"nope\"}", &parsed, &error));
+  EXPECT_FALSE(ScenarioSpec::parse_json("{\"network\":\"dialup\"}", &parsed,
+                                        &error));
+  EXPECT_FALSE(ScenarioSpec::parse_json("not json", &parsed, &error));
+  // Unknown keys (e.g. the protocol's cmd/id) are ignored.
+  EXPECT_TRUE(ScenarioSpec::parse_json(
+      "{\"cmd\":\"submit\",\"id\":4,\"scenario\":\"pageload\"}", &parsed,
+      &error))
+      << error;
+  EXPECT_EQ(parsed.scenario, "pageload");
+}
+
+}  // namespace
+}  // namespace qoed::svc
