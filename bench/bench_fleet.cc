@@ -43,6 +43,7 @@ using namespace core;
 struct FleetOptions {
   std::string mode = "both";  // sharded | memory | both
   std::string bench_json;     // BENCH_fleet.json path ("" = don't write)
+  double min_dh_per_wall_s = 0;  // throughput floor (0 = report only)
   bench::BenchOptions common;
 };
 
@@ -140,6 +141,7 @@ int run_one_mode(const FleetOptions& opt, const std::string& mode) {
     device_seconds = it->second;
   }
   const double device_hours = device_seconds / 3600.0;
+  const double dh_per_wall_s = wall > 0 ? device_hours / wall : 0;
 
   rusage ru{};
   getrusage(RUSAGE_SELF, &ru);
@@ -147,7 +149,7 @@ int run_one_mode(const FleetOptions& opt, const std::string& mode) {
       "fleet/%s: %zu runs over %zu workers in %.2fs | %.1f device-hours "
       "(%.1f dh/wall-s) | peak RSS %.1f MiB\n",
       mode.c_str(), result.runs, result.jobs, wall, device_hours,
-      wall > 0 ? device_hours / wall : 0, maxrss_mib(ru));
+      dh_per_wall_s, maxrss_mib(ru));
   if (!opt.bench_json.empty()) {
     bench::write_bench_json(
         opt.bench_json, "fleet/" + mode,
@@ -155,9 +157,16 @@ int run_one_mode(const FleetOptions& opt, const std::string& mode) {
          {"jobs", static_cast<double>(result.jobs)},
          {"wall_s", wall},
          {"device_hours", device_hours},
-         {"device_hours_per_wall_s", wall > 0 ? device_hours / wall : 0},
+         {"device_hours_per_wall_s", dh_per_wall_s},
+         {"min_dh_per_wall_s", opt.min_dh_per_wall_s},
          {"failed_runs", static_cast<double>(result.failed_runs())},
          {"peak_rss_mib", maxrss_mib(ru)}});
+  }
+  if (opt.min_dh_per_wall_s > 0 && dh_per_wall_s < opt.min_dh_per_wall_s) {
+    std::fprintf(stderr,
+                 "THROUGHPUT GATE: fleet/%s %.2f dh/wall-s below floor %.2f\n",
+                 mode.c_str(), dh_per_wall_s, opt.min_dh_per_wall_s);
+    return 1;
   }
   return result.failed_runs() == 0 ? 0 : 1;
 }
@@ -212,6 +221,10 @@ int spawn_mode(const FleetOptions& opt, const std::string& mode,
       args.push_back("--bench-json");
       args.push_back(opt.bench_json);
     }
+    if (opt.min_dh_per_wall_s > 0) {
+      args.push_back("--min-dh-per-wall-s");
+      args.push_back(std::to_string(opt.min_dh_per_wall_s));
+    }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (auto& a : args) argv.push_back(a.data());
@@ -251,6 +264,8 @@ int main(int argc, char** argv) {
       opt.mode = value();
     } else if (arg == "--bench-json") {
       opt.bench_json = value();
+    } else if (arg == "--min-dh-per-wall-s") {
+      opt.min_dh_per_wall_s = std::strtod(value(), nullptr);
     } else {
       rest.push_back(argv[i]);
     }

@@ -8,6 +8,10 @@
 //   qoed_cli post     --network=lte --kind=photos --reps=10
 //   qoed_cli video    --network=lte --throttle=250 --mechanism=policing
 //   qoed_cli merge    --out=all.jsonl phone1.jsonl phone2.jsonl
+//   qoed_cli merge    --summary --findings=findings.jsonl phone1.jsonl ...
+//   qoed_cli merge    --summary --merged --findings=f.jsonl timeline.jsonl
+//   qoed_cli cell     --devices=8 --app=video --capacity=2000 --throttle=250
+//   qoed_cli pop      --users=500 --mix=0.4,0.3,0.3 --out=specs.jsonl
 //   qoed_cli fleet    --specs=runs.jsonl --jobs=8 --out-dir=fleet/
 //   qoed_cli serve    --jobs=4 --out-dir=serve/
 //
@@ -38,6 +42,10 @@
 //   merge:    per-device timeline JSONL files; --out=FILE [stdout]
 //             --strict: exit nonzero if any line was quarantined or
 //             out of order
+//             --summary: per-device rollup table (line/finding counts,
+//             latency medians; join findings with --findings=FILE)
+//             --merged: the single input is already merged/stamped
+//             (a cell or fleet timeline.jsonl) — summarize as-is
 //   fleet:    batch campaign over one ScenarioSpec JSON per line of --specs.
 //             Sharded (constant-memory) by default with --out-dir; --memory
 //             pools RunResults instead. Merged findings.jsonl /
@@ -60,6 +68,7 @@
 #include "apps/social_server.h"
 #include "apps/video_server.h"
 #include "apps/web_server.h"
+#include "cell/cell_run.h"
 #include "core/export_sink.h"
 #include "core/log_export.h"
 #include "core/qoe_doctor.h"
@@ -70,6 +79,7 @@
 #include "diag/findings_sink.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
+#include "pop/population.h"
 #include "sim/log.h"
 #include "svc/run_spec.h"
 #include "svc/serve.h"
@@ -440,6 +450,41 @@ int run_video(const Options& opt) {
 // one stream ordered by (t, device, seq); the device label is the file's
 // basename without extension.
 int run_merge(const Options& opt) {
+  // --merged: the single input is an ALREADY-merged stream (a cell run's or
+  // fleet's timeline.jsonl) whose lines carry device/run labels — pass it
+  // through unstamped instead of re-labeling it by filename.
+  if (opt.get_int("merged", 0) != 0) {
+    if (opt.positional.size() != 1) {
+      std::printf("merge: --merged takes exactly one input file\n");
+      return 2;
+    }
+    std::ifstream in(opt.positional[0], std::ios::binary);
+    if (!in) {
+      std::printf("cannot read %s\n", opt.positional[0].c_str());
+      return 1;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    std::string findings;
+    const std::string findings_path = opt.get("findings", "");
+    if (!findings_path.empty()) {
+      std::ifstream fin(findings_path, std::ios::binary);
+      if (!fin) {
+        std::printf("merge: cannot read %s\n", findings_path.c_str());
+        return 1;
+      }
+      std::ostringstream fcontent;
+      fcontent << fin.rdbuf();
+      findings = fcontent.str();
+    }
+    const core::MergedSummary s = core::summarize_merged(content.str(),
+                                                         findings);
+    std::ostringstream table;
+    core::print_merged_summary(table, s);
+    std::fputs(table.str().c_str(), stdout);
+    return 0;
+  }
+
   std::vector<core::DeviceTimeline> inputs;
   for (const std::string& path : opt.positional) {
     std::ifstream in(path, std::ios::binary);
@@ -474,23 +519,165 @@ int run_merge(const Options& opt) {
   const int strict_rc =
       (opt.get_int("strict", 0) != 0 && dirty) ? 3 : 0;
   const std::string& merged = result.jsonl;
+  const bool summary = opt.get_int("summary", 0) != 0;
   const std::string out = opt.get("out", "");
-  if (out.empty()) {
+  if (!out.empty()) {
+    std::ofstream os(out, std::ios::binary);
+    os.write(merged.data(), static_cast<std::streamsize>(merged.size()));
+    if (!os) {
+      std::printf("FAILED to write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote merged timeline (%zu devices) to %s\n", inputs.size(),
+                out.c_str());
+  } else if (!summary) {
     std::fwrite(merged.data(), 1, merged.size(), stdout);
-    return strict_rc;
   }
-  std::ofstream os(out, std::ios::binary);
-  os.write(merged.data(), static_cast<std::streamsize>(merged.size()));
-  if (!os) {
-    std::printf("FAILED to write %s\n", out.c_str());
-    return 1;
+  if (summary) {
+    // Per-device rollup of the merged stream, joined with a stamped
+    // findings stream (--findings=FILE, e.g. a fleet's findings.jsonl or a
+    // cell run's per-device stamped export) for counts and latency medians.
+    std::string findings;
+    const std::string findings_path = opt.get("findings", "");
+    if (!findings_path.empty()) {
+      std::ifstream fin(findings_path, std::ios::binary);
+      if (!fin) {
+        std::printf("merge: cannot read %s\n", findings_path.c_str());
+        return 1;
+      }
+      std::ostringstream content;
+      content << fin.rdbuf();
+      findings = content.str();
+    }
+    const core::MergedSummary s = core::summarize_merged(merged, findings);
+    std::ostringstream table;
+    core::print_merged_summary(table, s);
+    std::fputs(table.str().c_str(), stdout);
   }
-  std::printf("wrote merged timeline (%zu devices) to %s\n", inputs.size(),
-              out.c_str());
   if (strict_rc != 0) {
     std::printf("merge: --strict: failing on quarantined/out-of-order input\n");
   }
   return strict_rc;
+}
+
+// Runs one shared-cell contention scenario (src/cell): N devices on a
+// contended base-station downlink, per-cell merged artifacts.
+int run_cell(const Options& opt) {
+  cell::CellScenarioSpec spec;
+  const std::string spec_file = opt.get("spec-file", "");
+  if (!spec_file.empty()) {
+    std::ifstream in(spec_file, std::ios::binary);
+    if (!in) {
+      std::printf("cell: cannot read %s\n", spec_file.c_str());
+      return 1;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    std::string error;
+    if (!cell::CellScenarioSpec::parse_json(content.str(), &spec, &error)) {
+      std::printf("cell: %s\n", error.c_str());
+      return 2;
+    }
+  } else {
+    spec = cell::CellScenarioSpec::uniform(
+        opt.get("app", "browser"), static_cast<int>(opt.get_int("devices", 4)),
+        std::strtod(opt.get("stagger", "1").c_str(), nullptr));
+    spec.network = opt.get("network", "3g");
+    spec.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+    spec.capacity_kbps =
+        std::strtod(opt.get("capacity", "2000").c_str(), nullptr);
+    spec.throttle_kbps = opt.get_int("throttle", 0);
+    spec.mechanism = opt.get("mechanism", "shaping");
+    spec.max_active_grants = static_cast<int>(opt.get_int("grants", 0));
+    for (auto& d : spec.devices) d.actions = opt.get_int("actions", 3);
+  }
+
+  core::RunResult result;
+  try {
+    result = cell::run_cell_scenario(spec);
+  } catch (const std::exception& e) {
+    std::printf("cell: %s\n", e.what());
+    return 2;
+  }
+  std::printf("cell: %zu devices, %.1f virtual s\n", spec.devices.size(),
+              result.virtual_seconds);
+  const core::MergedSummary s = core::summarize_merged(
+      result.artifacts.timeline_jsonl, result.artifacts.findings_jsonl);
+  std::ostringstream table;
+  core::print_merged_summary(table, s);
+  std::fputs(table.str().c_str(), stdout);
+  for (const char* key :
+       {"cell.gate.accepted_bytes", "cell.gate.dropped_bytes",
+        "cell.gate.dropped_packets", "cell.sched.queue_delay_s",
+        "cell.rrc.delayed_promotions"}) {
+    const auto it = result.counters.find(key);
+    if (it != result.counters.end()) {
+      std::printf("%s = %.6g\n", key, it->second);
+    }
+  }
+  const auto write = [](const std::string& path, const std::string& content,
+                        const char* what) {
+    if (path.empty()) return true;
+    std::ofstream os(path, std::ios::binary);
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!os) {
+      std::printf("FAILED to write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s to %s\n", what, path.c_str());
+    return true;
+  };
+  if (!write(opt.get("timeline", ""), result.artifacts.timeline_jsonl,
+             "per-cell timeline.jsonl") ||
+      !write(opt.get("findings", ""), result.artifacts.findings_jsonl,
+             "per-cell findings.jsonl")) {
+    return 1;
+  }
+  return 0;
+}
+
+// Emits one svc::ScenarioSpec JSON line per synthetic user — the
+// `qoed_cli fleet --specs=` input format — from a seeded population model.
+int run_pop(const Options& opt) {
+  pop::PopulationConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(opt.get_int("seed", 1));
+  cfg.users = static_cast<std::size_t>(opt.get_int("users", 100));
+  cfg.days = static_cast<int>(opt.get_int("days", 1));
+  cfg.network = opt.get("network", "3g");
+  cfg.throttle_kbps = opt.get_int("throttle", 0);
+  cfg.mechanism = opt.get("mechanism", "shaping");
+  if (opt.get("diurnal", "mobile") == "flat") {
+    cfg.diurnal = pop::DiurnalCurve::flat();
+  }
+  const std::string mix = opt.get("mix", "");
+  if (!mix.empty()) {
+    char* cursor = nullptr;
+    cfg.mix.social = std::strtod(mix.c_str(), &cursor);
+    cfg.mix.video = (cursor && *cursor == ',') ? std::strtod(cursor + 1,
+                                                             &cursor)
+                                               : 0;
+    cfg.mix.browser = (cursor && *cursor == ',') ? std::strtod(cursor + 1,
+                                                               nullptr)
+                                                 : 0;
+  }
+  const pop::PopulationGenerator gen(cfg);
+  const std::size_t begin =
+      static_cast<std::size_t>(opt.get_int("begin", 0));
+  const std::size_t end = static_cast<std::size_t>(
+      opt.get_int("end", static_cast<long>(cfg.users)));
+  const std::string out = opt.get("out", "");
+  if (out.empty()) {
+    gen.write_jsonl(std::cout, begin, end);
+    return 0;
+  }
+  std::ofstream os(out, std::ios::binary);
+  const std::size_t n = gen.write_jsonl(os, begin, end);
+  if (!os) {
+    std::printf("FAILED to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu scenario specs to %s\n", n, out.c_str());
+  return 0;
 }
 
 // Writes the merged fleet artifacts: from the shard directory (sharded
@@ -645,8 +832,8 @@ int run_serve(const Options& opt) {
 
 void usage() {
   std::printf(
-      "usage: qoed_cli <pageload|post|video|merge> [--network=wifi|3g|"
-      "3g-simplified|lte]\n"
+      "usage: qoed_cli <pageload|post|video|merge|cell|pop|fleet|serve>\n"
+      "  [--network=wifi|3g|3g-simplified|lte]\n"
       "  [--seed=N] [--pcap=FILE] [--qxdm=FILE] [--timeline=FILE] [--counters]\n"
       "  [--diagnose] [--findings=FILE] [--fault-plan=SPEC] [--fault-seed=N]\n"
       "  [--trace=FILE] [--metrics=FILE]\n"
@@ -654,7 +841,15 @@ void usage() {
       "  post:     [--kind=status|checkin|photos] [--reps=N]\n"
       "  video:    [--videos=N] [--throttle=KBPS]"
       " [--mechanism=shaping|policing]\n"
-      "  merge:    [--out=FILE] [--strict] TIMELINE.jsonl...\n"
+      "  merge:    [--out=FILE] [--strict] [--summary [--findings=FILE]]\n"
+      "            [--merged] TIMELINE.jsonl...\n"
+      "  cell:     [--spec-file=FILE | --devices=N --app=browser|social|video\n"
+      "            --capacity=KBPS --stagger=S --actions=N --grants=N]\n"
+      "            [--throttle=KBPS] [--mechanism=shaping|policing]\n"
+      "            [--timeline=FILE] [--findings=FILE]\n"
+      "  pop:      [--users=N] [--seed=N] [--days=N] [--mix=S,V,B]\n"
+      "            [--diurnal=mobile|flat] [--network=...] [--throttle=KBPS]\n"
+      "            [--mechanism=...] [--begin=I] [--end=J] [--out=FILE]\n"
       "  fleet:    --specs=FILE [--jobs=N] [--out-dir=DIR | --memory]\n"
       "            [--shard-bytes=N] [--shard-runs=N] [--resume]\n"
       "            [--merge-only] [--retries=N] [--max-virtual-s=S]\n"
@@ -673,6 +868,8 @@ int main(int argc, char** argv) {
   if (opt.command == "post") return run_post(opt);
   if (opt.command == "video") return run_video(opt);
   if (opt.command == "merge" || opt.command == "--merge") return run_merge(opt);
+  if (opt.command == "cell") return run_cell(opt);
+  if (opt.command == "pop") return run_pop(opt);
   if (opt.command == "fleet") return run_fleet(opt);
   if (opt.command == "serve") return run_serve(opt);
   usage();

@@ -1,0 +1,254 @@
+#include "cell/shared_cell.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace qoed::cell {
+namespace {
+
+std::string member_key(int id) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d", id);
+  return buf;
+}
+
+}  // namespace
+
+SharedCell::SharedCell(sim::EventLoop& loop, CellConfig cfg)
+    : loop_(loop), cfg_(std::move(cfg)) {
+  gate_ = net::make_gate(loop_, cfg_.throttle, cfg_.throttle_rate_bps / 8.0,
+                         cfg_.throttle_burst_bytes);
+  gate_->set_forward([this](net::Packet p) { on_gate_forward(std::move(p)); });
+}
+
+int SharedCell::join(radio::CellularLink& link) {
+  const int id = static_cast<int>(members_.size());
+  Member m;
+  m.link = &link;
+  members_.push_back(std::move(m));
+
+  link.rrc().set_promotion_delay_hook([this, id](radio::RrcState) {
+    if (cfg_.max_active_grants <= 0) return sim::Duration{};
+    // The promoting member itself is still low-power and its promotion timer
+    // is not yet armed when the hook fires, so active_members() counts only
+    // the *other* grant holders/acquirers.
+    const int excess = active_members() - cfg_.max_active_grants + 1;
+    if (excess <= 0) return sim::Duration{};
+    const sim::Duration extra = cfg_.promotion_penalty * excess;
+    ++delayed_promotions_;
+    promotion_extra_total_ += extra;
+    return extra;
+  });
+  return id;
+}
+
+void SharedCell::leave(int member) {
+  if (member < 0 || member >= static_cast<int>(members_.size())) return;
+  Member& m = members_[member];
+  if (m.link != nullptr) m.link->rrc().set_promotion_delay_hook(nullptr);
+  m.link = nullptr;
+  m.queue.clear();
+  m.queued_bytes = 0;
+}
+
+void SharedCell::submit_downlink(int member, net::Packet p) {
+  const std::uint64_t uid = p.uid;
+  in_gate_.emplace_back(uid, member);
+  const std::uint64_t dropped_before = gate_->dropped_packets();
+  gate_->submit(std::move(p));
+  if (gate_->dropped_packets() > dropped_before) {
+    // Policer drop or shaper overflow: synchronous, never forwarded.
+    for (auto it = in_gate_.begin(); it != in_gate_.end(); ++it) {
+      if (it->first == uid) {
+        in_gate_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void SharedCell::on_gate_forward(net::Packet p) {
+  int member = -1;
+  for (auto it = in_gate_.begin(); it != in_gate_.end(); ++it) {
+    if (it->first == p.uid) {
+      member = it->second;
+      in_gate_.erase(it);
+      break;
+    }
+  }
+  if (member < 0 || member >= static_cast<int>(members_.size())) return;
+  Member& m = members_[member];
+  if (m.link == nullptr) return;  // member left while the packet was queued
+
+  if (cfg_.capacity_bps <= 0) {
+    // Uncontended cell: behaves exactly like a per-link gate.
+    ++served_packets_;
+    served_bytes_ += p.total_size();
+    m.served_bytes += p.total_size();
+    ++m.served_packets;
+    m.link->deliver_downlink(std::move(p));
+    return;
+  }
+  enqueue(member, std::move(p));
+}
+
+void SharedCell::enqueue(int member, net::Packet p) {
+  Member& m = members_[member];
+  const std::size_t size = p.total_size();
+  if (m.queued_bytes + size > cfg_.member_queue_bytes) {
+    ++m.dropped_packets;
+    m.dropped_bytes += size;
+    ++queue_dropped_packets_;
+    queue_dropped_bytes_ += size;
+    return;
+  }
+  m.queued_bytes += size;
+  m.max_queue_seen = std::max(m.max_queue_seen, m.queued_bytes);
+  max_queue_bytes_seen_ = std::max(max_queue_bytes_seen_, m.queued_bytes);
+  m.queue.push_back(Queued{std::move(p), loop_.now()});
+  ensure_pump();
+}
+
+void SharedCell::ensure_pump() {
+  if (pump_active_) return;
+  pump_active_ = true;
+  loop_.schedule_after(cfg_.tti, [this] { on_tti(); });
+}
+
+bool SharedCell::any_backlog() const {
+  for (const Member& m : members_) {
+    if (m.link != nullptr && !m.queue.empty()) return true;
+  }
+  return false;
+}
+
+int SharedCell::pick_member() const {
+  int best = -1;
+  double best_metric = 0;
+  for (int i = 0; i < static_cast<int>(members_.size()); ++i) {
+    const Member& m = members_[i];
+    if (m.link == nullptr || m.queue.empty()) continue;
+    // Uniform weights: metric favours whoever has been served least lately;
+    // strict > keeps the tie-break at the lowest member id.
+    const double metric = 1.0 / std::max(m.ewma_served, 1.0);
+    if (best < 0 || metric > best_metric) {
+      best = i;
+      best_metric = metric;
+    }
+  }
+  return best;
+}
+
+int SharedCell::active_members() const {
+  int n = 0;
+  for (const Member& m : members_) {
+    if (m.link == nullptr) continue;
+    const radio::RrcMachine& rrc = m.link->rrc();
+    if (rrc.transfer_capable() || rrc.promoting()) ++n;
+  }
+  return n;
+}
+
+void SharedCell::on_tti() {
+  ++tti_rounds_;
+  const double per_tti = cfg_.capacity_bps / 8.0 * sim::to_seconds(cfg_.tti);
+  double budget = per_tti + budget_carry_;
+
+  while (budget > 0) {
+    const int id = pick_member();
+    if (id < 0) break;
+    Member& m = members_[id];
+    Queued q = std::move(m.queue.front());
+    m.queue.pop_front();
+    const std::size_t size = q.p.total_size();
+    m.queued_bytes -= size;
+    // Whole-packet service with deficit: budget may go negative and the
+    // shortfall carries to the next round.
+    budget -= static_cast<double>(size);
+    m.tti_served += size;
+    m.served_bytes += size;
+    ++m.served_packets;
+    served_bytes_ += size;
+    ++served_packets_;
+    queue_delay_total_ += loop_.now() - q.enqueued_at;
+    m.link->deliver_downlink(std::move(q.p));
+  }
+
+  // PF average update in member-id order: idle members decay toward zero and
+  // regain priority; heavy hitters climb and yield.
+  for (Member& m : members_) {
+    if (m.link == nullptr) continue;
+    m.ewma_served = (1.0 - cfg_.pf_ewma_alpha) * m.ewma_served +
+                    cfg_.pf_ewma_alpha * static_cast<double>(m.tti_served);
+    m.tti_served = 0;
+  }
+
+  if (any_backlog()) {
+    // Unused budget carries at most one round forward; deficit carries fully.
+    budget_carry_ = std::min(budget, per_tti);
+    loop_.schedule_after(cfg_.tti, [this] { on_tti(); });
+  } else {
+    pump_active_ = false;
+    budget_carry_ = 0;
+  }
+}
+
+std::size_t SharedCell::gate_max_queue_bytes() const {
+  const auto* shaper = dynamic_cast<const net::Shaper*>(gate_.get());
+  return shaper != nullptr ? shaper->max_queue_depth_seen() : 0;
+}
+
+std::uint64_t SharedCell::member_served_bytes(int member) const {
+  if (member < 0 || member >= static_cast<int>(members_.size())) return 0;
+  return members_[member].served_bytes;
+}
+
+std::uint64_t SharedCell::member_dropped_packets(int member) const {
+  if (member < 0 || member >= static_cast<int>(members_.size())) return 0;
+  return members_[member].dropped_packets;
+}
+
+void SharedCell::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.add_counter("cell.gate.accepted_bytes",
+                  static_cast<double>(gate_->accepted_bytes()));
+  reg.add_counter("cell.gate.accepted_packets",
+                  static_cast<double>(gate_->accepted_packets()));
+  reg.add_counter("cell.gate.dropped_bytes",
+                  static_cast<double>(gate_->dropped_bytes()));
+  reg.add_counter("cell.gate.dropped_packets",
+                  static_cast<double>(gate_->dropped_packets()));
+  reg.add_counter("cell.members", static_cast<double>(members_.size()));
+  reg.add_counter("cell.rrc.delayed_promotions",
+                  static_cast<double>(delayed_promotions_));
+  reg.add_counter("cell.rrc.extra_delay_s",
+                  sim::to_seconds(promotion_extra_total_));
+  reg.add_counter("cell.sched.queue_delay_s",
+                  sim::to_seconds(queue_delay_total_));
+  reg.add_counter("cell.sched.queue_dropped_bytes",
+                  static_cast<double>(queue_dropped_bytes_));
+  reg.add_counter("cell.sched.queue_dropped_packets",
+                  static_cast<double>(queue_dropped_packets_));
+  reg.add_counter("cell.sched.served_bytes",
+                  static_cast<double>(served_bytes_));
+  reg.add_counter("cell.sched.served_packets",
+                  static_cast<double>(served_packets_));
+  reg.add_counter("cell.sched.tti_rounds", static_cast<double>(tti_rounds_));
+  reg.set_gauge("cell.gate.max_queue_bytes",
+                static_cast<double>(gate_max_queue_bytes()));
+  reg.set_gauge("cell.sched.max_queue_bytes",
+                static_cast<double>(max_queue_bytes_seen_));
+  for (int i = 0; i < static_cast<int>(members_.size()); ++i) {
+    const Member& m = members_[i];
+    const std::string base = "cell.member." + member_key(i) + ".";
+    reg.add_counter(base + "served_bytes",
+                    static_cast<double>(m.served_bytes));
+    reg.add_counter(base + "dropped_packets",
+                    static_cast<double>(m.dropped_packets));
+    reg.set_gauge(base + "max_queue_bytes",
+                  static_cast<double>(m.max_queue_seen));
+  }
+}
+
+}  // namespace qoed::cell

@@ -1,0 +1,165 @@
+// Shared-cell contention model: N handsets attached to one base station
+// whose downlink is a single contended resource.
+//
+// Every single-device experiment so far gave each CellularLink a private
+// downlink pipe; real cells do not work that way. SharedCell implements
+// radio::DownlinkScheduler so that member links forward their core->device
+// packets here, where three base-station-side mechanisms apply in order:
+//
+//   1. a SHARED carrier token-bucket gate (shaping or policing, §7.5) over
+//      the aggregate of all members — the per-subscription throttle the
+//      paper measures becomes a per-cell commitment under load;
+//   2. per-member drop-tail queues drained by a deterministic
+//      proportional-fair scheduler in fixed TTI rounds (capacity_bps is the
+//      air-interface budget; 0 disables contention and forwards instantly,
+//      which is the basis of the N=1 bit-identity gate in cell_test);
+//   3. an RRC signalling-resource limit: promotions beyond
+//      max_active_grants pay promotion_penalty per excess active member,
+//      modelling the cell delaying channel grants under load.
+//
+// Determinism: everything is a pure function of simulation state — the PF
+// metric uses an EWMA of served bytes with a fixed tie-break (lowest member
+// id), TTIs are fixed-width timer rounds on the shared EventLoop, and no
+// randomness is consumed. Two runs with the same seeds and member order are
+// bit-identical, so per-cell artifacts stay byte-stable at any --jobs.
+//
+// Lifetime: the cell must outlive every member link (construct it before
+// the devices); links leave() from their destructor.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/token_bucket.h"
+#include "obs/metrics.h"
+#include "radio/cellular_link.h"
+#include "sim/event_loop.h"
+
+namespace qoed::cell {
+
+struct CellConfig {
+  // Air-interface capacity shared by all members (bits/s). 0 = uncontended:
+  // packets surviving the shared gate are handed to their link immediately,
+  // making a 1-member cell byte-identical to a plain per-link gate.
+  double capacity_bps = 0;
+
+  // Scheduler round width. Budget per round = capacity_bps/8 * tti seconds;
+  // whole head-of-line packets are served with deficit carryover, so a
+  // packet larger than one round's budget still drains.
+  sim::Duration tti = sim::msec(1);
+
+  // Proportional-fair memory: per-round EWMA of served bytes per member.
+  // metric = weight / max(ewma, 1); highest metric wins, ties to the lowest
+  // member id. alpha = 1 degenerates to "least recently served".
+  double pf_ewma_alpha = 0.1;
+
+  // Shared carrier throttle applied to the member aggregate before
+  // scheduling (same semantics as CellularConfig's per-link gate).
+  net::ThrottleKind throttle = net::ThrottleKind::kNone;
+  double throttle_rate_bps = 250e3;
+  double throttle_burst_bytes = 32 * 1024;
+
+  // Drop-tail cap per member queue (air-interface buffer).
+  std::size_t member_queue_bytes = 512 * 1024;
+
+  // RRC signalling limit: members transfer-capable or promoting beyond this
+  // count each add promotion_penalty to a newly started promotion.
+  // 0 = unlimited (no extra delay).
+  int max_active_grants = 0;
+  sim::Duration promotion_penalty = sim::msec(200);
+
+  static CellConfig uncontended() { return CellConfig{}; }
+};
+
+class SharedCell final : public radio::DownlinkScheduler {
+ public:
+  SharedCell(sim::EventLoop& loop, CellConfig cfg);
+
+  // DownlinkScheduler
+  int join(radio::CellularLink& link) override;
+  void leave(int member) override;
+  void submit_downlink(int member, net::Packet p) override;
+
+  const CellConfig& config() const { return cfg_; }
+  int member_count() const { return static_cast<int>(members_.size()); }
+
+  // Shared-gate counters (pre-scheduler): what the carrier throttle did to
+  // the member aggregate.
+  const net::PacketGate& gate() const { return *gate_; }
+  // Deepest backlog the shared shaper reached (0 for policing/none): the
+  // "contention becomes delay" observable, mirroring the gate drop counters'
+  // "contention becomes loss".
+  std::size_t gate_max_queue_bytes() const;
+
+  // Scheduler counters.
+  std::uint64_t tti_rounds() const { return tti_rounds_; }
+  std::uint64_t served_packets() const { return served_packets_; }
+  std::uint64_t served_bytes() const { return served_bytes_; }
+  std::uint64_t queue_dropped_packets() const { return queue_dropped_packets_; }
+  std::uint64_t queue_dropped_bytes() const { return queue_dropped_bytes_; }
+  // Sum over served packets of (serve time - enqueue time).
+  sim::Duration queue_delay_total() const { return queue_delay_total_; }
+  std::size_t max_queue_bytes_seen() const { return max_queue_bytes_seen_; }
+
+  // RRC-limit counters.
+  std::uint64_t delayed_promotions() const { return delayed_promotions_; }
+  sim::Duration promotion_extra_total() const { return promotion_extra_total_; }
+
+  std::uint64_t member_served_bytes(int member) const;
+  std::uint64_t member_dropped_packets(int member) const;
+
+  // Writes cell.* counters into a deterministic metrics registry; member
+  // counters use zero-padded ids (cell.member.0003.served_bytes) so key
+  // order equals member order.
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
+ private:
+  struct Queued {
+    net::Packet p;
+    sim::TimePoint enqueued_at;
+  };
+  struct Member {
+    radio::CellularLink* link = nullptr;  // null after leave()
+    std::deque<Queued> queue;
+    std::size_t queued_bytes = 0;
+    double ewma_served = 0;          // PF average, bytes per TTI
+    std::uint64_t tti_served = 0;    // scratch, bytes served this round
+    std::uint64_t served_bytes = 0;
+    std::uint64_t served_packets = 0;
+    std::uint64_t dropped_packets = 0;
+    std::uint64_t dropped_bytes = 0;
+    std::size_t max_queue_seen = 0;
+  };
+
+  void on_gate_forward(net::Packet p);
+  void enqueue(int member, net::Packet p);
+  void ensure_pump();
+  void on_tti();
+  bool any_backlog() const;
+  int pick_member() const;
+  int active_members() const;  // transfer-capable or promoting, alive
+
+  sim::EventLoop& loop_;
+  CellConfig cfg_;
+  std::unique_ptr<net::PacketGate> gate_;
+  std::vector<Member> members_;
+  // Owner of each packet in flight through the shared gate, keyed by uid
+  // (recorded at submit; erased on forward or synchronous drop).
+  std::deque<std::pair<std::uint64_t, int>> in_gate_;
+  bool pump_active_ = false;
+  double budget_carry_ = 0;  // bytes; deficit (negative) carries fully
+
+  std::uint64_t tti_rounds_ = 0;
+  std::uint64_t served_packets_ = 0;
+  std::uint64_t served_bytes_ = 0;
+  std::uint64_t queue_dropped_packets_ = 0;
+  std::uint64_t queue_dropped_bytes_ = 0;
+  sim::Duration queue_delay_total_{};
+  std::size_t max_queue_bytes_seen_ = 0;
+  std::uint64_t delayed_promotions_ = 0;
+  sim::Duration promotion_extra_total_{};
+};
+
+}  // namespace qoed::cell

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <istream>
+#include <map>
 #include <queue>
 #include <sstream>
 #include <tuple>
@@ -164,6 +167,103 @@ TimelineMergeResult merge_timelines_checked(
 
 std::string merge_timelines(const std::vector<DeviceTimeline>& inputs) {
   return merge_timelines_checked(inputs).jsonl;
+}
+
+namespace {
+
+// Group label of a stamped line: "device" if present, else "run-N" from the
+// shard path's {"run":N,...} stamp. False for unlabeled lines.
+bool group_label(std::string_view line, std::string* out) {
+  if (field_string(line, "device", out)) return true;
+  bool run_ok = false;
+  const double run = field_number(line, "run", &run_ok);
+  if (!run_ok) return false;
+  *out = "run-" + std::to_string(static_cast<long long>(run));
+  return true;
+}
+
+void for_each_line(std::string_view jsonl,
+                   const std::function<void(std::string_view)>& fn) {
+  std::string_view rest = jsonl;
+  while (!rest.empty()) {
+    const auto nl = rest.find('\n');
+    const std::string_view line = rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(nl + 1);
+    if (line.empty() || line.front() != '{') continue;
+    fn(line);
+  }
+}
+
+double median_of_sorted(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+}  // namespace
+
+MergedSummary summarize_merged(std::string_view timeline_jsonl,
+                               std::string_view findings_jsonl) {
+  struct Acc {
+    std::size_t timeline_lines = 0;
+    std::size_t findings = 0;
+    std::vector<double> total_s;
+  };
+  std::map<std::string, Acc> groups;
+
+  for_each_line(timeline_jsonl, [&](std::string_view line) {
+    std::string label;
+    if (!group_label(line, &label)) return;
+    ++groups[label].timeline_lines;
+  });
+  for_each_line(findings_jsonl, [&](std::string_view line) {
+    std::string label;
+    if (!group_label(line, &label)) return;
+    Acc& acc = groups[label];
+    ++acc.findings;
+    bool ok = false;
+    const double total = field_number(line, "total_s", &ok);
+    if (ok) acc.total_s.push_back(total);
+  });
+
+  MergedSummary out;
+  for (auto& [label, acc] : groups) {
+    MergedGroupSummary g;
+    g.label = label;
+    g.timeline_lines = acc.timeline_lines;
+    g.findings = acc.findings;
+    if (!acc.total_s.empty()) {
+      g.has_latency = true;
+      g.median_total_s = median_of_sorted(acc.total_s);
+    }
+    out.timeline_lines += g.timeline_lines;
+    out.findings += g.findings;
+    out.groups.push_back(std::move(g));
+  }
+  return out;
+}
+
+void print_merged_summary(std::ostream& os, const MergedSummary& summary) {
+  char buf[64];
+  os << "group              timeline  findings  median_total_s\n";
+  const auto row = [&](const std::string& label, std::size_t timeline,
+                       std::size_t findings, bool has_latency,
+                       double median) {
+    if (has_latency) {
+      std::snprintf(buf, sizeof buf, "%-18s %8zu  %8zu  %14.6f\n",
+                    label.c_str(), timeline, findings, median);
+    } else {
+      std::snprintf(buf, sizeof buf, "%-18s %8zu  %8zu  %14s\n",
+                    label.c_str(), timeline, findings, "-");
+    }
+    os << buf;
+  };
+  for (const MergedGroupSummary& g : summary.groups) {
+    row(g.label, g.timeline_lines, g.findings, g.has_latency,
+        g.median_total_s);
+  }
+  row("TOTAL", summary.timeline_lines, summary.findings, false, 0);
 }
 
 }  // namespace qoed::core

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace qoed::core {
@@ -55,6 +56,35 @@ TimelineMergeResult merge_timelines_checked(
 
 // Back-compat wrapper: merged stream only, corruption dropped silently.
 std::string merge_timelines(const std::vector<DeviceTimeline>& inputs);
+
+// Per-group rollup over merged artifacts (`qoed_cli merge --summary`).
+// Groups are keyed by each line's "device" string; lines stamped by the
+// sharded campaign path with {"run":N,...} and no "device" fall into a
+// synthetic "run-N" group, so both stamp conventions summarize uniformly.
+struct MergedGroupSummary {
+  std::string label;
+  std::size_t timeline_lines = 0;
+  std::size_t findings = 0;
+  // Median of the findings' "total_s" latency field (seconds); meaningful
+  // only when has_latency (at least one finding carried the field).
+  bool has_latency = false;
+  double median_total_s = 0;
+};
+
+struct MergedSummary {
+  std::vector<MergedGroupSummary> groups;  // sorted by label
+  std::size_t timeline_lines = 0;          // totals across groups
+  std::size_t findings = 0;
+};
+
+// Builds the rollup from a merged timeline stream and (optionally) a
+// stamped findings stream; either may be empty. Malformed lines are
+// ignored, matching the merge contracts above.
+MergedSummary summarize_merged(std::string_view timeline_jsonl,
+                               std::string_view findings_jsonl);
+
+// Fixed-width text rendering (one group per row plus a totals row).
+void print_merged_summary(std::ostream& os, const MergedSummary& summary);
 
 // External k-way merge for the sharded campaign path: each input is an
 // already-stamped, already-(t,device,seq)-sorted timeline stream (the

@@ -1,0 +1,118 @@
+#include "pop/population.h"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+namespace qoed::pop {
+
+DiurnalCurve DiurnalCurve::mobile_default() {
+  DiurnalCurve c;
+  // Hour-of-day intensity: night trough, morning ramp, lunch bump, evening
+  // peak. Relative weights only — total() normalizes.
+  constexpr double w[24] = {0.2, 0.1, 0.1, 0.1, 0.1, 0.2,   // 00-05
+                            0.5, 1.0, 1.5, 1.2, 1.0, 1.3,   // 06-11
+                            1.8, 1.4, 1.1, 1.0, 1.1, 1.4,   // 12-17
+                            2.0, 2.4, 2.6, 2.2, 1.4, 0.6};  // 18-23
+  for (int h = 0; h < 24; ++h) c.weights[static_cast<std::size_t>(h)] = w[h];
+  return c;
+}
+
+DiurnalCurve DiurnalCurve::flat() {
+  DiurnalCurve c;
+  c.weights.fill(1.0);
+  return c;
+}
+
+double DiurnalCurve::total() const {
+  double t = 0;
+  for (double w : weights) t += std::max(w, 0.0);
+  return t;
+}
+
+double DiurnalCurve::sample_arrival_s(sim::Rng& rng) const {
+  const double t = total();
+  // Inverse-CDF over the hourly histogram. Zero-weight hours contribute
+  // nothing to the accumulation, so they are never selected; an all-zero
+  // curve degenerates to flat instead of dividing by zero.
+  const double u = rng.uniform() * (t > 0 ? t : 24.0);
+  double acc = 0;
+  int hour = 23;
+  for (int h = 0; h < 24; ++h) {
+    const double w =
+        t > 0 ? std::max(weights[static_cast<std::size_t>(h)], 0.0) : 1.0;
+    acc += w;
+    if (u < acc) {
+      hour = h;
+      break;
+    }
+  }
+  return hour * 3600.0 + rng.uniform() * 3600.0;
+}
+
+PopulationGenerator::PopulationGenerator(PopulationConfig cfg)
+    : cfg_(std::move(cfg)) {}
+
+svc::ScenarioSpec PopulationGenerator::user_spec(std::size_t i) const {
+  // All randomness for user i flows from this named fork — generation
+  // order, chunking and sharding cannot perturb it.
+  sim::Rng rng = sim::Rng(cfg_.seed).fork("user-" + std::to_string(i));
+
+  svc::ScenarioSpec spec;
+  spec.network = cfg_.network;
+  spec.throttle_kbps = cfg_.throttle_kbps;
+  spec.mechanism = cfg_.mechanism;
+  spec.seed = rng.fork("seed").seed();
+
+  // Fixed draw order: app class, day, time of day, per-class parameters.
+  const double mix_total = std::max(cfg_.mix.social, 0.0) +
+                           std::max(cfg_.mix.video, 0.0) +
+                           std::max(cfg_.mix.browser, 0.0);
+  const double u = rng.uniform() * (mix_total > 0 ? mix_total : 1.0);
+  const char* cls = "browser";
+  if (mix_total > 0) {
+    if (u < std::max(cfg_.mix.social, 0.0)) {
+      cls = "social";
+    } else if (u < std::max(cfg_.mix.social, 0.0) +
+                       std::max(cfg_.mix.video, 0.0)) {
+      cls = "video";
+    }
+  }
+
+  const long day =
+      cfg_.days > 1 ? static_cast<long>(rng.uniform_int(0, cfg_.days - 1)) : 0;
+  spec.arrival_s = day * 86400.0 + cfg_.diurnal.sample_arrival_s(rng);
+
+  const auto range = [&rng](long lo, long hi) {
+    if (hi < lo) hi = lo;
+    return static_cast<long>(rng.uniform_int(lo, hi));
+  };
+  if (std::string(cls) == "social") {
+    spec.scenario = "post";
+    const long kind = range(0, 2);
+    spec.kind = kind == 0 ? "status" : kind == 1 ? "checkin" : "photos";
+    spec.reps = range(cfg_.reps_min, cfg_.reps_max);
+  } else if (std::string(cls) == "video") {
+    spec.scenario = "video";
+    spec.videos = range(cfg_.videos_min, cfg_.videos_max);
+  } else {
+    spec.scenario = "pageload";
+    spec.pages = range(cfg_.pages_min, cfg_.pages_max);
+    spec.think_s = range(5, 30);
+  }
+  return spec;
+}
+
+std::size_t PopulationGenerator::write_jsonl(std::ostream& os,
+                                             std::size_t begin,
+                                             std::size_t end) const {
+  end = std::min(end, cfg_.users);
+  std::size_t n = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    os << user_spec(i).to_json() << '\n';
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace qoed::pop

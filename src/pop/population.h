@@ -1,0 +1,95 @@
+// Population-scale scenario generation (DESIGN.md §5h).
+//
+// The fleet engine (qoed_cli fleet/serve) executes arbitrary lists of
+// svc::ScenarioSpec lines; this module *produces* those lists at population
+// scale: a seeded synthetic user base with a heterogeneous app mix
+// (social / video / browser) and a diurnal arrival process, emitting one
+// spec per user session.
+//
+// Determinism contract: user_spec(i) is a pure function of (config, i) —
+// every stochastic choice derives from Rng(config.seed).fork("user-<i>"),
+// never from generation order. Generating users [0,N) in one pass, in
+// chunks, or in parallel shards therefore yields byte-identical JSONL
+// (pop_test covers chunked equality), and a fleet consuming the output
+// inherits the campaign determinism guarantees end to end.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/rng.h"
+#include "svc/run_spec.h"
+
+namespace qoed::pop {
+
+// Hourly arrival-intensity weights over a 24h day. Sampling picks an hour by
+// normalized weight and a uniform offset inside it; zero-weight hours are
+// never chosen. An all-zero curve is treated as flat (uniform over the day)
+// rather than a generation dead-end.
+struct DiurnalCurve {
+  std::array<double, 24> weights{};
+
+  // Typical mobile-usage shape: night trough, morning ramp, lunch bump,
+  // evening peak (the qualitative curve behind the paper's "busy hour"
+  // throttling concerns).
+  static DiurnalCurve mobile_default();
+  static DiurnalCurve flat();
+
+  double total() const;
+
+  // Seconds into the day, in [0, 86400). `rng` supplies the two draws.
+  double sample_arrival_s(sim::Rng& rng) const;
+};
+
+// Relative app-mix weights; zero disables a class. All-zero falls back to
+// browser-only.
+struct AppMix {
+  double social = 0.4;
+  double video = 0.3;
+  double browser = 0.3;
+};
+
+struct PopulationConfig {
+  std::uint64_t seed = 1;
+  std::size_t users = 100;
+  AppMix mix;
+  DiurnalCurve diurnal = DiurnalCurve::mobile_default();
+  // Sessions are spread over this many days; user i's day is drawn
+  // uniformly, then the diurnal curve places the time of day.
+  int days = 1;
+
+  // Carried into every emitted spec.
+  std::string network = "3g";
+  long throttle_kbps = 0;
+  std::string mechanism = "shaping";
+
+  // Per-class action-count ranges (inclusive).
+  long pages_min = 2, pages_max = 6;
+  long reps_min = 3, reps_max = 12;
+  long videos_min = 1, videos_max = 4;
+};
+
+class PopulationGenerator {
+ public:
+  explicit PopulationGenerator(PopulationConfig cfg);
+
+  const PopulationConfig& config() const { return cfg_; }
+
+  // The scenario spec for user `i` (0-based, i < users). Pure in (cfg, i).
+  svc::ScenarioSpec user_spec(std::size_t i) const;
+
+  // Writes one spec JSON line per user in [begin, end) — the `qoed_cli
+  // fleet` input format. Clamps end to cfg.users. Returns lines written.
+  std::size_t write_jsonl(std::ostream& os, std::size_t begin,
+                          std::size_t end) const;
+  std::size_t write_jsonl(std::ostream& os) const {
+    return write_jsonl(os, 0, cfg_.users);
+  }
+
+ private:
+  PopulationConfig cfg_;
+};
+
+}  // namespace qoed::pop

@@ -48,6 +48,16 @@ CellularLink::CellularLink(sim::EventLoop& loop, sim::Rng rng,
                             cfg_.throttle_burst_bytes);
   ul_gate_->set_forward([this](net::Packet p) { ul_->enqueue(std::move(p)); });
   dl_gate_->set_forward([this](net::Packet p) { dl_->enqueue(std::move(p)); });
+
+  // Join last: the cell may install hooks (RRC promotion delay) that expect
+  // a fully-built link.
+  if (cfg_.cell != nullptr) cell_member_ = cfg_.cell->join(*this);
+}
+
+CellularLink::~CellularLink() {
+  if (cfg_.cell != nullptr && cell_member_ >= 0) {
+    cfg_.cell->leave(cell_member_);
+  }
 }
 
 void CellularLink::send_uplink(net::Packet p) {
@@ -55,7 +65,15 @@ void CellularLink::send_uplink(net::Packet p) {
 }
 
 void CellularLink::send_downlink(net::Packet p) {
+  if (cfg_.cell != nullptr) {
+    cfg_.cell->submit_downlink(cell_member_, std::move(p));
+    return;
+  }
   dl_gate_->submit(std::move(p));
+}
+
+void CellularLink::deliver_downlink(net::Packet p) {
+  dl_->enqueue(std::move(p));
 }
 
 }  // namespace qoed::radio

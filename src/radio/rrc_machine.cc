@@ -62,6 +62,11 @@ void RrcMachine::on_activity(std::size_t queued_bytes) {
 }
 
 void RrcMachine::start_promotion(RrcState target, sim::Duration delay) {
+  if (promotion_delay_hook_) {
+    const sim::Duration extra = promotion_delay_hook_(target);
+    delay += extra;
+    hook_delay_total_ += extra;
+  }
   promotion_target_ = target;
   ++promotions_;
   demotion_timer_.cancel();

@@ -20,6 +20,12 @@ class RrcMachine {
   using TransitionObserver =
       std::function<void(RrcState from, RrcState to, sim::TimePoint at)>;
   using ReadyCallback = std::function<void()>;
+  // Extra promotion latency supplied by an external resource manager (the
+  // shared-cell signalling model, src/cell): called once per started
+  // promotion with the target state, and the returned duration is added to
+  // the configured promotion delay. Must be a pure function of simulation
+  // state at the call's virtual time so runs stay deterministic.
+  using PromotionDelayHook = std::function<sim::Duration(RrcState target)>;
 
   RrcMachine(sim::EventLoop& loop, RrcConfig config);
   RrcMachine(const RrcMachine&) = delete;
@@ -44,8 +50,16 @@ class RrcMachine {
 
   void add_observer(TransitionObserver obs);
 
+  // One hook slot (last set wins); pass nullptr to clear before the hook's
+  // owner dies.
+  void set_promotion_delay_hook(PromotionDelayHook hook) {
+    promotion_delay_hook_ = std::move(hook);
+  }
+
   std::uint64_t promotions() const { return promotions_; }
   std::uint64_t demotions() const { return demotions_; }
+  // Cumulative extra promotion delay added by the hook.
+  sim::Duration hook_delay_total() const { return hook_delay_total_; }
 
  private:
   void transition_to(RrcState next);
@@ -62,6 +76,8 @@ class RrcMachine {
   sim::TimerHandle demotion_timer_;
   std::vector<ReadyCallback> waiting_;
   std::vector<TransitionObserver> observers_;
+  PromotionDelayHook promotion_delay_hook_;
+  sim::Duration hook_delay_total_{};
   std::uint64_t promotions_ = 0;
   std::uint64_t demotions_ = 0;
 };

@@ -60,6 +60,13 @@ std::unique_ptr<fault::FaultInjector> install_faults(
   return injector;
 }
 
+// Diurnal placement (spec.arrival_s): idle the run's virtual clock up to the
+// session start, so merged campaign timelines interleave runs by when their
+// users actually acted.
+void advance_to_arrival(core::Testbed& bed, const ScenarioSpec& spec) {
+  if (spec.arrival_s > 0) bed.advance(sim::sec_f(spec.arrival_s));
+}
+
 diag::DiagnosisEngine& enable_diagnosis(core::QoeDoctor& doctor,
                                         const fault::FaultInjector* injector) {
   diag::DiagnosisConfig cfg;
@@ -101,6 +108,7 @@ core::RunResult run_pageload(const ScenarioSpec& spec) {
   auto injector = install_faults(doctor, spec);
   diag::DiagnosisEngine& engine = enable_diagnosis(doctor, injector.get());
   core::BrowserDriver driver(doctor.controller(), app);
+  advance_to_arrival(bed, spec);
 
   std::vector<std::string> urls;
   urls.reserve(dataset.size());
@@ -131,6 +139,7 @@ core::RunResult run_post(const ScenarioSpec& spec) {
   auto injector = install_faults(doctor, spec);
   diag::DiagnosisEngine& engine = enable_diagnosis(doctor, injector.get());
   core::FacebookDriver driver(doctor.controller(), app);
+  advance_to_arrival(bed, spec);
   app.login("svc-user");
   bed.advance(sim::sec(10));
 
@@ -176,6 +185,7 @@ core::RunResult run_video(const ScenarioSpec& spec) {
   auto injector = install_faults(doctor, spec);
   diag::DiagnosisEngine& engine = enable_diagnosis(doctor, injector.get());
   core::YouTubeDriver driver(doctor.controller(), app);
+  advance_to_arrival(bed, spec);
 
   core::RunResult out;
   sim::Rng pick = bed.fork_rng("pick");
@@ -246,6 +256,8 @@ bool ScenarioSpec::parse_json(std::string_view json, ScenarioSpec* out,
       out->throttle_kbps = static_cast<long>(num);
     } else if (key == "mechanism") {
       parsed = p.read_string(&out->mechanism);
+    } else if (key == "arrival") {
+      parsed = p.read_number(&out->arrival_s);
     } else if (key == "fault_plan") {
       parsed = p.read_string(&out->fault_plan);
     } else if (key == "fault_seed") {
@@ -282,6 +294,8 @@ std::string ScenarioSpec::to_json() const {
   os << ",\"reps\":" << reps << ",\"videos\":" << videos
      << ",\"throttle\":" << throttle_kbps << ",\"mechanism\":";
   core::put_json_string(os, mechanism);
+  os << ",\"arrival\":";
+  core::put_json_number(os, arrival_s);
   os << ",\"fault_plan\":";
   core::put_json_string(os, fault_plan);
   os << ",\"fault_seed\":" << fault_seed << '}';

@@ -37,6 +37,12 @@ struct ScenarioSpec {
   long throttle_kbps = 0;            // 0 = no throttle
   std::string mechanism = "shaping";  // shaping | policing
 
+  // Session start offset into the run's virtual timeline (seconds). The
+  // population generator (src/pop) uses it to place users on a diurnal
+  // arrival curve; merged campaign timelines then interleave runs by their
+  // actual virtual times instead of all starting at t=0.
+  double arrival_s = 0;
+
   // Capture-fault injection (explicit only — the QOED_FAULT_PLAN env
   // fallback is a per-process knob and service runs must not depend on
   // ambient environment).
