@@ -14,6 +14,8 @@
 //   qoed_cli pop      --users=500 --mix=0.4,0.3,0.3 --out=specs.jsonl
 //   qoed_cli fleet    --specs=runs.jsonl --jobs=8 --out-dir=fleet/
 //   qoed_cli serve    --jobs=4 --out-dir=serve/
+//   qoed_cli metrics-diff baseline.json current.json --tol=net.=1e-6
+//   qoed_cli trace-report trace.json
 //
 // Options:
 //   --network=wifi|3g|3g-simplified|lte   access network     [3g]
@@ -35,6 +37,11 @@
 //                                         (load in Perfetto / about:tracing)
 //   --metrics=FILE                        write metrics-registry JSON and
 //                                         print the metrics table
+//   --policy=RULES                        closed-loop control policy (see
+//                                         ctrl/policy.h grammar, e.g.
+//                                         "on finding.confidence<0.8: capture";
+//                                         implies --diagnose)
+//   --captures=FILE                       write policy capture slices JSONL
 //   pageload: --pages=N [5]  --think=SECONDS [20]
 //   post:     --kind=status|checkin|photos [status]  --reps=N [10]
 //   video:    --videos=N [3] --throttle=KBPS [0=off]
@@ -56,10 +63,14 @@
 //   serve:    long-lived scheduler; line-delimited JSON commands
 //             (submit/status/drain/shutdown) on stdin or --socket=PATH.
 //             See src/svc/serve.h for the protocol.
+//   metrics-diff: compare two metrics.json snapshots; exit 4 when a key
+//             drifted beyond tolerance or disappeared (the CI metrics gate).
+//   trace-report: diag windows x fault/ctrl instants from a --trace file.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -75,10 +86,13 @@
 #include "core/shard.h"
 #include "core/speed_index.h"
 #include "core/timeline_merge.h"
+#include "ctrl/policy_engine.h"
 #include "diag/diagnosis_engine.h"
 #include "diag/findings_sink.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
+#include "obs/metrics_diff.h"
+#include "obs/trace_report.h"
 #include "pop/population.h"
 #include "sim/log.h"
 #include "svc/run_spec.h"
@@ -197,7 +211,10 @@ std::unique_ptr<fault::FaultInjector> maybe_install_faults(
 // or late-released packets would finalize windows prematurely.
 void maybe_enable_diagnosis(core::QoeDoctor& doctor, const Options& opt,
                             const fault::FaultInjector* injector) {
-  if (opt.get_int("diagnose", 0) == 0 && opt.get("findings", "").empty()) {
+  // --policy implies diagnosis: finding./window. rules evaluate from the
+  // diagnosis engine's finding hook.
+  if (opt.get_int("diagnose", 0) == 0 && opt.get("findings", "").empty() &&
+      opt.get("policy", "").empty()) {
     return;
   }
   diag::DiagnosisConfig cfg;
@@ -205,6 +222,65 @@ void maybe_enable_diagnosis(core::QoeDoctor& doctor, const Options& opt,
     cfg.watermark_slack = injector->plan().max_lateness();
   }
   doctor.enable_diagnosis(cfg);
+}
+
+// Installs the closed-loop control policy from --policy; must run after
+// maybe_enable_diagnosis (the finding hook needs the engine) and before the
+// scenario (attach turns on the packet-trace ring captures slice from).
+// Parse errors exit 2, same contract as --fault-plan.
+std::unique_ptr<ctrl::PolicyEngine> maybe_install_policy(
+    core::QoeDoctor& doctor, core::Testbed& bed, const Options& opt) {
+  const std::string spec = opt.get("policy", "");
+  if (spec.empty()) return nullptr;
+  ctrl::PolicyEngineConfig cfg;
+  try {
+    cfg.policy = ctrl::Policy::parse(spec);
+  } catch (const std::exception& e) {
+    std::printf("bad --policy: %s\n", e.what());
+    std::exit(2);
+  }
+  auto policy = std::make_unique<ctrl::PolicyEngine>(std::move(cfg));
+  policy->set_observability(doctor.collector().observability());
+  policy->attach(doctor.collector(), bed.loop());
+  if (doctor.diagnosis() != nullptr) policy->watch(*doctor.diagnosis());
+  return policy;
+}
+
+// Drains the loop, then keeps granting any policy extend actions until the
+// extended deadline passes or an abort sticks.
+void run_to_completion(core::Testbed& bed, const ctrl::PolicyEngine* policy) {
+  bed.loop().run();
+  if (policy == nullptr) return;
+  while (!bed.loop().stop_requested() &&
+         policy->extend_until() > bed.loop().now()) {
+    bed.loop().run_until(policy->extend_until());
+  }
+}
+
+void report_policy(const ctrl::PolicyEngine* policy, const Options& opt) {
+  if (policy == nullptr) return;
+  for (const ctrl::Decision& d : policy->decisions()) {
+    std::printf("ctrl %s @%.3fs on %s\n", ctrl::to_string(d.action),
+                d.at.seconds(), d.condition.c_str());
+  }
+  if (policy->abort_requested()) std::printf("ctrl: run aborted by policy\n");
+  if (policy->reschedule_requested()) {
+    std::printf("ctrl: reschedule requested (%s) — fleet/serve rerun the "
+                "spec with a ctrl reseed\n",
+                policy->reschedule_reason().c_str());
+  }
+  const std::string captures = opt.get("captures", "");
+  if (!captures.empty()) {
+    std::ofstream os(captures, std::ios::binary);
+    const std::string& jsonl = policy->captures_jsonl();
+    os.write(jsonl.data(), static_cast<std::streamsize>(jsonl.size()));
+    if (os) {
+      std::printf("wrote %zu capture slices to %s\n", policy->capture_count(),
+                  captures.c_str());
+    } else {
+      std::printf("FAILED to write %s\n", captures.c_str());
+    }
+  }
 }
 
 void report_diagnosis(core::QoeDoctor& doctor, const Options& opt) {
@@ -240,11 +316,13 @@ void report_diagnosis(core::QoeDoctor& doctor, const Options& opt) {
 }
 
 void export_artifacts(device::Device& dev, core::QoeDoctor& doctor,
-                      const Options& opt, fault::FaultInjector* injector) {
+                      const Options& opt, fault::FaultInjector* injector,
+                      const ctrl::PolicyEngine* policy = nullptr) {
   // Release any held (delayed) records before analysis/export so batch
   // views see the complete faulted capture.
   if (injector != nullptr) injector->flush();
   report_diagnosis(doctor, opt);
+  report_policy(policy, opt);
   const std::string pcap = opt.get("pcap", "");
   if (!pcap.empty()) run_sink(core::PcapSink(dev.trace().records()), pcap);
   const std::string qxdm = opt.get("qxdm", "");
@@ -266,6 +344,7 @@ void export_artifacts(device::Device& dev, core::QoeDoctor& doctor,
     doctor.flows().export_metrics(reg);
     if (doctor.diagnosis() != nullptr) doctor.diagnosis()->export_metrics(reg);
     if (injector != nullptr) injector->export_metrics(reg);
+    if (policy != nullptr) policy->export_metrics(reg);
     const sim::LogCounts& logs = sim::Logger::thread_counts();
     reg.add_counter("log.warn", logs.warn);
     reg.add_counter("log.error", logs.error);
@@ -311,13 +390,14 @@ int run_pageload(const Options& opt) {
   maybe_enable_tracing(doctor, opt);
   auto injector = maybe_install_faults(doctor, opt);
   maybe_enable_diagnosis(doctor, opt, injector.get());
+  auto policy = maybe_install_policy(doctor, bed, opt);
   core::BrowserDriver driver(doctor.controller(), app);
 
   std::vector<std::string> urls;
   for (const auto& p : dataset) urls.push_back("www.page.sim" + p.path);
   driver.load_pages(urls, sim::sec(opt.get_int("think", 20)),
                     [](const std::vector<core::BehaviorRecord>&) {});
-  bed.loop().run();
+  run_to_completion(bed, policy.get());
 
   core::Table t("page loads (" + opt.get("network", "3g") + ")",
                 {"url", "latency (s)", "speed index (s)"});
@@ -335,7 +415,7 @@ int run_pageload(const Options& opt) {
   std::printf("\nmean %.2fs, stddev %.2fs over %zu pages\n", s.mean, s.stddev,
               s.n);
   print_radio_summary(*dev, doctor, bed.loop().now());
-  export_artifacts(*dev, doctor, opt, injector.get());
+  export_artifacts(*dev, doctor, opt, injector.get(), policy.get());
   return 0;
 }
 
@@ -352,6 +432,7 @@ int run_post(const Options& opt) {
   maybe_enable_tracing(doctor, opt);
   auto injector = maybe_install_faults(doctor, opt);
   maybe_enable_diagnosis(doctor, opt, injector.get());
+  auto policy = maybe_install_policy(doctor, bed, opt);
   core::FacebookDriver driver(doctor.controller(), app);
   app.login("cli-user");
   bed.advance(sim::sec(10));
@@ -373,7 +454,7 @@ int run_post(const Options& opt) {
         });
       },
       [] {});
-  bed.loop().run();
+  run_to_completion(bed, policy.get());
 
   auto analysis = doctor.analyze();
   core::Table t("upload_post:" + kind_name + " (" + opt.get("network", "3g") +
@@ -390,7 +471,7 @@ int run_post(const Options& opt) {
   }
   t.print();
   print_radio_summary(*dev, doctor, bed.loop().now());
-  export_artifacts(*dev, doctor, opt, injector.get());
+  export_artifacts(*dev, doctor, opt, injector.get(), policy.get());
   return 0;
 }
 
@@ -412,6 +493,7 @@ int run_video(const Options& opt) {
   maybe_enable_tracing(doctor, opt);
   auto injector = maybe_install_faults(doctor, opt);
   maybe_enable_diagnosis(doctor, opt, injector.get());
+  auto policy = maybe_install_policy(doctor, bed, opt);
   core::YouTubeDriver driver(doctor.controller(), app);
 
   const long videos = opt.get_int("videos", 3);
@@ -439,11 +521,41 @@ int run_video(const Options& opt) {
                            });
       },
       [] {});
-  bed.loop().run();
+  run_to_completion(bed, policy.get());
   t.print();
   print_radio_summary(*dev, doctor, bed.loop().now());
-  export_artifacts(*dev, doctor, opt, injector.get());
+  export_artifacts(*dev, doctor, opt, injector.get(), policy.get());
   return 0;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream content;
+  content << in.rdbuf();
+  *out = content.str();
+  return true;
+}
+
+// --shards=DIR: join the --summary rollup with the per-run reaction
+// outcomes recorded in a fleet/serve shard directory — rescheduled and
+// quarantined counts keyed by the same run-N device label the summary uses.
+void print_reaction_outcomes(const Options& opt) {
+  const std::string shards = opt.get("shards", "");
+  if (shards.empty()) return;
+  const std::map<std::string, core::RunOutcomeCounts> outcomes =
+      core::read_run_outcomes(shards);
+  std::size_t rescheduled = 0;
+  std::size_t quarantined = 0;
+  for (const auto& [device, c] : outcomes) {
+    rescheduled += c.rescheduled;
+    quarantined += c.quarantined;
+    if (c.rescheduled == 0 && c.quarantined == 0) continue;
+    std::printf("reactions %s: rescheduled=%zu quarantined=%zu\n",
+                device.c_str(), c.rescheduled, c.quarantined);
+  }
+  std::printf("reactions total: %zu runs, rescheduled=%zu quarantined=%zu\n",
+              outcomes.size(), rescheduled, quarantined);
 }
 
 // Interleaves per-device timeline JSONL files (written via --timeline) into
@@ -482,6 +594,7 @@ int run_merge(const Options& opt) {
     std::ostringstream table;
     core::print_merged_summary(table, s);
     std::fputs(table.str().c_str(), stdout);
+    print_reaction_outcomes(opt);
     return 0;
   }
 
@@ -553,6 +666,7 @@ int run_merge(const Options& opt) {
     std::ostringstream table;
     core::print_merged_summary(table, s);
     std::fputs(table.str().c_str(), stdout);
+    print_reaction_outcomes(opt);
   }
   if (strict_rc != 0) {
     std::printf("merge: --strict: failing on quarantined/out-of-order input\n");
@@ -695,6 +809,7 @@ void write_fleet_artifacts(const Options& opt, const std::string& out_dir,
   const std::string findings = path("findings", "findings.jsonl");
   const std::string timeline = path("timeline", "timeline.jsonl");
   const std::string metrics = path("metrics", "metrics.json");
+  const std::string captures = path("captures", "captures.jsonl");
   if (memory_result == nullptr) {
     if (!findings.empty()) {
       run_sink(core::ShardFindingsMergeSink(out_dir), findings);
@@ -704,6 +819,9 @@ void write_fleet_artifacts(const Options& opt, const std::string& out_dir,
     }
     if (!metrics.empty()) {
       run_sink(core::ShardMetricsMergeSink(out_dir), metrics);
+    }
+    if (!captures.empty()) {
+      run_sink(core::ShardCapturesMergeSink(out_dir), captures);
     }
     return;
   }
@@ -715,6 +833,9 @@ void write_fleet_artifacts(const Options& opt, const std::string& out_dir,
   }
   if (!metrics.empty()) {
     run_sink(core::MetricsJsonSink(memory_result->registry), metrics);
+  }
+  if (!captures.empty()) {
+    run_sink(core::CampaignCapturesSink(*memory_result), captures);
   }
 }
 
@@ -774,6 +895,8 @@ int run_fleet(const Options& opt) {
   cfg.max_retries = static_cast<std::size_t>(opt.get_int("retries", 0));
   cfg.max_run_virtual_seconds =
       std::strtod(opt.get("max-virtual-s", "0").c_str(), nullptr);
+  cfg.max_reschedules =
+      static_cast<std::size_t>(opt.get_int("max-reschedules", 1));
   if (memory) {
     cfg.keep_artifacts = true;
   } else {
@@ -790,16 +913,21 @@ int run_fleet(const Options& opt) {
   try {
     // The factory ignores the campaign-derived seed: each spec carries its
     // own, so fleet/serve/resume all reproduce identical per-run artifacts.
+    // The RunSpec overload applies the ctrl reschedule reseed.
     result = campaign.run([&specs](std::uint64_t, const core::RunSpec& rs) {
-      return svc::run_scenario(specs[rs.run_index]);
+      return svc::run_scenario(specs[rs.run_index], rs);
     });
   } catch (const std::exception& e) {
     std::printf("fleet: %s\n", e.what());
     return 1;
   }
-  std::printf("fleet: %zu runs (%zu quarantined) on %zu jobs in %.2fs\n",
-              result.runs, result.quarantined.size(), result.jobs,
-              campaign.last_wall_seconds());
+  std::size_t rescheduled = 0;
+  for (const std::size_t n : result.run_reschedules) rescheduled += n;
+  std::printf(
+      "fleet: %zu runs (%zu quarantined, %zu rescheduled) on %zu jobs in "
+      "%.2fs\n",
+      result.runs, result.quarantined.size(), rescheduled, result.jobs,
+      campaign.last_wall_seconds());
 
   write_fleet_artifacts(opt, out_dir, memory ? &result : nullptr);
   const std::string json = opt.get("json", "");
@@ -821,6 +949,8 @@ int run_serve(const Options& opt) {
   sopts.max_retries = static_cast<std::size_t>(opt.get_int("retries", 0));
   sopts.max_virtual_s =
       std::strtod(opt.get("max-virtual-s", "0").c_str(), nullptr);
+  sopts.max_reschedules =
+      static_cast<std::size_t>(opt.get_int("max-reschedules", 1));
   sopts.master_seed = static_cast<std::uint64_t>(opt.get_int("master-seed", 1));
   const std::string socket_path = opt.get("socket", "");
   if (!socket_path.empty()) {
@@ -830,19 +960,92 @@ int run_serve(const Options& opt) {
   return engine.run();
 }
 
+// Diffs two metrics.json snapshots under per-prefix relative tolerances.
+// Exit 4 = at least one key regressed (drifted beyond tolerance) or went
+// missing; added keys are informational. This is the CI metrics gate.
+int run_metrics_diff(const Options& opt) {
+  if (opt.positional.size() != 2) {
+    std::printf("metrics-diff: need BASELINE.json and CURRENT.json\n");
+    return 2;
+  }
+  obs::DiffOptions dopts;
+  // Wall-clock profiling keys are nondeterministic by nature; ignore that
+  // subtree by default (a later, longer user prefix can re-tighten it).
+  dopts.tolerances.emplace_back("prof.",
+                                std::numeric_limits<double>::infinity());
+  try {
+    for (auto& tol : obs::parse_tolerances(opt.get("tol", ""))) {
+      dopts.tolerances.push_back(std::move(tol));
+    }
+  } catch (const std::exception& e) {
+    std::printf("metrics-diff: %s\n", e.what());
+    return 2;
+  }
+  dopts.default_tolerance =
+      std::strtod(opt.get("default-tol", "0").c_str(), nullptr);
+  obs::MetricsRegistry base;
+  obs::MetricsRegistry current;
+  const auto load = [](const std::string& path, obs::MetricsRegistry* reg) {
+    std::string content;
+    if (!read_file(path, &content)) {
+      std::printf("metrics-diff: cannot read %s\n", path.c_str());
+      return false;
+    }
+    std::string error;
+    if (!reg->merge_from_json(content, &error)) {
+      std::printf("metrics-diff: %s: %s\n", path.c_str(), error.c_str());
+      return false;
+    }
+    return true;
+  };
+  if (!load(opt.positional[0], &base) || !load(opt.positional[1], &current)) {
+    return 1;
+  }
+  const obs::DiffReport report = obs::diff_registries(base, current, dopts);
+  std::ostringstream os;
+  obs::print_diff(os, report);
+  std::fputs(os.str().c_str(), stdout);
+  return report.ok() ? 0 : 4;
+}
+
+// Cross-references a --trace Chrome JSON export: which fault injections and
+// ctrl decisions landed inside which diagnosis windows.
+int run_trace_report(const Options& opt) {
+  if (opt.positional.size() != 1) {
+    std::printf("trace-report: need exactly one trace JSON file\n");
+    return 2;
+  }
+  std::string content;
+  if (!read_file(opt.positional[0], &content)) {
+    std::printf("trace-report: cannot read %s\n", opt.positional[0].c_str());
+    return 1;
+  }
+  obs::TraceReport report;
+  std::string error;
+  if (!obs::analyze_trace(content, &report, &error)) {
+    std::printf("trace-report: %s\n", error.c_str());
+    return 1;
+  }
+  std::ostringstream os;
+  obs::print_trace_report(os, report);
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}
+
 void usage() {
   std::printf(
-      "usage: qoed_cli <pageload|post|video|merge|cell|pop|fleet|serve>\n"
+      "usage: qoed_cli <pageload|post|video|merge|cell|pop|fleet|serve\n"
+      "                 |metrics-diff|trace-report>\n"
       "  [--network=wifi|3g|3g-simplified|lte]\n"
       "  [--seed=N] [--pcap=FILE] [--qxdm=FILE] [--timeline=FILE] [--counters]\n"
       "  [--diagnose] [--findings=FILE] [--fault-plan=SPEC] [--fault-seed=N]\n"
-      "  [--trace=FILE] [--metrics=FILE]\n"
+      "  [--trace=FILE] [--metrics=FILE] [--policy=RULES] [--captures=FILE]\n"
       "  pageload: [--pages=N] [--think=SECONDS]\n"
       "  post:     [--kind=status|checkin|photos] [--reps=N]\n"
       "  video:    [--videos=N] [--throttle=KBPS]"
       " [--mechanism=shaping|policing]\n"
-      "  merge:    [--out=FILE] [--strict] [--summary [--findings=FILE]]\n"
-      "            [--merged] TIMELINE.jsonl...\n"
+      "  merge:    [--out=FILE] [--strict] [--summary [--findings=FILE]\n"
+      "            [--shards=DIR]] [--merged] TIMELINE.jsonl...\n"
       "  cell:     [--spec-file=FILE | --devices=N --app=browser|social|video\n"
       "            --capacity=KBPS --stagger=S --actions=N --grants=N]\n"
       "            [--throttle=KBPS] [--mechanism=shaping|policing]\n"
@@ -853,11 +1056,14 @@ void usage() {
       "  fleet:    --specs=FILE [--jobs=N] [--out-dir=DIR | --memory]\n"
       "            [--shard-bytes=N] [--shard-runs=N] [--resume]\n"
       "            [--merge-only] [--retries=N] [--max-virtual-s=S]\n"
-      "            [--findings=FILE] [--timeline=FILE] [--metrics=FILE]\n"
-      "            [--json=FILE]\n"
+      "            [--max-reschedules=N] [--findings=FILE] [--timeline=FILE]\n"
+      "            [--metrics=FILE] [--captures=FILE] [--json=FILE]\n"
       "  serve:    [--jobs=N] [--out-dir=DIR] [--shard-bytes=N]\n"
       "            [--shard-runs=N] [--socket=PATH] [--retries=N]\n"
-      "            [--max-virtual-s=S]\n");
+      "            [--max-virtual-s=S] [--max-reschedules=N]\n"
+      "  metrics-diff: BASELINE.json CURRENT.json [--tol=PREFIX=REL,...]\n"
+      "            [--default-tol=REL]   (exit 4 on regression)\n"
+      "  trace-report: TRACE.json   (diag windows x fault/ctrl instants)\n");
 }
 
 }  // namespace
@@ -872,6 +1078,8 @@ int main(int argc, char** argv) {
   if (opt.command == "pop") return run_pop(opt);
   if (opt.command == "fleet") return run_fleet(opt);
   if (opt.command == "serve") return run_serve(opt);
+  if (opt.command == "metrics-diff") return run_metrics_diff(opt);
+  if (opt.command == "trace-report") return run_trace_report(opt);
   usage();
   return opt.command.empty() ? 1 : 2;
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Metrics regression gate: run the canned CI fleet (ci/fleet-specs.jsonl —
+# policies, fault lanes and a forced reschedule included) and diff its
+# merged metrics.json against the committed baseline with
+# `qoed_cli metrics-diff`. The whole pipeline is deterministic, so the
+# baseline is a behavioral fingerprint: any counter/gauge/histogram drift
+# means the simulation or analysis changed and must be explained (and the
+# baseline regenerated with --update).
+#
+# Also self-tests the gate's teeth (an injected drift must exit 4) and the
+# closed-loop determinism contract (jobs=1 vs jobs=8 fleet artifacts,
+# captures.jsonl included, must be byte-identical).
+#
+# usage: metrics_gate.sh path/to/qoed_cli [workdir] [--update]
+set -euo pipefail
+
+CLI=${1:?usage: metrics_gate.sh path/to/qoed_cli [workdir] [--update]}
+WORK=${2:-$(mktemp -d)}
+UPDATE=${3:-}
+REPO=$(cd "$(dirname "$0")/.." && pwd)
+SPECS="$REPO/ci/fleet-specs.jsonl"
+BASELINE="$REPO/ci/baseline-metrics.json"
+mkdir -p "$WORK"
+
+run_fleet() { # jobs out_dir
+  mkdir -p "$2"
+  "$CLI" fleet --specs="$SPECS" --jobs="$1" --out-dir="$2" > "$2/fleet.log"
+}
+
+run_fleet 8 "$WORK/fleet-j8"
+CURRENT="$WORK/fleet-j8/metrics.json"
+
+if [ "$UPDATE" = "--update" ]; then
+  cp "$CURRENT" "$BASELINE"
+  echo "metrics gate: baseline regenerated at $BASELINE"
+  exit 0
+fi
+
+# Policy decisions are jobs-invariant: the same fleet at jobs=1 must leave
+# byte-identical merged artifacts, targeted-capture slices included.
+run_fleet 1 "$WORK/fleet-j1"
+for f in MANIFEST.json findings.jsonl timeline.jsonl metrics.json \
+         captures.jsonl; do
+  cmp "$WORK/fleet-j1/$f" "$WORK/fleet-j8/$f"
+done
+
+# The gate proper: exact match required (prof.* wall-clock keys are ignored
+# by the built-in +inf tolerance).
+"$CLI" metrics-diff "$BASELINE" "$CURRENT"
+
+# Negative self-test: a gate that cannot fail protects nothing. Perturb one
+# counter in a copy of the current snapshot and require exit code 4.
+TAMPERED="$WORK/tampered-metrics.json"
+sed 's/"campaign.rescheduled":/"campaign.rescheduled_renamed":/' \
+  "$CURRENT" > "$TAMPERED"
+cmp -s "$CURRENT" "$TAMPERED" && {
+  echo "metrics gate: self-test could not inject a regression"; exit 1; }
+rc=0
+"$CLI" metrics-diff "$BASELINE" "$TAMPERED" > "$WORK/selftest.log" || rc=$?
+if [ "$rc" -ne 4 ]; then
+  echo "metrics gate: self-test expected exit 4 on injected drift, got $rc"
+  cat "$WORK/selftest.log"
+  exit 1
+fi
+
+echo "metrics gate OK: jobs-invariant, baseline matched, self-test exits 4"

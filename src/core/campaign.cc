@@ -66,69 +66,94 @@ std::uint64_t Campaign::retry_seed(std::uint64_t master_seed,
   return sim::Rng(base).fork("retry/" + std::to_string(attempt)).seed();
 }
 
+std::uint64_t Campaign::ctrl_reseed(std::uint64_t master_seed,
+                                    std::size_t run_index,
+                                    std::size_t reschedule) {
+  const std::uint64_t base = run_seed(master_seed, run_index);
+  if (reschedule == 0) return base;
+  return sim::Rng(base).fork("ctrl/" + std::to_string(reschedule)).seed();
+}
+
 RunExecution execute_run_with_policy(const CampaignConfig& cfg,
                                      const RunFn& fn, RunSpec base) {
   RunExecution ex;
-  for (std::size_t attempt = 0;; ++attempt) {
-    RunSpec spec = base;
-    spec.attempt = attempt;
-    spec.seed = Campaign::retry_seed(base.master_seed, base.run_index, attempt);
-    ex.attempts = attempt + 1;
-    ex.last_seed = spec.seed;
-    // The run is single-threaded on this worker, so the thread-local logger
-    // tallies delta-attributed here belong to exactly this attempt.
-    const sim::LogCounts log_before = sim::Logger::thread_counts();
-    const auto run_t0 = std::chrono::steady_clock::now();
-    try {
-      ex.result = fn(spec.seed, spec);
-    } catch (const std::exception& e) {
-      ex.result = RunResult{};
-      ex.result.ok = false;
-      ex.result.error = e.what();
-    } catch (...) {
-      ex.result = RunResult{};
-      ex.result.ok = false;
-      ex.result.error = "unknown exception";
+  std::size_t attempts_total = 0;
+  for (std::size_t resched = 0;; ++resched) {
+    // Each reschedule round restarts the retry ladder from a fresh base
+    // seed; round 0 reproduces the original retry_seed sequence exactly.
+    const std::uint64_t round_base =
+        Campaign::ctrl_reseed(base.master_seed, base.run_index, resched);
+    for (std::size_t attempt = 0;; ++attempt) {
+      RunSpec spec = base;
+      spec.attempt = attempt;
+      spec.reschedule = resched;
+      spec.seed =
+          attempt == 0
+              ? round_base
+              : sim::Rng(round_base)
+                    .fork("retry/" + std::to_string(attempt))
+                    .seed();
+      ex.attempts = ++attempts_total;
+      ex.last_seed = spec.seed;
+      // The run is single-threaded on this worker, so the thread-local
+      // logger tallies delta-attributed here belong to exactly this attempt.
+      const sim::LogCounts log_before = sim::Logger::thread_counts();
+      const auto run_t0 = std::chrono::steady_clock::now();
+      try {
+        ex.result = fn(spec.seed, spec);
+      } catch (const std::exception& e) {
+        ex.result = RunResult{};
+        ex.result.ok = false;
+        ex.result.error = e.what();
+      } catch (...) {
+        ex.result = RunResult{};
+        ex.result.ok = false;
+        ex.result.error = "unknown exception";
+      }
+      ex.run_wall_s += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - run_t0)
+                           .count();
+      const sim::LogCounts log_after = sim::Logger::thread_counts();
+      ex.result.add_counter(
+          "log.warn", static_cast<double>(log_after.warn - log_before.warn));
+      ex.result.add_counter(
+          "log.error", static_cast<double>(log_after.error - log_before.error));
+      // Virtual-time watchdog: a run that "succeeded" but consumed more
+      // simulated time than allowed is as suspect as one that threw — fail it
+      // with a deterministic message so retry/quarantine handle it uniformly.
+      if (ex.result.ok && cfg.max_run_virtual_seconds > 0 &&
+          ex.result.virtual_seconds > cfg.max_run_virtual_seconds) {
+        const double got = ex.result.virtual_seconds;
+        ex.result = RunResult{};
+        ex.result.ok = false;
+        ex.result.error = "virtual-time watchdog: run consumed " +
+                          std::to_string(got) + "s (limit " +
+                          std::to_string(cfg.max_run_virtual_seconds) + "s)";
+      }
+      if (ex.result.ok || attempt >= cfg.max_retries) break;
+      if (cfg.retry_backoff.count() > 0) {
+        // Exponential backoff with deterministic jitter in [0.5, 1.5).
+        // Wall clock only — nothing here feeds back into results.
+        const double jitter =
+            0.5 + sim::Rng(spec.seed).fork("backoff").uniform();
+        const double scale =
+            static_cast<double>(1ULL << std::min<std::size_t>(attempt, 20)) *
+            jitter;
+        const auto sleep_t0 = std::chrono::steady_clock::now();
+        std::this_thread::sleep_for(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                cfg.retry_backoff * scale));
+        ex.backoff_wall_s += std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - sleep_t0)
+                                 .count();
+      }
     }
-    ex.run_wall_s += std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - run_t0)
-                         .count();
-    const sim::LogCounts log_after = sim::Logger::thread_counts();
-    ex.result.add_counter(
-        "log.warn", static_cast<double>(log_after.warn - log_before.warn));
-    ex.result.add_counter(
-        "log.error", static_cast<double>(log_after.error - log_before.error));
-    // Virtual-time watchdog: a run that "succeeded" but consumed more
-    // simulated time than allowed is as suspect as one that threw — fail it
-    // with a deterministic message so retry/quarantine handle it uniformly.
-    if (ex.result.ok && cfg.max_run_virtual_seconds > 0 &&
-        ex.result.virtual_seconds > cfg.max_run_virtual_seconds) {
-      const double got = ex.result.virtual_seconds;
-      ex.result = RunResult{};
-      ex.result.ok = false;
-      ex.result.error = "virtual-time watchdog: run consumed " +
-                        std::to_string(got) + "s (limit " +
-                        std::to_string(cfg.max_run_virtual_seconds) + "s)";
-    }
-    if (ex.result.ok || attempt >= cfg.max_retries) return ex;
-    if (cfg.retry_backoff.count() > 0) {
-      // Exponential backoff with deterministic jitter in [0.5, 1.5).
-      // Wall clock only — nothing here feeds back into results.
-      const double jitter =
-          0.5 + sim::Rng(Campaign::retry_seed(base.master_seed, base.run_index,
-                                              attempt))
-                    .fork("backoff")
-                    .uniform();
-      const double scale =
-          static_cast<double>(1ULL << std::min<std::size_t>(attempt, 20)) *
-          jitter;
-      const auto sleep_t0 = std::chrono::steady_clock::now();
-      std::this_thread::sleep_for(
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              cfg.retry_backoff * scale));
-      ex.backoff_wall_s += std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - sleep_t0)
-                               .count();
+    ex.reschedules = resched;
+    // Reschedule applies to runs that completed with a policy verdict; a
+    // quarantined run already exhausted the failure-retry machinery.
+    if (!ex.result.ok || !ex.result.reschedule_requested ||
+        resched >= cfg.max_reschedules) {
+      return ex;
     }
   }
 }
@@ -138,6 +163,7 @@ namespace {
 // Per-run outcome bookkeeping beyond the RunResult itself.
 struct RunOutcome {
   std::size_t attempts = 0;
+  std::size_t reschedules = 0;
   std::uint64_t last_seed = 0;
 };
 
@@ -149,13 +175,16 @@ void merge_runs(std::vector<RunResult>& results,
   // every floating-point result) is independent of scheduling.
   std::map<std::string, std::vector<double>> run_means;
   std::size_t total_attempts = 0;
+  std::size_t total_reschedules = 0;
   out->trace.set_enabled(build_trace);
   out->traces.resize(results.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     RunResult& r = results[i];
     out->run_errors.push_back(r.ok ? "" : r.error);
     out->run_attempts.push_back(outcomes[i].attempts);
+    out->run_reschedules.push_back(outcomes[i].reschedules);
     total_attempts += outcomes[i].attempts;
+    total_reschedules += outcomes[i].reschedules;
     out->traces[i] = std::move(r.trace);
     if (build_trace) {
       // Campaign-spine rows, rebuilt here in index order: worker identity
@@ -170,6 +199,9 @@ void merge_runs(std::vector<RunResult>& results,
               ",\"attempts\":" + std::to_string(outcomes[i].attempts) + "}");
       for (std::size_t a = 1; a < outcomes[i].attempts; ++a) {
         out->trace.instant(track, "retry", "campaign", t0);
+      }
+      for (std::size_t rs = 0; rs < outcomes[i].reschedules; ++rs) {
+        out->trace.instant(track, "rescheduled", "ctrl", t0);
       }
       if (!r.ok) out->trace.instant(track, "quarantined", "campaign", t1);
       out->trace.span_close(id, t1);
@@ -196,6 +228,8 @@ void merge_runs(std::vector<RunResult>& results,
                             static_cast<double>(total_attempts));
   out->registry.add_counter("campaign.quarantined",
                             static_cast<double>(out->quarantined.size()));
+  out->registry.add_counter("campaign.rescheduled",
+                            static_cast<double>(total_reschedules));
   for (auto& [name, agg] : out->metrics) {
     agg.pooled = summarize(agg.pooled_samples);
     agg.per_run_means = summarize(run_means[name]);
@@ -264,7 +298,7 @@ CampaignResult Campaign::run(const RunFn& fn) {
       if (sharded) {
         sink->submit(i, std::move(ex));
       } else {
-        outcomes[i] = {ex.attempts, ex.last_seed};
+        outcomes[i] = {ex.attempts, ex.reschedules, ex.last_seed};
         results[i] = std::move(ex.result);
       }
     }

@@ -43,6 +43,11 @@ struct RunSpec {
   // reseeded spec (Campaign::retry_seed), so a run that failed on a
   // stochastic edge gets a genuinely different draw sequence.
   std::size_t attempt = 0;
+  // Which control-policy reschedule round this is (0 = first). A run whose
+  // policy requested `reschedule` re-enters the retry machinery with a
+  // fresh Campaign::ctrl_reseed base — counted separately from failure
+  // retries, with a fresh retry budget per round.
+  std::size_t reschedule = 0;
 };
 
 // Per-run export artifacts a factory may attach to its RunResult: the raw
@@ -54,8 +59,13 @@ struct RunSpec {
 struct RunArtifacts {
   std::string findings_jsonl;  // FindingsJsonlSink::to_string() of this run
   std::string timeline_jsonl;  // TimelineJsonlSink::to_string() of this run
+  // Targeted capture slices the run's control policy flushed (one header
+  // line + packet lines per capture, see ctrl::PolicyEngine). Empty when no
+  // policy fired a capture.
+  std::string captures_jsonl;
   bool empty() const {
-    return findings_jsonl.empty() && timeline_jsonl.empty();
+    return findings_jsonl.empty() && timeline_jsonl.empty() &&
+           captures_jsonl.empty();
   }
 };
 
@@ -83,6 +93,12 @@ struct RunResult {
   // Optional per-run export artifacts (see RunArtifacts): streamed to shard
   // files in sharded mode, kept per run when CampaignConfig::keep_artifacts.
   RunArtifacts artifacts;
+  // Set by the run's control policy (ctrl::PolicyEngine) when a
+  // `reschedule` action fired: the run completed but its collection layers
+  // were degraded/lost, so execute_run_with_policy re-runs it with a
+  // ctrl_reseed base (up to CampaignConfig::max_reschedules rounds).
+  bool reschedule_requested = false;
+  std::string reschedule_reason;
 
   void add_sample(const std::string& metric, double v) {
     samples[metric].push_back(v);
@@ -120,6 +136,9 @@ struct CampaignResult {
   std::vector<std::string> run_errors;
   // Attempts consumed per run (1 = no retry needed), ordered by run index.
   std::vector<std::size_t> run_attempts;
+  // Control-policy reschedule rounds consumed per run (0 = none), ordered
+  // by run index. Summed into the campaign.rescheduled registry counter.
+  std::vector<std::size_t> run_reschedules;
 
   // A run whose last allowed attempt still failed. Quarantined runs
   // contribute no samples/counters but are reported — campaign JSON carries
@@ -137,7 +156,8 @@ struct CampaignResult {
 
   // Unified registry: every clean run's RunResult::registry merged in index
   // order, plus campaign-level counters (campaign.run_attempts,
-  // campaign.quarantined). Byte-identical snapshot at any --jobs.
+  // campaign.quarantined, campaign.rescheduled). Byte-identical snapshot at
+  // any --jobs.
   obs::MetricsRegistry registry;
 
   // Campaign-spine trace (only when CampaignConfig::trace): one "run-N"
@@ -219,6 +239,10 @@ struct CampaignConfig {
   // RunResult::virtual_seconds beyond this is treated as failed (and
   // retried/quarantined like a thrown run). 0 = disabled.
   double max_run_virtual_seconds = 0;
+  // Control-policy reschedule rounds allowed per run beyond the first (see
+  // RunResult::reschedule_requested). Each round gets a ctrl_reseed base
+  // and a fresh retry budget; counted separately from failure retries.
+  std::size_t max_reschedules = 1;
   // Build the campaign-spine trace (CampaignResult::trace). Factories opt
   // their own per-run tracers in independently (RunResult::trace).
   bool trace = false;
@@ -246,7 +270,8 @@ struct CampaignConfig {
 // paths fail/retry/quarantine identically.
 struct RunExecution {
   RunResult result;
-  std::size_t attempts = 0;     // attempts consumed (1 = no retry)
+  std::size_t attempts = 0;     // attempts consumed, all rounds (1 = clean)
+  std::size_t reschedules = 0;  // policy reschedule rounds consumed (0 = none)
   std::uint64_t last_seed = 0;  // seed of the final attempt
   // Wall-clock profile (never enters deterministic artifacts).
   double run_wall_s = 0;      // time inside the factory, all attempts
@@ -282,6 +307,13 @@ class Campaign {
   // bit-identical across jobs counts.
   static std::uint64_t retry_seed(std::uint64_t master_seed,
                                   std::size_t run_index, std::size_t attempt);
+  // Base seed for control-policy reschedule round `reschedule` (0 =
+  // run_seed itself); depends only on (master_seed, run_index, reschedule).
+  // Distinct from retry_seed's stream — a rescheduled run and a retried run
+  // never replay each other's draws.
+  static std::uint64_t ctrl_reseed(std::uint64_t master_seed,
+                                   std::size_t run_index,
+                                   std::size_t reschedule);
 
   const CampaignConfig& config() const { return cfg_; }
 

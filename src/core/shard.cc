@@ -122,8 +122,8 @@ std::string encode_metrics_line(std::size_t run_index,
   const RunResult& r = ex.result;
   std::ostringstream os;
   os << "{\"run\":" << run_index << ",\"attempts\":" << ex.attempts
-     << ",\"seed\":" << ex.last_seed << ",\"ok\":" << (r.ok ? "true" : "false")
-     << ",\"error\":";
+     << ",\"resched\":" << ex.reschedules << ",\"seed\":" << ex.last_seed
+     << ",\"ok\":" << (r.ok ? "true" : "false") << ",\"error\":";
   put_json_string(os, r.error);
   os << ",\"virtual_s\":";
   put_json_number(os, r.virtual_seconds);
@@ -238,6 +238,7 @@ void ShardedCampaignSink::submit(std::size_t run_index, RunExecution&& ex) {
   std::string metrics_line = encode_metrics_line(run_index, ex);
   std::string findings = std::move(ex.result.artifacts.findings_jsonl);
   std::string timeline = std::move(ex.result.artifacts.timeline_jsonl);
+  std::string captures = std::move(ex.result.artifacts.captures_jsonl);
 
   std::lock_guard<std::mutex> lock(mu_);
   if (run_index < frontier_) return;  // resume overlap; already durable
@@ -249,28 +250,31 @@ void ShardedCampaignSink::submit(std::size_t run_index, RunExecution&& ex) {
       std::ofstream os(pending_path(run_index),
                        std::ios::binary | std::ios::trunc);
       os << metrics_line.size() << ' ' << findings.size() << ' '
-         << timeline.size() << '\n';
+         << timeline.size() << ' ' << captures.size() << '\n';
       os.write(metrics_line.data(),
                static_cast<std::streamsize>(metrics_line.size()));
       os.write(findings.data(), static_cast<std::streamsize>(findings.size()));
       os.write(timeline.data(), static_cast<std::streamsize>(timeline.size()));
+      os.write(captures.data(), static_cast<std::streamsize>(captures.size()));
       if (os) {
         p.spilled = true;
       } else {  // disk trouble: keep it in memory rather than lose the run
         p.metrics = std::move(metrics_line);
         p.findings = std::move(findings);
         p.timeline = std::move(timeline);
+        p.captures = std::move(captures);
       }
     } else {
       p.metrics = std::move(metrics_line);
       p.findings = std::move(findings);
       p.timeline = std::move(timeline);
+      p.captures = std::move(captures);
     }
     pending_.emplace(run_index, std::move(p));
     return;
   }
   commit_locked(run_index, metrics_line, std::move(findings),
-                std::move(timeline));
+                std::move(timeline), std::move(captures));
   // Drain every spilled/parked successor the new frontier unblocks.
   for (auto it = pending_.find(frontier_); it != pending_.end();
        it = pending_.find(frontier_)) {
@@ -279,15 +283,17 @@ void ShardedCampaignSink::submit(std::size_t run_index, RunExecution&& ex) {
     const std::size_t idx = frontier_;
     if (p.spilled) {
       std::ifstream in(pending_path(idx), std::ios::binary);
-      std::size_t m = 0, f = 0, t = 0;
-      in >> m >> f >> t;
+      std::size_t m = 0, f = 0, t = 0, c = 0;
+      in >> m >> f >> t >> c;
       in.get();  // the '\n' after the header
       p.metrics.resize(m);
       p.findings.resize(f);
       p.timeline.resize(t);
+      p.captures.resize(c);
       in.read(p.metrics.data(), static_cast<std::streamsize>(m));
       in.read(p.findings.data(), static_cast<std::streamsize>(f));
       in.read(p.timeline.data(), static_cast<std::streamsize>(t));
+      in.read(p.captures.data(), static_cast<std::streamsize>(c));
       if (!in) {
         io_error_ = "shard: cannot read back " + pending_path(idx);
         return;
@@ -295,8 +301,8 @@ void ShardedCampaignSink::submit(std::size_t run_index, RunExecution&& ex) {
       std::error_code ec;
       fs::remove(pending_path(idx), ec);
     }
-    commit_locked(idx, p.metrics, std::move(p.findings),
-                  std::move(p.timeline));
+    commit_locked(idx, p.metrics, std::move(p.findings), std::move(p.timeline),
+                  std::move(p.captures));
   }
 }
 
@@ -314,6 +320,9 @@ bool ShardedCampaignSink::fold_metrics_line(std::string_view line,
     } else if (key == "attempts") {
       parsed = p.read_uint64(&u);
       out->attempts = static_cast<std::size_t>(u);
+    } else if (key == "resched") {
+      parsed = p.read_uint64(&u);
+      out->reschedules = static_cast<std::size_t>(u);
     } else if (key == "seed") {
       parsed = p.read_uint64(&out->seed);
     } else if (key == "ok") {
@@ -381,7 +390,8 @@ bool ShardedCampaignSink::fold_metrics_line(std::string_view line,
 void ShardedCampaignSink::commit_locked(std::size_t run_index,
                                         const std::string& metrics_line,
                                         std::string&& findings,
-                                        std::string&& timeline) {
+                                        std::string&& timeline,
+                                        std::string&& captures) {
   ParsedOutcome po;
   if (!fold_metrics_line(metrics_line, &po)) {
     po = ParsedOutcome{};
@@ -393,15 +403,18 @@ void ShardedCampaignSink::commit_locked(std::size_t run_index,
   if (meta_.size() <= run_index) meta_.resize(run_index + 1);
   RunMeta& m = meta_[run_index];
   m.attempts = static_cast<std::uint32_t>(po.attempts);
+  m.reschedules = static_cast<std::uint32_t>(po.reschedules);
   m.ok = po.ok;
   m.last_seed = po.seed;
   m.virtual_seconds = po.virtual_seconds;
   m.error = po.ok ? std::string() : po.error;
   total_attempts_ += po.attempts;
+  total_reschedules_ += po.reschedules;
   if (!po.ok) ++quarantined_;
 
   if (!cfg_.out_dir.empty()) {
     stamp_findings(run_index, findings, &findings_buf_);
+    stamp_findings(run_index, captures, &captures_buf_);
     metrics_buf_ += metrics_line;
     metrics_buf_ += '\n';
   }
@@ -409,6 +422,7 @@ void ShardedCampaignSink::commit_locked(std::size_t run_index,
     Commit c;
     c.run_index = run_index;
     c.attempts = po.attempts;
+    c.reschedules = po.reschedules;
     c.last_seed = po.seed;
     c.ok = po.ok;
     c.error = po.error;
@@ -425,8 +439,8 @@ void ShardedCampaignSink::commit_locked(std::size_t run_index,
   ++frontier_;
 
   if (cfg_.out_dir.empty()) return;
-  const std::size_t bytes =
-      findings_buf_.size() + metrics_buf_.size() + timeline_bytes_;
+  const std::size_t bytes = findings_buf_.size() + metrics_buf_.size() +
+                            captures_buf_.size() + timeline_bytes_;
   const std::size_t runs_in_shard = frontier_ - shard_run_begin_;
   if ((cfg_.shard_bytes > 0 && bytes >= cfg_.shard_bytes) ||
       (cfg_.shard_runs > 0 && runs_in_shard >= cfg_.shard_runs)) {
@@ -447,7 +461,8 @@ void ShardedCampaignSink::close_shard_locked() {
   if (!write_file_atomic(shard_path("findings", index), findings_buf_) ||
       !write_file_atomic(shard_path("timeline", index),
                          merge_timelines(timeline_entries_)) ||
-      !write_file_atomic(shard_path("metrics", index), metrics_buf_)) {
+      !write_file_atomic(shard_path("metrics", index), metrics_buf_) ||
+      !write_file_atomic(shard_path("captures", index), captures_buf_)) {
     io_error_ = "shard: cannot write shard " + std::to_string(index) +
                 " under " + cfg_.out_dir;
     return;
@@ -456,6 +471,7 @@ void ShardedCampaignSink::close_shard_locked() {
   write_manifest_locked();
   findings_buf_.clear();
   metrics_buf_.clear();
+  captures_buf_.clear();
   timeline_entries_.clear();
   timeline_bytes_ = 0;
   shard_run_begin_ = frontier_;
@@ -500,11 +516,13 @@ void ShardedCampaignSink::replay_closed_shards() {
       if (meta_.size() <= po.run) meta_.resize(po.run + 1);
       RunMeta& m = meta_[po.run];
       m.attempts = static_cast<std::uint32_t>(po.attempts);
+      m.reschedules = static_cast<std::uint32_t>(po.reschedules);
       m.ok = po.ok;
       m.last_seed = po.seed;
       m.virtual_seconds = po.virtual_seconds;
       m.error = po.ok ? std::string() : po.error;
       total_attempts_ += po.attempts;
+      total_reschedules_ += po.reschedules;
       if (!po.ok) ++quarantined_;
     }
   }
@@ -547,10 +565,12 @@ void ShardedCampaignSink::fold_into(CampaignResult* out,
   std::lock_guard<std::mutex> lock(mu_);
   out->run_errors.reserve(meta_.size());
   out->run_attempts.reserve(meta_.size());
+  out->run_reschedules.reserve(meta_.size());
   for (std::size_t i = 0; i < meta_.size(); ++i) {
     const RunMeta& m = meta_[i];
     out->run_errors.push_back(m.error);
     out->run_attempts.push_back(m.attempts);
+    out->run_reschedules.push_back(m.reschedules);
     if (!m.ok) {
       out->quarantined.push_back({i, m.attempts, m.last_seed, m.error});
     }
@@ -561,6 +581,8 @@ void ShardedCampaignSink::fold_into(CampaignResult* out,
                             static_cast<double>(total_attempts_));
   out->registry.add_counter("campaign.quarantined",
                             static_cast<double>(quarantined_));
+  out->registry.add_counter("campaign.rescheduled",
+                            static_cast<double>(total_reschedules_));
   for (const auto& [name, acc] : metrics_) {
     MetricAggregate& agg = out->metrics[name];
     agg.pooled =
@@ -588,6 +610,9 @@ void ShardedCampaignSink::fold_into(CampaignResult* out,
               ",\"attempts\":" + std::to_string(m.attempts) + "}");
       for (std::size_t a = 1; a < m.attempts; ++a) {
         out->trace.instant(track, "retry", "campaign", t0);
+      }
+      for (std::size_t rs = 0; rs < m.reschedules; ++rs) {
+        out->trace.instant(track, "rescheduled", "ctrl", t0);
       }
       if (!m.ok) out->trace.instant(track, "quarantined", "campaign", t1);
       out->trace.span_close(id, t1);
@@ -626,7 +651,7 @@ void ShardTimelineMergeSink::write(std::ostream& os) const {
 
 void ShardMetricsMergeSink::write(std::ostream& os) const {
   obs::MetricsRegistry registry;
-  std::size_t total_attempts = 0, quarantined = 0;
+  std::size_t total_attempts = 0, total_reschedules = 0, quarantined = 0;
   ShardManifest manifest;
   if (read_shard_manifest(out_dir_, &manifest)) {
     for (const ShardInfo& info : manifest.shards) {
@@ -639,12 +664,14 @@ void ShardMetricsMergeSink::write(std::ostream& os) const {
         if (!p.enter_object()) continue;
         std::string key;
         bool ok = true;
-        std::uint64_t attempts = 0;
+        std::uint64_t attempts = 0, reschedules = 0;
         std::string_view reg;
         bool parsed = true;
         while (parsed && p.next_key(&key)) {
           if (key == "attempts") {
             parsed = p.read_uint64(&attempts);
+          } else if (key == "resched") {
+            parsed = p.read_uint64(&reschedules);
           } else if (key == "ok") {
             parsed = p.read_bool(&ok);
           } else if (key == "registry") {
@@ -655,6 +682,7 @@ void ShardMetricsMergeSink::write(std::ostream& os) const {
         }
         if (!parsed) continue;
         total_attempts += static_cast<std::size_t>(attempts);
+        total_reschedules += static_cast<std::size_t>(reschedules);
         if (!ok) {
           ++quarantined;
         } else if (!reg.empty()) {
@@ -667,8 +695,57 @@ void ShardMetricsMergeSink::write(std::ostream& os) const {
                        static_cast<double>(total_attempts));
   registry.add_counter("campaign.quarantined",
                        static_cast<double>(quarantined));
+  registry.add_counter("campaign.rescheduled",
+                       static_cast<double>(total_reschedules));
   registry.write_json(os);
   os << '\n';
+}
+
+void ShardCapturesMergeSink::write(std::ostream& os) const {
+  ShardManifest manifest;
+  if (!read_shard_manifest(out_dir_, &manifest)) return;
+  for (const ShardInfo& info : manifest.shards) {
+    std::ifstream in(shard_file(out_dir_, "captures", info.index),
+                     std::ios::binary);
+    if (in && in.peek() != std::char_traits<char>::eof()) os << in.rdbuf();
+  }
+}
+
+std::map<std::string, RunOutcomeCounts> read_run_outcomes(
+    const std::string& out_dir) {
+  std::map<std::string, RunOutcomeCounts> out;
+  ShardManifest manifest;
+  if (!read_shard_manifest(out_dir, &manifest)) return out;
+  for (const ShardInfo& info : manifest.shards) {
+    std::ifstream in(shard_file(out_dir, "metrics", info.index),
+                     std::ios::binary);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      JsonLiteParser p(line);
+      if (!p.enter_object()) continue;
+      std::string key;
+      std::uint64_t run = 0, reschedules = 0;
+      bool ok = true;
+      bool parsed = true;
+      while (parsed && p.next_key(&key)) {
+        if (key == "run") {
+          parsed = p.read_uint64(&run);
+        } else if (key == "resched") {
+          parsed = p.read_uint64(&reschedules);
+        } else if (key == "ok") {
+          parsed = p.read_bool(&ok);
+        } else {
+          parsed = p.skip_value();
+        }
+      }
+      if (!parsed) continue;
+      RunOutcomeCounts& c = out["run-" + std::to_string(run)];
+      c.rescheduled = static_cast<std::size_t>(reschedules);
+      c.quarantined = ok ? 0 : 1;
+    }
+  }
+  return out;
 }
 
 // ---- in-memory mirror sinks ----
@@ -678,6 +755,15 @@ void CampaignFindingsSink::write(std::ostream& os) const {
   for (std::size_t i = 0; i < result_->run_artifacts.size(); ++i) {
     buf.clear();
     stamp_findings(i, result_->run_artifacts[i].findings_jsonl, &buf);
+    os << buf;
+  }
+}
+
+void CampaignCapturesSink::write(std::ostream& os) const {
+  std::string buf;
+  for (std::size_t i = 0; i < result_->run_artifacts.size(); ++i) {
+    buf.clear();
+    stamp_findings(i, result_->run_artifacts[i].captures_jsonl, &buf);
     os << buf;
   }
 }

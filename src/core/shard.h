@@ -95,6 +95,7 @@ class ShardedCampaignSink {
   struct Commit {
     std::size_t run_index = 0;
     std::size_t attempts = 0;
+    std::size_t reschedules = 0;  // ctrl-policy reschedule rounds consumed
     std::uint64_t last_seed = 0;
     bool ok = true;
     std::string_view error;
@@ -138,6 +139,7 @@ class ShardedCampaignSink {
  private:
   struct RunMeta {
     std::uint32_t attempts = 0;
+    std::uint32_t reschedules = 0;
     bool ok = true;
     std::uint64_t last_seed = 0;
     double virtual_seconds = 0;
@@ -156,6 +158,7 @@ class ShardedCampaignSink {
   struct ParsedOutcome {
     std::size_t run = 0;
     std::size_t attempts = 0;
+    std::size_t reschedules = 0;
     std::uint64_t seed = 0;
     bool ok = true;
     std::string error;
@@ -164,12 +167,13 @@ class ShardedCampaignSink {
   };
   struct Pending {
     bool spilled = false;  // payload lives in pending file, not here
-    std::string metrics, findings, timeline;
+    std::string metrics, findings, timeline, captures;
   };
 
   bool fold_metrics_line(std::string_view line, ParsedOutcome* out);
   void commit_locked(std::size_t run_index, const std::string& metrics_line,
-                     std::string&& findings, std::string&& timeline);
+                     std::string&& findings, std::string&& timeline,
+                     std::string&& captures);
   void close_shard_locked();
   void write_manifest_locked();
   std::string shard_path(const char* kind, std::size_t index) const;
@@ -187,7 +191,7 @@ class ShardedCampaignSink {
   CommitHook hook_;
 
   // Open-shard buffers (bounded by the rotation budget).
-  std::string findings_buf_, metrics_buf_;
+  std::string findings_buf_, metrics_buf_, captures_buf_;
   std::vector<DeviceTimeline> timeline_entries_;
   std::size_t timeline_bytes_ = 0;
   std::size_t shard_run_begin_ = 0;
@@ -199,6 +203,7 @@ class ShardedCampaignSink {
   std::map<std::string, MetricAccum> metrics_;
   std::vector<RunMeta> meta_;
   std::size_t total_attempts_ = 0;
+  std::size_t total_reschedules_ = 0;
   std::size_t quarantined_ = 0;
 };
 
@@ -239,6 +244,29 @@ class ShardMetricsMergeSink final : public ExportSink {
   std::string out_dir_;
 };
 
+// Targeted-capture slices, stamped {"run":N,...} and concatenated in
+// run-index order — same shape rule as findings.
+class ShardCapturesMergeSink final : public ExportSink {
+ public:
+  explicit ShardCapturesMergeSink(std::string out_dir)
+      : out_dir_(std::move(out_dir)) {}
+  std::string_view id() const override { return "captures.jsonl"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  std::string out_dir_;
+};
+
+// Per-run rescheduled/quarantined reaction counts, read back from a shard
+// directory's manifest-listed metrics lines. Keyed "run-N" — the label the
+// merged timeline/findings use — so fleet rollups can join on it.
+struct RunOutcomeCounts {
+  std::size_t rescheduled = 0;
+  std::size_t quarantined = 0;  // 0 or 1 per run
+};
+std::map<std::string, RunOutcomeCounts> read_run_outcomes(
+    const std::string& out_dir);
+
 // ---- in-memory mirror sinks ----
 // The same merged artifacts, produced from a CampaignResult that ran with
 // keep_artifacts. Byte-identical to the shard merge sinks by construction
@@ -260,6 +288,17 @@ class CampaignTimelineSink final : public ExportSink {
   explicit CampaignTimelineSink(const CampaignResult& result)
       : result_(&result) {}
   std::string_view id() const override { return "timeline.jsonl"; }
+  void write(std::ostream& os) const override;
+
+ private:
+  const CampaignResult* result_;
+};
+
+class CampaignCapturesSink final : public ExportSink {
+ public:
+  explicit CampaignCapturesSink(const CampaignResult& result)
+      : result_(&result) {}
+  std::string_view id() const override { return "captures.jsonl"; }
   void write(std::ostream& os) const override;
 
  private:

@@ -1,0 +1,333 @@
+#include "ctrl/policy.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace qoed::ctrl {
+namespace {
+
+// Number renderer that round-trips through strtod exactly (same contract as
+// the fault-plan grammar's seconds_str).
+std::string num_str(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+bool word_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.';
+}
+
+// Scanner over the policy text that never loses the absolute byte offset,
+// so every error names the exact position and token it choked on.
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n')) {
+      ++pos;
+    }
+  }
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return pos < text.size() ? text[pos] : '\0'; }
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  // Longest run of word characters starting at pos (empty when none).
+  std::string word() {
+    const std::size_t start = pos;
+    while (pos < text.size() && word_char(text[pos])) ++pos;
+    return text.substr(start, pos - start);
+  }
+
+  [[noreturn]] void fail(std::size_t at, const std::string& what,
+                         const std::string& token) const {
+    std::string msg = "policy: " + what + " at byte " + std::to_string(at);
+    if (!token.empty()) msg += ": '" + token + "'";
+    throw std::invalid_argument(msg);
+  }
+  [[noreturn]] void fail_here(const std::string& what) const {
+    // The offending token for a structural error is the next raw character
+    // (or end-of-input).
+    const std::string token =
+        done() ? "<end of input>" : std::string(1, text[pos]);
+    fail(pos, what, token);
+  }
+};
+
+double parse_number(Cursor& c, const std::string& what) {
+  c.skip_ws();
+  const std::size_t at = c.pos;
+  const char* start = c.text.c_str() + c.pos;
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start || !std::isfinite(v)) {
+    c.fail(at, "expected a number for " + what,
+           c.done() ? "<end of input>" : c.word());
+  }
+  c.pos += static_cast<std::size_t>(end - start);
+  return v;
+}
+
+// Duration with an optional trailing 's' unit, e.g. "5" or "5s".
+double parse_seconds(Cursor& c, const std::string& what) {
+  const std::size_t at = c.pos;
+  const double v = parse_number(c, what);
+  c.consume('s');
+  if (v <= 0) c.fail(at, what + " must be > 0", num_str(v));
+  return v;
+}
+
+Subject parse_subject(Cursor& c) {
+  c.skip_ws();
+  const std::size_t at = c.pos;
+  const std::string w = c.word();
+  if (w == "finding.confidence") return Subject::kFindingConfidence;
+  if (w == "finding.total_s") return Subject::kFindingTotalS;
+  if (w == "finding.device_s") return Subject::kFindingDeviceS;
+  if (w == "finding.network_s") return Subject::kFindingNetworkS;
+  if (w == "window.latency_s") return Subject::kWindowLatencyS;
+  if (w == "layer.ui") return Subject::kLayerUi;
+  if (w == "layer.packet") return Subject::kLayerPacket;
+  if (w == "layer.radio") return Subject::kLayerRadio;
+  c.fail(at, "unknown subject", w.empty() ? "<end of input>" : w);
+}
+
+CmpOp parse_op(Cursor& c) {
+  c.skip_ws();
+  const std::size_t at = c.pos;
+  if (c.consume('=')) {
+    if (c.consume('=')) return CmpOp::kEq;
+    c.fail(at, "expected comparison operator", "=");
+  }
+  if (c.consume('!')) {
+    if (c.consume('=')) return CmpOp::kNe;
+    c.fail(at, "expected comparison operator", "!");
+  }
+  if (c.consume('<')) return c.consume('=') ? CmpOp::kLe : CmpOp::kLt;
+  if (c.consume('>')) return c.consume('=') ? CmpOp::kGe : CmpOp::kGt;
+  c.fail_here("expected comparison operator");
+}
+
+double parse_value(Cursor& c, bool is_layer) {
+  c.skip_ws();
+  const std::size_t at = c.pos;
+  if (is_layer) {
+    // Health names are the readable form; their ordinal is the value the
+    // comparison sees (healthy=0 < degraded=1 < lost=2). Bare ordinals are
+    // accepted too.
+    const std::size_t mark = c.pos;
+    const std::string w = c.word();
+    if (w == "healthy") return 0;
+    if (w == "degraded") return 1;
+    if (w == "lost") return 2;
+    c.pos = mark;
+    const double v = parse_number(c, "layer health");
+    if (v != 0 && v != 1 && v != 2) {
+      c.fail(at, "layer health must be healthy|degraded|lost (or 0|1|2)",
+             num_str(v));
+    }
+    return v;
+  }
+  return parse_number(c, "threshold");
+}
+
+Action parse_action(Cursor& c) {
+  c.skip_ws();
+  const std::size_t at = c.pos;
+  const std::string w = c.word();
+  if (w == "capture") return Action{ActionKind::kCapture, 0};
+  if (w == "abort") return Action{ActionKind::kAbort, 0};
+  if (w == "reschedule") return Action{ActionKind::kReschedule, 0};
+  if (w == "extend") {
+    c.skip_ws();
+    return Action{ActionKind::kExtend, parse_seconds(c, "extend duration")};
+  }
+  c.fail(at, "unknown action", w.empty() ? "<end of input>" : w);
+}
+
+}  // namespace
+
+const char* to_string(Subject subject) {
+  switch (subject) {
+    case Subject::kFindingConfidence:
+      return "finding.confidence";
+    case Subject::kFindingTotalS:
+      return "finding.total_s";
+    case Subject::kFindingDeviceS:
+      return "finding.device_s";
+    case Subject::kFindingNetworkS:
+      return "finding.network_s";
+    case Subject::kWindowLatencyS:
+      return "window.latency_s";
+    case Subject::kLayerUi:
+      return "layer.ui";
+    case Subject::kLayerPacket:
+      return "layer.packet";
+    case Subject::kLayerRadio:
+      return "layer.radio";
+  }
+  return "?";
+}
+
+const char* to_string(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "==";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kCapture:
+      return "capture";
+    case ActionKind::kAbort:
+      return "abort";
+    case ActionKind::kReschedule:
+      return "reschedule";
+    case ActionKind::kExtend:
+      return "extend";
+  }
+  return "?";
+}
+
+std::string Action::to_string() const {
+  if (kind == ActionKind::kExtend) {
+    return "extend " + num_str(extend_s) + "s";
+  }
+  return ctrl::to_string(kind);
+}
+
+core::Layer Rule::layer() const {
+  switch (subject) {
+    case Subject::kLayerUi:
+      return core::kLayerUi;
+    case Subject::kLayerPacket:
+      return core::kLayerPacket;
+    default:
+      return core::kLayerRadio;
+  }
+}
+
+bool Rule::compare(double observed) const {
+  switch (op) {
+    case CmpOp::kEq:
+      return observed == value;
+    case CmpOp::kNe:
+      return observed != value;
+    case CmpOp::kLt:
+      return observed < value;
+    case CmpOp::kLe:
+      return observed <= value;
+    case CmpOp::kGt:
+      return observed > value;
+    case CmpOp::kGe:
+      return observed >= value;
+  }
+  return false;
+}
+
+std::string Rule::condition() const {
+  std::string out = ctrl::to_string(subject);
+  out += ctrl::to_string(op);
+  if (is_layer() && (value == 0 || value == 1 || value == 2)) {
+    out += core::to_string(static_cast<core::LayerHealth>(
+        static_cast<std::uint8_t>(value)));
+  } else {
+    out += num_str(value);
+  }
+  if (sustain > sim::Duration::zero()) {
+    out += " for " + num_str(sim::to_seconds(sustain)) + "s";
+  }
+  return out;
+}
+
+std::string Rule::to_string() const {
+  std::string out = "on " + condition() + ": ";
+  bool first = true;
+  for (const Action& a : actions) {
+    if (!first) out += '+';
+    first = false;
+    out += a.to_string();
+  }
+  return out;
+}
+
+std::string Policy::to_string() const {
+  std::string out;
+  for (const Rule& r : rules) {
+    if (!out.empty()) out += "; ";
+    out += r.to_string();
+  }
+  return out;
+}
+
+Policy Policy::parse(const std::string& spec) {
+  Policy policy;
+  Cursor c{spec};
+  for (;;) {
+    c.skip_ws();
+    if (c.done()) break;
+    {
+      const std::size_t at = c.pos;
+      const std::string w = c.word();
+      if (w != "on") c.fail(at, "expected 'on'", w.empty() ? "<end of input>" : w);
+    }
+    Rule rule;
+    rule.subject = parse_subject(c);
+    rule.op = parse_op(c);
+    rule.value = parse_value(c, rule.is_layer());
+    c.skip_ws();
+    {
+      // Optional sustain clause; 'for' is only meaningful for layer health,
+      // which is the one subject with a continuous truth value to sustain.
+      const std::size_t mark = c.pos;
+      const std::string w = c.word();
+      if (w == "for") {
+        if (!rule.is_layer()) {
+          c.fail(mark, "'for' sustain requires a layer.* subject", w);
+        }
+        c.skip_ws();
+        rule.sustain = sim::sec_f(parse_seconds(c, "sustain duration"));
+      } else {
+        c.pos = mark;
+      }
+    }
+    c.skip_ws();
+    if (!c.consume(':')) c.fail_here("expected ':'");
+    for (;;) {
+      rule.actions.push_back(parse_action(c));
+      c.skip_ws();
+      if (!c.consume('+')) break;
+    }
+    policy.rules.push_back(std::move(rule));
+    c.skip_ws();
+    if (c.done()) break;
+    if (!c.consume(';')) c.fail_here("expected ';' between rules");
+  }
+  return policy;
+}
+
+}  // namespace qoed::ctrl

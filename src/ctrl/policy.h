@@ -1,0 +1,110 @@
+// Declarative closed-loop control policies (DESIGN.md §5i).
+//
+// QoE Doctor's measurement loop is only useful while its inputs are sound:
+// a run whose radio log went silent produces findings that look valid but
+// attribute latency to the wrong layer. A ctrl::Policy states, up front and
+// deterministically, how a run reacts to its own findings and to the
+// collection spine's layer health — capture forensic context, extend the
+// experiment, abort it, or hand it back to the campaign for a reseeded
+// reschedule. Rules are evaluated at virtual-time watermarks only (collector
+// event arrivals and diagnosis-window finalizations), never on wall clock,
+// so the same (scenario, seed, policy) triple makes the same decisions at
+// the same virtual instants on any --jobs fan-out.
+//
+// Textual form (used by qoed_cli --policy= and the svc scenario field):
+//
+//   spec    := rule (';' rule)*
+//   rule    := 'on' cond ':' action ('+' action)*
+//   cond    := subject op value ['for' SECONDS 's'?]
+//   subject := 'finding.confidence' | 'finding.total_s'
+//            | 'finding.device_s'  | 'finding.network_s'
+//            | 'window.latency_s'                 (alias: finding.total_s)
+//            | 'layer.ui' | 'layer.packet' | 'layer.radio'
+//   op      := '==' | '!=' | '<' | '<=' | '>' | '>='
+//   value   := NUMBER | 'healthy' | 'degraded' | 'lost'   (layer.* only)
+//   action  := 'capture' | 'abort' | 'reschedule' | 'extend' SECONDS 's'?
+//
+//   e.g. "on finding.confidence<0.8: capture;
+//         on layer.radio==lost for 5s: abort+reschedule;
+//         on window.latency_s>4: extend 10s"
+//
+// Layer subjects compare the collector's LayerHealth ordinal (healthy=0 <
+// degraded=1 < lost=2), so `layer.radio>=degraded` reads naturally. The
+// optional 'for S' sustain applies to layer rules only: the condition must
+// hold continuously for S virtual seconds before the rule fires. Malformed
+// input raises std::invalid_argument naming the absolute byte offset and
+// the offending token; parse(to_string()) round-trips exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/collector.h"
+#include "sim/time.h"
+
+namespace qoed::ctrl {
+
+enum class Subject : std::uint8_t {
+  kFindingConfidence,
+  kFindingTotalS,
+  kFindingDeviceS,
+  kFindingNetworkS,
+  kWindowLatencyS,  // finding.total_s under its QoE-window name
+  kLayerUi,
+  kLayerPacket,
+  kLayerRadio,
+};
+
+enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+enum class ActionKind : std::uint8_t {
+  kCapture,     // flush a trace-ring slice around the trigger
+  kAbort,       // cooperative stop of the live event loop
+  kReschedule,  // ask the campaign to re-run with a ctrl reseed
+  kExtend,      // push the run deadline out by extend_s
+};
+
+const char* to_string(Subject subject);
+const char* to_string(CmpOp op);
+const char* to_string(ActionKind kind);
+
+struct Action {
+  ActionKind kind = ActionKind::kCapture;
+  double extend_s = 0;  // kExtend only
+
+  std::string to_string() const;
+};
+
+struct Rule {
+  Subject subject = Subject::kFindingConfidence;
+  CmpOp op = CmpOp::kLt;
+  double value = 0;  // health values as their ordinal for layer subjects
+  sim::Duration sustain{};  // layer rules only; zero = fire immediately
+  std::vector<Action> actions;
+
+  bool is_layer() const {
+    return subject == Subject::kLayerUi || subject == Subject::kLayerPacket ||
+           subject == Subject::kLayerRadio;
+  }
+  // Valid only when is_layer().
+  core::Layer layer() const;
+  bool compare(double observed) const;
+
+  // The condition without the 'on'/':' framing, e.g. "layer.radio==lost
+  // for 5s" — used by decision logs and trace instants.
+  std::string condition() const;
+  std::string to_string() const;
+};
+
+struct Policy {
+  std::vector<Rule> rules;
+
+  bool empty() const { return rules.empty(); }
+  // Canonical textual form; parse(to_string()) round-trips exactly.
+  std::string to_string() const;
+  // Parses the grammar above. Throws std::invalid_argument whose message
+  // carries the absolute byte offset and the offending token.
+  static Policy parse(const std::string& spec);
+};
+
+}  // namespace qoed::ctrl

@@ -1,0 +1,271 @@
+#include "ctrl/policy_engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/campaign.h"
+#include "core/json_util.h"
+#include "net/dns.h"
+#include "obs/tracer.h"
+
+namespace qoed::ctrl {
+namespace {
+
+// Same field layout as the merged-timeline packet lines, so capture slices
+// and timeline.jsonl are grep-compatible.
+void put_capture_packet(std::ostream& os, const net::PacketRecord& r) {
+  os << "{\"t\":";
+  core::put_json_number(os, r.timestamp.seconds());
+  os << ",\"dir\":\"" << net::to_string(r.direction) << "\",\"src\":";
+  core::put_json_string(
+      os, r.src_ip.to_string() + ':' + std::to_string(r.src_port));
+  os << ",\"dst\":";
+  core::put_json_string(
+      os, r.dst_ip.to_string() + ':' + std::to_string(r.dst_port));
+  os << ",\"proto\":\"" << (r.protocol == net::Protocol::kUdp ? "udp" : "tcp")
+     << '"';
+  if (r.protocol == net::Protocol::kTcp) {
+    os << ",\"flags\":";
+    core::put_json_string(os, r.flags.to_string());
+    os << ",\"tcp_seq\":" << r.seq << ",\"tcp_ack\":" << r.ack;
+  } else if (r.dns) {
+    os << ",\"dns\":";
+    core::put_json_string(os, r.dns->hostname);
+    os << ",\"dns_resp\":" << (r.dns->is_response ? "true" : "false");
+  }
+  os << ",\"len\":" << r.payload_size << "}\n";
+}
+
+}  // namespace
+
+PolicyEngine::PolicyEngine(PolicyEngineConfig cfg) : cfg_(std::move(cfg)) {
+  states_.resize(cfg_.policy.rules.size());
+  for (const Rule& r : cfg_.policy.rules) {
+    if (r.is_layer()) has_layer_rules_ = true;
+  }
+}
+
+PolicyEngine::~PolicyEngine() { detach(); }
+
+void PolicyEngine::attach(core::Collector& collector, sim::EventLoop& loop) {
+  detach();
+  collector_ = &collector;
+  loop_ = &loop;
+  collector.subscribe(core::kLayerAll, this);
+  if (cfg_.ring_capacity > 0 && collector.trace() != nullptr) {
+    collector.trace()->set_ring_capacity(cfg_.ring_capacity);
+  }
+}
+
+void PolicyEngine::watch(diag::DiagnosisEngine& engine) {
+  diag_ = &engine;
+  engine.set_finding_hook(
+      [this](const diag::Finding& f, sim::TimePoint close_at) {
+        on_finding(f, close_at);
+      });
+}
+
+void PolicyEngine::detach() {
+  if (collector_ != nullptr) {
+    collector_->unsubscribe(this);
+    collector_ = nullptr;
+  }
+  if (diag_ != nullptr) {
+    diag_->set_finding_hook(nullptr);
+    diag_ = nullptr;
+  }
+  loop_ = nullptr;
+}
+
+void PolicyEngine::on_event(const core::Collector& collector,
+                            const core::Event& event) {
+  if (!has_layer_rules_) return;
+  for (std::size_t i = 0; i < cfg_.policy.rules.size(); ++i) {
+    const Rule& rule = cfg_.policy.rules[i];
+    if (!rule.is_layer()) continue;
+    RuleState& st = states_[i];
+    if (st.fired) continue;
+    const auto health = collector.health(rule.layer());
+    const bool hit =
+        rule.compare(static_cast<double>(static_cast<std::uint8_t>(health)));
+    if (!hit) {
+      st.holding = false;
+      continue;
+    }
+    if (!st.holding) {
+      st.holding = true;
+      st.since = event.at;
+    }
+    if (event.at - st.since >= rule.sustain) {
+      st.fired = true;
+      fire(i, rule, event.at, event.at, event.at);
+    }
+  }
+}
+
+double PolicyEngine::finding_value(Subject subject,
+                                   const diag::Finding& f) const {
+  switch (subject) {
+    case Subject::kFindingConfidence:
+      return f.confidence;
+    case Subject::kFindingTotalS:
+    case Subject::kWindowLatencyS:
+      return f.total_s;
+    case Subject::kFindingDeviceS:
+      return f.device_s;
+    case Subject::kFindingNetworkS:
+      return f.network_s;
+    default:
+      return 0;
+  }
+}
+
+void PolicyEngine::on_finding(const diag::Finding& f, sim::TimePoint close_at) {
+  for (std::size_t i = 0; i < cfg_.policy.rules.size(); ++i) {
+    const Rule& rule = cfg_.policy.rules[i];
+    if (rule.is_layer()) continue;
+    if (!rule.compare(finding_value(rule.subject, f))) continue;
+    fire(i, rule, close_at, f.window_start, f.window_end);
+  }
+}
+
+void PolicyEngine::fire(std::size_t rule_index, const Rule& rule,
+                        sim::TimePoint t, sim::TimePoint window_start,
+                        sim::TimePoint window_end) {
+  for (const Action& a : rule.actions) {
+    decisions_.push_back(Decision{t, rule_index, a.kind, rule.condition()});
+    switch (a.kind) {
+      case ActionKind::kCapture:
+        do_capture(rule_index, t, window_start, window_end);
+        break;
+      case ActionKind::kAbort:
+        abort_requested_ = true;
+        if (loop_ != nullptr) loop_->request_stop();
+        break;
+      case ActionKind::kReschedule:
+        if (!reschedule_requested_) {
+          reschedule_requested_ = true;
+          reschedule_reason_ = rule.condition();
+        }
+        break;
+      case ActionKind::kExtend: {
+        const sim::TimePoint until = t + sim::sec_f(a.extend_s);
+        extend_until_ = std::max(extend_until_, until);
+        extend_s_total_ += a.extend_s;
+        break;
+      }
+    }
+    if (obs_.tracing()) {
+      std::ostringstream args;
+      args << "{\"rule\":" << rule_index << ",\"on\":";
+      core::put_json_string(args, rule.condition());
+      args << '}';
+      obs_.tracer->instant(obs_.track, ctrl::to_string(a.kind), "ctrl", t,
+                           args.str());
+    }
+  }
+}
+
+void PolicyEngine::do_capture(std::size_t rule_index, sim::TimePoint t,
+                              sim::TimePoint window_start,
+                              sim::TimePoint window_end) {
+  sim::TimePoint start = window_start - cfg_.capture_pre;
+  if (start < sim::kTimeZero) start = sim::kTimeZero;
+  const sim::TimePoint end = window_end + cfg_.capture_post;
+  std::vector<net::PacketRecord> packets;
+  if (collector_ != nullptr && collector_->trace() != nullptr) {
+    packets = collector_->trace()->ring_window(start, end);
+  }
+  std::ostringstream os;
+  os << "{\"capture\":" << capture_count_ << ",\"rule\":" << rule_index
+     << ",\"at\":";
+  core::put_json_number(os, t.seconds());
+  os << ",\"start\":";
+  core::put_json_number(os, start.seconds());
+  os << ",\"end\":";
+  core::put_json_number(os, end.seconds());
+  os << ",\"packets\":" << packets.size() << "}\n";
+  for (const net::PacketRecord& r : packets) put_capture_packet(os, r);
+  captures_jsonl_ += os.str();
+  ++capture_count_;
+  capture_packets_ += packets.size();
+}
+
+sim::TimePoint PolicyEngine::run(sim::EventLoop& loop, sim::TimePoint until) {
+  sim::TimePoint deadline = until;
+  loop.run_until(deadline);
+  // Each extension re-enters the loop at the new deadline; extend_until_ is
+  // a monotone max, so this terminates once no rule pushes it further.
+  while (!loop.stop_requested() && extend_until_ > deadline) {
+    deadline = extend_until_;
+    loop.run_until(deadline);
+  }
+  return deadline;
+}
+
+void PolicyEngine::add_counters(core::RunResult& out,
+                                const std::string& prefix) const {
+  if (cfg_.policy.empty()) return;
+  double captures = 0, aborts = 0, reschedules = 0, extends = 0;
+  for (const Decision& d : decisions_) {
+    switch (d.action) {
+      case ActionKind::kCapture:
+        ++captures;
+        break;
+      case ActionKind::kAbort:
+        ++aborts;
+        break;
+      case ActionKind::kReschedule:
+        ++reschedules;
+        break;
+      case ActionKind::kExtend:
+        ++extends;
+        break;
+    }
+  }
+  out.add_counter(prefix + "rules",
+                  static_cast<double>(cfg_.policy.rules.size()));
+  out.add_counter(prefix + "decisions",
+                  static_cast<double>(decisions_.size()));
+  out.add_counter(prefix + "captures", captures);
+  out.add_counter(prefix + "capture_packets",
+                  static_cast<double>(capture_packets_));
+  out.add_counter(prefix + "aborts", aborts);
+  out.add_counter(prefix + "reschedules", reschedules);
+  out.add_counter(prefix + "extends", extends);
+  out.add_counter(prefix + "extend_s", extend_s_total_);
+}
+
+void PolicyEngine::export_metrics(obs::MetricsRegistry& reg,
+                                  const std::string& prefix) const {
+  if (cfg_.policy.empty()) return;
+  double captures = 0, aborts = 0, reschedules = 0, extends = 0;
+  for (const Decision& d : decisions_) {
+    switch (d.action) {
+      case ActionKind::kCapture:
+        ++captures;
+        break;
+      case ActionKind::kAbort:
+        ++aborts;
+        break;
+      case ActionKind::kReschedule:
+        ++reschedules;
+        break;
+      case ActionKind::kExtend:
+        ++extends;
+        break;
+    }
+  }
+  reg.add_counter(prefix + "rules",
+                  static_cast<double>(cfg_.policy.rules.size()));
+  reg.add_counter(prefix + "decisions", static_cast<double>(decisions_.size()));
+  reg.add_counter(prefix + "captures", captures);
+  reg.add_counter(prefix + "capture_packets",
+                  static_cast<double>(capture_packets_));
+  reg.add_counter(prefix + "aborts", aborts);
+  reg.add_counter(prefix + "reschedules", reschedules);
+  reg.add_counter(prefix + "extends", extends);
+  reg.add_counter(prefix + "extend_s", extend_s_total_);
+}
+
+}  // namespace qoed::ctrl

@@ -122,6 +122,7 @@ void DiagnosisEngine::finalize(const PendingWindow& w0,
   if (f.radio_unavailable) f.confidence *= 0.8;
   if (f.rlc_degraded) f.confidence *= 0.9;
   findings_.push_back(std::move(f));
+  if (finding_hook_) finding_hook_(findings_.back(), close_at);
 }
 
 void DiagnosisEngine::finalize_all() {

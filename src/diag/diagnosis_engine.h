@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -174,6 +175,14 @@ class DiagnosisEngine : public core::CollectorSink {
   // the collector instants it derives from.
   void set_observability(const obs::Context& ctx) { obs_ = ctx; }
 
+  // Reaction hook: invoked right after a Finding is finalized, with the
+  // virtual time the stream closed the window at (the same instant the
+  // trace span closes). This is the control plane's watermark — a policy
+  // engine reacting here sees exactly what a post-hoc reader of
+  // findings() would, at a deterministic virtual time. One slot.
+  using FindingHook = std::function<void(const Finding&, sim::TimePoint)>;
+  void set_finding_hook(FindingHook hook) { finding_hook_ = std::move(hook); }
+
   // CollectorSink.
   void on_event(const core::Collector& collector,
                 const core::Event& event) override;
@@ -199,6 +208,7 @@ class DiagnosisEngine : public core::CollectorSink {
   std::unique_ptr<RrcStateTracker> tracker_;
   std::unique_ptr<RlcChainTracker> rlc_;
   obs::Context obs_;
+  FindingHook finding_hook_;
 
   std::deque<PendingWindow> pending_;
   std::vector<Finding> findings_;

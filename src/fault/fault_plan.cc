@@ -10,29 +10,47 @@
 namespace qoed::fault {
 namespace {
 
-std::string trim(const std::string& s) {
+// All parse errors carry the absolute byte offset of the offending token in
+// the original spec string (same error shape as ctrl::Policy::parse), so a
+// caller can point straight at the mistake in a long plan.
+[[noreturn]] void fail(std::size_t at, const std::string& what,
+                       const std::string& token) {
+  throw std::invalid_argument("fault plan: " + what + " at byte " +
+                              std::to_string(at) + ": '" + token + "'");
+}
+
+// Trims and reports how far the leading whitespace reached, so token
+// offsets stay anchored to the original string.
+std::string trim_at(const std::string& s, std::size_t base,
+                    std::size_t* offset) {
   std::size_t b = s.find_first_not_of(" \t");
+  if (offset != nullptr) *offset = base + (b == std::string::npos ? 0 : b);
   if (b == std::string::npos) return "";
   std::size_t e = s.find_last_not_of(" \t");
   return s.substr(b, e - b + 1);
 }
 
-double parse_double(const std::string& text, const std::string& what) {
-  const std::string t = trim(text);
+std::string trim(const std::string& s) { return trim_at(s, 0, nullptr); }
+
+double parse_double(const std::string& text, const std::string& what,
+                    std::size_t at) {
+  std::size_t t_at = at;
+  const std::string t = trim_at(text, at, &t_at);
   char* end = nullptr;
   const double v = std::strtod(t.c_str(), &end);
   if (t.empty() || end != t.c_str() + t.size() || !std::isfinite(v)) {
-    throw std::invalid_argument("fault plan: bad number for " + what + ": '" +
-                                text + "'");
+    fail(t_at, "bad number for " + what, t);
   }
   return v;
 }
 
-double parse_probability(const std::string& text, const std::string& what) {
-  const double v = parse_double(text, what);
+double parse_probability(const std::string& text, const std::string& what,
+                         std::size_t at) {
+  const double v = parse_double(text, what, at);
   if (v < 0.0 || v > 1.0) {
-    throw std::invalid_argument("fault plan: " + what +
-                                " must be in [0,1], got '" + text + "'");
+    std::size_t t_at = at;
+    const std::string t = trim_at(text, at, &t_at);
+    fail(t_at, what + " must be in [0,1]", t);
   }
   return v;
 }
@@ -45,55 +63,63 @@ std::string seconds_str(double v) {
   return os.str();
 }
 
-void apply_item(LayerFaultSpec& spec, const std::string& item) {
+// `item_at` is the absolute byte offset of `item` (already trimmed) in the
+// original spec string.
+void apply_item(LayerFaultSpec& spec, const std::string& item,
+                std::size_t item_at) {
   const std::size_t eq = item.find('=');
   if (eq == std::string::npos) {
-    throw std::invalid_argument("fault plan: expected key=value, got '" + item +
-                                "'");
+    fail(item_at, "expected key=value", item);
   }
-  const std::string key = trim(item.substr(0, eq));
+  std::size_t key_at = item_at;
+  const std::string key = trim_at(item.substr(0, eq), item_at, &key_at);
   const std::string value = item.substr(eq + 1);
+  const std::size_t value_at = item_at + eq + 1;
   if (key == "drop") {
-    spec.drop_rate = parse_probability(value, "drop");
+    spec.drop_rate = parse_probability(value, "drop", value_at);
   } else if (key == "dup") {
-    spec.dup_rate = parse_probability(value, "dup");
+    spec.dup_rate = parse_probability(value, "dup", value_at);
   } else if (key == "delay") {
     const std::size_t at = value.find('@');
     if (at == std::string::npos) {
-      throw std::invalid_argument(
-          "fault plan: delay needs 'delay=P@MAX_SECONDS', got '" + item + "'");
+      fail(value_at, "delay needs 'delay=P@MAX_SECONDS'", value);
     }
-    spec.delay_rate = parse_probability(value.substr(0, at), "delay rate");
-    const double max_s = parse_double(value.substr(at + 1), "delay bound");
+    spec.delay_rate =
+        parse_probability(value.substr(0, at), "delay rate", value_at);
+    const double max_s =
+        parse_double(value.substr(at + 1), "delay bound", value_at + at + 1);
     if (max_s <= 0.0) {
-      throw std::invalid_argument("fault plan: delay bound must be > 0");
+      fail(value_at + at + 1, "delay bound must be > 0",
+           trim(value.substr(at + 1)));
     }
     spec.delay_max = sim::sec_f(max_s);
   } else if (key == "skew") {
-    spec.skew = sim::sec_f(parse_double(value, "skew"));
+    spec.skew = sim::sec_f(parse_double(value, "skew", value_at));
   } else if (key == "drift") {
-    spec.drift = parse_double(value, "drift");
+    spec.drift = parse_double(value, "drift", value_at);
   } else if (key == "truncate") {
-    const double at_s = parse_double(value, "truncate");
+    const double at_s = parse_double(value, "truncate", value_at);
     if (at_s < 0.0) {
-      throw std::invalid_argument("fault plan: truncate must be >= 0");
+      fail(value_at, "truncate must be >= 0", trim(value));
     }
     spec.truncate_at = sim::kTimeZero + sim::sec_f(at_s);
   } else if (key == "blackout") {
     const std::size_t dots = value.find("..");
     if (dots == std::string::npos) {
-      throw std::invalid_argument(
-          "fault plan: blackout needs 'blackout=A..B', got '" + item + "'");
+      fail(value_at, "blackout needs 'blackout=A..B'", value);
     }
-    const double a = parse_double(value.substr(0, dots), "blackout start");
-    const double b = parse_double(value.substr(dots + 2), "blackout end");
+    const double a =
+        parse_double(value.substr(0, dots), "blackout start", value_at);
+    const double b = parse_double(value.substr(dots + 2), "blackout end",
+                                  value_at + dots + 2);
     if (b <= a) {
-      throw std::invalid_argument("fault plan: blackout end must be > start");
+      fail(value_at + dots + 2, "blackout end must be > start",
+           trim(value.substr(dots + 2)));
     }
     spec.blackouts.push_back(BlackoutWindow{sim::kTimeZero + sim::sec_f(a),
                                             sim::kTimeZero + sim::sec_f(b)});
   } else {
-    throw std::invalid_argument("fault plan: unknown key '" + key + "'");
+    fail(key_at, "unknown key", key);
   }
 }
 
@@ -212,15 +238,18 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   while (pos <= spec.size()) {
     std::size_t sc = spec.find(';', pos);
     if (sc == std::string::npos) sc = spec.size();
-    const std::string clause = trim(spec.substr(pos, sc - pos));
+    std::size_t clause_at = pos;
+    const std::string clause =
+        trim_at(spec.substr(pos, sc - pos), pos, &clause_at);
     pos = sc + 1;
     if (clause.empty()) continue;
     const std::size_t colon = clause.find(':');
     if (colon == std::string::npos) {
-      throw std::invalid_argument("fault plan: expected 'layer:items', got '" +
-                                  clause + "'");
+      fail(clause_at, "expected 'layer:items'", clause);
     }
-    const std::string layer_name = trim(clause.substr(0, colon));
+    std::size_t layer_at = clause_at;
+    const std::string layer_name =
+        trim_at(clause.substr(0, colon), clause_at, &layer_at);
     std::vector<LayerFaultSpec*> targets;
     if (layer_name == "ui") {
       targets = {&plan.ui};
@@ -231,20 +260,20 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     } else if (layer_name == "all") {
       targets = {&plan.ui, &plan.packet, &plan.radio};
     } else {
-      throw std::invalid_argument("fault plan: unknown layer '" + layer_name +
-                                  "' (want ui|packet|radio|all)");
+      fail(layer_at, "unknown layer (want ui|packet|radio|all)", layer_name);
     }
     std::size_t ip = colon + 1;
     while (ip <= clause.size()) {
       std::size_t comma = clause.find(',', ip);
       if (comma == std::string::npos) comma = clause.size();
-      const std::string item = trim(clause.substr(ip, comma - ip));
+      std::size_t item_at = clause_at + ip;
+      const std::string item =
+          trim_at(clause.substr(ip, comma - ip), clause_at + ip, &item_at);
       ip = comma + 1;
       if (item.empty()) {
-        throw std::invalid_argument("fault plan: empty item in clause '" +
-                                    clause + "'");
+        fail(item_at, "empty item in clause", clause);
       }
-      for (LayerFaultSpec* target : targets) apply_item(*target, item);
+      for (LayerFaultSpec* target : targets) apply_item(*target, item, item_at);
     }
   }
   return plan;

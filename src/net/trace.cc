@@ -43,11 +43,34 @@ void TraceCapture::add(PacketRecord record) {
 
 void TraceCapture::commit(PacketRecord record) {
   records_.push_back(std::move(record));
+  if (ring_capacity_ > 0) {
+    ring_.push_back(records_.back());
+    while (ring_.size() > ring_capacity_) ring_.pop_front();
+  }
   if (tap_) tap_(records_.back(), records_.size() - 1);
+}
+
+void TraceCapture::set_ring_capacity(std::size_t capacity) {
+  ring_capacity_ = capacity;
+  if (capacity == 0) {
+    ring_.clear();
+    return;
+  }
+  while (ring_.size() > capacity) ring_.pop_front();
+}
+
+std::vector<PacketRecord> TraceCapture::ring_window(sim::TimePoint start,
+                                                    sim::TimePoint end) const {
+  std::vector<PacketRecord> out;
+  for (const PacketRecord& r : ring_) {
+    if (r.timestamp >= start && r.timestamp <= end) out.push_back(r);
+  }
+  return out;
 }
 
 void TraceCapture::clear() {
   records_.clear();
+  ring_.clear();
   dropped_ = 0;
   if (clear_tap_) clear_tap_();
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -80,6 +81,21 @@ class TraceCapture {
 
   const std::vector<PacketRecord>& records() const { return records_; }
 
+  // Bounded ring of the most recent committed records, for targeted
+  // capture: a control policy that wants the packets around an anomalous
+  // window slices the ring instead of rescanning (or retaining) the whole
+  // trace. Capacity 0 (the default) disables the ring. The ring holds
+  // copies in commit order; clear() empties it.
+  void set_ring_capacity(std::size_t capacity);
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  const std::deque<PacketRecord>& ring() const { return ring_; }
+
+  // Records still in the ring whose capture timestamp falls in
+  // [start, end], in commit order. Tolerates the mild reordering fault
+  // skew introduces (scan, not binary search).
+  std::vector<PacketRecord> ring_window(sim::TimePoint start,
+                                        sim::TimePoint end) const;
+
   // Packets offered while stopped (not stored). Reset by clear().
   std::uint64_t records_dropped() const { return dropped_; }
 
@@ -90,6 +106,8 @@ class TraceCapture {
  private:
   bool running_ = true;
   std::uint64_t dropped_ = 0;
+  std::size_t ring_capacity_ = 0;
+  std::deque<PacketRecord> ring_;
   std::vector<PacketRecord> records_;
   Tap tap_;
   Intake intake_;

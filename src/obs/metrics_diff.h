@@ -1,0 +1,69 @@
+// Metrics-snapshot regression diffing (the `qoed_cli metrics-diff` gate).
+//
+// The whole pipeline is deterministic, so a metrics.json snapshot is a
+// behavioral fingerprint: if a change shifts any counter, gauge or histogram
+// against a committed baseline, something in the simulation or analysis
+// changed. diff_registries compares two snapshots key-by-key under per-key
+// relative tolerances (longest-prefix match; the default tolerance is exact)
+// and classifies every divergence:
+//
+//   kRegressed  value drifted beyond its tolerance
+//   kMissing    key present in the baseline, absent in the candidate
+//   kAdded      new key (informational — new features add keys; only drift
+//               and loss fail the gate)
+//
+// Histograms are compared through their (count, sum) reductions — enough to
+// catch any sample-set change without baking bucket layouts into baselines.
+// A tolerance of +inf ignores a subtree (the built-in use: wall-clock
+// prof.* keys, which are not deterministic).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace qoed::obs {
+
+struct DiffOptions {
+  // (key prefix, relative tolerance). Longest matching prefix wins; an
+  // empty prefix overrides the default for every key. +inf = ignore.
+  std::vector<std::pair<std::string, double>> tolerances;
+  double default_tolerance = 0;  // exact match
+};
+
+enum class DiffStatus { kOk, kAdded, kMissing, kRegressed };
+
+struct DiffEntry {
+  std::string key;    // e.g. "counter campaign.rescheduled"
+  double base = 0;
+  double current = 0;
+  double rel = 0;        // symmetric relative drift
+  double tolerance = 0;  // the tolerance that applied
+  DiffStatus status = DiffStatus::kOk;
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> entries;  // every non-kOk entry, baseline order
+  std::size_t compared = 0;        // keys present on both sides
+  std::size_t regressions = 0;     // kRegressed + kMissing
+  std::size_t added = 0;
+
+  bool ok() const { return regressions == 0; }
+};
+
+DiffReport diff_registries(const MetricsRegistry& base,
+                           const MetricsRegistry& current,
+                           const DiffOptions& opts = {});
+
+// One line per entry plus a summary line; the gate's human-readable report.
+void print_diff(std::ostream& os, const DiffReport& report);
+
+// Parses "PREFIX=TOL,PREFIX=TOL,..." (TOL a number or "inf") into
+// DiffOptions::tolerances. Throws std::invalid_argument on bad input.
+std::vector<std::pair<std::string, double>> parse_tolerances(
+    const std::string& spec);
+
+}  // namespace qoed::obs

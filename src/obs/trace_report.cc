@@ -1,0 +1,153 @@
+#include "obs/trace_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "core/json_util.h"
+
+namespace qoed::obs {
+namespace {
+
+struct RawEvent {
+  std::string ph, cat, name, id;
+  double ts_us = 0;
+  bool has_ts = false;
+};
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+std::string secs(double s) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", s);
+  return buf;
+}
+
+}  // namespace
+
+bool analyze_trace(const std::string& chrome_json, TraceReport* out,
+                   std::string* error) {
+  *out = TraceReport{};
+  core::JsonLiteParser p(chrome_json);
+  if (!p.enter_object()) return fail(error, "trace: not a JSON object");
+  std::string key;
+  bool saw_events = false;
+  std::vector<TraceInstant> instants;
+  struct OpenSpan {
+    std::string name;
+    double start_us = 0;
+  };
+  std::map<std::string, OpenSpan> open;
+  while (p.next_key(&key)) {
+    if (key != "traceEvents") {
+      if (!p.skip_value()) return fail(error, "trace: malformed value");
+      continue;
+    }
+    saw_events = true;
+    if (!p.enter_array()) return fail(error, "trace: traceEvents not an array");
+    while (p.array_next()) {
+      if (!p.enter_object()) return fail(error, "trace: event not an object");
+      RawEvent e;
+      std::string field;
+      while (p.next_key(&field)) {
+        bool ok = true;
+        if (field == "ph") {
+          ok = p.read_string(&e.ph);
+        } else if (field == "cat") {
+          ok = p.read_string(&e.cat);
+        } else if (field == "name") {
+          ok = p.read_string(&e.name);
+        } else if (field == "id") {
+          ok = p.read_string(&e.id);
+        } else if (field == "ts") {
+          ok = p.read_number(&e.ts_us);
+          e.has_ts = ok;
+        } else {
+          ok = p.skip_value();
+        }
+        if (!ok) return fail(error, "trace: malformed event field '" + field + "'");
+      }
+      if (e.ph == "b" && e.cat == "diag") {
+        open[e.id] = OpenSpan{e.name, e.ts_us};
+      } else if (e.ph == "e") {
+        const auto it = open.find(e.id);
+        if (it != open.end()) {
+          TraceWindowReport w;
+          w.name = it->second.name;
+          w.start_s = it->second.start_us / 1e6;
+          w.end_s = e.ts_us / 1e6;
+          out->windows.push_back(std::move(w));
+          open.erase(it);
+        }
+      } else if (e.ph == "i" && (e.cat == "fault" || e.cat == "ctrl")) {
+        instants.push_back(TraceInstant{e.name, e.cat, e.ts_us / 1e6});
+        if (e.cat == "fault") {
+          ++out->fault_instants;
+        } else {
+          ++out->ctrl_instants;
+        }
+      }
+    }
+  }
+  if (!saw_events) return fail(error, "trace: no traceEvents array");
+
+  // Spans still open at end-of-trace (a crashed run) are reported as
+  // windows that never closed, ending at their own start.
+  for (const auto& [id, span] : open) {
+    (void)id;
+    TraceWindowReport w;
+    w.name = span.name;
+    w.start_s = span.start_us / 1e6;
+    w.end_s = span.start_us / 1e6;
+    out->windows.push_back(std::move(w));
+  }
+  std::sort(out->windows.begin(), out->windows.end(),
+            [](const TraceWindowReport& a, const TraceWindowReport& b) {
+              if (a.start_s != b.start_s) return a.start_s < b.start_s;
+              return a.name < b.name;
+            });
+
+  for (const TraceInstant& i : instants) {
+    bool matched = false;
+    for (TraceWindowReport& w : out->windows) {
+      if (i.t_s < w.start_s || i.t_s > w.end_s) continue;
+      matched = true;
+      (i.cat == "fault" ? w.faults : w.ctrl).push_back(i);
+    }
+    if (!matched) {
+      if (i.cat == "fault") {
+        ++out->unmatched_faults;
+      } else {
+        ++out->unmatched_ctrl;
+      }
+    }
+  }
+  return true;
+}
+
+void print_trace_report(std::ostream& os, const TraceReport& report) {
+  os << "trace-report: " << report.windows.size() << " diag windows, "
+     << report.fault_instants << " fault instants, " << report.ctrl_instants
+     << " ctrl decisions\n";
+  for (const TraceWindowReport& w : report.windows) {
+    os << "window " << w.name << " [" << secs(w.start_s) << "s.."
+       << secs(w.end_s) << "s]: " << w.faults.size() << " fault, "
+       << w.ctrl.size() << " ctrl\n";
+    for (const TraceInstant& i : w.faults) {
+      os << "  fault " << i.name << " @" << secs(i.t_s) << "s\n";
+    }
+    for (const TraceInstant& i : w.ctrl) {
+      os << "  ctrl " << i.name << " @" << secs(i.t_s) << "s\n";
+    }
+  }
+  if (report.unmatched_faults > 0 || report.unmatched_ctrl > 0) {
+    os << "outside windows: " << report.unmatched_faults << " fault, "
+       << report.unmatched_ctrl << " ctrl\n";
+  }
+}
+
+}  // namespace qoed::obs

@@ -1,0 +1,50 @@
+// Cross-referencing a chrome trace artifact (`qoed_cli trace-report`).
+//
+// The tracer's virtual-time artifact carries three load-bearing lanes:
+// cat="diag" spans (one per QoE window under diagnosis), cat="fault"
+// instants (injected capture faults) and cat="ctrl" instants (policy
+// decisions). This module re-reads the trace.json a run wrote and answers
+// the triage question directly: which diagnosis windows overlap which fault
+// injections and control reactions — turning the trace from a viewer
+// artifact into greppable evidence that a degraded finding had a fault
+// inside its window (and that the policy reacted where it should have).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qoed::obs {
+
+// One instant on a lane, e.g. {name: "blackout", cat: "fault", t_s: 5.0}.
+struct TraceInstant {
+  std::string name;
+  std::string cat;
+  double t_s = 0;
+};
+
+struct TraceWindowReport {
+  std::string name;  // span name (the behavior action under diagnosis)
+  double start_s = 0;
+  double end_s = 0;
+  std::vector<TraceInstant> faults;  // fault instants inside [start, end]
+  std::vector<TraceInstant> ctrl;    // ctrl decisions inside [start, end]
+};
+
+struct TraceReport {
+  std::vector<TraceWindowReport> windows;  // diag spans, by start time
+  std::size_t fault_instants = 0;          // lane totals across the trace
+  std::size_t ctrl_instants = 0;
+  std::size_t unmatched_faults = 0;  // instants outside every diag window
+  std::size_t unmatched_ctrl = 0;
+};
+
+// Parses a chrome trace-event JSON (the exact shape obs::Tracer writes).
+// Returns false and sets *error on malformed input.
+bool analyze_trace(const std::string& chrome_json, TraceReport* out,
+                   std::string* error);
+
+void print_trace_report(std::ostream& os, const TraceReport& report);
+
+}  // namespace qoed::obs

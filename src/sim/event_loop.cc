@@ -47,13 +47,13 @@ bool EventLoop::dispatch_next() {
 
 std::size_t EventLoop::run() {
   std::size_t n = 0;
-  while (dispatch_next()) ++n;
+  while (!stop_requested_ && dispatch_next()) ++n;
   return n;
 }
 
 std::size_t EventLoop::run_until(TimePoint deadline) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
+  while (!stop_requested_ && !queue_.empty()) {
     // Peek: skip cancelled entries without advancing time.
     const Event& top = queue_.top();
     if (*top.cancelled) {
@@ -63,7 +63,9 @@ std::size_t EventLoop::run_until(TimePoint deadline) {
     if (top.at > deadline) break;
     if (dispatch_next()) ++n;
   }
-  if (now_ < deadline) now_ = deadline;
+  // A mid-run stop freezes the clock at the aborting event; otherwise the
+  // clock lands exactly on the deadline even when no event fired there.
+  if (!stop_requested_ && now_ < deadline) now_ = deadline;
   return n;
 }
 

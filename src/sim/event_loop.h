@@ -60,6 +60,15 @@ class EventLoop {
   // Dispatches the single next event, if any. Returns false when idle.
   bool step();
 
+  // Cooperative stop for control policies: a callback running inside the
+  // loop may request a stop, making run()/run_until() return before the
+  // queue drains. The clock stays at the aborting event's virtual time, so
+  // a stop at t is exactly reproducible at any --jobs. The flag is sticky
+  // until clear_stop(); pending events stay queued.
+  void request_stop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+  void clear_stop() { stop_requested_ = false; }
+
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t dispatched_events() const { return dispatched_; }
 
@@ -80,6 +89,7 @@ class EventLoop {
   bool dispatch_next();
 
   TimePoint now_{};
+  bool stop_requested_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;

@@ -11,10 +11,12 @@
 #include "core/export_sink.h"
 #include "core/json_util.h"
 #include "core/qoe_doctor.h"
+#include "ctrl/policy_engine.h"
 #include "diag/diagnosis_engine.h"
 #include "diag/findings_sink.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
+#include "sim/rng.h"
 
 namespace qoed::svc {
 
@@ -76,16 +78,53 @@ diag::DiagnosisEngine& enable_diagnosis(core::QoeDoctor& doctor,
   return doctor.enable_diagnosis(cfg);
 }
 
-// Shared run epilogue: flush held fault records, finalize diagnosis, fold
-// every layer's counters, and capture this run's export artifacts.
+// Installs the scenario's control policy (empty spec.policy = none): the
+// engine watches the spine for layer-health rules, the diagnosis stream for
+// finding rules, and reports into the same tracer track the collector uses.
+std::unique_ptr<ctrl::PolicyEngine> install_policy(
+    core::QoeDoctor& doctor, core::Testbed& bed,
+    diag::DiagnosisEngine& engine, const ScenarioSpec& spec) {
+  if (spec.policy.empty()) return nullptr;
+  ctrl::PolicyEngineConfig cfg;
+  cfg.policy = ctrl::Policy::parse(spec.policy);
+  auto policy = std::make_unique<ctrl::PolicyEngine>(std::move(cfg));
+  policy->set_observability(doctor.collector().observability());
+  policy->attach(doctor.collector(), bed.loop());
+  policy->watch(engine);
+  return policy;
+}
+
+// Drives the scenario to completion under the policy: run to quiescence,
+// then keep granting any extended deadline (idle virtual time still fires
+// scheduled radio demotions/timeouts) until no extend outruns the clock.
+// An abort decision stops the loop cooperatively at the firing instant.
+void run_loop(core::Testbed& bed, ctrl::PolicyEngine* policy) {
+  bed.loop().run();
+  if (policy == nullptr) return;
+  while (!bed.loop().stop_requested() &&
+         policy->extend_until() > bed.loop().now()) {
+    bed.loop().run_until(policy->extend_until());
+  }
+}
+
+// Shared run epilogue: flush held fault records, finalize diagnosis (which
+// may fire further policy decisions — captures over the trace ring, the
+// reschedule flag), fold every layer's counters, and capture this run's
+// export artifacts.
 void finish(core::Testbed& bed, core::QoeDoctor& doctor,
             fault::FaultInjector* injector, diag::DiagnosisEngine& engine,
-            core::RunResult* out) {
+            ctrl::PolicyEngine* policy, core::RunResult* out) {
   if (injector != nullptr) injector->flush();
   engine.finalize_all();
   engine.add_counters(*out);
   if (injector != nullptr) injector->add_counters(*out);
   doctor.collector().add_counters(*out);
+  if (policy != nullptr) {
+    policy->add_counters(*out);
+    out->reschedule_requested = policy->reschedule_requested();
+    out->reschedule_reason = policy->reschedule_reason();
+    out->artifacts.captures_jsonl = policy->captures_jsonl();
+  }
   out->virtual_seconds = bed.loop().now().seconds();
   out->artifacts.findings_jsonl = diag::FindingsJsonlSink(engine).to_string();
   out->artifacts.timeline_jsonl =
@@ -107,6 +146,7 @@ core::RunResult run_pageload(const ScenarioSpec& spec) {
   core::QoeDoctor doctor(*dev, app);
   auto injector = install_faults(doctor, spec);
   diag::DiagnosisEngine& engine = enable_diagnosis(doctor, injector.get());
+  auto policy = install_policy(doctor, bed, engine, spec);
   core::BrowserDriver driver(doctor.controller(), app);
   advance_to_arrival(bed, spec);
 
@@ -115,14 +155,14 @@ core::RunResult run_pageload(const ScenarioSpec& spec) {
   for (const auto& p : dataset) urls.push_back("www.page.sim" + p.path);
   driver.load_pages(urls, sim::sec(spec.think_s),
                     [](const std::vector<core::BehaviorRecord>&) {});
-  bed.loop().run();
+  run_loop(bed, policy.get());
 
   core::RunResult out;
   for (const auto& rec : doctor.log().for_action("page_load")) {
     out.add_sample("latency_s",
                    sim::to_seconds(core::AppLayerAnalyzer::calibrate(rec)));
   }
-  finish(bed, doctor, injector.get(), engine, &out);
+  finish(bed, doctor, injector.get(), engine, policy.get(), &out);
   return out;
 }
 
@@ -138,6 +178,7 @@ core::RunResult run_post(const ScenarioSpec& spec) {
   core::QoeDoctor doctor(*dev, app);
   auto injector = install_faults(doctor, spec);
   diag::DiagnosisEngine& engine = enable_diagnosis(doctor, injector.get());
+  auto policy = install_policy(doctor, bed, engine, spec);
   core::FacebookDriver driver(doctor.controller(), app);
   advance_to_arrival(bed, spec);
   app.login("svc-user");
@@ -162,8 +203,8 @@ core::RunResult run_post(const ScenarioSpec& spec) {
         });
       },
       [] {});
-  bed.loop().run();
-  finish(bed, doctor, injector.get(), engine, &out);
+  run_loop(bed, policy.get());
+  finish(bed, doctor, injector.get(), engine, policy.get(), &out);
   return out;
 }
 
@@ -184,6 +225,7 @@ core::RunResult run_video(const ScenarioSpec& spec) {
   core::QoeDoctor doctor(*dev, app);
   auto injector = install_faults(doctor, spec);
   diag::DiagnosisEngine& engine = enable_diagnosis(doctor, injector.get());
+  auto policy = install_policy(doctor, bed, engine, spec);
   core::YouTubeDriver driver(doctor.controller(), app);
   advance_to_arrival(bed, spec);
 
@@ -211,8 +253,8 @@ core::RunResult run_video(const ScenarioSpec& spec) {
                            });
       },
       [] {});
-  bed.loop().run();
-  finish(bed, doctor, injector.get(), engine, &out);
+  run_loop(bed, policy.get());
+  finish(bed, doctor, injector.get(), engine, policy.get(), &out);
   return out;
 }
 
@@ -262,6 +304,8 @@ bool ScenarioSpec::parse_json(std::string_view json, ScenarioSpec* out,
       parsed = p.read_string(&out->fault_plan);
     } else if (key == "fault_seed") {
       parsed = p.read_uint64(&out->fault_seed);
+    } else if (key == "policy") {
+      parsed = p.read_string(&out->policy);
     } else {
       parsed = p.skip_value();  // "cmd", "id", future extensions
     }
@@ -278,6 +322,15 @@ bool ScenarioSpec::parse_json(std::string_view json, ScenarioSpec* out,
   }
   if (!one_of(out->mechanism, {"shaping", "policing"})) {
     return fail("spec: unknown mechanism \"" + out->mechanism + "\"");
+  }
+  if (!out->policy.empty()) {
+    // Surface policy grammar errors (with their byte offsets) at spec-parse
+    // time, so a serve client gets the reason instead of a quarantined run.
+    try {
+      (void)ctrl::Policy::parse(out->policy);
+    } catch (const std::invalid_argument& e) {
+      return fail(e.what());
+    }
   }
   return true;
 }
@@ -298,7 +351,9 @@ std::string ScenarioSpec::to_json() const {
   core::put_json_number(os, arrival_s);
   os << ",\"fault_plan\":";
   core::put_json_string(os, fault_plan);
-  os << ",\"fault_seed\":" << fault_seed << '}';
+  os << ",\"fault_seed\":" << fault_seed << ",\"policy\":";
+  core::put_json_string(os, policy);
+  os << '}';
   return os.str();
 }
 
@@ -307,6 +362,20 @@ core::RunResult run_scenario(const ScenarioSpec& spec) {
   if (spec.scenario == "post") return run_post(spec);
   if (spec.scenario == "video") return run_video(spec);
   throw std::runtime_error("unknown scenario: " + spec.scenario);
+}
+
+core::RunResult run_scenario(const ScenarioSpec& spec,
+                             const core::RunSpec& rs) {
+  if (rs.reschedule == 0) return run_scenario(spec);
+  // Mirror Campaign::ctrl_reseed, but rooted at the scenario's own seed:
+  // fleet and serve workers run from spec.seed (not the campaign-derived
+  // run seed), so the reschedule round seed must derive from it the same
+  // way on both paths for batch/serve artifact equality.
+  ScenarioSpec reseeded = spec;
+  reseeded.seed = sim::Rng(spec.seed)
+                      .fork("ctrl/" + std::to_string(rs.reschedule))
+                      .seed();
+  return run_scenario(reseeded);
 }
 
 }  // namespace qoed::svc

@@ -49,6 +49,11 @@ struct ScenarioSpec {
   std::string fault_plan;
   std::uint64_t fault_seed = 1;
 
+  // Closed-loop control policy (ctrl::Policy grammar; empty = none). Rules
+  // react to findings and layer health during the run: capture / extend /
+  // abort / reschedule (see DESIGN.md §5i).
+  std::string policy;
+
   // Parses one spec from a JSON object line. Unknown keys (e.g. the serve
   // protocol's "cmd") are ignored; missing keys keep their defaults. False
   // on malformed JSON or an unknown scenario/network/kind value, with a
@@ -64,8 +69,16 @@ struct ScenarioSpec {
 // ("latency_s" per action; video adds "loading_s" and a video.stalls
 // counter), the unified registry, diagnosis/fault/collector counters, and
 // RunArtifacts carrying this run's findings and timeline JSONL. Diagnosis
-// is always enabled. Throws on an unknown scenario or a bad fault plan —
-// the campaign retry policy turns that into a quarantined run.
+// is always enabled. Throws on an unknown scenario or a bad fault/policy
+// spec — the campaign retry policy turns that into a quarantined run.
 core::RunResult run_scenario(const ScenarioSpec& spec);
+
+// Campaign-context variant: the one entry point both the batch fleet
+// factory and the serve worker use. Applies the ctrl reschedule reseed when
+// rs.reschedule > 0 (deriving the round seed from spec.seed, exactly like
+// Campaign::ctrl_reseed derives it from the run seed), so a rescheduled run
+// produces identical artifacts on the batch and serve paths.
+core::RunResult run_scenario(const ScenarioSpec& spec,
+                             const core::RunSpec& rs);
 
 }  // namespace qoed::svc

@@ -17,12 +17,17 @@ namespace qoed::svc {
 
 namespace {
 
-// Appends serve events for one committed run: its findings (stamped with
-// the run id) followed by the run summary. Everything comes from the
-// commit's serialized bytes, so events match the shard artifacts exactly.
+// Appends serve events for one committed run: its ctrl reschedules, its
+// findings (stamped with the run id), a quarantine marker for failed runs,
+// then the run summary. Everything comes from the commit's serialized
+// bytes, so events match the shard artifacts exactly.
 void format_commit(const core::ShardedCampaignSink::Commit& c,
                    std::string* out) {
   std::ostringstream os;
+  for (std::size_t r = 1; r <= c.reschedules; ++r) {
+    os << "{\"event\":\"reschedule\",\"id\":" << c.run_index
+       << ",\"round\":" << r << "}\n";
+  }
   std::string_view rest = c.findings_jsonl;
   while (!rest.empty()) {
     const auto nl = rest.find('\n');
@@ -35,10 +40,16 @@ void format_commit(const core::ShardedCampaignSink::Commit& c,
     if (body != "}") os << ',';
     os << body << '\n';
   }
+  if (!c.ok) {
+    os << "{\"event\":\"quarantine\",\"id\":" << c.run_index
+       << ",\"attempts\":" << c.attempts << ",\"error\":";
+    core::put_json_string(os, std::string(c.error));
+    os << "}\n";
+  }
   os << "{\"event\":\"run\",\"id\":" << c.run_index
      << ",\"ok\":" << (c.ok ? "true" : "false")
-     << ",\"attempts\":" << c.attempts << ",\"seed\":" << c.last_seed
-     << ",\"error\":";
+     << ",\"attempts\":" << c.attempts << ",\"resched\":" << c.reschedules
+     << ",\"seed\":" << c.last_seed << ",\"error\":";
   core::put_json_string(os, std::string(c.error));
   os << ",\"virtual_s\":";
   core::put_json_number(os, c.virtual_seconds);
@@ -57,6 +68,7 @@ ServeEngine::ServeEngine(std::istream& in, std::ostream& out,
   policy_.master_seed = opts_.master_seed;
   policy_.max_retries = opts_.max_retries;
   policy_.max_run_virtual_seconds = opts_.max_virtual_s;
+  policy_.max_reschedules = opts_.max_reschedules;
 
   core::CampaignShardConfig shard;
   shard.out_dir = opts_.out_dir;
@@ -117,9 +129,11 @@ void ServeEngine::worker_main() {
     base.campaign = policy_.name;
     // The spec carries its own seed: the campaign-derived attempt seed is
     // ignored, so serve and a batch fleet over the same specs produce
-    // byte-identical per-run artifacts.
-    const core::RunFn fn = [&spec](std::uint64_t, const core::RunSpec&) {
-      return run_scenario(spec);
+    // byte-identical per-run artifacts. Reschedule rounds reseed from
+    // spec.seed via the shared run_scenario overload — again identically
+    // on both paths.
+    const core::RunFn fn = [&spec](std::uint64_t, const core::RunSpec& rs) {
+      return run_scenario(spec, rs);
     };
     core::RunExecution ex = core::execute_run_with_policy(policy_, fn, base);
     sink_->submit(index, std::move(ex));
@@ -167,6 +181,8 @@ int ServeEngine::shutdown_now(bool ack) {
         .write_file(opts_.out_dir + "/timeline.jsonl");
     core::ShardMetricsMergeSink(opts_.out_dir)
         .write_file(opts_.out_dir + "/metrics.json");
+    core::ShardCapturesMergeSink(opts_.out_dir)
+        .write_file(opts_.out_dir + "/captures.jsonl");
   }
   if (ack) {
     std::ostringstream os;

@@ -17,9 +17,11 @@
 //                          {"ok":true,"shutdown":true,"runs":C}
 //   EOF                 -> implicit shutdown (no ack)
 // As each run commits the engine emits, in this order:
+//   {"event":"reschedule","id":N,"round":R}       (one per ctrl reschedule)
 //   {"event":"finding","id":N,<finding fields>}   (one per finding line)
-//   {"event":"run","id":N,"ok":...,"attempts":...,"seed":...,"error":...,
-//    "virtual_s":...,"registry":{...}}
+//   {"event":"quarantine","id":N,"attempts":A,"error":...}  (failed runs)
+//   {"event":"run","id":N,"ok":...,"attempts":...,"resched":...,"seed":...,
+//    "error":...,"virtual_s":...,"registry":{...}}
 // Acks always precede the submitted run's events (the ack is written under
 // the same output lock the commit hook takes).
 #pragma once
@@ -51,6 +53,8 @@ struct ServeOptions {
   // Campaign retry policy applied to every submitted run.
   std::size_t max_retries = 0;
   double max_virtual_s = 0;
+  // Ctrl-policy reschedule budget per run (rounds beyond the first).
+  std::size_t max_reschedules = 1;
   std::uint64_t master_seed = 1;
 };
 

@@ -71,6 +71,41 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
   EXPECT_THROW(FaultPlan::parse("packet"), std::invalid_argument);
 }
 
+// Parse errors name the absolute byte offset and the offending token (same
+// error shape as ctrl::Policy::parse), so a caller can point straight at
+// the mistake in a long multi-clause plan.
+TEST(FaultPlanTest, ErrorsCarryByteOffsetAndToken) {
+  const auto error_of = [](const char* spec) -> std::string {
+    try {
+      FaultPlan::parse(spec);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_EQ(error_of("bogus:drop=0.1"),
+            "fault plan: unknown layer (want ui|packet|radio|all) at byte 0: "
+            "'bogus'");
+  // Offsets stay anchored to the original string across clause boundaries.
+  EXPECT_EQ(error_of("packet:drop=0.02;ui:zap=1"),
+            "fault plan: unknown key at byte 20: 'zap'");
+  EXPECT_EQ(error_of("packet:drop=1.5"),
+            "fault plan: drop must be in [0,1] at byte 12: '1.5'");
+  EXPECT_EQ(error_of("packet:drop=x"),
+            "fault plan: bad number for drop at byte 12: 'x'");
+  EXPECT_EQ(error_of("packet:drop=0.02;radio:blackout=8..5"),
+            "fault plan: blackout end must be > start at byte 35: '5'");
+  EXPECT_EQ(error_of("packet:delay=0.5@0"),
+            "fault plan: delay bound must be > 0 at byte 17: '0'");
+  EXPECT_EQ(error_of("packet:delay=0.5"),
+            "fault plan: delay needs 'delay=P@MAX_SECONDS' at byte 13: "
+            "'0.5'");
+  EXPECT_EQ(error_of("packet"),
+            "fault plan: expected 'layer:items' at byte 0: 'packet'");
+  EXPECT_EQ(error_of("ui:skew"),
+            "fault plan: expected key=value at byte 3: 'skew'");
+}
+
 TEST(FaultPlanTest, MaxLatenessBoundsDelayAndNegativeSkew) {
   EXPECT_EQ(FaultPlan{}.max_lateness(), sim::Duration::zero());
   EXPECT_EQ(FaultPlan::parse("packet:delay=0.5@2").max_lateness(),

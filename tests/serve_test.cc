@@ -187,6 +187,71 @@ TEST(Serve, ShardDirMatchesBatchFleet) {
   }
 }
 
+// Reaction events on the serve stream: a run whose control policy requested
+// a reschedule narrates each round before its findings, and a run that
+// exhausts its attempts emits a quarantine marker before the run summary —
+// all in commit order, so a dashboard tailing the stream sees reactions
+// exactly where the shard artifacts record them.
+TEST(Serve, EmitsRescheduleEventsInCommitOrder) {
+  std::istringstream in(
+      "{\"cmd\":\"submit\",\"scenario\":\"post\",\"reps\":8,\"seed\":5,"
+      "\"fault_plan\":\"radio:blackout=5..120\","
+      "\"policy\":\"on layer.radio==lost for 3s: abort+reschedule\"}\n"
+      "{\"cmd\":\"shutdown\"}\n");
+  std::ostringstream out;
+  ServeEngine engine(in, out, ServeOptions{});
+  EXPECT_EQ(engine.run(), 0);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  EXPECT_EQ(count_containing(
+                lines, "{\"event\":\"reschedule\",\"id\":0,\"round\":1}"),
+            1u);
+  // The run summary separates reschedule rounds from failure retries: two
+  // rounds of one attempt each, no quarantine (the run itself succeeded).
+  EXPECT_EQ(count_containing(lines, "\"attempts\":2,\"resched\":1"), 1u);
+  EXPECT_EQ(count_containing(lines, "\"event\":\"quarantine\""), 0u);
+
+  // Reschedule events precede the run's findings and summary.
+  std::size_t resched_at = lines.size(), run_at = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("\"event\":\"reschedule\"") != std::string::npos) {
+      resched_at = std::min(resched_at, i);
+    }
+    if (lines[i].find("\"event\":\"run\"") != std::string::npos) run_at = i;
+  }
+  EXPECT_LT(resched_at, run_at);
+}
+
+TEST(Serve, EmitsQuarantineEventForFailedRuns) {
+  std::istringstream in(submit_line(41) + "{\"cmd\":\"shutdown\"}\n");
+  std::ostringstream out;
+  ServeOptions opts;
+  // A virtual-time watchdog far below any real post run fails the single
+  // allowed attempt, so the run quarantines.
+  opts.max_virtual_s = 0.5;
+  ServeEngine engine(in, out, opts);
+  EXPECT_EQ(engine.run(), 0);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  EXPECT_EQ(count_containing(
+                lines, "{\"event\":\"quarantine\",\"id\":0,\"attempts\":1"),
+            1u);
+  EXPECT_EQ(count_containing(lines, "virtual-time watchdog"), 2u)
+      << "quarantine event and run summary both carry the error";
+  EXPECT_EQ(count_containing(lines, "\"ok\":false"), 1u);
+
+  // The quarantine marker lands between the (absent) findings and the run
+  // summary: strictly before the run event.
+  std::size_t quarantine_at = lines.size(), run_at = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("\"event\":\"quarantine\"") != std::string::npos) {
+      quarantine_at = i;
+    }
+    if (lines[i].find("\"event\":\"run\"") != std::string::npos) run_at = i;
+  }
+  EXPECT_LT(quarantine_at, run_at);
+}
+
 TEST(ScenarioSpec, JsonRoundTripAndValidation) {
   ScenarioSpec spec;
   spec.scenario = "video";
