@@ -124,6 +124,7 @@ RunResult facebook_run(std::uint64_t seed, apps::PostKind kind, int reps) {
   engine.add_counters(out);
   if (faults != nullptr) faults->add_counters(out);
   doctor.collector().add_counters(out);
+  doctor.flow_stats().export_metrics(out.registry);
   out.virtual_seconds = bed.loop().now().seconds();
   capture_artifacts(&out, doctor);
   out.trace = std::move(doctor.obs().tracer);
@@ -182,6 +183,7 @@ RunResult pull_to_update_run(std::uint64_t seed, int reps) {
     faults->add_counters(out);
   }
   doctor.collector().add_counters(out);
+  doctor.flow_stats().export_metrics(out.registry);
   out.virtual_seconds = bed.loop().now().seconds();
   capture_artifacts(&out, doctor);
   out.trace = std::move(doctor.obs().tracer);
@@ -246,6 +248,7 @@ RunResult youtube_run(std::uint64_t seed, int videos) {
     faults->add_counters(out);
   }
   doctor.collector().add_counters(out);
+  doctor.flow_stats().export_metrics(out.registry);
   out.virtual_seconds = bed.loop().now().seconds();
   capture_artifacts(&out, doctor);
   out.trace = std::move(doctor.obs().tracer);
@@ -294,6 +297,7 @@ RunResult browser_run(std::uint64_t seed, int reps) {
   engine.add_counters(out);
   if (faults != nullptr) faults->add_counters(out);
   doctor.collector().add_counters(out);
+  doctor.flow_stats().export_metrics(out.registry);
   out.virtual_seconds = bed.loop().now().seconds();
   capture_artifacts(&out, doctor);
   out.trace = std::move(doctor.obs().tracer);

@@ -14,8 +14,9 @@
 //   qoed_cli pop      --users=500 --mix=0.4,0.3,0.3 --out=specs.jsonl
 //   qoed_cli fleet    --specs=runs.jsonl --jobs=8 --out-dir=fleet/
 //   qoed_cli serve    --jobs=4 --out-dir=serve/
+//   qoed_cli top      --shards=fleet/          (or --socket=serve.sock)
 //   qoed_cli metrics-diff baseline.json current.json --tol=net.=1e-6
-//   qoed_cli trace-report trace.json
+//   qoed_cli trace-report trace.json --top=5
 //
 // Options:
 //   --network=wifi|3g|3g-simplified|lte   access network     [3g]
@@ -63,9 +64,19 @@
 //   serve:    long-lived scheduler; line-delimited JSON commands
 //             (submit/status/drain/shutdown) on stdin or --socket=PATH.
 //             See src/svc/serve.h for the protocol.
+//   top:      fleet summary (runs committed/quarantined/rescheduled,
+//             finding counts, flow.* headline rates, shard frontier) from a
+//             shard directory (--shards=DIR) or a live serve session
+//             (--socket=PATH, sends {"cmd":"stats"}).
 //   metrics-diff: compare two metrics.json snapshots; exit 4 when a key
-//             drifted beyond tolerance or disappeared (the CI metrics gate).
-//   trace-report: diag windows x fault/ctrl instants from a --trace file.
+//             drifted beyond tolerance, disappeared, or (unless
+//             --allow-new-keys) appeared (the CI metrics gate).
+//   trace-report: diag windows x fault/ctrl instants from a --trace file,
+//             plus the --top=K slowest windows with peak flow counters.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -81,6 +92,7 @@
 #include "apps/web_server.h"
 #include "cell/cell_run.h"
 #include "core/export_sink.h"
+#include "core/json_util.h"
 #include "core/log_export.h"
 #include "core/qoe_doctor.h"
 #include "core/shard.h"
@@ -241,6 +253,7 @@ std::unique_ptr<ctrl::PolicyEngine> maybe_install_policy(
   }
   auto policy = std::make_unique<ctrl::PolicyEngine>(std::move(cfg));
   policy->set_observability(doctor.collector().observability());
+  policy->watch_flows(&doctor.flow_stats());
   policy->attach(doctor.collector(), bed.loop());
   if (doctor.diagnosis() != nullptr) policy->watch(*doctor.diagnosis());
   return policy;
@@ -342,6 +355,7 @@ void export_artifacts(device::Device& dev, core::QoeDoctor& doctor,
     obs::MetricsRegistry& reg = doctor.obs().metrics;
     doctor.collector().export_metrics(reg);
     doctor.flows().export_metrics(reg);
+    doctor.flow_stats().export_metrics(reg);
     if (doctor.diagnosis() != nullptr) doctor.diagnosis()->export_metrics(reg);
     if (injector != nullptr) injector->export_metrics(reg);
     if (policy != nullptr) policy->export_metrics(reg);
@@ -961,14 +975,20 @@ int run_serve(const Options& opt) {
 }
 
 // Diffs two metrics.json snapshots under per-prefix relative tolerances.
-// Exit 4 = at least one key regressed (drifted beyond tolerance) or went
-// missing; added keys are informational. This is the CI metrics gate.
+// Exit 4 = at least one key regressed (drifted beyond tolerance), went
+// missing, or — unless --allow-new-keys — appeared only in CURRENT. New
+// keys mean the committed baseline no longer describes the build; either
+// regenerate it (scripts/metrics_gate.sh --update) or pass
+// --allow-new-keys to downgrade them to warnings (so adding a metric
+// family doesn't force lockstep baseline updates). This is the CI metrics
+// gate.
 int run_metrics_diff(const Options& opt) {
   if (opt.positional.size() != 2) {
     std::printf("metrics-diff: need BASELINE.json and CURRENT.json\n");
     return 2;
   }
   obs::DiffOptions dopts;
+  dopts.fail_on_added = opt.get_int("allow-new-keys", 0) == 0;
   // Wall-clock profiling keys are nondeterministic by nature; ignore that
   // subtree by default (a later, longer user prefix can re-tighten it).
   dopts.tolerances.emplace_back("prof.",
@@ -1027,15 +1047,196 @@ int run_trace_report(const Options& opt) {
     return 1;
   }
   std::ostringstream os;
-  obs::print_trace_report(os, report);
+  obs::print_trace_report(os, report,
+                          static_cast<std::size_t>(opt.get_int("top", 3)));
   std::fputs(os.str().c_str(), stdout);
+  return 0;
+}
+
+// Sends one {"cmd":"stats"} to a live serve session's Unix socket and
+// returns the single reply line. False (with *error set) on any I/O
+// failure.
+bool query_serve_stats(const std::string& path, std::string* reply,
+                       std::string* error) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "cannot create socket";
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    *error = "socket path too long";
+    return false;
+  }
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    *error = "cannot connect to " + path;
+    return false;
+  }
+  const std::string cmd = "{\"cmd\":\"stats\"}\n";
+  if (::write(fd, cmd.data(), cmd.size()) !=
+      static_cast<ssize_t>(cmd.size())) {
+    ::close(fd);
+    *error = "short write";
+    return false;
+  }
+  reply->clear();
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      *error = "read failed";
+      return false;
+    }
+    if (n == 0) break;
+    reply->append(buf, static_cast<std::size_t>(n));
+    const auto nl = reply->find('\n');
+    if (nl != std::string::npos) {
+      reply->resize(nl);
+      break;
+    }
+  }
+  ::close(fd);
+  if (reply->empty()) {
+    *error = "empty reply";
+    return false;
+  }
+  return true;
+}
+
+// The shared rendering behind `qoed_cli top`: headline rows derived from a
+// merged fleet MetricsRegistry, whichever surface it came from.
+void print_fleet_summary(const obs::MetricsRegistry& reg,
+                         std::size_t committed) {
+  std::printf("runs: %zu committed, %.0f attempts, %.0f quarantined, "
+              "%.0f rescheduled\n",
+              committed, reg.counter("campaign.run_attempts"),
+              reg.counter("campaign.quarantined"),
+              reg.counter("campaign.rescheduled"));
+  std::printf("findings: %.0f total, %.0f degraded (%.0f traffic-degraded "
+              "retx)\n",
+              reg.counter("diag.findings"),
+              reg.counter("diag.degraded_findings"),
+              reg.counter("diag.flow_retx"));
+  const double segments = reg.counter("flow.segments");
+  const double bytes_sent = reg.counter("flow.bytes_sent");
+  if (segments > 0) {
+    const double retx = reg.counter("flow.retx_segments");
+    const double acked = reg.counter("flow.bytes_acked");
+    std::printf("flow: %.0f flows, %.0f segments (%.2f%% retx), "
+                "%.0f RTO, %.0f fast-retx\n",
+                reg.counter("flow.flows"), segments, 100 * retx / segments,
+                reg.counter("flow.rto_events"),
+                reg.counter("flow.fast_retx_events"));
+    std::printf("flow: goodput %.0f/%.0f bytes acked (%.2f%%)\n", acked,
+                bytes_sent, bytes_sent > 0 ? 100 * acked / bytes_sent : 0);
+    if (const obs::MetricsRegistry::Histogram* srtt =
+            reg.find_histogram("flow.srtt_s")) {
+      if (srtt->count > 0) {
+        std::printf("flow: srtt p50=%.1fms p95=%.1fms, inflight peak=%.0f "
+                    "bytes\n",
+                    obs::histogram_quantile(*srtt, 0.5) * 1e3,
+                    obs::histogram_quantile(*srtt, 0.95) * 1e3,
+                    [&] {
+                      const auto& g = reg.gauges();
+                      const auto it = g.find("flow.inflight_peak_bytes");
+                      return it == g.end() ? 0.0 : it->second;
+                    }());
+      }
+    }
+  } else {
+    std::printf("flow: no transport samples\n");
+  }
+}
+
+// `qoed_cli top` — the live fleet stats surface. Shard-dir mode reads
+// MANIFEST.json and merges the manifest-listed metrics shards (exactly
+// what `fleet --merge-only` would write to metrics.json); socket mode
+// asks a running serve session for its in-memory snapshot. Both render
+// through the same summary, and the two byte-agree after a drain by the
+// stats-protocol contract (svc/serve.h).
+int run_top(const Options& opt) {
+  const std::string shards = opt.get("shards", "");
+  const std::string socket_path = opt.get("socket", "");
+  if (shards.empty() == socket_path.empty()) {
+    std::printf("top: need exactly one of --shards=DIR or --socket=PATH\n");
+    return 2;
+  }
+  obs::MetricsRegistry reg;
+  std::size_t committed = 0;
+  if (!shards.empty()) {
+    core::ShardManifest manifest;
+    std::string error;
+    if (!core::read_shard_manifest(shards, &manifest, &error)) {
+      std::printf("top: %s: %s\n", shards.c_str(), error.c_str());
+      return 1;
+    }
+    committed = manifest.committed();
+    std::ostringstream merged;
+    core::ShardMetricsMergeSink(shards).write(merged);
+    if (!reg.merge_from_json(merged.str(), &error)) {
+      std::printf("top: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("shards: %zu closed, frontier at run %zu%s\n",
+                manifest.shards.size(), committed,
+                manifest.complete ? " (complete)" : "");
+  } else {
+    std::string reply;
+    std::string error;
+    if (!query_serve_stats(socket_path, &reply, &error)) {
+      std::printf("top: %s\n", error.c_str());
+      return 1;
+    }
+    core::JsonLiteParser p(reply);
+    bool ok = false;
+    std::string_view metrics_json;
+    std::string key;
+    if (!p.enter_object()) {
+      std::printf("top: malformed stats reply\n");
+      return 1;
+    }
+    while (p.next_key(&key)) {
+      bool field_ok = true;
+      if (key == "ok") {
+        field_ok = p.read_bool(&ok);
+      } else if (key == "committed") {
+        double c = 0;
+        field_ok = p.read_number(&c);
+        committed = static_cast<std::size_t>(c);
+      } else if (key == "metrics") {
+        field_ok = p.raw_value(&metrics_json);
+      } else {
+        field_ok = p.skip_value();
+      }
+      if (!field_ok) {
+        std::printf("top: malformed stats reply\n");
+        return 1;
+      }
+    }
+    if (!ok) {
+      std::printf("top: serve rejected stats: %s\n", reply.c_str());
+      return 1;
+    }
+    std::string error2;
+    if (!reg.merge_from_json(std::string(metrics_json), &error2)) {
+      std::printf("top: %s\n", error2.c_str());
+      return 1;
+    }
+    std::printf("serve: live session at %s\n", socket_path.c_str());
+  }
+  print_fleet_summary(reg, committed);
   return 0;
 }
 
 void usage() {
   std::printf(
       "usage: qoed_cli <pageload|post|video|merge|cell|pop|fleet|serve\n"
-      "                 |metrics-diff|trace-report>\n"
+      "                 |top|metrics-diff|trace-report>\n"
       "  [--network=wifi|3g|3g-simplified|lte]\n"
       "  [--seed=N] [--pcap=FILE] [--qxdm=FILE] [--timeline=FILE] [--counters]\n"
       "  [--diagnose] [--findings=FILE] [--fault-plan=SPEC] [--fault-seed=N]\n"
@@ -1061,9 +1262,13 @@ void usage() {
       "  serve:    [--jobs=N] [--out-dir=DIR] [--shard-bytes=N]\n"
       "            [--shard-runs=N] [--socket=PATH] [--retries=N]\n"
       "            [--max-virtual-s=S] [--max-reschedules=N]\n"
+      "  top:      --shards=DIR | --socket=PATH   (fleet summary: runs,\n"
+      "            findings, flow.* headline rates, shard frontier)\n"
       "  metrics-diff: BASELINE.json CURRENT.json [--tol=PREFIX=REL,...]\n"
-      "            [--default-tol=REL]   (exit 4 on regression)\n"
-      "  trace-report: TRACE.json   (diag windows x fault/ctrl instants)\n");
+      "            [--default-tol=REL] [--allow-new-keys]\n"
+      "            (exit 4 on regression/missing/new key)\n"
+      "  trace-report: TRACE.json [--top=K]   (diag windows x fault/ctrl\n"
+      "            instants, K slowest windows with peak flow counters)\n");
 }
 
 }  // namespace
@@ -1078,6 +1283,7 @@ int main(int argc, char** argv) {
   if (opt.command == "pop") return run_pop(opt);
   if (opt.command == "fleet") return run_fleet(opt);
   if (opt.command == "serve") return run_serve(opt);
+  if (opt.command == "top") return run_top(opt);
   if (opt.command == "metrics-diff") return run_metrics_diff(opt);
   if (opt.command == "trace-report") return run_trace_report(opt);
   usage();

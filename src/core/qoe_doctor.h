@@ -26,6 +26,7 @@
 #include "core/stats.h"
 #include "core/ui_controller.h"
 #include "core/view_signature.h"
+#include "obs/flow_stats.h"
 
 namespace qoed::diag {
 class DiagnosisEngine;
@@ -90,6 +91,15 @@ class QoeDoctor {
   // The streaming transport-layer analysis, kept current by the spine.
   FlowAnalyzer& flows() { return flows_; }
 
+  // Per-flow TCP transport observability (DESIGN.md §5j): registered on the
+  // device's network at construction and scoped to flows touching the
+  // device's address, it tracks retransmissions, srtt/rttvar, duplicate-ACK
+  // depth and bytes-in-flight from the sender's vantage on both endpoints.
+  // Feeds flow.* metrics, trace counter tracks, per-finding transport
+  // evidence and flow.* policy subjects.
+  obs::FlowStatsTracker& flow_stats() { return flow_stats_; }
+  const obs::FlowStatsTracker& flow_stats() const { return flow_stats_; }
+
   // Per-device observability bundle: the deterministic metrics registry,
   // the wall-clock profile registry, and the virtual-time tracer every
   // attached component (collector, flow analyzer, diagnosis engine, fault
@@ -123,6 +133,7 @@ class QoeDoctor {
   // Declared before collector_/flows_: they hold obs::Contexts pointing
   // into this bundle, so it must outlive them.
   obs::Observability obs_;
+  obs::FlowStatsTracker flow_stats_;
   Collector collector_;   // declared before flows_: flows_ detaches first
   FlowAnalyzer flows_;
   // shared_ptr so the incomplete type destroys cleanly from core TUs; the

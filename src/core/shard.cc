@@ -560,6 +560,18 @@ Summary streaming_summary(std::uint64_t n, double mean, double m2, double min,
 
 }  // namespace
 
+std::string ShardedCampaignSink::metrics_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::MetricsRegistry merged = registry_;
+  merged.add_counter("campaign.run_attempts",
+                     static_cast<double>(total_attempts_));
+  merged.add_counter("campaign.quarantined",
+                     static_cast<double>(quarantined_));
+  merged.add_counter("campaign.rescheduled",
+                     static_cast<double>(total_reschedules_));
+  return merged.snapshot();
+}
+
 void ShardedCampaignSink::fold_into(CampaignResult* out,
                                     bool build_trace) const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -127,6 +127,16 @@ class ShardedCampaignSink {
   // every planned run is in). Call once, after all workers joined.
   void finalize();
 
+  // Canonical merged-metrics snapshot of everything committed so far: the
+  // streaming aggregate registry plus the campaign.run_attempts /
+  // quarantined / rescheduled outcome counters, serialized with
+  // MetricsRegistry::write_json — the exact bytes ShardMetricsMergeSink
+  // writes to metrics.json (minus the trailing newline), including runs
+  // still buffered in the open shard. Thread-safe; the serve `stats` verb
+  // reads it live, so a drained session's snapshot byte-matches the batch
+  // fleet's merged artifact.
+  std::string metrics_snapshot() const;
+
   // Fills a CampaignResult from the streaming aggregates: run_errors /
   // run_attempts / quarantined / counters / registry (+ campaign.* totals),
   // metric summaries (exact n/min/max and index-ordered mean, Welford

@@ -101,6 +101,9 @@ Subject parse_subject(Cursor& c) {
   if (w == "layer.ui") return Subject::kLayerUi;
   if (w == "layer.packet") return Subject::kLayerPacket;
   if (w == "layer.radio") return Subject::kLayerRadio;
+  if (w == "flow.retx") return Subject::kFlowRetx;
+  if (w == "flow.srtt_ms") return Subject::kFlowSrttMs;
+  if (w == "flow.inflight_peak") return Subject::kFlowInflightPeak;
   c.fail(at, "unknown subject", w.empty() ? "<end of input>" : w);
 }
 
@@ -177,6 +180,12 @@ const char* to_string(Subject subject) {
       return "layer.packet";
     case Subject::kLayerRadio:
       return "layer.radio";
+    case Subject::kFlowRetx:
+      return "flow.retx";
+    case Subject::kFlowSrttMs:
+      return "flow.srtt_ms";
+    case Subject::kFlowInflightPeak:
+      return "flow.inflight_peak";
   }
   return "?";
 }
@@ -301,13 +310,15 @@ Policy Policy::parse(const std::string& spec) {
     rule.value = parse_value(c, rule.is_layer());
     c.skip_ws();
     {
-      // Optional sustain clause; 'for' is only meaningful for layer health,
-      // which is the one subject with a continuous truth value to sustain.
+      // Optional sustain clause; 'for' is only meaningful for layer health
+      // and flow telemetry — the subjects with a continuous truth value to
+      // sustain (findings are point events).
       const std::size_t mark = c.pos;
       const std::string w = c.word();
       if (w == "for") {
-        if (!rule.is_layer()) {
-          c.fail(mark, "'for' sustain requires a layer.* subject", w);
+        if (!rule.is_layer() && !rule.is_flow()) {
+          c.fail(mark, "'for' sustain requires a layer.* or flow.* subject",
+                 w);
         }
         c.skip_ws();
         rule.sustain = sim::sec_f(parse_seconds(c, "sustain duration"));

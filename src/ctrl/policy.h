@@ -20,20 +20,27 @@
 //            | 'finding.device_s'  | 'finding.network_s'
 //            | 'window.latency_s'                 (alias: finding.total_s)
 //            | 'layer.ui' | 'layer.packet' | 'layer.radio'
+//            | 'flow.retx' | 'flow.srtt_ms' | 'flow.inflight_peak'
 //   op      := '==' | '!=' | '<' | '<=' | '>' | '>='
 //   value   := NUMBER | 'healthy' | 'degraded' | 'lost'   (layer.* only)
 //   action  := 'capture' | 'abort' | 'reschedule' | 'extend' SECONDS 's'?
 //
 //   e.g. "on finding.confidence<0.8: capture;
 //         on layer.radio==lost for 5s: abort+reschedule;
+//         on flow.retx>20 for 2s: capture;
 //         on window.latency_s>4: extend 10s"
 //
 // Layer subjects compare the collector's LayerHealth ordinal (healthy=0 <
-// degraded=1 < lost=2), so `layer.radio>=degraded` reads naturally. The
-// optional 'for S' sustain applies to layer rules only: the condition must
-// hold continuously for S virtual seconds before the rule fires. Malformed
-// input raises std::invalid_argument naming the absolute byte offset and
-// the offending token; parse(to_string()) round-trips exactly.
+// degraded=1 < lost=2), so `layer.radio>=degraded` reads naturally. Flow
+// subjects read the device's obs::FlowStatsTracker live at each collector
+// watermark: cumulative retransmitted segments (flow.retx), the latest
+// smoothed-RTT estimate in ms (flow.srtt_ms) and the aggregate
+// bytes-in-flight high water (flow.inflight_peak). The optional 'for S'
+// sustain applies to layer and flow rules — the continuous-valued subjects —
+// and means the condition must hold for S virtual seconds before the rule
+// fires. Malformed input raises std::invalid_argument naming the absolute
+// byte offset and the offending token; parse(to_string()) round-trips
+// exactly.
 #pragma once
 
 #include <string>
@@ -53,6 +60,9 @@ enum class Subject : std::uint8_t {
   kLayerUi,
   kLayerPacket,
   kLayerRadio,
+  kFlowRetx,          // cumulative retransmitted segments (tracker total)
+  kFlowSrttMs,        // latest smoothed-RTT sample, milliseconds
+  kFlowInflightPeak,  // aggregate bytes-in-flight high water
 };
 
 enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
@@ -85,6 +95,10 @@ struct Rule {
   bool is_layer() const {
     return subject == Subject::kLayerUi || subject == Subject::kLayerPacket ||
            subject == Subject::kLayerRadio;
+  }
+  bool is_flow() const {
+    return subject == Subject::kFlowRetx || subject == Subject::kFlowSrttMs ||
+           subject == Subject::kFlowInflightPeak;
   }
   // Valid only when is_layer().
   core::Layer layer() const;

@@ -42,6 +42,7 @@ PolicyEngine::PolicyEngine(PolicyEngineConfig cfg) : cfg_(std::move(cfg)) {
   states_.resize(cfg_.policy.rules.size());
   for (const Rule& r : cfg_.policy.rules) {
     if (r.is_layer()) has_layer_rules_ = true;
+    if (r.is_flow()) has_flow_rules_ = true;
   }
 }
 
@@ -79,16 +80,23 @@ void PolicyEngine::detach() {
 
 void PolicyEngine::on_event(const core::Collector& collector,
                             const core::Event& event) {
-  if (!has_layer_rules_) return;
+  if (!has_layer_rules_ && !(has_flow_rules_ && flow_stats_ != nullptr)) {
+    return;
+  }
   for (std::size_t i = 0; i < cfg_.policy.rules.size(); ++i) {
     const Rule& rule = cfg_.policy.rules[i];
-    if (!rule.is_layer()) continue;
+    double observed = 0;
+    if (rule.is_layer()) {
+      observed = static_cast<double>(
+          static_cast<std::uint8_t>(collector.health(rule.layer())));
+    } else if (rule.is_flow() && flow_stats_ != nullptr) {
+      observed = flow_value(rule.subject);
+    } else {
+      continue;
+    }
     RuleState& st = states_[i];
     if (st.fired) continue;
-    const auto health = collector.health(rule.layer());
-    const bool hit =
-        rule.compare(static_cast<double>(static_cast<std::uint8_t>(health)));
-    if (!hit) {
+    if (!rule.compare(observed)) {
       st.holding = false;
       continue;
     }
@@ -100,6 +108,19 @@ void PolicyEngine::on_event(const core::Collector& collector,
       st.fired = true;
       fire(i, rule, event.at, event.at, event.at);
     }
+  }
+}
+
+double PolicyEngine::flow_value(Subject subject) const {
+  switch (subject) {
+    case Subject::kFlowRetx:
+      return static_cast<double>(flow_stats_->total_retx_segments());
+    case Subject::kFlowSrttMs:
+      return flow_stats_->latest_srtt_ms();
+    case Subject::kFlowInflightPeak:
+      return static_cast<double>(flow_stats_->inflight_peak_bytes());
+    default:
+      return 0;
   }
 }
 
@@ -123,7 +144,7 @@ double PolicyEngine::finding_value(Subject subject,
 void PolicyEngine::on_finding(const diag::Finding& f, sim::TimePoint close_at) {
   for (std::size_t i = 0; i < cfg_.policy.rules.size(); ++i) {
     const Rule& rule = cfg_.policy.rules[i];
-    if (rule.is_layer()) continue;
+    if (rule.is_layer() || rule.is_flow()) continue;
     if (!rule.compare(finding_value(rule.subject, f))) continue;
     fire(i, rule, close_at, f.window_start, f.window_end);
   }

@@ -12,6 +12,11 @@
 //    finding hook, at the virtual close time of each finalized QoE window,
 //    and fire once per matching finding.
 //
+// flow.* rules share the layer clock: the obs::FlowStatsTracker folds TCP
+// tap events synchronously on virtual time, so reading its live aggregates
+// at each collector event arrival is deterministic, and the same
+// sustain/latch machinery applies (the subject is continuous-valued).
+//
 // Actions:
 //  - capture: snapshot the packet-trace ring over [window.start - pre,
 //    window.end + post] (layer triggers use the decision instant as the
@@ -81,6 +86,11 @@ class PolicyEngine final : public core::CollectorSink {
   // Installs the finding hook (finding./window. rules). Replaces any hook
   // the diagnosis engine already had.
   void watch(diag::DiagnosisEngine& engine);
+  // Source for flow.* subjects (null disables them — their rules then never
+  // fire). The tracker must outlive the engine or be cleared first.
+  void watch_flows(const obs::FlowStatsTracker* tracker) {
+    flow_stats_ = tracker;
+  }
   void detach();
 
   void set_observability(const obs::Context& ctx) { obs_ = ctx; }
@@ -114,6 +124,8 @@ class PolicyEngine final : public core::CollectorSink {
 
  private:
   double finding_value(Subject subject, const diag::Finding& f) const;
+  // Live flow.* reading; requires flow_stats_ != nullptr.
+  double flow_value(Subject subject) const;
   void on_finding(const diag::Finding& f, sim::TimePoint close_at);
   void fire(std::size_t rule_index, const Rule& rule, sim::TimePoint t,
             sim::TimePoint window_start, sim::TimePoint window_end);
@@ -124,9 +136,10 @@ class PolicyEngine final : public core::CollectorSink {
   core::Collector* collector_ = nullptr;
   sim::EventLoop* loop_ = nullptr;
   diag::DiagnosisEngine* diag_ = nullptr;
+  const obs::FlowStatsTracker* flow_stats_ = nullptr;
   obs::Context obs_;
 
-  // Per layer-rule sustain/latch state, parallel to cfg_.policy.rules
+  // Per layer/flow-rule sustain/latch state, parallel to cfg_.policy.rules
   // (finding rules keep both fields unused).
   struct RuleState {
     bool fired = false;
@@ -135,6 +148,7 @@ class PolicyEngine final : public core::CollectorSink {
   };
   std::vector<RuleState> states_;
   bool has_layer_rules_ = false;
+  bool has_flow_rules_ = false;
 
   std::vector<Decision> decisions_;
   bool abort_requested_ = false;

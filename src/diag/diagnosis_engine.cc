@@ -1,5 +1,7 @@
 #include "diag/diagnosis_engine.h"
 
+#include <algorithm>
+
 #include "core/campaign.h"
 #include "core/cross_layer_analyzer.h"
 #include "core/report.h"
@@ -44,7 +46,12 @@ void DiagnosisEngine::ensure_tracker() {
 void DiagnosisEngine::finalize(const PendingWindow& w0,
                                sim::TimePoint close_at) {
   const std::size_t behavior_index = w0.behavior_index;
-  if (obs_.tracing()) obs_.tracer->span_close(w0.span, close_at);
+  // Close at the window's own end so the span matches the Finding bounds;
+  // a window drained before its watermark (clear/teardown) is clamped to
+  // the drain time so the span never extends past what was observed.
+  if (obs_.tracing()) {
+    obs_.tracer->span_close(w0.span, std::min(w0.window_end, close_at));
+  }
   // Degraded-input guards: the collector may have been detached, or the
   // behavior store cleared/truncated, while this window was pending. A
   // window whose record is gone cannot be attributed — skip it (defined
@@ -117,6 +124,15 @@ void DiagnosisEngine::finalize(const PendingWindow& w0,
     f.rlc_degraded = f.rlc_window_packets > 0 &&
                      f.rlc_mapped_ratio < cfg_.rlc_degraded_ratio;
   }
+  if (flow_stats_ != nullptr) {
+    // Transport evidence: the tap stream is synchronous on virtual time, so
+    // by the watermark (>= window_end + trailing) every sample the window
+    // could contain has been folded — live equals post-hoc here too.
+    f.has_flow_stats = true;
+    f.flow_retx = flow_stats_->retx_in_window(w.start, w.end);
+    f.flow_srtt_ms = flow_stats_->srtt_ms_at(w.end);
+    f.flow_inflight_peak = flow_stats_->inflight_peak_in_window(w.start, w.end);
+  }
   f.traffic_degraded = flows_->disorder_in_window(w.start, w.end) > 0;
   if (f.traffic_degraded) f.confidence *= 0.7;
   if (f.radio_unavailable) f.confidence *= 0.8;
@@ -144,10 +160,16 @@ void DiagnosisEngine::on_event(const core::Collector& collector,
     const core::BehaviorRecord& r = collector.behavior(event);
     const core::QoeWindow w = core::QoeWindow::for_traffic(r);
     PendingWindow pw{event.index,
-                     w.end + cfg_.trailing + cfg_.watermark_slack, 0};
+                     w.end + cfg_.trailing + cfg_.watermark_slack, w.end, 0};
     if (obs_.tracing()) {
+      // The span covers the QoE window itself — [w.start, w.end], the same
+      // bounds the Finding reports — not the pending/watermark lifetime.
+      // Backdating is safe: the behavior record completes after its own
+      // window opens, and async spans carry explicit timestamps. This is
+      // what lets trace-report fold counter-track samples (flow.inflight,
+      // flow.retx) and fault/ctrl instants into the window they acted on.
       pw.span = obs_.tracer->span_open(
-          obs_.track, r.action, "diag", event.at,
+          obs_.track, r.action, "diag", w.start,
           "{\"behavior_index\":" + std::to_string(event.index) + "}");
     }
     pending_.push_back(pw);
@@ -171,7 +193,7 @@ core::Table DiagnosisEngine::findings_table() const {
   core::Table table(
       "Live diagnosis findings",
       {"#", "action", "total_s", "network_s", "device_s", "net_crit", "flow",
-       "promo", "energy_j", "tail", "rlc", "conf"});
+       "promo", "energy_j", "tail", "rlc", "retx", "srtt_ms", "conf"});
   for (const Finding& f : findings_) {
     // Radio columns: "-" = no radio link, "n/a" = link present but no radio
     // record covered the window (values would be extrapolations).
@@ -196,7 +218,10 @@ core::Table DiagnosisEngine::findings_table() const {
                                 : (f.has_radio ? "n/a" : "-"),
                    radio_usable ? core::Table::pct(f.tail_share)
                                 : (f.has_radio ? "n/a" : "-"),
-                   rlc, core::Table::num(f.confidence)});
+                   rlc,
+                   f.has_flow_stats ? std::to_string(f.flow_retx) : "-",
+                   f.has_flow_stats ? core::Table::num(f.flow_srtt_ms) : "-",
+                   core::Table::num(f.confidence)});
   }
   return table;
 }
@@ -205,13 +230,14 @@ void DiagnosisEngine::add_counters(core::RunResult& out,
                                    const std::string& prefix) const {
   out.add_counter(prefix + "findings", static_cast<double>(findings_.size()));
   double net_crit = 0, promo = 0, energy = 0, tail = 0, degraded = 0;
-  double rlc_retx = 0, rlc_degraded = 0;
+  double rlc_retx = 0, rlc_degraded = 0, flow_retx = 0;
   for (const Finding& f : findings_) {
     if (f.network_on_critical_path) ++net_crit;
     if (f.promotion_overlap) ++promo;
     if (f.confidence < 1.0) ++degraded;
     if (f.rlc_degraded) ++rlc_degraded;
     rlc_retx += static_cast<double>(f.rlc_retx_ul + f.rlc_retx_dl);
+    flow_retx += static_cast<double>(f.flow_retx);
     energy += f.energy_j;
     tail += f.tail_j;
   }
@@ -222,6 +248,7 @@ void DiagnosisEngine::add_counters(core::RunResult& out,
   out.add_counter(prefix + "degraded_findings", degraded);
   out.add_counter(prefix + "rlc_retx", rlc_retx);
   out.add_counter(prefix + "rlc_degraded_findings", rlc_degraded);
+  out.add_counter(prefix + "flow_retx", flow_retx);
   for (const Finding& f : findings_) {
     out.registry.observe(prefix + "window_total_s", f.total_s);
   }
@@ -234,13 +261,14 @@ void DiagnosisEngine::export_metrics(obs::MetricsRegistry& reg,
                                      const std::string& prefix) const {
   reg.add_counter(prefix + "findings", static_cast<double>(findings_.size()));
   double net_crit = 0, promo = 0, energy = 0, tail = 0, degraded = 0;
-  double rlc_retx = 0, rlc_degraded = 0;
+  double rlc_retx = 0, rlc_degraded = 0, flow_retx = 0;
   for (const Finding& f : findings_) {
     if (f.network_on_critical_path) ++net_crit;
     if (f.promotion_overlap) ++promo;
     if (f.confidence < 1.0) ++degraded;
     if (f.rlc_degraded) ++rlc_degraded;
     rlc_retx += static_cast<double>(f.rlc_retx_ul + f.rlc_retx_dl);
+    flow_retx += static_cast<double>(f.flow_retx);
     energy += f.energy_j;
     tail += f.tail_j;
     reg.observe(prefix + "window_total_s", f.total_s);
@@ -252,6 +280,7 @@ void DiagnosisEngine::export_metrics(obs::MetricsRegistry& reg,
   reg.add_counter(prefix + "degraded_findings", degraded);
   reg.add_counter(prefix + "rlc_retx", rlc_retx);
   reg.add_counter(prefix + "rlc_degraded_findings", rlc_degraded);
+  reg.add_counter(prefix + "flow_retx", flow_retx);
   if (rlc_ != nullptr) rlc_->export_metrics(reg);
 }
 

@@ -39,6 +39,7 @@
 #include "core/flow_analyzer.h"
 #include "diag/rlc_chain_tracker.h"
 #include "diag/rrc_state_tracker.h"
+#include "obs/flow_stats.h"
 #include "sim/time.h"
 
 namespace qoed::device {
@@ -111,6 +112,16 @@ struct Finding {
   // above rest on an incomplete log.
   bool rlc_degraded = false;
 
+  // --- transport evidence (obs::FlowStatsTracker, §5j) ---
+  // Zero/false when the engine was given no tracker to watch. The values
+  // are device-scoped aggregates over the finding's window: retransmitted
+  // TCP segments sent inside it, the smoothed-RTT estimate in force at its
+  // close, and the peak bytes-in-flight it saw.
+  bool has_flow_stats = false;
+  std::uint64_t flow_retx = 0;
+  double flow_srtt_ms = 0;
+  std::uint64_t flow_inflight_peak = 0;
+
   // --- degradation labelling (1.0 / false / false on healthy capture) ---
   // Confidence in the attribution, multiplicatively discounted per
   // degradation observed (0.7 for reordered window traffic, 0.8 for
@@ -150,6 +161,14 @@ class DiagnosisEngine : public core::CollectorSink {
   const std::vector<Finding>& findings() const { return findings_; }
   // Windows still waiting for their trailing probe to elapse.
   std::size_t pending() const { return pending_.size(); }
+
+  // Transport evidence source: when set (QoeDoctor::enable_diagnosis wires
+  // the doctor's own tracker), every finalized Finding carries the window's
+  // flow_retx / flow_srtt_ms / flow_inflight_peak. The tracker must outlive
+  // the engine; null disables the evidence (fields stay zero).
+  void watch_flow_stats(const obs::FlowStatsTracker* tracker) {
+    flow_stats_ = tracker;
+  }
 
   // The streaming radio tracker; null until a radio event or finalize
   // happens on a cellular device.
@@ -193,12 +212,13 @@ class DiagnosisEngine : public core::CollectorSink {
   struct PendingWindow {
     std::size_t behavior_index = 0;
     sim::TimePoint watermark;  // window_end + cfg_.trailing
+    sim::TimePoint window_end;  // QoE window end, stamps the span close
     obs::Tracer::SpanId span = 0;  // open trace span, 0 when not tracing
   };
 
   void ensure_tracker();
-  // Finalizes one pending window; `close_at` stamps the trace span close
-  // (the triggering event's time, or the watermark for end-of-run drains).
+  // Finalizes one pending window; the trace span closes at the QoE window
+  // end, clamped to `close_at` for windows drained early (clear/teardown).
   void finalize(const PendingWindow& w, sim::TimePoint close_at);
 
   device::Device& device_;
@@ -207,6 +227,7 @@ class DiagnosisEngine : public core::CollectorSink {
   core::Collector* collector_ = nullptr;
   std::unique_ptr<RrcStateTracker> tracker_;
   std::unique_ptr<RlcChainTracker> rlc_;
+  const obs::FlowStatsTracker* flow_stats_ = nullptr;
   obs::Context obs_;
   FindingHook finding_hook_;
 

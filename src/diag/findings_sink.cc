@@ -62,6 +62,12 @@ void FindingsJsonlSink::write(std::ostream& os) const {
     core::put_json_number(os, f.rlc_mapped_ratio);
     os << ",\"rlc_degraded\":";
     put_bool(os, f.rlc_degraded);
+    os << ",\"has_flow_stats\":";
+    put_bool(os, f.has_flow_stats);
+    os << ",\"flow_retx\":" << f.flow_retx;
+    os << ",\"flow_srtt_ms\":";
+    core::put_json_number(os, f.flow_srtt_ms);
+    os << ",\"flow_inflight_peak\":" << f.flow_inflight_peak;
     os << "}\n";
   }
 }

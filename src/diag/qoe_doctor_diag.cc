@@ -16,6 +16,7 @@ diag::DiagnosisEngine& QoeDoctor::enable_diagnosis(
   if (!diagnosis_) {
     diagnosis_ = std::make_shared<diag::DiagnosisEngine>(device_, flows_, cfg);
     diagnosis_->set_observability(collector_.observability());
+    diagnosis_->watch_flow_stats(&flow_stats_);
     diagnosis_->attach(collector_);
   }
   return *diagnosis_;

@@ -1,0 +1,62 @@
+// Transport-layer flow observation taps.
+//
+// A TcpFlowTap watches every TCP socket in a Network from the sender's
+// vantage: segment transmissions (with the Karn-corrected retransmission
+// flag), cumulative-ACK progress with the live RTT estimator state,
+// duplicate-ACK streaks, fast-retransmit and RTO episodes, and flow
+// open/close. Taps register on the Network (not a single host's stack)
+// because sender-side state for downlink-heavy traffic lives on the
+// *server's* socket — a device-only tap would never see the retransmissions
+// that matter for pageload/video diagnosis. Consumers filter by endpoint IP
+// (see obs::FlowStatsTracker).
+//
+// Determinism: taps are notified synchronously from the event loop in
+// registration order, and every callback carries the virtual timestamp.
+// With no taps registered the per-segment cost is one empty-vector check.
+#pragma once
+
+#include <cstdint>
+
+#include "net/addr.h"
+#include "sim/time.h"
+
+namespace qoed::net {
+
+class TcpFlowTap {
+ public:
+  virtual ~TcpFlowTap() = default;
+
+  // A socket entered the connection table (active open or accept). The
+  // FlowKey is from this endpoint's perspective: src = the socket's local
+  // address. Both endpoints of a connection report, with mirrored keys.
+  virtual void on_flow_open(const FlowKey& /*flow*/, sim::TimePoint /*at*/) {}
+  // The socket left the table (graceful close or abort).
+  virtual void on_flow_close(const FlowKey& /*flow*/, sim::TimePoint /*at*/) {}
+
+  // A payload (or FIN) segment left the sender. `retransmission` is the
+  // Karn-corrected flag: explicit resends AND go-back-N resends of
+  // previously transmitted sequence space both count. `in_flight_after` is
+  // snd_nxt - snd_una once this segment is accounted.
+  virtual void on_segment_sent(const FlowKey& /*flow*/, sim::TimePoint /*at*/,
+                               std::uint32_t /*len*/, bool /*retransmission*/,
+                               std::uint64_t /*in_flight_after*/) {}
+
+  // New data was cumulatively acknowledged. srtt/rttvar are the estimator
+  // state after any samples this ACK contributed (0 before the first
+  // sample); in_flight and cwnd are post-update.
+  virtual void on_ack(const FlowKey& /*flow*/, sim::TimePoint /*at*/,
+                      std::uint64_t /*acked_bytes*/, double /*srtt_s*/,
+                      double /*rttvar_s*/, std::uint64_t /*in_flight*/,
+                      std::uint64_t /*cwnd_bytes*/) {}
+
+  // A pure duplicate ACK arrived; `streak` is the current consecutive
+  // count (3 triggers fast retransmit) — a proxy for reorder depth.
+  virtual void on_dup_ack(const FlowKey& /*flow*/, sim::TimePoint /*at*/,
+                          int /*streak*/) {}
+
+  virtual void on_fast_retransmit(const FlowKey& /*flow*/,
+                                  sim::TimePoint /*at*/) {}
+  virtual void on_rto(const FlowKey& /*flow*/, sim::TimePoint /*at*/) {}
+};
+
+}  // namespace qoed::net

@@ -1,9 +1,11 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 #include "net/dns.h"
+#include "net/flow_tap.h"
 #include "net/tcp.h"
 #include "sim/log.h"
 
@@ -47,6 +49,19 @@ IpAddr Network::lookup_hostname(const std::string& hostname) const {
 
 void Network::set_extra_latency(IpAddr host, sim::Duration extra) {
   extra_latency_[host] = extra;
+}
+
+void Network::add_flow_tap(TcpFlowTap* tap) {
+  if (tap == nullptr) return;
+  for (TcpFlowTap* t : flow_taps_) {
+    if (t == tap) return;
+  }
+  flow_taps_.push_back(tap);
+}
+
+void Network::remove_flow_tap(TcpFlowTap* tap) {
+  flow_taps_.erase(std::remove(flow_taps_.begin(), flow_taps_.end(), tap),
+                   flow_taps_.end());
 }
 
 sim::Duration Network::core_delay(IpAddr dst) {

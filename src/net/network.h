@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "net/addr.h"
 #include "net/packet.h"
@@ -28,6 +29,7 @@ namespace qoed::net {
 class Host;
 class TcpStack;
 struct TcpConfig;
+class TcpFlowTap;
 
 // Device -> network attachment point. Implementations: WifiLink (net/link.h)
 // and CellularLink (radio/cellular_link.h).
@@ -97,6 +99,14 @@ class Network {
   // Per-host additional one-way core latency (e.g. a far-away CDN node).
   void set_extra_latency(IpAddr host, sim::Duration extra);
 
+  // Transport observation taps (net/flow_tap.h): every TCP socket on any
+  // host notifies all registered taps. Registration order is notification
+  // order, so multi-tap runs stay deterministic. Taps must outlive their
+  // registration (remove before destruction).
+  void add_flow_tap(TcpFlowTap* tap);
+  void remove_flow_tap(TcpFlowTap* tap);
+  const std::vector<TcpFlowTap*>& flow_taps() const { return flow_taps_; }
+
   std::uint64_t routed_packets() const { return routed_; }
 
  private:
@@ -113,6 +123,7 @@ class Network {
   std::unordered_map<IpAddr, AccessLink*> access_links_;
   std::unordered_map<IpAddr, sim::Duration> extra_latency_;
   std::unordered_map<std::string, IpAddr> hostnames_;
+  std::vector<TcpFlowTap*> flow_taps_;
   std::uint64_t routed_ = 0;
 };
 

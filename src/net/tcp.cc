@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "net/flow_tap.h"
 #include "net/network.h"
 #include "sim/log.h"
 
@@ -146,9 +147,20 @@ void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len, bool fin,
   p.window = cfg_.receive_window;
   // Karn: never RTT-sample a retransmitted segment, including go-back-N
   // resends of previously transmitted ranges.
-  timing_.push_back({seq + std::max<std::uint64_t>(len, 1),
-                     stack_.host().loop().now(),
-                     retransmission || seq + len <= retransmit_high_water_});
+  const std::uint64_t end_seq = seq + std::max<std::uint64_t>(len, 1);
+  const bool karn_retx =
+      retransmission || seq + len <= retransmit_high_water_;
+  timing_.push_back({end_seq, stack_.host().loop().now(), karn_retx});
+  if (!stack_.host().network().flow_taps().empty()) {
+    // New data has snd_nxt_ bumped by the caller after this returns, so the
+    // post-segment in-flight level is max(snd_nxt_, end_seq) - snd_una_.
+    const std::uint64_t in_flight_after = std::max(snd_nxt_, end_seq) -
+                                          snd_una_;
+    for (TcpFlowTap* tap : stack_.host().network().flow_taps()) {
+      tap->on_segment_sent(flow(), stack_.host().loop().now(), len, karn_retx,
+                           in_flight_after);
+    }
+  }
   emit(std::move(p));
 }
 
@@ -173,6 +185,9 @@ void TcpSocket::on_rto() {
     return;
   }
   ++rto_events_;
+  for (TcpFlowTap* tap : stack_.host().network().flow_taps()) {
+    tap->on_rto(flow(), stack_.host().loop().now());
+  }
   // Timeout response: collapse to one segment, back off the RTO, and fall
   // back to go-back-N — without SACK, everything past the last cumulative
   // ACK must be presumed lost, or each hole would cost one full
@@ -264,6 +279,11 @@ void TcpSocket::on_ack(const Packet& p) {
   if (p.ack > snd_una_) {
     const std::uint64_t acked = p.ack - snd_una_;
     snd_una_ = p.ack;
+    // A cumulative ACK can land above a go-back-N rewound snd_nxt_ (the
+    // presumed-lost tail arrived after all). New data resumes at the ACK
+    // point, and in_flight() (snd_nxt_ - snd_una_) stays well-defined
+    // instead of wrapping.
+    snd_nxt_ = std::max(snd_nxt_, snd_una_);
     retries_ = 0;
     dup_acks_ = 0;
 
@@ -294,6 +314,10 @@ void TcpSocket::on_ack(const Packet& p) {
           1, std::uint64_t{cfg_.mss} * cfg_.mss / cwnd_);  // AIMD
     }
 
+    for (TcpFlowTap* tap : stack_.host().network().flow_taps()) {
+      tap->on_ack(flow(), now, acked, srtt_, rttvar_, in_flight(), cwnd_);
+    }
+
     if (fin_sent_ && !fin_acked_ && p.ack >= app_bytes_queued_ + 1) {
       fin_acked_ = true;
     }
@@ -310,6 +334,9 @@ void TcpSocket::on_ack(const Packet& p) {
   const bool pure_ack = p.payload_size == 0 && !p.flags.syn && !p.flags.fin;
   if (pure_ack && p.ack == snd_una_ && in_flight() > 0) {
     ++dup_acks_;
+    for (TcpFlowTap* tap : stack_.host().network().flow_taps()) {
+      tap->on_dup_ack(flow(), stack_.host().loop().now(), dup_acks_);
+    }
     if (dup_acks_ == 3 && !in_recovery_) {
       enter_fast_retransmit();
     } else if (in_recovery_) {
@@ -321,6 +348,9 @@ void TcpSocket::on_ack(const Packet& p) {
 
 void TcpSocket::enter_fast_retransmit() {
   ++fast_retx_events_;
+  for (TcpFlowTap* tap : stack_.host().network().flow_taps()) {
+    tap->on_fast_retransmit(flow(), stack_.host().loop().now());
+  }
   in_recovery_ = true;
   recovery_point_ = snd_nxt_;
   ssthresh_ = std::max<std::uint64_t>(in_flight() / 2, 2 * cfg_.mss);
@@ -433,6 +463,9 @@ void TcpSocket::become_closed(State s) {
   state_ = s;
   rto_timer_.cancel();
   syn_timer_.cancel();
+  for (TcpFlowTap* tap : stack_.host().network().flow_taps()) {
+    tap->on_flow_close(flow(), stack_.host().loop().now());
+  }
   stack_.remove(flow());
   if (on_closed_) on_closed_();
 }
@@ -450,6 +483,9 @@ std::shared_ptr<TcpSocket> TcpStack::connect(IpAddr dst, Port dst_port) {
   auto sock = std::shared_ptr<TcpSocket>(new TcpSocket(
       *this, host_.ip(), sport, dst, dst_port, cfg_, /*active_open=*/true));
   connections_[sock->flow()] = sock;
+  for (TcpFlowTap* tap : host_.network().flow_taps()) {
+    tap->on_flow_open(sock->flow(), host_.loop().now());
+  }
   sock->start_connect();
   return sock;
 }
@@ -473,6 +509,9 @@ void TcpStack::handle_packet(const Packet& p) {
           new TcpSocket(*this, host_.ip(), p.dst_port, p.src_ip, p.src_port,
                         cfg_, /*active_open=*/false));
       connections_[sock->flow()] = sock;
+      for (TcpFlowTap* tap : host_.network().flow_taps()) {
+        tap->on_flow_open(sock->flow(), host_.loop().now());
+      }
       lit->second(sock);        // app wires its handlers
       sock->handle_packet(p);   // processes the SYN (sends SYN-ACK)
       return;

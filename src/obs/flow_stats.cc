@@ -1,0 +1,246 @@
+#include "obs/flow_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/network.h"
+
+namespace qoed::obs {
+namespace {
+
+// Bucket bounds for byte-valued per-flow rollups: 1-2-5 series from 1 byte
+// to 1e9 bytes, in the registry's micro-units. The default 1µ..1e9µ bounds
+// top out at 1000 units, which would park every realistic transfer in the
+// overflow bucket.
+const std::vector<std::int64_t>& byte_bounds() {
+  static const std::vector<std::int64_t> bounds = [] {
+    std::vector<std::int64_t> b;
+    for (std::int64_t base = 1'000'000; base <= 1'000'000'000'000'000LL;
+         base *= 10) {
+      b.push_back(base);
+      b.push_back(2 * base);
+      b.push_back(5 * base);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+std::int64_t to_micro(double v) { return std::llround(v * 1e6); }
+
+}  // namespace
+
+FlowStatsTracker::FlowStatsTracker(net::IpAddr device_ip)
+    : device_ip_(device_ip) {}
+
+FlowStatsTracker::~FlowStatsTracker() { detach(); }
+
+void FlowStatsTracker::attach(net::Network& network) {
+  detach();
+  network_ = &network;
+  network.add_flow_tap(this);
+}
+
+void FlowStatsTracker::detach() {
+  if (network_ != nullptr) {
+    network_->remove_flow_tap(this);
+    network_ = nullptr;
+  }
+}
+
+bool FlowStatsTracker::wants(const net::FlowKey& flow) const {
+  return device_ip_.is_unspecified() || flow.src_ip == device_ip_ ||
+         flow.dst_ip == device_ip_;
+}
+
+FlowStatsTracker::FlowStats* FlowStatsTracker::touch(const net::FlowKey& flow,
+                                                     sim::TimePoint at) {
+  auto [it, inserted] = flows_.try_emplace(flow);
+  if (inserted) {
+    ++flows_seen_;
+    it->second.opened_at = at;
+    it->second.last_event = at;
+  }
+  return &it->second;
+}
+
+void FlowStatsTracker::set_in_flight(FlowStats& fs, std::uint64_t level,
+                                     sim::TimePoint at) {
+  if (level == fs.in_flight) return;
+  inflight_agg_ = inflight_agg_ - fs.in_flight + level;
+  fs.in_flight = level;
+  fs.inflight_peak = std::max(fs.inflight_peak, level);
+  inflight_peak_ = std::max(inflight_peak_, inflight_agg_);
+  inflight_samples_.emplace_back(at, inflight_agg_);
+  if (obs_.tracing()) {
+    obs_.tracer->counter(obs_.track, "flow.inflight", "flow", at,
+                         "{\"bytes\":" + std::to_string(inflight_agg_) + "}");
+  }
+}
+
+void FlowStatsTracker::on_flow_open(const net::FlowKey& flow,
+                                    sim::TimePoint at) {
+  if (!wants(flow)) return;
+  touch(flow, at);
+}
+
+void FlowStatsTracker::on_flow_close(const net::FlowKey& flow,
+                                     sim::TimePoint at) {
+  if (!wants(flow)) return;
+  FlowStats* fs = touch(flow, at);
+  set_in_flight(*fs, 0, at);
+  fs->closed = true;
+  fs->last_event = at;
+}
+
+void FlowStatsTracker::on_segment_sent(const net::FlowKey& flow,
+                                       sim::TimePoint at, std::uint32_t len,
+                                       bool retransmission,
+                                       std::uint64_t in_flight_after) {
+  if (!wants(flow)) return;
+  FlowStats* fs = touch(flow, at);
+  fs->last_event = at;
+  ++fs->segments;
+  fs->bytes_sent += len;
+  if (retransmission) {
+    ++fs->retx_segments;
+    fs->retx_bytes += len;
+    ++retx_total_;
+    retx_times_.push_back(at);
+    if (obs_.tracing()) {
+      obs_.tracer->counter(obs_.track, "flow.retx", "flow", at,
+                           "{\"count\":" + std::to_string(retx_total_) + "}");
+    }
+  }
+  set_in_flight(*fs, in_flight_after, at);
+}
+
+void FlowStatsTracker::on_ack(const net::FlowKey& flow, sim::TimePoint at,
+                              std::uint64_t acked_bytes, double srtt_s,
+                              double rttvar_s, std::uint64_t in_flight,
+                              std::uint64_t cwnd_bytes) {
+  if (!wants(flow)) return;
+  FlowStats* fs = touch(flow, at);
+  fs->last_event = at;
+  fs->bytes_acked += acked_bytes;
+  if (srtt_s > 0) {
+    fs->srtt_s = srtt_s;
+    fs->rttvar_s = rttvar_s;
+    latest_srtt_s_ = srtt_s;
+    srtt_samples_.emplace_back(at, srtt_s);
+  }
+  (void)cwnd_bytes;
+  set_in_flight(*fs, in_flight, at);
+}
+
+void FlowStatsTracker::on_dup_ack(const net::FlowKey& flow, sim::TimePoint at,
+                                  int streak) {
+  if (!wants(flow)) return;
+  FlowStats* fs = touch(flow, at);
+  fs->last_event = at;
+  ++fs->dup_acks;
+  fs->reorder_depth_max = std::max(fs->reorder_depth_max, streak);
+}
+
+void FlowStatsTracker::on_fast_retransmit(const net::FlowKey& flow,
+                                          sim::TimePoint at) {
+  if (!wants(flow)) return;
+  FlowStats* fs = touch(flow, at);
+  fs->last_event = at;
+  ++fs->fast_retx_events;
+}
+
+void FlowStatsTracker::on_rto(const net::FlowKey& flow, sim::TimePoint at) {
+  if (!wants(flow)) return;
+  FlowStats* fs = touch(flow, at);
+  fs->last_event = at;
+  ++fs->rto_events;
+  ++rto_total_;
+}
+
+std::uint64_t FlowStatsTracker::retx_in_window(sim::TimePoint start,
+                                               sim::TimePoint end) const {
+  const auto lo = std::lower_bound(retx_times_.begin(), retx_times_.end(),
+                                   start);
+  const auto hi = std::upper_bound(lo, retx_times_.end(), end);
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+double FlowStatsTracker::srtt_ms_at(sim::TimePoint at) const {
+  const auto it = std::upper_bound(
+      srtt_samples_.begin(), srtt_samples_.end(), at,
+      [](sim::TimePoint t, const std::pair<sim::TimePoint, double>& s) {
+        return t < s.first;
+      });
+  if (it == srtt_samples_.begin()) return 0;
+  return std::prev(it)->second * 1e3;
+}
+
+std::uint64_t FlowStatsTracker::inflight_peak_in_window(
+    sim::TimePoint start, sim::TimePoint end) const {
+  const auto lo = std::lower_bound(
+      inflight_samples_.begin(), inflight_samples_.end(), start,
+      [](const std::pair<sim::TimePoint, std::uint64_t>& s, sim::TimePoint t) {
+        return s.first < t;
+      });
+  std::uint64_t peak = 0;
+  // The aggregate level is a step function: the last sample before the
+  // window is the level carried into it.
+  if (lo != inflight_samples_.begin()) peak = std::prev(lo)->second;
+  for (auto it = lo; it != inflight_samples_.end() && it->first <= end; ++it) {
+    peak = std::max(peak, it->second);
+  }
+  return peak;
+}
+
+void FlowStatsTracker::export_metrics(MetricsRegistry& reg,
+                                      const std::string& prefix) const {
+  double segments = 0, bytes_sent = 0, bytes_acked = 0, retx_segments = 0,
+         retx_bytes = 0, rto_events = 0, fast_retx = 0, dup_acks = 0;
+  int reorder_max = 0;
+  for (const auto& [key, fs] : flows_) {
+    segments += static_cast<double>(fs.segments);
+    bytes_sent += static_cast<double>(fs.bytes_sent);
+    bytes_acked += static_cast<double>(fs.bytes_acked);
+    retx_segments += static_cast<double>(fs.retx_segments);
+    retx_bytes += static_cast<double>(fs.retx_bytes);
+    rto_events += static_cast<double>(fs.rto_events);
+    fast_retx += static_cast<double>(fs.fast_retx_events);
+    dup_acks += static_cast<double>(fs.dup_acks);
+    reorder_max = std::max(reorder_max, fs.reorder_depth_max);
+  }
+  reg.add_counter(prefix + "flows", static_cast<double>(flows_seen_));
+  reg.add_counter(prefix + "segments", segments);
+  reg.add_counter(prefix + "bytes_sent", bytes_sent);
+  reg.add_counter(prefix + "bytes_acked", bytes_acked);
+  reg.add_counter(prefix + "retx_segments", retx_segments);
+  reg.add_counter(prefix + "retx_bytes", retx_bytes);
+  reg.add_counter(prefix + "rto_events", rto_events);
+  reg.add_counter(prefix + "fast_retx_events", fast_retx);
+  reg.add_counter(prefix + "dup_acks", dup_acks);
+  reg.set_gauge(prefix + "inflight_peak_bytes",
+                static_cast<double>(inflight_peak_));
+  reg.set_gauge(prefix + "reorder_depth_max",
+                static_cast<double>(reorder_max));
+  reg.set_gauge(prefix + "srtt_ms", latest_srtt_ms());
+
+  // Histograms are created up front so the key set is identical whether or
+  // not a run produced samples — baseline snapshots stay key-stable.
+  MetricsRegistry::Histogram& srtt_h = reg.histogram(prefix + "srtt_s");
+  for (const auto& [t, s] : srtt_samples_) srtt_h.observe(to_micro(s));
+  MetricsRegistry::Histogram& flow_retx_h =
+      reg.histogram(prefix + "flow_retx");
+  MetricsRegistry::Histogram& flow_bytes_h =
+      reg.histogram(prefix + "flow_bytes_acked", byte_bounds());
+  MetricsRegistry::Histogram& flow_srtt_h =
+      reg.histogram(prefix + "flow_srtt_s");
+  for (const auto& [key, fs] : flows_) {
+    flow_retx_h.observe(static_cast<std::int64_t>(fs.retx_segments) *
+                        1'000'000);
+    flow_bytes_h.observe(static_cast<std::int64_t>(fs.bytes_acked) *
+                         1'000'000);
+    if (fs.srtt_s > 0) flow_srtt_h.observe(to_micro(fs.srtt_s));
+  }
+}
+
+}  // namespace qoed::obs

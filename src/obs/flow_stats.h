@@ -1,0 +1,152 @@
+// Per-flow TCP transport observability (DESIGN.md §5j).
+//
+// FlowStatsTracker is a net::TcpFlowTap that folds the sender-side TCP
+// telemetry stream — segment sends with the Karn-corrected retransmission
+// flag, cumulative-ACK progress with live srtt/rttvar, duplicate-ACK
+// streaks, fast-retransmit and RTO episodes — into three surfaces:
+//
+//  1. `flow.*` metrics (export_metrics): headline counters (goodput vs
+//     throughput split, retransmission/timeout totals), high-water gauges
+//     and per-flow rollup histograms. Byte-stable and campaign-mergeable
+//     like every other metric family.
+//  2. Chrome trace counter tracks (when the obs::Context is tracing):
+//     aggregate bytes-in-flight and the cumulative retransmission count,
+//     rendered by Perfetto as stepped series next to the diag window spans.
+//  3. Window queries (retx_in_window / srtt_ms_at / inflight_peak_in_window)
+//     backing the per-finding transport evidence in diag::DiagnosisEngine
+//     and the flow.* policy subjects in ctrl::PolicyEngine.
+//
+// One tracker observes one device: it registers on the Network (where the
+// server-side sockets that send the downlink bytes live too) and keeps only
+// flows with the device's IP on either end, so shared-cell runs give each
+// doctor its own device-scoped view of the same network. Every fold is a
+// pure function of the virtual-time event stream — bit-identical at any
+// --jobs. Flows whose open predates attach (e.g. a video app's control
+// connection) are adopted lazily on their first observed event.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/addr.h"
+#include "net/flow_tap.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "sim/time.h"
+
+namespace qoed::net {
+class Network;
+}
+
+namespace qoed::obs {
+
+class FlowStatsTracker final : public net::TcpFlowTap {
+ public:
+  // Sender-vantage state of one TCP endpoint (each side of a connection is
+  // its own entry, with mirrored FlowKeys).
+  struct FlowStats {
+    sim::TimePoint opened_at;
+    sim::TimePoint last_event;
+    bool closed = false;
+    std::uint64_t segments = 0;
+    std::uint64_t bytes_sent = 0;   // payload incl. retransmissions
+    std::uint64_t bytes_acked = 0;  // unique bytes delivered (goodput)
+    std::uint64_t retx_segments = 0;
+    std::uint64_t retx_bytes = 0;
+    std::uint64_t rto_events = 0;
+    std::uint64_t fast_retx_events = 0;
+    std::uint64_t dup_acks = 0;
+    int reorder_depth_max = 0;  // longest duplicate-ACK streak
+    double srtt_s = 0;          // latest estimator state (0 = no sample yet)
+    double rttvar_s = 0;
+    std::uint64_t in_flight = 0;  // current level
+    std::uint64_t inflight_peak = 0;
+  };
+
+  // `device_ip` scopes the tracker to flows touching that address; an
+  // unspecified address observes every flow (tests, single-host setups).
+  explicit FlowStatsTracker(net::IpAddr device_ip = {});
+  ~FlowStatsTracker() override;
+  FlowStatsTracker(const FlowStatsTracker&) = delete;
+  FlowStatsTracker& operator=(const FlowStatsTracker&) = delete;
+
+  // Registers as a flow tap on `network` (detach() or destruction removes
+  // it). Without attach the tracker is wired-but-disabled: zero cost.
+  void attach(net::Network& network);
+  void detach();
+
+  // Counter-track emission: with a tracing context, every in-flight change
+  // and retransmission lands as a "C" event on the context's track.
+  void set_observability(const Context& ctx) { obs_ = ctx; }
+
+  // --- net::TcpFlowTap ---
+  void on_flow_open(const net::FlowKey& flow, sim::TimePoint at) override;
+  void on_flow_close(const net::FlowKey& flow, sim::TimePoint at) override;
+  void on_segment_sent(const net::FlowKey& flow, sim::TimePoint at,
+                       std::uint32_t len, bool retransmission,
+                       std::uint64_t in_flight_after) override;
+  void on_ack(const net::FlowKey& flow, sim::TimePoint at,
+              std::uint64_t acked_bytes, double srtt_s, double rttvar_s,
+              std::uint64_t in_flight, std::uint64_t cwnd_bytes) override;
+  void on_dup_ack(const net::FlowKey& flow, sim::TimePoint at,
+                  int streak) override;
+  void on_fast_retransmit(const net::FlowKey& flow,
+                          sim::TimePoint at) override;
+  void on_rto(const net::FlowKey& flow, sim::TimePoint at) override;
+
+  // --- per-flow and cumulative state ---
+  const std::map<net::FlowKey, FlowStats>& flows() const { return flows_; }
+  std::uint64_t total_retx_segments() const { return retx_total_; }
+  std::uint64_t total_rto_events() const { return rto_total_; }
+  // Latest smoothed-RTT sample across all observed flows, in ms (0 before
+  // the first sample) — the live value flow.srtt_ms policy rules read.
+  double latest_srtt_ms() const { return latest_srtt_s_ * 1e3; }
+  // Aggregate bytes-in-flight high water across this device's flows.
+  std::uint64_t inflight_peak_bytes() const { return inflight_peak_; }
+
+  // --- window queries (diag evidence) ---
+  // Retransmitted segments sent within [start, end].
+  std::uint64_t retx_in_window(sim::TimePoint start, sim::TimePoint end) const;
+  // Latest smoothed-RTT sample at or before `at`, in ms (0 when none).
+  double srtt_ms_at(sim::TimePoint at) const;
+  // Peak aggregate bytes-in-flight over [start, end], including the level
+  // carried into the window.
+  std::uint64_t inflight_peak_in_window(sim::TimePoint start,
+                                        sim::TimePoint end) const;
+
+  // --- metric surface ---
+  // Pure read over the current state: headline flow.* counters/gauges plus
+  // per-flow rollup histograms (open flows roll up as-is, so calling at run
+  // end needs no separate finalize pass). Idempotent against a fresh
+  // registry; prefix defaults to the flow.* family.
+  void export_metrics(MetricsRegistry& reg,
+                      const std::string& prefix = "flow.") const;
+
+ private:
+  FlowStats* touch(const net::FlowKey& flow, sim::TimePoint at);
+  bool wants(const net::FlowKey& flow) const;
+  void set_in_flight(FlowStats& fs, std::uint64_t level, sim::TimePoint at);
+
+  net::IpAddr device_ip_;
+  net::Network* network_ = nullptr;
+  Context obs_;
+
+  std::map<net::FlowKey, FlowStats> flows_;
+  std::uint64_t flows_seen_ = 0;
+  std::uint64_t retx_total_ = 0;
+  std::uint64_t rto_total_ = 0;
+  double latest_srtt_s_ = 0;
+  std::uint64_t inflight_agg_ = 0;   // current aggregate level
+  std::uint64_t inflight_peak_ = 0;  // all-time aggregate high water
+
+  // Time-ordered sample streams backing the window queries (virtual time is
+  // monotone, so these are sorted by construction).
+  std::vector<sim::TimePoint> retx_times_;
+  std::vector<std::pair<sim::TimePoint, double>> srtt_samples_;
+  std::vector<std::pair<sim::TimePoint, std::uint64_t>> inflight_samples_;
+};
+
+}  // namespace qoed::obs

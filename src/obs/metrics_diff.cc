@@ -102,6 +102,7 @@ DiffReport diff_registries(const MetricsRegistry& base,
                            const MetricsRegistry& current,
                            const DiffOptions& opts) {
   DiffReport out;
+  out.fail_on_added = opts.fail_on_added;
   const auto identity = [](double v) { return v; };
   diff_scalar_maps("counter", base.counters(), current.counters(), opts,
                    identity, &out);
@@ -141,7 +142,8 @@ void print_diff(std::ostream& os, const DiffReport& report) {
         os << "MISSING " << e.key << ": base=" << e.base << "\n";
         break;
       case DiffStatus::kAdded:
-        os << "added " << e.key << ": current=" << e.current << "\n";
+        os << (report.fail_on_added ? "ADDED " : "added ") << e.key
+           << ": current=" << e.current << "\n";
         break;
       case DiffStatus::kOk:
         break;

@@ -9,8 +9,8 @@
 //
 //   kRegressed  value drifted beyond its tolerance
 //   kMissing    key present in the baseline, absent in the candidate
-//   kAdded      new key (informational — new features add keys; only drift
-//               and loss fail the gate)
+//   kAdded      new key — fails the gate under fail_on_added (the CLI
+//               default), informational with --allow-new-keys
 //
 // Histograms are compared through their (count, sum) reductions — enough to
 // catch any sample-set change without baking bucket layouts into baselines.
@@ -32,6 +32,12 @@ struct DiffOptions {
   // empty prefix overrides the default for every key. +inf = ignore.
   std::vector<std::pair<std::string, double>> tolerances;
   double default_tolerance = 0;  // exact match
+  // When set, kAdded entries fail the gate too: a new key means the
+  // baseline no longer describes the build and must be regenerated
+  // (scripts/metrics_gate.sh --update). The CLI gate defaults to strict;
+  // `metrics-diff --allow-new-keys` turns this off so a new metric family
+  // (e.g. flow.*) warns instead of forcing lockstep baseline updates.
+  bool fail_on_added = false;
 };
 
 enum class DiffStatus { kOk, kAdded, kMissing, kRegressed };
@@ -50,8 +56,11 @@ struct DiffReport {
   std::size_t compared = 0;        // keys present on both sides
   std::size_t regressions = 0;     // kRegressed + kMissing
   std::size_t added = 0;
+  bool fail_on_added = false;  // copied from the options that built this
 
-  bool ok() const { return regressions == 0; }
+  bool ok() const {
+    return regressions == 0 && (!fail_on_added || added == 0);
+  }
 };
 
 DiffReport diff_registries(const MetricsRegistry& base,

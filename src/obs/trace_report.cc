@@ -14,6 +14,16 @@ struct RawEvent {
   std::string ph, cat, name, id;
   double ts_us = 0;
   bool has_ts = false;
+  // Numeric args members, document order ("C" counter samples carry their
+  // series values here; non-numeric args values are skipped).
+  std::vector<std::pair<std::string, double>> args_num;
+};
+
+// One counter sample, flattened to a "<name>/<args key>" series.
+struct CounterSample {
+  std::string series;
+  double t_s = 0;
+  double value = 0;
 };
 
 bool fail(std::string* error, const std::string& msg) {
@@ -37,6 +47,7 @@ bool analyze_trace(const std::string& chrome_json, TraceReport* out,
   std::string key;
   bool saw_events = false;
   std::vector<TraceInstant> instants;
+  std::vector<CounterSample> samples;
   struct OpenSpan {
     std::string name;
     double start_us = 0;
@@ -66,6 +77,19 @@ bool analyze_trace(const std::string& chrome_json, TraceReport* out,
         } else if (field == "ts") {
           ok = p.read_number(&e.ts_us);
           e.has_ts = ok;
+        } else if (field == "args") {
+          // read_number consumes nothing on mismatch, so non-numeric args
+          // values fall through to skip_value cleanly.
+          ok = p.enter_object();
+          std::string arg;
+          while (ok && p.next_key(&arg)) {
+            double v = 0;
+            if (p.read_number(&v)) {
+              e.args_num.emplace_back(arg, v);
+            } else {
+              ok = p.skip_value();
+            }
+          }
         } else {
           ok = p.skip_value();
         }
@@ -89,6 +113,12 @@ bool analyze_trace(const std::string& chrome_json, TraceReport* out,
           ++out->fault_instants;
         } else {
           ++out->ctrl_instants;
+        }
+      } else if (e.ph == "C") {
+        ++out->counter_events;
+        for (const auto& [arg, v] : e.args_num) {
+          samples.push_back(CounterSample{e.name + "/" + arg,
+                                          e.ts_us / 1e6, v});
         }
       }
     }
@@ -126,13 +156,30 @@ bool analyze_trace(const std::string& chrome_json, TraceReport* out,
       }
     }
   }
+
+  // Counter peaks per window: the std::map keys the per-window rollup so
+  // series come out name-sorted — deterministic regardless of event order.
+  for (TraceWindowReport& w : out->windows) {
+    std::map<std::string, TraceCounterPeak> peaks;
+    for (const CounterSample& s : samples) {
+      if (s.t_s < w.start_s || s.t_s > w.end_s) continue;
+      TraceCounterPeak& p2 = peaks[s.series];
+      if (p2.samples == 0 || s.value > p2.peak) p2.peak = s.value;
+      ++p2.samples;
+    }
+    for (auto& [series, peak] : peaks) {
+      peak.series = series;
+      w.counters.push_back(std::move(peak));
+    }
+  }
   return true;
 }
 
-void print_trace_report(std::ostream& os, const TraceReport& report) {
+void print_trace_report(std::ostream& os, const TraceReport& report,
+                        std::size_t top_k) {
   os << "trace-report: " << report.windows.size() << " diag windows, "
      << report.fault_instants << " fault instants, " << report.ctrl_instants
-     << " ctrl decisions\n";
+     << " ctrl decisions, " << report.counter_events << " counter samples\n";
   for (const TraceWindowReport& w : report.windows) {
     os << "window " << w.name << " [" << secs(w.start_s) << "s.."
        << secs(w.end_s) << "s]: " << w.faults.size() << " fault, "
@@ -147,6 +194,43 @@ void print_trace_report(std::ostream& os, const TraceReport& report) {
   if (report.unmatched_faults > 0 || report.unmatched_ctrl > 0) {
     os << "outside windows: " << report.unmatched_faults << " fault, "
        << report.unmatched_ctrl << " ctrl\n";
+  }
+
+  // Triage shortlist: the K longest windows with everything that overlapped
+  // them — fault/ctrl instants and the peak of each counter series. Ties
+  // break on (start, name), mirroring the window sort, so the section is
+  // deterministic.
+  if (top_k == 0 || report.windows.empty()) return;
+  std::vector<const TraceWindowReport*> slowest;
+  slowest.reserve(report.windows.size());
+  for (const TraceWindowReport& w : report.windows) slowest.push_back(&w);
+  std::sort(slowest.begin(), slowest.end(),
+            [](const TraceWindowReport* a, const TraceWindowReport* b) {
+              if (a->duration_s() != b->duration_s()) {
+                return a->duration_s() > b->duration_s();
+              }
+              if (a->start_s != b->start_s) return a->start_s < b->start_s;
+              return a->name < b->name;
+            });
+  if (slowest.size() > top_k) slowest.resize(top_k);
+  os << "slowest windows (top " << slowest.size() << "):\n";
+  for (const TraceWindowReport* w : slowest) {
+    os << "  " << w->name << " " << secs(w->duration_s()) << "s ["
+       << secs(w->start_s) << "s.." << secs(w->end_s) << "s]";
+    if (!w->faults.empty() || !w->ctrl.empty()) {
+      os << " —";
+      for (const TraceInstant& i : w->faults) {
+        os << " fault:" << i.name << "@" << secs(i.t_s) << "s";
+      }
+      for (const TraceInstant& i : w->ctrl) {
+        os << " ctrl:" << i.name << "@" << secs(i.t_s) << "s";
+      }
+    }
+    os << "\n";
+    for (const TraceCounterPeak& c : w->counters) {
+      os << "    peak " << c.series << " = " << c.peak << " ("
+         << c.samples << " samples)\n";
+    }
   }
 }
 

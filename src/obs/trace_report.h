@@ -24,18 +24,29 @@ struct TraceInstant {
   double t_s = 0;
 };
 
+// Per-window rollup of one counter-track series ("C" events, e.g. the flow
+// tracker's flow.inflight/bytes). `series` is "<event name>/<args key>".
+struct TraceCounterPeak {
+  std::string series;
+  double peak = 0;          // max sample value inside the window
+  std::size_t samples = 0;  // sample count inside the window
+};
+
 struct TraceWindowReport {
   std::string name;  // span name (the behavior action under diagnosis)
   double start_s = 0;
   double end_s = 0;
   std::vector<TraceInstant> faults;  // fault instants inside [start, end]
   std::vector<TraceInstant> ctrl;    // ctrl decisions inside [start, end]
+  std::vector<TraceCounterPeak> counters;  // series with samples inside
+  double duration_s() const { return end_s - start_s; }
 };
 
 struct TraceReport {
   std::vector<TraceWindowReport> windows;  // diag spans, by start time
   std::size_t fault_instants = 0;          // lane totals across the trace
   std::size_t ctrl_instants = 0;
+  std::size_t counter_events = 0;  // "C" events across the whole trace
   std::size_t unmatched_faults = 0;  // instants outside every diag window
   std::size_t unmatched_ctrl = 0;
 };
@@ -45,6 +56,11 @@ struct TraceReport {
 bool analyze_trace(const std::string& chrome_json, TraceReport* out,
                    std::string* error);
 
-void print_trace_report(std::ostream& os, const TraceReport& report);
+// Full report: every window with its overlapping instants, then the top-K
+// slowest windows (by span duration) with their instants AND counter peaks
+// — the triage shortlist when a run looks degraded. top_k=0 hides that
+// section.
+void print_trace_report(std::ostream& os, const TraceReport& report,
+                        std::size_t top_k = 3);
 
 }  // namespace qoed::obs

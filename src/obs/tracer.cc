@@ -31,6 +31,9 @@ void put_event(std::ostream& os, const TraceEvent& e, std::uint32_t pid,
     case TracePhase::kInstant:
       os << 'i';
       break;
+    case TracePhase::kCounter:
+      os << 'C';
+      break;
   }
   os << "\",\"pid\":" << pid << ",\"tid\":" << e.track << ",\"ts\":" << e.t_us
      << ",\"cat\":";
@@ -39,6 +42,8 @@ void put_event(std::ostream& os, const TraceEvent& e, std::uint32_t pid,
   core::put_json_string(os, e.name);
   if (e.phase == TracePhase::kInstant) {
     os << ",\"s\":\"t\"";
+  } else if (e.phase == TracePhase::kCounter) {
+    // Counters carry only their args series — no scope, no async id.
   } else {
     // Async span ids must be unique within the whole file; the merge offsets
     // each tracer's id space so two runs' span #1 never collide.
@@ -127,6 +132,21 @@ void Tracer::instant(std::uint32_t track, std::string_view name,
   TraceEvent e;
   e.t_us = at.since_start().count();
   e.phase = TracePhase::kInstant;
+  e.track = track;
+  e.seq = next_seq_++;
+  e.name = std::string(name);
+  e.cat = std::string(cat);
+  e.args_json = std::move(args_json);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::counter(std::uint32_t track, std::string_view name,
+                     std::string_view cat, sim::TimePoint at,
+                     std::string args_json) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.t_us = at.since_start().count();
+  e.phase = TracePhase::kCounter;
   e.track = track;
   e.seq = next_seq_++;
   e.name = std::string(name);

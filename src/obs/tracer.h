@@ -41,6 +41,7 @@ enum class TracePhase : std::uint8_t {
   kSpanBegin,  // async span open  -> chrome "b"
   kSpanEnd,    // async span close -> chrome "e"
   kInstant,    // point event      -> chrome "i"
+  kCounter,    // counter sample   -> chrome "C"
 };
 
 struct TraceEvent {
@@ -75,6 +76,13 @@ class Tracer {
   void instant(std::uint32_t track, std::string_view name,
                std::string_view cat, sim::TimePoint at,
                std::string args_json = {});
+  // Counter sample (Perfetto renders each args key as a counter-track
+  // series). `args_json` must be a pre-rendered object whose values are
+  // numbers, e.g. {"bytes":8400}; successive samples with the same (track,
+  // name) form one stepped series next to the spans.
+  void counter(std::uint32_t track, std::string_view name,
+               std::string_view cat, sim::TimePoint at,
+               std::string args_json);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   void clear();

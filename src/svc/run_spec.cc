@@ -91,6 +91,7 @@ std::unique_ptr<ctrl::PolicyEngine> install_policy(
   policy->set_observability(doctor.collector().observability());
   policy->attach(doctor.collector(), bed.loop());
   policy->watch(engine);
+  policy->watch_flows(&doctor.flow_stats());
   return policy;
 }
 
@@ -119,6 +120,17 @@ void finish(core::Testbed& bed, core::QoeDoctor& doctor,
   engine.add_counters(*out);
   if (injector != nullptr) injector->add_counters(*out);
   doctor.collector().add_counters(*out);
+  // Transport-layer flow rollup: export once into a scratch registry, mirror
+  // the counters into the legacy map, and merge the whole family (gauges and
+  // histograms included) into the run registry exactly once.
+  {
+    obs::MetricsRegistry flow_reg;
+    doctor.flow_stats().export_metrics(flow_reg);
+    for (const auto& [name, value] : flow_reg.counters()) {
+      out->counters[name] += value;
+    }
+    out->registry.merge_from(flow_reg);
+  }
   if (policy != nullptr) {
     policy->add_counters(*out);
     out->reschedule_requested = policy->reschedule_requested();

@@ -255,6 +255,18 @@ void ServeEngine::handle_line(const std::string& line, bool* shutdown) {
     reply(os.str());
     return;
   }
+  if (cmd == "stats") {
+    // Live fleet-metrics snapshot. Gather from the sink FIRST: the commit
+    // hook takes out_mu_ while holding the sink's internal lock, so calling
+    // into the sink under out_mu_ (inside reply) would invert the order.
+    const std::string snapshot = sink_->metrics_snapshot();
+    const std::size_t committed = committed_.load(std::memory_order_acquire);
+    std::ostringstream os;
+    os << "{\"ok\":true,\"committed\":" << committed
+       << ",\"metrics\":" << snapshot << '}';
+    reply(os.str());
+    return;
+  }
   if (cmd == "drain") {
     wait_drained();
     std::ostringstream os;

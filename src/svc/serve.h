@@ -12,6 +12,12 @@
 // Protocol (one JSON object per line; replies/events on the output stream):
 //   {"cmd":"submit", <ScenarioSpec fields>}  -> {"ok":true,"id":N}
 //   {"cmd":"status"}    -> {"ok":true,"submitted":S,"committed":C,"pending":P}
+//   {"cmd":"stats"}     -> {"ok":true,"committed":C,"metrics":{...}} where
+//                          the metrics value is the live merged
+//                          MetricsRegistry snapshot in canonical write_json
+//                          bytes — after a drain it equals (plus a trailing
+//                          newline) the metrics.json a batch fleet over the
+//                          same specs writes
 //   {"cmd":"drain"}     -> blocks, then {"ok":true,"drained":C}
 //   {"cmd":"shutdown"}  -> drain + finalize + merged artifacts, then
 //                          {"ok":true,"shutdown":true,"runs":C}

@@ -139,10 +139,10 @@ TEST(PolicyGrammar, ErrorsCarryByteOffsetAndToken) {
             "policy: expected comparison operator at byte 22: '~'");
   EXPECT_EQ(parse_error("on finding.confidence<0.8: explode"),
             "policy: unknown action at byte 27: 'explode'");
-  // 'for' sustain is only defined for layer health.
+  // 'for' sustain is only defined for continuously-sampled subjects.
   EXPECT_EQ(parse_error("on finding.confidence<0.8 for 5s: capture"),
-            "policy: 'for' sustain requires a layer.* subject at byte 26: "
-            "'for'");
+            "policy: 'for' sustain requires a layer.* or flow.* subject at "
+            "byte 26: 'for'");
   EXPECT_EQ(parse_error("on layer.radio==offline: capture"),
             "policy: expected a number for layer health at byte 16: "
             "'offline'");

@@ -154,6 +154,92 @@ TEST(MetricsRegistry, MergeFromJsonRoundTripsSnapshots) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(MetricsRegistry, MergeFromJsonEmptyHistogramRoundTrips) {
+  // A histogram created but never observed (the flow tracker pre-creates
+  // its rollup histograms for key-set stability) must survive the
+  // write_json -> merge_from_json round trip with zero counts intact.
+  obs::MetricsRegistry a;
+  a.histogram("empty", {10, 100});
+  std::ostringstream snap;
+  a.write_json(snap);
+
+  obs::MetricsRegistry b;
+  std::string error;
+  ASSERT_TRUE(b.merge_from_json(snap.str(), &error)) << error;
+  const auto* h = b.find_histogram("empty");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 0u);
+  EXPECT_EQ(h->sum, 0);
+  ASSERT_EQ(h->counts.size(), 3u);
+  std::ostringstream snap_b;
+  b.write_json(snap_b);
+  EXPECT_EQ(snap.str(), snap_b.str());
+
+  // Merging an empty histogram into a populated one adds nothing.
+  obs::MetricsRegistry c;
+  c.histogram("empty", {10, 100}).observe(50);
+  ASSERT_TRUE(c.merge_from_json(snap.str(), &error)) << error;
+  EXPECT_EQ(c.find_histogram("empty")->count, 1u);
+}
+
+TEST(MetricsRegistry, MergeFromJsonOverflowBucketOnlyHistogram) {
+  // Every observation past the last bound: only the overflow bucket is
+  // populated, and the fold must keep it there (not lose or re-bucket it).
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry::Histogram& h = a.histogram("over", {10, 100});
+  h.observe(5000);
+  h.observe(7000);
+  std::ostringstream snap;
+  a.write_json(snap);
+
+  obs::MetricsRegistry b;
+  std::string error;
+  ASSERT_TRUE(b.merge_from_json(snap.str(), &error)) << error;
+  ASSERT_TRUE(b.merge_from_json(snap.str(), &error)) << error;  // fold twice
+  const auto* merged = b.find_histogram("over");
+  ASSERT_NE(merged, nullptr);
+  ASSERT_EQ(merged->counts.size(), 3u);
+  EXPECT_EQ(merged->counts[0], 0u);
+  EXPECT_EQ(merged->counts[1], 0u);
+  EXPECT_EQ(merged->counts[2], 4u);  // overflow bucket, doubled
+  EXPECT_EQ(merged->count, 4u);
+  EXPECT_EQ(merged->sum, 2 * (5000 + 7000));
+}
+
+TEST(MetricsRegistry, MergedThenReserializedSnapshotRoundTrips17g) {
+  // Doubles that don't have short decimal forms: %.17g must round-trip
+  // them exactly through serialize -> parse -> merge -> reserialize, the
+  // chain every sharded-campaign metrics.json goes through.
+  obs::MetricsRegistry a;
+  a.add_counter("c.awkward", 0.1 + 0.2);  // 0.30000000000000004
+  a.add_counter("c.third", 1.0 / 3.0);
+  a.set_gauge("g.pi", 3.141592653589793);
+  a.observe("lat", 1.0 / 7.0);
+  obs::MetricsRegistry b;
+  b.add_counter("c.awkward", 1e-17);
+  b.observe("lat", 2.0 / 7.0);
+
+  // Path 1: merge the registries, then serialize.
+  obs::MetricsRegistry via_merge;
+  via_merge.merge_from(a);
+  via_merge.merge_from(b);
+
+  // Path 2: serialize each, fold the snapshots, reserialize, re-fold.
+  std::ostringstream snap_a, snap_b;
+  a.write_json(snap_a);
+  b.write_json(snap_b);
+  obs::MetricsRegistry via_json;
+  std::string error;
+  ASSERT_TRUE(via_json.merge_from_json(snap_a.str(), &error)) << error;
+  ASSERT_TRUE(via_json.merge_from_json(snap_b.str(), &error)) << error;
+  EXPECT_EQ(via_merge.snapshot(), via_json.snapshot());
+
+  // And the merged snapshot itself survives another parse/serialize hop.
+  obs::MetricsRegistry rehop;
+  ASSERT_TRUE(rehop.merge_from_json(via_json.snapshot(), &error)) << error;
+  EXPECT_EQ(rehop.snapshot(), via_json.snapshot());
+}
+
 TEST(MetricsRegistry, HistogramQuantileInterpolatesWithinBuckets) {
   obs::MetricsRegistry r;
   // 100 observations uniformly 1..100 (original units) over default bounds.
